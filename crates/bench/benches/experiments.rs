@@ -1,0 +1,109 @@
+//! End-to-end regeneration cost of the paper's artifacts.
+//!
+//! One bench per artifact family:
+//!
+//! * `table1` — paper-scale site accounting (Eq. 1) for a big kernel;
+//! * `table2` — statistical sample sizing (Eqs. 2–4);
+//! * `table3_4` — the CTA/thread grouping behind Tables III/IV;
+//! * `table7` — the loop statistics behind Table VII;
+//! * `fig9` — a pruned campaign (the thing Figure 9 compares);
+//! * `fig10` — paper-scale plan construction (the stage accounting).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsp_bench::{eval, paper};
+use fsp_core::{LoopTagging, PruningConfig, PruningPipeline, ThreadGrouping};
+use fsp_inject::{Experiment, InjectionTarget};
+use fsp_sim::{Simulator, Tracer};
+use fsp_stats::{required_samples_finite, required_samples_infinite};
+
+fn bench_table1(c: &mut Criterion) {
+    let w = paper("mvt");
+    let launch = w.launch();
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("table1_mvt_sites", |b| {
+        b.iter(|| {
+            let mut tracer = Tracer::new(launch.num_threads(), launch.threads_per_cta());
+            let mut memory = w.init_memory();
+            Simulator::new().run(&launch, &mut memory, &mut tracer).expect("runs");
+            tracer.finish().total_fault_sites()
+        });
+    });
+    group.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    c.bench_function("experiments/table2_sample_sizes", |b| {
+        b.iter(|| {
+            let a = required_samples_infinite(0.998, 0.0063);
+            let bb = required_samples_infinite(0.95, 0.03);
+            let cc = required_samples_finite(7_730_000_000, 0.998, 0.0063);
+            (a, bb, cc.samples)
+        });
+    });
+}
+
+fn bench_table3_4(c: &mut Criterion) {
+    let w = paper("2dconv");
+    let launch = w.launch();
+    let mut tracer = Tracer::new(launch.num_threads(), launch.threads_per_cta());
+    let mut memory = w.init_memory();
+    Simulator::new().run(&launch, &mut memory, &mut tracer).expect("runs");
+    let trace = tracer.finish();
+    c.bench_function("experiments/table3_grouping_2dconv", |b| {
+        b.iter(|| ThreadGrouping::analyze(&trace));
+    });
+}
+
+fn bench_table7(c: &mut Criterion) {
+    let w = paper("gemm");
+    let trace = fsp_bench::rep_trace(&w);
+    let launch = w.launch();
+    let forest = launch.program().cfg().loops(launch.program());
+    c.bench_function("experiments/table7_loops_gemm", |b| {
+        b.iter(|| {
+            trace
+                .full
+                .values()
+                .map(|t| LoopTagging::analyze(t, &forest).max_total_iterations())
+                .max()
+        });
+    });
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let w = eval("gaussian_k1");
+    let experiment = Experiment::prepare(&w).expect("prepare");
+    let pipeline = PruningPipeline::new(PruningConfig::default());
+    let plan = pipeline.plan_for(&experiment).expect("plan");
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("fig9_pruned_campaign_gaussian_k1", |b| {
+        b.iter(|| pipeline.run(&experiment, &plan, workers));
+    });
+    group.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let w = paper("2dconv");
+    let experiment = Experiment::prepare(&w).expect("prepare");
+    let pipeline = PruningPipeline::new(PruningConfig::default());
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("fig10_plan_2dconv_paper_scale", |b| {
+        b.iter(|| pipeline.plan_for(&experiment).expect("plan").stages);
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_table2,
+    bench_table3_4,
+    bench_table7,
+    bench_fig9,
+    bench_fig10
+);
+criterion_main!(benches);

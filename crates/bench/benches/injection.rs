@@ -1,0 +1,62 @@
+//! Fault-site enumeration, sampling and injection-run cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fsp_bench::{eval, full_trace};
+use fsp_inject::{Experiment, SiteSpace, WeightedSite};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Building the exhaustive site space from a trace.
+fn bench_site_space(c: &mut Criterion) {
+    let w = eval("2dconv");
+    let trace = full_trace(&w);
+    c.bench_function("inject/site_space_build", |b| {
+        b.iter(|| SiteSpace::new(trace.clone()));
+    });
+}
+
+/// Uniform site sampling (the statistical baseline's inner loop).
+fn bench_sampling(c: &mut Criterion) {
+    let w = eval("2dconv");
+    let space = SiteSpace::new(full_trace(&w));
+    c.bench_function("inject/sample_1000", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| space.sample_many(1000, &mut rng));
+    });
+}
+
+/// A single injection run end-to-end (memory image, execution, outcome
+/// classification) — the paper's "one minute per experiment" unit on real
+/// hardware.
+fn bench_single_injection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inject/run_one");
+    for id in ["gemm", "pathfinder", "hotspot"] {
+        let w = eval(id);
+        let experiment = Experiment::prepare(&w).expect("prepare");
+        let space = experiment.site_space(0..1);
+        let site = space.site_at(space.thread_sites(0) / 2);
+        group.bench_with_input(BenchmarkId::from_parameter(id), &site, |b, &site| {
+            b.iter(|| experiment.run_one(site));
+        });
+    }
+    group.finish();
+}
+
+/// A parallel mini-campaign (256 sites).
+fn bench_campaign(c: &mut Criterion) {
+    let w = eval("2dconv");
+    let experiment = Experiment::prepare(&w).expect("prepare");
+    let space = experiment.site_space(0..4);
+    let sites: Vec<WeightedSite> = space
+        .thread_site_iter(0)
+        .take(256)
+        .map(WeightedSite::from)
+        .collect();
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+    c.bench_function("inject/campaign_256", |b| {
+        b.iter(|| experiment.run_campaign(&sites, workers));
+    });
+}
+
+criterion_group!(benches, bench_site_space, bench_sampling, bench_single_injection, bench_campaign);
+criterion_main!(benches);

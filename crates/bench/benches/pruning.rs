@@ -1,0 +1,91 @@
+//! Cost of the four pruning stages and of full plan construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fsp_bench::{eval, paper, rep_trace};
+use fsp_core::{
+    align_lcs, BitSampler, Commonality, CommonalityConfig, LoopTagging, PruningConfig,
+    PruningPipeline, ThreadGrouping,
+};
+use fsp_inject::InjectionTarget;
+
+/// Stage 1 — CTA/thread grouping over the summary trace.
+fn bench_grouping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prune/grouping");
+    for id in ["2dconv", "hotspot"] {
+        let trace = rep_trace(&paper(id));
+        group.bench_with_input(BenchmarkId::from_parameter(id), &trace, |b, trace| {
+            b.iter(|| ThreadGrouping::analyze(trace));
+        });
+    }
+    group.finish();
+}
+
+/// Stage 2 — LCS alignment between representative traces (Hirschberg).
+fn bench_alignment(c: &mut Criterion) {
+    let trace = rep_trace(&paper("pathfinder"));
+    let mut traces: Vec<_> = trace.full.values().collect();
+    traces.sort_by_key(|t| std::cmp::Reverse(t.entries.len()));
+    let a = traces[0].pcs();
+    let b = traces[1].pcs();
+    c.bench_function("prune/lcs_pathfinder", |bencher| {
+        bencher.iter(|| align_lcs(&a, &b));
+    });
+    let refs: Vec<&fsp_sim::ThreadTrace> = traces.to_vec();
+    c.bench_function("prune/commonality_pathfinder", |bencher| {
+        bencher.iter(|| Commonality::analyze(&refs, &CommonalityConfig::default()));
+    });
+}
+
+/// Stage 3 — dynamic loop tagging of a representative trace.
+fn bench_loop_tagging(c: &mut Criterion) {
+    let w = paper("mvt");
+    let trace = rep_trace(&w);
+    let launch = w.launch();
+    let forest = launch.program().cfg().loops(launch.program());
+    let rep = trace.full.values().next().expect("has a representative");
+    c.bench_function("prune/loop_tagging_mvt", |b| {
+        b.iter(|| LoopTagging::analyze(rep, &forest));
+    });
+}
+
+/// Stage 4 — bit-position selection.
+fn bench_bit_selection(c: &mut Criterion) {
+    let w = eval("gemm");
+    let launch = w.launch();
+    let program = launch.program();
+    let sampler = BitSampler::default();
+    c.bench_function("prune/bit_selection_gemm", |b| {
+        b.iter(|| {
+            program
+                .instructions()
+                .iter()
+                .map(|i| sampler.select_instruction(i).len())
+                .sum::<usize>()
+        });
+    });
+}
+
+/// Full plan construction (trace + all four stages), per kernel.
+fn bench_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prune/plan");
+    group.sample_size(10);
+    for id in ["gemm", "pathfinder", "hotspot"] {
+        let w = eval(id);
+        let experiment = fsp_inject::Experiment::prepare(&w).expect("prepare");
+        let pipeline = PruningPipeline::new(PruningConfig::default());
+        group.bench_with_input(BenchmarkId::from_parameter(id), &experiment, |b, e| {
+            b.iter(|| pipeline.plan_for(e).expect("plan"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_grouping,
+    bench_alignment,
+    bench_loop_tagging,
+    bench_bit_selection,
+    bench_plan
+);
+criterion_main!(benches);

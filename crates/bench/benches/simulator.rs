@@ -1,0 +1,61 @@
+//! Assembler and interpreter throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fsp_bench::eval;
+use fsp_inject::InjectionTarget;
+use fsp_sim::{NopHook, Simulator, Tracer};
+
+/// Assembling a mid-sized kernel from text.
+fn bench_assembler(c: &mut Criterion) {
+    // Round-trip the GEMM program through its disassembly so the benched
+    // source is realistic.
+    let w = eval("gemm");
+    let source = w.program().to_string();
+    let body: String = source.lines().skip(1).collect::<Vec<_>>().join("\n");
+    c.bench_function("asm/gemm", |b| {
+        b.iter(|| fsp_isa::assemble("gemm", &body).expect("assembles"));
+    });
+}
+
+/// Fault-free kernel execution (the unit of cost for every injection run).
+fn bench_interpreter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim");
+    for id in ["gemm", "2dconv", "pathfinder", "hotspot", "lud_k46"] {
+        let w = eval(id);
+        let launch = w.launch();
+        // Measure instructions/second.
+        let mut memory = w.init_memory();
+        let stats = Simulator::new()
+            .run(&launch, &mut memory, &mut NopHook)
+            .expect("fault-free");
+        group.throughput(Throughput::Elements(stats.instructions));
+        group.bench_with_input(BenchmarkId::new("run", id), &w, |b, w| {
+            b.iter(|| {
+                let mut memory = w.init_memory();
+                Simulator::new()
+                    .run(&launch, &mut memory, &mut NopHook)
+                    .expect("fault-free")
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Execution with full tracing enabled (profiling cost, paid once per
+/// kernel before planning).
+fn bench_tracing(c: &mut Criterion) {
+    let w = eval("gemm");
+    let launch = w.launch();
+    c.bench_function("sim/traced_gemm", |b| {
+        b.iter(|| {
+            let mut tracer = Tracer::new(launch.num_threads(), launch.threads_per_cta())
+                .with_full_traces(0..launch.num_threads());
+            let mut memory = w.init_memory();
+            Simulator::new().run(&launch, &mut memory, &mut tracer).expect("fault-free");
+            tracer.finish()
+        });
+    });
+}
+
+criterion_group!(benches, bench_assembler, bench_interpreter, bench_tracing);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Shared helpers for the Criterion benchmark targets.
+//!
+//! The benches cover the machinery behind every table and figure of the
+//! paper (see `benches/experiments.rs` for the per-artifact mapping):
+//!
+//! * `benches/simulator.rs` — assembler and interpreter throughput;
+//! * `benches/injection.rs` — site enumeration, sampling and single
+//!   injection runs;
+//! * `benches/pruning.rs` — the four pruning stages and plan construction;
+//! * `benches/experiments.rs` — end-to-end table/figure regeneration cost
+//!   (grouping for Tables III/IV, plans for Figure 10, small campaigns for
+//!   Figure 9).
+
+use fsp_core::ThreadGrouping;
+use fsp_inject::InjectionTarget;
+use fsp_sim::{KernelTrace, Simulator, Tracer};
+use fsp_workloads::{Scale, Workload};
+
+/// Fetches a workload by registry id at eval scale.
+///
+/// # Panics
+///
+/// Panics on an unknown id.
+#[must_use]
+pub fn eval(id: &str) -> Workload {
+    fsp_workloads::by_id(id, Scale::Eval).unwrap_or_else(|| panic!("unknown workload {id}"))
+}
+
+/// Fetches a workload by registry id at paper scale.
+///
+/// # Panics
+///
+/// Panics on an unknown id.
+#[must_use]
+pub fn paper(id: &str) -> Workload {
+    fsp_workloads::by_id(id, Scale::Paper).unwrap_or_else(|| panic!("unknown workload {id}"))
+}
+
+/// Runs a workload fault-free with full traces for every thread.
+///
+/// # Panics
+///
+/// Panics if the fault-free run faults.
+#[must_use]
+pub fn full_trace(w: &Workload) -> KernelTrace {
+    let launch = w.launch();
+    let mut tracer = Tracer::new(launch.num_threads(), launch.threads_per_cta())
+        .with_full_traces(0..launch.num_threads());
+    let mut memory = w.init_memory();
+    Simulator::new().run(&launch, &mut memory, &mut tracer).expect("fault-free run");
+    tracer.finish()
+}
+
+/// Runs a workload fault-free with full traces for representatives only.
+///
+/// # Panics
+///
+/// Panics if the fault-free run faults.
+#[must_use]
+pub fn rep_trace(w: &Workload) -> KernelTrace {
+    let launch = w.launch();
+    let mut tracer = Tracer::new(launch.num_threads(), launch.threads_per_cta());
+    let mut memory = w.init_memory();
+    Simulator::new().run(&launch, &mut memory, &mut tracer).expect("fault-free run");
+    let summary = tracer.finish();
+    let grouping = ThreadGrouping::analyze(&summary);
+    let reps: Vec<u32> = grouping.representatives(&summary).iter().map(|r| r.tid).collect();
+    let mut tracer = Tracer::new(launch.num_threads(), launch.threads_per_cta())
+        .with_full_traces(reps);
+    let mut memory = w.init_memory();
+    Simulator::new().run(&launch, &mut memory, &mut tracer).expect("fault-free run");
+    tracer.finish()
+}

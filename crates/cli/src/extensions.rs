@@ -1,0 +1,312 @@
+//! Drivers for the extensions beyond the paper: fault-model sweeps,
+//! adaptive loop sampling and stage ablations.
+
+use fsp_core::{
+    AdaptiveConfig, BitSampler, CommonalityConfig, PredBitPolicy, PruningConfig, PruningPipeline,
+};
+use fsp_inject::{Experiment, FaultModel, InjectionTarget, WeightedSite};
+use fsp_workloads::{Scale, Workload};
+
+use crate::output::Table;
+use crate::Options;
+
+/// Compares the resilience profile under every [`FaultModel`] on one
+/// kernel, using the same uniformly sampled site set for all models.
+#[must_use]
+pub fn fault_model_sweep(w: &Workload, samples: usize, opts: &Options) -> String {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let experiment = Experiment::prepare(w).expect("workload runs");
+    let space = experiment.site_space(0..w.launch().num_threads());
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let sites: Vec<WeightedSite> = space
+        .sample_many(samples, &mut rng)
+        .into_iter()
+        .map(WeightedSite::from)
+        .collect();
+    let mut t = Table::new(&["fault model", "masked%", "sdc%", "crash+hang%"]);
+    for model in FaultModel::ALL {
+        let profile = experiment.run_campaign_with(&sites, model, opts.workers).profile;
+        t.row(vec![
+            model.name().to_owned(),
+            format!("{:.1}", profile.pct_masked()),
+            format!("{:.1}", profile.pct_sdc()),
+            format!("{:.1}", profile.pct_other()),
+        ]);
+    }
+    format!(
+        "Fault-model sweep for {} ({} shared random sites):\n\n{t}",
+        w.registry_id(),
+        sites.len()
+    )
+}
+
+/// Runs the adaptive loop-sampling procedure (the automated Figure 6) and
+/// prints the convergence history.
+#[must_use]
+pub fn adaptive_report(w: &Workload, opts: &Options) -> String {
+    let experiment = Experiment::prepare(w).expect("workload runs");
+    let pipeline = PruningPipeline::new(PruningConfig::default());
+    let result = pipeline
+        .run_adaptive(&experiment, &AdaptiveConfig::default(), opts.workers)
+        .expect("adaptive run");
+    let mut t = Table::new(&["#iterations", "masked%", "sdc%", "other%"]);
+    for (n, p) in &result.history {
+        t.row(vec![
+            n.to_string(),
+            format!("{:.1}", p.pct_masked()),
+            format!("{:.1}", p.pct_sdc()),
+            format!("{:.1}", p.pct_other()),
+        ]);
+    }
+    format!(
+        "Adaptive loop sampling for {}: converged at {} iteration(s), \
+         {} injection runs\n\n{t}",
+        w.registry_id(),
+        result.loop_samples,
+        result.plan.stages.after_bit
+    )
+}
+
+/// Ablation: toggles each pruning stage independently and reports runs vs
+/// accuracy against a shared baseline.
+#[must_use]
+pub fn ablation(w: &Workload, opts: &Options) -> String {
+    let experiment = Experiment::prepare(w).expect("workload runs");
+    let space = experiment.site_space(0..w.launch().num_threads());
+    let baseline = fsp_core::run_baseline(
+        &experiment,
+        &space,
+        opts.baseline_samples(),
+        opts.seed,
+        opts.workers,
+    );
+
+    // Stage bundles, progressively matching the paper's Figure 10 order,
+    // plus single-stage ablations.
+    let configs: Vec<(&str, PruningConfig)> = vec![
+        ("thread only", PruningConfig::thread_wise_only()),
+        (
+            "thread + insn",
+            PruningConfig {
+                commonality: Some(CommonalityConfig::default()),
+                ..PruningConfig::thread_wise_only()
+            },
+        ),
+        (
+            "thread + loop",
+            PruningConfig { loop_samples: 7, ..PruningConfig::thread_wise_only() },
+        ),
+        (
+            "thread + bit",
+            PruningConfig {
+                bits: BitSampler {
+                    samples_per_32: 16,
+                    pred_policy: PredBitPolicy::ZeroFlagOnly,
+                },
+                ..PruningConfig::thread_wise_only()
+            },
+        ),
+        ("full pipeline", PruningConfig::default()),
+    ];
+    let mut t = Table::new(&["stages", "#runs", "Δmasked", "Δsdc", "Δother"]);
+    for (name, config) in configs {
+        let pipeline = PruningPipeline::new(config);
+        let plan = pipeline.plan_for(&experiment).expect("plan");
+        // Skip configurations whose campaigns would dwarf the baseline.
+        if plan.stages.after_bit > 200_000 {
+            t.row(vec![
+                name.to_owned(),
+                format!("{} (skipped)", plan.stages.after_bit),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+            continue;
+        }
+        let profile = pipeline.run(&experiment, &plan, opts.workers);
+        let (dm, ds, do_) = profile.diff(&baseline);
+        t.row(vec![
+            name.to_owned(),
+            plan.stages.after_bit.to_string(),
+            format!("{dm:+.2}%"),
+            format!("{ds:+.2}%"),
+            format!("{do_:+.2}%"),
+        ]);
+    }
+    format!(
+        "Stage ablation for {} (baseline: {} runs -> {baseline}):\n\n{t}",
+        w.registry_id(),
+        opts.baseline_samples()
+    )
+}
+
+/// Convenience: look up an eval-scale workload by id.
+///
+/// # Panics
+///
+/// Panics on an unknown id.
+#[must_use]
+pub fn eval_workload(id: &str) -> Workload {
+    fsp_workloads::by_id(id, Scale::Eval)
+        .unwrap_or_else(|| panic!("unknown workload `{id}`"))
+}
+
+/// Per-opcode vulnerability: groups sampled injection outcomes by the
+/// opcode of the targeted instruction (an AVF-style breakdown the paper's
+/// Section III-B campaign design hints at: "a diverse set of dynamic
+/// instructions including memory access, arithmetic, logic, and special
+/// functional instructions").
+#[must_use]
+pub fn opcode_vulnerability(w: &Workload, samples: usize, opts: &Options) -> String {
+    use fsp_stats::ResilienceProfile;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeMap;
+
+    let experiment = Experiment::prepare(w).expect("workload runs");
+    let space = experiment.site_space(0..w.launch().num_threads());
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let sites: Vec<WeightedSite> = space
+        .sample_many(samples, &mut rng)
+        .into_iter()
+        .map(WeightedSite::from)
+        .collect();
+    let result = experiment.run_campaign(&sites, opts.workers);
+
+    let launch = w.launch();
+    let program = launch.program();
+    let trace = space.trace();
+    let mut per_opcode: BTreeMap<&'static str, ResilienceProfile> = BTreeMap::new();
+    for (ws, &outcome) in sites.iter().zip(&result.outcomes) {
+        let full = &trace.full[&ws.site.tid];
+        let pc = full.entries[ws.site.dyn_idx as usize].pc;
+        let op = program.instr(pc as usize).opcode.mnemonic();
+        per_opcode.entry(op).or_default().record(outcome);
+    }
+    let mut t = Table::new(&["opcode", "masked%", "sdc%", "crash%", "hang%", "n"]);
+    for (op, p) in &per_opcode {
+        let total = p.total().max(1.0);
+        t.row(vec![
+            (*op).to_owned(),
+            format!("{:.1}", p.pct_masked()),
+            format!("{:.1}", p.pct_sdc()),
+            format!("{:.1}", 100.0 * p.crashes() / total),
+            format!("{:.1}", 100.0 * p.hangs() / total),
+            format!("{:.0}", p.total()),
+        ]);
+    }
+    format!(
+        "Per-opcode vulnerability for {} ({} sampled sites):\n\n{t}",
+        w.registry_id(),
+        sites.len()
+    )
+}
+
+/// Loop-seed sensitivity: runs the default pruned campaign under several
+/// loop-sampling seeds and reports the spread — the stability check behind
+/// the paper's Figure 6(c)/(d) two-seed comparison.
+#[must_use]
+pub fn seed_sensitivity(w: &Workload, opts: &Options) -> String {
+    let experiment = Experiment::prepare(w).expect("workload runs");
+    let mut t = Table::new(&["loop seed", "masked%", "sdc%", "other%", "#runs"]);
+    let mut masked = Vec::new();
+    for offset in 0..5u64 {
+        let pipeline = PruningPipeline::new(PruningConfig {
+            loop_seed: opts.seed.wrapping_add(offset * 0x9E37),
+            ..PruningConfig::default()
+        });
+        let plan = pipeline.plan_for(&experiment).expect("plan");
+        let profile = pipeline.run(&experiment, &plan, opts.workers);
+        masked.push(profile.pct_masked());
+        t.row(vec![
+            format!("+{offset}"),
+            format!("{:.1}", profile.pct_masked()),
+            format!("{:.1}", profile.pct_sdc()),
+            format!("{:.1}", profile.pct_other()),
+            plan.stages.after_bit.to_string(),
+        ]);
+    }
+    let lo = masked.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = masked.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    format!(
+        "Loop-seed sensitivity for {} (masked% spread {:.2} points):\n\n{t}",
+        w.registry_id(),
+        hi - lo
+    )
+}
+
+/// SDC-severity histogram: for sampled injections that silently corrupt
+/// the output, how large is the relative output error?
+#[must_use]
+pub fn sdc_severity(w: &Workload, samples: usize, opts: &Options) -> String {
+    use fsp_inject::SeverityBucket;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeMap;
+
+    let experiment = Experiment::prepare(w).expect("workload runs");
+    let space = experiment.site_space(0..w.launch().num_threads());
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let sites = space.sample_many(samples, &mut rng);
+    // Severity needs per-run detail; run serially but cheaply.
+    let mut buckets: BTreeMap<SeverityBucket, usize> = BTreeMap::new();
+    let mut errors = Vec::new();
+    let mut sdc = 0usize;
+    for site in &sites {
+        let (outcome, severity) =
+            experiment.run_one_detailed(*site, fsp_inject::FaultModel::SingleBitFlip);
+        if outcome == fsp_stats::Outcome::Sdc {
+            sdc += 1;
+            let e = severity.expect("SDC outcomes carry a severity");
+            *buckets.entry(SeverityBucket::of(e)).or_default() += 1;
+            if e.is_finite() {
+                errors.push(e);
+            }
+        }
+    }
+    let mut t = Table::new(&["severity", "count", "% of SDC"]);
+    for bucket in SeverityBucket::ALL {
+        let n = buckets.get(&bucket).copied().unwrap_or(0);
+        t.row(vec![
+            bucket.name().to_owned(),
+            n.to_string(),
+            format!("{:.1}%", 100.0 * n as f64 / sdc.max(1) as f64),
+        ]);
+    }
+    let median = if errors.is_empty() {
+        "n/a".to_owned()
+    } else {
+        errors.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        format!("{:.3e}", errors[errors.len() / 2])
+    };
+    format!(
+        "SDC severity for {} ({} samples, {} SDC; median finite rel. error {median}):\n\n{t}",
+        w.registry_id(),
+        sites.len(),
+        sdc
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_model_sweep_runs_and_orders_sanely() {
+        let w = eval_workload("gaussian_k1");
+        let opts = Options { quick: true, ..Options::default() };
+        let report = fault_model_sweep(&w, 200, &opts);
+        assert!(report.contains("single-bit-flip"));
+        assert!(report.contains("random-value"));
+    }
+
+    #[test]
+    fn adaptive_report_runs() {
+        let w = eval_workload("gaussian_k125");
+        let opts = Options { quick: true, ..Options::default() };
+        let report = adaptive_report(&w, &opts);
+        // Gaussian Fan1 is loop-free: converges immediately.
+        assert!(report.contains("converged at 1 iteration"));
+    }
+}

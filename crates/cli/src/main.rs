@@ -1,0 +1,389 @@
+//! `fsp` — command-line driver for the fault-site-pruning reproduction.
+
+use std::process::ExitCode;
+
+use fsp_cli::{figures, tables, Options};
+use fsp_core::{PruningConfig, PruningPipeline, ThreadGrouping};
+use fsp_inject::{Experiment, InjectionTarget};
+use fsp_workloads::Scale;
+
+const USAGE: &str = "\
+fsp — fault-site pruning for practical reliability analysis of GPGPU applications
+
+USAGE:
+    fsp <COMMAND> [OPTIONS]
+
+COMMANDS:
+    list                         List the registered kernels
+    profile <kernel> [--paper]   Trace a kernel: threads, iCnt groups, fault sites
+    campaign <kernel> [-n N]     Run a random-sampling injection campaign (eval scale)
+    prune <kernel>               Run the progressive-pruning campaign and compare
+    models <kernel> [-n N]       Compare fault models (single/double-bit, stuck-at, random)
+    adaptive <kernel>            Adaptive loop-iteration sampling (automated Fig. 6)
+    ablation <kernel>            Per-stage accuracy/cost ablation
+    seeds <kernel>               Loop-seed sensitivity of the pruned estimate
+    severity <kernel> [-n N]     SDC severity histogram (relative output error)
+    opcodes <kernel> [-n N]      Per-opcode vulnerability breakdown
+    disasm <kernel>              Disassemble a kernel (PTXPlus-like listing)
+    ptx <file.ptx>               Translate an nvcc-style PTX kernel and disassemble it
+    trace <kernel> <tid>         Dump one thread's dynamic instruction trace
+    reproduce <ARTIFACT>         Regenerate a paper artifact:
+                                 table1..table7, fig2..fig10, all
+
+OPTIONS:
+    --workers N    Campaign worker threads (default: all cores)
+    --quick        Smaller statistical baselines (~6K instead of 60K runs)
+    --seed S       RNG seed (default 0xF5EED)
+    --out PATH     For `reproduce`: also write the artifact text to PATH
+    -n N           Samples for `campaign` (default: statistical baseline)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut opts = Options::default();
+    let mut positional = Vec::new();
+    let mut samples: Option<usize> = None;
+    let mut paper = false;
+    let mut out_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workers" => {
+                i += 1;
+                opts.workers = parse(args.get(i), "--workers")?;
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = parse(args.get(i), "--seed")?;
+            }
+            "-n" => {
+                i += 1;
+                samples = Some(parse(args.get(i), "-n")?);
+            }
+            "--out" => {
+                i += 1;
+                out_path =
+                    Some(args.get(i).ok_or("--out needs a path")?.clone());
+            }
+            "--quick" => opts.quick = true,
+            "--paper" => paper = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            other => positional.push(other.to_owned()),
+        }
+        i += 1;
+    }
+    let Some(command) = positional.first() else {
+        return Err("missing command".to_owned());
+    };
+    match command.as_str() {
+        "list" => list(),
+        "profile" => profile(positional.get(1), paper),
+        "campaign" => campaign(positional.get(1), samples, &opts),
+        "prune" => prune(positional.get(1), &opts),
+        "models" => models(positional.get(1), samples, &opts),
+        "adaptive" => adaptive(positional.get(1), &opts),
+        "ablation" => ablation(positional.get(1), &opts),
+        "opcodes" => opcodes(positional.get(1), samples, &opts),
+        "disasm" => disasm(positional.get(1)),
+        "ptx" => ptx_translate(positional.get(1)),
+        "trace" => trace_thread(positional.get(1), positional.get(2)),
+        "reproduce" => reproduce(positional.get(1), &opts, out_path.as_deref()),
+        "seeds" => seeds(positional.get(1), &opts),
+        "severity" => severity(positional.get(1), samples, &opts),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn parse<T: std::str::FromStr>(arg: Option<&String>, flag: &str) -> Result<T, String> {
+    arg.ok_or_else(|| format!("{flag} needs a value"))?
+        .parse()
+        .map_err(|_| format!("bad value for {flag}"))
+}
+
+fn kernel(id: Option<&String>, scale: Scale) -> Result<fsp_workloads::Workload, String> {
+    let id = id.ok_or("missing kernel id")?;
+    fsp_workloads::by_id(id, scale).ok_or_else(|| {
+        format!(
+            "unknown kernel `{id}` (try: {})",
+            fsp_workloads::registry_ids().join(", ")
+        )
+    })
+}
+
+fn list() -> Result<(), String> {
+    let mut t = fsp_cli::output::Table::new(&[
+        "id", "suite", "application", "kernel", "paper threads", "eval threads",
+    ]);
+    for id in fsp_workloads::registry_ids() {
+        let p = fsp_workloads::by_id(id, Scale::Paper).expect("registered");
+        let e = fsp_workloads::by_id(id, Scale::Eval).expect("registered");
+        t.row(vec![
+            id.to_owned(),
+            p.suite().name().to_owned(),
+            p.app().to_owned(),
+            format!("{} ({})", p.kernel(), p.id()),
+            p.launch().num_threads().to_string(),
+            e.launch().num_threads().to_string(),
+        ]);
+    }
+    println!("{t}");
+    Ok(())
+}
+
+fn profile(id: Option<&String>, paper: bool) -> Result<(), String> {
+    let scale = if paper { Scale::Paper } else { Scale::Eval };
+    let w = kernel(id, scale)?;
+    let launch = w.launch();
+    let mut tracer = fsp_sim::Tracer::new(launch.num_threads(), launch.threads_per_cta());
+    let mut memory = w.init_memory();
+    let stats = fsp_sim::Simulator::new()
+        .run(&launch, &mut memory, &mut tracer)
+        .map_err(|e| format!("fault-free run failed: {e}"))?;
+    let trace = tracer.finish();
+    let grouping = ThreadGrouping::analyze(&trace);
+    println!("{} / {} ({}) at {scale:?} scale", w.app(), w.kernel(), w.id());
+    println!("  threads:          {}", trace.num_threads());
+    println!("  CTAs:             {}", trace.num_ctas());
+    println!("  dyn instructions: {}", stats.instructions);
+    println!("  fault sites:      {}", trace.total_fault_sites());
+    println!("  CTA groups:       {}", grouping.groups.len());
+    println!("  representatives:  {}", grouping.num_representatives());
+    println!(
+        "  sites after thread-wise pruning: {}",
+        grouping.pruned_site_count(&trace)
+    );
+    Ok(())
+}
+
+fn campaign(id: Option<&String>, samples: Option<usize>, opts: &Options) -> Result<(), String> {
+    let w = kernel(id, Scale::Eval)?;
+    let experiment = Experiment::prepare(&w).map_err(|e| e.to_string())?;
+    let space = experiment.site_space(0..w.launch().num_threads());
+    let n = samples.unwrap_or_else(|| opts.baseline_samples());
+    let started = std::time::Instant::now();
+    let profile = fsp_core::run_baseline(&experiment, &space, n, opts.seed, opts.workers);
+    println!(
+        "{}: {n} random injections over {} sites in {:.1?}",
+        w.registry_id(),
+        space.total_sites(),
+        started.elapsed()
+    );
+    println!("  {profile}");
+    Ok(())
+}
+
+fn prune(id: Option<&String>, opts: &Options) -> Result<(), String> {
+    let w = kernel(id, Scale::Eval)?;
+    let experiment = Experiment::prepare(&w).map_err(|e| e.to_string())?;
+    let pipeline = PruningPipeline::new(PruningConfig::default());
+    let plan = pipeline.plan_for(&experiment).map_err(|e| e.to_string())?;
+    let s = plan.stages;
+    println!("{}: progressive pruning", w.registry_id());
+    println!("  exhaustive:        {}", s.exhaustive);
+    println!("  after thread-wise: {}", s.after_thread);
+    println!("  after insn-wise:   {}", s.after_instruction);
+    println!("  after loop-wise:   {}", s.after_loop);
+    println!("  after bit-wise:    {} injections", s.after_bit);
+    let started = std::time::Instant::now();
+    let pruned = pipeline.run(&experiment, &plan, opts.workers);
+    println!("  pruned profile ({:.1?}):   {pruned}", started.elapsed());
+    let space = experiment.site_space(0..w.launch().num_threads());
+    let baseline = fsp_core::run_baseline(
+        &experiment,
+        &space,
+        opts.baseline_samples(),
+        opts.seed,
+        opts.workers,
+    );
+    println!("  baseline profile:  {baseline}");
+    let (dm, ds, do_) = pruned.diff(&baseline);
+    println!("  diff: masked {dm:+.2}% sdc {ds:+.2}% other {do_:+.2}%");
+    Ok(())
+}
+
+fn models(id: Option<&String>, samples: Option<usize>, opts: &Options) -> Result<(), String> {
+    let w = kernel(id, Scale::Eval)?;
+    let n = samples.unwrap_or(1000);
+    println!("{}", fsp_cli::extensions::fault_model_sweep(&w, n, opts));
+    Ok(())
+}
+
+fn adaptive(id: Option<&String>, opts: &Options) -> Result<(), String> {
+    let w = kernel(id, Scale::Eval)?;
+    println!("{}", fsp_cli::extensions::adaptive_report(&w, opts));
+    Ok(())
+}
+
+fn ablation(id: Option<&String>, opts: &Options) -> Result<(), String> {
+    let w = kernel(id, Scale::Eval)?;
+    println!("{}", fsp_cli::extensions::ablation(&w, opts));
+    Ok(())
+}
+
+fn opcodes(id: Option<&String>, samples: Option<usize>, opts: &Options) -> Result<(), String> {
+    let w = kernel(id, Scale::Eval)?;
+    let n = samples.unwrap_or(2000);
+    println!("{}", fsp_cli::extensions::opcode_vulnerability(&w, n, opts));
+    Ok(())
+}
+
+fn disasm(id: Option<&String>) -> Result<(), String> {
+    let w = kernel(id, Scale::Eval)?;
+    let program = w.launch().program().clone();
+    let cfg = program.cfg();
+    let loops = cfg.loops(&program);
+    println!("{program}");
+    println!(
+        "// {} instructions, {} basic blocks, {} loop(s)",
+        program.len(),
+        cfg.blocks().len(),
+        loops.len()
+    );
+    for l in &loops.loops {
+        println!(
+            "// loop {}: header pc {}, {} instructions, depth {}",
+            l.id,
+            l.header,
+            l.body.len(),
+            l.depth
+        );
+    }
+    Ok(())
+}
+
+fn ptx_translate(path: Option<&String>) -> Result<(), String> {
+    let path = path.ok_or("missing PTX file path")?;
+    let source =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let program =
+        fsp_isa::ptx::translate_ptx(&source).map_err(|e| format!("translating {path}: {e}"))?;
+    let cfg = program.cfg();
+    let loops = cfg.loops(&program);
+    println!("{program}");
+    println!(
+        "// translated from {path}: {} instructions, {} basic blocks, {} loop(s), {} static dest bits",
+        program.len(),
+        cfg.blocks().len(),
+        loops.len(),
+        program.static_dest_bits(),
+    );
+    Ok(())
+}
+
+fn trace_thread(id: Option<&String>, tid: Option<&String>) -> Result<(), String> {
+    let w = kernel(id, Scale::Eval)?;
+    let tid: u32 = parse(tid, "<tid>")?;
+    let launch = w.launch();
+    if tid >= launch.num_threads() {
+        return Err(format!(
+            "thread {tid} out of range (kernel has {} threads)",
+            launch.num_threads()
+        ));
+    }
+    let mut tracer = fsp_sim::Tracer::new(launch.num_threads(), launch.threads_per_cta())
+        .with_full_traces([tid]);
+    let mut memory = w.init_memory();
+    fsp_sim::Simulator::new()
+        .run(&launch, &mut memory, &mut tracer)
+        .map_err(|e| format!("fault-free run failed: {e}"))?;
+    let trace = tracer.finish();
+    let program = launch.program();
+    let forest = program.cfg().loops(program);
+    let full = &trace.full[&tid];
+    let tagging = fsp_core::LoopTagging::analyze(full, &forest);
+    println!(
+        "thread {tid} of {}: {} dynamic instructions, {} fault sites",
+        w.registry_id(),
+        full.entries.len(),
+        full.fault_bits()
+    );
+    for (i, (entry, tag)) in full.entries.iter().zip(&tagging.tags).enumerate() {
+        let loop_note = tag.map_or(String::new(), |t| {
+            format!("  [loop {} iter {}]", t.loop_id, t.iteration)
+        });
+        println!(
+            "  {i:5}  pc {:4}  {:<44} bits {:2}{loop_note}",
+            entry.pc,
+            program.instr(entry.pc as usize).to_string(),
+            entry.dest_bits,
+        );
+    }
+    Ok(())
+}
+
+fn seeds(id: Option<&String>, opts: &Options) -> Result<(), String> {
+    let w = kernel(id, Scale::Eval)?;
+    println!("{}", fsp_cli::extensions::seed_sensitivity(&w, opts));
+    Ok(())
+}
+
+fn severity(id: Option<&String>, samples: Option<usize>, opts: &Options) -> Result<(), String> {
+    let w = kernel(id, Scale::Eval)?;
+    let n = samples.unwrap_or(1500);
+    println!("{}", fsp_cli::extensions::sdc_severity(&w, n, opts));
+    Ok(())
+}
+
+fn reproduce(
+    artifact: Option<&String>,
+    opts: &Options,
+    out_path: Option<&str>,
+) -> Result<(), String> {
+    let artifact = artifact.ok_or("missing artifact (table1..table7, fig2..fig10, all)")?;
+    let mut sink = String::new();
+    type Driver = fn(&Options) -> String;
+    let all: &[(&str, Driver)] = &[
+        ("table1", tables::table1),
+        ("table2", tables::table2),
+        ("table3", tables::table3),
+        ("table4", tables::table4),
+        ("table5", tables::table5),
+        ("table6", tables::table6),
+        ("table7", tables::table7),
+        ("fig2", figures::fig2),
+        ("fig3", figures::fig3),
+        ("fig4", figures::fig4),
+        ("fig5", figures::fig5),
+        ("fig6", figures::fig6),
+        ("fig7", figures::fig7),
+        ("fig8", figures::fig8),
+        ("fig9", figures::fig9),
+        ("fig10", figures::fig10),
+    ];
+    if artifact == "all" {
+        for (name, driver) in all {
+            let started = std::time::Instant::now();
+            let text = driver(opts);
+            let block = format!("==== {name} ({:.1?}) ====\n{text}", started.elapsed());
+            println!("{block}");
+            sink.push_str(&block);
+            sink.push('\n');
+        }
+    } else {
+        let Some((_, driver)) = all.iter().find(|(name, _)| name == artifact) else {
+            return Err(format!("unknown artifact `{artifact}`"));
+        };
+        let text = driver(opts);
+        println!("{text}");
+        sink = text;
+    }
+    if let Some(path) = out_path {
+        std::fs::write(path, sink).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}

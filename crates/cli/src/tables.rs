@@ -1,0 +1,328 @@
+//! Drivers for the paper's Tables I–VII.
+
+use fsp_core::{CommonalityConfig, LoopStats, LoopTagging, PruningConfig, PruningPipeline, ThreadGrouping};
+use fsp_inject::{Experiment, InjectionTarget, SiteSpace, WeightedSite};
+use fsp_stats::{required_samples_infinite, ResilienceProfile};
+use fsp_workloads::{Scale, Workload};
+
+use crate::output::{sci, Table};
+use crate::Options;
+
+/// Traces a workload fault-free, with full traces for `full` thread ids.
+pub(crate) fn trace(w: &Workload, full: impl IntoIterator<Item = u32>) -> fsp_sim::KernelTrace {
+    let launch = w.launch();
+    let mut tracer =
+        fsp_sim::Tracer::new(launch.num_threads(), launch.threads_per_cta()).with_full_traces(full);
+    let mut memory = w.init_memory();
+    fsp_sim::Simulator::new()
+        .run(&launch, &mut memory, &mut tracer)
+        .unwrap_or_else(|e| panic!("{} fault-free run failed: {e}", w.registry_id()));
+    tracer.finish()
+}
+
+/// Traces with full traces for all representative threads.
+pub(crate) fn trace_with_reps(w: &Workload) -> (fsp_sim::KernelTrace, ThreadGrouping) {
+    let summary = trace(w, std::iter::empty());
+    let grouping = ThreadGrouping::analyze(&summary);
+    let reps: Vec<u32> = grouping.representatives(&summary).iter().map(|r| r.tid).collect();
+    let full = trace(w, reps);
+    (full, grouping)
+}
+
+/// Table I — threads and exhaustive fault-site counts at paper scale.
+#[must_use]
+pub fn table1(_opts: &Options) -> String {
+    let mut t = Table::new(&[
+        "Suite", "Application", "Kernel", "ID", "#Threads", "#Fault Sites", "Paper #Thr",
+        "Paper #Sites", "ratio",
+    ]);
+    for w in fsp_workloads::all(Scale::Paper) {
+        let Some(paper) = w.paper_reference() else { continue };
+        let trace = trace(&w, std::iter::empty());
+        let sites = trace.total_fault_sites();
+        t.row(vec![
+            w.suite().name().to_owned(),
+            w.app().to_owned(),
+            w.kernel().to_owned(),
+            w.id().to_owned(),
+            trace.num_threads().to_string(),
+            sci(sites as f64),
+            paper.threads.to_string(),
+            sci(paper.fault_sites),
+            format!("{:.2}", sites as f64 / paper.fault_sites),
+        ]);
+    }
+    format!("Table I: exhaustive fault-site counts (Eq. 1), paper-scale geometry\n\n{t}")
+}
+
+/// Table II — required sample sizes and measured masked% for GEMM.
+#[must_use]
+pub fn table2(opts: &Options) -> String {
+    let paper_scale = fsp_workloads::by_id("gemm", Scale::Paper).expect("gemm registered");
+    let population = trace(&paper_scale, std::iter::empty()).total_fault_sites();
+
+    let w = fsp_workloads::by_id("gemm", Scale::Eval).expect("gemm registered");
+    let experiment = Experiment::prepare(&w).expect("gemm runs");
+    let space = experiment.site_space(0..w.launch().num_threads());
+
+    let mut t = Table::new(&[
+        "Confidence", "Error Margin", "#Fault Sites", "Est. Time @1min/site", "Masked Output (%)",
+    ]);
+    let minutes = |n: u64| -> String {
+        let m = n as f64;
+        if m > 60.0 * 24.0 * 365.0 {
+            format!("{:.0} years", m / (60.0 * 24.0 * 365.0))
+        } else if m > 60.0 * 24.0 {
+            format!("{:.0} days", m / (60.0 * 24.0))
+        } else {
+            format!("{:.0} hours", m / 60.0)
+        }
+    };
+    t.row(vec![
+        "100%".into(),
+        "0.0%".into(),
+        sci(population as f64),
+        minutes(population),
+        "?".into(),
+    ]);
+    for (conf, margin) in [(0.998, 0.0063), (0.95, 0.03)] {
+        let n = required_samples_infinite(conf, margin) as usize;
+        let n_run = if opts.quick { n.min(opts.baseline_samples()) } else { n };
+        let profile =
+            fsp_core::run_baseline(&experiment, &space, n_run, opts.seed, opts.workers);
+        t.row(vec![
+            format!("{:.1}%", conf * 100.0),
+            format!("±{:.2}%", margin * 100.0),
+            n.to_string(),
+            minutes(n as u64),
+            format!("{:.1}%  (n={n_run})", profile.pct_masked()),
+        ]);
+    }
+    format!(
+        "Table II: fault sites and statistics for GEMM\n\
+         (population from paper-scale trace; campaigns at eval scale)\n\n{t}"
+    )
+}
+
+fn grouping_table(w: &Workload) -> String {
+    let trace = trace(w, std::iter::empty());
+    let grouping = ThreadGrouping::analyze(&trace);
+    let mut t = Table::new(&[
+        "CTA Grp", "Avg iCnt", "CTA Prop.", "Thd Grp", "Thd iCnt", "Thd Prop.",
+    ]);
+    for (gi, g) in grouping.groups.iter().enumerate() {
+        let total_threads: u64 = g.thread_groups.iter().map(|tg| tg.population).sum();
+        for (ti, tg) in g.thread_groups.iter().enumerate() {
+            t.row(vec![
+                if ti == 0 { format!("C-{}", gi + 1) } else { String::new() },
+                if ti == 0 { format!("{:.0}", g.mean_icnt()) } else { String::new() },
+                if ti == 0 {
+                    format!("{:.2}%", 100.0 * g.cta_proportion(grouping.total_ctas))
+                } else {
+                    String::new()
+                },
+                format!("T-{}{}", gi + 1, ti + 1),
+                tg.icnt.to_string(),
+                format!("{:.2}%", 100.0 * tg.population as f64 / total_threads as f64),
+            ]);
+        }
+    }
+    format!(
+        "{} ({} CTAs, {} threads, {} representatives)\n\n{t}",
+        w.app(),
+        grouping.total_ctas,
+        trace.num_threads(),
+        grouping.num_representatives()
+    )
+}
+
+/// Table III — CTA and thread groups for 2DCONV (paper scale).
+#[must_use]
+pub fn table3(_opts: &Options) -> String {
+    let w = fsp_workloads::by_id("2dconv", Scale::Paper).expect("2dconv registered");
+    format!("Table III: CTA and thread groups for 2DCONV\n\n{}", grouping_table(&w))
+}
+
+/// Table IV — CTA and thread groups for HotSpot (paper scale).
+#[must_use]
+pub fn table4(_opts: &Options) -> String {
+    let w = fsp_workloads::by_id("hotspot", Scale::Paper).expect("hotspot registered");
+    format!("Table IV: CTA and thread groups for HotSpot\n\n{}", grouping_table(&w))
+}
+
+/// Table V — instruction-wise extrapolation accuracy on two PathFinder
+/// representative threads.
+#[must_use]
+pub fn table5(opts: &Options) -> String {
+    let w = fsp_workloads::by_id("pathfinder", Scale::Eval).expect("pathfinder registered");
+    let experiment = Experiment::prepare(&w).expect("pathfinder runs");
+    let (trace, grouping) = trace_with_reps(&w);
+    // The two longest representatives (the paper's threads "a" and "b").
+    let mut reps: Vec<u32> =
+        grouping.representatives(&trace).iter().map(|r| r.tid).collect();
+    reps.sort_by_key(|tid| std::cmp::Reverse(trace.full[tid].entries.len()));
+    let (a, b) = (reps[0], reps[1]);
+    let ta = &trace.full[&a];
+    let tb = &trace.full[&b];
+    let alignment = fsp_core::align_lcs(&tb.pcs(), &ta.pcs());
+
+    // Inject the matched ("common") instructions of each thread, bit-sampled
+    // to keep the campaign tractable, with identical bit positions on both
+    // sides.
+    let sampler = fsp_core::BitSampler {
+        samples_per_32: 8,
+        pred_policy: fsp_core::PredBitPolicy::All,
+    };
+    let program = w.launch();
+    let sites_for = |tid: u32, idxs: &[u32]| -> Vec<WeightedSite> {
+        let tr = &trace.full[&tid];
+        let mut sites = Vec::new();
+        for &i in idxs {
+            let instr = program.program().instr(tr.entries[i as usize].pc as usize);
+            for sel in sampler.select_instruction(instr) {
+                for &bit in &sel.bits {
+                    sites.push(WeightedSite {
+                        site: fsp_inject::FaultSite { tid, dyn_idx: i, bit },
+                        weight: 1.0,
+                    });
+                }
+            }
+        }
+        sites
+    };
+    let b_common: Vec<u32> = alignment.pairs.iter().map(|&(bi, _)| bi).collect();
+    let a_common: Vec<u32> = alignment.pairs.iter().map(|&(_, ai)| ai).collect();
+    let pa = experiment.run_campaign(&sites_for(a, &a_common), opts.workers).profile;
+    let pb = experiment.run_campaign(&sites_for(b, &b_common), opts.workers).profile;
+
+    let mut t = Table::new(&["Thread", "iCnt", "% Common Insn", "% MSK", "% SDC"]);
+    let common_pct_a = 100.0 * alignment.pairs.len() as f64 / ta.entries.len() as f64;
+    t.row(vec![
+        format!("a (tid {a})"),
+        ta.entries.len().to_string(),
+        format!("{common_pct_a:.1}%"),
+        format!("{:.1}%", pa.pct_masked()),
+        format!("{:.1}%", pa.pct_sdc()),
+    ]);
+    t.row(vec![
+        format!("b (tid {b})"),
+        tb.entries.len().to_string(),
+        format!("{:.1}%", 100.0 * alignment.pairs.len() as f64 / tb.entries.len() as f64),
+        format!("{:.1}%", pb.pct_masked()),
+        format!("{:.1}%", pb.pct_sdc()),
+    ]);
+    let (dm, ds, _) = pa.diff(&pb);
+    format!(
+        "Table V: effect of instruction-wise pruning for two PathFinder threads\n\
+         (injections into the common block only; extrapolation error: \
+         masked {dm:+.2}%, sdc {ds:+.2}%)\n\n{t}"
+    )
+}
+
+/// Table VI — instruction-wise pruning: fraction pruned and introduced
+/// error per kernel.
+#[must_use]
+pub fn table6(opts: &Options) -> String {
+    let mut t = Table::new(&[
+        "Application", "Kernel", "% Pruned Common Insn", "Err MSK", "Err SDC",
+    ]);
+    let mut skipped = Vec::new();
+    for w in fsp_workloads::all(Scale::Eval) {
+        let experiment = Experiment::prepare(&w).expect("workload runs");
+        let pipeline_off = PruningPipeline::new(PruningConfig {
+            commonality: None,
+            loop_samples: 0,
+            bits: fsp_core::BitSampler {
+                samples_per_32: 8,
+                pred_policy: fsp_core::PredBitPolicy::ZeroFlagOnly,
+            },
+            ..PruningConfig::default()
+        });
+        let pipeline_on = PruningPipeline::new(PruningConfig {
+            commonality: Some(CommonalityConfig::default()),
+            ..*pipeline_off.config()
+        });
+        let plan_on = pipeline_on.plan_for(&experiment).expect("plan");
+        let Some(commonality) = &plan_on.commonality else {
+            skipped.push(format!("{} {} (single representative)", w.app(), w.id()));
+            continue;
+        };
+        if !commonality.is_effective() {
+            skipped.push(format!("{} {} (no exploitable commonality)", w.app(), w.id()));
+            continue;
+        }
+        let plan_off = pipeline_off.plan_for(&experiment).expect("plan");
+        let p_on = pipeline_on.run(&experiment, &plan_on, opts.workers);
+        let p_off = pipeline_off.run(&experiment, &plan_off, opts.workers);
+        let (dm, ds, _) = p_on.diff(&p_off);
+        t.row(vec![
+            w.app().to_owned(),
+            w.id().to_owned(),
+            format!("{:.2}%", 100.0 * commonality.pruned_fraction()),
+            format!("{dm:+.2}%"),
+            format!("{ds:+.2}%"),
+        ]);
+    }
+    format!(
+        "Table VI: instruction-wise pruning summary (eval scale)\n\n{t}\n\
+         Not applicable: {}\n",
+        skipped.join(", ")
+    )
+}
+
+/// Table VII — loop statistics per kernel at paper scale.
+#[must_use]
+pub fn table7(_opts: &Options) -> String {
+    let mut rows: Vec<(String, String, u32, u64, f64)> = Vec::new();
+    for w in fsp_workloads::all(Scale::Paper) {
+        let (trace, grouping) = trace_with_reps(&w);
+        let program = w.launch();
+        let forest = program.program().cfg().loops(program.program());
+        let reps = grouping.representatives(&trace);
+        // Weight each representative's tagging by the threads it covers.
+        let mut in_loop = 0f64;
+        let mut total = 0f64;
+        let mut stats = Vec::new();
+        for rep in &reps {
+            let tagging = LoopTagging::analyze(&trace.full[&rep.tid], &forest);
+            in_loop += rep.covered_threads as f64 * tagging.instructions_in_loops() as f64;
+            total += rep.covered_threads as f64 * tagging.tags.len() as f64;
+            stats.push(tagging);
+        }
+        let agg = LoopStats::aggregate(&stats);
+        let frac = if total == 0.0 { 0.0 } else { in_loop / total };
+        rows.push((
+            format!("{} {}", w.app(), w.id()),
+            w.kernel().to_owned(),
+            trace.num_threads(),
+            agg.max_iterations,
+            100.0 * frac,
+        ));
+    }
+    rows.sort_by(|x, y| x.4.partial_cmp(&y.4).expect("no NaN"));
+    let mut t = Table::new(&["Kernel", "Name", "#Thd", "#Loop Iter.", "% Insn in Loop"]);
+    for (id, name, thd, iters, frac) in rows {
+        t.row(vec![
+            id,
+            name,
+            thd.to_string(),
+            iters.to_string(),
+            format!("{frac:.2}%"),
+        ]);
+    }
+    format!("Table VII: statistics related to loops (paper-scale geometry)\n\n{t}")
+}
+
+/// Convenience wrapper used by Table V / figure drivers needing the site
+/// space of every thread at eval scale.
+pub(crate) fn full_space(w: &Workload) -> (Experiment<'_, Workload>, SiteSpace) {
+    let experiment = Experiment::prepare(w).expect("workload runs");
+    let space = experiment.site_space(0..w.launch().num_threads());
+    (experiment, space)
+}
+
+/// Sanity check used in tests: pruned profiles carry the exhaustive weight.
+#[must_use]
+pub fn weights_ok(profile: &ResilienceProfile, exhaustive: u64) -> bool {
+    (profile.total() - exhaustive as f64).abs() <= 1e-6 * exhaustive as f64
+}

@@ -1,0 +1,190 @@
+//! Stage 4 — bit-wise pruning (Section III-E).
+//!
+//! Not all destination bits need injection: sampling equally spaced bit
+//! positions reproduces the outcome distribution (Figure 8 stabilizes at 16
+//! of 32 bits), and the predicate registers' sign/carry/overflow flags are
+//! architecturally inert in the evaluated kernels (only the zero flag feeds
+//! branch guards — Figure 7), so those bits are *known masked* and need no
+//! runs at all.
+
+use fsp_isa::{Dest, Instruction, Register};
+use serde::{Deserialize, Serialize};
+
+/// Policy for predicate (4-bit condition code) destinations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PredBitPolicy {
+    /// Inject only the zero flag; account the other three flags as masked
+    /// without running them (the paper's choice).
+    #[default]
+    ZeroFlagOnly,
+    /// Inject all four flags.
+    All,
+}
+
+/// Selection of bits for one write-back slot of one instruction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlotSelection {
+    /// Bit positions to inject, *relative to the slot* (ascending).
+    pub bits: Vec<u32>,
+    /// Extrapolation weight per injected bit (`slot_width / bits.len()`
+    /// for sampled slots, 1 for exhaustive slots).
+    pub weight_per_bit: f64,
+    /// Slot bits accounted as masked without injection (predicate policy).
+    pub assumed_masked_bits: u32,
+}
+
+/// Equally spaced bit-position sampler.
+///
+/// With `samples_per_32 = 8` a 32-bit register contributes positions
+/// `{3, 7, 11, 15, 19, 23, 27, 31}` — two per byte-section, matching the
+/// paper's example; `0` disables sampling (all bits kept).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitSampler {
+    /// Sampled bits per 32-bit register; narrower registers scale down
+    /// proportionally. `0` = exhaustive.
+    pub samples_per_32: u32,
+    /// Predicate policy.
+    pub pred_policy: PredBitPolicy,
+}
+
+impl Default for BitSampler {
+    fn default() -> Self {
+        // Figure 8: percentages stabilize at 16 sampled bits.
+        BitSampler { samples_per_32: 16, pred_policy: PredBitPolicy::ZeroFlagOnly }
+    }
+}
+
+impl BitSampler {
+    /// An exhaustive sampler (no bit-wise pruning).
+    #[must_use]
+    pub fn exhaustive() -> Self {
+        BitSampler { samples_per_32: 0, pred_policy: PredBitPolicy::All }
+    }
+
+    /// Equally spaced positions for a register of `width` bits.
+    #[must_use]
+    pub fn positions(&self, width: u32) -> Vec<u32> {
+        if self.samples_per_32 == 0 || self.samples_per_32 >= width {
+            return (0..width).collect();
+        }
+        // Scale the per-32 budget to the width, keep spacing equal, anchor
+        // at the top of each section (..., 2*step-1, width-1).
+        let n = (self.samples_per_32 * width / 32).max(1);
+        let step = width / n;
+        (1..=n).map(|i| i * step - 1).collect()
+    }
+
+    /// Bit selection for one destination slot of `instr`.
+    #[must_use]
+    pub fn select_slot(&self, instr: &Instruction, reg: Register) -> SlotSelection {
+        let width = instr.register_dest_bits(reg);
+        if matches!(reg, Register::Pred(_)) {
+            return match self.pred_policy {
+                PredBitPolicy::ZeroFlagOnly => SlotSelection {
+                    bits: vec![0],
+                    weight_per_bit: 1.0,
+                    assumed_masked_bits: width.saturating_sub(1),
+                },
+                PredBitPolicy::All => SlotSelection {
+                    bits: (0..width).collect(),
+                    weight_per_bit: 1.0,
+                    assumed_masked_bits: 0,
+                },
+            };
+        }
+        let bits = self.positions(width);
+        let weight_per_bit = f64::from(width) / bits.len() as f64;
+        SlotSelection { bits, weight_per_bit, assumed_masked_bits: 0 }
+    }
+
+    /// Bit selections for every register destination slot of `instr`, in
+    /// write-back order, with slot-relative positions already offset into
+    /// the instruction's flat bit index space.
+    #[must_use]
+    pub fn select_instruction(&self, instr: &Instruction) -> Vec<SlotSelection> {
+        let mut selections = Vec::new();
+        let mut offset = 0u32;
+        for dest in instr.dests() {
+            let Dest::Reg(reg) = dest else { continue };
+            if reg.is_discard() {
+                continue;
+            }
+            let mut sel = self.select_slot(instr, *reg);
+            for b in &mut sel.bits {
+                *b += offset;
+            }
+            offset += instr.register_dest_bits(*reg);
+            selections.push(sel);
+        }
+        selections
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsp_isa::assemble;
+
+    #[test]
+    fn paper_example_positions() {
+        let s = BitSampler { samples_per_32: 8, pred_policy: PredBitPolicy::ZeroFlagOnly };
+        assert_eq!(s.positions(32), vec![3, 7, 11, 15, 19, 23, 27, 31]);
+        let s16 = BitSampler { samples_per_32: 16, pred_policy: PredBitPolicy::ZeroFlagOnly };
+        assert_eq!(
+            s16.positions(32),
+            (0..16).map(|i| 2 * i + 1).collect::<Vec<_>>()
+        );
+        let s4 = BitSampler { samples_per_32: 4, pred_policy: PredBitPolicy::ZeroFlagOnly };
+        assert_eq!(s4.positions(32), vec![7, 15, 23, 31]);
+    }
+
+    #[test]
+    fn exhaustive_keeps_all() {
+        let s = BitSampler::exhaustive();
+        assert_eq!(s.positions(32).len(), 32);
+        assert_eq!(s.positions(16).len(), 16);
+    }
+
+    #[test]
+    fn narrow_registers_scale() {
+        let s = BitSampler { samples_per_32: 8, pred_policy: PredBitPolicy::ZeroFlagOnly };
+        // 16-bit register gets 4 samples.
+        assert_eq!(s.positions(16), vec![3, 7, 11, 15]);
+    }
+
+    #[test]
+    fn weights_conserve_width() {
+        for spb in [4, 8, 16] {
+            let s = BitSampler { samples_per_32: spb, pred_policy: PredBitPolicy::All };
+            for width in [16u32, 32] {
+                let bits = s.positions(width);
+                let w = f64::from(width) / bits.len() as f64;
+                assert!((w * bits.len() as f64 - f64::from(width)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn pred_zero_flag_policy() {
+        let p = assemble("t", "set.eq.u32.u32 $p0/$r1, $r2, $r3\nexit").unwrap();
+        let instr = p.instr(0);
+        let s = BitSampler::default();
+        let sels = s.select_instruction(instr);
+        assert_eq!(sels.len(), 2);
+        // Predicate slot: only bit 0, 3 bits assumed masked.
+        assert_eq!(sels[0].bits, vec![0]);
+        assert_eq!(sels[0].assumed_masked_bits, 3);
+        // GPR slot offsets start at 4 (after the predicate's width).
+        assert_eq!(sels[1].bits.len(), 16);
+        assert_eq!(sels[1].bits[0], 4 + 1);
+        assert!((sels[1].weight_per_bit - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discard_slots_skipped() {
+        let p = assemble("t", "set.eq.u32.u32 $p0/$o127, $r2, $r3\nexit").unwrap();
+        let sels = BitSampler::default().select_instruction(p.instr(0));
+        assert_eq!(sels.len(), 1);
+        assert_eq!(sels[0].bits, vec![0]);
+    }
+}

@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+//! **Progressive fault-site pruning** — the contribution of the MICRO'18
+//! paper this repository reproduces.
+//!
+//! GPGPU kernels expose fault-site populations of up to hundreds of
+//! millions of single-bit sites (Equation 1 / Table I). This crate prunes
+//! that population in four progressive stages, each exploiting a SIMT
+//! redundancy, while preserving the kernel's error-resilience profile:
+//!
+//! 1. **Thread-wise** ([`ThreadGrouping`]): CTAs are grouped by mean
+//!    per-thread dynamic instruction count (iCnt), threads within a
+//!    representative CTA by exact iCnt; one representative thread per group
+//!    is injected and stands for the whole group.
+//! 2. **Instruction-wise** ([`Commonality`]): the dynamic instruction
+//!    sequences of representative threads are aligned; blocks common with
+//!    the reference thread are injected once and extrapolated.
+//! 3. **Loop-wise** ([`LoopTagging`] + iteration sampling): loop iterations
+//!    are tagged and only a small random subset is injected, the rest
+//!    being redistributed onto the sampled iterations.
+//! 4. **Bit-wise** ([`BitSampler`]): equally spaced bit positions are
+//!    sampled from each destination register; the architecturally inert
+//!    predicate flag bits (sign/carry/overflow in these kernels) are
+//!    declared masked outright.
+//!
+//! [`PruningPipeline`] composes the stages into a [`PruningPlan`] — a
+//! weighted site list whose total weight provably equals the exhaustive
+//! population — and runs it as an injection campaign.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use fsp_core::{PruningConfig, PruningPipeline};
+//! use fsp_inject::{Experiment, InjectionTarget};
+//! use fsp_inject::testing::CountdownTarget;
+//!
+//! let target = CountdownTarget::new();
+//! let experiment = Experiment::prepare(&target)?;
+//! let pipeline = PruningPipeline::new(PruningConfig::default());
+//! let plan = pipeline.plan_for(&experiment)?;
+//! println!("{} sites instead of {}", plan.sites.len(), plan.stages.exhaustive);
+//! let profile = pipeline.run(&experiment, &plan, 4);
+//! println!("pruned profile: {profile}");
+//! # Ok::<(), fsp_sim::SimFault>(())
+//! ```
+
+mod adaptive;
+mod bits;
+mod commonality;
+mod grouping;
+mod loops;
+mod outcome_grouping;
+mod pipeline;
+
+pub use adaptive::{AdaptiveConfig, AdaptiveResult};
+pub use bits::{BitSampler, PredBitPolicy, SlotSelection};
+pub use commonality::{align_lcs, Alignment, Commonality, CommonalityConfig, RepRole};
+pub use grouping::{CtaGroup, CtaKey, Representative, ThreadGroup, ThreadGrouping};
+pub use loops::{LoopStats, LoopTag, LoopTagging};
+pub use outcome_grouping::OutcomeGrouping;
+pub use pipeline::{run_baseline, PruningConfig, PruningPipeline, PruningPlan, StageCounts};

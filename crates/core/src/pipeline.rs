@@ -1,0 +1,430 @@
+//! The progressive pruning pipeline (Section III, Figure 1).
+
+use fsp_inject::{Experiment, FaultSite, InjectionTarget, SiteSpace, WeightedSite};
+use fsp_isa::KernelProgram;
+use fsp_sim::{KernelTrace, SimFault};
+use fsp_stats::{Outcome, ResilienceProfile};
+use serde::{Deserialize, Serialize};
+
+use crate::bits::BitSampler;
+use crate::commonality::{Commonality, CommonalityConfig, RepRole};
+use crate::grouping::{CtaKey, ThreadGrouping};
+use crate::loops::{LoopStats, LoopTagging};
+
+/// Configuration of the four pruning stages.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PruningConfig {
+    /// CTA classifier for thread-wise pruning.
+    pub cta_key: CtaKey,
+    /// Instruction-wise pruning; `None` disables the stage.
+    pub commonality: Option<CommonalityConfig>,
+    /// Loop iterations sampled per loop; `0` disables the stage. The paper
+    /// needs 3–15 across kernels, averaging 7.22.
+    pub loop_samples: usize,
+    /// Seed for the loop-iteration sampler.
+    pub loop_seed: u64,
+    /// Bit-position sampler.
+    pub bits: BitSampler,
+}
+
+impl Default for PruningConfig {
+    fn default() -> Self {
+        PruningConfig {
+            cta_key: CtaKey::MeanIcnt,
+            commonality: Some(CommonalityConfig::default()),
+            loop_samples: 7,
+            loop_seed: 0x5EED,
+            bits: BitSampler::default(),
+        }
+    }
+}
+
+impl PruningConfig {
+    /// A configuration with every stage after thread-wise pruning disabled
+    /// (used by ablations and by the stage-by-stage accounting of Fig. 10).
+    #[must_use]
+    pub fn thread_wise_only() -> Self {
+        PruningConfig {
+            cta_key: CtaKey::MeanIcnt,
+            commonality: None,
+            loop_samples: 0,
+            loop_seed: 0,
+            bits: BitSampler::exhaustive(),
+        }
+    }
+}
+
+/// Fault sites remaining after each progressive stage (the bars of
+/// Figure 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageCounts {
+    /// Equation (1): the exhaustive population.
+    pub exhaustive: u64,
+    /// After thread-wise pruning.
+    pub after_thread: u64,
+    /// After instruction-wise pruning.
+    pub after_instruction: u64,
+    /// After loop-wise pruning.
+    pub after_loop: u64,
+    /// After bit-wise pruning — the number of injection runs actually
+    /// performed.
+    pub after_bit: u64,
+}
+
+impl StageCounts {
+    /// Orders of magnitude of total reduction.
+    #[must_use]
+    pub fn reduction_orders(&self) -> f64 {
+        if self.after_bit == 0 {
+            0.0
+        } else {
+            (self.exhaustive as f64 / self.after_bit as f64).log10()
+        }
+    }
+}
+
+/// The pruned campaign: weighted sites plus the bits accounted masked
+/// without injection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PruningPlan {
+    /// Sites to inject, with extrapolation weights.
+    pub sites: Vec<WeightedSite>,
+    /// Exhaustive-site weight declared masked without running (inert
+    /// predicate flag bits).
+    pub assumed_masked_weight: f64,
+    /// Per-stage accounting.
+    pub stages: StageCounts,
+    /// The thread grouping behind stage 1.
+    pub grouping: ThreadGrouping,
+    /// The commonality analysis behind stage 2 (when enabled and >1 rep).
+    pub commonality: Option<Commonality>,
+    /// Loop statistics of the representative threads (Table VII).
+    pub loop_stats: LoopStats,
+}
+
+impl PruningPlan {
+    /// Total exhaustive weight accounted by the plan: injected weights plus
+    /// assumed-masked weight. Equals `stages.exhaustive` by construction
+    /// (weight conservation).
+    #[must_use]
+    pub fn total_weight(&self) -> f64 {
+        self.sites.iter().map(|s| s.weight).sum::<f64>() + self.assumed_masked_weight
+    }
+}
+
+/// The four-stage progressive pruner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PruningPipeline {
+    config: PruningConfig,
+}
+
+impl PruningPipeline {
+    /// Creates a pipeline with the given configuration.
+    #[must_use]
+    pub fn new(config: PruningConfig) -> Self {
+        PruningPipeline { config }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &PruningConfig {
+        &self.config
+    }
+
+    /// Plans a pruned campaign for a prepared experiment: traces the
+    /// fault-free run (summary pass to group threads, full pass for the
+    /// representatives) and builds the plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates a [`SimFault`] from the tracing runs (a workload bug).
+    pub fn plan_for<T: InjectionTarget>(
+        &self,
+        experiment: &Experiment<'_, T>,
+    ) -> Result<PruningPlan, SimFault> {
+        // Pass 1: summaries only, to find the representatives.
+        let summary = experiment.site_space(std::iter::empty());
+        let grouping = ThreadGrouping::analyze_with(summary.trace(), self.config.cta_key);
+        let reps: Vec<u32> = grouping
+            .representatives(summary.trace())
+            .iter()
+            .map(|r| r.tid)
+            .collect();
+        // Pass 2: full traces for the representatives.
+        let full = experiment.site_space(reps);
+        let program = experiment.target().launch();
+        Ok(self.plan(program.program(), full.trace()))
+    }
+
+    /// Builds a plan from a program and a trace that contains full traces
+    /// for every representative thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a representative thread lacks a full trace.
+    #[must_use]
+    pub fn plan(&self, program: &KernelProgram, trace: &KernelTrace) -> PruningPlan {
+        let grouping = ThreadGrouping::analyze_with(trace, self.config.cta_key);
+        let reps = grouping.representatives(trace);
+        let exhaustive = trace.total_fault_sites();
+        let after_thread: u64 = reps.iter().map(|r| r.own_sites).sum();
+
+        let rep_traces: Vec<&fsp_sim::ThreadTrace> = reps
+            .iter()
+            .map(|r| {
+                trace
+                    .full
+                    .get(&r.tid)
+                    .unwrap_or_else(|| panic!("representative {} lacks a full trace", r.tid))
+            })
+            .collect();
+
+        // Per-representative, per-dynamic-instruction site weight. `None`
+        // marks a pruned instruction.
+        let mut weights: Vec<Vec<Option<f64>>> = reps
+            .iter()
+            .zip(&rep_traces)
+            .map(|(r, t)| vec![Some(r.site_weight()); t.entries.len()])
+            .collect();
+
+        // Stage 2: instruction-wise pruning.
+        let commonality = match &self.config.commonality {
+            Some(cfg) if reps.len() > 1 => Some(Commonality::analyze(&rep_traces, cfg)),
+            _ => None,
+        };
+        if let Some(c) = &commonality {
+            for (rep_idx, role) in c.roles.iter().enumerate() {
+                let RepRole::Pruned { matches } = role else { continue };
+                let scale = reps[rep_idx].site_weight();
+                for &(own, reference) in matches {
+                    // Move this instruction's weight onto its reference
+                    // partner (same pc and width, so per-site addition is
+                    // exact).
+                    weights[rep_idx][own as usize] = None;
+                    if let Some(w) = &mut weights[c.reference][reference as usize] {
+                        *w += scale;
+                    }
+                }
+            }
+        }
+        let count_bits = |weights: &[Vec<Option<f64>>]| -> u64 {
+            weights
+                .iter()
+                .zip(&rep_traces)
+                .map(|(ws, t)| {
+                    ws.iter()
+                        .zip(&t.entries)
+                        .filter(|(w, _)| w.is_some())
+                        .map(|(_, e)| u64::from(e.dest_bits))
+                        .sum::<u64>()
+                })
+                .sum()
+        };
+        let after_instruction = count_bits(&weights);
+
+        // Stage 3: loop-wise pruning.
+        let forest = program.cfg().loops(program);
+        let taggings: Vec<LoopTagging> = rep_traces
+            .iter()
+            .map(|t| LoopTagging::analyze(t, &forest))
+            .collect();
+        let loop_stats = LoopStats::aggregate(&taggings);
+        if self.config.loop_samples > 0 && !forest.is_empty() {
+            for (rep_idx, tagging) in taggings.iter().enumerate() {
+                let kept = tagging.sample_iterations(
+                    self.config.loop_samples,
+                    self.config.loop_seed.wrapping_add(rep_idx as u64),
+                );
+                // Weighted-bit totals per loop, over instructions that
+                // survived stage 2.
+                let n_loops = tagging.trip_counts.len();
+                let mut total_wb = vec![0.0f64; n_loops];
+                let mut sampled_wb = vec![0.0f64; n_loops];
+                for (i, tag) in tagging.tags.iter().enumerate() {
+                    let (Some(tag), Some(w)) = (tag, weights[rep_idx][i]) else {
+                        continue;
+                    };
+                    let wb = w * f64::from(rep_traces[rep_idx].entries[i].dest_bits);
+                    total_wb[tag.loop_id as usize] += wb;
+                    if tagging.survives(i, &kept) {
+                        sampled_wb[tag.loop_id as usize] += wb;
+                    }
+                }
+                for (i, tag) in tagging.tags.iter().enumerate() {
+                    let Some(tag) = tag else { continue };
+                    if weights[rep_idx][i].is_none() {
+                        continue;
+                    }
+                    let l = tag.loop_id as usize;
+                    if sampled_wb[l] == 0.0 {
+                        // Degenerate selection: keep the loop unpruned.
+                        continue;
+                    }
+                    if tagging.survives(i, &kept) {
+                        let scale = total_wb[l] / sampled_wb[l];
+                        if let Some(w) = &mut weights[rep_idx][i] {
+                            *w *= scale;
+                        }
+                    } else {
+                        weights[rep_idx][i] = None;
+                    }
+                }
+            }
+        }
+        let after_loop = count_bits(&weights);
+
+        // Stage 4: bit-wise pruning.
+        let mut sites = Vec::new();
+        let mut assumed_masked_weight = 0.0f64;
+        for (rep_idx, rep) in reps.iter().enumerate() {
+            for (i, entry) in rep_traces[rep_idx].entries.iter().enumerate() {
+                let Some(w) = weights[rep_idx][i] else { continue };
+                let instr = program.instr(entry.pc as usize);
+                for sel in self.config.bits.select_instruction(instr) {
+                    assumed_masked_weight += w * f64::from(sel.assumed_masked_bits);
+                    for &bit in &sel.bits {
+                        sites.push(WeightedSite {
+                            site: FaultSite { tid: rep.tid, dyn_idx: i as u32, bit },
+                            weight: w * sel.weight_per_bit,
+                        });
+                    }
+                }
+            }
+        }
+        let stages = StageCounts {
+            exhaustive,
+            after_thread,
+            after_instruction,
+            after_loop,
+            after_bit: sites.len() as u64,
+        };
+        let plan = PruningPlan {
+            sites,
+            assumed_masked_weight,
+            stages,
+            grouping,
+            commonality,
+            loop_stats,
+        };
+        debug_assert!(
+            (plan.total_weight() - exhaustive as f64).abs()
+                <= 1e-6 * (exhaustive as f64).max(1.0),
+            "weight conservation violated: {} vs {}",
+            plan.total_weight(),
+            exhaustive,
+        );
+        plan
+    }
+
+    /// Runs the plan as an injection campaign and returns the extrapolated
+    /// resilience profile.
+    #[must_use]
+    pub fn run<T: InjectionTarget>(
+        &self,
+        experiment: &Experiment<'_, T>,
+        plan: &PruningPlan,
+        workers: usize,
+    ) -> ResilienceProfile {
+        let mut profile = experiment.run_campaign(&plan.sites, workers).profile;
+        profile.record_weighted(Outcome::Masked, plan.assumed_masked_weight);
+        profile
+    }
+}
+
+/// Runs the paper's statistical baseline: `n` uniformly sampled sites from
+/// the exhaustive population (Section II-D).
+#[must_use]
+pub fn run_baseline<T: InjectionTarget>(
+    experiment: &Experiment<'_, T>,
+    space: &SiteSpace,
+    n: usize,
+    seed: u64,
+    workers: usize,
+) -> ResilienceProfile {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sites: Vec<WeightedSite> = space
+        .sample_many(n, &mut rng)
+        .into_iter()
+        .map(WeightedSite::from)
+        .collect();
+    experiment.run_campaign(&sites, workers).profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsp_inject::testing::CountdownTarget;
+
+    fn plan_with(config: PruningConfig) -> (PruningPlan, ResilienceProfile, ResilienceProfile) {
+        let target = CountdownTarget::new();
+        let experiment = Experiment::prepare(&target).unwrap();
+        let pipeline = PruningPipeline::new(config);
+        let plan = pipeline.plan_for(&experiment).unwrap();
+        let pruned = pipeline.run(&experiment, &plan, 4);
+        // Exhaustive ground truth over the full site space.
+        let space = experiment.site_space(0..CountdownTarget::THREADS);
+        let all: Vec<WeightedSite> = (0..space.total_sites())
+            .map(|i| WeightedSite::from(space.site_at(i)))
+            .collect();
+        let truth = experiment.run_campaign(&all, 4).profile;
+        (plan, pruned, truth)
+    }
+
+    #[test]
+    fn weight_conservation() {
+        let (plan, _, _) = plan_with(PruningConfig::default());
+        assert!(
+            (plan.total_weight() - plan.stages.exhaustive as f64).abs() < 1e-6,
+            "total weight {} != exhaustive {}",
+            plan.total_weight(),
+            plan.stages.exhaustive
+        );
+    }
+
+    #[test]
+    fn stages_monotonically_shrink() {
+        let (plan, _, _) = plan_with(PruningConfig::default());
+        let s = plan.stages;
+        assert!(s.after_thread <= s.exhaustive);
+        assert!(s.after_instruction <= s.after_thread);
+        assert!(s.after_loop <= s.after_instruction);
+        assert!(s.after_bit <= s.after_loop);
+        assert!(s.after_bit > 0);
+    }
+
+    #[test]
+    fn pruned_profile_tracks_exhaustive_truth() {
+        let (plan, pruned, truth) = plan_with(PruningConfig::default());
+        // The 4 countdown threads all have distinct iCnt, so thread-wise
+        // pruning keeps all 4; the remaining stages sample. The pruned
+        // profile must stay close to ground truth.
+        assert!(plan.stages.after_bit < plan.stages.exhaustive);
+        let diff = pruned.max_abs_diff(&truth);
+        assert!(
+            diff < 12.0,
+            "pruned {pruned} deviates from truth {truth} by {diff:.2}%"
+        );
+    }
+
+    #[test]
+    fn thread_wise_only_is_exact_per_rep() {
+        let (plan, pruned, truth) = plan_with(PruningConfig::thread_wise_only());
+        assert_eq!(plan.stages.after_bit, plan.stages.after_thread);
+        assert_eq!(plan.assumed_masked_weight, 0.0);
+        // All four threads are their own representatives here, so the
+        // "pruned" campaign IS the exhaustive campaign.
+        assert!(pruned.max_abs_diff(&truth) < 1e-9);
+    }
+
+    #[test]
+    fn baseline_sampler_is_seeded() {
+        let target = CountdownTarget::new();
+        let experiment = Experiment::prepare(&target).unwrap();
+        let space = experiment.site_space(0..CountdownTarget::THREADS);
+        let a = run_baseline(&experiment, &space, 64, 9, 2);
+        let b = run_baseline(&experiment, &space, 64, 9, 4);
+        assert_eq!(a.percentages(), b.percentages());
+    }
+}

@@ -1,0 +1,247 @@
+//! Golden-run preparation, single injections and parallel campaigns.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use fsp_sim::{Launch, MemBlock, SimFault, Simulator, Tracer};
+use fsp_stats::{Outcome, ResilienceProfile};
+use parking_lot::Mutex;
+
+use crate::hook::InjectionHook;
+use crate::site::{SiteSpace, WeightedSite};
+use crate::target::InjectionTarget;
+
+/// Hang-detection margin: an injected run may retire at most this many
+/// times the fault-free dynamic instruction count before being declared
+/// hung.
+const HANG_FACTOR: u64 = 10;
+/// Floor for the hang budget, so tiny kernels still tolerate benign
+/// control-flow perturbations.
+const MIN_BUDGET: u64 = 100_000;
+
+/// A prepared injection experiment: golden output, initial memory image and
+/// calibrated hang budget for one target.
+#[derive(Debug)]
+pub struct Experiment<'a, T: InjectionTarget> {
+    target: &'a T,
+    launch: Launch,
+    initial: MemBlock,
+    golden: Vec<u32>,
+    fault_free_instructions: u64,
+}
+
+impl<'a, T: InjectionTarget> Experiment<'a, T> {
+    /// Runs the target fault-free to capture the golden output and
+    /// calibrate the hang budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SimFault`] if the *fault-free* run itself faults —
+    /// that is a workload bug, not an injection outcome.
+    pub fn prepare(target: &'a T) -> Result<Self, SimFault> {
+        let launch = target.launch();
+        let initial = target.init_memory();
+        let mut memory = initial.clone();
+        let stats = Simulator::new().run(&launch, &mut memory, &mut fsp_sim::NopHook)?;
+        let (addr, len) = target.output_region();
+        let golden = memory.read_slice(addr, len).to_vec();
+        let budget = (stats.instructions * HANG_FACTOR).max(MIN_BUDGET);
+        Ok(Experiment {
+            target,
+            launch: launch.instr_budget(budget),
+            initial,
+            golden,
+            fault_free_instructions: stats.instructions,
+        })
+    }
+
+    /// The target being injected.
+    #[must_use]
+    pub fn target(&self) -> &T {
+        self.target
+    }
+
+    /// Dynamic instructions retired by the fault-free run.
+    #[must_use]
+    pub fn fault_free_instructions(&self) -> u64 {
+        self.fault_free_instructions
+    }
+
+    /// The golden output words.
+    #[must_use]
+    pub fn golden(&self) -> &[u32] {
+        &self.golden
+    }
+
+    /// Traces the fault-free run and builds the exhaustive [`SiteSpace`].
+    ///
+    /// `full_traces` selects the threads that get full traces (needed for
+    /// sampling or enumerating their sites); pass `0..launch.num_threads()`
+    /// to make every site addressable.
+    #[must_use]
+    pub fn site_space(&self, full_traces: impl IntoIterator<Item = u32>) -> SiteSpace {
+        let mut tracer = Tracer::new(
+            self.launch.num_threads(),
+            self.launch.threads_per_cta(),
+        )
+        .with_full_traces(full_traces);
+        let mut memory = self.initial.clone();
+        Simulator::new()
+            .run(&self.launch, &mut memory, &mut tracer)
+            .expect("fault-free run cannot fault after successful prepare()");
+        SiteSpace::new(tracer.finish())
+    }
+
+    /// Runs one single-bit-flip injection and classifies its outcome.
+    #[must_use]
+    pub fn run_one(&self, site: crate::FaultSite) -> Outcome {
+        self.run_one_with(site, crate::FaultModel::SingleBitFlip)
+    }
+
+    /// Runs one injection under an explicit [`crate::FaultModel`].
+    #[must_use]
+    pub fn run_one_with(&self, site: crate::FaultSite, model: crate::FaultModel) -> Outcome {
+        self.run_one_detailed(site, model).0
+    }
+
+    /// Runs one injection and, for SDC outcomes, also reports the output's
+    /// relative L2 error vs the golden run (SDC severity — see
+    /// [`crate::relative_l2_error`]).
+    #[must_use]
+    pub fn run_one_detailed(
+        &self,
+        site: crate::FaultSite,
+        model: crate::FaultModel,
+    ) -> (Outcome, Option<f64>) {
+        let mut memory = self.initial.clone();
+        let mut hook = InjectionHook::with_model(site, model);
+        match Simulator::new().run(&self.launch, &mut memory, &mut hook) {
+            Err(SimFault::BudgetExceeded) => (Outcome::HANG, None),
+            Err(_) => (Outcome::CRASH, None),
+            Ok(_) => {
+                let (addr, len) = self.target.output_region();
+                let out = memory.read_slice(addr, len);
+                if out == self.golden.as_slice() {
+                    (Outcome::Masked, None)
+                } else {
+                    (Outcome::Sdc, Some(crate::relative_l2_error(&self.golden, out)))
+                }
+            }
+        }
+    }
+
+    /// Runs a single-bit-flip campaign over `sites` on `workers` OS
+    /// threads.
+    ///
+    /// Outcomes are indexed by site position, so the result is deterministic
+    /// regardless of scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    #[must_use]
+    pub fn run_campaign(&self, sites: &[WeightedSite], workers: usize) -> CampaignResult {
+        self.run_campaign_with(sites, crate::FaultModel::SingleBitFlip, workers)
+    }
+
+    /// Runs a campaign under an explicit [`crate::FaultModel`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    #[must_use]
+    pub fn run_campaign_with(
+        &self,
+        sites: &[WeightedSite],
+        model: crate::FaultModel,
+        workers: usize,
+    ) -> CampaignResult {
+        assert!(workers > 0, "campaign needs at least one worker");
+        let next = AtomicUsize::new(0);
+        let outcomes = Mutex::new(vec![Outcome::Masked; sites.len()]);
+        std::thread::scope(|scope| {
+            for _ in 0..workers.min(sites.len().max(1)) {
+                scope.spawn(|| {
+                    // Chunked work-stealing keeps lock traffic negligible.
+                    const CHUNK: usize = 16;
+                    loop {
+                        let start = next.fetch_add(CHUNK, Ordering::Relaxed);
+                        if start >= sites.len() {
+                            break;
+                        }
+                        let end = (start + CHUNK).min(sites.len());
+                        let mut local = Vec::with_capacity(end - start);
+                        for ws in &sites[start..end] {
+                            local.push(self.run_one_with(ws.site, model));
+                        }
+                        outcomes.lock()[start..end].copy_from_slice(&local);
+                    }
+                });
+            }
+        });
+        let outcomes = outcomes.into_inner();
+        let mut profile = ResilienceProfile::new();
+        for (ws, &o) in sites.iter().zip(&outcomes) {
+            profile.record_weighted(o, ws.weight);
+        }
+        CampaignResult { outcomes, profile }
+    }
+}
+
+/// The result of a campaign: per-site outcomes plus the weighted profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult {
+    /// Outcome per injected site, in input order.
+    pub outcomes: Vec<Outcome>,
+    /// The weighted resilience profile.
+    pub profile: ResilienceProfile,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::CountdownTarget;
+    use crate::FaultSite;
+
+    #[test]
+    fn prepare_captures_golden() {
+        let t = CountdownTarget::new();
+        let e = Experiment::prepare(&t).unwrap();
+        assert!(e.fault_free_instructions() > 0);
+        assert!(!e.golden().is_empty());
+    }
+
+    #[test]
+    fn masked_sdc_hang_all_reachable() {
+        let t = CountdownTarget::new();
+        let e = Experiment::prepare(&t).unwrap();
+        let space = e.site_space(0..4);
+        // Exhaust every site of thread 0 and tally; the countdown kernel is
+        // engineered so all three outcome classes occur.
+        let sites: Vec<WeightedSite> =
+            space.thread_site_iter(0).map(WeightedSite::from).collect();
+        let result = e.run_campaign(&sites, 2);
+        assert!(result.profile.masked() > 0.0, "some flips must mask");
+        assert!(result.profile.sdc() > 0.0, "some flips must corrupt output");
+        assert!(result.profile.other() > 0.0, "some flips must hang/crash");
+    }
+
+    #[test]
+    fn campaign_is_deterministic_across_worker_counts() {
+        let t = CountdownTarget::new();
+        let e = Experiment::prepare(&t).unwrap();
+        let space = e.site_space(0..4);
+        let sites: Vec<WeightedSite> =
+            space.thread_site_iter(1).map(WeightedSite::from).collect();
+        let a = e.run_campaign(&sites, 1);
+        let b = e.run_campaign(&sites, 4);
+        assert_eq!(a.outcomes, b.outcomes);
+    }
+
+    #[test]
+    fn unreached_site_is_masked() {
+        let t = CountdownTarget::new();
+        let e = Experiment::prepare(&t).unwrap();
+        let o = e.run_one(FaultSite { tid: 999, dyn_idx: 0, bit: 0 });
+        assert_eq!(o, Outcome::Masked);
+    }
+}

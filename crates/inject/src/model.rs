@@ -1,0 +1,129 @@
+//! Fault models beyond the paper's single-bit flip.
+//!
+//! The paper (and its baseline tools GPU-Qin / SASSIFI / LLFI-GPU) centers
+//! on transient single-bit flips in destination registers; SASSIFI also
+//! supports richer corruption modes. This module provides those as an
+//! extension — the pruning methodology is fault-model-agnostic as long as
+//! the model targets destination-register sites.
+
+use serde::{Deserialize, Serialize};
+
+/// How the destination value is corrupted at the fault site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum FaultModel {
+    /// The paper's model: flip the addressed bit.
+    #[default]
+    SingleBitFlip,
+    /// Flip the addressed bit and its upper neighbour (wrapping within the
+    /// destination width) — models a double-cell upset.
+    DoubleBitFlip,
+    /// Force the addressed bit to 0 (masked whenever the bit already was 0).
+    StuckAt0,
+    /// Force the addressed bit to 1.
+    StuckAt1,
+    /// Replace the whole destination with a deterministic pseudo-random
+    /// value derived from the site (SASSIFI's "random value" mode).
+    RandomValue,
+}
+
+impl FaultModel {
+    /// All models, for sweeps.
+    pub const ALL: [FaultModel; 5] = [
+        FaultModel::SingleBitFlip,
+        FaultModel::DoubleBitFlip,
+        FaultModel::StuckAt0,
+        FaultModel::StuckAt1,
+        FaultModel::RandomValue,
+    ];
+
+    /// Short display name.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            FaultModel::SingleBitFlip => "single-bit-flip",
+            FaultModel::DoubleBitFlip => "double-bit-flip",
+            FaultModel::StuckAt0 => "stuck-at-0",
+            FaultModel::StuckAt1 => "stuck-at-1",
+            FaultModel::RandomValue => "random-value",
+        }
+    }
+
+    /// Corrupts `value` at bit `offset` within a destination of `width`
+    /// bits.
+    #[must_use]
+    pub fn apply(self, value: u32, offset: u32, width: u32, site_key: u64) -> u32 {
+        let mask = if width >= 32 { u32::MAX } else { (1u32 << width) - 1 };
+        match self {
+            FaultModel::SingleBitFlip => value ^ (1 << offset),
+            FaultModel::DoubleBitFlip => {
+                let second = (offset + 1) % width.max(1);
+                value ^ (1 << offset) ^ (1 << second)
+            }
+            FaultModel::StuckAt0 => value & !(1 << offset),
+            FaultModel::StuckAt1 => value | (1 << offset),
+            FaultModel::RandomValue => {
+                // SplitMix64 of the site key: deterministic per site.
+                let mut z = site_key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                let random = (z ^ (z >> 31)) as u32;
+                (value & !mask) | (random & mask)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bit_flips_exactly_one_bit() {
+        let v = FaultModel::SingleBitFlip.apply(0b1010, 0, 32, 0);
+        assert_eq!(v, 0b1011);
+        assert_eq!(FaultModel::SingleBitFlip.apply(v, 0, 32, 0), 0b1010, "involution");
+    }
+
+    #[test]
+    fn double_bit_flips_adjacent_pair_and_wraps() {
+        assert_eq!(FaultModel::DoubleBitFlip.apply(0, 0, 32, 0), 0b11);
+        // Wraps at the destination width, not at 32 bits.
+        assert_eq!(FaultModel::DoubleBitFlip.apply(0, 3, 4, 0), 0b1001);
+    }
+
+    #[test]
+    fn stuck_at_models_are_idempotent() {
+        for model in [FaultModel::StuckAt0, FaultModel::StuckAt1] {
+            let once = model.apply(0b0101, 1, 32, 0);
+            assert_eq!(model.apply(once, 1, 32, 0), once);
+        }
+        assert_eq!(FaultModel::StuckAt0.apply(0b0010, 1, 32, 0), 0);
+        assert_eq!(FaultModel::StuckAt1.apply(0, 1, 32, 0), 0b0010);
+        // Stuck-at can be a no-op (inherently maskable).
+        assert_eq!(FaultModel::StuckAt0.apply(0, 5, 32, 0), 0);
+    }
+
+    #[test]
+    fn random_value_is_deterministic_and_width_bounded() {
+        let a = FaultModel::RandomValue.apply(0xFFFF_FFFF, 0, 4, 42);
+        let b = FaultModel::RandomValue.apply(0xFFFF_FFFF, 0, 4, 42);
+        assert_eq!(a, b);
+        assert_eq!(a & !0xF, 0xFFFF_FFF0, "bits outside the width untouched");
+        let c = FaultModel::RandomValue.apply(0xFFFF_FFFF, 0, 4, 43);
+        assert_ne!(a, c, "different sites draw different values");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = FaultModel::ALL.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), FaultModel::ALL.len());
+    }
+}

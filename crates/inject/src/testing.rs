@@ -1,0 +1,103 @@
+//! Tiny targets for tests, docs and benches.
+
+use std::sync::Arc;
+
+use fsp_isa::{assemble, KernelProgram};
+use fsp_sim::{Launch, MemBlock};
+
+use crate::target::InjectionTarget;
+
+/// A 4-thread countdown kernel engineered so that single-bit flips can
+/// produce *every* outcome class:
+///
+/// * flips in the dead register `$r4` (and in unused predicate flag bits)
+///   are **masked**;
+/// * flips in the running sum or the output address's low bits cause
+///   **SDC**;
+/// * flips in the address's high bits cause a **crash** (out-of-bounds
+///   store);
+/// * flips in the loop counter can inflate the countdown by billions of
+///   iterations, tripping the hang budget — a **hang**.
+#[derive(Debug, Clone)]
+pub struct CountdownTarget {
+    program: Arc<KernelProgram>,
+}
+
+impl CountdownTarget {
+    /// Number of threads the target launches.
+    pub const THREADS: u32 = 4;
+
+    /// Creates the target.
+    ///
+    /// # Panics
+    ///
+    /// Never in practice; the embedded assembly is covered by tests.
+    #[must_use]
+    pub fn new() -> Self {
+        let program = assemble(
+            "countdown",
+            r#"
+            cvt.u32.u16 $r1, %tid.x
+            mov.u32 $r2, 0x4
+            add.u32 $r2, $r2, $r1              // counter = 4 + tid
+            mov.u32 $r3, 0x0                   // sum
+            loop:
+            add.u32 $r3, $r3, $r2
+            sub.u32 $r2, $r2, 0x1
+            set.ne.u32.u32 $p0/$o127, $r2, $r124
+            @$p0.ne bra loop
+            mov.u32 $r4, 0xDEAD                // dead value: flips mask
+            shl.u32 $r5, $r1, 0x2
+            add.u32 $r5, $r5, s[0x0010]        // out[tid]
+            st.global.u32 [$r5], $r3
+            exit
+            "#,
+        )
+        .expect("countdown kernel assembles");
+        CountdownTarget { program: Arc::new(program) }
+    }
+}
+
+impl Default for CountdownTarget {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InjectionTarget for CountdownTarget {
+    fn name(&self) -> &str {
+        "countdown"
+    }
+
+    fn launch(&self) -> Launch {
+        Launch::new(Arc::clone(&self.program))
+            .grid(1, 1)
+            .block(Self::THREADS, 1, 1)
+            .param(0)
+    }
+
+    fn init_memory(&self) -> MemBlock {
+        MemBlock::with_words(Self::THREADS as usize)
+    }
+
+    fn output_region(&self) -> (u32, usize) {
+        (0, Self::THREADS as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsp_sim::{NopHook, Simulator};
+
+    #[test]
+    fn golden_outputs_are_triangle_numbers() {
+        let t = CountdownTarget::new();
+        let mut memory = t.init_memory();
+        Simulator::new()
+            .run(&t.launch(), &mut memory, &mut NopHook)
+            .unwrap();
+        // sum over k..=1 of k for counter = 4 + tid.
+        assert_eq!(memory.words(), &[10, 15, 21, 28]);
+    }
+}

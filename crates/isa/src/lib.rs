@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+//! PTXPlus-like GPU instruction set architecture.
+//!
+//! This crate defines the instruction set executed by the `fsp-sim`
+//! functional simulator: scalar types, register classes, operands,
+//! instructions, whole-kernel programs, a text assembler/disassembler and
+//! static control-flow / loop analysis.
+//!
+//! The ISA mirrors the *PTXPlus* representation used by GPGPU-Sim (and by the
+//! MICRO'18 paper this repository reproduces): 32-bit general-purpose
+//! registers `$r0..$r127` with `$r124` hardwired to zero, 4-bit
+//! condition-code ("predicate") registers `$p0..$p7`, the write-discard
+//! register `$o127`, address-offset registers `$ofs0..$ofs3`, and special
+//! read-only registers such as `%tid.x` and `%ctaid.x`.
+//!
+//! # Example
+//!
+//! ```
+//! use fsp_isa::{assemble, KernelProgram};
+//!
+//! let program: KernelProgram = assemble(
+//!     "vec_inc",
+//!     r#"
+//!     cvt.u32.u16 $r1, %tid.x
+//!     shl.u32     $r2, $r1, 0x00000002
+//!     add.u32     $r2, $r2, s[0x0010]
+//!     ld.global.u32 $r3, [$r2]
+//!     add.u32     $r3, $r3, 0x00000001
+//!     st.global.u32 [$r2], $r3
+//!     exit
+//!     "#,
+//! )?;
+//! assert_eq!(program.len(), 7);
+//! # Ok::<(), fsp_isa::AsmError>(())
+//! ```
+
+mod asm;
+mod cfg;
+mod instr;
+mod operand;
+mod program;
+pub mod ptx;
+mod reg;
+mod ty;
+
+pub use asm::{assemble, AsmError};
+pub use cfg::{BasicBlock, Cfg, Loop, LoopForest};
+pub use instr::{CmpOp, Dest, Guard, Instruction, Opcode, PredTest};
+pub use operand::{Half, MemRef, MemSpace, Operand};
+pub use program::KernelProgram;
+pub use reg::{Register, Special};
+pub use ty::ScalarType;
+
+/// Byte offset of the first kernel parameter in shared memory
+/// (PTXPlus convention: `s[0x0010]` is parameter 0). The simulator
+/// re-exports this; the PTX frontend uses it to translate `ld.param`.
+pub const PARAM_BASE: u32 = 0x10;

@@ -1,0 +1,504 @@
+//! A frontend for (a subset of) real PTX, as emitted by `nvcc --ptx`.
+//!
+//! The paper's toolchain goes CUDA → PTX → PTXPlus (GPGPU-Sim's
+//! register-allocated form). This module provides the same bridge for this
+//! repository: it translates straightforward PTX kernels into the
+//! PTXPlus-like IR the simulator executes, so workloads can come straight
+//! from the CUDA compiler instead of being hand-written.
+//!
+//! # Supported subset
+//!
+//! * One `.entry` kernel per translation; `.param .u32/.u64/.f32`
+//!   parameters (64-bit pointer parameters are truncated to the 32-bit
+//!   address space of the simulator — fine for device images < 4 GiB).
+//! * Virtual registers `%r*` (b32/s32/u32), `%f*` (f32), `%rd*` (b64,
+//!   mapped onto 32-bit registers), `%p*` (predicates), and the special
+//!   registers `%tid/%ntid/%ctaid/%nctaid`.
+//! * The common instruction set: `mov ld st cvt cvta add sub mul mad fma
+//!   div rem min max neg abs sqrt rsqrt rcp ex2 lg2 and or xor not shl shr
+//!   setp selp bra bar.sync ret`.
+//! * `.shared` array declarations (allocated after the kernel parameters).
+//! * Guards `@%p` / `@!%p`, labels (`$L__BB0_2:`), `0f` hex-float
+//!   immediates.
+//!
+//! Unsupported constructs (textures, atomics, vectors, `.local` spills,
+//! calls, 64-bit arithmetic that actually needs 64 bits, ...) produce a
+//! descriptive [`PtxError`] rather than silently wrong code.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::asm::assemble;
+use crate::program::KernelProgram;
+
+/// Shared-memory byte offset where `.shared` declarations are allocated
+/// (above the parameter area).
+const SHARED_BASE: u32 = 0x400;
+
+/// Error from PTX translation, with the offending 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PtxError {
+    /// 1-based line in the PTX source.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for PtxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ptx line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for PtxError {}
+
+fn err(line: usize, message: impl Into<String>) -> PtxError {
+    PtxError { line, message: message.into() }
+}
+
+/// Translation state: virtual-register and symbol maps.
+struct Translator {
+    /// Virtual register name → our register name.
+    regs: BTreeMap<String, String>,
+    next_gpr: u32,
+    next_pred: u32,
+    /// Parameter name → index.
+    params: BTreeMap<String, u32>,
+    /// Shared array name → byte offset.
+    shared: BTreeMap<String, u32>,
+    next_shared: u32,
+    /// Generated PTXPlus-like lines.
+    out: Vec<String>,
+}
+
+impl Translator {
+    fn new() -> Self {
+        Translator {
+            regs: BTreeMap::new(),
+            next_gpr: 1,
+            next_pred: 0,
+            params: BTreeMap::new(),
+            shared: BTreeMap::new(),
+            next_shared: SHARED_BASE,
+            out: Vec::new(),
+        }
+    }
+
+    /// Our register for a PTX virtual register.
+    fn reg(&mut self, vreg: &str, line: usize) -> Result<String, PtxError> {
+        if let Some(r) = self.regs.get(vreg) {
+            return Ok(r.clone());
+        }
+        let name = if vreg.starts_with("%p") {
+            let n = self.next_pred;
+            if n >= 8 {
+                return Err(err(line, "more than 8 predicate registers in use"));
+            }
+            self.next_pred += 1;
+            format!("$p{n}")
+        } else {
+            let n = self.next_gpr;
+            if n >= 120 {
+                return Err(err(line, "more than 120 general registers in use"));
+            }
+            self.next_gpr += 1;
+            format!("$r{n}")
+        };
+        self.regs.insert(vreg.to_owned(), name.clone());
+        Ok(name)
+    }
+
+    /// Translates an operand: virtual register, special register, or
+    /// immediate.
+    fn operand(&mut self, op: &str, line: usize) -> Result<String, PtxError> {
+        let op = op.trim();
+        if let Some(rest) = op.strip_prefix('-') {
+            return Ok(format!("-{}", self.operand(rest, line)?));
+        }
+        if op.starts_with("%tid") || op.starts_with("%ntid") || op.starts_with("%ctaid")
+            || op.starts_with("%nctaid")
+        {
+            return Ok(op.to_owned());
+        }
+        if op.starts_with('%') {
+            return self.reg(op, line);
+        }
+        // Immediates pass through (hex, decimal, 0f-floats share syntax).
+        Ok(op.to_owned())
+    }
+
+    /// Translates a memory operand `[%rd4+8]` / `[param]` / `[arr+4]` into
+    /// `(space_prefix, inner)` of our syntax.
+    fn address(&mut self, inner: &str, space: &str, line: usize) -> Result<String, PtxError> {
+        let (base, offset) = match inner.split_once('+') {
+            Some((b, o)) => (b.trim(), o.trim().parse::<i64>().map_err(|_| {
+                err(line, format!("bad address offset `{o}`"))
+            })?),
+            None => (inner.trim(), 0),
+        };
+        if let Some(&idx) = self.params.get(base) {
+            // Parameter area lives at the bottom of shared memory.
+            let addr = crate::PARAM_BASE + 4 * idx + offset as u32;
+            return Ok(format!("s[{addr:#06x}]"));
+        }
+        if let Some(&addr) = self.shared.get(base) {
+            let addr = addr + offset as u32;
+            return Ok(format!("s[{addr:#06x}]"));
+        }
+        if base.starts_with('%') {
+            let reg = self.reg(base, line)?;
+            let prefix = match space {
+                "shared" => "s",
+                "local" => "l",
+                _ => "g",
+            };
+            if offset == 0 {
+                return Ok(format!("{prefix}[{reg}]"));
+            }
+            return Ok(format!("{prefix}[{reg}+{offset}]"));
+        }
+        Err(err(line, format!("unknown address base `{base}`")))
+    }
+
+    fn emit(&mut self, s: String) {
+        self.out.push(s);
+    }
+}
+
+/// Maps a PTX scalar type suffix onto ours (64-bit types narrow to 32-bit).
+fn map_type(t: &str, line: usize) -> Result<&'static str, PtxError> {
+    Ok(match t {
+        "u16" => "u16",
+        "s16" => "s16",
+        "u32" | "b32" | "u64" | "b64" => "u32",
+        "s32" | "s64" => "s32",
+        "f32" => "f32",
+        "pred" => "pred",
+        other => {
+            return Err(err(
+                line,
+                format!("unsupported PTX type `.{other}` (f64/vectors are out of scope)"),
+            ))
+        }
+    })
+}
+
+/// Sanitizes a PTX label (`$L__BB0_2`) into our label grammar.
+fn clean_label(l: &str) -> String {
+    let cleaned: String = l
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        format!("L{cleaned}")
+    } else {
+        cleaned
+    }
+}
+
+/// Translates a PTX kernel into a [`KernelProgram`].
+///
+/// # Errors
+///
+/// Returns a [`PtxError`] for constructs outside the supported subset, and
+/// wraps assembler errors on the generated IR (which indicate a translator
+/// bug, with the generated text attached).
+pub fn translate_ptx(source: &str) -> Result<KernelProgram, PtxError> {
+    let mut tr = Translator::new();
+    let mut kernel_name = String::from("ptx_kernel");
+    let mut in_body = false;
+    let mut saw_entry = false;
+
+    // Join the parameter list (it may span lines between `(` and `)`).
+    let mut pending_params: Option<String> = None;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut line = raw.trim();
+        if let Some(pos) = line.find("//") {
+            line = line[..pos].trim_end();
+        }
+        if line.is_empty() {
+            continue;
+        }
+
+        // Parameter-list accumulation.
+        if let Some(acc) = &mut pending_params {
+            acc.push(' ');
+            acc.push_str(line);
+            if line.contains(')') {
+                let acc = pending_params.take().expect("accumulating");
+                parse_params(&acc, &mut tr, line_no)?;
+            }
+            continue;
+        }
+
+        if line.starts_with(".version") || line.starts_with(".target")
+            || line.starts_with(".address_size") || line.starts_with("{")
+        {
+            if line.starts_with('{') {
+                in_body = true;
+            }
+            continue;
+        }
+        if line.contains(".entry") {
+            saw_entry = true;
+            // `.visible .entry name(` — name up to `(` or end.
+            let after = line.split(".entry").nth(1).unwrap_or("").trim();
+            let name_end = after.find(['(', ' ']).unwrap_or(after.len());
+            kernel_name = after[..name_end].trim().to_owned();
+            let rest = &after[name_end..];
+            if rest.contains('(') && !rest.contains(')') {
+                pending_params = Some(rest.to_owned());
+            } else if rest.contains('(') {
+                parse_params(rest, &mut tr, line_no)?;
+            }
+            continue;
+        }
+        if !saw_entry {
+            continue;
+        }
+        if line.starts_with('}') {
+            break;
+        }
+        if line.starts_with(".reg") {
+            continue; // classes come from the %-prefix at use sites
+        }
+        if line.starts_with(".shared") {
+            // `.shared .align 4 .b8 name[256];`
+            let decl = line.trim_end_matches(';');
+            let Some(bracket) = decl.find('[') else {
+                return Err(err(line_no, "malformed .shared declaration"));
+            };
+            let name = decl[..bracket].split_whitespace().last().unwrap_or("").to_owned();
+            let size: u32 = decl[bracket + 1..decl.len() - 1]
+                .trim()
+                .parse()
+                .map_err(|_| err(line_no, "bad .shared size"))?;
+            tr.shared.insert(name, tr.next_shared);
+            tr.next_shared += size.next_multiple_of(4);
+            continue;
+        }
+        if line.starts_with('{') {
+            in_body = true;
+            continue;
+        }
+        if !in_body && !line.contains(':') && !saw_entry {
+            continue;
+        }
+        translate_statement(line, &mut tr, line_no)?;
+    }
+
+    if !saw_entry {
+        return Err(err(0, "no .entry kernel found"));
+    }
+    // A PTX kernel always ends in `ret`; make sure the body is terminated
+    // even if the translator stopped at `}`.
+    if tr.out.last().is_none_or(|l| !l.trim_start().starts_with("exit")) {
+        tr.out.push("exit".to_owned());
+    }
+    let body = tr.out.join("\n");
+    assemble(kernel_name, &body).map_err(|e| {
+        err(
+            e.line,
+            format!("translator produced invalid IR ({e})\n--- generated ---\n{body}"),
+        )
+    })
+}
+
+fn parse_params(list: &str, tr: &mut Translator, line_no: usize) -> Result<(), PtxError> {
+    let inner = list
+        .trim_start_matches(|c| c != '(')
+        .trim_start_matches('(')
+        .split(')')
+        .next()
+        .unwrap_or("");
+    for (i, param) in inner.split(',').enumerate() {
+        let param = param.trim();
+        if param.is_empty() {
+            continue;
+        }
+        if param.contains(".align") || param.contains('[') {
+            return Err(err(line_no, "array/aligned parameters are unsupported"));
+        }
+        let name = param.split_whitespace().last().ok_or_else(|| {
+            err(line_no, format!("malformed parameter `{param}`"))
+        })?;
+        tr.params.insert(name.to_owned(), i as u32);
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_lines)]
+fn translate_statement(
+    line: &str,
+    tr: &mut Translator,
+    line_no: usize,
+) -> Result<(), PtxError> {
+    let mut rest = line.trim().trim_end_matches(';').trim();
+    // Labels.
+    while let Some(colon) = rest.find(':') {
+        let (label, tail) = rest.split_at(colon);
+        if label.contains(char::is_whitespace) {
+            break;
+        }
+        tr.emit(format!("{}:", clean_label(label)));
+        rest = tail[1..].trim();
+    }
+    if rest.is_empty() {
+        return Ok(());
+    }
+    // Guard.
+    let mut guard = String::new();
+    if let Some(after) = rest.strip_prefix('@') {
+        let (g, tail) = after
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| err(line_no, "guard with no instruction"))?;
+        let (neg, vreg) = match g.strip_prefix('!') {
+            Some(v) => (true, v),
+            None => (false, g),
+        };
+        let p = tr.reg(vreg, line_no)?;
+        // PTX "predicate true" = our zero-flag clear (`ne`).
+        guard = format!("@{p}.{} ", if neg { "eq" } else { "ne" });
+        rest = tail.trim();
+    }
+
+    let (head, tail) = match rest.split_once(char::is_whitespace) {
+        Some((h, t)) => (h, t.trim()),
+        None => (rest, ""),
+    };
+    let parts: Vec<&str> = head.split('.').collect();
+    let opcode = parts[0];
+    let ops: Vec<&str> = if tail.is_empty() {
+        Vec::new()
+    } else {
+        tail.split(',').map(str::trim).collect()
+    };
+
+    match opcode {
+        "ret" | "exit" => tr.emit(format!("{guard}exit")),
+        "bar" => tr.emit("bar.sync 0x0".to_owned()),
+        "bra" => {
+            let target = ops.first().ok_or_else(|| err(line_no, "bra needs a target"))?;
+            tr.emit(format!("{guard}bra {}", clean_label(target)));
+        }
+        "cvta" => {
+            // Address-space cast: a register-to-register move here.
+            let d = tr.operand(ops.first().ok_or_else(|| err(line_no, "cvta dest"))?, line_no)?;
+            let a = tr.operand(ops.get(1).ok_or_else(|| err(line_no, "cvta src"))?, line_no)?;
+            tr.emit(format!("{guard}mov.u32 {d}, {a}"));
+        }
+        "ld" | "st" => {
+            let space = parts.get(1).copied().unwrap_or("global");
+            if space == "volatile" {
+                return Err(err(line_no, "volatile accesses are unsupported"));
+            }
+            let ty = map_type(parts.last().unwrap_or(&"u32"), line_no)?;
+            if space == "param" {
+                let d = tr.operand(ops.first().ok_or_else(|| err(line_no, "ld dest"))?, line_no)?;
+                let addr = mem_inner(ops.get(1).copied(), line_no)?;
+                let a = tr.address(addr, "shared", line_no)?;
+                tr.emit(format!("{guard}mov.{ty} {d}, {a}"));
+            } else if opcode == "ld" {
+                let d = tr.operand(ops.first().ok_or_else(|| err(line_no, "ld dest"))?, line_no)?;
+                let addr = mem_inner(ops.get(1).copied(), line_no)?;
+                let a = tr.address(addr, space, line_no)?;
+                if space == "shared" {
+                    tr.emit(format!("{guard}mov.{ty} {d}, {a}"));
+                } else {
+                    tr.emit(format!("{guard}ld.global.{ty} {d}, {a}"));
+                }
+            } else {
+                let addr = mem_inner(ops.first().copied(), line_no)?;
+                let a = tr.address(addr, space, line_no)?;
+                let v = tr.operand(ops.get(1).ok_or_else(|| err(line_no, "st value"))?, line_no)?;
+                if space == "shared" {
+                    tr.emit(format!("{guard}mov.{ty} {a}, {v}"));
+                } else {
+                    tr.emit(format!("{guard}st.global.{ty} {a}, {v}"));
+                }
+            }
+        }
+        "setp" => {
+            // setp.CMP.TY %p, a, b
+            let cmp = parts.get(1).copied().ok_or_else(|| err(line_no, "setp needs a comparison"))?;
+            if !["eq", "ne", "lt", "le", "gt", "ge"].contains(&cmp) {
+                return Err(err(line_no, format!("unsupported setp comparison `.{cmp}`")));
+            }
+            let ty = map_type(parts.last().unwrap_or(&"s32"), line_no)?;
+            let p = tr.operand(ops.first().ok_or_else(|| err(line_no, "setp dest"))?, line_no)?;
+            let a = tr.operand(ops.get(1).ok_or_else(|| err(line_no, "setp lhs"))?, line_no)?;
+            let b = tr.operand(ops.get(2).ok_or_else(|| err(line_no, "setp rhs"))?, line_no)?;
+            tr.emit(format!("{guard}set.{cmp}.{ty}.{ty} {p}/$o127, {a}, {b}"));
+        }
+        "selp" => {
+            let ty = map_type(parts.last().unwrap_or(&"b32"), line_no)?;
+            let d = tr.operand(ops.first().ok_or_else(|| err(line_no, "selp dest"))?, line_no)?;
+            let a = tr.operand(ops.get(1).ok_or_else(|| err(line_no, "selp a"))?, line_no)?;
+            let b = tr.operand(ops.get(2).ok_or_else(|| err(line_no, "selp b"))?, line_no)?;
+            let p = tr.operand(ops.get(3).ok_or_else(|| err(line_no, "selp pred"))?, line_no)?;
+            tr.emit(format!("{guard}selp.ne.{ty} {d}, {a}, {b}, {p}"));
+        }
+        "mov" | "cvt" | "add" | "sub" | "mul" | "mad" | "fma" | "div" | "rem" | "min"
+        | "max" | "neg" | "abs" | "sqrt" | "rsqrt" | "rcp" | "ex2" | "lg2" | "and" | "or"
+        | "xor" | "not" | "shl" | "shr" => {
+            // Map the opcode and type modifiers.
+            let mut out_op = match opcode {
+                "fma" => "mad".to_owned(),
+                o => o.to_owned(),
+            };
+            let mut types = Vec::new();
+            let mut wide = false;
+            for m in &parts[1..] {
+                match *m {
+                    "lo" => {}
+                    "hi" => out_op.push_str(".hi"),
+                    "wide" => wide = true,
+                    "rn" | "rz" | "rm" | "rp" | "approx" | "ftz" | "full" | "sat" | "uni"
+                    | "to" | "global" => {}
+                    t => types.push(map_type(t, line_no)?),
+                }
+            }
+            // `mul.wide.s32 %rd, %r, %r`: the 64-bit product truncated to
+            // 32 bits equals the plain 32-bit product, so `wide` only
+            // survives for 16-bit sources.
+            if wide {
+                if types.last().copied() == Some("u16") || types.last().copied() == Some("s16")
+                {
+                    out_op.push_str(".wide");
+                } else {
+                    types = vec![if types.last().copied() == Some("s32") { "s32" } else { "u32" }];
+                }
+            }
+            let ty_suffix = match types.as_slice() {
+                [] => ".u32".to_owned(),
+                [t] => format!(".{t}"),
+                [a, b] => format!(".{a}.{b}"),
+                _ => return Err(err(line_no, "too many type modifiers")),
+            };
+            let mut translated = Vec::new();
+            for op in &ops {
+                translated.push(tr.operand(op, line_no)?);
+            }
+            tr.emit(format!("{guard}{out_op}{ty_suffix} {}", translated.join(", ")));
+        }
+        other => {
+            return Err(err(
+                line_no,
+                format!("unsupported PTX instruction `{other}` (atomics/textures/calls are out of scope)"),
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn mem_inner(op: Option<&str>, line_no: usize) -> Result<&str, PtxError> {
+    let op = op.ok_or_else(|| err(line_no, "missing memory operand"))?;
+    let op = op.trim();
+    if !op.starts_with('[') || !op.ends_with(']') {
+        return Err(err(line_no, format!("`{op}` is not a memory operand")));
+    }
+    Ok(op[1..op.len() - 1].trim())
+}

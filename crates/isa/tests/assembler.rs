@@ -1,0 +1,208 @@
+//! Assembler coverage: operand forms, modifier combinations and error
+//! paths beyond the unit tests in `src/asm.rs`.
+
+use fsp_isa::{assemble, CmpOp, Dest, Half, MemSpace, Opcode, Operand, Register, ScalarType};
+
+fn one(src: &str) -> fsp_isa::Instruction {
+    let p = assemble("t", &format!("{src}\nexit")).unwrap_or_else(|e| panic!("{src}: {e}"));
+    p.instr(0).clone()
+}
+
+#[test]
+fn every_alu_opcode_parses() {
+    for op in [
+        "mov.u32 $r1, $r2",
+        "cvt.u32.u16 $r1, $r2",
+        "add.u32 $r1, $r2, $r3",
+        "sub.s32 $r1, $r2, $r3",
+        "mul.lo.u32 $r1, $r2, $r3",
+        "mul.hi.s32 $r1, $r2, $r3",
+        "mul.wide.u16 $r1, $r2.lo, $r3.hi",
+        "mad.wide.u16 $r1, $r2.lo, $r3.hi, $r4",
+        "div.f32 $r1, $r2, $r3",
+        "rem.u32 $r1, $r2, $r3",
+        "min.s32 $r1, $r2, $r3",
+        "max.u32 $r1, $r2, $r3",
+        "abs.s32 $r1, $r2",
+        "neg.f32 $r1, $r2",
+        "rcp.f32 $r1, $r2",
+        "sqrt.f32 $r1, $r2",
+        "rsqrt.f32 $r1, $r2",
+        "ex2.f32 $r1, $r2",
+        "lg2.f32 $r1, $r2",
+        "and.b32 $r1, $r2, $r3",
+        "or.b32 $r1, $r2, $r3",
+        "xor.b32 $r1, $r2, $r3",
+        "not.b32 $r1, $r2",
+        "shl.u32 $r1, $r2, 0x1",
+        "shr.s32 $r1, $r2, 0x1",
+        "set.le.u32.u32 $p0/$o127, $r1, $r2",
+        "selp.u32 $r1, $r2, $r3, $p0",
+        "ld.global.f32 $r1, [$r2]",
+        "st.global.f32 [$r2], $r1",
+        "nop",
+        "ssy 0x10",
+        "bar.sync 0x0",
+        "ret",
+    ] {
+        let _ = one(op);
+    }
+}
+
+#[test]
+fn all_set_comparisons() {
+    for (name, cmp) in [
+        ("eq", CmpOp::Eq),
+        ("ne", CmpOp::Ne),
+        ("lt", CmpOp::Lt),
+        ("le", CmpOp::Le),
+        ("gt", CmpOp::Gt),
+        ("ge", CmpOp::Ge),
+    ] {
+        let i = one(&format!("set.{name}.s32.s32 $p0/$r1, $r2, $r3"));
+        assert_eq!(i.cmp, Some(cmp));
+        assert_eq!(i.ty, ScalarType::S32);
+        assert_eq!(i.dst[0], Some(Dest::Reg(Register::Pred(0))));
+        assert_eq!(i.dst[1], Some(Dest::Reg(Register::Gpr(1))));
+    }
+}
+
+#[test]
+fn memory_operand_forms() {
+    // Absolute shared.
+    let i = one("mov.u32 $r1, s[0x0010]");
+    assert_eq!(
+        i.src[0].unwrap().register(),
+        None,
+        "absolute reference has no base register"
+    );
+    // Offset-register relative.
+    let i = one("mov.u32 $r1, s[$ofs2+0x40]");
+    assert_eq!(i.src[0].unwrap().register(), Some(Register::Ofs(2)));
+    // Gpr relative without offset.
+    let i = one("mov.u32 $r1, g[$r9]");
+    assert_eq!(i.src[0].unwrap().register(), Some(Register::Gpr(9)));
+    // Negative offset (two's-complement wrap).
+    let i = one("ld.global.u32 $r1, [$r2+-68]");
+    let Some(Operand::Mem(m)) = i.src[0] else { panic!("expected memory operand") };
+    assert_eq!(m.offset, (-68i32) as u32);
+    assert_eq!(m.space, MemSpace::Global);
+    // Local space.
+    let i = one("mov.u32 l[0x8], $r1");
+    let Some(Dest::Mem(m)) = i.dst[0] else { panic!("expected memory dest") };
+    assert_eq!(m.space, MemSpace::Local);
+}
+
+#[test]
+fn immediate_forms() {
+    assert_eq!(one("mov.u32 $r1, 0x10").src[0], Some(Operand::Imm(16)));
+    assert_eq!(one("mov.u32 $r1, 16").src[0], Some(Operand::Imm(16)));
+    assert_eq!(one("mov.u32 $r1, -16").src[0], Some(Operand::Imm((-16i32) as u32)));
+    assert_eq!(one("mov.u32 $r1, -0x10").src[0], Some(Operand::Imm((-16i32) as u32)));
+    assert_eq!(
+        one("mov.f32 $r1, 0f40490FDB").src[0],
+        Some(Operand::Imm(0x4049_0FDB))
+    );
+    assert_eq!(
+        one("mov.f32 $r1, 3.5").src[0],
+        Some(Operand::Imm(3.5f32.to_bits()))
+    );
+    assert_eq!(
+        one("mov.f32 $r1, 1e3").src[0],
+        Some(Operand::Imm(1000.0f32.to_bits()))
+    );
+    assert_eq!(
+        one("mov.u32 $r1, 4294967295").src[0],
+        Some(Operand::Imm(u32::MAX))
+    );
+}
+
+#[test]
+fn half_register_operands() {
+    let i = one("mul.wide.u16 $r4, $r1.lo, $r3.hi");
+    assert_eq!(i.src[0], Some(Operand::half_reg(Register::Gpr(1), Half::Lo)));
+    assert_eq!(i.src[1], Some(Operand::half_reg(Register::Gpr(3), Half::Hi)));
+    assert!(i.wide);
+}
+
+#[test]
+fn dual_destination_separators() {
+    // Both `/` and `|` spell dual destinations (the paper uses both).
+    let a = one("set.eq.s32.s32 $p0/$o127, $r1, $r2");
+    let b = one("set.eq.s32.s32 $p0|$o127, $r1, $r2");
+    assert_eq!(a.dst, b.dst);
+}
+
+#[test]
+fn guards_on_any_instruction() {
+    let i = one("@$p1.le add.u32 $r1, $r1, 0x1");
+    let g = i.guard.unwrap();
+    assert_eq!(g.pred, 1);
+    assert_eq!(g.test.name(), "le");
+    assert_eq!(i.opcode, Opcode::Add);
+}
+
+#[test]
+fn error_unknown_register() {
+    let e = assemble("t", "mov.u32 $r200, $r1\n").unwrap_err();
+    assert!(e.message.contains("destination register"), "{e}");
+}
+
+#[test]
+fn error_unknown_modifier() {
+    let e = assemble("t", "add.v4 $r1, $r2, $r3\n").unwrap_err();
+    assert!(e.message.contains("modifier"), "{e}");
+}
+
+#[test]
+fn error_too_many_operands() {
+    let e = assemble("t", "add.u32 $r1, $r2, $r3, $r4, $r5\n").unwrap_err();
+    assert!(e.message.contains("too many source operands"), "{e}");
+}
+
+#[test]
+fn error_missing_destination() {
+    let e = assemble("t", "add.u32\n").unwrap_err();
+    assert!(e.message.contains("destination"), "{e}");
+}
+
+#[test]
+fn error_bad_guard() {
+    let e = assemble("t", "@$r1.eq bra x\nx: exit\n").unwrap_err();
+    assert!(e.message.contains("not a predicate"), "{e}");
+    let e = assemble("t", "@$p0.zz bra x\nx: exit\n").unwrap_err();
+    assert!(e.message.contains("guard test"), "{e}");
+    let e = assemble("t", "@$p0 bra x\nx: exit\n").unwrap_err();
+    assert!(e.message.contains("condition test"), "{e}");
+}
+
+#[test]
+fn error_branch_needs_single_target() {
+    let e = assemble("t", "bra a, b\na: exit\nb: exit\n").unwrap_err();
+    assert!(e.message.contains("exactly one target"), "{e}");
+}
+
+#[test]
+fn error_bad_memory_space() {
+    let e = assemble("t", "mov.u32 $r1, q[0x10]\n").unwrap_err();
+    assert!(e.message.contains("memory space"), "{e}");
+}
+
+#[test]
+fn error_overflowing_immediate() {
+    let e = assemble("t", "mov.u32 $r1, 99999999999999\n").unwrap_err();
+    assert!(e.message.contains("immediate"), "{e}");
+}
+
+#[test]
+fn error_guard_alone() {
+    let e = assemble("t", "@$p0.eq\n").unwrap_err();
+    assert!(e.message.contains("guard"), "{e}");
+}
+
+#[test]
+fn labels_can_stack() {
+    let p = assemble("t", "a: b: c: exit\nbra a\n").unwrap();
+    assert_eq!(p.labels().len(), 3);
+    assert_eq!(p.instr(1).target, Some(0));
+}

@@ -1,0 +1,79 @@
+//! Execution hooks: the attachment point for tracing and fault injection.
+
+use fsp_isa::{Instruction, Register};
+
+/// An executed ("retired") instruction, reported once per guard-passing
+/// dynamic instruction.
+#[derive(Debug, Clone, Copy)]
+pub struct RetireEvent<'a> {
+    /// Grid-wide flat thread id.
+    pub tid: u32,
+    /// 0-based dynamic instruction index within the thread.
+    pub dyn_idx: u32,
+    /// Static instruction index (program counter).
+    pub pc: usize,
+    /// The instruction.
+    pub instr: &'a Instruction,
+}
+
+/// A register write-back about to be committed.
+#[derive(Debug, Clone, Copy)]
+pub struct Writeback {
+    /// Grid-wide flat thread id.
+    pub tid: u32,
+    /// 0-based dynamic instruction index within the thread.
+    pub dyn_idx: u32,
+    /// Static instruction index.
+    pub pc: usize,
+    /// Destination slot (0 or 1; `set.eq $p0/$r1` writes two).
+    pub slot: u8,
+    /// Destination register.
+    pub reg: Register,
+    /// The value the instruction produced (4-bit flags for predicate
+    /// registers, right-aligned).
+    pub value: u32,
+    /// Fault-site width of this destination in bits (4 for predicates,
+    /// 16/32 for general-purpose registers).
+    pub width: u32,
+}
+
+/// Observer/interceptor of kernel execution.
+///
+/// `on_retire` fires once per executed instruction; `writeback` fires once
+/// per destination-register write and may override the committed value —
+/// returning `Some(v)` commits `v` instead. A single-bit fault injection is
+/// `Some(value ^ (1 << bit))`.
+///
+/// Instructions whose guard fails do not retire and do not write back,
+/// matching the paper's fault-site definition (a site is a bit of a
+/// destination register that is actually written).
+pub trait ExecHook {
+    /// Called after an instruction retires (all write-backs committed).
+    #[inline]
+    fn on_retire(&mut self, _ev: RetireEvent<'_>) {}
+
+    /// Called before a destination-register write commits; may override the
+    /// value.
+    #[inline]
+    fn writeback(&mut self, _wb: &Writeback) -> Option<u32> {
+        None
+    }
+}
+
+/// The do-nothing hook (fault-free, untraced execution).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NopHook;
+
+impl ExecHook for NopHook {}
+
+impl<H: ExecHook + ?Sized> ExecHook for &mut H {
+    #[inline]
+    fn on_retire(&mut self, ev: RetireEvent<'_>) {
+        (**self).on_retire(ev);
+    }
+
+    #[inline]
+    fn writeback(&mut self, wb: &Writeback) -> Option<u32> {
+        (**self).writeback(wb)
+    }
+}

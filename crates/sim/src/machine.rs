@@ -1,0 +1,358 @@
+//! The grid executor: CTAs in launch order, barrier-phase thread scheduling.
+
+use fsp_isa::MemSpace;
+
+use crate::exec::{step, ExecCtx, SimFault, StepEffect};
+use crate::hook::ExecHook;
+use crate::launch::Launch;
+use crate::mem::MemBlock;
+use crate::thread::{ThreadCoords, ThreadState, ThreadStatus};
+use crate::PARAM_BASE;
+
+/// Summary of a completed (fault-free or survivable-fault) run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunStats {
+    /// Total dynamic instructions retired across all threads.
+    pub instructions: u64,
+    /// Number of barrier releases across all CTAs.
+    pub barriers: u64,
+    /// Total threads executed.
+    pub threads: u32,
+}
+
+/// How threads of a CTA are scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Threads run to the next barrier one at a time, in thread-id order —
+    /// the fast default; functionally equivalent for race-free kernels.
+    #[default]
+    ThreadSerial,
+    /// Warps of `width` lanes run in lockstep with a SIMT reconvergence
+    /// stack, as GPGPU-Sim executes PTXPlus. Detects divergent
+    /// `bar.sync` ([`SimFault::BarrierDivergence`]).
+    WarpLockstep {
+        /// Lanes per warp (32 on NVIDIA hardware).
+        width: u32,
+    },
+}
+
+/// The functional simulator.
+///
+/// Stateless between runs; construct once and reuse. See the crate docs for
+/// the scheduling model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Simulator {
+    mode: ExecMode,
+}
+
+impl Simulator {
+    /// Creates a simulator with the default thread-serial schedule.
+    #[must_use]
+    pub fn new() -> Self {
+        Simulator { mode: ExecMode::ThreadSerial }
+    }
+
+    /// Creates a warp-lockstep simulator (hardware warps are 32 lanes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    #[must_use]
+    pub fn warp_lockstep(width: u32) -> Self {
+        assert!(width > 0, "warp width must be positive");
+        Simulator { mode: ExecMode::WarpLockstep { width } }
+    }
+
+    /// The scheduling mode.
+    #[must_use]
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Runs `launch` against `global` memory, reporting execution events to
+    /// `hook`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimFault`] raised by any thread (invalid or
+    /// misaligned memory access, or dynamic-instruction budget exhaustion).
+    /// On error, `global` is left in its partially-updated state — injection
+    /// campaigns treat the run as crashed/hung and discard it.
+    pub fn run<H: ExecHook>(
+        &self,
+        launch: &Launch,
+        global: &mut MemBlock,
+        hook: &mut H,
+    ) -> Result<RunStats, SimFault> {
+        let program = launch.program();
+        let (gx, gy) = launch.grid_dim();
+        let (bx, by, bz) = launch.block_dim();
+        let cta_threads = launch.threads_per_cta() as usize;
+        let mut budget = launch.budget();
+        let mut stats = RunStats {
+            instructions: 0,
+            barriers: 0,
+            threads: launch.num_threads(),
+        };
+
+        let mut shared =
+            MemBlock::with_space((launch.shared_size() as usize).div_ceil(4), MemSpace::Shared);
+        let mut threads: Vec<ThreadState> = Vec::with_capacity(cta_threads);
+        // Reconvergence table for warp-lockstep mode, once per launch. An
+        // explicit `ssy <label>` earlier in the same basic block wins
+        // (PTXPlus-style annotation); otherwise the immediate
+        // post-dominator from the CFG.
+        let rpcs: Vec<Option<usize>> = match self.mode {
+            ExecMode::ThreadSerial => Vec::new(),
+            ExecMode::WarpLockstep { .. } => {
+                let cfg = program.cfg();
+                let pdom = cfg.post_dominators();
+                (0..program.len())
+                    .map(|pc| {
+                        let block = &cfg.blocks()[cfg.block_of(pc)];
+                        let declared = (block.start..pc).rev().find_map(|p| {
+                            let i = program.instr(p);
+                            (i.opcode == fsp_isa::Opcode::Ssy)
+                                .then_some(i.target)
+                                .flatten()
+                        });
+                        declared
+                            .or_else(|| pdom[cfg.block_of(pc)].map(|b| cfg.blocks()[b].start))
+                    })
+                    .collect()
+            }
+        };
+
+        for cy in 0..gy {
+            for cx in 0..gx {
+                // Fresh shared memory per CTA, parameters at the base.
+                shared.clear();
+                for (i, &p) in launch.param_values().iter().enumerate() {
+                    shared
+                        .store(PARAM_BASE + 4 * i as u32, p)
+                        .expect("parameters fit in shared memory");
+                }
+                // (Re)build the CTA's thread states.
+                let mut idx = 0;
+                for tz in 0..bz {
+                    for ty in 0..by {
+                        for tx in 0..bx {
+                            let coords = ThreadCoords {
+                                tid: (tx, ty, tz),
+                                ctaid: (cx, cy),
+                                ntid: (bx, by, bz),
+                                nctaid: (gx, gy),
+                            };
+                            if idx < threads.len() {
+                                threads[idx].reset(coords);
+                            } else {
+                                threads.push(ThreadState::new(coords));
+                            }
+                            idx += 1;
+                        }
+                    }
+                }
+
+                match self.mode {
+                    ExecMode::ThreadSerial => self.run_cta(
+                        program,
+                        global,
+                        &mut shared,
+                        &mut threads[..cta_threads],
+                        hook,
+                        &mut budget,
+                        &mut stats,
+                    )?,
+                    ExecMode::WarpLockstep { width } => self.run_cta_warps(
+                        program,
+                        global,
+                        &mut shared,
+                        &mut threads[..cta_threads],
+                        hook,
+                        &mut budget,
+                        &mut stats,
+                        width,
+                        &rpcs,
+                    )?,
+                }
+            }
+        }
+        stats.instructions = launch.budget() - budget;
+        Ok(stats)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_cta<H: ExecHook>(
+        &self,
+        program: &fsp_isa::KernelProgram,
+        global: &mut MemBlock,
+        shared: &mut MemBlock,
+        threads: &mut [ThreadState],
+        hook: &mut H,
+        budget: &mut u64,
+        stats: &mut RunStats,
+    ) -> Result<(), SimFault> {
+        let mut ctx = ExecCtx { program, global, shared };
+        loop {
+            let mut all_done = true;
+            for thread in threads.iter_mut() {
+                if thread.status != ThreadStatus::Ready {
+                    if thread.status == ThreadStatus::AtBarrier {
+                        all_done = false;
+                    }
+                    continue;
+                }
+                // Run this thread until it blocks, exits or faults.
+                loop {
+                    match step(thread, &mut ctx, hook, budget)? {
+                        StepEffect::Continue => {}
+                        StepEffect::Barrier => {
+                            all_done = false;
+                            break;
+                        }
+                        StepEffect::Done => break,
+                    }
+                }
+            }
+            if all_done {
+                return Ok(());
+            }
+            // Every live thread is at the barrier: release them all.
+            stats.barriers += 1;
+            for thread in threads.iter_mut() {
+                if thread.status == ThreadStatus::AtBarrier {
+                    thread.status = ThreadStatus::Ready;
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_cta_warps<H: ExecHook>(
+        &self,
+        program: &fsp_isa::KernelProgram,
+        global: &mut MemBlock,
+        shared: &mut MemBlock,
+        threads: &mut [ThreadState],
+        hook: &mut H,
+        budget: &mut u64,
+        stats: &mut RunStats,
+        width: u32,
+        rpcs: &[Option<usize>],
+    ) -> Result<(), SimFault> {
+        use crate::warp::{WarpEffect, WarpStack};
+        let mut ctx = ExecCtx { program, global, shared };
+        let mut warps: Vec<WarpStack> = (0..threads.len())
+            .collect::<Vec<_>>()
+            .chunks(width as usize)
+            .map(|lanes| WarpStack::new(lanes.to_vec()))
+            .collect();
+        loop {
+            let mut any_at_barrier = false;
+            for warp in &mut warps {
+                match warp.run(threads, &mut ctx, hook, budget, rpcs)? {
+                    WarpEffect::Done => {}
+                    WarpEffect::AtBarrier => any_at_barrier = true,
+                }
+            }
+            if !any_at_barrier {
+                debug_assert!(
+                    threads.iter().all(|t| t.status == ThreadStatus::Done),
+                    "a warp stopped without finishing or reaching a barrier"
+                );
+                return Ok(());
+            }
+            stats.barriers += 1;
+            for thread in threads.iter_mut() {
+                if thread.status == ThreadStatus::AtBarrier {
+                    thread.status = ThreadStatus::Ready;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hook::NopHook;
+    use fsp_isa::assemble;
+
+    #[test]
+    fn barrier_communicates_through_shared() {
+        // Thread 0 writes a value to shared memory before the barrier; all
+        // threads read it after and store to their global slot.
+        let p = assemble(
+            "t",
+            r#"
+            cvt.u32.u16 $r1, %tid.x
+            // set.eq leaves the zero flag CLEAR when the comparison holds
+            // (the boolean result is all-ones), so "branch if equal" is
+            // `set.eq` + `@$p0.ne` — exactly the idiom in the paper's
+            // PathFinder listing.
+            set.eq.u32.u32 $p0/$o127, $r1, $r124
+            @$p0.ne bra writer
+            bra join
+            writer:
+            mov.u32 $r2, 0x2A
+            mov.u32 s[0x0100], $r2
+            join:
+            bar.sync 0x0
+            mov.u32 $r3, s[0x0100]
+            shl.u32 $r4, $r1, 0x2
+            add.u32 $r4, $r4, s[0x0010]
+            st.global.u32 [$r4], $r3
+            exit
+            "#,
+        )
+        .unwrap();
+        let mut global = MemBlock::with_words(8);
+        let launch = Launch::new(p).grid(1, 1).block(8, 1, 1).param(0);
+        let stats = Simulator::new().run(&launch, &mut global, &mut NopHook).unwrap();
+        assert_eq!(global.words(), &[42u32; 8]);
+        assert_eq!(stats.barriers, 1);
+        assert_eq!(stats.threads, 8);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_hang() {
+        let p = assemble("t", "spin: bra spin").unwrap();
+        let mut global = MemBlock::with_words(1);
+        let launch = Launch::new(p).instr_budget(1000);
+        let err = Simulator::new().run(&launch, &mut global, &mut NopHook).unwrap_err();
+        assert_eq!(err, SimFault::BudgetExceeded);
+    }
+
+    #[test]
+    fn oob_store_faults() {
+        let p = assemble("t", "mov.u32 $r1, 0x1000\nst.global.u32 [$r1], $r1\nexit").unwrap();
+        let mut global = MemBlock::with_words(4);
+        let launch = Launch::new(p);
+        let err = Simulator::new().run(&launch, &mut global, &mut NopHook).unwrap_err();
+        assert!(matches!(err, SimFault::InvalidAccess { space: MemSpace::Global, .. }));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let p = assemble(
+            "t",
+            r#"
+            cvt.u32.u16 $r1, %tid.x
+            cvt.u32.u16 $r2, %ctaid.x
+            mul.lo.u32 $r3, $r2, $r1
+            shl.u32 $r4, $r1, 0x2
+            add.u32 $r4, $r4, s[0x0010]
+            st.global.u32 [$r4], $r3
+            exit
+            "#,
+        )
+        .unwrap();
+        let launch = Launch::new(p).grid(2, 1).block(4, 1, 1).param(0);
+        let run = || {
+            let mut g = MemBlock::with_words(16);
+            Simulator::new().run(&launch, &mut g, &mut NopHook).unwrap();
+            g.words().to_vec()
+        };
+        assert_eq!(run(), run());
+    }
+}

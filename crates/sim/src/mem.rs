@@ -1,0 +1,170 @@
+//! Word-granular memory blocks used for global, shared and local spaces.
+
+use crate::exec::SimFault;
+use fsp_isa::MemSpace;
+
+/// A byte-addressed, word-granular memory block.
+///
+/// All accesses must be 4-byte aligned and in bounds; violations surface as
+/// [`SimFault::InvalidAccess`] / [`SimFault::Unaligned`], which the injector
+/// classifies as a *crash* outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemBlock {
+    words: Vec<u32>,
+    space: MemSpace,
+}
+
+impl MemBlock {
+    /// A block of `words` 32-bit words, zero-initialized, labelled as global
+    /// memory.
+    #[must_use]
+    pub fn with_words(words: usize) -> Self {
+        MemBlock { words: vec![0; words], space: MemSpace::Global }
+    }
+
+    /// A block sized in bytes (rounded up to a whole word).
+    #[must_use]
+    pub fn with_bytes(bytes: usize) -> Self {
+        Self::with_words(bytes.div_ceil(4))
+    }
+
+    /// Same as [`MemBlock::with_words`] with a specific space label (used in
+    /// fault reports).
+    #[must_use]
+    pub fn with_space(words: usize, space: MemSpace) -> Self {
+        MemBlock { words: vec![0; words], space }
+    }
+
+    /// Size in bytes.
+    #[must_use]
+    pub fn len_bytes(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    /// Resets all words to zero without reallocating.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    fn index(&self, addr: u32) -> Result<usize, SimFault> {
+        if !addr.is_multiple_of(4) {
+            return Err(SimFault::Unaligned { space: self.space, addr });
+        }
+        let idx = (addr / 4) as usize;
+        if idx >= self.words.len() {
+            return Err(SimFault::InvalidAccess { space: self.space, addr });
+        }
+        Ok(idx)
+    }
+
+    /// Loads the word at byte address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimFault::Unaligned`] or [`SimFault::InvalidAccess`].
+    pub fn load(&self, addr: u32) -> Result<u32, SimFault> {
+        self.index(addr).map(|i| self.words[i])
+    }
+
+    /// Stores `value` at byte address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimFault::Unaligned`] or [`SimFault::InvalidAccess`].
+    pub fn store(&mut self, addr: u32, value: u32) -> Result<(), SimFault> {
+        let i = self.index(addr)?;
+        self.words[i] = value;
+        Ok(())
+    }
+
+    /// View of the underlying words.
+    #[must_use]
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Mutable view of the underlying words (host-side initialization).
+    pub fn words_mut(&mut self) -> &mut [u32] {
+        &mut self.words
+    }
+
+    /// Host-side helper: writes a `u32` slice starting at byte address
+    /// `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is unaligned or out of bounds — host setup bugs
+    /// should fail loudly.
+    pub fn write_slice(&mut self, addr: u32, data: &[u32]) {
+        assert_eq!(addr % 4, 0, "unaligned host write at {addr:#x}");
+        let start = (addr / 4) as usize;
+        self.words[start..start + data.len()].copy_from_slice(data);
+    }
+
+    /// Host-side helper: writes an `f32` slice starting at byte address
+    /// `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is unaligned or out of bounds.
+    pub fn write_f32_slice(&mut self, addr: u32, data: &[f32]) {
+        assert_eq!(addr % 4, 0, "unaligned host write at {addr:#x}");
+        let start = (addr / 4) as usize;
+        for (slot, v) in self.words[start..start + data.len()].iter_mut().zip(data) {
+            *slot = v.to_bits();
+        }
+    }
+
+    /// Host-side helper: reads `len` words starting at byte address `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is unaligned or out of bounds.
+    #[must_use]
+    pub fn read_slice(&self, addr: u32, len: usize) -> &[u32] {
+        assert_eq!(addr % 4, 0, "unaligned host read at {addr:#x}");
+        let start = (addr / 4) as usize;
+        &self.words[start..start + len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_store_roundtrip() {
+        let mut m = MemBlock::with_words(4);
+        m.store(8, 0xDEAD_BEEF).unwrap();
+        assert_eq!(m.load(8).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(m.load(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_faults() {
+        let m = MemBlock::with_words(4);
+        assert!(matches!(m.load(16), Err(SimFault::InvalidAccess { .. })));
+        assert!(matches!(
+            MemBlock::with_words(4).store(100, 1),
+            Err(SimFault::InvalidAccess { .. })
+        ));
+    }
+
+    #[test]
+    fn unaligned_faults() {
+        let m = MemBlock::with_words(4);
+        assert!(matches!(m.load(2), Err(SimFault::Unaligned { .. })));
+    }
+
+    #[test]
+    fn host_helpers() {
+        let mut m = MemBlock::with_bytes(30); // rounds to 8 words
+        assert_eq!(m.len_bytes(), 32);
+        m.write_slice(4, &[1, 2, 3]);
+        assert_eq!(m.read_slice(4, 3), &[1, 2, 3]);
+        m.write_f32_slice(16, &[1.5]);
+        assert_eq!(m.load(16).unwrap(), 1.5f32.to_bits());
+        m.clear();
+        assert_eq!(m.load(4).unwrap(), 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! End-to-end execution of kernels translated from real PTX: the
+//! `nvcc`-style saxpy from the `fsp-isa` frontend runs on the simulator
+//! and produces the right numbers, under both execution modes.
+
+use fsp_isa::ptx::translate_ptx;
+use fsp_sim::{Launch, MemBlock, NopHook, Simulator};
+
+const SAXPY_PTX: &str = r#"
+.version 7.8
+.target sm_52
+.address_size 64
+
+.visible .entry saxpy(
+    .param .u64 saxpy_param_0,
+    .param .u64 saxpy_param_1,
+    .param .u32 saxpy_param_2,
+    .param .f32 saxpy_param_3
+)
+{
+    .reg .pred  %p<2>;
+    .reg .f32   %f<4>;
+    .reg .b32   %r<6>;
+    .reg .b64   %rd<8>;
+
+    ld.param.u64    %rd1, [saxpy_param_0];
+    ld.param.u64    %rd2, [saxpy_param_1];
+    ld.param.u32    %r2, [saxpy_param_2];
+    ld.param.f32    %f1, [saxpy_param_3];
+    cvta.to.global.u64  %rd3, %rd2;
+    cvta.to.global.u64  %rd4, %rd1;
+    mov.u32     %r3, %ctaid.x;
+    mov.u32     %r4, %ntid.x;
+    mov.u32     %r5, %tid.x;
+    mad.lo.s32  %r1, %r3, %r4, %r5;
+    setp.ge.s32     %p1, %r1, %r2;
+    @%p1 bra    $L__BB0_2;
+
+    mul.wide.s32    %rd5, %r1, 4;
+    add.s64     %rd6, %rd4, %rd5;
+    ld.global.f32   %f2, [%rd6];
+    add.s64     %rd7, %rd3, %rd5;
+    ld.global.f32   %f3, [%rd7];
+    fma.rn.f32  %f3, %f2, %f1, %f3;
+    st.global.f32   [%rd7], %f3;
+
+$L__BB0_2:
+    ret;
+}
+"#;
+
+fn run_saxpy(sim: Simulator) -> Vec<f32> {
+    let program = translate_ptx(SAXPY_PTX).expect("translates");
+    let n = 6u32;
+    let a = 2.0f32;
+    let x: Vec<f32> = (0..8).map(|i| i as f32).collect();
+    let y: Vec<f32> = (0..8).map(|i| 10.0 * i as f32).collect();
+    let mut memory = MemBlock::with_words(16);
+    memory.write_f32_slice(0, &x);
+    memory.write_f32_slice(32, &y);
+    let launch = Launch::new(program)
+        .block(8, 1, 1)
+        .param(0) // x
+        .param(32) // y
+        .param(n)
+        .param_f32(a);
+    sim.run(&launch, &mut memory, &mut NopHook).expect("runs");
+    memory
+        .read_slice(32, 8)
+        .iter()
+        .map(|&b| f32::from_bits(b))
+        .collect()
+}
+
+#[test]
+fn translated_saxpy_computes_and_respects_the_guard() {
+    let y = run_saxpy(Simulator::new());
+    for (i, &got) in y.iter().take(6).enumerate() {
+        let want = 2.0 * i as f32 + 10.0 * i as f32;
+        assert_eq!(got, want, "element {i}");
+    }
+    // Threads 6 and 7 fail the bound check and must not write.
+    assert_eq!(y[6], 60.0);
+    assert_eq!(y[7], 70.0);
+}
+
+#[test]
+fn translated_saxpy_is_mode_equivalent() {
+    assert_eq!(run_saxpy(Simulator::new()), run_saxpy(Simulator::warp_lockstep(4)));
+}
+
+#[test]
+fn translated_kernel_is_injectable() {
+    // The translated kernel exposes the same fault-site space machinery as
+    // hand-written kernels.
+    let program = translate_ptx(SAXPY_PTX).expect("translates");
+    let launch = Launch::new(program).block(8, 1, 1).param(0).param(32).param(6).param_f32(2.0);
+    let mut tracer = fsp_sim::Tracer::new(8, 8).with_full_traces(0..8);
+    let mut memory = MemBlock::with_words(16);
+    Simulator::new().run(&launch, &mut memory, &mut tracer).expect("runs");
+    let trace = tracer.finish();
+    assert!(trace.total_fault_sites() > 0);
+    // Divergence shows in iCnt: in-bounds threads run the body.
+    assert!(trace.icnt[0] > trace.icnt[7]);
+}

@@ -1,0 +1,509 @@
+//! Instruction-level semantics of the interpreter, one behaviour per test.
+//!
+//! Each helper runs a single-thread kernel that stores its result(s) to
+//! global memory; the assertions pin down the exact PTXPlus-like semantics
+//! the fault model depends on (wrapping arithmetic, CUDA-style division by
+//! zero, shift clamping, condition-code flags, ...).
+
+use fsp_isa::assemble;
+use fsp_sim::{Launch, MemBlock, NopHook, SimFault, Simulator};
+
+/// Runs `body` (which should store results at bytes 0, 4, ... and `exit`)
+/// and returns the first `n` words of global memory.
+fn run(body: &str, n: usize) -> Vec<u32> {
+    let p = assemble("t", body).expect("test kernel assembles");
+    let mut g = MemBlock::with_words(n.max(4));
+    Simulator::new()
+        .run(&Launch::new(p), &mut g, &mut NopHook)
+        .expect("test kernel runs");
+    g.words()[..n].to_vec()
+}
+
+fn run1(body: &str) -> u32 {
+    run(body, 1)[0]
+}
+
+fn runf(body: &str) -> f32 {
+    f32::from_bits(run1(body))
+}
+
+#[test]
+fn add_wraps_unsigned() {
+    let v = run1(
+        "mov.u32 $r1, 0xFFFFFFFF\nadd.u32 $r1, $r1, 0x2\nst.global.u32 [$r124], $r1\nexit",
+    );
+    assert_eq!(v, 1);
+}
+
+#[test]
+fn sub_wraps_below_zero() {
+    let v = run1("mov.u32 $r1, 0x1\nsub.u32 $r1, $r1, 0x3\nst.global.u32 [$r124], $r1\nexit");
+    assert_eq!(v, (-2i32) as u32);
+}
+
+#[test]
+fn u16_ops_mask_to_16_bits() {
+    let v = run1(
+        "mov.u32 $r1, 0xFFFF\nadd.u16 $r1, $r1, 0x2\nst.global.u32 [$r124], $r1\nexit",
+    );
+    assert_eq!(v, 1, "u16 add wraps at 16 bits");
+}
+
+#[test]
+fn mul_lo_hi_unsigned() {
+    let words = run(
+        r#"
+        mov.u32 $r1, 0x10000
+        mul.lo.u32 $r2, $r1, $r1
+        st.global.u32 [$r124], $r2
+        mul.hi.u32 $r3, $r1, $r1
+        mov.u32 $r4, 0x4
+        st.global.u32 [$r4], $r3
+        exit
+        "#,
+        2,
+    );
+    assert_eq!(words[0], 0, "low 32 bits of 2^32");
+    assert_eq!(words[1], 1, "high 32 bits of 2^32");
+}
+
+#[test]
+fn mul_hi_signed() {
+    // (-2)^31... use -3 * 5 = -15: high word is all ones.
+    let v = run1(
+        "mov.u32 $r1, -3\nmov.u32 $r2, 0x5\nmul.hi.s32 $r3, $r1, $r2\nst.global.u32 [$r124], $r3\nexit",
+    );
+    assert_eq!(v, u32::MAX);
+}
+
+#[test]
+fn mul_wide_u16_uses_halves() {
+    // $r1 = 0xFFFF0003: lo=3, hi=0xFFFF. wide.u16 lo*hi = 3 * 65535.
+    let v = run1(
+        "mov.u32 $r1, 0xFFFF0003\nmul.wide.u16 $r2, $r1.lo, $r1.hi\nst.global.u32 [$r124], $r2\nexit",
+    );
+    assert_eq!(v, 3 * 65535);
+}
+
+#[test]
+fn mul_wide_s16_sign_extends() {
+    // lo = -1 (0xFFFF as s16), hi = 2 -> product -2.
+    let v = run1(
+        "mov.u32 $r1, 0x0002FFFF\nmul.wide.s16 $r2, $r1.lo, $r1.hi\nst.global.u32 [$r124], $r2\nexit",
+    );
+    assert_eq!(v as i32, -2);
+}
+
+#[test]
+fn mad_wide_accumulates() {
+    let v = run1(
+        r#"
+        mov.u32 $r1, 0x00050004
+        mov.u32 $r3, 0x64
+        mad.wide.u16 $r2, $r1.lo, $r1.hi, $r3
+        st.global.u32 [$r124], $r2
+        exit
+        "#,
+    );
+    assert_eq!(v, 4 * 5 + 100);
+}
+
+#[test]
+fn integer_division_by_zero_is_all_ones_not_a_trap() {
+    let v = run1(
+        "mov.u32 $r1, 0x7\nmov.u32 $r2, $r124\ndiv.u32 $r3, $r1, $r2\nst.global.u32 [$r124], $r3\nexit",
+    );
+    assert_eq!(v, u32::MAX, "CUDA semantics: no trap, all-ones result");
+}
+
+#[test]
+fn signed_division_overflow_wraps() {
+    // i32::MIN / -1 wraps instead of faulting.
+    let v = run1(
+        "mov.u32 $r1, 0x80000000\nmov.u32 $r2, -1\ndiv.s32 $r3, $r1, $r2\nst.global.u32 [$r124], $r3\nexit",
+    );
+    assert_eq!(v, 0x8000_0000);
+}
+
+#[test]
+fn remainder_by_zero_returns_dividend() {
+    let v = run1(
+        "mov.u32 $r1, 0x7\nrem.u32 $r3, $r1, $r124\nst.global.u32 [$r124], $r3\nexit",
+    );
+    assert_eq!(v, 7);
+}
+
+#[test]
+fn shifts_clamp_at_register_width() {
+    let words = run(
+        r#"
+        mov.u32 $r1, 0xF0000001
+        mov.u32 $r2, 0x40
+        shl.u32 $r3, $r1, $r2
+        st.global.u32 [$r124], $r3
+        shr.u32 $r4, $r1, $r2
+        mov.u32 $r5, 0x4
+        st.global.u32 [$r5], $r4
+        shr.s32 $r6, $r1, $r2
+        mov.u32 $r7, 0x8
+        st.global.u32 [$r7], $r6
+        exit
+        "#,
+        3,
+    );
+    assert_eq!(words[0], 0, "shl >= 32 -> 0");
+    assert_eq!(words[1], 0, "unsigned shr >= 32 -> 0");
+    assert_eq!(words[2], u32::MAX, "signed shr >= 32 fills with sign");
+}
+
+#[test]
+fn arithmetic_shift_preserves_sign() {
+    let v = run1("mov.u32 $r1, -8\nshr.s32 $r2, $r1, 0x1\nst.global.u32 [$r124], $r2\nexit");
+    assert_eq!(v as i32, -4);
+}
+
+#[test]
+fn cvt_u32_u16_truncates() {
+    let v = run1(
+        "mov.u32 $r1, 0xABCD1234\ncvt.u32.u16 $r2, $r1\nst.global.u32 [$r124], $r2\nexit",
+    );
+    assert_eq!(v, 0x1234);
+}
+
+#[test]
+fn cvt_s32_s16_sign_extends() {
+    let v = run1(
+        "mov.u32 $r1, 0xFFFF\ncvt.s32.s16 $r2, $r1\nst.global.u32 [$r124], $r2\nexit",
+    );
+    assert_eq!(v as i32, -1);
+}
+
+#[test]
+fn cvt_f32_s32_and_back() {
+    let v = runf("mov.u32 $r1, -7\ncvt.f32.s32 $r2, $r1\nst.global.f32 [$r124], $r2\nexit");
+    assert_eq!(v, -7.0);
+    let w = run1("mov.f32 $r1, 0fC0E00000\ncvt.s32.f32 $r2, $r1\nst.global.u32 [$r124], $r2\nexit");
+    assert_eq!(w as i32, -7, "float->int truncates toward zero");
+}
+
+#[test]
+fn cvt_f32_u32_saturates_on_negative() {
+    let v = run1(
+        "mov.f32 $r1, -3.5\ncvt.u32.f32 $r2, $r1\nst.global.u32 [$r124], $r2\nexit",
+    );
+    assert_eq!(v, 0, "negative float to unsigned saturates at 0");
+}
+
+#[test]
+fn cvt_negated_operand_is_register_negation() {
+    let v = run1("mov.u32 $r1, 0x5\ncvt.s32.s32 $r1, -$r1\nst.global.u32 [$r124], $r1\nexit");
+    assert_eq!(v as i32, -5);
+}
+
+#[test]
+fn float_negated_operand_flips_sign_bit() {
+    let v = runf("mov.f32 $r1, 2.5\nadd.f32 $r2, -$r1, $r124\nst.global.f32 [$r124], $r2\nexit");
+    assert_eq!(v, -2.5);
+}
+
+#[test]
+fn min_max_unsigned_vs_signed() {
+    let words = run(
+        r#"
+        mov.u32 $r1, -1
+        mov.u32 $r2, 0x5
+        min.u32 $r3, $r1, $r2
+        st.global.u32 [$r124], $r3
+        min.s32 $r4, $r1, $r2
+        mov.u32 $r5, 0x4
+        st.global.u32 [$r5], $r4
+        max.s32 $r6, $r1, $r2
+        mov.u32 $r7, 0x8
+        st.global.u32 [$r7], $r6
+        exit
+        "#,
+        3,
+    );
+    assert_eq!(words[0], 5, "0xFFFFFFFF is huge unsigned");
+    assert_eq!(words[1] as i32, -1, "-1 is small signed");
+    assert_eq!(words[2], 5);
+}
+
+#[test]
+fn abs_and_neg() {
+    let words = run(
+        r#"
+        mov.u32 $r1, -9
+        abs.s32 $r2, $r1
+        st.global.u32 [$r124], $r2
+        neg.s32 $r3, $r2
+        mov.u32 $r4, 0x4
+        st.global.u32 [$r4], $r3
+        mov.f32 $r5, -1.5
+        abs.f32 $r6, $r5
+        mov.u32 $r7, 0x8
+        st.global.f32 [$r7], $r6
+        exit
+        "#,
+        3,
+    );
+    assert_eq!(words[0], 9);
+    assert_eq!(words[1] as i32, -9);
+    assert_eq!(f32::from_bits(words[2]), 1.5);
+}
+
+#[test]
+fn float_transcendentals() {
+    assert_eq!(
+        runf("mov.f32 $r1, 4.0\nsqrt.f32 $r2, $r1\nst.global.f32 [$r124], $r2\nexit"),
+        2.0
+    );
+    assert_eq!(
+        runf("mov.f32 $r1, 4.0\nrcp.f32 $r2, $r1\nst.global.f32 [$r124], $r2\nexit"),
+        0.25
+    );
+    assert_eq!(
+        runf("mov.f32 $r1, 4.0\nrsqrt.f32 $r2, $r1\nst.global.f32 [$r124], $r2\nexit"),
+        0.5
+    );
+    assert_eq!(
+        runf("mov.f32 $r1, 3.0\nex2.f32 $r2, $r1\nst.global.f32 [$r124], $r2\nexit"),
+        8.0
+    );
+    assert_eq!(
+        runf("mov.f32 $r1, 8.0\nlg2.f32 $r2, $r1\nst.global.f32 [$r124], $r2\nexit"),
+        3.0
+    );
+}
+
+#[test]
+fn logic_ops_and_not() {
+    let words = run(
+        r#"
+        mov.u32 $r1, 0xF0F0
+        mov.u32 $r2, 0x0FF0
+        and.b32 $r3, $r1, $r2
+        st.global.u32 [$r124], $r3
+        or.b32 $r4, $r1, $r2
+        mov.u32 $r9, 0x4
+        st.global.u32 [$r9], $r4
+        xor.b32 $r5, $r1, $r2
+        mov.u32 $r10, 0x8
+        st.global.u32 [$r10], $r5
+        not.b32 $r6, $r1
+        mov.u32 $r11, 0xc
+        st.global.u32 [$r11], $r6
+        exit
+        "#,
+        4,
+    );
+    assert_eq!(words[0], 0x00F0);
+    assert_eq!(words[1], 0xFFF0);
+    assert_eq!(words[2], 0xFF00);
+    assert_eq!(words[3], !0xF0F0u32);
+}
+
+#[test]
+fn set_produces_all_ones_mask() {
+    let words = run(
+        r#"
+        mov.u32 $r1, 0x3
+        set.lt.u32.u32 $p0/$r2, $r1, 0x5
+        st.global.u32 [$r124], $r2
+        set.gt.u32.u32 $p0/$r3, $r1, 0x5
+        mov.u32 $r4, 0x4
+        st.global.u32 [$r4], $r3
+        exit
+        "#,
+        2,
+    );
+    assert_eq!(words[0], u32::MAX);
+    assert_eq!(words[1], 0);
+}
+
+#[test]
+fn set_f32_dtype_produces_one_point_zero() {
+    let v = runf(
+        "mov.f32 $r1, 1.0\nset.lt.f32.f32 $p0/$r2, $r1, 2.0\nst.global.f32 [$r124], $r2\nexit",
+    );
+    assert_eq!(v, 1.0);
+}
+
+#[test]
+fn guard_tests_cover_all_six_conditions() {
+    // Flags come from the written value (`and.b32 $p0|..., x, x` latches
+    // the flags of x): value 0 sets the zero flag, a negative value the
+    // sign flag, a positive value neither. Each guarded add below records
+    // one passing test as a bit.
+    let probe = |value: &str| -> Vec<u32> {
+        run(
+            &format!(
+                r#"
+                mov.u32 $r1, {value}
+                and.b32 $p0|$o127, $r1, $r1
+                mov.u32 $r3, $r124
+                @$p0.eq add.u32 $r3, $r3, 0x1
+                @$p0.ne add.u32 $r3, $r3, 0x2
+                @$p0.lt add.u32 $r3, $r3, 0x4
+                @$p0.le add.u32 $r3, $r3, 0x8
+                @$p0.gt add.u32 $r3, $r3, 0x10
+                @$p0.ge add.u32 $r3, $r3, 0x20
+                st.global.u32 [$r124], $r3
+                exit
+                "#
+            ),
+            1,
+        )
+    };
+    // value 0: zero flag -> eq, le, ge pass.
+    assert_eq!(probe("$r124")[0], 0x1 | 0x8 | 0x20);
+    // value -1 (sign set): ne, lt, le pass.
+    assert_eq!(probe("-1")[0], 0x2 | 0x4 | 0x8);
+    // value 1 (no flags): ne, gt, ge pass.
+    assert_eq!(probe("0x1")[0], 0x2 | 0x10 | 0x20);
+}
+
+#[test]
+fn add_sets_carry_and_overflow_flags() {
+    // 0x7FFFFFFF + 1: signed overflow (flag bit 3), no carry.
+    // Carry flag is bit 2, tested through the raw predicate value.
+    let words = run(
+        r#"
+        mov.u32 $r1, 0x7FFFFFFF
+        add.u32 $p0|$r2, $r1, 0x1
+        mov.u32 $r3, $p0
+        st.global.u32 [$r124], $r3
+        mov.u32 $r4, 0xFFFFFFFF
+        add.u32 $p1|$r5, $r4, 0x2
+        mov.u32 $r6, $p1
+        mov.u32 $r7, 0x4
+        st.global.u32 [$r7], $r6
+        exit
+        "#,
+        2,
+    );
+    // 0x80000000: sign set (bit1), overflow set (bit3).
+    assert_eq!(words[0], 0b1010);
+    // 0xFFFFFFFF + 2 = 1: carry set (bit2) only.
+    assert_eq!(words[1], 0b0100);
+}
+
+#[test]
+fn selp_selects_on_predicate() {
+    let words = run(
+        r#"
+        mov.u32 $r1, 0x1
+        and.b32 $p0|$o127, $r1, $r1          // flags of 1: zero clear
+        selp.ne.u32 $r2, 0xAA, 0xBB, $p0     // ne passes -> first operand
+        st.global.u32 [$r124], $r2
+        selp.eq.u32 $r3, 0xAA, 0xBB, $p0     // eq fails -> second operand
+        mov.u32 $r4, 0x4
+        st.global.u32 [$r4], $r3
+        exit
+        "#,
+        2,
+    );
+    assert_eq!(words[0], 0xAA);
+    assert_eq!(words[1], 0xBB);
+}
+
+#[test]
+fn local_memory_is_per_thread() {
+    let p = assemble(
+        "t",
+        r#"
+        cvt.u32.u16 $r1, %tid.x
+        mov.u32 l[0x0], $r1              // each thread stores its tid locally
+        bar.sync 0x0
+        mov.u32 $r2, l[0x0]              // and must read it back unchanged
+        shl.u32 $r3, $r1, 0x2
+        st.global.u32 [$r3], $r2
+        exit
+        "#,
+    )
+    .unwrap();
+    let mut g = MemBlock::with_words(4);
+    Simulator::new()
+        .run(&Launch::new(p).block(4, 1, 1), &mut g, &mut NopHook)
+        .unwrap();
+    assert_eq!(g.words(), &[0, 1, 2, 3]);
+}
+
+#[test]
+fn zero_register_discards_writes() {
+    let v = run1(
+        "mov.u32 $r124, 0x99\nadd.u32 $r1, $r124, 0x1\nst.global.u32 [$r124], $r1\nexit",
+    );
+    assert_eq!(v, 1, "$r124 reads zero even after a write");
+}
+
+#[test]
+fn falling_off_the_end_is_implicit_exit() {
+    let p = assemble("t", "mov.u32 $r1, 0x1\nst.global.u32 [$r124], $r1").unwrap();
+    let mut g = MemBlock::with_words(1);
+    let stats = Simulator::new().run(&Launch::new(p), &mut g, &mut NopHook).unwrap();
+    assert_eq!(g.words()[0], 1);
+    assert_eq!(stats.instructions, 2);
+}
+
+#[test]
+fn unaligned_global_access_faults() {
+    let p = assemble("t", "mov.u32 $r1, 0x2\nld.global.u32 $r2, [$r1]\nexit").unwrap();
+    let mut g = MemBlock::with_words(4);
+    let err = Simulator::new().run(&Launch::new(p), &mut g, &mut NopHook).unwrap_err();
+    assert!(matches!(err, SimFault::Unaligned { .. }));
+}
+
+#[test]
+fn shared_out_of_bounds_faults() {
+    let p = assemble("t", "mov.u32 $r1, s[0x0FF0]\nexit").unwrap();
+    let mut g = MemBlock::with_words(1);
+    let launch = Launch::new(p).shared_bytes(0x100);
+    let err = Simulator::new().run(&launch, &mut g, &mut NopHook).unwrap_err();
+    assert!(matches!(err, SimFault::InvalidAccess { .. }));
+}
+
+#[test]
+fn alu_with_memory_operands() {
+    // PTXPlus allows memory operands directly in ALU instructions.
+    let p = assemble(
+        "t",
+        r#"
+        mov.u32 $r1, 0x2A
+        mov.u32 s[0x0100], $r1
+        add.u32 $r2, s[0x0100], 0x1
+        st.global.u32 [$r124], $r2
+        min.s32 $r3, s[0x0100], 0x5
+        mov.u32 $r4, 0x4
+        st.global.u32 [$r4], $r3
+        exit
+        "#,
+    )
+    .unwrap();
+    let mut g = MemBlock::with_words(2);
+    Simulator::new().run(&Launch::new(p), &mut g, &mut NopHook).unwrap();
+    assert_eq!(g.words()[0], 43);
+    assert_eq!(g.words()[1], 5);
+}
+
+#[test]
+fn retp_guard_controls_exit() {
+    let p = assemble(
+        "t",
+        r#"
+        cvt.u32.u16 $r1, %tid.x
+        set.eq.u32.u32 $p0/$o127, $r1, $r124
+        @$p0.ne retp                      // tid 0 returns here
+        mov.u32 $r2, 0x1
+        shl.u32 $r3, $r1, 0x2
+        st.global.u32 [$r3], $r2
+        exit
+        "#,
+    )
+    .unwrap();
+    let mut g = MemBlock::with_words(2);
+    Simulator::new()
+        .run(&Launch::new(p).block(2, 1, 1), &mut g, &mut NopHook)
+        .unwrap();
+    assert_eq!(g.words(), &[0, 1], "thread 0 exited early, thread 1 stored");
+}

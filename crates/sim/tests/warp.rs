@@ -1,0 +1,254 @@
+//! Warp-lockstep executor: divergence-stack behaviour.
+
+use fsp_isa::assemble;
+use fsp_sim::{Launch, MemBlock, NopHook, SimFault, Simulator};
+
+fn run_warped(src: &str, threads: u32, width: u32, words: usize) -> Vec<u32> {
+    let p = assemble("t", src).unwrap();
+    let mut g = MemBlock::with_words(words);
+    Simulator::warp_lockstep(width)
+        .run(&Launch::new(p).block(threads, 1, 1), &mut g, &mut NopHook)
+        .expect("warp kernel runs");
+    g.words()[..words].to_vec()
+}
+
+#[test]
+fn if_else_divergence_reconverges() {
+    // Even lanes add 1, odd lanes add 2; all store after reconvergence.
+    let words = run_warped(
+        r#"
+        cvt.u32.u16 $r1, %tid.x
+        and.b32 $r2, $r1, 0x1
+        set.eq.u32.u32 $p0/$o127, $r2, $r124
+        @$p0.eq bra odd
+        mov.u32 $r3, 0x1
+        bra join
+        odd:
+        mov.u32 $r3, 0x2
+        join:
+        shl.u32 $r4, $r1, 0x2
+        st.global.u32 [$r4], $r3
+        exit
+        "#,
+        8,
+        4,
+        8,
+    );
+    assert_eq!(words, vec![1, 2, 1, 2, 1, 2, 1, 2]);
+}
+
+#[test]
+fn nested_divergence() {
+    // Outer split on bit 0, inner split on bit 1: four distinct paths.
+    let words = run_warped(
+        r#"
+        cvt.u32.u16 $r1, %tid.x
+        and.b32 $r2, $r1, 0x1
+        and.b32 $r3, $r1, 0x2
+        set.eq.u32.u32 $p0/$o127, $r2, $r124
+        @$p0.eq bra outer1
+        set.eq.u32.u32 $p0/$o127, $r3, $r124
+        @$p0.eq bra a1
+        mov.u32 $r4, 0x0
+        bra inner_join0
+        a1:
+        mov.u32 $r4, 0x1
+        inner_join0:
+        bra join
+        outer1:
+        set.eq.u32.u32 $p0/$o127, $r3, $r124
+        @$p0.eq bra b1
+        mov.u32 $r4, 0x2
+        bra inner_join1
+        b1:
+        mov.u32 $r4, 0x3
+        inner_join1:
+        join:
+        shl.u32 $r5, $r1, 0x2
+        st.global.u32 [$r5], $r4
+        exit
+        "#,
+        4,
+        4,
+        4,
+    );
+    // tid 0: bits (0,0) -> outer even path, inner even -> 0
+    // tid 1: (1,0) -> outer odd, inner even -> 2
+    // tid 2: (0,1) -> outer even, inner odd -> 1
+    // tid 3: (1,1) -> outer odd, inner odd -> 3
+    assert_eq!(words, vec![0, 2, 1, 3]);
+}
+
+#[test]
+fn loop_divergence_with_different_trip_counts() {
+    // Each lane loops tid+1 times; lanes retire from the loop one by one.
+    let words = run_warped(
+        r#"
+        cvt.u32.u16 $r1, %tid.x
+        add.u32 $r2, $r1, 0x1          // trips
+        mov.u32 $r3, $r124             // acc
+        loop:
+        add.u32 $r3, $r3, 0x3
+        add.u32 $r2, $r2, -1
+        set.ne.u32.u32 $p0/$o127, $r2, $r124
+        @$p0.ne bra loop
+        shl.u32 $r4, $r1, 0x2
+        st.global.u32 [$r4], $r3
+        exit
+        "#,
+        4,
+        4,
+        4,
+    );
+    assert_eq!(words, vec![3, 6, 9, 12]);
+}
+
+#[test]
+fn divergent_paths_without_reconvergence() {
+    // Both arms end in their own exit: the reconvergence point is thread
+    // exit; both sides must still complete.
+    let words = run_warped(
+        r#"
+        cvt.u32.u16 $r1, %tid.x
+        and.b32 $r2, $r1, 0x1
+        set.eq.u32.u32 $p0/$o127, $r2, $r124
+        @$p0.eq bra other
+        shl.u32 $r4, $r1, 0x2
+        mov.u32 $r5, 0x11
+        st.global.u32 [$r4], $r5
+        exit
+        other:
+        shl.u32 $r4, $r1, 0x2
+        mov.u32 $r5, 0x22
+        st.global.u32 [$r4], $r5
+        exit
+        "#,
+        4,
+        4,
+        4,
+    );
+    assert_eq!(words, vec![0x11, 0x22, 0x11, 0x22]);
+}
+
+#[test]
+fn divergent_barrier_is_refused() {
+    let p = assemble(
+        "t",
+        r#"
+        cvt.u32.u16 $r1, %tid.x
+        set.eq.u32.u32 $p0/$o127, $r1, $r124
+        @$p0.ne bra skip                 // thread 0 branches away
+        bar.sync 0x0                     // the rest hit a divergent barrier
+        skip:
+        exit
+        "#,
+    )
+    .unwrap();
+    let mut g = MemBlock::with_words(1);
+    let err = Simulator::warp_lockstep(4)
+        .run(&Launch::new(p.clone()).block(4, 1, 1), &mut g, &mut NopHook)
+        .unwrap_err();
+    assert!(matches!(err, SimFault::BarrierDivergence { .. }));
+    // The lenient thread-serial schedule tolerates the same kernel.
+    let mut g = MemBlock::with_words(1);
+    Simulator::new()
+        .run(&Launch::new(p).block(4, 1, 1), &mut g, &mut NopHook)
+        .expect("thread-serial mode releases when all live threads wait");
+}
+
+#[test]
+fn barriers_synchronize_across_warps() {
+    // Warp 1's lane publishes through shared memory; warp 0 reads after
+    // the barrier.
+    let words = run_warped(
+        r#"
+        cvt.u32.u16 $r1, %tid.x
+        set.eq.u32.u32 $p0/$o127, $r1, 0x7
+        @$p0.eq bra wait
+        mov.u32 $r2, 0x5A
+        mov.u32 s[0x0100], $r2
+        wait:
+        bar.sync 0x0
+        mov.u32 $r3, s[0x0100]
+        shl.u32 $r4, $r1, 0x2
+        st.global.u32 [$r4], $r3
+        exit
+        "#,
+        8,
+        4,
+        8,
+    );
+    assert_eq!(words, vec![0x5A; 8]);
+}
+
+#[test]
+fn partial_last_warp() {
+    // 6 threads at width 4: the second warp has 2 lanes.
+    let words = run_warped(
+        r#"
+        cvt.u32.u16 $r1, %tid.x
+        shl.u32 $r2, $r1, 0x2
+        st.global.u32 [$r2], $r1
+        exit
+        "#,
+        6,
+        4,
+        6,
+    );
+    assert_eq!(words, vec![0, 1, 2, 3, 4, 5]);
+}
+
+#[test]
+fn explicit_ssy_annotation_controls_reconvergence() {
+    // The `ssy join` declares the reconvergence point explicitly
+    // (PTXPlus-style); the kernel must behave identically to the
+    // CFG-derived default.
+    let words = run_warped(
+        r#"
+        cvt.u32.u16 $r1, %tid.x
+        and.b32 $r2, $r1, 0x1
+        ssy join
+        set.eq.u32.u32 $p0/$o127, $r2, $r124
+        @$p0.eq bra odd
+        mov.u32 $r3, 0x1
+        bra join
+        odd:
+        mov.u32 $r3, 0x2
+        join:
+        shl.u32 $r4, $r1, 0x2
+        st.global.u32 [$r4], $r3
+        exit
+        "#,
+        4,
+        4,
+        4,
+    );
+    assert_eq!(words, vec![1, 2, 1, 2]);
+}
+
+#[test]
+fn raw_address_ssy_is_tolerated() {
+    // GPGPU-Sim dumps carry byte addresses (`ssy 0x228`); they are parsed
+    // and ignored, falling back to CFG reconvergence.
+    let words = run_warped(
+        r#"
+        cvt.u32.u16 $r1, %tid.x
+        ssy 0x00000228
+        and.b32 $r2, $r1, 0x1
+        set.eq.u32.u32 $p0/$o127, $r2, $r124
+        @$p0.eq bra odd
+        mov.u32 $r3, 0x1
+        bra join
+        odd:
+        mov.u32 $r3, 0x2
+        join:
+        shl.u32 $r4, $r1, 0x2
+        st.global.u32 [$r4], $r3
+        exit
+        "#,
+        4,
+        4,
+        4,
+    );
+    assert_eq!(words, vec![1, 2, 1, 2]);
+}

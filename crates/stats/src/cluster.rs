@@ -1,0 +1,97 @@
+//! Partition-agreement metrics.
+//!
+//! Used to quantify the paper's pivotal Figure 2 / Figure 3 claim: the CTA
+//! grouping induced by fault-injection *outcomes* agrees with the grouping
+//! induced by the iCnt classifier alone.
+
+/// The Rand index between two partitions of the same elements, given as
+/// per-element group labels. 1.0 means identical partitions; ~0.5 is what
+/// unrelated random partitions score.
+///
+/// ```
+/// use fsp_stats::rand_index;
+/// assert_eq!(rand_index(&[0, 0, 1, 1], &[5, 5, 9, 9]), 1.0);
+/// assert!(rand_index(&[0, 0, 1, 1], &[0, 1, 0, 1]) < 0.5);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+#[must_use]
+pub fn rand_index(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "partitions must label the same elements");
+    assert!(!a.is_empty(), "rand index of empty partitions");
+    if a.len() == 1 {
+        return 1.0;
+    }
+    let mut agree = 0u64;
+    let mut total = 0u64;
+    for i in 0..a.len() {
+        for j in i + 1..a.len() {
+            let same_a = a[i] == a[j];
+            let same_b = b[i] == b[j];
+            if same_a == same_b {
+                agree += 1;
+            }
+            total += 1;
+        }
+    }
+    agree as f64 / total as f64
+}
+
+/// Turns a list of groups (each a list of element ids) into per-element
+/// labels over `0..n`.
+///
+/// # Panics
+///
+/// Panics if an element id is out of range or an element is missing from
+/// every group.
+#[must_use]
+pub fn labels_from_groups(groups: &[Vec<u32>], n: usize) -> Vec<usize> {
+    let mut labels = vec![usize::MAX; n];
+    for (g, members) in groups.iter().enumerate() {
+        for &m in members {
+            labels[m as usize] = g;
+        }
+    }
+    assert!(
+        labels.iter().all(|&l| l != usize::MAX),
+        "every element must belong to a group"
+    );
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        assert_eq!(rand_index(&[0, 1, 2], &[7, 8, 9]), 1.0);
+    }
+
+    #[test]
+    fn refinement_scores_below_one() {
+        // b splits a's first group.
+        let r = rand_index(&[0, 0, 0, 1], &[0, 0, 1, 2]);
+        assert!(r < 1.0 && r > 0.5);
+    }
+
+    #[test]
+    fn singletons_vs_one_group() {
+        let r = rand_index(&[0, 0, 0, 0], &[0, 1, 2, 3]);
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn labels_from_groups_roundtrip() {
+        let groups = vec![vec![0, 2], vec![1, 3]];
+        assert_eq!(labels_from_groups(&groups, 4), vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "every element")]
+    fn missing_element_rejected() {
+        let _ = labels_from_groups(&[vec![0]], 2);
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! Statistical machinery for fault-injection campaigns.
+//!
+//! Implements the statistical-fault-injection theory of Leveugle et al. that
+//! the paper's baseline rests on (Section II-D, Equations 2-4): given a
+//! confidence level, an error margin and a population of fault sites, how
+//! many randomly sampled injections are needed for a sound resilience
+//! profile — plus the profile bookkeeping itself (masked / SDC / other
+//! percentages and distances between profiles).
+//!
+//! # Example
+//!
+//! ```
+//! use fsp_stats::{required_samples_infinite, ResilienceProfile, Outcome};
+//!
+//! // The paper's baseline: 99.8% confidence, ±0.63% error -> ~60K runs.
+//! let n = required_samples_infinite(0.998, 0.0063);
+//! assert!((59_000..62_000).contains(&n));
+//!
+//! let mut profile = ResilienceProfile::default();
+//! profile.record(Outcome::Masked);
+//! profile.record(Outcome::Sdc);
+//! assert_eq!(profile.pct_masked(), 50.0);
+//! ```
+
+mod cluster;
+mod profile;
+mod quantile;
+mod sample;
+
+pub use cluster::{labels_from_groups, rand_index};
+pub use profile::{FiveNumber, Outcome, OutcomeKind, ResilienceProfile};
+pub use quantile::{normal_quantile, t_quantile};
+pub use sample::{required_samples_finite, required_samples_infinite, RequiredSamples};

@@ -1,0 +1,120 @@
+//! Required-sample-size computation (Equations 2–4 of the paper).
+
+use crate::quantile::t_quantile;
+
+/// Result of a sample-size computation, carrying the inputs for reporting
+/// (Table II prints these alongside the counts).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequiredSamples {
+    /// Two-sided confidence level (e.g. `0.998`).
+    pub confidence: f64,
+    /// Error margin `e` as a fraction (e.g. `0.0063` for ±0.63%).
+    pub error_margin: f64,
+    /// The t-statistic used.
+    pub t: f64,
+    /// Number of required fault-injection runs.
+    pub samples: u64,
+}
+
+/// Equation (2): required samples from a *finite* population of `n`
+/// fault sites, at worst-case program vulnerability factor `p = 0.5`.
+///
+/// ```
+/// use fsp_stats::required_samples_finite;
+/// let r = required_samples_finite(7.73e8 as u64, 0.998, 0.0063);
+/// assert!((59_000..62_000).contains(&r.samples));
+/// // A small population needs fewer runs than the infinite-population
+/// // formula suggests.
+/// let small = required_samples_finite(1_000, 0.95, 0.03);
+/// assert!(small.samples < 1_000);
+/// ```
+///
+/// # Panics
+///
+/// Panics unless `0 < confidence < 1`, `error_margin > 0` and
+/// `population > 0`.
+#[must_use]
+pub fn required_samples_finite(
+    population: u64,
+    confidence: f64,
+    error_margin: f64,
+) -> RequiredSamples {
+    assert!(population > 0, "population must be positive");
+    let t = two_sided_t(confidence);
+    let p = 0.5;
+    let n = population as f64;
+    let samples = n
+        / (1.0 + error_margin * error_margin * (n - 1.0) / (t * t * p * (1.0 - p)));
+    RequiredSamples {
+        confidence,
+        error_margin,
+        t,
+        samples: samples.ceil() as u64,
+    }
+}
+
+/// Equation (4): required samples as the population grows unboundedly,
+/// at worst-case `p = 0.5`: `n = t^2 / (4 e^2)`.
+///
+/// # Panics
+///
+/// Panics unless `0 < confidence < 1` and `error_margin > 0`.
+#[must_use]
+pub fn required_samples_infinite(confidence: f64, error_margin: f64) -> u64 {
+    let t = two_sided_t(confidence);
+    ((t * t) / (4.0 * error_margin * error_margin)).ceil() as u64
+}
+
+/// The two-sided t-statistic for a confidence level, at the asymptotic
+/// (normal) limit the paper uses for its 60K-run baselines.
+fn two_sided_t(confidence: f64) -> f64 {
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1), got {confidence}"
+    );
+    assert!(confidence > 0.5, "confidence below 50% is not meaningful");
+    t_quantile(0.5 + confidence / 2.0, 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_baseline_is_60k() {
+        // 99.8% CI, ±0.63% margin => ~60,181 runs (Table II row 2).
+        let n = required_samples_infinite(0.998, 0.0063);
+        assert!(
+            (59_500..61_500).contains(&n),
+            "expected ~60K samples, got {n}"
+        );
+    }
+
+    #[test]
+    fn paper_quick_campaign_is_1k() {
+        // 95% CI, ±3.0% margin => ~1,067 runs (Table II row 3 reports 1,062
+        // with slightly different rounding of t).
+        let n = required_samples_infinite(0.95, 0.03);
+        assert!((1_000..1_100).contains(&n), "expected ~1K samples, got {n}");
+    }
+
+    #[test]
+    fn finite_population_matches_infinite_for_huge_n() {
+        let inf = required_samples_infinite(0.998, 0.0063);
+        let fin = required_samples_finite(u64::MAX / 2, 0.998, 0.0063).samples;
+        assert!((i64::try_from(inf).unwrap() - i64::try_from(fin).unwrap()).abs() <= 1);
+    }
+
+    #[test]
+    fn finite_population_caps_at_population() {
+        let r = required_samples_finite(100, 0.998, 0.0063);
+        assert!(r.samples <= 100);
+    }
+
+    #[test]
+    fn tighter_margin_needs_more_samples() {
+        let a = required_samples_infinite(0.95, 0.05);
+        let b = required_samples_infinite(0.95, 0.01);
+        assert!(b > a * 20);
+    }
+}

@@ -1,0 +1,110 @@
+//! Deterministic input-data generation.
+//!
+//! Injection campaigns re-create the input image thousands of times, and
+//! outcome classification compares outputs bitwise — inputs must therefore
+//! be cheap and bit-reproducible. A SplitMix64 stream keyed by
+//! (buffer name, index) provides both.
+
+/// Deterministic pseudo-random data stream.
+#[derive(Debug, Clone, Copy)]
+pub struct DataGen {
+    state: u64,
+}
+
+impl DataGen {
+    /// Creates a stream keyed by a buffer label.
+    #[must_use]
+    pub fn new(label: &str) -> Self {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for b in label.bytes() {
+            state = state.wrapping_mul(0x100_0000_01B3).wrapping_add(u64::from(b));
+        }
+        DataGen { state }
+    }
+
+    /// Next raw 64-bit value (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next `u32`.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Next `f32` uniform in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u32() >> 8) as f32 / (1u32 << 24) as f32
+    }
+
+    /// Next `f32` uniform in `[lo, hi)`.
+    pub fn next_f32_in(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + self.next_f32() * (hi - lo)
+    }
+
+    /// Fills a length-`n` `f32` buffer in `[lo, hi)`.
+    pub fn f32_buffer(&mut self, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+        (0..n).map(|_| self.next_f32_in(lo, hi)).collect()
+    }
+
+    /// Fills a length-`n` `u32` buffer in `[0, bound)`.
+    pub fn u32_buffer(&mut self, n: usize, bound: u32) -> Vec<u32> {
+        (0..n).map(|_| self.next_u32() % bound.max(1)).collect()
+    }
+}
+
+/// Formats an `f32` as a PTX hex-float literal (`0f3F800000`) — the only
+/// interpolation form that is bit-exact for *every* value (plain `{}`
+/// formatting renders `30.0` as `"30"`, which the assembler would read as
+/// an integer immediate).
+#[must_use]
+pub fn fimm(x: f32) -> String {
+    format!("0f{:08X}", x.to_bits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_label() {
+        let a: Vec<u64> = {
+            let mut g = DataGen::new("A");
+            (0..8).map(|_| g.next_u64()).collect()
+        };
+        let a2: Vec<u64> = {
+            let mut g = DataGen::new("A");
+            (0..8).map(|_| g.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut g = DataGen::new("B");
+            (0..8).map(|_| g.next_u64()).collect()
+        };
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn f32_ranges() {
+        let mut g = DataGen::new("range");
+        for _ in 0..1000 {
+            let x = g.next_f32_in(1.0, 2.0);
+            assert!((1.0..2.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn buffers() {
+        let mut g = DataGen::new("buf");
+        let f = g.f32_buffer(100, -1.0, 1.0);
+        assert_eq!(f.len(), 100);
+        assert!(f.iter().all(|x| (-1.0..1.0).contains(x)));
+        let u = g.u32_buffer(50, 10);
+        assert!(u.iter().all(|&x| x < 10));
+    }
+}
+

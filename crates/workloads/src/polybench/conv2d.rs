@@ -1,0 +1,224 @@
+//! 2DCONV — Polybench `Convolution2D_kernel` (K1).
+//!
+//! A 3×3 convolution over an `(RB+1) × NJ` image. The launch covers twice
+//! the valid rows (the standard ceil-division overshoot), so the kernel
+//! reproduces the paper's Table III structure exactly:
+//!
+//! * threads with `i >= RB` exit after **11** dynamic instructions
+//!   (CTA group C-3, 50% of CTAs);
+//! * row 0 exits after **13** (the extra row in C-1);
+//! * boundary columns exit after **15**;
+//! * interior threads run the full **48**-instruction convolution.
+
+use fsp_isa::assemble;
+use fsp_sim::MemBlock;
+
+use crate::data::DataGen;
+use crate::{PaperReference, Scale, Suite, Workload};
+
+/// Geometry per scale.
+struct Geom {
+    /// Columns (power of two).
+    nj: u32,
+    /// Valid-row bound: rows `1..RB` compute; the grid covers `2*RB` rows.
+    rb: u32,
+    /// Block dims (x, y).
+    block: (u32, u32),
+}
+
+fn geom(scale: Scale) -> Geom {
+    match scale {
+        // 8192 threads: block 32x8, grid 2x16 = 32 CTAs (Table I / III).
+        Scale::Paper => Geom { nj: 64, rb: 64, block: (32, 8) },
+        // 512 threads: block 8x4, grid 2x8 = 16 CTAs, same structure.
+        Scale::Eval => Geom { nj: 16, rb: 16, block: (8, 4) },
+    }
+}
+
+/// Polybench 2DCONV coefficients, in neighbor reading order
+/// (NW N NE, W C E, SW S SE).
+pub const COEFFS: [f32; 9] = [0.2, -0.3, 0.4, 0.5, 0.6, 0.7, -0.8, -0.9, 0.1];
+
+fn source(g: &Geom) -> String {
+    let nj = g.nj;
+    let row = nj * 4;
+    format!(
+        r#"
+        cvt.u32.u16 $r1, %tid.x
+        cvt.u32.u16 $r2, %tid.y
+        cvt.u32.u16 $r3, %ctaid.x
+        cvt.u32.u16 $r4, %ctaid.y
+        shl.u32 $r5, $r3, {bx_shift}
+        add.u32 $r5, $r5, $r1              // j
+        shl.u32 $r6, $r4, {by_shift}
+        add.u32 $r6, $r6, $r2              // i
+        set.lt.u32.u32 $p0/$o127, $r6, {rb}
+        @$p0.eq bra lexit                  // i >= RB      -> iCnt 11
+        set.gt.u32.u32 $p0/$o127, $r6, 0x0
+        @$p0.eq bra lrow0                  // i == 0       -> iCnt 13
+        add.u32 $r7, $r5, -1               // j - 1
+        set.lt.u32.u32 $p0/$o127, $r7, {jb}
+        @$p0.eq bra lcol                   // j on boundary -> iCnt 15
+        // interior: r8 = &A[i][j]
+        shl.u32 $r8, $r6, {nj_shift}
+        add.u32 $r8, $r8, $r5
+        shl.u32 $r8, $r8, 0x2
+        add.u32 $r8, $r8, s[0x0010]
+        ld.global.f32 $r9,  [$r8+-{nw}]
+        ld.global.f32 $r10, [$r8+-{n}]
+        ld.global.f32 $r11, [$r8+-{ne}]
+        ld.global.f32 $r12, [$r8+-4]
+        ld.global.f32 $r13, [$r8]
+        ld.global.f32 $r14, [$r8+4]
+        ld.global.f32 $r15, [$r8+{sw}]
+        ld.global.f32 $r16, [$r8+{s}]
+        ld.global.f32 $r17, [$r8+{se}]
+        mul.f32 $r9,  $r9,  0.2
+        mul.f32 $r10, $r10, -0.3
+        mul.f32 $r11, $r11, 0.4
+        mul.f32 $r12, $r12, 0.5
+        mul.f32 $r13, $r13, 0.6
+        mul.f32 $r14, $r14, 0.7
+        mul.f32 $r15, $r15, -0.8
+        mul.f32 $r16, $r16, -0.9
+        mul.f32 $r17, $r17, 0.1
+        add.f32 $r9, $r9, $r10
+        add.f32 $r9, $r9, $r11
+        add.f32 $r9, $r9, $r12
+        add.f32 $r9, $r9, $r13
+        add.f32 $r9, $r9, $r14
+        add.f32 $r9, $r9, $r15
+        add.f32 $r9, $r9, $r16
+        add.f32 $r9, $r9, $r17
+        shl.u32 $r20, $r6, {nj_shift}
+        add.u32 $r20, $r20, $r5
+        shl.u32 $r20, $r20, 0x2
+        add.u32 $r20, $r20, s[0x0014]
+        st.global.f32 [$r20], $r9
+        exit
+        lrow0: bra lexit
+        lcol: bra lexit
+        lexit: exit
+        "#,
+        bx_shift = g.block.0.trailing_zeros(),
+        by_shift = g.block.1.trailing_zeros(),
+        rb = g.rb,
+        jb = nj - 2,
+        nj_shift = nj.trailing_zeros(),
+        nw = row + 4,
+        n = row,
+        ne = row - 4,
+        sw = row - 4,
+        s = row,
+        se = row + 4,
+    )
+}
+
+/// Host-side reference convolution (same f32 operation order as the
+/// kernel), used by tests to validate the simulator.
+#[must_use]
+pub fn reference(a: &[f32], nj: usize, rb: usize) -> Vec<f32> {
+    let rows = rb + 1;
+    let mut b = vec![0.0f32; rows * nj];
+    for i in 1..rb {
+        for j in 1..nj - 1 {
+            let at = |di: isize, dj: isize| {
+                a[((i as isize + di) as usize) * nj + (j as isize + dj) as usize]
+            };
+            let mut acc = COEFFS[0] * at(-1, -1);
+            acc += COEFFS[1] * at(-1, 0);
+            acc += COEFFS[2] * at(-1, 1);
+            acc += COEFFS[3] * at(0, -1);
+            acc += COEFFS[4] * at(0, 0);
+            acc += COEFFS[5] * at(0, 1);
+            acc += COEFFS[6] * at(1, -1);
+            acc += COEFFS[7] * at(1, 0);
+            acc += COEFFS[8] * at(1, 1);
+            b[i * nj + j] = acc;
+        }
+    }
+    b
+}
+
+/// Builds the 2DCONV workload.
+#[must_use]
+pub fn k1(scale: Scale) -> Workload {
+    let g = geom(scale);
+    let program = assemble("Convolution2D_kernel", &source(&g)).expect("2dconv assembles");
+    let words = ((g.rb + 1) * g.nj) as usize;
+    let a_addr = 0u32;
+    let b_addr = (words * 4) as u32;
+    let mut memory = MemBlock::with_words(2 * words);
+    let a = DataGen::new("2dconv.A").f32_buffer(words, 0.0, 1.0);
+    memory.write_f32_slice(a_addr, &a);
+    let grid = (g.nj / g.block.0, 2 * g.rb / g.block.1);
+    Workload::new(
+        "2DCONV",
+        "Convolution2D_kernel",
+        "K1",
+        Suite::Polybench,
+        scale,
+        program,
+        grid,
+        (g.block.0, g.block.1, 1),
+        vec![a_addr, b_addr],
+        memory,
+        (b_addr, words),
+        Some(PaperReference { threads: 8192, fault_sites: 6.32e6 }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsp_inject::InjectionTarget;
+    use fsp_sim::{NopHook, Simulator, Tracer};
+
+    #[test]
+    fn matches_host_reference() {
+        let w = k1(Scale::Eval);
+        let g = geom(Scale::Eval);
+        let mut memory = w.init_memory();
+        Simulator::new().run(&w.launch(), &mut memory, &mut NopHook).unwrap();
+        let words = ((g.rb + 1) * g.nj) as usize;
+        let a: Vec<f32> = memory.read_slice(0, words).iter().map(|&x| f32::from_bits(x)).collect();
+        let expect = reference(&a, g.nj as usize, g.rb as usize);
+        let (addr, len) = w.output_region();
+        let out = memory.read_slice(addr, len);
+        for (idx, (&bits, &want)) in out.iter().zip(&expect).enumerate() {
+            assert_eq!(bits, want.to_bits(), "mismatch at word {idx}");
+        }
+    }
+
+    #[test]
+    fn table3_icnt_groups() {
+        for scale in [Scale::Eval, Scale::Paper] {
+            let w = k1(scale);
+            let launch = w.launch();
+            let mut tracer = Tracer::new(launch.num_threads(), launch.threads_per_cta());
+            let mut memory = w.init_memory();
+            Simulator::new().run(&launch, &mut memory, &mut tracer).unwrap();
+            let trace = tracer.finish();
+            let mut icnts: Vec<u32> = trace.icnt.clone();
+            icnts.sort_unstable();
+            icnts.dedup();
+            assert_eq!(icnts, vec![11, 13, 15, 48], "scale {scale:?}");
+        }
+    }
+
+    #[test]
+    fn paper_scale_site_count_near_table1() {
+        let w = k1(Scale::Paper);
+        let launch = w.launch();
+        assert_eq!(launch.num_threads(), 8192);
+        let mut tracer = Tracer::new(launch.num_threads(), launch.threads_per_cta());
+        let mut memory = w.init_memory();
+        Simulator::new().run(&launch, &mut memory, &mut tracer).unwrap();
+        let total = tracer.finish().total_fault_sites() as f64;
+        let paper = w.paper_reference().unwrap().fault_sites;
+        assert!(
+            (total / paper - 1.0).abs() < 0.25,
+            "sites {total:.3e} vs paper {paper:.3e}"
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! 2MM — Polybench `mm2_kernel1` (K1).
+//!
+//! First half of the double matrix product: `tmp = A x B` over `N x N`
+//! matrices (the paper injects only the first kernel). Structurally GEMM
+//! without the alpha/beta scaling — a slightly shorter loop body, which is
+//! why its Table I site count sits just below GEMM's.
+
+use fsp_isa::assemble;
+use fsp_sim::MemBlock;
+
+use crate::data::DataGen;
+use crate::{PaperReference, Scale, Suite, Workload};
+
+struct Geom {
+    n: u32,
+    block: (u32, u32),
+}
+
+fn geom(scale: Scale) -> Geom {
+    match scale {
+        Scale::Paper => Geom { n: 128, block: (32, 8) },
+        Scale::Eval => Geom { n: 16, block: (8, 4) },
+    }
+}
+
+fn source(g: &Geom) -> String {
+    let n = g.n;
+    format!(
+        r#"
+        cvt.u32.u16 $r1, %tid.x
+        cvt.u32.u16 $r2, %tid.y
+        cvt.u32.u16 $r3, %ctaid.x
+        cvt.u32.u16 $r4, %ctaid.y
+        shl.u32 $r5, $r3, {bx_shift}
+        add.u32 $r5, $r5, $r1              // j
+        shl.u32 $r6, $r4, {by_shift}
+        add.u32 $r6, $r6, $r2              // i
+        shl.u32 $r7, $r6, {row_shift}
+        add.u32 $r7, $r7, s[0x0010]        // &A[i][0]
+        shl.u32 $r8, $r5, 0x2
+        add.u32 $r8, $r8, s[0x0014]        // &B[0][j]
+        shl.u32 $r9, $r6, {n_shift}
+        add.u32 $r9, $r9, $r5
+        shl.u32 $r9, $r9, 0x2
+        add.u32 $r9, $r9, s[0x0018]        // &tmp[i][j]
+        mov.u32 $r10, $r124                // acc = 0.0
+        mov.u32 $r11, {n}
+        kloop:
+        ld.global.f32 $r12, [$r7]
+        ld.global.f32 $r13, [$r8]
+        mul.f32 $r12, $r12, $r13
+        add.f32 $r10, $r10, $r12
+        add.u32 $r7, $r7, 0x4
+        add.u32 $r8, $r8, {row_bytes}
+        add.u32 $r11, $r11, -1
+        set.ne.u32.u32 $p0/$o127, $r11, $r124
+        @$p0.ne bra kloop
+        st.global.f32 [$r9], $r10
+        exit
+        "#,
+        bx_shift = g.block.0.trailing_zeros(),
+        by_shift = g.block.1.trailing_zeros(),
+        row_shift = n.trailing_zeros() + 2,
+        n_shift = n.trailing_zeros(),
+        n = n,
+        row_bytes = n * 4,
+    )
+}
+
+/// Host-side reference (same f32 operation order as the kernel).
+#[must_use]
+pub fn reference(a: &[f32], b: &[f32], n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for k in 0..n {
+                acc += a[i * n + k] * b[k * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+/// Builds the 2MM K1 workload.
+#[must_use]
+pub fn k1(scale: Scale) -> Workload {
+    let g = geom(scale);
+    let program = assemble("mm2_kernel1", &source(&g)).expect("2mm assembles");
+    let words = (g.n * g.n) as usize;
+    let (a_addr, b_addr, t_addr) = (0u32, (words * 4) as u32, (words * 8) as u32);
+    let mut memory = MemBlock::with_words(3 * words);
+    memory.write_f32_slice(a_addr, &DataGen::new("2mm.A").f32_buffer(words, 0.0, 1.0));
+    memory.write_f32_slice(b_addr, &DataGen::new("2mm.B").f32_buffer(words, 0.0, 1.0));
+    Workload::new(
+        "2MM",
+        "mm2_kernel1",
+        "K1",
+        Suite::Polybench,
+        scale,
+        program,
+        (g.n / g.block.0, g.n / g.block.1),
+        (g.block.0, g.block.1, 1),
+        vec![a_addr, b_addr, t_addr],
+        memory,
+        (t_addr, words),
+        Some(PaperReference { threads: 16384, fault_sites: 5.55e8 }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsp_inject::InjectionTarget;
+    use fsp_sim::{NopHook, Simulator};
+
+    #[test]
+    fn matches_host_reference() {
+        let w = k1(Scale::Eval);
+        let n = geom(Scale::Eval).n as usize;
+        let words = n * n;
+        let mut memory = w.init_memory();
+        let a: Vec<f32> =
+            memory.read_slice(0, words).iter().map(|&x| f32::from_bits(x)).collect();
+        let b: Vec<f32> = memory
+            .read_slice((words * 4) as u32, words)
+            .iter()
+            .map(|&x| f32::from_bits(x))
+            .collect();
+        Simulator::new().run(&w.launch(), &mut memory, &mut NopHook).unwrap();
+        let expect = reference(&a, &b, n);
+        let (addr, len) = w.output_region();
+        for (idx, (&bits, &want)) in
+            memory.read_slice(addr, len).iter().zip(&expect).enumerate()
+        {
+            assert_eq!(bits, want.to_bits(), "mismatch at element {idx}");
+        }
+    }
+}

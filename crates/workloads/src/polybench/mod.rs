@@ -1,0 +1,7 @@
+//! Polybench/GPU kernels: 2DCONV, MVT, 2MM, GEMM, SYRK.
+
+pub mod conv2d;
+pub mod gemm;
+pub mod mm2;
+pub mod mvt;
+pub mod syrk;

@@ -1,0 +1,130 @@
+//! MVT — Polybench `mvt_kernel1` (K1).
+//!
+//! Matrix-vector product-and-add `x1 = x1 + A x y1` over an `N x N` matrix,
+//! one thread per row. The single `N`-iteration loop dominates the dynamic
+//! instruction stream (99.71% per Table VII), making MVT the loop-wise
+//! pruning stage's best case.
+
+use fsp_isa::assemble;
+use fsp_sim::MemBlock;
+
+use crate::data::DataGen;
+use crate::{PaperReference, Scale, Suite, Workload};
+
+struct Geom {
+    n: u32,
+    block: u32,
+}
+
+fn geom(scale: Scale) -> Geom {
+    match scale {
+        // 512 threads, one per row of a 512x512 matrix.
+        Scale::Paper => Geom { n: 512, block: 256 },
+        // 64 threads over a 64x64 matrix.
+        Scale::Eval => Geom { n: 64, block: 32 },
+    }
+}
+
+fn source(g: &Geom) -> String {
+    let n = g.n;
+    format!(
+        r#"
+        cvt.u32.u16 $r1, %tid.x
+        cvt.u32.u16 $r2, %ctaid.x
+        shl.u32 $r3, $r2, {b_shift}
+        add.u32 $r3, $r3, $r1              // i (row)
+        shl.u32 $r4, $r3, {row_shift}
+        add.u32 $r4, $r4, s[0x0010]        // &A[i][0]
+        mov.u32 $r5, s[0x0014]             // &y1[0]
+        shl.u32 $r6, $r3, 0x2
+        add.u32 $r6, $r6, s[0x0018]        // &x1[i]
+        ld.global.f32 $r7, [$r6]           // acc = x1[i]
+        mov.u32 $r8, {n}
+        jloop:
+        ld.global.f32 $r9, [$r4]
+        ld.global.f32 $r10, [$r5]
+        mul.f32 $r9, $r9, $r10
+        add.f32 $r7, $r7, $r9
+        add.u32 $r4, $r4, 0x4
+        add.u32 $r5, $r5, 0x4
+        add.u32 $r8, $r8, -1
+        set.ne.u32.u32 $p0/$o127, $r8, $r124
+        @$p0.ne bra jloop
+        st.global.f32 [$r6], $r7
+        exit
+        "#,
+        b_shift = g.block.trailing_zeros(),
+        row_shift = n.trailing_zeros() + 2,
+        n = n,
+    )
+}
+
+/// Host-side reference (same f32 operation order as the kernel).
+#[must_use]
+pub fn reference(a: &[f32], y1: &[f32], x1: &[f32], n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let mut acc = x1[i];
+            for j in 0..n {
+                acc += a[i * n + j] * y1[j];
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Builds the MVT workload.
+#[must_use]
+pub fn k1(scale: Scale) -> Workload {
+    let g = geom(scale);
+    let program = assemble("mvt_kernel1", &source(&g)).expect("mvt assembles");
+    let n = g.n as usize;
+    let words = n * n;
+    let a_addr = 0u32;
+    let y_addr = (words * 4) as u32;
+    let x_addr = y_addr + (n * 4) as u32;
+    let mut memory = MemBlock::with_words(words + 2 * n);
+    memory.write_f32_slice(a_addr, &DataGen::new("mvt.A").f32_buffer(words, 0.0, 1.0));
+    memory.write_f32_slice(y_addr, &DataGen::new("mvt.y1").f32_buffer(n, 0.0, 1.0));
+    memory.write_f32_slice(x_addr, &DataGen::new("mvt.x1").f32_buffer(n, 0.0, 1.0));
+    Workload::new(
+        "MVT",
+        "mvt_kernel1",
+        "K1",
+        Suite::Polybench,
+        scale,
+        program,
+        (g.n / g.block, 1),
+        (g.block, 1, 1),
+        vec![a_addr, y_addr, x_addr],
+        memory,
+        (x_addr, n),
+        Some(PaperReference { threads: 512, fault_sites: 6.83e7 }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsp_inject::InjectionTarget;
+    use fsp_sim::{NopHook, Simulator};
+
+    #[test]
+    fn matches_host_reference() {
+        let w = k1(Scale::Eval);
+        let n = geom(Scale::Eval).n as usize;
+        let mut memory = w.init_memory();
+        let to_f32 = |s: &[u32]| -> Vec<f32> { s.iter().map(|&x| f32::from_bits(x)).collect() };
+        let a = to_f32(memory.read_slice(0, n * n));
+        let y1 = to_f32(memory.read_slice((n * n * 4) as u32, n));
+        let x1 = to_f32(memory.read_slice((n * n * 4 + n * 4) as u32, n));
+        Simulator::new().run(&w.launch(), &mut memory, &mut NopHook).unwrap();
+        let expect = reference(&a, &y1, &x1, n);
+        let (addr, len) = w.output_region();
+        for (idx, (&bits, &want)) in
+            memory.read_slice(addr, len).iter().zip(&expect).enumerate()
+        {
+            assert_eq!(bits, want.to_bits(), "mismatch at row {idx}");
+        }
+    }
+}

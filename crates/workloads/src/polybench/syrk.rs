@@ -1,0 +1,147 @@
+//! SYRK — Polybench `syrk_kernel` (K1).
+//!
+//! Symmetric rank-k update `C = alpha * A x A^T + beta * C` over `N x N`
+//! matrices; one thread per output element, identical control flow across
+//! threads (single representative under thread-wise pruning).
+
+use fsp_isa::assemble;
+use fsp_sim::MemBlock;
+
+use crate::data::DataGen;
+use crate::{PaperReference, Scale, Suite, Workload};
+
+/// alpha in `C = alpha*A*A^T + beta*C`.
+pub const ALPHA: f32 = 1.5;
+/// beta in `C = alpha*A*A^T + beta*C`.
+pub const BETA: f32 = 1.2;
+
+struct Geom {
+    n: u32,
+    block: (u32, u32),
+}
+
+fn geom(scale: Scale) -> Geom {
+    match scale {
+        Scale::Paper => Geom { n: 128, block: (32, 8) },
+        Scale::Eval => Geom { n: 16, block: (8, 4) },
+    }
+}
+
+fn source(g: &Geom) -> String {
+    let n = g.n;
+    format!(
+        r#"
+        cvt.u32.u16 $r1, %tid.x
+        cvt.u32.u16 $r2, %tid.y
+        cvt.u32.u16 $r3, %ctaid.x
+        cvt.u32.u16 $r4, %ctaid.y
+        shl.u32 $r5, $r3, {bx_shift}
+        add.u32 $r5, $r5, $r1              // j
+        shl.u32 $r6, $r4, {by_shift}
+        add.u32 $r6, $r6, $r2              // i
+        shl.u32 $r7, $r6, {row_shift}
+        add.u32 $r7, $r7, s[0x0010]        // &A[i][0]
+        shl.u32 $r8, $r5, {row_shift}
+        add.u32 $r8, $r8, s[0x0010]        // &A[j][0]
+        shl.u32 $r9, $r6, {n_shift}
+        add.u32 $r9, $r9, $r5
+        shl.u32 $r9, $r9, 0x2
+        add.u32 $r9, $r9, s[0x0014]        // &C[i][j]
+        ld.global.f32 $r10, [$r9]
+        mul.f32 $r10, $r10, {beta}
+        mov.u32 $r11, {n}
+        kloop:
+        ld.global.f32 $r12, [$r7]
+        ld.global.f32 $r13, [$r8]
+        mul.f32 $r12, $r12, $r13
+        mul.f32 $r12, $r12, {alpha}
+        add.f32 $r10, $r10, $r12
+        add.u32 $r7, $r7, 0x4
+        add.u32 $r8, $r8, 0x4
+        add.u32 $r11, $r11, -1
+        set.ne.u32.u32 $p0/$o127, $r11, $r124
+        @$p0.ne bra kloop
+        st.global.f32 [$r9], $r10
+        exit
+        "#,
+        bx_shift = g.block.0.trailing_zeros(),
+        by_shift = g.block.1.trailing_zeros(),
+        row_shift = n.trailing_zeros() + 2,
+        n_shift = n.trailing_zeros(),
+        n = n,
+        alpha = crate::data::fimm(ALPHA),
+        beta = crate::data::fimm(BETA),
+    )
+}
+
+/// Host-side reference (same f32 operation order as the kernel).
+#[must_use]
+pub fn reference(a: &[f32], c: &[f32], n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = c[i * n + j] * BETA;
+            for k in 0..n {
+                acc += a[i * n + k] * a[j * n + k] * ALPHA;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+/// Builds the SYRK workload.
+#[must_use]
+pub fn k1(scale: Scale) -> Workload {
+    let g = geom(scale);
+    let program = assemble("syrk_kernel", &source(&g)).expect("syrk assembles");
+    let words = (g.n * g.n) as usize;
+    let (a_addr, c_addr) = (0u32, (words * 4) as u32);
+    let mut memory = MemBlock::with_words(2 * words);
+    memory.write_f32_slice(a_addr, &DataGen::new("syrk.A").f32_buffer(words, 0.0, 1.0));
+    memory.write_f32_slice(c_addr, &DataGen::new("syrk.C").f32_buffer(words, 0.0, 1.0));
+    Workload::new(
+        "SYRK",
+        "syrk_kernel",
+        "K1",
+        Suite::Polybench,
+        scale,
+        program,
+        (g.n / g.block.0, g.n / g.block.1),
+        (g.block.0, g.block.1, 1),
+        vec![a_addr, c_addr],
+        memory,
+        (c_addr, words),
+        Some(PaperReference { threads: 16384, fault_sites: 6.23e8 }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsp_inject::InjectionTarget;
+    use fsp_sim::{NopHook, Simulator};
+
+    #[test]
+    fn matches_host_reference() {
+        let w = k1(Scale::Eval);
+        let n = geom(Scale::Eval).n as usize;
+        let words = n * n;
+        let mut memory = w.init_memory();
+        let a: Vec<f32> =
+            memory.read_slice(0, words).iter().map(|&x| f32::from_bits(x)).collect();
+        let c: Vec<f32> = memory
+            .read_slice((words * 4) as u32, words)
+            .iter()
+            .map(|&x| f32::from_bits(x))
+            .collect();
+        Simulator::new().run(&w.launch(), &mut memory, &mut NopHook).unwrap();
+        let expect = reference(&a, &c, n);
+        let (addr, len) = w.output_region();
+        for (idx, (&bits, &want)) in
+            memory.read_slice(addr, len).iter().zip(&expect).enumerate()
+        {
+            assert_eq!(bits, want.to_bits(), "mismatch at element {idx}");
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! Gaussian Elimination — Rodinia `Fan1` / `Fan2` kernels.
+//!
+//! The application launches `Fan1`+`Fan2` once per elimination step `t`.
+//! The paper injects four dynamic invocations: K1/K2 are `Fan1`/`Fan2` at
+//! the first step, K125/K126 the same kernels at a late step, where far
+//! fewer threads pass the `t`-dependent range guards — which is why their
+//! Table I site counts are much smaller at identical thread counts.
+//!
+//! `Fan1` computes the multiplier column `m[·][t]`; `Fan2` applies the row
+//! updates (and, for the first column of threads, the right-hand side).
+
+use fsp_isa::assemble;
+use fsp_sim::MemBlock;
+
+use crate::data::DataGen;
+use crate::{PaperReference, Scale, Suite, Workload};
+
+struct Geom {
+    /// Matrix dimension.
+    size: u32,
+    /// Fan1 block size.
+    b1: u32,
+    /// Fan1 grid size.
+    g1: u32,
+    /// Fan2 block edge (square blocks).
+    b2: u32,
+    /// Fan2 grid edge (square grids).
+    g2: u32,
+    /// Elimination step of the "early" invocation.
+    t_early: u32,
+    /// Elimination step of the "late" invocation (the paper's t = 124).
+    t_late: u32,
+}
+
+fn geom(scale: Scale) -> Geom {
+    match scale {
+        // Fan1: 512 threads; Fan2: 4096 threads (Table I).
+        Scale::Paper => {
+            Geom { size: 64, b1: 256, g1: 2, b2: 16, g2: 4, t_early: 0, t_late: 48 }
+        }
+        // Fan1: 64 threads; Fan2: 256 threads.
+        Scale::Eval => Geom { size: 16, b1: 32, g1: 2, b2: 8, g2: 2, t_early: 0, t_late: 8 },
+    }
+}
+
+fn fan1_source(g: &Geom, t: u32) -> String {
+    format!(
+        r#"
+        cvt.u32.u16 $r1, %tid.x
+        cvt.u32.u16 $r2, %ctaid.x
+        shl.u32 $r3, $r2, {b_shift}
+        add.u32 $r3, $r3, $r1              // tid
+        set.lt.u32.u32 $p0/$o127, $r3, {limit}
+        @$p0.eq bra lexit                  // tid >= size-1-t
+        add.u32 $r4, $r3, {t_plus1}        // row = tid + t + 1
+        mul.lo.u32 $r5, $r4, {size4}
+        add.u32 $r5, $r5, {t4}             // (row*size + t) * 4
+        add.u32 $r6, $r5, s[0x0010]        // &a[row][t]
+        ld.global.f32 $r7, [$r6]
+        mov.u32 $r9, s[0x0010]
+        ld.global.f32 $r10, [$r9+{diag}]   // a[t][t]
+        div.f32 $r7, $r7, $r10
+        add.u32 $r11, $r5, s[0x0014]       // &m[row][t]
+        st.global.f32 [$r11], $r7
+        lexit: exit
+        "#,
+        b_shift = g.b1.trailing_zeros(),
+        limit = g.size - 1 - t,
+        t_plus1 = t + 1,
+        size4 = g.size * 4,
+        t4 = t * 4,
+        diag = (t * g.size + t) * 4,
+    )
+}
+
+fn fan2_source(g: &Geom, t: u32) -> String {
+    format!(
+        r#"
+        cvt.u32.u16 $r1, %tid.x
+        cvt.u32.u16 $r2, %tid.y
+        cvt.u32.u16 $r3, %ctaid.x
+        cvt.u32.u16 $r4, %ctaid.y
+        shl.u32 $r5, $r3, {b_shift}
+        add.u32 $r5, $r5, $r1              // xidx
+        shl.u32 $r6, $r4, {b_shift}
+        add.u32 $r6, $r6, $r2              // yidx
+        set.lt.u32.u32 $p0/$o127, $r5, {xlimit}
+        @$p0.eq bra lexit                  // xidx >= size-1-t
+        set.lt.u32.u32 $p0/$o127, $r6, {ylimit}
+        @$p0.eq bra lexit                  // yidx >= size-t
+        add.u32 $r7, $r5, {t_plus1}        // row = xidx + 1 + t
+        add.u32 $r8, $r6, {t}              // col = yidx + t
+        mul.lo.u32 $r9, $r7, {size4}
+        add.u32 $r10, $r9, {t4}
+        add.u32 $r10, $r10, s[0x0014]      // &m[row][t]
+        ld.global.f32 $r11, [$r10]         // multiplier
+        shl.u32 $r12, $r8, 0x2
+        add.u32 $r13, $r9, $r12
+        add.u32 $r13, $r13, s[0x0010]      // &a[row][col]
+        ld.global.f32 $r14, [$r13]
+        add.u32 $r15, $r12, s[0x0010]
+        ld.global.f32 $r16, [$r15+{trow}]  // a[t][col]
+        mul.f32 $r16, $r11, $r16
+        sub.f32 $r14, $r14, $r16
+        st.global.f32 [$r13], $r14
+        set.ne.u32.u32 $p0/$o127, $r6, $r124
+        @$p0.ne bra lexit                  // only yidx == 0 updates b
+        shl.u32 $r17, $r7, 0x2
+        add.u32 $r17, $r17, s[0x0018]      // &b[row]
+        ld.global.f32 $r18, [$r17]
+        mov.u32 $r19, s[0x0018]
+        ld.global.f32 $r20, [$r19+{t4}]    // b[t]
+        mul.f32 $r20, $r11, $r20
+        sub.f32 $r18, $r18, $r20
+        st.global.f32 [$r17], $r18
+        lexit: exit
+        "#,
+        b_shift = g.b2.trailing_zeros(),
+        xlimit = g.size - 1 - t,
+        ylimit = g.size - t,
+        t_plus1 = t + 1,
+        t = t,
+        size4 = g.size * 4,
+        t4 = t * 4,
+        trow = t * g.size * 4,
+    )
+}
+
+fn memory(g: &Geom) -> MemBlock {
+    let n = g.size as usize;
+    let words = n * n;
+    // Layout: a | m | b
+    let mut memory = MemBlock::with_words(2 * words + n);
+    let mut a = DataGen::new("gaussian.a").f32_buffer(words, 1.0, 2.0);
+    for i in 0..n {
+        a[i * n + i] += 10.0; // diagonal dominance keeps Fan1's divisor sane
+    }
+    memory.write_f32_slice(0, &a);
+    memory.write_f32_slice((2 * words * 4) as u32, &DataGen::new("gaussian.b").f32_buffer(n, 1.0, 2.0));
+    memory
+}
+
+fn fan1(scale: Scale, id: &'static str, t: u32, paper: PaperReference) -> Workload {
+    let g = geom(scale);
+    let program = assemble("Fan1", &fan1_source(&g, t)).expect("fan1 assembles");
+    let n = g.size as usize;
+    let words = n * n;
+    Workload::new(
+        "Gaussian",
+        "Fan1",
+        id,
+        Suite::Rodinia,
+        scale,
+        program,
+        (g.g1, 1),
+        (g.b1, 1, 1),
+        vec![0, (words * 4) as u32, (2 * words * 4) as u32],
+        memory(&g),
+        ((words * 4) as u32, words), // the multiplier matrix m
+        Some(paper),
+    )
+}
+
+fn fan2(scale: Scale, id: &'static str, t: u32, paper: PaperReference) -> Workload {
+    // Fan2 reads m, which Fan1 produces: pre-run Fan1 so the image is the
+    // mid-application state.
+    use fsp_inject::InjectionTarget as _;
+    let f1 = fan1(scale, "setup", t, paper);
+    let mut mem = f1.init_memory();
+    fsp_sim::Simulator::new()
+        .run(&f1.launch(), &mut mem, &mut fsp_sim::NopHook)
+        .expect("fan1 pre-run succeeds");
+    let g2 = geom(scale);
+    let program = assemble("Fan2", &fan2_source(&g2, t)).expect("fan2 assembles");
+    let n = g2.size as usize;
+    let words = n * n;
+    Workload::new(
+        "Gaussian",
+        "Fan2",
+        id,
+        Suite::Rodinia,
+        scale,
+        program,
+        (g2.g2, g2.g2),
+        (g2.b2, g2.b2, 1),
+        vec![0, (words * 4) as u32, (2 * words * 4) as u32],
+        mem,
+        (0, 2 * words + n), // a, m and b are all outputs
+        Some(paper),
+    )
+}
+
+/// `Fan1` at the first elimination step (paper kernel K1).
+#[must_use]
+pub fn k1(scale: Scale) -> Workload {
+    let g = geom(scale);
+    fan1(scale, "K1", g.t_early, PaperReference { threads: 512, fault_sites: 1.63e5 })
+}
+
+/// `Fan2` at the first elimination step (paper kernel K2).
+#[must_use]
+pub fn k2(scale: Scale) -> Workload {
+    let g = geom(scale);
+    fan2(scale, "K2", g.t_early, PaperReference { threads: 4096, fault_sites: 4.92e6 })
+}
+
+/// `Fan1` at a late elimination step (paper kernel K125).
+#[must_use]
+pub fn k125(scale: Scale) -> Workload {
+    let g = geom(scale);
+    fan1(scale, "K125", g.t_late, PaperReference { threads: 512, fault_sites: 1.09e5 })
+}
+
+/// `Fan2` at a late elimination step (paper kernel K126).
+#[must_use]
+pub fn k126(scale: Scale) -> Workload {
+    let g = geom(scale);
+    fan2(scale, "K126", g.t_late, PaperReference { threads: 4096, fault_sites: 8.79e5 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsp_inject::InjectionTarget;
+    use fsp_sim::{NopHook, Simulator, Tracer};
+
+    fn icnt_groups(w: &Workload) -> Vec<u32> {
+        let launch = w.launch();
+        let mut tracer = Tracer::new(launch.num_threads(), launch.threads_per_cta());
+        let mut memory = w.init_memory();
+        Simulator::new().run(&launch, &mut memory, &mut tracer).unwrap();
+        let mut icnts = tracer.finish().icnt;
+        icnts.sort_unstable();
+        icnts.dedup();
+        icnts
+    }
+
+    #[test]
+    fn fan1_two_paths() {
+        let groups = icnt_groups(&k1(Scale::Eval));
+        assert_eq!(groups.len(), 2, "{groups:?}");
+    }
+
+    #[test]
+    fn fan2_three_paths() {
+        // exit / row update / row + rhs update
+        let groups = icnt_groups(&k2(Scale::Eval));
+        assert_eq!(groups.len(), 3, "{groups:?}");
+    }
+
+    #[test]
+    fn late_invocations_have_fewer_sites() {
+        for (early, late) in [(k1(Scale::Eval), k125(Scale::Eval)), (k2(Scale::Eval), k126(Scale::Eval))] {
+            let sites = |w: &Workload| {
+                let launch = w.launch();
+                let mut tracer = Tracer::new(launch.num_threads(), launch.threads_per_cta());
+                let mut memory = w.init_memory();
+                Simulator::new().run(&launch, &mut memory, &mut tracer).unwrap();
+                tracer.finish().total_fault_sites()
+            };
+            assert!(
+                sites(&late) < sites(&early),
+                "{}: late invocation should have fewer sites",
+                late.id()
+            );
+        }
+    }
+
+    #[test]
+    fn fan1_divides_by_pivot() {
+        let w = k1(Scale::Eval);
+        let g = geom(Scale::Eval);
+        let n = g.size as usize;
+        let mut memory = w.init_memory();
+        let a: Vec<f32> =
+            memory.read_slice(0, n * n).iter().map(|&x| f32::from_bits(x)).collect();
+        Simulator::new().run(&w.launch(), &mut memory, &mut NopHook).unwrap();
+        let m: Vec<f32> = memory
+            .read_slice((n * n * 4) as u32, n * n)
+            .iter()
+            .map(|&x| f32::from_bits(x))
+            .collect();
+        for row in 1..n {
+            let want = a[row * n] / a[0];
+            assert_eq!(m[row * n].to_bits(), want.to_bits(), "row {row}");
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! HotSpot — Rodinia `calculate_temp` (K1).
+//!
+//! Thermal stencil with the pyramid optimization: each CTA loads a
+//! `BS x BS` tile of the temperature and power grids into shared memory
+//! (with a 2-cell halo) and applies **two unrolled stencil steps**, the
+//! valid region shrinking by one ring per step (the paper's binary is also
+//! loop-free — Table VII lists HotSpot with zero loop iterations).
+//!
+//! Divergence comes from two sources, giving HotSpot its wide iCnt spread
+//! (77–183 in the paper, Table IV) and its ~10 CTA groups:
+//!
+//! * grid-border CTAs have threads whose global coordinates fall outside
+//!   the chip, which skip the loads (and the four range tests fail at
+//!   different depths on each side, so N/S/E/W borders and the four
+//!   corners all differ);
+//! * halo threads skip one or both stencil steps.
+
+use fsp_isa::assemble;
+use fsp_sim::MemBlock;
+
+use crate::data::DataGen;
+use crate::{PaperReference, Scale, Suite, Workload};
+
+/// Ambient temperature (boundary condition and halo default).
+pub const AMB: f32 = 80.0;
+/// East/west coupling coefficient.
+pub const RX: f32 = 0.1;
+/// North/south coupling coefficient.
+pub const RY: f32 = 0.12;
+/// Vertical (ambient) coupling coefficient.
+pub const RZ: f32 = 0.05;
+/// Step scaling factor.
+pub const SDC: f32 = 0.3;
+
+struct Geom {
+    /// CTA edge (threads).
+    bs: u32,
+    /// Output tile edge (`bs - 4`: two halo rings).
+    tile: u32,
+    /// Grid edge in CTAs.
+    g: u32,
+}
+
+impl Geom {
+    /// Chip edge in cells.
+    fn r(&self) -> u32 {
+        self.tile * self.g
+    }
+}
+
+fn geom(scale: Scale) -> Geom {
+    match scale {
+        // 9216 threads = 6x6 CTAs of 16x16 (Table I).
+        Scale::Paper => Geom { bs: 16, tile: 12, g: 6 },
+        // 576 threads = 3x3 CTAs of 8x8.
+        Scale::Eval => Geom { bs: 8, tile: 4, g: 3 },
+    }
+}
+
+fn stencil_block(g: &Geom) -> String {
+    let rowb = g.bs * 4;
+    format!(
+        r#"
+        mov.f32 $r16, s[$r14]
+        mov.f32 $r17, s[$r14+-{rowb}]
+        mov.f32 $r18, s[$r14+{rowb}]
+        mov.f32 $r19, s[$r14+-4]
+        mov.f32 $r20, s[$r14+4]
+        mov.f32 $r21, s[$r15]
+        add.f32 $r22, $r16, $r16
+        add.f32 $r23, $r17, $r18
+        sub.f32 $r23, $r23, $r22
+        mul.f32 $r23, $r23, {ry}
+        add.f32 $r24, $r19, $r20
+        sub.f32 $r24, $r24, $r22
+        mul.f32 $r24, $r24, {rx}
+        mov.f32 $r25, {amb}
+        sub.f32 $r25, $r25, $r16
+        mul.f32 $r25, $r25, {rz}
+        add.f32 $r26, $r21, $r23
+        add.f32 $r26, $r26, $r24
+        add.f32 $r26, $r26, $r25
+        mul.f32 $r26, $r26, {sdc}
+        add.f32 $r26, $r26, $r16
+        "#,
+        rowb = rowb,
+        ry = crate::data::fimm(RY),
+        rx = crate::data::fimm(RX),
+        amb = crate::data::fimm(AMB),
+        rz = crate::data::fimm(RZ),
+        sdc = crate::data::fimm(SDC),
+    )
+}
+
+fn source(g: &Geom) -> String {
+    let bs2 = g.bs * g.bs * 4;
+    let (tin, pwr, tout) = (0x100, 0x100 + bs2, 0x100 + 2 * bs2);
+    format!(
+        r#"
+        cvt.u32.u16 $r1, %tid.x
+        cvt.u32.u16 $r2, %tid.y
+        cvt.u32.u16 $r3, %ctaid.x
+        cvt.u32.u16 $r4, %ctaid.y
+        mul.lo.u32 $r5, $r3, {tile}
+        add.u32 $r5, $r5, $r1
+        add.u32 $r5, $r5, -2               // gx (signed)
+        mul.lo.u32 $r6, $r4, {tile}
+        add.u32 $r6, $r6, $r2
+        add.u32 $r6, $r6, -2               // gy (signed)
+        shl.u32 $r7, $r2, {bshift}
+        add.u32 $r7, $r7, $r1
+        shl.u32 $r7, $r7, 0x2              // shared index * 4
+        add.u32 $r14, $r7, {tin}
+        add.u32 $r15, $r7, {pwr}
+        add.u32 $r27, $r7, {tout}
+        mov.f32 $r8, {amb}                 // halo temperature default
+        mov.u32 $r9, $r124                 // halo power default
+        set.ge.s32.s32 $p0/$o127, $r5, $r124
+        @$p0.eq bra noload                 // gx < 0 (west border)
+        set.lt.s32.s32 $p0/$o127, $r5, {r}
+        @$p0.eq bra noload                 // gx >= R (east border)
+        set.ge.s32.s32 $p0/$o127, $r6, $r124
+        @$p0.eq bra noload                 // gy < 0 (north border)
+        set.lt.s32.s32 $p0/$o127, $r6, {r}
+        @$p0.eq bra noload                 // gy >= R (south border)
+        mul.lo.u32 $r10, $r6, {r4}
+        shl.u32 $r11, $r5, 0x2
+        add.u32 $r10, $r10, $r11
+        add.u32 $r12, $r10, s[0x0010]
+        ld.global.f32 $r8, [$r12]
+        add.u32 $r13, $r10, s[0x0014]
+        ld.global.f32 $r9, [$r13]
+        noload:
+        mov.f32 s[$r14], $r8
+        mov.f32 s[$r15], $r9
+        bar.sync 0x0
+        // ---- unrolled stencil step 1: valid tids in [1, BS-1)^2
+        set.gt.u32.u32 $p0/$o127, $r1, $r124
+        @$p0.eq bra s1skip
+        set.lt.u32.u32 $p0/$o127, $r1, {bs_m1}
+        @$p0.eq bra s1skip
+        set.gt.u32.u32 $p0/$o127, $r2, $r124
+        @$p0.eq bra s1skip
+        set.lt.u32.u32 $p0/$o127, $r2, {bs_m1}
+        @$p0.eq bra s1skip
+        {stencil}
+        mov.f32 s[$r27], $r26
+        s1skip:
+        bar.sync 0x0
+        mov.f32 $r28, s[$r27]
+        mov.f32 s[$r14], $r28              // tin = tout
+        bar.sync 0x0
+        // ---- unrolled stencil step 2: valid tids in [2, BS-2)^2
+        set.gt.u32.u32 $p0/$o127, $r1, 0x1
+        @$p0.eq bra s2skip
+        set.lt.u32.u32 $p0/$o127, $r1, {bs_m2}
+        @$p0.eq bra s2skip
+        set.gt.u32.u32 $p0/$o127, $r2, 0x1
+        @$p0.eq bra s2skip
+        set.lt.u32.u32 $p0/$o127, $r2, {bs_m2}
+        @$p0.eq bra s2skip
+        {stencil}
+        add.u32 $r29, $r10, s[0x0018]
+        st.global.f32 [$r29], $r26
+        s2skip:
+        exit
+        "#,
+        tile = g.tile,
+        bshift = g.bs.trailing_zeros(),
+        tin = tin,
+        pwr = pwr,
+        tout = tout,
+        amb = crate::data::fimm(AMB),
+        r = g.r(),
+        r4 = g.r() * 4,
+        bs_m1 = g.bs - 1,
+        bs_m2 = g.bs - 2,
+        stencil = stencil_block(g),
+    )
+}
+
+fn stencil(c: f32, n: f32, s: f32, w: f32, e: f32, p: f32) -> f32 {
+    let c2 = c + c;
+    let dy = (n + s - c2) * RY;
+    let dx = (w + e - c2) * RX;
+    let dz = (AMB - c) * RZ;
+    (p + dy + dx + dz) * SDC + c
+}
+
+/// Host-side reference of the two-step pyramid (same f32 order, same
+/// halo semantics as the kernel).
+#[must_use]
+pub fn reference(temp: &[f32], power: &[f32], bs: usize, tile: usize, g: usize) -> Vec<f32> {
+    let r = tile * g;
+    let mut out = vec![0.0f32; r * r];
+    for cy in 0..g {
+        for cx in 0..g {
+            let mut tin = vec![AMB; bs * bs];
+            let mut pw = vec![0.0f32; bs * bs];
+            for ty in 0..bs {
+                for tx in 0..bs {
+                    let gx = (cx * tile + tx) as isize - 2;
+                    let gy = (cy * tile + ty) as isize - 2;
+                    if gx >= 0 && (gx as usize) < r && gy >= 0 && (gy as usize) < r {
+                        tin[ty * bs + tx] = temp[gy as usize * r + gx as usize];
+                        pw[ty * bs + tx] = power[gy as usize * r + gx as usize];
+                    } else {
+                        tin[ty * bs + tx] = AMB;
+                        pw[ty * bs + tx] = 0.0;
+                    }
+                }
+            }
+            // Step 1 into tout (zeros outside the computed ring), then the
+            // unconditional copy back, exactly like the kernel.
+            let mut tout = vec![0.0f32; bs * bs];
+            for ty in 1..bs - 1 {
+                for tx in 1..bs - 1 {
+                    tout[ty * bs + tx] = stencil(
+                        tin[ty * bs + tx],
+                        tin[(ty - 1) * bs + tx],
+                        tin[(ty + 1) * bs + tx],
+                        tin[ty * bs + tx - 1],
+                        tin[ty * bs + tx + 1],
+                        pw[ty * bs + tx],
+                    );
+                }
+            }
+            let tin = tout;
+            for ty in 2..bs - 2 {
+                for tx in 2..bs - 2 {
+                    let v = stencil(
+                        tin[ty * bs + tx],
+                        tin[(ty - 1) * bs + tx],
+                        tin[(ty + 1) * bs + tx],
+                        tin[ty * bs + tx - 1],
+                        tin[ty * bs + tx + 1],
+                        pw[ty * bs + tx],
+                    );
+                    let gx = cx * tile + tx - 2;
+                    let gy = cy * tile + ty - 2;
+                    out[gy * r + gx] = v;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Builds the HotSpot workload.
+#[must_use]
+pub fn k1(scale: Scale) -> Workload {
+    let g = geom(scale);
+    let program = assemble("calculate_temp", &source(&g)).expect("hotspot assembles");
+    let r = g.r() as usize;
+    let words = r * r;
+    let temp_addr = 0u32;
+    let power_addr = (words * 4) as u32;
+    let out_addr = (words * 8) as u32;
+    let mut memory = MemBlock::with_words(3 * words);
+    memory.write_f32_slice(temp_addr, &DataGen::new("hotspot.temp").f32_buffer(words, 323.0, 343.0));
+    memory.write_f32_slice(power_addr, &DataGen::new("hotspot.power").f32_buffer(words, 0.0, 0.01));
+    Workload::new(
+        "HotSpot",
+        "calculate_temp",
+        "K1",
+        Suite::Rodinia,
+        scale,
+        program,
+        (g.g, g.g),
+        (g.bs, g.bs, 1),
+        vec![temp_addr, power_addr, out_addr],
+        memory,
+        (out_addr, words),
+        Some(PaperReference { threads: 9216, fault_sites: 3.44e7 }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsp_inject::InjectionTarget;
+    use fsp_sim::{NopHook, Simulator, Tracer};
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn matches_host_reference() {
+        let w = k1(Scale::Eval);
+        let g = geom(Scale::Eval);
+        let r = g.r() as usize;
+        let words = r * r;
+        let mut memory = w.init_memory();
+        let to_f32 = |s: &[u32]| -> Vec<f32> { s.iter().map(|&x| f32::from_bits(x)).collect() };
+        let temp = to_f32(memory.read_slice(0, words));
+        let power = to_f32(memory.read_slice((words * 4) as u32, words));
+        Simulator::new().run(&w.launch(), &mut memory, &mut NopHook).unwrap();
+        let expect = reference(&temp, &power, g.bs as usize, g.tile as usize, g.g as usize);
+        let (addr, len) = w.output_region();
+        for (idx, (&bits, &want)) in
+            memory.read_slice(addr, len).iter().zip(&expect).enumerate()
+        {
+            assert_eq!(bits, want.to_bits(), "mismatch at cell {idx}");
+        }
+    }
+
+    #[test]
+    fn many_cta_groups_like_table4() {
+        let w = k1(Scale::Paper);
+        let launch = w.launch();
+        assert_eq!(launch.num_threads(), 9216);
+        let mut tracer = Tracer::new(launch.num_threads(), launch.threads_per_cta());
+        let mut memory = w.init_memory();
+        Simulator::new().run(&launch, &mut memory, &mut tracer).unwrap();
+        let trace = tracer.finish();
+        // CTA means split into ~9-10 groups (borders vs corners vs interior).
+        let means: BTreeSet<u64> = (0..trace.num_ctas())
+            .map(|c| (trace.cta_mean_icnt(c) * 1000.0) as u64)
+            .collect();
+        assert!(
+            (4..=12).contains(&means.len()),
+            "expected ~9 CTA groups, got {}",
+            means.len()
+        );
+        // Threads diverge widely (halo vs interior vs off-chip).
+        let min = *trace.icnt.iter().min().unwrap();
+        let max = *trace.icnt.iter().max().unwrap();
+        assert!(max > min + 30, "iCnt spread {min}..{max} too narrow");
+    }
+}

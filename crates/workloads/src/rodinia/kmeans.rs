@@ -1,0 +1,258 @@
+//! K-Means — Rodinia `invert_mapping` (K1) and `kmeansPoint` (K2).
+//!
+//! K1 transposes the feature matrix from point-major to feature-major
+//! (a single `nfeatures`-iteration copy loop per thread). K2 assigns each
+//! point to its nearest cluster centre — an `nclusters x nfeatures` nested
+//! distance loop (5 × 34 = 170 total iterations in the paper's Table VII)
+//! followed by an argmin update.
+//!
+//! The launch rounds the point count up to whole CTAs, so a tail of threads
+//! exits after a handful of instructions — the "one representative with
+//! fewer than 10 instructions" that makes K-Means unsuitable for
+//! instruction-wise pruning (Section III-C).
+
+use fsp_isa::assemble;
+use fsp_sim::MemBlock;
+
+use crate::data::DataGen;
+use crate::{PaperReference, Scale, Suite, Workload};
+
+struct Geom {
+    npoints: u32,
+    nfeatures: u32,
+    nclusters: u32,
+    block: u32,
+    grid: u32,
+}
+
+fn geom(scale: Scale) -> Geom {
+    match scale {
+        // 2304 threads = 9 CTAs x 256 (Table I), 34 features, 5 clusters.
+        Scale::Paper => {
+            Geom { npoints: 2200, nfeatures: 34, nclusters: 5, block: 256, grid: 9 }
+        }
+        // 128 threads = 4 CTAs x 32.
+        Scale::Eval => Geom { npoints: 120, nfeatures: 8, nclusters: 4, block: 32, grid: 4 },
+    }
+}
+
+fn k1_source(g: &Geom) -> String {
+    format!(
+        r#"
+        cvt.u32.u16 $r1, %tid.x
+        cvt.u32.u16 $r2, %ctaid.x
+        shl.u32 $r3, $r2, {b_shift}
+        add.u32 $r3, $r3, $r1              // tid
+        set.lt.u32.u32 $p0/$o127, $r3, {npoints}
+        @$p0.eq bra lexit
+        mul.lo.u32 $r4, $r3, {nfeat4}
+        add.u32 $r4, $r4, s[0x0010]        // &input[tid][0]
+        shl.u32 $r5, $r3, 0x2
+        add.u32 $r5, $r5, s[0x0014]        // &output[0][tid]
+        mov.u32 $r6, {nfeat}
+        floop:
+        ld.global.f32 $r7, [$r4]
+        st.global.f32 [$r5], $r7
+        add.u32 $r4, $r4, 0x4
+        add.u32 $r5, $r5, {npoints4}
+        add.u32 $r6, $r6, -1
+        set.ne.u32.u32 $p0/$o127, $r6, $r124
+        @$p0.ne bra floop
+        lexit: exit
+        "#,
+        b_shift = g.block.trailing_zeros(),
+        npoints = g.npoints,
+        nfeat4 = g.nfeatures * 4,
+        nfeat = g.nfeatures,
+        npoints4 = g.npoints * 4,
+    )
+}
+
+fn k2_source(g: &Geom) -> String {
+    format!(
+        r#"
+        cvt.u32.u16 $r1, %tid.x
+        cvt.u32.u16 $r2, %ctaid.x
+        shl.u32 $r3, $r2, {b_shift}
+        add.u32 $r3, $r3, $r1              // tid
+        set.lt.u32.u32 $p0/$o127, $r3, {npoints}
+        @$p0.eq bra lexit
+        mov.u32 $r4, 0x7F800000            // bestdist = +inf
+        mov.u32 $r5, $r124                 // best = 0
+        mul.lo.u32 $r6, $r3, {nfeat4}
+        add.u32 $r6, $r6, s[0x0010]        // &features[tid][0]
+        mov.u32 $r7, s[0x0014]             // &clusters[0][0]
+        mov.u32 $r8, $r124                 // c = 0
+        cloop:
+        mov.u32 $r9, $r6                   // feature cursor
+        mov.u32 $r10, $r124                // dist = 0.0
+        mov.u32 $r11, {nfeat}
+        floop:
+        ld.global.f32 $r12, [$r9]
+        ld.global.f32 $r13, [$r7]
+        sub.f32 $r12, $r12, $r13
+        mul.f32 $r12, $r12, $r12
+        add.f32 $r10, $r10, $r12
+        add.u32 $r9, $r9, 0x4
+        add.u32 $r7, $r7, 0x4
+        add.u32 $r11, $r11, -1
+        set.ne.u32.u32 $p0/$o127, $r11, $r124
+        @$p0.ne bra floop
+        set.lt.f32.f32 $p0/$o127, $r10, $r4
+        @$p0.eq bra nup                    // not an improvement
+        mov.u32 $r4, $r10                  // bestdist = dist
+        mov.u32 $r5, $r8                   // best = c
+        nup:
+        add.u32 $r8, $r8, 0x1
+        set.ne.u32.u32 $p0/$o127, $r8, {nclusters}
+        @$p0.ne bra cloop
+        shl.u32 $r14, $r3, 0x2
+        add.u32 $r14, $r14, s[0x0018]
+        st.global.u32 [$r14], $r5          // membership[tid]
+        lexit: exit
+        "#,
+        b_shift = g.block.trailing_zeros(),
+        npoints = g.npoints,
+        nfeat4 = g.nfeatures * 4,
+        nfeat = g.nfeatures,
+        nclusters = g.nclusters,
+    )
+}
+
+fn features(g: &Geom) -> Vec<f32> {
+    DataGen::new("kmeans.features")
+        .f32_buffer((g.npoints * g.nfeatures) as usize, 0.0, 1.0)
+}
+
+/// Builds `invert_mapping` (K1).
+#[must_use]
+pub fn k1(scale: Scale) -> Workload {
+    let g = geom(scale);
+    let program = assemble("invert_mapping", &k1_source(&g)).expect("kmeans k1 assembles");
+    let words = (g.npoints * g.nfeatures) as usize;
+    let mut memory = MemBlock::with_words(2 * words);
+    memory.write_f32_slice(0, &features(&g));
+    Workload::new(
+        "K-Means",
+        "invert_mapping",
+        "K1",
+        Suite::Rodinia,
+        scale,
+        program,
+        (g.grid, 1),
+        (g.block, 1, 1),
+        vec![0, (words * 4) as u32],
+        memory,
+        ((words * 4) as u32, words),
+        Some(PaperReference { threads: 2304, fault_sites: 1.47e7 }),
+    )
+}
+
+/// Builds `kmeansPoint` (K2).
+#[must_use]
+pub fn k2(scale: Scale) -> Workload {
+    let g = geom(scale);
+    let program = assemble("kmeansPoint", &k2_source(&g)).expect("kmeans k2 assembles");
+    let fwords = (g.npoints * g.nfeatures) as usize;
+    let cwords = (g.nclusters * g.nfeatures) as usize;
+    let feat_addr = 0u32;
+    let clus_addr = (fwords * 4) as u32;
+    let memb_addr = clus_addr + (cwords * 4) as u32;
+    let mut memory = MemBlock::with_words(fwords + cwords + g.npoints as usize);
+    memory.write_f32_slice(feat_addr, &features(&g));
+    memory.write_f32_slice(
+        clus_addr,
+        &DataGen::new("kmeans.clusters").f32_buffer(cwords, 0.0, 1.0),
+    );
+    Workload::new(
+        "K-Means",
+        "kmeansPoint",
+        "K2",
+        Suite::Rodinia,
+        scale,
+        program,
+        (g.grid, 1),
+        (g.block, 1, 1),
+        vec![feat_addr, clus_addr, memb_addr],
+        memory,
+        (memb_addr, g.npoints as usize),
+        Some(PaperReference { threads: 2304, fault_sites: 9.67e7 }),
+    )
+}
+
+/// Host-side reference for K2 (argmin over squared euclidean distance, in
+/// kernel accumulation order).
+#[must_use]
+pub fn k2_reference(features: &[f32], clusters: &[f32], np: usize, nf: usize, nc: usize) -> Vec<u32> {
+    (0..np)
+        .map(|p| {
+            let mut best = 0u32;
+            let mut bestdist = f32::INFINITY;
+            for c in 0..nc {
+                let mut dist = 0.0f32;
+                for f in 0..nf {
+                    let d = features[p * nf + f] - clusters[c * nf + f];
+                    dist += d * d;
+                }
+                if dist < bestdist {
+                    bestdist = dist;
+                    best = c as u32;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsp_inject::InjectionTarget;
+    use fsp_sim::{NopHook, Simulator, Tracer};
+
+    #[test]
+    fn k1_transposes() {
+        let w = k1(Scale::Eval);
+        let g = geom(Scale::Eval);
+        let (np, nf) = (g.npoints as usize, g.nfeatures as usize);
+        let mut memory = w.init_memory();
+        let input: Vec<u32> = memory.read_slice(0, np * nf).to_vec();
+        Simulator::new().run(&w.launch(), &mut memory, &mut NopHook).unwrap();
+        let out = memory.read_slice((np * nf * 4) as u32, np * nf);
+        for p in 0..np {
+            for f in 0..nf {
+                assert_eq!(out[f * np + p], input[p * nf + f], "point {p} feature {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn k2_matches_argmin_reference() {
+        let w = k2(Scale::Eval);
+        let g = geom(Scale::Eval);
+        let (np, nf, nc) = (g.npoints as usize, g.nfeatures as usize, g.nclusters as usize);
+        let mut memory = w.init_memory();
+        let to_f32 = |s: &[u32]| -> Vec<f32> { s.iter().map(|&x| f32::from_bits(x)).collect() };
+        let feats = to_f32(memory.read_slice(0, np * nf));
+        let clus = to_f32(memory.read_slice((np * nf * 4) as u32, nc * nf));
+        Simulator::new().run(&w.launch(), &mut memory, &mut NopHook).unwrap();
+        let (addr, len) = w.output_region();
+        let got = memory.read_slice(addr, len);
+        let want = k2_reference(&feats, &clus, np, nf, nc);
+        assert_eq!(got, &want[..]);
+    }
+
+    #[test]
+    fn tail_threads_have_tiny_icnt() {
+        let w = k1(Scale::Eval);
+        let launch = w.launch();
+        let mut tracer = Tracer::new(launch.num_threads(), launch.threads_per_cta());
+        let mut memory = w.init_memory();
+        Simulator::new().run(&launch, &mut memory, &mut tracer).unwrap();
+        let trace = tracer.finish();
+        let min = *trace.icnt.iter().min().unwrap();
+        let max = *trace.icnt.iter().max().unwrap();
+        assert!(min < 10, "tail threads exit early, got {min}");
+        assert!(max > 50, "active threads run the copy loop, got {max}");
+    }
+}

@@ -1,0 +1,559 @@
+//! LU Decomposition — Rodinia `lud_perimeter` (K44), `lud_internal` (K45)
+//! and `lud_diagonal` (K46).
+//!
+//! Tiled LU factorization over a `3·BS x 3·BS` matrix at the step the paper
+//! injects (few remaining tiles, hence the tiny thread counts of Table I:
+//! 32, 256 and 16 threads).
+//!
+//! * **K46 diagonal** (BS threads): triangular elimination of the diagonal
+//!   tile — per-thread inner-loop work grows triangularly, totalling ~120
+//!   iterations (Table VII).
+//! * **K44 perimeter** (2·BS threads): forward substitution on the row
+//!   tile (first half of the threads) and `xU = b` solves on the column
+//!   tile (second half) — two structurally different thread groups.
+//! * **K45 internal** (BS² threads): the trailing update
+//!   `A -= L_col x U_row`, with the BS-step dot product fully unrolled —
+//!   the paper's compiler unrolled it too, which is why Table VII lists
+//!   K45 as loop-free.
+
+use fsp_isa::assemble;
+use fsp_sim::MemBlock;
+
+use crate::data::DataGen;
+use crate::{PaperReference, Scale, Suite, Workload};
+
+struct Geom {
+    /// Tile edge.
+    bs: u32,
+}
+
+fn geom(scale: Scale) -> Geom {
+    match scale {
+        Scale::Paper => Geom { bs: 16 },
+        Scale::Eval => Geom { bs: 8 },
+    }
+}
+
+/// Matrix edge: 3 tiles.
+fn m(g: &Geom) -> u32 {
+    3 * g.bs
+}
+
+/// Shared-memory base of the diagonal tile.
+const DIA: u32 = 0x100;
+
+fn matrix(g: &Geom) -> Vec<f32> {
+    let n = m(g) as usize;
+    let mut a = DataGen::new("lud.a").f32_buffer(n * n, 0.5, 1.5);
+    for i in 0..n {
+        a[i * n + i] += 8.0; // keep pivots well away from zero
+    }
+    a
+}
+
+fn base_memory(g: &Geom) -> MemBlock {
+    let n = m(g) as usize;
+    let mut memory = MemBlock::with_words(n * n);
+    memory.write_f32_slice(0, &matrix(g));
+    memory
+}
+
+// --- K46: lud_diagonal -----------------------------------------------------
+
+fn k46_source(g: &Geom) -> String {
+    let bs = g.bs;
+    format!(
+        r#"
+        cvt.u32.u16 $r1, %tid.x
+        shl.u32 $r2, $r1, {bs2_shift}      // tid*BS*4
+        add.u32 $r3, $r2, {dia}            // &s[tid][0]
+        mul.lo.u32 $r4, $r1, {m4}
+        add.u32 $r4, $r4, s[0x0010]        // &a[tid][0]
+        mov.u32 $r5, {bs}
+        mov.u32 $r6, $r3
+        lload:
+        ld.global.f32 $r7, [$r4]
+        mov.f32 s[$r6], $r7
+        add.u32 $r4, $r4, 0x4
+        add.u32 $r6, $r6, 0x4
+        add.u32 $r5, $r5, -1
+        set.ne.u32.u32 $p0/$o127, $r5, $r124
+        @$p0.ne bra lload
+        bar.sync 0x0
+        mov.u32 $r8, $r124                 // i = 0
+        iloop:
+        set.gt.u32.u32 $p0/$o127, $r1, $r8
+        @$p0.eq bra inext                  // only tid > i eliminates
+        shl.u32 $r9, $r8, 0x2
+        add.u32 $r10, $r3, $r9             // &s[tid][i]
+        mov.f32 $r11, s[$r10]
+        mov.u32 $r12, $r3                  // &s[tid][0]
+        add.u32 $r13, $r9, {dia}           // &s[0][i]
+        mov.u32 $r14, $r8                  // j counts down from i
+        set.ne.u32.u32 $p0/$o127, $r14, $r124
+        @$p0.eq bra idiv
+        jloop:
+        mov.f32 $r15, s[$r12]
+        mov.f32 $r16, s[$r13]
+        mul.f32 $r15, $r15, $r16
+        sub.f32 $r11, $r11, $r15
+        add.u32 $r12, $r12, 0x4
+        add.u32 $r13, $r13, {bs4}
+        add.u32 $r14, $r14, -1
+        set.ne.u32.u32 $p0/$o127, $r14, $r124
+        @$p0.ne bra jloop
+        idiv:
+        shl.u32 $r17, $r8, {bs2_shift}
+        add.u32 $r17, $r17, $r9
+        add.u32 $r17, $r17, {dia}          // &s[i][i]
+        mov.f32 $r18, s[$r17]
+        div.f32 $r11, $r11, $r18
+        mov.f32 s[$r10], $r11
+        inext:
+        bar.sync 0x0
+        add.u32 $r8, $r8, 0x1
+        set.ne.u32.u32 $p0/$o127, $r8, {bs_m1}
+        @$p0.ne bra iloop
+        mul.lo.u32 $r19, $r1, {m4}
+        add.u32 $r19, $r19, s[0x0010]
+        mov.u32 $r20, $r3
+        mov.u32 $r21, {bs}
+        lstore:
+        mov.f32 $r22, s[$r20]
+        st.global.f32 [$r19], $r22
+        add.u32 $r19, $r19, 0x4
+        add.u32 $r20, $r20, 0x4
+        add.u32 $r21, $r21, -1
+        set.ne.u32.u32 $p0/$o127, $r21, $r124
+        @$p0.ne bra lstore
+        exit
+        "#,
+        bs2_shift = g.bs.trailing_zeros() + 2,
+        dia = DIA,
+        m4 = m(g) * 4,
+        bs = bs,
+        bs4 = bs * 4,
+        bs_m1 = bs - 1,
+    )
+}
+
+/// Host-side reference of K46 on the diagonal tile.
+#[must_use]
+pub fn k46_reference(a: &[f32], mm: usize, bs: usize) -> Vec<f32> {
+    let mut t: Vec<f32> = (0..bs * bs).map(|i| a[(i / bs) * mm + i % bs]).collect();
+    for i in 0..bs - 1 {
+        for tid in i + 1..bs {
+            let mut acc = t[tid * bs + i];
+            for j in 0..i {
+                acc -= t[tid * bs + j] * t[j * bs + i];
+            }
+            t[tid * bs + i] = acc / t[i * bs + i];
+        }
+    }
+    let mut out = a.to_vec();
+    for r in 0..bs {
+        for c in 0..bs {
+            out[r * mm + c] = t[r * bs + c];
+        }
+    }
+    out
+}
+
+/// Builds `lud_diagonal` (K46).
+#[must_use]
+pub fn k46(scale: Scale) -> Workload {
+    let g = geom(scale);
+    let program = assemble("lud_diagonal", &k46_source(&g)).expect("lud k46 assembles");
+    let n = m(&g) as usize;
+    Workload::new(
+        "LUD",
+        "lud_diagonal",
+        "K46",
+        Suite::Rodinia,
+        scale,
+        program,
+        (1, 1),
+        (g.bs, 1, 1),
+        vec![0],
+        base_memory(&g),
+        (0, n * n),
+        Some(PaperReference { threads: 16, fault_sites: 5.26e5 }),
+    )
+}
+
+// --- K44: lud_perimeter ----------------------------------------------------
+
+fn k44_source(g: &Geom) -> String {
+    let bs = g.bs;
+    let row_base = DIA + bs * bs * 4;
+    let col_base = row_base + bs * bs * 4;
+    format!(
+        r#"
+        cvt.u32.u16 $r1, %tid.x
+        mov.u32 $r28, $r124                // half flag: 0 = row, 1 = col
+        set.lt.u32.u32 $p0/$o127, $r1, {bs}
+        @$p0.eq bra colload
+        // ---- row half (tx = tid): load dia row tx and row-tile row tx
+        shl.u32 $r2, $r1, {bs2_shift}      // tx*BS*4
+        add.u32 $r3, $r2, {dia}            // &dia[tx][0]
+        add.u32 $r4, $r2, {row_base}       // &row[tx][0]
+        mul.lo.u32 $r5, $r1, {m4}
+        add.u32 $r6, $r5, s[0x0010]        // &a[tx][0]
+        add.u32 $r7, $r6, {bs4g}           // &a[tx][BS]
+        mov.u32 $r8, {bs}
+        rload:
+        ld.global.f32 $r9, [$r6]
+        mov.f32 s[$r3], $r9
+        ld.global.f32 $r9, [$r7]
+        mov.f32 s[$r4], $r9
+        add.u32 $r6, $r6, 0x4
+        add.u32 $r7, $r7, 0x4
+        add.u32 $r3, $r3, 0x4
+        add.u32 $r4, $r4, 0x4
+        add.u32 $r8, $r8, -1
+        set.ne.u32.u32 $p0/$o127, $r8, $r124
+        @$p0.ne bra rload
+        bra join1
+        colload:
+        // ---- col half (tx = tid - BS): load col-tile row tx
+        add.u32 $r1, $r1, -{bs}            // tx
+        mov.u32 $r28, 0x1
+        shl.u32 $r2, $r1, {bs2_shift}
+        add.u32 $r3, $r2, {col_base}       // &col[tx][0]
+        add.u32 $r5, $r1, {bs}
+        mul.lo.u32 $r5, $r5, {m4}
+        add.u32 $r6, $r5, s[0x0010]        // &a[BS+tx][0]
+        mov.u32 $r8, {bs}
+        cload:
+        ld.global.f32 $r9, [$r6]
+        mov.f32 s[$r3], $r9
+        add.u32 $r6, $r6, 0x4
+        add.u32 $r3, $r3, 0x4
+        add.u32 $r8, $r8, -1
+        set.ne.u32.u32 $p0/$o127, $r8, $r124
+        @$p0.ne bra cload
+        join1:
+        bar.sync 0x0                       // both halves reconverge to load-barrier
+        set.ne.u32.u32 $p0/$o127, $r28, $r124
+        @$p0.ne bra colcompute
+        // ---- row half: forward substitution
+        //   row[i][tx] -= sum_j<i dia[i][j] * row[j][tx]
+        shl.u32 $r10, $r1, 0x2             // tx*4
+        mov.u32 $r11, 0x1                  // i = 1
+        riloop:
+        shl.u32 $r12, $r11, {bs2_shift}
+        add.u32 $r13, $r12, $r10
+        add.u32 $r13, $r13, {row_base}     // &row[i][tx]
+        mov.f32 $r14, s[$r13]
+        add.u32 $r15, $r12, {dia}          // &dia[i][0]
+        add.u32 $r16, $r10, {row_base}     // &row[0][tx]
+        mov.u32 $r17, $r11                 // j counts down from i
+        rjloop:
+        mov.f32 $r18, s[$r15]
+        mov.f32 $r19, s[$r16]
+        mul.f32 $r18, $r18, $r19
+        sub.f32 $r14, $r14, $r18
+        add.u32 $r15, $r15, 0x4
+        add.u32 $r16, $r16, {bs4}
+        add.u32 $r17, $r17, -1
+        set.ne.u32.u32 $p0/$o127, $r17, $r124
+        @$p0.ne bra rjloop
+        mov.f32 s[$r13], $r14
+        add.u32 $r11, $r11, 0x1
+        set.ne.u32.u32 $p0/$o127, $r11, {bs}
+        @$p0.ne bra riloop
+        bra join2
+        colcompute:
+        // ---- col half: xU = b solve
+        //   col[tx][i] = (col[tx][i] - sum_j<i col[tx][j]*dia[j][i]) / dia[i][i]
+        add.u32 $r10, $r2, {col_base}      // &col[tx][0]
+        mov.u32 $r11, $r124                // i = 0
+        ciloop:
+        shl.u32 $r12, $r11, 0x2            // i*4
+        add.u32 $r13, $r10, $r12           // &col[tx][i]
+        mov.f32 $r14, s[$r13]
+        mov.u32 $r15, $r10                 // &col[tx][0]
+        add.u32 $r16, $r12, {dia}          // &dia[0][i]
+        mov.u32 $r17, $r11                 // j counts down from i
+        set.ne.u32.u32 $p0/$o127, $r17, $r124
+        @$p0.eq bra cdiv
+        cjloop:
+        mov.f32 $r18, s[$r15]
+        mov.f32 $r19, s[$r16]
+        mul.f32 $r18, $r18, $r19
+        sub.f32 $r14, $r14, $r18
+        add.u32 $r15, $r15, 0x4
+        add.u32 $r16, $r16, {bs4}
+        add.u32 $r17, $r17, -1
+        set.ne.u32.u32 $p0/$o127, $r17, $r124
+        @$p0.ne bra cjloop
+        cdiv:
+        shl.u32 $r24, $r11, {bs2_shift}
+        add.u32 $r24, $r24, $r12
+        add.u32 $r24, $r24, {dia}          // &dia[i][i]
+        mov.f32 $r25, s[$r24]
+        div.f32 $r14, $r14, $r25
+        mov.f32 s[$r13], $r14
+        add.u32 $r11, $r11, 0x1
+        set.ne.u32.u32 $p0/$o127, $r11, {bs}
+        @$p0.ne bra ciloop
+        join2:
+        // threads update row-tile *columns* but store back *rows*: wait
+        // for every column to finish before the writeback
+        bar.sync 0x0
+        set.ne.u32.u32 $p0/$o127, $r28, $r124
+        @$p0.ne bra colstore
+        // ---- row half: store row tile back
+        mul.lo.u32 $r20, $r1, {m4}
+        add.u32 $r20, $r20, s[0x0010]
+        add.u32 $r20, $r20, {bs4g}         // &a[tx][BS]
+        shl.u32 $r21, $r1, {bs2_shift}
+        add.u32 $r21, $r21, {row_base}
+        mov.u32 $r22, {bs}
+        rstore:
+        mov.f32 $r23, s[$r21]
+        st.global.f32 [$r20], $r23
+        add.u32 $r20, $r20, 0x4
+        add.u32 $r21, $r21, 0x4
+        add.u32 $r22, $r22, -1
+        set.ne.u32.u32 $p0/$o127, $r22, $r124
+        @$p0.ne bra rstore
+        exit
+        colstore:
+        // ---- col half: store col tile back
+        add.u32 $r20, $r1, {bs}
+        mul.lo.u32 $r20, $r20, {m4}
+        add.u32 $r20, $r20, s[0x0010]      // &a[BS+tx][0]
+        mov.u32 $r21, $r10
+        mov.u32 $r22, {bs}
+        cstore:
+        mov.f32 $r23, s[$r21]
+        st.global.f32 [$r20], $r23
+        add.u32 $r20, $r20, 0x4
+        add.u32 $r21, $r21, 0x4
+        add.u32 $r22, $r22, -1
+        set.ne.u32.u32 $p0/$o127, $r22, $r124
+        @$p0.ne bra cstore
+        exit
+        "#,
+        bs = bs,
+        bs2_shift = bs.trailing_zeros() + 2,
+        dia = DIA,
+        row_base = row_base,
+        col_base = col_base,
+        m4 = m(g) * 4,
+        bs4 = bs * 4,
+        bs4g = bs * 4,
+    )
+}
+
+/// Host-side reference of K44 (row-tile forward substitution and col-tile
+/// `xU = b` solve against the *unfactored* diagonal tile, as launched).
+#[must_use]
+pub fn k44_reference(a: &[f32], mm: usize, bs: usize) -> Vec<f32> {
+    let mut out = a.to_vec();
+    let dia = |r: usize, c: usize| a[r * mm + c];
+    // Row tile: row[i][tx] -= sum_{j<i} dia[i][j] * row[j][tx], in place,
+    // increasing i (reads already-updated rows j < i).
+    for tx in 0..bs {
+        for i in 1..bs {
+            let mut acc = out[i * mm + bs + tx];
+            for j in 0..i {
+                acc -= dia(i, j) * out[j * mm + bs + tx];
+            }
+            out[i * mm + bs + tx] = acc;
+        }
+    }
+    // Col tile: col[tx][i] = (col[tx][i] - sum_{j<i} col[tx][j] * dia(j,i)) / dia(i,i).
+    for tx in 0..bs {
+        for i in 0..bs {
+            let mut acc = out[(bs + tx) * mm + i];
+            for j in 0..i {
+                acc -= out[(bs + tx) * mm + j] * dia(j, i);
+            }
+            out[(bs + tx) * mm + i] = acc / dia(i, i);
+        }
+    }
+    out
+}
+
+/// Builds `lud_perimeter` (K44).
+#[must_use]
+pub fn k44(scale: Scale) -> Workload {
+    let g = geom(scale);
+    let program = assemble("lud_perimeter", &k44_source(&g)).expect("lud k44 assembles");
+    let n = m(&g) as usize;
+    Workload::new(
+        "LUD",
+        "lud_perimeter",
+        "K44",
+        Suite::Rodinia,
+        scale,
+        program,
+        (1, 1),
+        (2 * g.bs, 1, 1),
+        vec![0],
+        base_memory(&g),
+        (0, n * n),
+        Some(PaperReference { threads: 32, fault_sites: 1.75e6 }),
+    )
+}
+
+// --- K45: lud_internal -----------------------------------------------------
+
+fn k45_source(g: &Geom) -> String {
+    let bs = g.bs;
+    let row_base = DIA; // peri_row tile
+    let col_base = DIA + bs * bs * 4; // peri_col tile
+    let mut src = format!(
+        r#"
+        cvt.u32.u16 $r1, %tid.x
+        cvt.u32.u16 $r2, %tid.y
+        shl.u32 $r3, $r2, {bs2_shift}      // ty*BS*4
+        shl.u32 $r4, $r1, 0x2              // tx*4
+        add.u32 $r5, $r3, $r4              // (ty*BS + tx)*4
+        mul.lo.u32 $r6, $r2, {m4}
+        add.u32 $r6, $r6, $r4
+        add.u32 $r6, $r6, s[0x0010]        // &a[ty][tx]
+        ld.global.f32 $r7, [$r6+{bsg}]     // a[ty][BS+tx]
+        add.u32 $r8, $r5, {row_base}
+        mov.f32 s[$r8], $r7                // row[ty][tx]
+        mul.lo.u32 $r9, $r2, {m4}
+        add.u32 $r9, $r9, $r4
+        add.u32 $r9, $r9, s[0x0010]
+        ld.global.f32 $r10, [$r9+{bsrows}] // a[BS+ty][tx]
+        add.u32 $r11, $r5, {col_base}
+        mov.f32 s[$r11], $r10              // col[ty][tx]
+        bar.sync 0x0
+        // acc = a[BS+ty][BS+tx]
+        mul.lo.u32 $r12, $r2, {m4}
+        add.u32 $r12, $r12, $r4
+        add.u32 $r12, $r12, s[0x0010]
+        add.u32 $r12, $r12, {interior}     // &a[BS+ty][BS+tx]
+        ld.global.f32 $r13, [$r12]
+        add.u32 $r14, $r3, {col_base}      // &col[ty][0]
+        add.u32 $r15, $r4, {row_base}      // &row[0][tx]
+"#,
+        bs2_shift = bs.trailing_zeros() + 2,
+        m4 = m(g) * 4,
+        bsg = bs * 4,
+        bsrows = bs * m(g) * 4,
+        row_base = row_base,
+        col_base = col_base,
+        interior = bs * m(g) * 4 + bs * 4,
+    );
+    // Fully unrolled BS-step dot product (the paper's compiler unrolled it
+    // too: Table VII lists K45 as loop-free).
+    for k in 0..bs {
+        src.push_str(&format!(
+            "        mov.f32 $r16, s[$r14+{koff}]\n        mov.f32 $r17, s[$r15+{krow}]\n        mul.f32 $r16, $r16, $r17\n        sub.f32 $r13, $r13, $r16\n",
+            koff = k * 4,
+            krow = k * bs * 4,
+        ));
+    }
+    src.push_str("        st.global.f32 [$r12], $r13\n        exit\n");
+    src
+}
+
+/// Host-side reference of K45: `a[BS+ty][BS+tx] -= sum_k col[ty][k] * row[k][tx]`.
+#[must_use]
+pub fn k45_reference(a: &[f32], mm: usize, bs: usize) -> Vec<f32> {
+    let mut out = a.to_vec();
+    for ty in 0..bs {
+        for tx in 0..bs {
+            let mut acc = a[(bs + ty) * mm + bs + tx];
+            for k in 0..bs {
+                acc -= a[(bs + ty) * mm + k] * a[k * mm + bs + tx];
+            }
+            out[(bs + ty) * mm + bs + tx] = acc;
+        }
+    }
+    out
+}
+
+/// Builds `lud_internal` (K45).
+#[must_use]
+pub fn k45(scale: Scale) -> Workload {
+    let g = geom(scale);
+    let program = assemble("lud_internal", &k45_source(&g)).expect("lud k45 assembles");
+    let n = m(&g) as usize;
+    Workload::new(
+        "LUD",
+        "lud_internal",
+        "K45",
+        Suite::Rodinia,
+        scale,
+        program,
+        (1, 1),
+        (g.bs, g.bs, 1),
+        vec![0],
+        base_memory(&g),
+        (0, n * n),
+        Some(PaperReference { threads: 256, fault_sites: 6.84e5 }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsp_inject::InjectionTarget;
+    use fsp_sim::{NopHook, Simulator, Tracer};
+
+    fn run(w: &Workload) -> Vec<f32> {
+        let mut memory = w.init_memory();
+        Simulator::new().run(&w.launch(), &mut memory, &mut NopHook).unwrap();
+        let (addr, len) = w.output_region();
+        memory.read_slice(addr, len).iter().map(|&x| f32::from_bits(x)).collect()
+    }
+
+    #[test]
+    fn k46_matches_reference() {
+        let g = geom(Scale::Eval);
+        let got = run(&k46(Scale::Eval));
+        let want = k46_reference(&matrix(&g), m(&g) as usize, g.bs as usize);
+        for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "word {i}");
+        }
+    }
+
+    #[test]
+    fn k44_matches_reference() {
+        let g = geom(Scale::Eval);
+        let got = run(&k44(Scale::Eval));
+        let want = k44_reference(&matrix(&g), m(&g) as usize, g.bs as usize);
+        for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "word {i}");
+        }
+    }
+
+    #[test]
+    fn k45_matches_reference() {
+        let g = geom(Scale::Eval);
+        let got = run(&k45(Scale::Eval));
+        let want = k45_reference(&matrix(&g), m(&g) as usize, g.bs as usize);
+        for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "word {i}");
+        }
+    }
+
+    #[test]
+    fn k45_is_loop_free() {
+        let w = k45(Scale::Eval);
+        let p = w.program();
+        assert!(p.cfg().loops(p).is_empty(), "internal kernel must be unrolled");
+    }
+
+    #[test]
+    fn k44_has_two_thread_families() {
+        let w = k44(Scale::Eval);
+        let launch = w.launch();
+        let mut tracer = Tracer::new(launch.num_threads(), launch.threads_per_cta());
+        let mut memory = w.init_memory();
+        Simulator::new().run(&launch, &mut memory, &mut tracer).unwrap();
+        let icnt = tracer.finish().icnt;
+        let bs = geom(Scale::Eval).bs as usize;
+        assert!(icnt[..bs].iter().all(|&c| c == icnt[0]));
+        assert!(icnt[bs..].iter().all(|&c| c == icnt[bs]));
+        assert_ne!(icnt[0], icnt[bs]);
+    }
+}

@@ -1,0 +1,9 @@
+//! Rodinia kernels: HotSpot, K-Means, Gaussian Elimination, PathFinder,
+//! LU Decomposition, NN.
+
+pub mod gaussian;
+pub mod hotspot;
+pub mod kmeans;
+pub mod lud;
+pub mod nn;
+pub mod pathfinder;

@@ -1,0 +1,130 @@
+//! NN (Nearest Neighbor) — Rodinia `euclid` kernel (K1).
+//!
+//! One thread per record: the Euclidean distance from a query point to the
+//! record's (latitude, longitude). Straight-line code with no loops — the
+//! paper lists NN in Table VII as its loop-free extreme.
+
+use fsp_isa::assemble;
+use fsp_sim::MemBlock;
+
+use crate::data::DataGen;
+use crate::{Scale, Suite, Workload};
+
+/// Query latitude.
+pub const LAT0: f32 = 30.0;
+/// Query longitude.
+pub const LNG0: f32 = 90.0;
+
+struct Geom {
+    nrecords: u32,
+    block: u32,
+    grid: u32,
+}
+
+fn geom(scale: Scale) -> Geom {
+    match scale {
+        // 43008 threads = 168 CTAs x 256 (Table VII).
+        Scale::Paper => Geom { nrecords: 42800, block: 256, grid: 168 },
+        // 512 threads = 16 CTAs x 32.
+        Scale::Eval => Geom { nrecords: 500, block: 32, grid: 16 },
+    }
+}
+
+fn source(g: &Geom) -> String {
+    format!(
+        r#"
+        cvt.u32.u16 $r1, %tid.x
+        cvt.u32.u16 $r2, %ctaid.x
+        shl.u32 $r3, $r2, {b_shift}
+        add.u32 $r3, $r3, $r1              // tid
+        set.lt.u32.u32 $p0/$o127, $r3, {nrecords}
+        @$p0.eq bra lexit
+        shl.u32 $r4, $r3, 0x3              // 8 bytes per (lat, lng) record
+        add.u32 $r4, $r4, s[0x0010]
+        ld.global.f32 $r5, [$r4]           // lat
+        ld.global.f32 $r6, [$r4+0x4]       // lng
+        sub.f32 $r5, $r5, {lat0}
+        sub.f32 $r6, $r6, {lng0}
+        mul.f32 $r5, $r5, $r5
+        mul.f32 $r6, $r6, $r6
+        add.f32 $r5, $r5, $r6
+        sqrt.f32 $r5, $r5
+        shl.u32 $r7, $r3, 0x2
+        add.u32 $r7, $r7, s[0x0014]
+        st.global.f32 [$r7], $r5           // distances[tid]
+        lexit: exit
+        "#,
+        b_shift = g.block.trailing_zeros(),
+        nrecords = g.nrecords,
+        lat0 = crate::data::fimm(LAT0),
+        lng0 = crate::data::fimm(LNG0),
+    )
+}
+
+/// Builds the NN workload.
+#[must_use]
+pub fn k1(scale: Scale) -> Workload {
+    let g = geom(scale);
+    let program = assemble("euclid", &source(&g)).expect("nn assembles");
+    let n = g.nrecords as usize;
+    let loc_addr = 0u32;
+    let dist_addr = (2 * n * 4) as u32;
+    let mut memory = MemBlock::with_words(3 * n);
+    let mut gen = DataGen::new("nn.locations");
+    let locations: Vec<f32> = (0..2 * n)
+        .map(|i| {
+            if i % 2 == 0 {
+                gen.next_f32_in(0.0, 90.0) // latitude
+            } else {
+                gen.next_f32_in(0.0, 180.0) // longitude
+            }
+        })
+        .collect();
+    memory.write_f32_slice(loc_addr, &locations);
+    Workload::new(
+        "NN",
+        "euclid",
+        "K1",
+        Suite::Rodinia,
+        scale,
+        program,
+        (g.grid, 1),
+        (g.block, 1, 1),
+        vec![loc_addr, dist_addr],
+        memory,
+        (dist_addr, n),
+        None, // NN appears only in the paper's Table VII
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsp_inject::InjectionTarget;
+    use fsp_sim::{NopHook, Simulator};
+
+    #[test]
+    fn distances_match_host() {
+        let w = k1(Scale::Eval);
+        let g = geom(Scale::Eval);
+        let n = g.nrecords as usize;
+        let mut memory = w.init_memory();
+        let loc: Vec<f32> =
+            memory.read_slice(0, 2 * n).iter().map(|&x| f32::from_bits(x)).collect();
+        Simulator::new().run(&w.launch(), &mut memory, &mut NopHook).unwrap();
+        let (addr, len) = w.output_region();
+        let got = memory.read_slice(addr, len);
+        for i in 0..n {
+            let dlat = loc[2 * i] - LAT0;
+            let dlng = loc[2 * i + 1] - LNG0;
+            let want = (dlat * dlat + dlng * dlng).sqrt();
+            assert_eq!(got[i], want.to_bits(), "record {i}");
+        }
+    }
+
+    #[test]
+    fn paper_scale_geometry() {
+        let w = k1(Scale::Paper);
+        assert_eq!(w.launch().num_threads(), 43008);
+    }
+}

@@ -1,0 +1,200 @@
+//! PathFinder — Rodinia `dynproc_kernel` (K1).
+//!
+//! Dynamic programming over a cost grid: each thread owns one column, holds
+//! the running minimum path cost in shared memory, and iterates
+//! `PYRAMID_HEIGHT` rows. The computed region shrinks from both tile edges
+//! each iteration (the pyramid), so threads near a tile edge compute fewer
+//! iterations — producing the family of iCnt groups whose pairwise common
+//! blocks make PathFinder the instruction-wise pruning stage's best case
+//! (92.8% pruned in the paper's Table VI; Figure 5 shows two of its
+//! threads).
+
+use fsp_isa::assemble;
+use fsp_sim::MemBlock;
+
+use crate::data::DataGen;
+use crate::{PaperReference, Scale, Suite, Workload};
+
+struct Geom {
+    /// Threads per CTA (tile width in columns).
+    bs: u32,
+    /// Number of CTAs.
+    nb: u32,
+    /// Pyramid height (DP iterations per kernel call).
+    height: u32,
+}
+
+fn geom(scale: Scale) -> Geom {
+    match scale {
+        // 1280 threads = 5 CTAs x 256, 20 iterations (Table VII).
+        Scale::Paper => Geom { bs: 256, nb: 5, height: 20 },
+        // 128 threads = 2 CTAs x 64, 10 iterations.
+        Scale::Eval => Geom { bs: 64, nb: 2, height: 10 },
+    }
+}
+
+/// Shared-memory byte offset of the `prev` cost row.
+const PREV: u32 = 0x100;
+
+fn source(g: &Geom) -> String {
+    let cur = PREV + g.bs * 4;
+    let cols = g.bs * g.nb;
+    format!(
+        r#"
+        cvt.u32.u16 $r1, %tid.x
+        cvt.u32.u16 $r2, %ctaid.x
+        shl.u32 $r3, $r2, {bs_shift}
+        add.u32 $r3, $r3, $r1              // col
+        shl.u32 $r4, $r1, 0x2              // tx*4
+        shl.u32 $r5, $r3, 0x2              // col*4
+        add.u32 $r6, $r5, s[0x0010]        // &src[col]
+        ld.global.f32 $r7, [$r6]
+        add.u32 $r8, $r4, {prev}           // &prev[tx]
+        mov.f32 s[$r8], $r7
+        add.u32 $r9, $r5, s[0x0014]        // &wall[0][col]
+        add.u32 $r10, $r4, {cur}           // &cur[tx]
+        bar.sync 0x0
+        mov.u32 $r20, $r124                // t = 0
+        mov.u32 $r21, {bs_minus2}          // hi = BS-2-t
+        tloop:
+        mov.u32 $r30, $r124                // computed flag = 0
+        set.gt.u32.u32 $p0/$o127, $r1, $r20
+        @$p0.eq bra skipc                  // tx <= t
+        set.le.u32.u32 $p0/$o127, $r1, $r21
+        @$p0.eq bra skipc                  // tx > BS-2-t
+        mov.u32 $r30, 0x1
+        mov.f32 $r24, s[$r8+-4]            // prev[tx-1]
+        mov.f32 $r25, s[$r8]               // prev[tx]
+        mov.f32 $r26, s[$r8+4]             // prev[tx+1]
+        min.f32 $r24, $r24, $r25
+        min.f32 $r24, $r24, $r26
+        ld.global.f32 $r27, [$r9]          // wall[t][col]
+        add.f32 $r24, $r24, $r27
+        mov.f32 s[$r10], $r24              // cur[tx]
+        skipc:
+        bar.sync 0x0
+        set.ne.u32.u32 $p1/$o127, $r30, $r124
+        @$p1.eq bra skipw                  // didn't compute: keep prev
+        mov.f32 $r28, s[$r10]
+        mov.f32 s[$r8], $r28               // prev[tx] = cur[tx]
+        skipw:
+        bar.sync 0x0
+        add.u32 $r9, $r9, {cols4}          // next wall row
+        add.u32 $r20, $r20, 0x1
+        add.u32 $r21, $r21, -1
+        set.ne.u32.u32 $p0/$o127, $r20, {height}
+        @$p0.ne bra tloop
+        mov.f32 $r29, s[$r8]
+        add.u32 $r31, $r5, s[0x0018]       // &dst[col]
+        st.global.f32 [$r31], $r29
+        exit
+        "#,
+        bs_shift = g.bs.trailing_zeros(),
+        prev = PREV,
+        cur = cur,
+        bs_minus2 = g.bs - 2,
+        cols4 = cols * 4,
+        height = g.height,
+    )
+}
+
+/// Host-side reference of the pyramid DP (same f32 order as the kernel).
+#[must_use]
+pub fn reference(src: &[f32], wall: &[f32], bs: usize, nb: usize, height: usize) -> Vec<f32> {
+    let cols = bs * nb;
+    let mut prev = src.to_vec();
+    for b in 0..nb {
+        let tile = &mut prev[b * bs..(b + 1) * bs];
+        for t in 0..height {
+            let snapshot = tile.to_vec();
+            for tx in 0..bs {
+                // valid iff tx > t and tx <= bs-2-t
+                if tx > t && tx + t <= bs - 2 {
+                    let m = snapshot[tx - 1].min(snapshot[tx]).min(snapshot[tx + 1]);
+                    tile[tx] = m + wall[t * cols + b * bs + tx];
+                }
+            }
+        }
+    }
+    prev
+}
+
+/// Builds the PathFinder workload.
+#[must_use]
+pub fn k1(scale: Scale) -> Workload {
+    let g = geom(scale);
+    let program = assemble("dynproc_kernel", &source(&g)).expect("pathfinder assembles");
+    let cols = (g.bs * g.nb) as usize;
+    let wall_words = cols * g.height as usize;
+    let src_addr = 0u32;
+    let wall_addr = (cols * 4) as u32;
+    let dst_addr = wall_addr + (wall_words * 4) as u32;
+    let mut memory = MemBlock::with_words(cols + wall_words + cols);
+    memory.write_f32_slice(src_addr, &DataGen::new("pathfinder.src").f32_buffer(cols, 0.0, 10.0));
+    memory.write_f32_slice(
+        wall_addr,
+        &DataGen::new("pathfinder.wall").f32_buffer(wall_words, 0.0, 10.0),
+    );
+    Workload::new(
+        "PathFinder",
+        "dynproc_kernel",
+        "K1",
+        Suite::Rodinia,
+        scale,
+        program,
+        (g.nb, 1),
+        (g.bs, 1, 1),
+        vec![src_addr, wall_addr, dst_addr],
+        memory,
+        (dst_addr, cols),
+        Some(PaperReference { threads: 1280, fault_sites: 2.77e7 }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsp_inject::InjectionTarget;
+    use fsp_sim::{NopHook, Simulator, Tracer};
+
+    #[test]
+    fn matches_host_reference() {
+        let w = k1(Scale::Eval);
+        let g = geom(Scale::Eval);
+        let cols = (g.bs * g.nb) as usize;
+        let mut memory = w.init_memory();
+        let to_f32 = |s: &[u32]| -> Vec<f32> { s.iter().map(|&x| f32::from_bits(x)).collect() };
+        let src = to_f32(memory.read_slice(0, cols));
+        let wall = to_f32(memory.read_slice((cols * 4) as u32, cols * g.height as usize));
+        Simulator::new().run(&w.launch(), &mut memory, &mut NopHook).unwrap();
+        let expect = reference(&src, &wall, g.bs as usize, g.nb as usize, g.height as usize);
+        let (addr, len) = w.output_region();
+        for (idx, (&bits, &want)) in
+            memory.read_slice(addr, len).iter().zip(&expect).enumerate()
+        {
+            assert_eq!(bits, want.to_bits(), "mismatch at column {idx}");
+        }
+    }
+
+    #[test]
+    fn pyramid_creates_icnt_family() {
+        let w = k1(Scale::Eval);
+        let launch = w.launch();
+        let mut tracer = Tracer::new(launch.num_threads(), launch.threads_per_cta());
+        let mut memory = w.init_memory();
+        Simulator::new().run(&launch, &mut memory, &mut tracer).unwrap();
+        let trace = tracer.finish();
+        let mut icnts: Vec<u32> = trace.icnt.clone();
+        icnts.sort_unstable();
+        icnts.dedup();
+        // Edge-distance groups: threads at distance d < height from a tile
+        // edge compute fewer iterations; interior threads all match.
+        assert!(
+            icnts.len() > 5 && icnts.len() < 30,
+            "expected a family of iCnt groups, got {icnts:?}"
+        );
+        // The two tiles behave identically.
+        let per = launch.threads_per_cta() as usize;
+        assert_eq!(trace.icnt[..per], trace.icnt[per..2 * per]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Quickstart: assemble a tiny kernel, run it, enumerate its fault sites
+//! and inject a few faults.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use fault_site_pruning::inject::{Experiment, FaultSite, InjectionTarget};
+use fault_site_pruning::isa::assemble;
+use fault_site_pruning::sim::{Launch, MemBlock, Simulator, Tracer};
+use std::sync::Arc;
+
+/// A four-thread saxpy-style kernel: `y[tid] = a * x[tid] + y[tid]`.
+struct Saxpy {
+    program: Arc<fault_site_pruning::isa::KernelProgram>,
+}
+
+impl Saxpy {
+    const N: u32 = 4;
+
+    fn new() -> Self {
+        let program = assemble(
+            "saxpy",
+            r#"
+            cvt.u32.u16 $r1, %tid.x
+            shl.u32 $r2, $r1, 0x2
+            add.u32 $r3, $r2, s[0x0010]    // &x[tid]
+            add.u32 $r4, $r2, s[0x0014]    // &y[tid]
+            ld.global.f32 $r5, [$r3]
+            ld.global.f32 $r6, [$r4]
+            mul.f32 $r5, $r5, 2.0          // a = 2.0
+            add.f32 $r5, $r5, $r6
+            st.global.f32 [$r4], $r5
+            exit
+            "#,
+        )
+        .expect("saxpy assembles");
+        Saxpy { program: Arc::new(program) }
+    }
+}
+
+impl InjectionTarget for Saxpy {
+    fn name(&self) -> &str {
+        "saxpy"
+    }
+
+    fn launch(&self) -> Launch {
+        Launch::new(Arc::clone(&self.program))
+            .block(Self::N, 1, 1)
+            .param(0) // x at byte 0
+            .param(Self::N * 4) // y after x
+    }
+
+    fn init_memory(&self) -> MemBlock {
+        let mut m = MemBlock::with_words(2 * Self::N as usize);
+        m.write_f32_slice(0, &[1.0, 2.0, 3.0, 4.0]);
+        m.write_f32_slice(Self::N * 4, &[10.0, 20.0, 30.0, 40.0]);
+        m
+    }
+
+    fn output_region(&self) -> (u32, usize) {
+        (Self::N * 4, Self::N as usize)
+    }
+}
+
+fn main() {
+    let target = Saxpy::new();
+
+    // 1. Run fault-free and look at the result.
+    let mut memory = target.init_memory();
+    let launch = target.launch();
+    let mut tracer = Tracer::new(launch.num_threads(), launch.threads_per_cta());
+    let stats = Simulator::new()
+        .run(&launch, &mut memory, &mut tracer)
+        .expect("fault-free run");
+    let y: Vec<f32> = memory
+        .read_slice(Saxpy::N * 4, Saxpy::N as usize)
+        .iter()
+        .map(|&b| f32::from_bits(b))
+        .collect();
+    println!("fault-free: y = {y:?} ({} instructions)", stats.instructions);
+
+    // 2. Count the fault sites (Equation 1 of the paper).
+    let trace = tracer.finish();
+    println!(
+        "fault sites: {} across {} threads (iCnt {:?})",
+        trace.total_fault_sites(),
+        trace.num_threads(),
+        trace.icnt
+    );
+
+    // 3. Inject a few single-bit faults and classify the outcomes.
+    let experiment = Experiment::prepare(&target).expect("prepare");
+    for (tid, dyn_idx, bit) in [(0, 6, 30), (1, 0, 0), (2, 4, 22), (3, 8, 3)] {
+        let site = FaultSite { tid, dyn_idx, bit };
+        let outcome = experiment.run_one(site);
+        println!("flip thread {tid}, instruction {dyn_idx}, bit {bit}: {outcome}");
+    }
+}

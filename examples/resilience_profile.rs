@@ -1,0 +1,59 @@
+//! Builds the error-resilience profile of a Rodinia kernel two ways — a
+//! statistical random-sampling baseline and the paper's progressive
+//! pruning — and compares them.
+//!
+//! ```sh
+//! cargo run --release --example resilience_profile [kernel-id] [samples]
+//! ```
+
+use fault_site_pruning::inject::{Experiment, InjectionTarget};
+use fault_site_pruning::pruning::{run_baseline, PruningConfig, PruningPipeline};
+use fault_site_pruning::stats::required_samples_infinite;
+use fault_site_pruning::workloads::{self, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let id = args.first().map_or("pathfinder", String::as_str);
+    let samples: usize = args
+        .get(1)
+        .map_or_else(|| required_samples_infinite(0.99, 0.0166) as usize, |s| {
+            s.parse().expect("samples must be a number")
+        });
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+
+    let Some(workload) = workloads::by_id(id, Scale::Eval) else {
+        eprintln!("unknown kernel `{id}`; try one of: {}", workloads::registry_ids().join(", "));
+        std::process::exit(1);
+    };
+    println!(
+        "{} / {} ({}) — {} threads at eval scale",
+        workload.app(),
+        workload.kernel(),
+        workload.id(),
+        workload.launch().num_threads()
+    );
+
+    let experiment = Experiment::prepare(&workload).expect("fault-free run");
+
+    // Statistical baseline: uniform random sites over the full population.
+    let space = experiment.site_space(0..workload.launch().num_threads());
+    println!("exhaustive population: {} sites", space.total_sites());
+    let started = std::time::Instant::now();
+    let baseline = run_baseline(&experiment, &space, samples, 42, workers);
+    println!("baseline ({samples} runs, {:.1?}): {baseline}", started.elapsed());
+
+    // Progressive pruning: the paper's four stages.
+    let pipeline = PruningPipeline::new(PruningConfig::default());
+    let plan = pipeline.plan_for(&experiment).expect("plan");
+    let s = plan.stages;
+    println!(
+        "pruning: {} -> {} (thread) -> {} (instr) -> {} (loop) -> {} runs (bit)",
+        s.exhaustive, s.after_thread, s.after_instruction, s.after_loop, s.after_bit
+    );
+    let started = std::time::Instant::now();
+    let pruned = pipeline.run(&experiment, &plan, workers);
+    println!("pruned   ({} runs, {:.1?}): {pruned}", s.after_bit, started.elapsed());
+
+    let (dm, ds, do_) = pruned.diff(&baseline);
+    println!("difference: masked {dm:+.2}%, sdc {ds:+.2}%, other {do_:+.2}%");
+}

@@ -1,0 +1,21 @@
+//! Facade crate for the Fault Site Pruning reproduction.
+//!
+//! Re-exports the workspace crates under one roof so downstream users can
+//! depend on a single package:
+//!
+//! - [`isa`] — PTXPlus-like ISA, assembler, CFG/loop analysis
+//! - [`sim`] — deterministic functional SIMT simulator
+//! - [`inject`] — fault model, site enumeration, injection campaigns
+//! - [`stats`] — statistical machinery (sample sizes, profiles)
+//! - [`pruning`] — the paper's contribution: progressive fault-site pruning
+//! - [`workloads`] — Rodinia/Polybench kernels in PTXPlus-like assembly
+//!
+//! See the repository README for a quickstart and `DESIGN.md` for the
+//! system inventory.
+
+pub use fsp_core as pruning;
+pub use fsp_inject as inject;
+pub use fsp_isa as isa;
+pub use fsp_sim as sim;
+pub use fsp_stats as stats;
+pub use fsp_workloads as workloads;

@@ -1,0 +1,154 @@
+//! Cross-crate integration: trace → group → prune → inject → profile,
+//! on real workloads.
+
+use fault_site_pruning::inject::{Experiment, InjectionTarget, WeightedSite};
+use fault_site_pruning::pruning::{
+    run_baseline, BitSampler, CommonalityConfig, PredBitPolicy, PruningConfig, PruningPipeline,
+};
+use fault_site_pruning::workloads::{self, Scale};
+
+fn workers() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}
+
+/// The full pipeline conserves exhaustive weight on every kernel.
+#[test]
+fn weight_conservation_across_all_kernels() {
+    for w in workloads::all(Scale::Eval) {
+        let experiment = Experiment::prepare(&w).expect("fault-free run");
+        let pipeline = PruningPipeline::new(PruningConfig::default());
+        let plan = pipeline.plan_for(&experiment).expect("plan");
+        let total = plan.total_weight();
+        let exhaustive = plan.stages.exhaustive as f64;
+        assert!(
+            (total - exhaustive).abs() <= 1e-6 * exhaustive,
+            "{}: plan weight {total} != exhaustive {exhaustive}",
+            w.registry_id()
+        );
+        assert!(plan.stages.after_bit > 0, "{}: empty plan", w.registry_id());
+        assert!(
+            plan.stages.after_bit < plan.stages.exhaustive,
+            "{}: no reduction",
+            w.registry_id()
+        );
+    }
+}
+
+/// Stage counts shrink monotonically on every kernel.
+#[test]
+fn stages_monotone_on_all_kernels() {
+    for w in workloads::all(Scale::Eval) {
+        let experiment = Experiment::prepare(&w).expect("fault-free run");
+        let plan = PruningPipeline::new(PruningConfig::default())
+            .plan_for(&experiment)
+            .expect("plan");
+        let s = plan.stages;
+        assert!(
+            s.exhaustive >= s.after_thread
+                && s.after_thread >= s.after_instruction
+                && s.after_instruction >= s.after_loop
+                && s.after_loop >= s.after_bit,
+            "{}: {s:?}",
+            w.registry_id()
+        );
+    }
+}
+
+/// Pruned campaign tracks the statistical baseline on a fast kernel.
+#[test]
+fn pruned_profile_tracks_baseline_gaussian() {
+    let w = workloads::by_id("gaussian_k1", Scale::Eval).expect("registered");
+    let experiment = Experiment::prepare(&w).expect("fault-free run");
+    let pipeline = PruningPipeline::new(PruningConfig::default());
+    let plan = pipeline.plan_for(&experiment).expect("plan");
+    let pruned = pipeline.run(&experiment, &plan, workers());
+    let space = experiment.site_space(0..w.launch().num_threads());
+    let baseline = run_baseline(&experiment, &space, 2000, 11, workers());
+    let diff = pruned.max_abs_diff(&baseline);
+    assert!(
+        diff < 6.0,
+        "pruned {pruned} vs baseline {baseline}: diff {diff:.2}%"
+    );
+}
+
+/// Thread-wise-only pruning with exhaustive bits is *exact* for a kernel
+/// whose threads are all representatives of themselves (LUD diagonal: every
+/// thread has a distinct iCnt).
+#[test]
+fn thread_only_pruning_is_exact_for_lud_diagonal() {
+    let w = workloads::by_id("lud_k46", Scale::Eval).expect("registered");
+    let experiment = Experiment::prepare(&w).expect("fault-free run");
+    let pipeline = PruningPipeline::new(PruningConfig::thread_wise_only());
+    let plan = pipeline.plan_for(&experiment).expect("plan");
+    // All 8 threads have distinct triangular work -> all are representatives.
+    assert_eq!(plan.grouping.num_representatives(), 8);
+    assert_eq!(plan.stages.after_bit, plan.stages.exhaustive);
+
+    let pruned = pipeline.run(&experiment, &plan, workers());
+    // Exhaustive ground truth over the entire (small) site space.
+    let space = experiment.site_space(0..w.launch().num_threads());
+    let all: Vec<WeightedSite> = (0..space.total_sites())
+        .map(|i| WeightedSite::from(space.site_at(i)))
+        .collect();
+    let truth = experiment.run_campaign(&all, workers()).profile;
+    assert!(
+        pruned.max_abs_diff(&truth) < 1e-9,
+        "thread-only pruning over self-representing threads must equal ground truth"
+    );
+}
+
+/// Campaigns are bit-deterministic across worker counts and repetitions.
+#[test]
+fn campaigns_are_deterministic() {
+    let w = workloads::by_id("gaussian_k125", Scale::Eval).expect("registered");
+    let experiment = Experiment::prepare(&w).expect("fault-free run");
+    let space = experiment.site_space(0..w.launch().num_threads());
+    let a = run_baseline(&experiment, &space, 500, 99, 1);
+    let b = run_baseline(&experiment, &space, 500, 99, workers());
+    assert_eq!(a.percentages(), b.percentages());
+}
+
+/// The four outcome classes all occur somewhere across the suite.
+#[test]
+fn outcome_classes_all_reachable_on_real_kernels() {
+    let w = workloads::by_id("pathfinder", Scale::Eval).expect("registered");
+    let experiment = Experiment::prepare(&w).expect("fault-free run");
+    let space = experiment.site_space(0..w.launch().num_threads());
+    let baseline = run_baseline(&experiment, &space, 1500, 3, workers());
+    assert!(baseline.masked() > 0.0, "no masked outcomes: {baseline}");
+    assert!(baseline.sdc() > 0.0, "no SDC outcomes: {baseline}");
+    assert!(baseline.other() > 0.0, "no crash/hang outcomes: {baseline}");
+}
+
+/// Plans are reproducible: planning twice yields identical site lists.
+#[test]
+fn plans_are_deterministic() {
+    let w = workloads::by_id("kmeans_k2", Scale::Eval).expect("registered");
+    let experiment = Experiment::prepare(&w).expect("fault-free run");
+    let pipeline = PruningPipeline::new(PruningConfig::default());
+    let a = pipeline.plan_for(&experiment).expect("plan");
+    let b = pipeline.plan_for(&experiment).expect("plan");
+    assert_eq!(a.sites, b.sites);
+    assert_eq!(a.stages, b.stages);
+}
+
+/// Bit-sampling configurations trade runs for (bounded) accuracy drift.
+#[test]
+fn bit_sampling_reduces_runs_monotonically() {
+    let w = workloads::by_id("mvt", Scale::Eval).expect("registered");
+    let experiment = Experiment::prepare(&w).expect("fault-free run");
+    let mut last = u64::MAX;
+    for samples in [0u32, 16, 8, 4] {
+        let pipeline = PruningPipeline::new(PruningConfig {
+            bits: BitSampler { samples_per_32: samples, pred_policy: PredBitPolicy::All },
+            commonality: Some(CommonalityConfig::default()),
+            ..PruningConfig::default()
+        });
+        let plan = pipeline.plan_for(&experiment).expect("plan");
+        assert!(
+            plan.stages.after_bit <= last,
+            "fewer sampled bits must not increase runs"
+        );
+        last = plan.stages.after_bit;
+    }
+}

@@ -1,0 +1,221 @@
+//! Checks that the workloads reproduce the *structural* facts the paper's
+//! methodology rests on: Table I magnitudes, Table III grouping, Table VII
+//! loop statistics, and the Figure 7 predicate-bit observation.
+
+use fault_site_pruning::inject::{Experiment, InjectionTarget, WeightedSite};
+use fault_site_pruning::pruning::{LoopTagging, ThreadGrouping};
+use fault_site_pruning::sim::{KernelTrace, Simulator, Tracer};
+use fault_site_pruning::stats::Outcome;
+use fault_site_pruning::workloads::{self, Scale, Workload};
+
+fn summary_trace(w: &Workload) -> KernelTrace {
+    let launch = w.launch();
+    let mut tracer = Tracer::new(launch.num_threads(), launch.threads_per_cta());
+    let mut memory = w.init_memory();
+    Simulator::new().run(&launch, &mut memory, &mut tracer).expect("fault-free run");
+    tracer.finish()
+}
+
+/// Table I: paper-scale fault-site counts land within 2.5x of the paper for
+/// every kernel (they depend on the exact compiler output; our hand-written
+/// PTXPlus matches loop trip counts and geometry).
+#[test]
+fn table1_site_magnitudes() {
+    for w in workloads::all(Scale::Paper) {
+        let Some(paper) = w.paper_reference() else { continue };
+        let trace = summary_trace(&w);
+        assert_eq!(trace.num_threads(), paper.threads, "{}", w.registry_id());
+        let ratio = trace.total_fault_sites() as f64 / paper.fault_sites;
+        assert!(
+            (0.3..=3.0).contains(&ratio),
+            "{}: site ratio {ratio:.2} out of range (ours {}, paper {})",
+            w.registry_id(),
+            trace.total_fault_sites(),
+            paper.fault_sites
+        );
+    }
+}
+
+/// Table III: 2DCONV's exact group structure — three CTA groups with mean
+/// iCnt {43, 47, 11} and proportions {6.25%, 43.75%, 50%}; thread groups
+/// with iCnt {13, 15, 48}, {15, 48}, {11}.
+#[test]
+fn table3_2dconv_grouping() {
+    let w = workloads::by_id("2dconv", Scale::Paper).expect("registered");
+    let trace = summary_trace(&w);
+    let grouping = ThreadGrouping::analyze(&trace);
+    assert_eq!(grouping.total_ctas, 32);
+    assert_eq!(grouping.groups.len(), 3);
+    assert_eq!(grouping.mismatched_threads, 0);
+
+    let g = &grouping.groups;
+    // C-1: 2 CTAs (6.25%), thread groups {13, 15, 48}.
+    assert_eq!(g[0].ctas.len(), 2);
+    assert_eq!(g[0].mean_icnt().round() as u32, 43);
+    let icnts: Vec<u32> = g[0].thread_groups.iter().map(|t| t.icnt).collect();
+    assert_eq!(icnts, vec![13, 15, 48]);
+    // C-2: 14 CTAs (43.75%), thread groups {15, 48}.
+    assert_eq!(g[1].ctas.len(), 14);
+    assert_eq!(g[1].mean_icnt().round() as u32, 47);
+    let icnts: Vec<u32> = g[1].thread_groups.iter().map(|t| t.icnt).collect();
+    assert_eq!(icnts, vec![15, 48]);
+    // C-3: 16 CTAs (50%), all threads iCnt 11.
+    assert_eq!(g[2].ctas.len(), 16);
+    assert_eq!(g[2].thread_groups.len(), 1);
+    assert_eq!(g[2].thread_groups[0].icnt, 11);
+    // Six representatives cover the kernel, as in the paper's Figure 10.
+    assert_eq!(grouping.num_representatives(), 6);
+}
+
+/// HotSpot produces many CTA groups and a wide iCnt spread (Table IV).
+#[test]
+fn table4_hotspot_diversity() {
+    let w = workloads::by_id("hotspot", Scale::Paper).expect("registered");
+    let trace = summary_trace(&w);
+    let grouping = ThreadGrouping::analyze(&trace);
+    assert!(
+        (4..=12).contains(&grouping.groups.len()),
+        "expected ~9-10 CTA groups, got {}",
+        grouping.groups.len()
+    );
+    let min = trace.icnt.iter().min().copied().unwrap();
+    let max = trace.icnt.iter().max().copied().unwrap();
+    assert!(
+        f64::from(max) / f64::from(min) > 1.8,
+        "iCnt spread {min}..{max} too narrow for Table IV"
+    );
+}
+
+/// Table VII: loop trip counts match the paper's per-kernel numbers.
+#[test]
+fn table7_loop_iterations() {
+    // (kernel, paper "# loop iter."); NN / HotSpot / Gaussian / 2DCONV /
+    // LUD K45 are loop-free.
+    let expected: &[(&str, u64, bool)] = &[
+        ("hotspot", 0, false),
+        ("2dconv", 0, false),
+        ("nn", 0, false),
+        ("gaussian_k1", 0, false),
+        ("gaussian_k2", 0, false),
+        ("lud_k45", 0, false),
+        ("kmeans_k1", 34, true),
+        ("kmeans_k2", 170, true),
+        ("pathfinder", 20, true),
+        ("gemm", 128, true),
+        ("2mm", 128, true),
+        ("syrk", 128, true),
+        ("mvt", 512, true),
+    ];
+    for &(id, iters, exact) in expected {
+        let w = workloads::by_id(id, Scale::Paper).expect("registered");
+        let launch = w.launch();
+        let program = launch.program();
+        let forest = program.cfg().loops(program);
+        let summary = summary_trace(&w);
+        let grouping = ThreadGrouping::analyze(&summary);
+        let reps: Vec<u32> =
+            grouping.representatives(&summary).iter().map(|r| r.tid).collect();
+        let mut tracer = Tracer::new(launch.num_threads(), launch.threads_per_cta())
+            .with_full_traces(reps);
+        let mut memory = w.init_memory();
+        Simulator::new().run(&launch, &mut memory, &mut tracer).expect("fault-free");
+        let trace = tracer.finish();
+        let measured = trace
+            .full
+            .values()
+            .map(|t| LoopTagging::analyze(t, &forest).max_total_iterations())
+            .max()
+            .unwrap_or(0);
+        if exact {
+            assert_eq!(measured, iters, "{id}: loop iterations");
+        } else {
+            assert_eq!(measured, 0, "{id}: expected loop-free");
+        }
+    }
+}
+
+/// LUD's triangular kernels: total iterations near the paper's 120.
+#[test]
+fn table7_lud_triangular_iterations() {
+    for id in ["lud_k44", "lud_k46"] {
+        let w = workloads::by_id(id, Scale::Paper).expect("registered");
+        let launch = w.launch();
+        let program = launch.program();
+        let forest = program.cfg().loops(program);
+        let mut tracer = Tracer::new(launch.num_threads(), launch.threads_per_cta())
+            .with_full_traces(0..launch.num_threads());
+        let mut memory = w.init_memory();
+        Simulator::new().run(&launch, &mut memory, &mut tracer).expect("fault-free");
+        let trace = tracer.finish();
+        let measured = trace
+            .full
+            .values()
+            .map(|t| LoopTagging::analyze(t, &forest).max_total_iterations())
+            .max()
+            .unwrap_or(0);
+        assert!(
+            (90..=150).contains(&measured),
+            "{id}: expected ~120 total iterations, got {measured}"
+        );
+    }
+}
+
+/// Figure 7's predicate observation: flipping the sign/carry/overflow flags
+/// (bits 1..3) of `.pred` destinations is always masked — only the zero
+/// flag feeds branch guards in these kernels.
+#[test]
+fn fig7_pred_high_flags_are_masked() {
+    let w = workloads::by_id("2dconv", Scale::Eval).expect("registered");
+    let experiment = Experiment::prepare(&w).expect("fault-free run");
+    let space = experiment.site_space(0..64);
+    let launch = w.launch();
+    let program = launch.program();
+    let mut sites = Vec::new();
+    for tid in 0..64u32 {
+        let full = &space.trace().full[&tid];
+        for (i, e) in full.entries.iter().enumerate() {
+            let instr = program.instr(e.pc as usize);
+            // First destination slot is the predicate for `set`.
+            if instr.opcode == fault_site_pruning::isa::Opcode::Set {
+                for bit in 1..4u32 {
+                    sites.push(WeightedSite::from(fault_site_pruning::inject::FaultSite {
+                        tid,
+                        dyn_idx: i as u32,
+                        bit,
+                    }));
+                }
+            }
+        }
+    }
+    assert!(!sites.is_empty());
+    let result = experiment.run_campaign(&sites, 4);
+    assert!(
+        result.outcomes.iter().all(|&o| o == Outcome::Masked),
+        "all sign/carry/overflow predicate flips must be masked"
+    );
+}
+
+/// Figure 2 vs Figure 3: the CTA grouping induced by injection outcomes
+/// agrees with the grouping induced by iCnt alone (Rand index 1.0 on
+/// 2DCONV at eval scale).
+#[test]
+fn fig2_outcome_grouping_matches_icnt_grouping() {
+    use fault_site_pruning::pruning::OutcomeGrouping;
+    use fault_site_pruning::stats::{labels_from_groups, rand_index};
+
+    let w = workloads::by_id("2dconv", Scale::Eval).expect("registered");
+    let experiment = Experiment::prepare(&w).expect("fault-free run");
+    let space = experiment.site_space(0..w.launch().num_threads());
+    let pc = OutcomeGrouping::default_target_pc(&space);
+    let by_outcome = OutcomeGrouping::analyze(&experiment, &space, pc, 2.0, 8);
+    let by_icnt = ThreadGrouping::analyze(space.trace());
+    let icnt_groups: Vec<Vec<u32>> = by_icnt.groups.iter().map(|g| g.ctas.clone()).collect();
+    let n = space.trace().num_ctas() as usize;
+    let agreement =
+        rand_index(&by_outcome.labels(), &labels_from_groups(&icnt_groups, n));
+    assert!(
+        agreement > 0.999,
+        "outcome groups {:?} vs iCnt groups {icnt_groups:?} (rand {agreement:.3})",
+        by_outcome.groups
+    );
+}

@@ -1,0 +1,214 @@
+//! Property-based tests of the core invariants.
+
+use fault_site_pruning::inject::SiteSpace;
+use fault_site_pruning::pruning::{align_lcs, BitSampler, PredBitPolicy};
+use fault_site_pruning::sim::{KernelTrace, ThreadTrace, TraceEntry};
+use fault_site_pruning::stats::{
+    required_samples_finite, required_samples_infinite, FiveNumber, Outcome, ResilienceProfile,
+};
+use proptest::prelude::*;
+
+fn trace_from(per_thread: Vec<Vec<(u32, u16)>>) -> KernelTrace {
+    let n = per_thread.len();
+    let mut icnt = Vec::with_capacity(n);
+    let mut fault_bits = Vec::with_capacity(n);
+    let mut full = std::collections::BTreeMap::new();
+    for (tid, entries) in per_thread.into_iter().enumerate() {
+        icnt.push(entries.len() as u32);
+        fault_bits.push(entries.iter().map(|&(_, b)| u64::from(b)).sum());
+        full.insert(
+            tid as u32,
+            ThreadTrace {
+                entries: entries
+                    .into_iter()
+                    .map(|(pc, dest_bits)| TraceEntry { pc, dest_bits })
+                    .collect(),
+            },
+        );
+    }
+    KernelTrace { icnt, fault_bits, threads_per_cta: n.max(1) as u32, full }
+}
+
+proptest! {
+    /// `site_at` enumerates exactly `total_sites()` distinct sites, in
+    /// thread/instruction/bit order, agreeing with per-thread enumeration.
+    #[test]
+    fn site_space_enumeration_is_consistent(
+        threads in prop::collection::vec(
+            prop::collection::vec((0u32..64, prop::sample::select(vec![0u16, 4, 16, 32, 36])), 0..12),
+            1..5,
+        )
+    ) {
+        let space = SiteSpace::new(trace_from(threads));
+        let total = space.total_sites();
+        let by_index: Vec<_> = (0..total).map(|i| space.site_at(i)).collect();
+        let by_thread: Vec<_> = (0..space.trace().num_threads())
+            .flat_map(|t| space.thread_site_iter(t))
+            .collect();
+        prop_assert_eq!(&by_index, &by_thread);
+        // Strictly increasing in (tid, dyn_idx, bit).
+        for w in by_index.windows(2) {
+            let a = (w[0].tid, w[0].dyn_idx, w[0].bit);
+            let b = (w[1].tid, w[1].dyn_idx, w[1].bit);
+            prop_assert!(a < b, "sites out of order: {:?} then {:?}", a, b);
+        }
+    }
+
+    /// LCS alignment is monotone, within-bounds and element-matching; its
+    /// length never exceeds either input.
+    #[test]
+    fn lcs_alignment_invariants(
+        a in prop::collection::vec(0u32..12, 0..60),
+        b in prop::collection::vec(0u32..12, 0..60),
+    ) {
+        let al = align_lcs(&a, &b);
+        prop_assert!(al.pairs.len() <= a.len().min(b.len()));
+        for w in al.pairs.windows(2) {
+            prop_assert!(w[0].0 < w[1].0 && w[0].1 < w[1].1);
+        }
+        for &(i, j) in &al.pairs {
+            prop_assert_eq!(a[i as usize], b[j as usize]);
+        }
+        // Aligning equal sequences matches everything.
+        let self_al = align_lcs(&a, &a);
+        prop_assert_eq!(self_al.pairs.len(), a.len());
+    }
+
+    /// LCS is symmetric in length.
+    #[test]
+    fn lcs_is_length_symmetric(
+        a in prop::collection::vec(0u32..8, 0..40),
+        b in prop::collection::vec(0u32..8, 0..40),
+    ) {
+        prop_assert_eq!(align_lcs(&a, &b).pairs.len(), align_lcs(&b, &a).pairs.len());
+    }
+
+    /// Bit selection conserves total width: sampled bits x weight plus
+    /// assumed-masked bits always account for every destination bit.
+    #[test]
+    fn bit_sampler_conserves_width(
+        samples in prop::sample::select(vec![0u32, 2, 4, 8, 16, 32]),
+        width in prop::sample::select(vec![16u32, 32]),
+    ) {
+        let s = BitSampler { samples_per_32: samples, pred_policy: PredBitPolicy::ZeroFlagOnly };
+        let bits = s.positions(width);
+        prop_assert!(!bits.is_empty());
+        prop_assert!(bits.iter().all(|&b| b < width));
+        let weight = f64::from(width) / bits.len() as f64;
+        prop_assert!((weight * bits.len() as f64 - f64::from(width)).abs() < 1e-9);
+        // Positions strictly increasing.
+        for w in bits.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    /// Required sample size is monotone in the error margin and capped by
+    /// the population.
+    #[test]
+    fn sample_sizes_monotone(
+        population in 1u64..1_000_000_000,
+        margin_milli in 5u64..100,
+    ) {
+        let loose = required_samples_finite(population, 0.95, margin_milli as f64 / 1000.0);
+        let tight = required_samples_finite(population, 0.95, margin_milli as f64 / 2000.0);
+        prop_assert!(tight.samples >= loose.samples);
+        prop_assert!(loose.samples <= population);
+        let infinite = required_samples_infinite(0.95, margin_milli as f64 / 1000.0);
+        prop_assert!(loose.samples <= infinite + 1);
+    }
+
+    /// Profiles: percentages sum to 100 (when non-empty) and weighted
+    /// recording is linear.
+    #[test]
+    fn profile_percentages_sum(
+        masked in 0u32..1000, sdc in 0u32..1000, other in 0u32..1000,
+    ) {
+        prop_assume!(masked + sdc + other > 0);
+        let p = ResilienceProfile::from_counts(masked.into(), sdc.into(), other.into());
+        let (m, s, o) = p.percentages();
+        prop_assert!((m + s + o - 100.0).abs() < 1e-9);
+
+        let mut doubled = ResilienceProfile::new();
+        doubled.record_weighted(Outcome::Masked, f64::from(masked) * 2.0);
+        doubled.record_weighted(Outcome::Sdc, f64::from(sdc) * 2.0);
+        doubled.record_weighted(Outcome::CRASH, f64::from(other) * 2.0);
+        prop_assert!((doubled.pct_masked() - m).abs() < 1e-9);
+    }
+
+    /// Five-number summaries are ordered and bounded by the sample.
+    #[test]
+    fn five_number_ordering(values in prop::collection::vec(-1e6f64..1e6, 1..50)) {
+        let f = FiveNumber::of(&values);
+        prop_assert!(f.min <= f.q1 && f.q1 <= f.median);
+        prop_assert!(f.median <= f.q3 && f.q3 <= f.max);
+        prop_assert!(f.mean >= f.min && f.mean <= f.max);
+    }
+}
+
+/// Strategy: a random straight-line ALU program over a small register set,
+/// storing every register to global memory at the end.
+fn arbitrary_alu_program() -> impl Strategy<Value = String> {
+    let ops = prop::sample::select(vec![
+        "add.u32", "sub.u32", "mul.lo.u32", "and.b32", "or.b32", "xor.b32", "shl.u32",
+        "shr.u32", "min.s32", "max.s32", "add.f32", "mul.f32",
+    ]);
+    let instr = (ops, 1u8..6, 1u8..6, 1u8..6, any::<u32>(), any::<bool>()).prop_map(
+        |(op, d, a, b, imm, use_imm)| {
+            if use_imm {
+                format!("{op} $r{d}, $r{a}, 0x{imm:08X}")
+            } else {
+                format!("{op} $r{d}, $r{a}, $r{b}")
+            }
+        },
+    );
+    prop::collection::vec(instr, 1..40).prop_map(|body| {
+        let mut src = String::from("cvt.u32.u16 $r1, %tid.x\n");
+        src.push_str(&body.join("\n"));
+        src.push('\n');
+        // Store $r1..$r5 to out[tid*5 + k].
+        src.push_str("cvt.u32.u16 $r6, %tid.x\nmul.lo.u32 $r7, $r6, 0x14\n");
+        for k in 0..5 {
+            src.push_str(&format!(
+                "st.global.u32 [$r7+{}], $r{}\n",
+                k * 4,
+                k + 1
+            ));
+        }
+        src.push_str("exit\n");
+        src
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random ALU programs behave identically under the thread-serial and
+    /// warp-lockstep executors, and re-running is bit-deterministic.
+    #[test]
+    fn random_programs_are_deterministic_across_modes(src in arbitrary_alu_program()) {
+        use fault_site_pruning::sim::{Launch, MemBlock, NopHook, Simulator};
+        let program = fault_site_pruning::isa::assemble("fuzz", &src)
+            .expect("generated program assembles");
+        let run = |sim: Simulator| -> Vec<u32> {
+            let mut g = MemBlock::with_words(8 * 5);
+            sim.run(&Launch::new(program.clone()).block(8, 1, 1), &mut g, &mut NopHook)
+                .expect("runs");
+            g.words().to_vec()
+        };
+        let serial = run(Simulator::new());
+        prop_assert_eq!(&serial, &run(Simulator::new()), "serial determinism");
+        prop_assert_eq!(&serial, &run(Simulator::warp_lockstep(4)), "warp equivalence");
+    }
+
+    /// The disassembly of a random program re-assembles to the identical
+    /// instruction stream.
+    #[test]
+    fn random_programs_roundtrip_disassembly(src in arbitrary_alu_program()) {
+        let program = fault_site_pruning::isa::assemble("fuzz", &src).expect("assembles");
+        let text = program.to_string();
+        let body: String = text.lines().skip(1).collect::<Vec<_>>().join("\n");
+        let again = fault_site_pruning::isa::assemble("fuzz", &body)
+            .expect("disassembly re-assembles");
+        prop_assert_eq!(program.instructions(), again.instructions());
+    }
+}

@@ -1,0 +1,54 @@
+//! Assembler/disassembler round-trip over every workload kernel: the
+//! disassembly of each program must re-assemble to the identical
+//! instruction stream, and behave identically under execution.
+
+use fault_site_pruning::inject::InjectionTarget;
+use fault_site_pruning::isa::assemble;
+use fault_site_pruning::sim::{MemBlock, NopHook, Simulator};
+use fault_site_pruning::workloads::{self, Scale};
+
+#[test]
+fn all_kernels_roundtrip_through_disassembly() {
+    for w in workloads::all(Scale::Eval) {
+        let original = w.program();
+        let text = original.to_string();
+        // Drop the `.entry <name>` header line.
+        let body: String = text.lines().skip(1).collect::<Vec<_>>().join("\n");
+        let reassembled = assemble(original.name(), &body).unwrap_or_else(|e| {
+            panic!("{}: disassembly does not re-assemble: {e}\n{text}", w.registry_id())
+        });
+        assert_eq!(
+            original.instructions(),
+            reassembled.instructions(),
+            "{}: instruction stream changed across round-trip",
+            w.registry_id()
+        );
+    }
+}
+
+#[test]
+fn reassembled_kernels_execute_identically() {
+    for w in workloads::all(Scale::Eval) {
+        let original = w.program();
+        let body: String =
+            original.to_string().lines().skip(1).collect::<Vec<_>>().join("\n");
+        let reassembled = assemble(original.name(), &body).expect("re-assembles");
+
+        let run = |program: fault_site_pruning::isa::KernelProgram| -> MemBlock {
+            let launch = fault_site_pruning::sim::Launch::new(program)
+                .grid(w.launch().grid_dim().0, w.launch().grid_dim().1)
+                .block(
+                    w.launch().block_dim().0,
+                    w.launch().block_dim().1,
+                    w.launch().block_dim().2,
+                )
+                .params(w.launch().param_values().iter().copied());
+            let mut memory = w.init_memory();
+            Simulator::new().run(&launch, &mut memory, &mut NopHook).expect("runs");
+            memory
+        };
+        let a = run((**original).clone());
+        let b = run(reassembled);
+        assert_eq!(a.words(), b.words(), "{}: behaviour changed", w.registry_id());
+    }
+}

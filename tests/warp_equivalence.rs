@@ -1,0 +1,52 @@
+//! Cross-validation of the two execution models: the warp-lockstep SIMT
+//! executor (GPGPU-Sim's model, with a reconvergence stack) must produce
+//! bit-identical memory and identical per-thread dynamic instruction
+//! counts to the default thread-serial schedule, on every workload.
+
+use fault_site_pruning::inject::InjectionTarget;
+use fault_site_pruning::sim::{Simulator, Tracer};
+use fault_site_pruning::workloads::{self, Scale};
+
+fn run_mode(w: &workloads::Workload, sim: Simulator) -> (Vec<u32>, Vec<u32>) {
+    let launch = w.launch();
+    let mut tracer = Tracer::new(launch.num_threads(), launch.threads_per_cta());
+    let mut memory = w.init_memory();
+    sim.run(&launch, &mut memory, &mut tracer)
+        .unwrap_or_else(|e| panic!("{} under {:?}: {e}", w.registry_id(), sim.mode()));
+    (memory.words().to_vec(), tracer.finish().icnt)
+}
+
+#[test]
+fn warp_lockstep_matches_thread_serial_on_all_workloads() {
+    for w in workloads::all(Scale::Eval) {
+        let (mem_serial, icnt_serial) = run_mode(&w, Simulator::new());
+        for width in [8u32, 32] {
+            let (mem_warp, icnt_warp) = run_mode(&w, Simulator::warp_lockstep(width));
+            assert_eq!(
+                mem_serial,
+                mem_warp,
+                "{}: memory differs under warp width {width}",
+                w.registry_id()
+            );
+            assert_eq!(
+                icnt_serial,
+                icnt_warp,
+                "{}: per-thread iCnt differs under warp width {width}",
+                w.registry_id()
+            );
+        }
+    }
+}
+
+#[test]
+fn warp_mode_counts_same_total_instructions() {
+    let w = workloads::by_id("pathfinder", Scale::Eval).unwrap();
+    let launch = w.launch();
+    let run = |sim: Simulator| {
+        let mut memory = w.init_memory();
+        sim.run(&launch, &mut memory, &mut fault_site_pruning::sim::NopHook)
+            .unwrap()
+            .instructions
+    };
+    assert_eq!(run(Simulator::new()), run(Simulator::warp_lockstep(32)));
+}
