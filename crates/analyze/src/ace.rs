@@ -1,0 +1,340 @@
+//! Static ACE pruning (Stage 0 of the progressive pipeline).
+//!
+//! The dynamic stages of the paper prune fault *sites* by exploiting
+//! similarity between threads, instructions, and loop iterations. This pass
+//! removes sites before any dynamic information exists: a destination bit
+//! whose value provably cannot reach kernel output is un-ACE
+//! (architecturally *not* correct-execution-required), and flipping it is
+//! guaranteed `Masked`.
+//!
+//! A bit `b` of a register definition is statically un-ACE when no use the
+//! definition can reach reads bit `b` — per the bit-precise read masks of
+//! [`crate::dataflow`] (guards test only the zero/sign flags, `and`/`cvt`
+//! narrowing discards high bits, register state is dead at thread exit
+//! because kernel output lives in memory). The claim is validated
+//! dynamically by the cross-validation oracle in the integration tests:
+//! every statically-masked site must classify as `Masked` under real
+//! injection.
+
+use fsp_isa::{KernelProgram, Register};
+
+use crate::dataflow::ProgramDataflow;
+
+/// Static classification of one instruction's destination-register bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AceClass {
+    /// Every destination bit may be architecturally required.
+    Ace,
+    /// Some destination bits are provably dead (e.g. high bits discarded by
+    /// an `and` mask or a narrowing `cvt`).
+    PartiallyUnAce,
+    /// Every destination bit is provably dead — the write never influences
+    /// kernel output.
+    UnAce,
+}
+
+/// Per-slot bit verdict for one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotAce {
+    /// Write-back slot (index into `Instruction::dst`).
+    pub slot: u8,
+    /// The register written.
+    pub reg: Register,
+    /// Injectable bit width of the slot.
+    pub width: u32,
+    /// Bits (slot-relative, within `0..width`) that are statically un-ACE.
+    pub dead_mask: u32,
+}
+
+impl SlotAce {
+    /// Number of statically un-ACE bits in this slot.
+    #[must_use]
+    pub fn dead_bits(&self) -> u32 {
+        self.dead_mask.count_ones()
+    }
+}
+
+/// Whole-program static ACE report.
+#[derive(Debug, Clone)]
+pub struct StaticAceReport {
+    /// Per-pc slot verdicts, in write-back order (non-discard register
+    /// destinations only — the same order the injection hook indexes).
+    per_pc: Vec<Vec<SlotAce>>,
+}
+
+impl StaticAceReport {
+    /// Analyzes `program`.
+    #[must_use]
+    pub fn analyze(program: &KernelProgram) -> Self {
+        let df = ProgramDataflow::new(program).run();
+        let mut per_pc: Vec<Vec<SlotAce>> = vec![Vec::new(); program.len()];
+        for (id, site) in df.defs.iter().enumerate() {
+            let width = site.def.width;
+            if width == 0 {
+                continue;
+            }
+            let width_mask = if width >= 32 {
+                u32::MAX
+            } else {
+                (1u32 << width) - 1
+            };
+            let dead_mask = width_mask & !df.use_masks[id];
+            per_pc[site.pc].push(SlotAce {
+                slot: site.def.slot,
+                reg: site.def.reg,
+                width,
+                dead_mask,
+            });
+        }
+        StaticAceReport { per_pc }
+    }
+
+    /// Slot verdicts of instruction `pc`, in write-back order.
+    #[must_use]
+    pub fn slots(&self, pc: usize) -> &[SlotAce] {
+        &self.per_pc[pc]
+    }
+
+    /// Per-slot dead masks of `pc`, aligned with the instruction's
+    /// non-discard register destinations (what `BitSampler` consumes).
+    #[must_use]
+    pub fn slot_dead_masks(&self, pc: usize) -> Vec<u32> {
+        self.per_pc[pc].iter().map(|s| s.dead_mask).collect()
+    }
+
+    /// Statically un-ACE bit positions of `pc` in the instruction's *flat*
+    /// bit index space — the indexing `FaultSite::bit` uses: destination
+    /// bits of all write-back slots concatenated in order.
+    #[must_use]
+    pub fn dead_flat_bits(&self, pc: usize) -> Vec<u32> {
+        let mut bits = Vec::new();
+        let mut offset = 0u32;
+        for slot in &self.per_pc[pc] {
+            for b in 0..slot.width {
+                if slot.dead_mask & (1 << b) != 0 {
+                    bits.push(offset + b);
+                }
+            }
+            offset += slot.width;
+        }
+        bits
+    }
+
+    /// Number of statically un-ACE bits at `pc`.
+    #[must_use]
+    pub fn dead_bits_at(&self, pc: usize) -> u32 {
+        self.per_pc[pc].iter().map(SlotAce::dead_bits).sum()
+    }
+
+    /// Total destination bits at `pc` (the per-retirement site count).
+    #[must_use]
+    pub fn dest_bits_at(&self, pc: usize) -> u32 {
+        self.per_pc[pc].iter().map(|s| s.width).sum()
+    }
+
+    /// Classification of instruction `pc`, or `None` when it has no
+    /// register destination (no fault sites to classify).
+    #[must_use]
+    pub fn classify(&self, pc: usize) -> Option<AceClass> {
+        let total = self.dest_bits_at(pc);
+        if total == 0 {
+            return None;
+        }
+        Some(match self.dead_bits_at(pc) {
+            0 => AceClass::Ace,
+            d if d == total => AceClass::UnAce,
+            _ => AceClass::PartiallyUnAce,
+        })
+    }
+
+    /// Summary over the whole program.
+    #[must_use]
+    pub fn summary(&self) -> AceSummary {
+        let mut s = AceSummary::default();
+        for pc in 0..self.per_pc.len() {
+            match self.classify(pc) {
+                None => continue,
+                Some(AceClass::Ace) => s.ace_instructions += 1,
+                Some(AceClass::PartiallyUnAce) => s.partial_instructions += 1,
+                Some(AceClass::UnAce) => s.unace_instructions += 1,
+            }
+            s.total_bits += u64::from(self.dest_bits_at(pc));
+            s.dead_bits += u64::from(self.dead_bits_at(pc));
+        }
+        s
+    }
+}
+
+/// Program-level static ACE statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AceSummary {
+    /// Instructions whose destination bits are all potentially ACE.
+    pub ace_instructions: usize,
+    /// Instructions with some statically dead destination bits.
+    pub partial_instructions: usize,
+    /// Instructions whose destination bits are all statically dead.
+    pub unace_instructions: usize,
+    /// Total static destination bits (per retirement).
+    pub total_bits: u64,
+    /// Statically un-ACE destination bits (per retirement).
+    pub dead_bits: u64,
+}
+
+impl AceSummary {
+    /// Fraction of static destination bits pruned, in `[0, 1]`.
+    #[must_use]
+    pub fn pruned_fraction(&self) -> f64 {
+        if self.total_bits == 0 {
+            0.0
+        } else {
+            self.dead_bits as f64 / self.total_bits as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsp_isa::assemble;
+
+    #[test]
+    fn dead_write_is_unace() {
+        let p = assemble(
+            "t",
+            r#"
+            mov.u32 $r1, 0x1
+            mov.u32 $r1, 0x2
+            st.global.u32 [$r124], $r1
+            exit
+            "#,
+        )
+        .unwrap();
+        let r = StaticAceReport::analyze(&p);
+        assert_eq!(r.classify(0), Some(AceClass::UnAce));
+        assert_eq!(r.classify(1), Some(AceClass::Ace));
+        assert_eq!(r.classify(2), None, "stores have no register destination");
+        assert_eq!(r.dead_flat_bits(0).len(), 32);
+    }
+
+    #[test]
+    fn and_narrowing_is_partially_unace() {
+        let p = assemble(
+            "t",
+            r#"
+            mov.u32 $r1, 0xFFFF
+            and.u32 $r2, $r1, 0xFF
+            st.global.u32 [$r124], $r2
+            exit
+            "#,
+        )
+        .unwrap();
+        let r = StaticAceReport::analyze(&p);
+        // $r1's bits above the 0xFF mask never reach the store.
+        assert_eq!(r.classify(0), Some(AceClass::PartiallyUnAce));
+        assert_eq!(r.slots(0)[0].dead_mask, !0xFFu32);
+        assert_eq!(r.dead_bits_at(0), 24);
+        assert_eq!(r.classify(1), Some(AceClass::Ace));
+    }
+
+    #[test]
+    fn cvt_narrowing_prunes_high_bits() {
+        let p = assemble(
+            "t",
+            r#"
+            mov.u32 $r1, 0x12345
+            cvt.u32.u16 $r2, $r1
+            st.global.u32 [$r124], $r2
+            exit
+            "#,
+        )
+        .unwrap();
+        let r = StaticAceReport::analyze(&p);
+        assert_eq!(r.slots(0)[0].dead_mask, 0xFFFF_0000);
+        assert_eq!(r.classify(0), Some(AceClass::PartiallyUnAce));
+    }
+
+    #[test]
+    fn guard_only_predicate_keeps_zero_and_sign_flags() {
+        let p = assemble(
+            "t",
+            r#"
+            set.lt.s32.s32 $p0/$o127, $r1, 0xA
+            @$p0.lt bra skip
+            st.global.u32 [$r124], $r1
+            skip:
+            exit
+            "#,
+        )
+        .unwrap();
+        let r = StaticAceReport::analyze(&p);
+        // Guards read only zero/sign; `lt` reads only sign (bit 1), so
+        // zero (bit 0), carry (bit 2) and overflow (bit 3) are dead.
+        let slot = &r.slots(0)[0];
+        assert_eq!(slot.width, 4);
+        assert_eq!(slot.dead_mask, 0b1101);
+        assert_eq!(r.classify(0), Some(AceClass::PartiallyUnAce));
+        assert_eq!(r.dead_flat_bits(0), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn dual_destination_flat_bits_offset_by_pred_width() {
+        let p = assemble(
+            "t",
+            r#"
+            set.eq.u32.u32 $p0/$r1, $r2, 0x0
+            @$p0.eq bra skip
+            st.global.u32 [$r124], $r2
+            skip:
+            exit
+            "#,
+        )
+        .unwrap();
+        let r = StaticAceReport::analyze(&p);
+        // $r1 (the boolean result) is never read: its 32 bits are dead and
+        // sit at flat offsets 4..36, after the predicate's 4 bits. The
+        // predicate keeps only the zero flag (eq test).
+        let dead = r.dead_flat_bits(0);
+        assert!(dead.contains(&1) && dead.contains(&2) && dead.contains(&3));
+        assert!(!dead.contains(&0), "zero flag feeds the guard");
+        assert_eq!(dead.len(), 3 + 32);
+        assert!((4..36).all(|b| dead.contains(&b)));
+    }
+
+    #[test]
+    fn value_feeding_output_is_fully_ace() {
+        let p = assemble(
+            "t",
+            r#"
+            ld.global.u32 $r1, [$r124]
+            add.u32 $r1, $r1, 0x1
+            st.global.u32 [$r124], $r1
+            exit
+            "#,
+        )
+        .unwrap();
+        let r = StaticAceReport::analyze(&p);
+        assert_eq!(r.classify(0), Some(AceClass::Ace));
+        assert_eq!(r.classify(1), Some(AceClass::Ace));
+        let s = r.summary();
+        assert_eq!(s.dead_bits, 0);
+        assert_eq!(s.total_bits, 64);
+        assert!((s.pruned_fraction() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn address_registers_are_fully_ace() {
+        // A register used as a store address must keep all 32 bits even
+        // though the stored value is narrow.
+        let p = assemble(
+            "t",
+            r#"
+            shl.u32 $r2, $r1, 0x2
+            st.global.u32 [$r2], $r124
+            exit
+            "#,
+        )
+        .unwrap();
+        let r = StaticAceReport::analyze(&p);
+        assert_eq!(r.classify(0), Some(AceClass::Ace));
+    }
+}

@@ -1,0 +1,876 @@
+//! Worklist-based dataflow over a kernel's [`Cfg`]: per-instruction def/use
+//! sets with *bit-precise* read masks, reaching definitions with def-use
+//! chains, and backward register liveness.
+//!
+//! Read masks mirror the interpreter in `fsp-sim::exec` exactly; every
+//! refinement below cites the interpreter behaviour that justifies it. When
+//! in doubt the mask stays conservative (all bits read) — the static ACE
+//! consumer must never claim a live bit dead.
+
+use fsp_isa::{
+    Cfg, Dest, Half, Instruction, KernelProgram, Opcode, Operand, PredTest, Register, NUM_GPRS,
+    NUM_OFS, NUM_PREDS,
+};
+
+/// Dense index space for the registers the analysis tracks. Specials are
+/// read-only thread coordinates and `$r124`/`$o127` discard writes and read
+/// zero, so none of them carry dataflow.
+pub(crate) const TRACKED_REGS: usize = NUM_GPRS as usize + NUM_PREDS as usize + NUM_OFS as usize;
+
+/// Maps a register to its dense index, or `None` for registers that carry
+/// no dataflow (specials, discards, the zero register).
+#[must_use]
+pub fn reg_index(reg: Register) -> Option<usize> {
+    match reg {
+        r if r.is_discard() => None,
+        Register::Gpr(n) => Some(n as usize),
+        Register::Pred(n) => Some(NUM_GPRS as usize + n as usize),
+        Register::Ofs(n) => Some(NUM_GPRS as usize + NUM_PREDS as usize + n as usize),
+        Register::Special(_) | Register::Discard => None,
+    }
+}
+
+/// A fixed-capacity bitset used for dataflow facts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// An empty set with capacity for `n` elements.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Inserts `i`; returns whether the set changed.
+    pub fn insert(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, i % 64);
+        let old = self.words[w];
+        self.words[w] = old | (1 << b);
+        old & (1 << b) == 0
+    }
+
+    /// Removes `i`.
+    pub fn remove(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Whether `i` is in the set.
+    #[must_use]
+    pub fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Unions `other` into `self`; returns whether `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let old = *a;
+            *a = old | b;
+            changed |= *a != old;
+        }
+        changed
+    }
+
+    /// Iterates over the set elements in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64)
+                .filter(move |b| w & (1 << b) != 0)
+                .map(move |b| wi * 64 + b)
+        })
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
+/// One register read of an instruction, with the mask of value bits the
+/// interpreter actually consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegUse {
+    /// The register read.
+    pub reg: Register,
+    /// Bits of the register value that can influence execution.
+    pub mask: u32,
+}
+
+/// One register write of an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegDef {
+    /// Write-back slot (index into `Instruction::dst`).
+    pub slot: u8,
+    /// The register written.
+    pub reg: Register,
+    /// Injectable bit width of the write (`Instruction::register_dest_bits`).
+    pub width: u32,
+    /// Whether the write is conditional on the instruction's guard — a
+    /// guarded def generates but does not kill.
+    pub guarded: bool,
+}
+
+/// Def/use summary of one instruction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DefUse {
+    /// Register writes, in write-back slot order.
+    pub defs: Vec<RegDef>,
+    /// Register reads (guard, sources, memory bases).
+    pub uses: Vec<RegUse>,
+}
+
+/// Condition-code bits a [`PredTest`] consumes: guards read only the zero
+/// (bit 0) and sign (bit 1) flags (`exec::guard_passes`); carry and
+/// overflow are never tested.
+#[must_use]
+pub fn pred_test_mask(test: PredTest) -> u32 {
+    match test {
+        PredTest::Eq | PredTest::Ne => 0b0001,
+        PredTest::Lt | PredTest::Ge => 0b0010,
+        PredTest::Le | PredTest::Gt => 0b0011,
+    }
+}
+
+/// Fills every bit position at or below the highest set bit of `m`
+/// (`0b0100` → `0b0111`). Used for operations where output bit `i` depends
+/// on input bits `0..=i` (two's-complement negation, addition carries).
+const fn fill_down(m: u32) -> u32 {
+    let mut x = m;
+    x |= x >> 1;
+    x |= x >> 2;
+    x |= x >> 4;
+    x |= x >> 8;
+    x |= x >> 16;
+    x
+}
+
+/// Composes a mask over an operand's *post-half-selection* value back onto
+/// the register bits (`exec::operand_value`: `.lo` keeps bits `15..=0`,
+/// `.hi` shifts bits `31..=16` down).
+const fn through_half(value_mask: u32, half: Option<Half>) -> u32 {
+    match half {
+        None => value_mask,
+        Some(Half::Lo) => value_mask & 0xFFFF,
+        Some(Half::Hi) => (value_mask & 0xFFFF) << 16,
+    }
+}
+
+/// The mask of value bits a 16-bit-result operation commits: `exec::mask`
+/// truncates to the type width before write-back.
+fn ty_value_mask(instr: &Instruction) -> u32 {
+    match instr.ty.bits() {
+        16 if !instr.wide => 0xFFFF,
+        _ => u32::MAX,
+    }
+}
+
+/// Extracts the bit-precise def/use summary of `instr`.
+#[must_use]
+pub fn def_use(instr: &Instruction) -> DefUse {
+    let mut du = DefUse::default();
+
+    // Guard: reads the tested condition-code bits of the predicate.
+    if let Some(g) = &instr.guard {
+        du.uses.push(RegUse {
+            reg: Register::Pred(g.pred),
+            mask: pred_test_mask(g.test),
+        });
+    }
+
+    // Source operands.
+    for (i, op) in instr.src.iter().enumerate() {
+        let Some(op) = op else { continue };
+        match op {
+            Operand::Imm(_) => {}
+            Operand::Mem(m) => {
+                // Address bases feed `ExecCtx::resolve` in full.
+                if let Some(base) = m.base {
+                    if !base.is_discard() {
+                        du.uses.push(RegUse {
+                            reg: base,
+                            mask: u32::MAX,
+                        });
+                    }
+                }
+            }
+            Operand::Reg { reg, half, neg } => {
+                if reg.is_discard() {
+                    continue;
+                }
+                let mut vm = source_value_mask(instr, i);
+                // Integer negation makes output bit `i` depend on input
+                // bits `0..=i` (carry chain); float negation only flips the
+                // sign bit, which is bitwise-local.
+                if *neg && !instr.ty.is_float() {
+                    vm = fill_down(vm);
+                }
+                let mut mask = through_half(vm, *half);
+                if matches!(reg, Register::Pred(_)) {
+                    // Predicates read back their 4 flag bits (`read_reg`).
+                    mask &= 0xF;
+                }
+                du.uses.push(RegUse { reg: *reg, mask });
+            }
+        }
+    }
+
+    // Memory destinations read their address base (`ExecCtx::store`
+    // resolves it), even though they define no register.
+    for dest in instr.dests() {
+        if let Dest::Mem(m) = dest {
+            if let Some(base) = m.base {
+                if !base.is_discard() {
+                    du.uses.push(RegUse {
+                        reg: base,
+                        mask: u32::MAX,
+                    });
+                }
+            }
+        }
+    }
+
+    // Destinations. Only value-producing opcodes commit register results
+    // (`exec::step` leaves `result = None` for stores and control flow).
+    let produces_result = !matches!(
+        instr.opcode,
+        Opcode::St
+            | Opcode::Bra
+            | Opcode::Ssy
+            | Opcode::Bar
+            | Opcode::Ret
+            | Opcode::Retp
+            | Opcode::Exit
+            | Opcode::Nop
+    );
+    if produces_result {
+        for (slot, dest) in instr.dst.iter().enumerate() {
+            let Some(Dest::Reg(reg)) = dest else { continue };
+            if reg.is_discard() || matches!(reg, Register::Special(_)) {
+                continue;
+            }
+            du.defs.push(RegDef {
+                slot: slot as u8,
+                reg: *reg,
+                width: instr.register_dest_bits(*reg),
+                guarded: instr.guard.is_some(),
+            });
+        }
+    }
+    du
+}
+
+/// The mask of bits of source operand `i`'s *value* (post half-selection)
+/// that can influence the instruction's results, per the interpreter.
+fn source_value_mask(instr: &Instruction, i: usize) -> u32 {
+    let full = u32::MAX;
+    match instr.opcode {
+        // `convert` narrows 16-bit source types to their low half before
+        // widening (`int_value`); 32-bit and float sources read in full.
+        Opcode::Cvt if instr.src_ty.bits() == 16 => 0xFFFF,
+        // Bitwise-local operations: output bit i depends on input bit i
+        // only, and the committed value is truncated to the type width.
+        // Flags derive from the committed value (`flags_of`), so no extra
+        // bits leak through a predicate destination.
+        Opcode::Mov | Opcode::Ld | Opcode::Not => ty_value_mask(instr),
+        Opcode::And | Opcode::Or | Opcode::Xor if instr.ty.is_float() => full,
+        Opcode::And => {
+            let m = ty_value_mask(instr);
+            match other_imm(instr, i) {
+                // `a & imm`: bits where imm is 0 are forced to 0.
+                Some(imm) => m & imm,
+                None => m,
+            }
+        }
+        Opcode::Or => {
+            let m = ty_value_mask(instr);
+            match other_imm(instr, i) {
+                // `a | imm`: bits where imm is 1 are forced to 1.
+                Some(imm) => m & !imm,
+                None => m,
+            }
+        }
+        Opcode::Xor => ty_value_mask(instr),
+        // Shifts by a constant amount move a contiguous window of source
+        // bits into the (type-truncated) result.
+        Opcode::Shl if i == 0 && !instr.ty.is_float() => match shift_amount(instr) {
+            Some(k) if k >= 32 => 0,
+            Some(k) => ty_value_mask(instr) >> k,
+            None => full,
+        },
+        Opcode::Shr if i == 0 && !instr.ty.is_float() => match shift_amount(instr) {
+            // k >= 32 still reads the sign bit for signed types.
+            Some(k) if k >= 32 => {
+                if instr.ty.is_signed() {
+                    0x8000_0000
+                } else {
+                    0
+                }
+            }
+            Some(k) => {
+                let m = ty_value_mask(instr) << k;
+                if instr.ty.is_signed() {
+                    // Arithmetic shift replicates bit 31 into vacated
+                    // positions.
+                    m | 0x8000_0000
+                } else {
+                    m
+                }
+            }
+            None => full,
+        },
+        // `mul.wide` / `mad.wide` widen their factor operands from 16 bits
+        // (`exec::widen`); the addend of `mad.wide` stays 32-bit.
+        Opcode::Mul | Opcode::Mad if instr.wide && i < 2 => 0xFFFF,
+        // `selp` tests its predicate operand like a guard.
+        Opcode::Selp if i == 2 => {
+            let test = match instr.cmp {
+                Some(fsp_isa::CmpOp::Eq) => PredTest::Eq,
+                Some(fsp_isa::CmpOp::Lt) => PredTest::Lt,
+                Some(fsp_isa::CmpOp::Le) => PredTest::Le,
+                Some(fsp_isa::CmpOp::Gt) => PredTest::Gt,
+                Some(fsp_isa::CmpOp::Ge) => PredTest::Ge,
+                _ => PredTest::Ne,
+            };
+            pred_test_mask(test)
+        }
+        _ => full,
+    }
+}
+
+/// The immediate value of the *other* binary operand, for commutative
+/// bitwise refinements.
+fn other_imm(instr: &Instruction, i: usize) -> Option<u32> {
+    let other = match i {
+        0 => 1,
+        1 => 0,
+        _ => return None,
+    };
+    match instr.src.get(other)? {
+        Some(Operand::Imm(v)) => Some(*v),
+        _ => None,
+    }
+}
+
+/// A constant shift amount, when the shift count is an immediate.
+fn shift_amount(instr: &Instruction) -> Option<u32> {
+    match instr.src.get(1)? {
+        Some(Operand::Imm(v)) => Some(*v),
+        _ => None,
+    }
+}
+
+/// One static register definition site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DefSite {
+    /// Instruction index of the write.
+    pub pc: usize,
+    /// The definition itself.
+    pub def: RegDef,
+}
+
+/// One use of a register with no reaching definition (it reads the
+/// zero-initialised register file).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UndefinedUse {
+    /// Instruction index of the read.
+    pub pc: usize,
+    /// The register read.
+    pub reg: Register,
+}
+
+/// The result of running all dataflow passes over one program.
+#[derive(Debug, Clone)]
+pub struct DataflowResult {
+    /// Per-instruction def/use summaries.
+    pub def_use: Vec<DefUse>,
+    /// All static register definitions, in program order.
+    pub defs: Vec<DefSite>,
+    /// Per definition (parallel to `defs`): union of the read masks of
+    /// every use the definition reaches. A zero mask means the definition
+    /// is dead.
+    pub use_masks: Vec<u32>,
+    /// Uses whose reaching-definition set is empty on *every* path.
+    pub undefined_uses: Vec<UndefinedUse>,
+    /// Per-block reachability from the CFG entry.
+    pub reachable: Vec<bool>,
+    /// Per-block live-in register sets (dense indices; see [`reg_index`]).
+    pub live_in: Vec<BitSet>,
+    /// Per-block live-out register sets.
+    pub live_out: Vec<BitSet>,
+}
+
+impl DataflowResult {
+    /// The definition ids at instruction `pc`, in slot order.
+    #[must_use]
+    pub fn defs_at(&self, pc: usize) -> Vec<usize> {
+        self.defs
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.pc == pc)
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+/// Shared driver for the dataflow passes of one program.
+#[derive(Debug)]
+pub struct ProgramDataflow<'p> {
+    program: &'p KernelProgram,
+    cfg: Cfg,
+}
+
+impl<'p> ProgramDataflow<'p> {
+    /// Prepares the analysis for `program`.
+    #[must_use]
+    pub fn new(program: &'p KernelProgram) -> Self {
+        let cfg = program.cfg();
+        ProgramDataflow { program, cfg }
+    }
+
+    /// The CFG the passes run over.
+    #[must_use]
+    pub fn cfg(&self) -> &Cfg {
+        &self.cfg
+    }
+
+    /// The analysed program.
+    #[must_use]
+    pub fn program(&self) -> &'p KernelProgram {
+        self.program
+    }
+
+    /// Runs reaching definitions + def-use chains + liveness to fixpoint.
+    #[must_use]
+    pub fn run(&self) -> DataflowResult {
+        let n = self.program.len();
+        let blocks = self.cfg.blocks();
+        let def_use: Vec<DefUse> = (0..n).map(|pc| def_use(self.program.instr(pc))).collect();
+
+        // Enumerate definition sites.
+        let mut defs = Vec::new();
+        let mut def_ids_at: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (pc, du) in def_use.iter().enumerate() {
+            for d in &du.defs {
+                def_ids_at[pc].push(defs.len());
+                defs.push(DefSite { pc, def: *d });
+            }
+        }
+        let defs_of_reg = |ri: usize| {
+            defs.iter()
+                .enumerate()
+                .filter(move |(_, d)| reg_index(d.def.reg) == Some(ri))
+                .map(|(id, _)| id)
+        };
+
+        let reachable = self.reachable_blocks();
+
+        // --- Reaching definitions (forward, may) ---
+        let nb = blocks.len();
+        let mut gen_kill: Vec<(BitSet, BitSet)> = Vec::with_capacity(nb);
+        for block in blocks {
+            let mut gen = BitSet::new(defs.len());
+            let mut kill = BitSet::new(defs.len());
+            for pc in block.range() {
+                for &id in &def_ids_at[pc] {
+                    let d = &defs[id];
+                    if !d.def.guarded {
+                        // An unguarded write replaces the whole register
+                        // (`write_reg` stores the full word), killing every
+                        // other definition of it.
+                        if let Some(ri) = reg_index(d.def.reg) {
+                            for other in defs_of_reg(ri) {
+                                kill.insert(other);
+                                gen.remove(other);
+                            }
+                        }
+                    }
+                    gen.insert(id);
+                    kill.remove(id);
+                }
+            }
+            gen_kill.push((gen, kill));
+        }
+        let mut reach_in: Vec<BitSet> = vec![BitSet::new(defs.len()); nb];
+        let mut reach_out: Vec<BitSet> = gen_kill.iter().map(|(g, _)| g.clone()).collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in 0..nb {
+                if !reachable[b] {
+                    continue;
+                }
+                let mut inb = BitSet::new(defs.len());
+                for (p, block) in blocks.iter().enumerate() {
+                    if reachable[p] && block.successors.contains(&b) {
+                        inb.union_with(&reach_out[p]);
+                    }
+                }
+                if inb != reach_in[b] {
+                    let (gen, kill) = &gen_kill[b];
+                    let mut out = inb.clone();
+                    for k in kill.iter() {
+                        out.remove(k);
+                    }
+                    out.union_with(gen);
+                    reach_in[b] = inb;
+                    // Only an OUT change can affect other blocks.
+                    if out != reach_out[b] {
+                        reach_out[b] = out;
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // --- Def-use chains: walk each reachable block with its IN set ---
+        let mut use_masks = vec![0u32; defs.len()];
+        let mut undefined_uses = Vec::new();
+        for (b, block) in blocks.iter().enumerate() {
+            if !reachable[b] {
+                continue;
+            }
+            let mut current = reach_in[b].clone();
+            for pc in block.range() {
+                // Uses read pre-write values: consume before applying defs.
+                for u in &def_use[pc].uses {
+                    let Some(ri) = reg_index(u.reg) else { continue };
+                    let mut any = false;
+                    for id in current.iter() {
+                        if reg_index(defs[id].def.reg) == Some(ri) {
+                            use_masks[id] |= u.mask;
+                            any = true;
+                        }
+                    }
+                    if !any {
+                        undefined_uses.push(UndefinedUse { pc, reg: u.reg });
+                    }
+                }
+                for &id in &def_ids_at[pc] {
+                    let d = &defs[id];
+                    if !d.def.guarded {
+                        if let Some(ri) = reg_index(d.def.reg) {
+                            let stale: Vec<usize> = current
+                                .iter()
+                                .filter(|&other| reg_index(defs[other].def.reg) == Some(ri))
+                                .collect();
+                            for other in stale {
+                                current.remove(other);
+                            }
+                        }
+                    }
+                    current.insert(id);
+                }
+            }
+        }
+
+        // --- Liveness (backward, register granularity) ---
+        let mut use_b: Vec<BitSet> = Vec::with_capacity(nb);
+        let mut def_b: Vec<BitSet> = Vec::with_capacity(nb);
+        for block in blocks {
+            let mut uses = BitSet::new(TRACKED_REGS);
+            let mut kills = BitSet::new(TRACKED_REGS);
+            for pc in block.range() {
+                for u in &def_use[pc].uses {
+                    if let Some(ri) = reg_index(u.reg) {
+                        if !kills.contains(ri) {
+                            uses.insert(ri);
+                        }
+                    }
+                }
+                for d in &def_use[pc].defs {
+                    if d.guarded {
+                        continue;
+                    }
+                    if let Some(ri) = reg_index(d.reg) {
+                        kills.insert(ri);
+                    }
+                }
+            }
+            use_b.push(uses);
+            def_b.push(kills);
+        }
+        let mut live_in: Vec<BitSet> = vec![BitSet::new(TRACKED_REGS); nb];
+        let mut live_out: Vec<BitSet> = vec![BitSet::new(TRACKED_REGS); nb];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in (0..nb).rev() {
+                let mut out = BitSet::new(TRACKED_REGS);
+                for &s in &blocks[b].successors {
+                    out.union_with(&live_in[s]);
+                }
+                let mut inb = out.clone();
+                for k in def_b[b].iter() {
+                    inb.remove(k);
+                }
+                inb.union_with(&use_b[b]);
+                if out != live_out[b] || inb != live_in[b] {
+                    live_out[b] = out;
+                    live_in[b] = inb;
+                    changed = true;
+                }
+            }
+        }
+
+        DataflowResult {
+            def_use,
+            defs,
+            use_masks,
+            undefined_uses,
+            reachable,
+            live_in,
+            live_out,
+        }
+    }
+
+    /// Blocks reachable from the CFG entry.
+    #[must_use]
+    pub fn reachable_blocks(&self) -> Vec<bool> {
+        let blocks = self.cfg.blocks();
+        let mut reachable = vec![false; blocks.len()];
+        if blocks.is_empty() {
+            return reachable;
+        }
+        let mut stack = vec![0usize];
+        reachable[0] = true;
+        while let Some(b) = stack.pop() {
+            for &s in &blocks[b].successors {
+                if !reachable[s] {
+                    reachable[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        reachable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsp_isa::assemble;
+
+    #[test]
+    fn bitset_basics() {
+        let mut s = BitSet::new(130);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(129));
+        assert!(s.contains(129));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 129]);
+        s.remove(0);
+        assert!(!s.contains(0));
+        let mut t = BitSet::new(130);
+        t.insert(5);
+        assert!(t.union_with(&s));
+        assert!(!t.union_with(&s));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn guard_reads_only_tested_flags() {
+        let p = assemble("t", "@$p0.ne bra done\nadd.u32 $r1, $r1, 0x1\ndone:\nexit").unwrap();
+        let du = def_use(p.instr(0));
+        assert_eq!(du.uses.len(), 1);
+        assert_eq!(du.uses[0].reg, Register::Pred(0));
+        assert_eq!(du.uses[0].mask, 0b0001, "ne tests the zero flag only");
+        assert!(du.defs.is_empty(), "bra writes nothing");
+    }
+
+    #[test]
+    fn and_with_imm_narrows_read_mask() {
+        let p = assemble("t", "and.u32 $r1, $r2, 0xFF\nexit").unwrap();
+        let du = def_use(p.instr(0));
+        let r2 = du.uses.iter().find(|u| u.reg == Register::Gpr(2)).unwrap();
+        assert_eq!(r2.mask, 0xFF);
+    }
+
+    #[test]
+    fn or_with_imm_excludes_forced_bits() {
+        let p = assemble("t", "or.u32 $r1, $r2, 0xF0\nexit").unwrap();
+        let du = def_use(p.instr(0));
+        let r2 = du.uses.iter().find(|u| u.reg == Register::Gpr(2)).unwrap();
+        assert_eq!(r2.mask, !0xF0);
+    }
+
+    #[test]
+    fn half_selection_composes_with_cvt_narrowing() {
+        let p = assemble("t", "cvt.u32.u16 $r1, $r2.hi\nexit").unwrap();
+        let du = def_use(p.instr(0));
+        let r2 = du.uses.iter().find(|u| u.reg == Register::Gpr(2)).unwrap();
+        assert_eq!(r2.mask, 0xFFFF_0000, "hi half then 16-bit convert");
+    }
+
+    #[test]
+    fn shifts_by_immediates_window_the_source() {
+        let p = assemble("t", "shl.u32 $r1, $r2, 0x4\nshr.u32 $r3, $r4, 0x8\nexit").unwrap();
+        let shl = def_use(p.instr(0));
+        assert_eq!(shl.uses[0].mask, u32::MAX >> 4);
+        let shr = def_use(p.instr(1));
+        assert_eq!(shr.uses[0].mask, u32::MAX << 8);
+    }
+
+    #[test]
+    fn signed_shr_keeps_the_sign_bit() {
+        let p = assemble("t", "shr.s32 $r1, $r2, 0x8\nexit").unwrap();
+        let du = def_use(p.instr(0));
+        assert_eq!(du.uses[0].mask, (u32::MAX << 8) | 0x8000_0000);
+    }
+
+    #[test]
+    fn wide_multiply_reads_low_halves() {
+        let p = assemble("t", "mul.wide.u16 $r1, $r2, $r3\nexit").unwrap();
+        let du = def_use(p.instr(0));
+        for u in &du.uses {
+            assert_eq!(u.mask, 0xFFFF, "{:?}", u.reg);
+        }
+    }
+
+    #[test]
+    fn memory_base_reads_full_register() {
+        let p = assemble("t", "ld.global.u32 $r1, [$r2]\nexit").unwrap();
+        let du = def_use(p.instr(0));
+        let r2 = du.uses.iter().find(|u| u.reg == Register::Gpr(2)).unwrap();
+        assert_eq!(r2.mask, u32::MAX);
+    }
+
+    #[test]
+    fn store_destination_base_is_a_use() {
+        let p = assemble("t", "st.global.u32 [$r2], $r3\nexit").unwrap();
+        let du = def_use(p.instr(0));
+        assert!(du
+            .uses
+            .iter()
+            .any(|u| u.reg == Register::Gpr(2) && u.mask == u32::MAX));
+        assert!(du.uses.iter().any(|u| u.reg == Register::Gpr(3)));
+        assert!(du.defs.is_empty());
+    }
+
+    #[test]
+    fn mov_to_shared_reads_offset_base() {
+        let p = assemble("t", "mov.u32 s[$ofs3+0x0040], $r2\nexit").unwrap();
+        let du = def_use(p.instr(0));
+        assert!(du
+            .uses
+            .iter()
+            .any(|u| u.reg == Register::Ofs(3) && u.mask == u32::MAX));
+        assert!(du.defs.is_empty(), "memory destination defines no register");
+    }
+
+    #[test]
+    fn dead_def_has_zero_use_mask() {
+        let p = assemble(
+            "t",
+            r#"
+            mov.u32 $r1, 0x1
+            mov.u32 $r1, 0x2
+            st.global.u32 [$r124], $r1
+            exit
+            "#,
+        )
+        .unwrap();
+        let df = ProgramDataflow::new(&p).run();
+        // First def of $r1 is overwritten before any use.
+        assert_eq!(df.defs.len(), 2);
+        assert_eq!(df.use_masks[0], 0, "dead store");
+        assert_eq!(df.use_masks[1], u32::MAX, "consumed by the store");
+    }
+
+    #[test]
+    fn guarded_def_does_not_kill() {
+        let p = assemble(
+            "t",
+            r#"
+            mov.u32 $r1, 0x1
+            @$p0.eq mov.u32 $r1, 0x2
+            st.global.u32 [$r124], $r1
+            exit
+            "#,
+        )
+        .unwrap();
+        let df = ProgramDataflow::new(&p).run();
+        // Both defs can reach the store.
+        assert_eq!(df.use_masks[0], u32::MAX);
+        assert_eq!(df.use_masks[1], u32::MAX);
+    }
+
+    #[test]
+    fn defs_reach_across_loop_back_edges() {
+        let p = assemble(
+            "t",
+            r#"
+            mov.u32 $r1, 0x0
+            loop:
+            add.u32 $r1, $r1, 0x1
+            set.ne.u32.u32 $p0/$o127, $r1, 0xA
+            @$p0.ne bra loop
+            st.global.u32 [$r124], $r1
+            exit
+            "#,
+        )
+        .unwrap();
+        let df = ProgramDataflow::new(&p).run();
+        // The add's def flows around the loop into its own source.
+        let add_def = df.defs.iter().position(|d| d.pc == 1).unwrap();
+        assert_ne!(df.use_masks[add_def], 0);
+        assert!(df.undefined_uses.is_empty());
+    }
+
+    #[test]
+    fn undefined_use_detected() {
+        let p = assemble(
+            "t",
+            "add.u32 $r1, $r2, 0x1\nst.global.u32 [$r124], $r1\nexit",
+        )
+        .unwrap();
+        let df = ProgramDataflow::new(&p).run();
+        assert_eq!(df.undefined_uses.len(), 1);
+        assert_eq!(df.undefined_uses[0].reg, Register::Gpr(2));
+        assert_eq!(df.undefined_uses[0].pc, 0);
+    }
+
+    #[test]
+    fn liveness_at_block_boundaries() {
+        let p = assemble(
+            "t",
+            r#"
+            mov.u32 $r1, 0x7
+            set.eq.u32.u32 $p0/$o127, $r2, 0x0
+            @$p0.eq bra skip
+            st.global.u32 [$r124], $r1
+            skip:
+            exit
+            "#,
+        )
+        .unwrap();
+        let df = ProgramDataflow::new(&p).run();
+        let r1 = reg_index(Register::Gpr(1)).unwrap();
+        // $r1 is live out of the entry block (the store arm reads it)...
+        assert!(df.live_out[0].contains(r1));
+        // ...but dead at the exit block.
+        let exit_block = p.cfg().block_of(p.len() - 1);
+        assert!(!df.live_in[exit_block].contains(r1));
+    }
+
+    #[test]
+    fn zero_register_is_untracked() {
+        assert_eq!(reg_index(Register::Gpr(124)), None);
+        assert_eq!(reg_index(Register::Discard), None);
+        assert!(reg_index(Register::Gpr(0)).is_some());
+        assert!(reg_index(Register::Pred(7)).is_some());
+        assert!(reg_index(Register::Ofs(3)).is_some());
+    }
+}

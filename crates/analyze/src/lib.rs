@@ -1,0 +1,17 @@
+//! Static dataflow analysis for PTXPlus-like kernels.
+//!
+//! Everything here is *static*: it inspects the [`fsp_isa::KernelProgram`]
+//! and its CFG without executing a single instruction. Two consumers sit on
+//! top of the shared worklist framework:
+//!
+//! - [`ace`]: classifies destination-register bits as ACE / un-ACE before
+//!   any dynamic profiling (Stage 0 of the pruning pipeline).
+//! - [`lint`]: a kernel linter for the hand-written workload assembly.
+
+pub mod ace;
+pub mod dataflow;
+pub mod lint;
+
+pub use ace::{AceClass, AceSummary, SlotAce, StaticAceReport};
+pub use dataflow::{DataflowResult, DefUse, ProgramDataflow};
+pub use lint::{lint, Finding, LintKind, LintReport, Severity};

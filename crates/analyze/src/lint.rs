@@ -1,0 +1,517 @@
+//! Static kernel linter for the hand-written PTXPlus-like assembly.
+//!
+//! Built on the same dataflow results as the ACE pass, the linter flags
+//! structural problems the assembler cannot see:
+//!
+//! - **Errors** (a kernel shipping one is broken): reads of registers no
+//!   path ever defines, unreachable basic blocks, and natural loops with no
+//!   exit edge.
+//! - **Warnings** (suspicious but possibly intentional): def/use type
+//!   mismatches (float bits consumed as integers and vice versa) and
+//!   `bar.sync` under potentially-divergent control flow.
+
+use std::fmt;
+
+use fsp_isa::{KernelProgram, Opcode, Operand, Register, ScalarType};
+
+use crate::dataflow::ProgramDataflow;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but possibly intentional.
+    Warning,
+    /// The kernel is broken.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// The category of a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintKind {
+    /// A register is read that no path to the read ever defines (it reads
+    /// the zero-initialised register file).
+    UndefinedRead,
+    /// A value produced as float bits is consumed as an integer, or vice
+    /// versa.
+    TypeMismatch,
+    /// A basic block no path from the entry reaches.
+    UnreachableBlock,
+    /// `bar.sync` in a block that does not post-dominate the entry: some
+    /// threads of a CTA may branch around it, which deadlocks (or, in
+    /// warp-lockstep mode, faults) on real hardware.
+    DivergentBarrier,
+    /// A natural loop whose body has no edge leaving it.
+    InfiniteLoop,
+}
+
+impl LintKind {
+    /// The default severity of this finding category.
+    #[must_use]
+    pub fn severity(self) -> Severity {
+        match self {
+            LintKind::UndefinedRead | LintKind::UnreachableBlock | LintKind::InfiniteLoop => {
+                Severity::Error
+            }
+            LintKind::TypeMismatch | LintKind::DivergentBarrier => Severity::Warning,
+        }
+    }
+}
+
+/// One linter finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Category.
+    pub kind: LintKind,
+    /// Severity.
+    pub severity: Severity,
+    /// Instruction index the finding anchors to.
+    pub pc: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: pc {}: {}", self.severity, self.pc, self.message)
+    }
+}
+
+/// The result of linting one kernel.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintReport {
+    /// All findings, sorted by pc.
+    pub findings: Vec<Finding>,
+}
+
+impl LintReport {
+    /// Number of error-severity findings.
+    #[must_use]
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    #[must_use]
+    pub fn warnings(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Whether the kernel passed without errors.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.errors() == 0
+    }
+}
+
+/// How an instruction interprets a value: as float bits, as an integer, or
+/// type-agnostically (moves, stores, bitwise logic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TyKind {
+    Float,
+    Int,
+    Bits,
+}
+
+fn kind_of(ty: ScalarType) -> TyKind {
+    if ty.is_float() {
+        TyKind::Float
+    } else {
+        TyKind::Int
+    }
+}
+
+/// How the value *produced* by an instruction is typed.
+fn def_kind(instr: &fsp_isa::Instruction) -> TyKind {
+    match instr.opcode {
+        Opcode::Add
+        | Opcode::Sub
+        | Opcode::Mul
+        | Opcode::Mad
+        | Opcode::Div
+        | Opcode::Rem
+        | Opcode::Min
+        | Opcode::Max
+        | Opcode::Abs
+        | Opcode::Neg
+        | Opcode::Cvt => kind_of(instr.ty),
+        Opcode::Rcp | Opcode::Sqrt | Opcode::Rsqrt | Opcode::Ex2 | Opcode::Lg2 => TyKind::Float,
+        // Moves, loads, comparisons, selections, bitwise logic and shifts
+        // are bit-pattern transparent.
+        _ => TyKind::Bits,
+    }
+}
+
+/// How source operand `i` of an instruction is consumed.
+fn use_kind(instr: &fsp_isa::Instruction, i: usize) -> TyKind {
+    // Predicate operands carry condition codes, not typed values.
+    if let Some(Some(Operand::Reg {
+        reg: Register::Pred(_),
+        ..
+    })) = instr.src.get(i)
+    {
+        return TyKind::Bits;
+    }
+    match instr.opcode {
+        Opcode::Add
+        | Opcode::Sub
+        | Opcode::Mul
+        | Opcode::Mad
+        | Opcode::Div
+        | Opcode::Rem
+        | Opcode::Min
+        | Opcode::Max
+        | Opcode::Abs
+        | Opcode::Neg => kind_of(instr.ty),
+        Opcode::Rcp | Opcode::Sqrt | Opcode::Rsqrt | Opcode::Ex2 | Opcode::Lg2 => TyKind::Float,
+        Opcode::Cvt | Opcode::Set => kind_of(instr.src_ty),
+        // selp passes its value operands through untouched; moves, stores
+        // and bitwise logic are bit-pattern transparent.
+        _ => TyKind::Bits,
+    }
+}
+
+fn mismatch(def: TyKind, used: TyKind) -> bool {
+    matches!(
+        (def, used),
+        (TyKind::Float, TyKind::Int) | (TyKind::Int, TyKind::Float)
+    )
+}
+
+/// Lints `program`, running the dataflow passes it needs.
+#[must_use]
+pub fn lint(program: &KernelProgram) -> LintReport {
+    let pd = ProgramDataflow::new(program);
+    let df = pd.run();
+    let cfg = pd.cfg();
+    let mut findings = Vec::new();
+    let mut push = |kind: LintKind, pc: usize, message: String| {
+        findings.push(Finding {
+            kind,
+            severity: kind.severity(),
+            pc,
+            message,
+        });
+    };
+
+    // 1. Reads with no reaching definition on any path.
+    let mut seen = std::collections::BTreeSet::new();
+    for u in &df.undefined_uses {
+        if seen.insert((u.pc, format!("{}", u.reg))) {
+            push(
+                LintKind::UndefinedRead,
+                u.pc,
+                format!(
+                    "{} is read but never defined on any path ({})",
+                    u.reg,
+                    program.instr(u.pc)
+                ),
+            );
+        }
+    }
+
+    // 2. Def/use type mismatches.
+    type_mismatches(program, &df, &mut push);
+
+    // 3. Unreachable basic blocks.
+    for (b, reachable) in df.reachable.iter().enumerate() {
+        if !reachable {
+            let start = cfg.blocks()[b].start;
+            push(
+                LintKind::UnreachableBlock,
+                start,
+                format!("basic block at pc {start} is unreachable from the kernel entry"),
+            );
+        }
+    }
+
+    // 4. bar.sync under potentially-divergent control flow.
+    let uniform = post_dominators_of_entry(cfg);
+    for (pc, instr) in program.instructions().iter().enumerate() {
+        if instr.opcode == Opcode::Bar {
+            let b = cfg.block_of(pc);
+            if !uniform.contains(&b) {
+                push(
+                    LintKind::DivergentBarrier,
+                    pc,
+                    "bar.sync does not post-dominate the entry; threads may diverge around it"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    // 5. Natural loops with no exit edge.
+    let forest = cfg.loops(program);
+    for l in &forest.loops {
+        let body_blocks: std::collections::BTreeSet<usize> =
+            l.body.iter().map(|&pc| cfg.block_of(pc)).collect();
+        let has_exit = body_blocks.iter().any(|&b| {
+            cfg.blocks()[b]
+                .successors
+                .iter()
+                .any(|s| !body_blocks.contains(s))
+        });
+        if !has_exit {
+            push(
+                LintKind::InfiniteLoop,
+                l.header,
+                format!("loop with header at pc {} has no exit edge", l.header),
+            );
+        }
+    }
+
+    findings.sort_by_key(|f| (f.pc, f.severity == Severity::Warning));
+    LintReport { findings }
+}
+
+/// The chain of blocks every thread must pass through: the entry and its
+/// post-dominators (post-dominators of a node form a chain).
+fn post_dominators_of_entry(cfg: &fsp_isa::Cfg) -> std::collections::BTreeSet<usize> {
+    let mut chain = std::collections::BTreeSet::new();
+    if cfg.blocks().is_empty() {
+        return chain;
+    }
+    let ipdom = cfg.post_dominators();
+    let mut b = 0usize;
+    chain.insert(b);
+    while let Some(next) = ipdom[b] {
+        if !chain.insert(next) {
+            break;
+        }
+        b = next;
+    }
+    chain
+}
+
+/// Reports float/int interpretation clashes between register writes and the
+/// reads that consume them.
+fn type_mismatches(
+    program: &KernelProgram,
+    df: &crate::dataflow::DataflowResult,
+    push: &mut impl FnMut(LintKind, usize, String),
+) {
+    // Per-use reaching-def chains are not stored, so fall back to a
+    // flow-insensitive over-approximation: only report a read when *every*
+    // write of the register anywhere in the program disagrees with it.
+    // This cannot false-positive on registers that are re-used for values
+    // of different types on different paths.
+    for use_pc in 0..program.len() {
+        for (i, op) in program.instr(use_pc).src.iter().enumerate() {
+            let Some(Operand::Reg { reg, .. }) = op else {
+                continue;
+            };
+            if crate::dataflow::reg_index(*reg).is_none() {
+                continue;
+            }
+            let uk = use_kind(program.instr(use_pc), i);
+            if uk == TyKind::Bits {
+                continue;
+            }
+            let def_kinds: Vec<TyKind> = df
+                .defs
+                .iter()
+                .filter(|d| d.def.reg == *reg)
+                .map(|d| def_kind(program.instr(d.pc)))
+                .collect();
+            if !def_kinds.is_empty() && def_kinds.iter().all(|&dk| mismatch(dk, uk)) {
+                push(
+                    LintKind::TypeMismatch,
+                    use_pc,
+                    format!(
+                        "{} holds {} bits but `{}` consumes it as {}",
+                        reg,
+                        match def_kinds[0] {
+                            TyKind::Float => "float",
+                            _ => "integer",
+                        },
+                        program.instr(use_pc),
+                        match uk {
+                            TyKind::Float => "float",
+                            _ => "integer",
+                        },
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsp_isa::assemble;
+
+    fn kinds(report: &LintReport) -> Vec<LintKind> {
+        report.findings.iter().map(|f| f.kind).collect()
+    }
+
+    #[test]
+    fn clean_kernel_has_no_findings() {
+        let p = assemble(
+            "t",
+            r#"
+            mov.u32 $r1, 0x4
+            ld.global.u32 $r2, [$r1]
+            add.u32 $r2, $r2, 0x1
+            st.global.u32 [$r1], $r2
+            exit
+            "#,
+        )
+        .unwrap();
+        let r = lint(&p);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn undefined_read_is_an_error() {
+        let p = assemble(
+            "t",
+            "add.u32 $r1, $r2, 0x1\nst.global.u32 [$r124], $r1\nexit",
+        )
+        .unwrap();
+        let r = lint(&p);
+        assert_eq!(kinds(&r), vec![LintKind::UndefinedRead]);
+        assert_eq!(r.errors(), 1);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn unreachable_block_detected() {
+        let p = assemble(
+            "t",
+            r#"
+            bra done
+            add.u32 $r1, $r1, 0x1
+            done:
+            exit
+            "#,
+        )
+        .unwrap();
+        let r = lint(&p);
+        assert!(
+            kinds(&r).contains(&LintKind::UnreachableBlock),
+            "{:?}",
+            r.findings
+        );
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn loop_without_exit_detected() {
+        let p = assemble(
+            "t",
+            r#"
+            mov.u32 $r1, 0x0
+            loop:
+            add.u32 $r1, $r1, 0x1
+            bra loop
+            "#,
+        )
+        .unwrap();
+        let r = lint(&p);
+        assert!(
+            kinds(&r).contains(&LintKind::InfiniteLoop),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn divergent_barrier_is_a_warning() {
+        let p = assemble(
+            "t",
+            r#"
+            set.eq.u32.u32 $p0/$o127, $r124, 0x0
+            @$p0.ne bra skip
+            bar.sync 0x0
+            skip:
+            exit
+            "#,
+        )
+        .unwrap();
+        let r = lint(&p);
+        let f = r
+            .findings
+            .iter()
+            .find(|f| f.kind == LintKind::DivergentBarrier)
+            .expect("divergent barrier flagged");
+        assert_eq!(f.severity, Severity::Warning);
+        assert!(r.is_clean(), "warnings do not fail the lint");
+    }
+
+    #[test]
+    fn uniform_barrier_not_flagged() {
+        let p = assemble(
+            "t",
+            r#"
+            mov.u32 $r1, 0x1
+            bar.sync 0x0
+            st.global.u32 [$r124], $r1
+            exit
+            "#,
+        )
+        .unwrap();
+        let r = lint(&p);
+        assert!(!kinds(&r).contains(&LintKind::DivergentBarrier));
+    }
+
+    #[test]
+    fn float_bits_consumed_as_integer_warns() {
+        let p = assemble(
+            "t",
+            r#"
+            add.f32 $r1, $r2, $r3
+            add.u32 $r4, $r1, 0x1
+            st.global.u32 [$r124], $r4
+            exit
+            "#,
+        )
+        .unwrap();
+        let r = lint(&p);
+        let f = r
+            .findings
+            .iter()
+            .find(|f| f.kind == LintKind::TypeMismatch)
+            .expect("type mismatch flagged");
+        assert_eq!(f.severity, Severity::Warning);
+        assert_eq!(f.pc, 1);
+    }
+
+    #[test]
+    fn mov_and_bitwise_are_type_transparent() {
+        let p = assemble(
+            "t",
+            r#"
+            add.f32 $r1, $r2, $r3
+            mov.u32 $r4, $r1
+            and.u32 $r5, $r1, 0x7FFFFFFF
+            st.global.u32 [$r124], $r4
+            st.global.u32 [$r124], $r5
+            exit
+            "#,
+        )
+        .unwrap();
+        let r = lint(&p);
+        assert!(
+            !kinds(&r).contains(&LintKind::TypeMismatch),
+            "{:?}",
+            r.findings
+        );
+    }
+}

@@ -26,7 +26,9 @@ pub fn fault_model_sweep(w: &Workload, samples: usize, opts: &Options) -> String
         .collect();
     let mut t = Table::new(&["fault model", "masked%", "sdc%", "crash+hang%"]);
     for model in FaultModel::ALL {
-        let profile = experiment.run_campaign_with(&sites, model, opts.workers).profile;
+        let profile = experiment
+            .run_campaign_with(&sites, model, opts.workers)
+            .profile;
         t.row(vec![
             model.name().to_owned(),
             format!("{:.1}", profile.pct_masked()),
@@ -95,7 +97,10 @@ pub fn ablation(w: &Workload, opts: &Options) -> String {
         ),
         (
             "thread + loop",
-            PruningConfig { loop_samples: 7, ..PruningConfig::thread_wise_only() },
+            PruningConfig {
+                loop_samples: 7,
+                ..PruningConfig::thread_wise_only()
+            },
         ),
         (
             "thread + bit",
@@ -148,8 +153,7 @@ pub fn ablation(w: &Workload, opts: &Options) -> String {
 /// Panics on an unknown id.
 #[must_use]
 pub fn eval_workload(id: &str) -> Workload {
-    fsp_workloads::by_id(id, Scale::Eval)
-        .unwrap_or_else(|| panic!("unknown workload `{id}`"))
+    fsp_workloads::by_id(id, Scale::Eval).unwrap_or_else(|| panic!("unknown workload `{id}`"))
 }
 
 /// Per-opcode vulnerability: groups sampled injection outcomes by the
@@ -295,7 +299,10 @@ mod tests {
     #[test]
     fn fault_model_sweep_runs_and_orders_sanely() {
         let w = eval_workload("gaussian_k1");
-        let opts = Options { quick: true, ..Options::default() };
+        let opts = Options {
+            quick: true,
+            ..Options::default()
+        };
         let report = fault_model_sweep(&w, 200, &opts);
         assert!(report.contains("single-bit-flip"));
         assert!(report.contains("random-value"));
@@ -304,7 +311,10 @@ mod tests {
     #[test]
     fn adaptive_report_runs() {
         let w = eval_workload("gaussian_k125");
-        let opts = Options { quick: true, ..Options::default() };
+        let opts = Options {
+            quick: true,
+            ..Options::default()
+        };
         let report = adaptive_report(&w, &opts);
         // Gaussian Fan1 is loop-free: converges immediately.
         assert!(report.contains("converged at 1 iteration"));

@@ -2,9 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use fsp_core::{
-    BitSampler, PredBitPolicy, PruningConfig, PruningPipeline, ThreadGrouping,
-};
+use fsp_core::{BitSampler, PredBitPolicy, PruningConfig, PruningPipeline, ThreadGrouping};
 use fsp_inject::{Experiment, FaultSite, InjectionTarget, WeightedSite};
 use fsp_isa::{Dest, Register};
 use fsp_stats::{FiveNumber, ResilienceProfile};
@@ -29,7 +27,11 @@ pub fn fig2(opts: &Options) -> String {
         let pc = OutcomeGrouping::default_target_pc(&space);
         let grouping = OutcomeGrouping::analyze(&experiment, &space, pc, 2.0, opts.workers);
         let mut t = Table::new(&["CTA", "min", "q1", "median", "q3", "max", "mean masked%"]);
-        for (cta, (f, mean)) in grouping.distributions.iter().zip(&grouping.means).enumerate()
+        for (cta, (f, mean)) in grouping
+            .distributions
+            .iter()
+            .zip(&grouping.means)
+            .enumerate()
         {
             t.row(vec![
                 cta.to_string(),
@@ -46,7 +48,11 @@ pub fn fig2(opts: &Options) -> String {
         let icnt_grouping = ThreadGrouping::analyze(space.trace());
         let n = space.trace().num_ctas() as usize;
         let by_icnt = fsp_stats::labels_from_groups(
-            &icnt_grouping.groups.iter().map(|g| g.ctas.clone()).collect::<Vec<_>>(),
+            &icnt_grouping
+                .groups
+                .iter()
+                .map(|g| g.ctas.clone())
+                .collect::<Vec<_>>(),
             n,
         );
         let agreement = fsp_stats::rand_index(&grouping.labels(), &by_icnt);
@@ -99,7 +105,10 @@ pub fn fig3(_opts: &Options) -> String {
             ]);
         }
         let groups: Vec<Vec<u32>> = grouping.groups.iter().map(|g| g.ctas.clone()).collect();
-        out.push_str(&format!("{}:\n{t}\niCnt-based CTA groups: {groups:?}\n\n", w.app()));
+        out.push_str(&format!(
+            "{}:\n{t}\niCnt-based CTA groups: {groups:?}\n\n",
+            w.app()
+        ));
     }
     out
 }
@@ -126,7 +135,10 @@ pub fn fig4(opts: &Options) -> String {
             })
             .expect("at least one CTA");
         // Bit-sample each thread's sites to keep the campaign tractable.
-        let sampler = BitSampler { samples_per_32: 8, pred_policy: PredBitPolicy::All };
+        let sampler = BitSampler {
+            samples_per_32: 8,
+            pred_policy: PredBitPolicy::All,
+        };
         let program = w.launch();
         let mut rows: Vec<(u32, u32, f64)> = Vec::new();
         for tid in trace.cta_threads(cta) {
@@ -147,13 +159,20 @@ pub fn fig4(opts: &Options) -> String {
             let masked = if sites.is_empty() {
                 100.0
             } else {
-                experiment.run_campaign(&sites, opts.workers).profile.pct_masked()
+                experiment
+                    .run_campaign(&sites, opts.workers)
+                    .profile
+                    .pct_masked()
             };
             rows.push((tid, trace.icnt[tid as usize], masked));
         }
         let mut t = Table::new(&["thread", "iCnt", "masked%"]);
         for (tid, icnt, masked) in &rows {
-            t.row(vec![tid.to_string(), icnt.to_string(), format!("{masked:.1}")]);
+            t.row(vec![
+                tid.to_string(),
+                icnt.to_string(),
+                format!("{masked:.1}"),
+            ]);
         }
         // Verify the claim: same iCnt => similar masked%.
         let mut by_icnt: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
@@ -181,7 +200,11 @@ pub fn fig4(opts: &Options) -> String {
 pub fn fig5(_opts: &Options) -> String {
     let w = fsp_workloads::by_id("pathfinder", Scale::Eval).expect("registered");
     let (trace, grouping) = trace_with_reps(&w);
-    let mut reps: Vec<u32> = grouping.representatives(&trace).iter().map(|r| r.tid).collect();
+    let mut reps: Vec<u32> = grouping
+        .representatives(&trace)
+        .iter()
+        .map(|r| r.tid)
+        .collect();
     reps.sort_by_key(|tid| std::cmp::Reverse(trace.full[tid].entries.len()));
     let (a, b) = (reps[0], reps[1]);
     let (ta, tb) = (&trace.full[&a], &trace.full[&b]);
@@ -232,9 +255,8 @@ pub fn fig5(_opts: &Options) -> String {
 /// Figure 6 — outcome distribution vs number of sampled loop iterations.
 #[must_use]
 pub fn fig6(opts: &Options) -> String {
-    let mut out = String::from(
-        "Figure 6: impact of loop-wise pruning on the outcome distribution\n\n",
-    );
+    let mut out =
+        String::from("Figure 6: impact of loop-wise pruning on the outcome distribution\n\n");
     let cases: [(&str, u64); 4] = [
         ("pathfinder", 0),
         ("syrk", 0),
@@ -261,7 +283,11 @@ pub fn fig6(opts: &Options) -> String {
                 plan.sites.len().to_string(),
             ]);
         }
-        out.push_str(&format!("{} {} (loop seed +{seed_offset}):\n{t}\n", w.app(), w.id()));
+        out.push_str(&format!(
+            "{} {} (loop seed +{seed_offset}):\n{t}\n",
+            w.app(),
+            w.id()
+        ));
     }
     out
 }
@@ -270,9 +296,8 @@ pub fn fig6(opts: &Options) -> String {
 /// type.
 #[must_use]
 pub fn fig7(opts: &Options) -> String {
-    let mut out = String::from(
-        "Figure 7: outcome distribution by bit-position section (.u32 vs .pred)\n\n",
-    );
+    let mut out =
+        String::from("Figure 7: outcome distribution by bit-position section (.u32 vs .pred)\n\n");
     for id in ["2dconv", "mvt"] {
         let w = fsp_workloads::by_id(id, Scale::Eval).expect("registered");
         let (experiment, space) = full_space(&w);
@@ -293,11 +318,14 @@ pub fn fig7(opts: &Options) -> String {
                     let is_pred = matches!(reg, Register::Pred(_));
                     for bit in 0..width {
                         let section = if is_pred { bit } else { bit / 8 };
-                        buckets.entry((is_pred, section)).or_default().push(FaultSite {
-                            tid,
-                            dyn_idx: i as u32,
-                            bit: offset + bit,
-                        });
+                        buckets
+                            .entry((is_pred, section))
+                            .or_default()
+                            .push(FaultSite {
+                                tid,
+                                dyn_idx: i as u32,
+                                bit: offset + bit,
+                            });
                     }
                     offset += width;
                 }
@@ -336,22 +364,28 @@ pub fn fig7(opts: &Options) -> String {
 /// Figure 8 — outcome distribution vs number of sampled bit positions.
 #[must_use]
 pub fn fig8(opts: &Options) -> String {
-    let mut out = String::from(
-        "Figure 8: impact of bit-wise pruning on the outcome distribution\n\n",
-    );
+    let mut out =
+        String::from("Figure 8: impact of bit-wise pruning on the outcome distribution\n\n");
     for id in ["2dconv", "mvt"] {
         let w = fsp_workloads::by_id(id, Scale::Eval).expect("registered");
         let experiment = Experiment::prepare(&w).expect("workload runs");
         let mut t = Table::new(&["#sampled bits", "masked%", "sdc%", "#runs"]);
         for samples in [4u32, 8, 16, 0] {
             let pipeline = PruningPipeline::new(PruningConfig {
-                bits: BitSampler { samples_per_32: samples, pred_policy: PredBitPolicy::All },
+                bits: BitSampler {
+                    samples_per_32: samples,
+                    pred_policy: PredBitPolicy::All,
+                },
                 ..PruningConfig::default()
             });
             let plan = pipeline.plan_for(&experiment).expect("plan");
             let profile = pipeline.run(&experiment, &plan, opts.workers);
             t.row(vec![
-                if samples == 0 { "all".to_owned() } else { samples.to_string() },
+                if samples == 0 {
+                    "all".to_owned()
+                } else {
+                    samples.to_string()
+                },
                 format!("{:.1}", profile.pct_masked()),
                 format!("{:.1}", profile.pct_sdc()),
                 plan.sites.len().to_string(),
@@ -388,7 +422,12 @@ fn prune_vs_baseline(
 #[must_use]
 pub fn fig9(opts: &Options) -> String {
     let mut t = Table::new(&[
-        "Kernel", "pruned msk/sdc/other", "baseline msk/sdc/other", "Δmsk", "Δsdc", "Δother",
+        "Kernel",
+        "pruned msk/sdc/other",
+        "baseline msk/sdc/other",
+        "Δmsk",
+        "Δsdc",
+        "Δother",
         "#runs",
     ]);
     let mut sums = (0.0f64, 0.0f64, 0.0f64);
@@ -404,7 +443,12 @@ pub fn fig9(opts: &Options) -> String {
         sums.2 += do_.abs();
         n += 1;
         let fmt = |p: &ResilienceProfile| {
-            format!("{:5.1}/{:5.1}/{:5.1}", p.pct_masked(), p.pct_sdc(), p.pct_other())
+            format!(
+                "{:5.1}/{:5.1}/{:5.1}",
+                p.pct_masked(),
+                p.pct_sdc(),
+                p.pct_other()
+            )
         };
         t.row(vec![
             format!("{} {}", w.app(), w.id()),
@@ -430,8 +474,15 @@ pub fn fig9(opts: &Options) -> String {
 #[must_use]
 pub fn fig10(opts: &Options) -> String {
     let mut t = Table::new(&[
-        "Kernel", "exhaustive", "thread-wise", "+insn-wise", "+loop-wise", "+bit-wise",
-        "baseline", "orders",
+        "Kernel",
+        "exhaustive",
+        "static-ACE",
+        "+thread-wise",
+        "+insn-wise",
+        "+loop-wise",
+        "+bit-wise",
+        "baseline",
+        "orders",
     ]);
     let baseline = opts.baseline_samples() as u64;
     for w in fsp_workloads::all(Scale::Paper) {
@@ -445,6 +496,7 @@ pub fn fig10(opts: &Options) -> String {
         t.row(vec![
             format!("{} {}", w.app(), w.id()),
             crate::output::sci(s.exhaustive as f64),
+            crate::output::sci(s.after_static as f64),
             crate::output::sci(s.after_thread as f64),
             crate::output::sci(s.after_instruction as f64),
             crate::output::sci(s.after_loop as f64),

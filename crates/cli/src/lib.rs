@@ -22,6 +22,10 @@
 //! | [`figures::fig8`] | Fig. 8 — outcomes by sampled-bit count |
 //! | [`figures::fig9`] | Fig. 9 — pruned vs baseline profiles |
 //! | [`figures::fig10`] | Fig. 10 — per-stage fault-site reduction |
+//!
+//! Beyond the paper's artifacts, the binary also exposes the static
+//! analyses of `fsp-analyze`: `fsp lint [kernel]` (kernel linter) and
+//! `fsp ace <kernel>` (per-instruction static ACE classification).
 
 pub mod extensions;
 pub mod figures;

@@ -25,6 +25,8 @@ COMMANDS:
     severity <kernel> [-n N]     SDC severity histogram (relative output error)
     opcodes <kernel> [-n N]      Per-opcode vulnerability breakdown
     disasm <kernel>              Disassemble a kernel (PTXPlus-like listing)
+    lint [kernel]                Statically lint a kernel (all kernels when omitted)
+    ace <kernel>                 Static ACE classification of a kernel's instructions
     ptx <file.ptx>               Translate an nvcc-style PTX kernel and disassemble it
     trace <kernel> <tid>         Dump one thread's dynamic instruction trace
     reproduce <ARTIFACT>         Regenerate a paper artifact:
@@ -73,8 +75,7 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             "--out" => {
                 i += 1;
-                out_path =
-                    Some(args.get(i).ok_or("--out needs a path")?.clone());
+                out_path = Some(args.get(i).ok_or("--out needs a path")?.clone());
             }
             "--quick" => opts.quick = true,
             "--paper" => paper = true,
@@ -99,6 +100,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "ablation" => ablation(positional.get(1), &opts),
         "opcodes" => opcodes(positional.get(1), samples, &opts),
         "disasm" => disasm(positional.get(1)),
+        "lint" => lint(positional.get(1)),
+        "ace" => ace(positional.get(1)),
         "ptx" => ptx_translate(positional.get(1)),
         "trace" => trace_thread(positional.get(1), positional.get(2)),
         "reproduce" => reproduce(positional.get(1), &opts, out_path.as_deref()),
@@ -126,7 +129,12 @@ fn kernel(id: Option<&String>, scale: Scale) -> Result<fsp_workloads::Workload, 
 
 fn list() -> Result<(), String> {
     let mut t = fsp_cli::output::Table::new(&[
-        "id", "suite", "application", "kernel", "paper threads", "eval threads",
+        "id",
+        "suite",
+        "application",
+        "kernel",
+        "paper threads",
+        "eval threads",
     ]);
     for id in fsp_workloads::registry_ids() {
         let p = fsp_workloads::by_id(id, Scale::Paper).expect("registered");
@@ -155,7 +163,12 @@ fn profile(id: Option<&String>, paper: bool) -> Result<(), String> {
         .map_err(|e| format!("fault-free run failed: {e}"))?;
     let trace = tracer.finish();
     let grouping = ThreadGrouping::analyze(&trace);
-    println!("{} / {} ({}) at {scale:?} scale", w.app(), w.kernel(), w.id());
+    println!(
+        "{} / {} ({}) at {scale:?} scale",
+        w.app(),
+        w.kernel(),
+        w.id()
+    );
     println!("  threads:          {}", trace.num_threads());
     println!("  CTAs:             {}", trace.num_ctas());
     println!("  dyn instructions: {}", stats.instructions);
@@ -194,10 +207,20 @@ fn prune(id: Option<&String>, opts: &Options) -> Result<(), String> {
     let s = plan.stages;
     println!("{}: progressive pruning", w.registry_id());
     println!("  exhaustive:        {}", s.exhaustive);
+    println!("  after static-ACE:  {}", s.after_static);
     println!("  after thread-wise: {}", s.after_thread);
     println!("  after insn-wise:   {}", s.after_instruction);
     println!("  after loop-wise:   {}", s.after_loop);
     println!("  after bit-wise:    {} injections", s.after_bit);
+    if let Some(ace) = &plan.static_ace {
+        println!(
+            "  static ACE: {} un-ACE / {} partial / {} ACE instructions, {:.1}% of static bits pruned",
+            ace.unace_instructions,
+            ace.partial_instructions,
+            ace.ace_instructions,
+            100.0 * ace.pruned_fraction(),
+        );
+    }
     let started = std::time::Instant::now();
     let pruned = pipeline.run(&experiment, &plan, opts.workers);
     println!("  pruned profile ({:.1?}):   {pruned}", started.elapsed());
@@ -265,10 +288,80 @@ fn disasm(id: Option<&String>) -> Result<(), String> {
     Ok(())
 }
 
+fn lint(id: Option<&String>) -> Result<(), String> {
+    let targets: Vec<fsp_workloads::Workload> = match id {
+        Some(_) => vec![kernel(id, Scale::Eval)?],
+        None => fsp_workloads::all(Scale::Eval),
+    };
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for w in &targets {
+        let report = fsp_analyze::lint(w.program());
+        errors += report.errors();
+        warnings += report.warnings();
+        if report.findings.is_empty() {
+            println!("{}: clean", w.registry_id());
+        } else {
+            println!(
+                "{}: {} error(s), {} warning(s)",
+                w.registry_id(),
+                report.errors(),
+                report.warnings()
+            );
+            for f in &report.findings {
+                println!("  {f}");
+            }
+        }
+    }
+    if targets.len() > 1 {
+        println!(
+            "{} kernel(s) linted: {errors} error(s), {warnings} warning(s)",
+            targets.len()
+        );
+    }
+    if errors > 0 {
+        Err(format!("lint found {errors} error(s)"))
+    } else {
+        Ok(())
+    }
+}
+
+fn ace(id: Option<&String>) -> Result<(), String> {
+    let w = kernel(id, Scale::Eval)?;
+    let program = w.program();
+    let report = fsp_analyze::StaticAceReport::analyze(program);
+    println!("{}: static ACE classification", w.registry_id());
+    for pc in 0..program.len() {
+        let verdict = match report.classify(pc) {
+            None => "-".to_owned(),
+            Some(fsp_analyze::AceClass::Ace) => "ACE".to_owned(),
+            Some(fsp_analyze::AceClass::UnAce) => "un-ACE".to_owned(),
+            Some(fsp_analyze::AceClass::PartiallyUnAce) => {
+                format!(
+                    "partial ({}/{} bits dead)",
+                    report.dead_bits_at(pc),
+                    report.dest_bits_at(pc)
+                )
+            }
+        };
+        println!("  {pc:4}  {:<44} {verdict}", program.instr(pc).to_string());
+    }
+    let s = report.summary();
+    println!(
+        "{} un-ACE / {} partial / {} ACE instructions; {}/{} static bits pruned ({:.1}%)",
+        s.unace_instructions,
+        s.partial_instructions,
+        s.ace_instructions,
+        s.dead_bits,
+        s.total_bits,
+        100.0 * s.pruned_fraction(),
+    );
+    Ok(())
+}
+
 fn ptx_translate(path: Option<&String>) -> Result<(), String> {
     let path = path.ok_or("missing PTX file path")?;
-    let source =
-        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let program =
         fsp_isa::ptx::translate_ptx(&source).map_err(|e| format!("translating {path}: {e}"))?;
     let cfg = program.cfg();

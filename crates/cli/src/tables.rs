@@ -1,6 +1,8 @@
 //! Drivers for the paper's Tables I–VII.
 
-use fsp_core::{CommonalityConfig, LoopStats, LoopTagging, PruningConfig, PruningPipeline, ThreadGrouping};
+use fsp_core::{
+    CommonalityConfig, LoopStats, LoopTagging, PruningConfig, PruningPipeline, ThreadGrouping,
+};
 use fsp_inject::{Experiment, InjectionTarget, SiteSpace, WeightedSite};
 use fsp_stats::{required_samples_infinite, ResilienceProfile};
 use fsp_workloads::{Scale, Workload};
@@ -24,7 +26,11 @@ pub(crate) fn trace(w: &Workload, full: impl IntoIterator<Item = u32>) -> fsp_si
 pub(crate) fn trace_with_reps(w: &Workload) -> (fsp_sim::KernelTrace, ThreadGrouping) {
     let summary = trace(w, std::iter::empty());
     let grouping = ThreadGrouping::analyze(&summary);
-    let reps: Vec<u32> = grouping.representatives(&summary).iter().map(|r| r.tid).collect();
+    let reps: Vec<u32> = grouping
+        .representatives(&summary)
+        .iter()
+        .map(|r| r.tid)
+        .collect();
     let full = trace(w, reps);
     (full, grouping)
 }
@@ -33,11 +39,20 @@ pub(crate) fn trace_with_reps(w: &Workload) -> (fsp_sim::KernelTrace, ThreadGrou
 #[must_use]
 pub fn table1(_opts: &Options) -> String {
     let mut t = Table::new(&[
-        "Suite", "Application", "Kernel", "ID", "#Threads", "#Fault Sites", "Paper #Thr",
-        "Paper #Sites", "ratio",
+        "Suite",
+        "Application",
+        "Kernel",
+        "ID",
+        "#Threads",
+        "#Fault Sites",
+        "Paper #Thr",
+        "Paper #Sites",
+        "ratio",
     ]);
     for w in fsp_workloads::all(Scale::Paper) {
-        let Some(paper) = w.paper_reference() else { continue };
+        let Some(paper) = w.paper_reference() else {
+            continue;
+        };
         let trace = trace(&w, std::iter::empty());
         let sites = trace.total_fault_sites();
         t.row(vec![
@@ -66,7 +81,11 @@ pub fn table2(opts: &Options) -> String {
     let space = experiment.site_space(0..w.launch().num_threads());
 
     let mut t = Table::new(&[
-        "Confidence", "Error Margin", "#Fault Sites", "Est. Time @1min/site", "Masked Output (%)",
+        "Confidence",
+        "Error Margin",
+        "#Fault Sites",
+        "Est. Time @1min/site",
+        "Masked Output (%)",
     ]);
     let minutes = |n: u64| -> String {
         let m = n as f64;
@@ -87,9 +106,12 @@ pub fn table2(opts: &Options) -> String {
     ]);
     for (conf, margin) in [(0.998, 0.0063), (0.95, 0.03)] {
         let n = required_samples_infinite(conf, margin) as usize;
-        let n_run = if opts.quick { n.min(opts.baseline_samples()) } else { n };
-        let profile =
-            fsp_core::run_baseline(&experiment, &space, n_run, opts.seed, opts.workers);
+        let n_run = if opts.quick {
+            n.min(opts.baseline_samples())
+        } else {
+            n
+        };
+        let profile = fsp_core::run_baseline(&experiment, &space, n_run, opts.seed, opts.workers);
         t.row(vec![
             format!("{:.1}%", conf * 100.0),
             format!("±{:.2}%", margin * 100.0),
@@ -108,14 +130,27 @@ fn grouping_table(w: &Workload) -> String {
     let trace = trace(w, std::iter::empty());
     let grouping = ThreadGrouping::analyze(&trace);
     let mut t = Table::new(&[
-        "CTA Grp", "Avg iCnt", "CTA Prop.", "Thd Grp", "Thd iCnt", "Thd Prop.",
+        "CTA Grp",
+        "Avg iCnt",
+        "CTA Prop.",
+        "Thd Grp",
+        "Thd iCnt",
+        "Thd Prop.",
     ]);
     for (gi, g) in grouping.groups.iter().enumerate() {
         let total_threads: u64 = g.thread_groups.iter().map(|tg| tg.population).sum();
         for (ti, tg) in g.thread_groups.iter().enumerate() {
             t.row(vec![
-                if ti == 0 { format!("C-{}", gi + 1) } else { String::new() },
-                if ti == 0 { format!("{:.0}", g.mean_icnt()) } else { String::new() },
+                if ti == 0 {
+                    format!("C-{}", gi + 1)
+                } else {
+                    String::new()
+                },
+                if ti == 0 {
+                    format!("{:.0}", g.mean_icnt())
+                } else {
+                    String::new()
+                },
                 if ti == 0 {
                     format!("{:.2}%", 100.0 * g.cta_proportion(grouping.total_ctas))
                 } else {
@@ -123,7 +158,10 @@ fn grouping_table(w: &Workload) -> String {
                 },
                 format!("T-{}{}", gi + 1, ti + 1),
                 tg.icnt.to_string(),
-                format!("{:.2}%", 100.0 * tg.population as f64 / total_threads as f64),
+                format!(
+                    "{:.2}%",
+                    100.0 * tg.population as f64 / total_threads as f64
+                ),
             ]);
         }
     }
@@ -140,14 +178,20 @@ fn grouping_table(w: &Workload) -> String {
 #[must_use]
 pub fn table3(_opts: &Options) -> String {
     let w = fsp_workloads::by_id("2dconv", Scale::Paper).expect("2dconv registered");
-    format!("Table III: CTA and thread groups for 2DCONV\n\n{}", grouping_table(&w))
+    format!(
+        "Table III: CTA and thread groups for 2DCONV\n\n{}",
+        grouping_table(&w)
+    )
 }
 
 /// Table IV — CTA and thread groups for HotSpot (paper scale).
 #[must_use]
 pub fn table4(_opts: &Options) -> String {
     let w = fsp_workloads::by_id("hotspot", Scale::Paper).expect("hotspot registered");
-    format!("Table IV: CTA and thread groups for HotSpot\n\n{}", grouping_table(&w))
+    format!(
+        "Table IV: CTA and thread groups for HotSpot\n\n{}",
+        grouping_table(&w)
+    )
 }
 
 /// Table V — instruction-wise extrapolation accuracy on two PathFinder
@@ -158,8 +202,11 @@ pub fn table5(opts: &Options) -> String {
     let experiment = Experiment::prepare(&w).expect("pathfinder runs");
     let (trace, grouping) = trace_with_reps(&w);
     // The two longest representatives (the paper's threads "a" and "b").
-    let mut reps: Vec<u32> =
-        grouping.representatives(&trace).iter().map(|r| r.tid).collect();
+    let mut reps: Vec<u32> = grouping
+        .representatives(&trace)
+        .iter()
+        .map(|r| r.tid)
+        .collect();
     reps.sort_by_key(|tid| std::cmp::Reverse(trace.full[tid].entries.len()));
     let (a, b) = (reps[0], reps[1]);
     let ta = &trace.full[&a];
@@ -182,7 +229,11 @@ pub fn table5(opts: &Options) -> String {
             for sel in sampler.select_instruction(instr) {
                 for &bit in &sel.bits {
                     sites.push(WeightedSite {
-                        site: fsp_inject::FaultSite { tid, dyn_idx: i, bit },
+                        site: fsp_inject::FaultSite {
+                            tid,
+                            dyn_idx: i,
+                            bit,
+                        },
                         weight: 1.0,
                     });
                 }
@@ -192,8 +243,12 @@ pub fn table5(opts: &Options) -> String {
     };
     let b_common: Vec<u32> = alignment.pairs.iter().map(|&(bi, _)| bi).collect();
     let a_common: Vec<u32> = alignment.pairs.iter().map(|&(_, ai)| ai).collect();
-    let pa = experiment.run_campaign(&sites_for(a, &a_common), opts.workers).profile;
-    let pb = experiment.run_campaign(&sites_for(b, &b_common), opts.workers).profile;
+    let pa = experiment
+        .run_campaign(&sites_for(a, &a_common), opts.workers)
+        .profile;
+    let pb = experiment
+        .run_campaign(&sites_for(b, &b_common), opts.workers)
+        .profile;
 
     let mut t = Table::new(&["Thread", "iCnt", "% Common Insn", "% MSK", "% SDC"]);
     let common_pct_a = 100.0 * alignment.pairs.len() as f64 / ta.entries.len() as f64;
@@ -207,7 +262,10 @@ pub fn table5(opts: &Options) -> String {
     t.row(vec![
         format!("b (tid {b})"),
         tb.entries.len().to_string(),
-        format!("{:.1}%", 100.0 * alignment.pairs.len() as f64 / tb.entries.len() as f64),
+        format!(
+            "{:.1}%",
+            100.0 * alignment.pairs.len() as f64 / tb.entries.len() as f64
+        ),
         format!("{:.1}%", pb.pct_masked()),
         format!("{:.1}%", pb.pct_sdc()),
     ]);
@@ -224,7 +282,11 @@ pub fn table5(opts: &Options) -> String {
 #[must_use]
 pub fn table6(opts: &Options) -> String {
     let mut t = Table::new(&[
-        "Application", "Kernel", "% Pruned Common Insn", "Err MSK", "Err SDC",
+        "Application",
+        "Kernel",
+        "% Pruned Common Insn",
+        "Err MSK",
+        "Err SDC",
     ]);
     let mut skipped = Vec::new();
     for w in fsp_workloads::all(Scale::Eval) {
@@ -248,7 +310,11 @@ pub fn table6(opts: &Options) -> String {
             continue;
         };
         if !commonality.is_effective() {
-            skipped.push(format!("{} {} (no exploitable commonality)", w.app(), w.id()));
+            skipped.push(format!(
+                "{} {} (no exploitable commonality)",
+                w.app(),
+                w.id()
+            ));
             continue;
         }
         let plan_off = pipeline_off.plan_for(&experiment).expect("plan");

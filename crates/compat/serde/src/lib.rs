@@ -1,0 +1,14 @@
+//! Offline stub of the `serde` facade.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types for
+//! source compatibility with downstream tooling, but never serializes at
+//! runtime, so marker traits plus no-op derive macros are sufficient when
+//! crates.io is unreachable (see `[patch.crates-io]` in the root manifest).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

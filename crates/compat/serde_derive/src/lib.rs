@@ -1,0 +1,20 @@
+//! No-op derive macros for the offline `serde` stub.
+//!
+//! Nothing in this workspace serializes at runtime — the derives exist so
+//! type definitions stay source-compatible with upstream `serde` when the
+//! real dependency is available. Emitting an empty token stream satisfies
+//! `#[derive(Serialize, Deserialize)]` without generating any impls.
+
+use proc_macro::TokenStream;
+
+/// `#[derive(Serialize)]` — accepted and ignored.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// `#[derive(Deserialize)]` — accepted and ignored.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

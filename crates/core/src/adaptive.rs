@@ -29,7 +29,11 @@ pub struct AdaptiveConfig {
 impl Default for AdaptiveConfig {
     fn default() -> Self {
         // The paper's kernels converged within 3..=15 sampled iterations.
-        AdaptiveConfig { epsilon: 2.0, stable_increments: 2, max_samples: 15 }
+        AdaptiveConfig {
+            epsilon: 2.0,
+            stable_increments: 2,
+            max_samples: 15,
+        }
     }
 }
 
@@ -90,9 +94,13 @@ impl PruningPipeline {
                 break;
             }
         }
-        let (loop_samples, plan, profile) =
-            current.expect("at least one increment always runs");
-        Ok(AdaptiveResult { loop_samples, plan, profile, history })
+        let (loop_samples, plan, profile) = current.expect("at least one increment always runs");
+        Ok(AdaptiveResult {
+            loop_samples,
+            plan,
+            profile,
+            history,
+        })
     }
 }
 
@@ -130,11 +138,19 @@ mod tests {
         let result = pipeline
             .run_adaptive(
                 &experiment,
-                &AdaptiveConfig { epsilon: 0.0, stable_increments: 99, max_samples: 4 },
+                &AdaptiveConfig {
+                    epsilon: 0.0,
+                    stable_increments: 99,
+                    max_samples: 4,
+                },
                 4,
             )
             .unwrap();
         let ns: Vec<usize> = result.history.iter().map(|(n, _)| *n).collect();
-        assert_eq!(ns, vec![1, 2, 3, 4], "runs every increment when never stable");
+        assert_eq!(
+            ns,
+            vec![1, 2, 3, 4],
+            "runs every increment when never stable"
+        );
     }
 }

@@ -187,8 +187,7 @@ impl Commonality {
                 continue;
             }
             if trace.entries.len() < config.min_trace_len
-                || (trace.entries.len() as f64)
-                    < config.min_length_ratio * ref_entries.len() as f64
+                || (trace.entries.len() as f64) < config.min_length_ratio * ref_entries.len() as f64
             {
                 roles.push(RepRole::Unpruned);
                 continue;
@@ -201,8 +200,7 @@ impl Commonality {
                 .iter()
                 .copied()
                 .filter(|&(own, re)| {
-                    trace.entries[own as usize].dest_bits
-                        == ref_entries[re as usize].dest_bits
+                    trace.entries[own as usize].dest_bits == ref_entries[re as usize].dest_bits
                 })
                 .collect();
             let coverage = matches.len() as f64 / pcs.len() as f64;
@@ -295,7 +293,12 @@ mod tests {
         let prefix: Vec<u32> = (0..53).collect();
         let extra: Vec<u32> = (100..117).collect();
         let suffix: Vec<u32> = (53..100).collect();
-        let a: Vec<u32> = prefix.iter().chain(&extra).chain(&suffix).copied().collect();
+        let a: Vec<u32> = prefix
+            .iter()
+            .chain(&extra)
+            .chain(&suffix)
+            .copied()
+            .collect();
         let b: Vec<u32> = prefix.iter().chain(&suffix).copied().collect();
         let (ta, tb) = (trace_of(&a), trace_of(&b));
         let c = Commonality::analyze(&[&ta, &tb], &CommonalityConfig::default());

@@ -135,8 +135,7 @@ impl ThreadGrouping {
                     vec![range.map(|t| trace.icnt[t as usize]).sum::<u32>()]
                 }
                 CtaKey::Distribution => {
-                    let mut v: Vec<u32> =
-                        range.map(|t| trace.icnt[t as usize]).collect();
+                    let mut v: Vec<u32> = range.map(|t| trace.icnt[t as usize]).collect();
                     v.sort_unstable();
                     v
                 }
@@ -203,7 +202,11 @@ impl ThreadGrouping {
                 thread_groups: tgroups,
             });
         }
-        ThreadGrouping { groups, total_ctas: num_ctas, mismatched_threads: mismatched }
+        ThreadGrouping {
+            groups,
+            total_ctas: num_ctas,
+            mismatched_threads: mismatched,
+        }
     }
 
     /// All representative threads with their extrapolation totals.
@@ -233,7 +236,10 @@ impl ThreadGrouping {
     /// representatives' own sites.
     #[must_use]
     pub fn pruned_site_count(&self, trace: &KernelTrace) -> u64 {
-        self.representatives(trace).iter().map(|r| r.own_sites).sum()
+        self.representatives(trace)
+            .iter()
+            .map(|r| r.own_sites)
+            .sum()
     }
 }
 

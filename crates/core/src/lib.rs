@@ -4,9 +4,12 @@
 //!
 //! GPGPU kernels expose fault-site populations of up to hundreds of
 //! millions of single-bit sites (Equation 1 / Table I). This crate prunes
-//! that population in four progressive stages, each exploiting a SIMT
+//! that population in progressive stages, each exploiting a SIMT
 //! redundancy, while preserving the kernel's error-resilience profile:
 //!
+//! 0. **Static ACE** ([`StaticAceReport`], from `fsp-analyze`): destination
+//!    bits the dataflow analysis proves can never reach kernel output are
+//!    declared masked before any dynamic information exists.
 //! 1. **Thread-wise** ([`ThreadGrouping`]): CTAs are grouped by mean
 //!    per-thread dynamic instruction count (iCnt), threads within a
 //!    representative CTA by exact iCnt; one representative thread per group
@@ -58,3 +61,5 @@ pub use grouping::{CtaGroup, CtaKey, Representative, ThreadGroup, ThreadGrouping
 pub use loops::{LoopStats, LoopTag, LoopTagging};
 pub use outcome_grouping::OutcomeGrouping;
 pub use pipeline::{run_baseline, PruningConfig, PruningPipeline, PruningPlan, StageCounts};
+
+pub use fsp_analyze::{AceClass, AceSummary, StaticAceReport};

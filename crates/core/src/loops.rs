@@ -58,8 +58,7 @@ impl LoopTagging {
             let pc = entry.pc as usize;
             for l in &forest.loops {
                 if pc == l.header {
-                    let from_latch = prev_pc
-                        .is_some_and(|p| l.latches.contains(&p));
+                    let from_latch = prev_pc.is_some_and(|p| l.latches.contains(&p));
                     if from_latch {
                         iter[l.id] += 1;
                         total[l.id] += 1;
@@ -77,7 +76,11 @@ impl LoopTagging {
             tags.push(tag);
             prev_pc = Some(pc);
         }
-        LoopTagging { tags, trip_counts: trip, total_iterations: total }
+        LoopTagging {
+            tags,
+            trip_counts: trip,
+            total_iterations: total,
+        }
     }
 
     /// Number of dynamic instructions inside loops.
@@ -123,10 +126,8 @@ impl LoopTagging {
                 if all.len() <= num_iter {
                     return all;
                 }
-                let mut chosen: Vec<u32> = all
-                    .choose_multiple(&mut rng, num_iter)
-                    .copied()
-                    .collect();
+                let mut chosen: Vec<u32> =
+                    all.choose_multiple(&mut rng, num_iter).copied().collect();
                 chosen.sort_unstable();
                 chosen
             })
@@ -168,13 +169,24 @@ impl LoopStats {
             .map(LoopTagging::max_total_iterations)
             .max()
             .unwrap_or(0);
-        let max_trip = taggings.iter().map(LoopTagging::max_trip_count).max().unwrap_or(0);
+        let max_trip = taggings
+            .iter()
+            .map(LoopTagging::max_trip_count)
+            .max()
+            .unwrap_or(0);
         let total: usize = taggings.iter().map(|t| t.tags.len()).sum();
-        let inside: usize = taggings.iter().map(LoopTagging::instructions_in_loops).sum();
+        let inside: usize = taggings
+            .iter()
+            .map(LoopTagging::instructions_in_loops)
+            .sum();
         LoopStats {
             max_iterations,
             max_trip,
-            loop_fraction: if total == 0 { 0.0 } else { inside as f64 / total as f64 },
+            loop_fraction: if total == 0 {
+                0.0
+            } else {
+                inside as f64 / total as f64
+            },
         }
     }
 }
@@ -220,11 +232,17 @@ mod tests {
         assert_eq!(tagging.tags[0], None);
         assert_eq!(
             tagging.tags[1],
-            Some(LoopTag { loop_id: 0, iteration: 0 })
+            Some(LoopTag {
+                loop_id: 0,
+                iteration: 0
+            })
         );
         assert_eq!(
             tagging.tags[5],
-            Some(LoopTag { loop_id: 0, iteration: 1 })
+            Some(LoopTag {
+                loop_id: 0,
+                iteration: 1
+            })
         );
         assert_eq!(*tagging.tags.last().unwrap(), None);
         assert!((tagging.loop_fraction() - 31.0 / 33.0).abs() < 1e-12);
@@ -252,7 +270,10 @@ mod tests {
         let tagging = LoopTagging::analyze(&trace, &forest);
         // Outer loop id 0 (bigger body), inner id 1.
         assert_eq!(tagging.trip_counts[0], 2);
-        assert_eq!(tagging.trip_counts[1], 3, "inner trip resets per outer iter");
+        assert_eq!(
+            tagging.trip_counts[1], 3,
+            "inner trip resets per outer iter"
+        );
     }
 
     #[test]

@@ -85,7 +85,10 @@ impl OutcomeGrouping {
         // Group CTAs by mean within the tolerance.
         let mut groups: Vec<(f64, Vec<u32>)> = Vec::new();
         for (cta, &mean) in means.iter().enumerate() {
-            match groups.iter_mut().find(|(m, _)| (*m - mean).abs() <= tolerance) {
+            match groups
+                .iter_mut()
+                .find(|(m, _)| (*m - mean).abs() <= tolerance)
+            {
                 Some((_, members)) => members.push(cta as u32),
                 None => groups.push((mean, vec![cta as u32])),
             }
@@ -140,5 +143,4 @@ mod tests {
         assert_eq!(grouping.groups, vec![vec![0]]);
         assert_eq!(grouping.labels(), vec![0]);
     }
-
 }

@@ -1,5 +1,7 @@
-//! The progressive pruning pipeline (Section III, Figure 1).
+//! The progressive pruning pipeline (Section III, Figure 1), extended with
+//! a static Stage 0 (ACE analysis, see [`fsp_analyze::ace`]).
 
+use fsp_analyze::{AceSummary, StaticAceReport};
 use fsp_inject::{Experiment, FaultSite, InjectionTarget, SiteSpace, WeightedSite};
 use fsp_isa::KernelProgram;
 use fsp_sim::{KernelTrace, SimFault};
@@ -14,6 +16,10 @@ use crate::loops::{LoopStats, LoopTagging};
 /// Configuration of the four pruning stages.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PruningConfig {
+    /// Stage 0: static ACE pruning. Destination bits the dataflow analysis
+    /// proves can never reach kernel output are accounted masked without
+    /// injection, before any dynamic stage runs.
+    pub static_ace: bool,
     /// CTA classifier for thread-wise pruning.
     pub cta_key: CtaKey,
     /// Instruction-wise pruning; `None` disables the stage.
@@ -30,6 +36,7 @@ pub struct PruningConfig {
 impl Default for PruningConfig {
     fn default() -> Self {
         PruningConfig {
+            static_ace: true,
             cta_key: CtaKey::MeanIcnt,
             commonality: Some(CommonalityConfig::default()),
             loop_samples: 7,
@@ -40,11 +47,14 @@ impl Default for PruningConfig {
 }
 
 impl PruningConfig {
-    /// A configuration with every stage after thread-wise pruning disabled
-    /// (used by ablations and by the stage-by-stage accounting of Fig. 10).
+    /// A configuration with every stage other than thread-wise pruning
+    /// disabled (used by ablations and by the stage-by-stage accounting of
+    /// Fig. 10): no static ACE filtering, no commonality, no loop sampling,
+    /// exhaustive bits.
     #[must_use]
     pub fn thread_wise_only() -> Self {
         PruningConfig {
+            static_ace: false,
             cta_key: CtaKey::MeanIcnt,
             commonality: None,
             loop_samples: 0,
@@ -60,7 +70,12 @@ impl PruningConfig {
 pub struct StageCounts {
     /// Equation (1): the exhaustive population.
     pub exhaustive: u64,
-    /// After thread-wise pruning.
+    /// After static ACE pruning (Stage 0); equals `exhaustive` when the
+    /// stage is disabled. Estimated over the whole population by weighting
+    /// each representative's statically-dead bits.
+    pub after_static: u64,
+    /// After thread-wise pruning (statically-dead bits of the
+    /// representatives excluded when Stage 0 is enabled).
     pub after_thread: u64,
     /// After instruction-wise pruning.
     pub after_instruction: u64,
@@ -100,6 +115,8 @@ pub struct PruningPlan {
     pub commonality: Option<Commonality>,
     /// Loop statistics of the representative threads (Table VII).
     pub loop_stats: LoopStats,
+    /// Static ACE summary behind Stage 0 (when enabled).
+    pub static_ace: Option<AceSummary>,
 }
 
 impl PruningPlan {
@@ -167,7 +184,6 @@ impl PruningPipeline {
         let grouping = ThreadGrouping::analyze_with(trace, self.config.cta_key);
         let reps = grouping.representatives(trace);
         let exhaustive = trace.total_fault_sites();
-        let after_thread: u64 = reps.iter().map(|r| r.own_sites).sum();
 
         let rep_traces: Vec<&fsp_sim::ThreadTrace> = reps
             .iter()
@@ -178,6 +194,41 @@ impl PruningPipeline {
                     .unwrap_or_else(|| panic!("representative {} lacks a full trace", r.tid))
             })
             .collect();
+
+        // Stage 0: static ACE pruning. Statically-dead destination bits are
+        // excluded from every downstream stage count and never injected
+        // (stage 4 folds their weight into the assumed-masked total).
+        let static_report = if self.config.static_ace {
+            Some(StaticAceReport::analyze(program))
+        } else {
+            None
+        };
+        let dead_at = |pc: u32| -> u64 {
+            static_report
+                .as_ref()
+                .map_or(0, |r| u64::from(r.dead_bits_at(pc as usize)))
+        };
+        let rep_dead: Vec<u64> = rep_traces
+            .iter()
+            .map(|t| t.entries.iter().map(|e| dead_at(e.pc)).sum())
+            .collect();
+        let after_thread: u64 = reps
+            .iter()
+            .zip(&rep_dead)
+            .map(|(r, &d)| r.own_sites - d)
+            .sum();
+        // Whole-population estimate: each representative's dead bits stand
+        // for its covered threads, exactly like its injected sites do.
+        let after_static = if static_report.is_some() {
+            let live: f64 = reps
+                .iter()
+                .zip(&rep_dead)
+                .map(|(r, &d)| r.site_weight() * (r.own_sites - d) as f64)
+                .sum();
+            (live.round() as u64).clamp(after_thread, exhaustive)
+        } else {
+            exhaustive
+        };
 
         // Per-representative, per-dynamic-instruction site weight. `None`
         // marks a pruned instruction.
@@ -194,7 +245,9 @@ impl PruningPipeline {
         };
         if let Some(c) = &commonality {
             for (rep_idx, role) in c.roles.iter().enumerate() {
-                let RepRole::Pruned { matches } = role else { continue };
+                let RepRole::Pruned { matches } = role else {
+                    continue;
+                };
                 let scale = reps[rep_idx].site_weight();
                 for &(own, reference) in matches {
                     // Move this instruction's weight onto its reference
@@ -215,7 +268,7 @@ impl PruningPipeline {
                     ws.iter()
                         .zip(&t.entries)
                         .filter(|(w, _)| w.is_some())
-                        .map(|(_, e)| u64::from(e.dest_bits))
+                        .map(|(_, e)| u64::from(e.dest_bits) - dead_at(e.pc))
                         .sum::<u64>()
                 })
                 .sum()
@@ -278,13 +331,27 @@ impl PruningPipeline {
         let mut assumed_masked_weight = 0.0f64;
         for (rep_idx, rep) in reps.iter().enumerate() {
             for (i, entry) in rep_traces[rep_idx].entries.iter().enumerate() {
-                let Some(w) = weights[rep_idx][i] else { continue };
+                let Some(w) = weights[rep_idx][i] else {
+                    continue;
+                };
                 let instr = program.instr(entry.pc as usize);
-                for sel in self.config.bits.select_instruction(instr) {
+                let dead_masks = static_report
+                    .as_ref()
+                    .map(|r| r.slot_dead_masks(entry.pc as usize))
+                    .unwrap_or_default();
+                for sel in self
+                    .config
+                    .bits
+                    .select_instruction_masked(instr, &dead_masks)
+                {
                     assumed_masked_weight += w * f64::from(sel.assumed_masked_bits);
                     for &bit in &sel.bits {
                         sites.push(WeightedSite {
-                            site: FaultSite { tid: rep.tid, dyn_idx: i as u32, bit },
+                            site: FaultSite {
+                                tid: rep.tid,
+                                dyn_idx: i as u32,
+                                bit,
+                            },
                             weight: w * sel.weight_per_bit,
                         });
                     }
@@ -293,6 +360,7 @@ impl PruningPipeline {
         }
         let stages = StageCounts {
             exhaustive,
+            after_static,
             after_thread,
             after_instruction,
             after_loop,
@@ -305,10 +373,10 @@ impl PruningPipeline {
             grouping,
             commonality,
             loop_stats,
+            static_ace: static_report.as_ref().map(StaticAceReport::summary),
         };
         debug_assert!(
-            (plan.total_weight() - exhaustive as f64).abs()
-                <= 1e-6 * (exhaustive as f64).max(1.0),
+            (plan.total_weight() - exhaustive as f64).abs() <= 1e-6 * (exhaustive as f64).max(1.0),
             "weight conservation violated: {} vs {}",
             plan.total_weight(),
             exhaustive,
@@ -387,11 +455,42 @@ mod tests {
     fn stages_monotonically_shrink() {
         let (plan, _, _) = plan_with(PruningConfig::default());
         let s = plan.stages;
-        assert!(s.after_thread <= s.exhaustive);
+        assert!(s.after_static <= s.exhaustive);
+        assert!(s.after_thread <= s.after_static);
         assert!(s.after_instruction <= s.after_thread);
         assert!(s.after_loop <= s.after_instruction);
         assert!(s.after_bit <= s.after_loop);
         assert!(s.after_bit > 0);
+    }
+
+    #[test]
+    fn static_stage_preserves_accuracy() {
+        // Exhaustive bit sampling isolates Stage 0: the two runs then
+        // inject the *same* sites except for the statically-dead bits.
+        let base = PruningConfig {
+            bits: BitSampler::exhaustive(),
+            ..PruningConfig::default()
+        };
+        let with = plan_with(PruningConfig {
+            static_ace: true,
+            ..base
+        });
+        let without = plan_with(PruningConfig {
+            static_ace: false,
+            ..base
+        });
+        assert!(with.0.static_ace.is_some());
+        assert!(without.0.static_ace.is_none());
+        assert_eq!(without.0.stages.after_static, without.0.stages.exhaustive);
+        assert!(with.0.stages.after_bit <= without.0.stages.after_bit);
+        // Dropping statically-dead bits must not move the profile: they
+        // classify Masked under injection, which is exactly how Stage 0
+        // accounts them.
+        let diff = with.1.max_abs_diff(&without.1);
+        assert!(
+            diff < 1e-9,
+            "static stage changed the profile by {diff:.4}%"
+        );
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! Golden-run preparation, single injections and parallel campaigns.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use fsp_sim::{Launch, MemBlock, SimFault, Simulator, Tracer};
 use fsp_stats::{Outcome, ResilienceProfile};
-use parking_lot::Mutex;
 
 use crate::hook::InjectionHook;
 use crate::site::{SiteSpace, WeightedSite};
@@ -79,11 +79,8 @@ impl<'a, T: InjectionTarget> Experiment<'a, T> {
     /// to make every site addressable.
     #[must_use]
     pub fn site_space(&self, full_traces: impl IntoIterator<Item = u32>) -> SiteSpace {
-        let mut tracer = Tracer::new(
-            self.launch.num_threads(),
-            self.launch.threads_per_cta(),
-        )
-        .with_full_traces(full_traces);
+        let mut tracer = Tracer::new(self.launch.num_threads(), self.launch.threads_per_cta())
+            .with_full_traces(full_traces);
         let mut memory = self.initial.clone();
         Simulator::new()
             .run(&self.launch, &mut memory, &mut tracer)
@@ -123,7 +120,10 @@ impl<'a, T: InjectionTarget> Experiment<'a, T> {
                 if out == self.golden.as_slice() {
                     (Outcome::Masked, None)
                 } else {
-                    (Outcome::Sdc, Some(crate::relative_l2_error(&self.golden, out)))
+                    (
+                        Outcome::Sdc,
+                        Some(crate::relative_l2_error(&self.golden, out)),
+                    )
                 }
             }
         }
@@ -173,12 +173,13 @@ impl<'a, T: InjectionTarget> Experiment<'a, T> {
                         for ws in &sites[start..end] {
                             local.push(self.run_one_with(ws.site, model));
                         }
-                        outcomes.lock()[start..end].copy_from_slice(&local);
+                        outcomes.lock().expect("campaign worker panicked")[start..end]
+                            .copy_from_slice(&local);
                     }
                 });
             }
         });
-        let outcomes = outcomes.into_inner();
+        let outcomes = outcomes.into_inner().expect("campaign worker panicked");
         let mut profile = ResilienceProfile::new();
         for (ws, &o) in sites.iter().zip(&outcomes) {
             profile.record_weighted(o, ws.weight);
@@ -217,8 +218,7 @@ mod tests {
         let space = e.site_space(0..4);
         // Exhaust every site of thread 0 and tally; the countdown kernel is
         // engineered so all three outcome classes occur.
-        let sites: Vec<WeightedSite> =
-            space.thread_site_iter(0).map(WeightedSite::from).collect();
+        let sites: Vec<WeightedSite> = space.thread_site_iter(0).map(WeightedSite::from).collect();
         let result = e.run_campaign(&sites, 2);
         assert!(result.profile.masked() > 0.0, "some flips must mask");
         assert!(result.profile.sdc() > 0.0, "some flips must corrupt output");
@@ -230,8 +230,7 @@ mod tests {
         let t = CountdownTarget::new();
         let e = Experiment::prepare(&t).unwrap();
         let space = e.site_space(0..4);
-        let sites: Vec<WeightedSite> =
-            space.thread_site_iter(1).map(WeightedSite::from).collect();
+        let sites: Vec<WeightedSite> = space.thread_site_iter(1).map(WeightedSite::from).collect();
         let a = e.run_campaign(&sites, 1);
         let b = e.run_campaign(&sites, 4);
         assert_eq!(a.outcomes, b.outcomes);
@@ -241,7 +240,11 @@ mod tests {
     fn unreached_site_is_masked() {
         let t = CountdownTarget::new();
         let e = Experiment::prepare(&t).unwrap();
-        let o = e.run_one(FaultSite { tid: 999, dyn_idx: 0, bit: 0 });
+        let o = e.run_one(FaultSite {
+            tid: 999,
+            dyn_idx: 0,
+            bit: 0,
+        });
         assert_eq!(o, Outcome::Masked);
     }
 }

@@ -34,7 +34,12 @@ impl InjectionHook {
     /// Arms a hook for `site` with an explicit corruption model.
     #[must_use]
     pub fn with_model(site: FaultSite, model: FaultModel) -> Self {
-        InjectionHook { site, model, bits_seen: 0, triggered: false }
+        InjectionHook {
+            site,
+            model,
+            bits_seen: 0,
+            triggered: false,
+        }
     }
 
     /// Whether the flip actually happened (false means the site was never
@@ -93,7 +98,11 @@ mod tests {
 
     #[test]
     fn flips_gpr_bit() {
-        let (words, hit) = run_with(FaultSite { tid: 0, dyn_idx: 0, bit: 4 });
+        let (words, hit) = run_with(FaultSite {
+            tid: 0,
+            dyn_idx: 0,
+            bit: 4,
+        });
         assert!(hit);
         assert_eq!(words[0], 0x0F ^ 0x10);
     }
@@ -102,21 +111,37 @@ mod tests {
     fn dual_dest_bit_indexing() {
         // Bit 0 lands in the predicate flags (value 0 -> flag bit flipped,
         // $r2 untouched).
-        let (words, hit) = run_with(FaultSite { tid: 0, dyn_idx: 1, bit: 0 });
+        let (words, hit) = run_with(FaultSite {
+            tid: 0,
+            dyn_idx: 1,
+            bit: 0,
+        });
         assert!(hit);
         assert_eq!(words[1], 0xFFFF_FFFF, "gpr result unchanged");
         // Bit 4 is the first gpr bit.
-        let (words, hit) = run_with(FaultSite { tid: 0, dyn_idx: 1, bit: 4 });
+        let (words, hit) = run_with(FaultSite {
+            tid: 0,
+            dyn_idx: 1,
+            bit: 4,
+        });
         assert!(hit);
         assert_eq!(words[1], 0xFFFF_FFFE);
         // Bit 35 is the gpr's MSB.
-        let (words, _) = run_with(FaultSite { tid: 0, dyn_idx: 1, bit: 35 });
+        let (words, _) = run_with(FaultSite {
+            tid: 0,
+            dyn_idx: 1,
+            bit: 35,
+        });
         assert_eq!(words[1], 0x7FFF_FFFF);
     }
 
     #[test]
     fn unreached_site_does_not_trigger() {
-        let (words, hit) = run_with(FaultSite { tid: 5, dyn_idx: 0, bit: 0 });
+        let (words, hit) = run_with(FaultSite {
+            tid: 5,
+            dyn_idx: 0,
+            bit: 0,
+        });
         assert!(!hit);
         assert_eq!(words[0], 0x0F);
     }
@@ -126,7 +151,11 @@ mod tests {
         // dyn_idx 0 occurs once; flipping it twice would require a second
         // retirement of the same (tid, dyn_idx), which cannot happen — but
         // the guard also protects against zero-width slots.
-        let mut hook = InjectionHook::new(FaultSite { tid: 0, dyn_idx: 0, bit: 0 });
+        let mut hook = InjectionHook::new(FaultSite {
+            tid: 0,
+            dyn_idx: 0,
+            bit: 0,
+        });
         assert!(!hook.triggered());
         let wb = fsp_sim::Writeback {
             tid: 0,

@@ -52,7 +52,11 @@ impl FaultModel {
     /// bits.
     #[must_use]
     pub fn apply(self, value: u32, offset: u32, width: u32, site_key: u64) -> u32 {
-        let mask = if width >= 32 { u32::MAX } else { (1u32 << width) - 1 };
+        let mask = if width >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << width) - 1
+        };
         match self {
             FaultModel::SingleBitFlip => value ^ (1 << offset),
             FaultModel::DoubleBitFlip => {
@@ -87,7 +91,11 @@ mod tests {
     fn single_bit_flips_exactly_one_bit() {
         let v = FaultModel::SingleBitFlip.apply(0b1010, 0, 32, 0);
         assert_eq!(v, 0b1011);
-        assert_eq!(FaultModel::SingleBitFlip.apply(v, 0, 32, 0), 0b1010, "involution");
+        assert_eq!(
+            FaultModel::SingleBitFlip.apply(v, 0, 32, 0),
+            0b1010,
+            "involution"
+        );
     }
 
     #[test]

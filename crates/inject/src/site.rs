@@ -62,7 +62,10 @@ impl SiteSpace {
             acc += bits;
             thread_prefix.push(acc);
         }
-        SiteSpace { trace, thread_prefix }
+        SiteSpace {
+            trace,
+            thread_prefix,
+        }
     }
 
     /// The underlying trace.
@@ -114,7 +117,11 @@ impl SiteSpace {
         for (dyn_idx, entry) in full.entries.iter().enumerate() {
             let bits = u64::from(entry.dest_bits);
             if rem < bits {
-                return FaultSite { tid, dyn_idx: dyn_idx as u32, bit: rem as u32 };
+                return FaultSite {
+                    tid,
+                    dyn_idx: dyn_idx as u32,
+                    bit: rem as u32,
+                };
             }
             rem -= bits;
         }
@@ -149,13 +156,16 @@ impl SiteSpace {
             .full
             .get(&tid)
             .unwrap_or_else(|| panic!("thread {tid} has no full trace"));
-        full.entries.iter().enumerate().flat_map(move |(dyn_idx, e)| {
-            (0..u32::from(e.dest_bits)).map(move |bit| FaultSite {
-                tid,
-                dyn_idx: dyn_idx as u32,
-                bit,
+        full.entries
+            .iter()
+            .enumerate()
+            .flat_map(move |(dyn_idx, e)| {
+                (0..u32::from(e.dest_bits)).map(move |bit| FaultSite {
+                    tid,
+                    dyn_idx: dyn_idx as u32,
+                    bit,
+                })
             })
-        })
     }
 
     /// Enumerates the sites of all dynamic occurrences of a static
@@ -220,21 +230,61 @@ mod tests {
     #[test]
     fn site_at_walks_threads_instructions_bits() {
         let s = space();
-        assert_eq!(s.site_at(0), FaultSite { tid: 0, dyn_idx: 0, bit: 0 });
-        assert_eq!(s.site_at(31), FaultSite { tid: 0, dyn_idx: 0, bit: 31 });
-        assert_eq!(s.site_at(32), FaultSite { tid: 0, dyn_idx: 1, bit: 0 });
-        assert_eq!(s.site_at(67), FaultSite { tid: 0, dyn_idx: 1, bit: 35 });
-        assert_eq!(s.site_at(68), FaultSite { tid: 1, dyn_idx: 0, bit: 0 });
-        assert_eq!(s.site_at(4 * 68 - 1), FaultSite { tid: 3, dyn_idx: 1, bit: 35 });
+        assert_eq!(
+            s.site_at(0),
+            FaultSite {
+                tid: 0,
+                dyn_idx: 0,
+                bit: 0
+            }
+        );
+        assert_eq!(
+            s.site_at(31),
+            FaultSite {
+                tid: 0,
+                dyn_idx: 0,
+                bit: 31
+            }
+        );
+        assert_eq!(
+            s.site_at(32),
+            FaultSite {
+                tid: 0,
+                dyn_idx: 1,
+                bit: 0
+            }
+        );
+        assert_eq!(
+            s.site_at(67),
+            FaultSite {
+                tid: 0,
+                dyn_idx: 1,
+                bit: 35
+            }
+        );
+        assert_eq!(
+            s.site_at(68),
+            FaultSite {
+                tid: 1,
+                dyn_idx: 0,
+                bit: 0
+            }
+        );
+        assert_eq!(
+            s.site_at(4 * 68 - 1),
+            FaultSite {
+                tid: 3,
+                dyn_idx: 1,
+                bit: 35
+            }
+        );
     }
 
     #[test]
     fn exhaustive_enumeration_matches_site_at() {
         let s = space();
-        let from_iter: Vec<FaultSite> =
-            (0..4).flat_map(|t| s.thread_site_iter(t)).collect();
-        let from_index: Vec<FaultSite> =
-            (0..s.total_sites()).map(|i| s.site_at(i)).collect();
+        let from_iter: Vec<FaultSite> = (0..4).flat_map(|t| s.thread_site_iter(t)).collect();
+        let from_index: Vec<FaultSite> = (0..s.total_sites()).map(|i| s.site_at(i)).collect();
         assert_eq!(from_iter, from_index);
     }
 

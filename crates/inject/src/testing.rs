@@ -54,7 +54,9 @@ impl CountdownTarget {
             "#,
         )
         .expect("countdown kernel assembles");
-        CountdownTarget { program: Arc::new(program) }
+        CountdownTarget {
+            program: Arc::new(program),
+        }
     }
 }
 

@@ -108,12 +108,17 @@ pub fn assemble(name: impl Into<String>, source: &str) -> Result<KernelProgram, 
 }
 
 fn err(line: usize, message: impl Into<String>) -> AsmError {
-    AsmError { line, message: message.into() }
+    AsmError {
+        line,
+        message: message.into(),
+    }
 }
 
 fn is_label(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -152,7 +157,10 @@ fn parse_guard(g: &str, line: usize) -> Result<Guard, AsmError> {
         .split_once('.')
         .ok_or_else(|| err(line, format!("guard `{g}` missing condition test")))?;
     let Some(Register::Pred(pred)) = Register::from_name(reg) else {
-        return Err(err(line, format!("guard register `{reg}` is not a predicate")));
+        return Err(err(
+            line,
+            format!("guard register `{reg}` is not a predicate"),
+        ));
     };
     let test = PredTest::from_name(test)
         .ok_or_else(|| err(line, format!("unknown guard test `{test}`")))?;
@@ -162,8 +170,8 @@ fn parse_guard(g: &str, line: usize) -> Result<Guard, AsmError> {
 fn parse_mnemonic(head: &str, line: usize) -> Result<Instruction, AsmError> {
     let mut parts = head.split('.');
     let base = parts.next().unwrap_or_default();
-    let opcode = Opcode::from_mnemonic(base)
-        .ok_or_else(|| err(line, format!("unknown opcode `{base}`")))?;
+    let opcode =
+        Opcode::from_mnemonic(base).ok_or_else(|| err(line, format!("unknown opcode `{base}`")))?;
     let mut instr = Instruction::new(opcode);
     let mut types = Vec::new();
     for modifier in parts {
@@ -200,10 +208,18 @@ fn parse_mnemonic(head: &str, line: usize) -> Result<Instruction, AsmError> {
             instr.ty = types[0];
             instr.src_ty = types[1];
         }
-        n => return Err(err(line, format!("too many type suffixes ({n}) on `{base}`"))),
+        n => {
+            return Err(err(
+                line,
+                format!("too many type suffixes ({n}) on `{base}`"),
+            ))
+        }
     }
     if opcode == Opcode::Set && instr.cmp.is_none() {
-        return Err(err(line, "`set` requires a comparison modifier (e.g. `set.eq`)"));
+        return Err(err(
+            line,
+            "`set` requires a comparison modifier (e.g. `set.eq`)",
+        ));
     }
     Ok(instr)
 }
@@ -214,7 +230,10 @@ fn split_operands(tail: &str) -> Vec<&str> {
     if tail.is_empty() {
         return Vec::new();
     }
-    tail.split(',').map(str::trim).filter(|s| !s.is_empty()).collect()
+    tail.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
 }
 
 fn apply_operands(
@@ -264,7 +283,10 @@ fn apply_operands(
             };
             parse_dests(instr, dst, line)?;
             if srcs.len() > instr.src.len() {
-                return Err(err(line, format!("too many source operands ({})", srcs.len())));
+                return Err(err(
+                    line,
+                    format!("too many source operands ({})", srcs.len()),
+                ));
             }
             for (slot, text) in instr.src.iter_mut().zip(srcs) {
                 *slot = Some(parse_operand(text, line)?);
@@ -419,7 +441,10 @@ mod tests {
         assert_eq!(bra.target, Some(14));
         assert_eq!(
             bra.guard,
-            Some(Guard { pred: 0, test: PredTest::Eq })
+            Some(Guard {
+                pred: 0,
+                test: PredTest::Eq
+            })
         );
         // mul.wide.u16 with half-register operands
         let mul = p.instr(3);
@@ -458,12 +483,20 @@ mod tests {
         let ld = p.instr(0);
         assert_eq!(
             ld.src[0],
-            Some(Operand::Mem(MemRef::relative(MemSpace::Global, Register::Gpr(2), 0x10)))
+            Some(Operand::Mem(MemRef::relative(
+                MemSpace::Global,
+                Register::Gpr(2),
+                0x10
+            )))
         );
         let st = p.instr(1);
         assert_eq!(
             st.dst[0],
-            Some(Dest::Mem(MemRef::relative(MemSpace::Global, Register::Gpr(2), 0)))
+            Some(Dest::Mem(MemRef::relative(
+                MemSpace::Global,
+                Register::Gpr(2),
+                0
+            )))
         );
         assert_eq!(st.src[0], Some(Operand::reg(Register::Gpr(3))));
         assert_eq!(st.dest_bits(), 0);

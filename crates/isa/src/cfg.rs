@@ -78,7 +78,10 @@ impl LoopForest {
     /// Number of static instructions that belong to at least one loop.
     #[must_use]
     pub fn instructions_in_loops(&self) -> usize {
-        self.innermost.iter().filter(|&&id| id != usize::MAX).count()
+        self.innermost
+            .iter()
+            .filter(|&&id| id != usize::MAX)
+            .count()
     }
 
     /// Whether the program contains any loop.
@@ -135,7 +138,11 @@ impl Cfg {
             let (start, end) = (w[0], w[1]);
             start_to_block.insert(start, blocks.len());
             block_of[start..end].fill(blocks.len());
-            blocks.push(BasicBlock { start, end, successors: Vec::new() });
+            blocks.push(BasicBlock {
+                start,
+                end,
+                successors: Vec::new(),
+            });
         }
         // Successors.
         let succs: Vec<Vec<usize>> = blocks
@@ -388,9 +395,14 @@ impl Cfg {
             }
         }
         // Back edges: latch block L with successor H where H dominates L.
-        // Merge loops sharing a header.
+        // Merge loops sharing a header. Unreachable latches (no dominator
+        // entry) are skipped: dominance — and thus the natural-loop
+        // definition — only applies to reachable blocks.
         let mut header_latches: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for (l, block) in self.blocks.iter().enumerate() {
+            if idom[l] == usize::MAX {
+                continue;
+            }
             for &h in &block.successors {
                 if Self::dominates(&idom, h, l) {
                     header_latches.entry(h).or_default().push(l);
@@ -410,7 +422,9 @@ impl Cfg {
                 }
                 in_body[b] = true;
                 for &p in &preds[b] {
-                    if !in_body[p] {
+                    // Unreachable predecessors jumping into the body are
+                    // not part of the natural loop.
+                    if !in_body[p] && idom[p] != usize::MAX {
                         stack.push(p);
                     }
                 }
@@ -433,7 +447,12 @@ impl Cfg {
             });
         }
         // Sort outer-to-inner (bigger bodies first), fix ids, link parents.
-        loops.sort_by(|a, b| b.body.len().cmp(&a.body.len()).then(a.header.cmp(&b.header)));
+        loops.sort_by(|a, b| {
+            b.body
+                .len()
+                .cmp(&a.body.len())
+                .then(a.header.cmp(&b.header))
+        });
         for (id, l) in loops.iter_mut().enumerate() {
             l.id = id;
         }
@@ -441,9 +460,7 @@ impl Cfg {
             // Parent = smallest enclosing strictly-larger loop.
             let mut parent = None;
             for j in 0..i {
-                if loops[j].body.len() > loops[i].body.len()
-                    && loops[j].contains(loops[i].header)
-                {
+                if loops[j].body.len() > loops[i].body.len() && loops[j].contains(loops[i].header) {
                     parent = Some(j);
                 }
             }
@@ -564,6 +581,149 @@ mod tests {
         let cfg = p.cfg();
         let b = cfg.block_of(1);
         assert_eq!(cfg.blocks()[b].successors.len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod edge_case_tests {
+    use crate::asm::assemble;
+
+    #[test]
+    fn unreachable_block_is_undominated() {
+        let p = assemble(
+            "t",
+            r#"
+            bra done
+            add.u32 $r1, $r1, 0x1
+            done:
+            exit
+            "#,
+        )
+        .unwrap();
+        let cfg = p.cfg();
+        let idom = cfg.dominators();
+        let entry = cfg.block_of(0);
+        let dead = cfg.block_of(1);
+        let done = cfg.block_of(2);
+        assert_eq!(idom[entry], entry, "entry dominates itself");
+        assert_eq!(idom[dead], usize::MAX, "unreachable block has no idom");
+        // `done`'s only *reachable* predecessor is the entry; the
+        // unreachable block's fallthrough edge must not perturb dominance.
+        assert_eq!(idom[done], entry);
+        // The unreachable block still has a post-dominator: control leaving
+        // it reaches `done` and then the exit.
+        let ipdom = cfg.post_dominators();
+        assert_eq!(ipdom[dead], Some(done));
+        assert!(cfg.loops(&p).is_empty());
+    }
+
+    #[test]
+    fn unreachable_self_loop_is_not_a_natural_loop() {
+        let p = assemble(
+            "t",
+            r#"
+            bra done
+            dead:
+            add.u32 $r1, $r1, 0x1
+            bra dead
+            done:
+            exit
+            "#,
+        )
+        .unwrap();
+        let cfg = p.cfg();
+        // The back edge lives entirely in unreachable code: dominance does
+        // not apply there, so no natural loop may be reported.
+        assert!(cfg.loops(&p).is_empty());
+        assert_eq!(cfg.dominators()[cfg.block_of(1)], usize::MAX);
+    }
+
+    #[test]
+    fn unreachable_jump_into_loop_body_is_excluded() {
+        let p = assemble(
+            "t",
+            r#"
+            mov.u32 $r1, 0x0
+            bra loop
+            stray:
+            add.u32 $r2, $r2, 0x1
+            loop:
+            add.u32 $r1, $r1, 0x1
+            set.ne.u32.u32 $p0/$o127, $r1, 0x8
+            @$p0.ne bra loop
+            exit
+            "#,
+        )
+        .unwrap();
+        let cfg = p.cfg();
+        let loops = cfg.loops(&p);
+        assert_eq!(loops.loops.len(), 1);
+        let l = &loops.loops[0];
+        // `stray` (pc 2) falls through into the loop header but is
+        // unreachable; the natural loop body must not absorb it.
+        assert!(!l.contains(2), "unreachable pc 2 in body {:?}", l.body);
+        assert_eq!(l.header, 3);
+    }
+
+    #[test]
+    fn single_block_self_loop() {
+        let p = assemble(
+            "t",
+            r#"
+            mov.u32 $r1, 0x0
+            loop:
+            add.u32 $r1, $r1, 0x1
+            set.ne.u32.u32 $p0/$o127, $r1, 0x8
+            @$p0.ne bra loop
+            exit
+            "#,
+        )
+        .unwrap();
+        let cfg = p.cfg();
+        let loops = cfg.loops(&p);
+        assert_eq!(loops.loops.len(), 1);
+        let l = &loops.loops[0];
+        // Header block is its own latch: body = exactly that block.
+        assert_eq!(l.header, 1);
+        assert_eq!(l.latches, vec![3]);
+        assert_eq!(l.body, vec![1, 2, 3]);
+        assert_eq!(l.depth, 1);
+        assert_eq!(l.parent, None);
+        assert_eq!(loops.innermost(2).unwrap().id, l.id);
+        assert!(loops.innermost(4).is_none());
+    }
+
+    #[test]
+    fn multiple_back_edges_merge_into_one_loop() {
+        let p = assemble(
+            "t",
+            r#"
+            mov.u32 $r1, 0x0
+            loop:
+            add.u32 $r1, $r1, 0x1
+            set.eq.u32.u32 $p0/$o127, $r1, 0x4
+            @$p0.eq bra loop
+            add.u32 $r2, $r2, 0x1
+            set.ne.u32.u32 $p1/$o127, $r1, 0x8
+            @$p1.ne bra loop
+            exit
+            "#,
+        )
+        .unwrap();
+        let cfg = p.cfg();
+        let loops = cfg.loops(&p);
+        // Two back edges to the same header form ONE natural loop with two
+        // latches, not two loops.
+        assert_eq!(loops.loops.len(), 1);
+        let l = &loops.loops[0];
+        assert_eq!(l.header, 1);
+        assert_eq!(l.latches, vec![3, 6]);
+        assert_eq!(l.body, (1..=6).collect::<Vec<_>>());
+        assert_eq!(l.depth, 1);
+        // Every body pc maps back to this single loop.
+        for pc in 1..=6 {
+            assert_eq!(loops.innermost(pc).unwrap().id, l.id, "pc {pc}");
+        }
     }
 }
 

@@ -132,7 +132,11 @@ impl Opcode {
     /// The assembler mnemonic.
     #[must_use]
     pub fn mnemonic(self) -> &'static str {
-        Self::NAMES.iter().find(|(op, _)| *op == self).expect("all variants listed").1
+        Self::NAMES
+            .iter()
+            .find(|(op, _)| *op == self)
+            .expect("all variants listed")
+            .1
     }
 
     /// Parses an assembler mnemonic.
@@ -187,7 +191,11 @@ impl CmpOp {
     /// Assembler spelling (`eq`, `ne`, ...).
     #[must_use]
     pub fn name(self) -> &'static str {
-        Self::NAMES.iter().find(|(c, _)| *c == self).expect("all variants listed").1
+        Self::NAMES
+            .iter()
+            .find(|(c, _)| *c == self)
+            .expect("all variants listed")
+            .1
     }
 
     /// Parses an assembler spelling.
@@ -237,7 +245,11 @@ impl PredTest {
     /// Assembler spelling.
     #[must_use]
     pub fn name(self) -> &'static str {
-        Self::NAMES.iter().find(|(c, _)| *c == self).expect("all variants listed").1
+        Self::NAMES
+            .iter()
+            .find(|(c, _)| *c == self)
+            .expect("all variants listed")
+            .1
     }
 
     /// Parses an assembler spelling.
@@ -416,8 +428,13 @@ impl fmt::Display for Instruction {
             write!(f, ".hi")?;
         }
         match self.opcode {
-            Opcode::Bra | Opcode::Ssy | Opcode::Bar | Opcode::Ret | Opcode::Retp
-            | Opcode::Exit | Opcode::Nop => {}
+            Opcode::Bra
+            | Opcode::Ssy
+            | Opcode::Bar
+            | Opcode::Ret
+            | Opcode::Retp
+            | Opcode::Exit
+            | Opcode::Nop => {}
             Opcode::Ld | Opcode::St => write!(f, ".global.{}", self.ty)?,
             Opcode::Cvt | Opcode::Set => write!(f, ".{}.{}", self.ty, self.src_ty)?,
             _ => write!(f, ".{}", self.ty)?,
@@ -525,7 +542,10 @@ mod tests {
     #[test]
     fn display_guarded_branch() {
         let mut i = Instruction::new(Opcode::Bra);
-        i.guard = Some(Guard { pred: 0, test: PredTest::Eq });
+        i.guard = Some(Guard {
+            pred: 0,
+            test: PredTest::Eq,
+        });
         i.target = Some(17);
         assert_eq!(i.to_string(), "@$p0.eq bra @17");
     }

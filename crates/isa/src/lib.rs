@@ -48,7 +48,7 @@ pub use cfg::{BasicBlock, Cfg, Loop, LoopForest};
 pub use instr::{CmpOp, Dest, Guard, Instruction, Opcode, PredTest};
 pub use operand::{Half, MemRef, MemSpace, Operand};
 pub use program::KernelProgram;
-pub use reg::{Register, Special};
+pub use reg::{Register, Special, NUM_GPRS, NUM_OFS, NUM_PREDS, ZERO_GPR};
 pub use ty::ScalarType;
 
 /// Byte offset of the first kernel parameter in shared memory

@@ -58,13 +58,21 @@ impl MemRef {
     /// Absolute reference `space[offset]`.
     #[must_use]
     pub const fn absolute(space: MemSpace, offset: u32) -> Self {
-        MemRef { space, base: None, offset }
+        MemRef {
+            space,
+            base: None,
+            offset,
+        }
     }
 
     /// Register-relative reference `space[base + offset]`.
     #[must_use]
     pub const fn relative(space: MemSpace, base: Register, offset: u32) -> Self {
-        MemRef { space, base: Some(base), offset }
+        MemRef {
+            space,
+            base: Some(base),
+            offset,
+        }
     }
 }
 
@@ -105,19 +113,31 @@ impl Operand {
     /// Plain register operand.
     #[must_use]
     pub const fn reg(reg: Register) -> Self {
-        Operand::Reg { reg, half: None, neg: false }
+        Operand::Reg {
+            reg,
+            half: None,
+            neg: false,
+        }
     }
 
     /// Negated register operand (`-$rN`).
     #[must_use]
     pub const fn neg_reg(reg: Register) -> Self {
-        Operand::Reg { reg, half: None, neg: true }
+        Operand::Reg {
+            reg,
+            half: None,
+            neg: true,
+        }
     }
 
     /// Half-word register operand (`$rN.lo` / `$rN.hi`).
     #[must_use]
     pub const fn half_reg(reg: Register, half: Half) -> Self {
-        Operand::Reg { reg, half: Some(half), neg: false }
+        Operand::Reg {
+            reg,
+            half: Some(half),
+            neg: false,
+        }
     }
 
     /// The register read by this operand, if any.

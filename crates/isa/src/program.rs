@@ -35,13 +35,20 @@ impl KernelProgram {
         let len = instructions.len();
         for (pc, instr) in instructions.iter().enumerate() {
             if let Some(t) = instr.target {
-                assert!(t < len, "instruction {pc}: branch target {t} out of range ({len})");
+                assert!(
+                    t < len,
+                    "instruction {pc}: branch target {t} out of range ({len})"
+                );
             }
         }
         for (label, &pc) in &labels {
             assert!(pc <= len, "label {label}: target {pc} out of range ({len})");
         }
-        KernelProgram { name: name.into(), instructions, labels }
+        KernelProgram {
+            name: name.into(),
+            instructions,
+            labels,
+        }
     }
 
     /// The kernel name (e.g. `"calculate_temp"`).
@@ -111,7 +118,10 @@ impl KernelProgram {
     /// per-thread value used by Equation (1) comes from tracing.
     #[must_use]
     pub fn static_dest_bits(&self) -> u64 {
-        self.instructions.iter().map(|i| u64::from(i.dest_bits())).sum()
+        self.instructions
+            .iter()
+            .map(|i| u64::from(i.dest_bits()))
+            .sum()
     }
 }
 
@@ -173,11 +183,7 @@ mod tests {
     fn labels() {
         let mut labels = BTreeMap::new();
         labels.insert("top".to_owned(), 0);
-        let p = KernelProgram::from_parts(
-            "t",
-            vec![Instruction::new(Opcode::Exit)],
-            labels,
-        );
+        let p = KernelProgram::from_parts("t", vec![Instruction::new(Opcode::Exit)], labels);
         assert_eq!(p.label_at(0), Some("top"));
         assert_eq!(p.label_at(1), None);
     }

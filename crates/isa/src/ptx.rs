@@ -54,7 +54,10 @@ impl fmt::Display for PtxError {
 impl Error for PtxError {}
 
 fn err(line: usize, message: impl Into<String>) -> PtxError {
-    PtxError { line, message: message.into() }
+    PtxError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Translation state: virtual-register and symbol maps.
@@ -116,7 +119,9 @@ impl Translator {
         if let Some(rest) = op.strip_prefix('-') {
             return Ok(format!("-{}", self.operand(rest, line)?));
         }
-        if op.starts_with("%tid") || op.starts_with("%ntid") || op.starts_with("%ctaid")
+        if op.starts_with("%tid")
+            || op.starts_with("%ntid")
+            || op.starts_with("%ctaid")
             || op.starts_with("%nctaid")
         {
             return Ok(op.to_owned());
@@ -132,9 +137,12 @@ impl Translator {
     /// `(space_prefix, inner)` of our syntax.
     fn address(&mut self, inner: &str, space: &str, line: usize) -> Result<String, PtxError> {
         let (base, offset) = match inner.split_once('+') {
-            Some((b, o)) => (b.trim(), o.trim().parse::<i64>().map_err(|_| {
-                err(line, format!("bad address offset `{o}`"))
-            })?),
+            Some((b, o)) => (
+                b.trim(),
+                o.trim()
+                    .parse::<i64>()
+                    .map_err(|_| err(line, format!("bad address offset `{o}`")))?,
+            ),
             None => (inner.trim(), 0),
         };
         if let Some(&idx) = self.params.get(base) {
@@ -234,8 +242,10 @@ pub fn translate_ptx(source: &str) -> Result<KernelProgram, PtxError> {
             continue;
         }
 
-        if line.starts_with(".version") || line.starts_with(".target")
-            || line.starts_with(".address_size") || line.starts_with("{")
+        if line.starts_with(".version")
+            || line.starts_with(".target")
+            || line.starts_with(".address_size")
+            || line.starts_with("{")
         {
             if line.starts_with('{') {
                 in_body = true;
@@ -271,7 +281,11 @@ pub fn translate_ptx(source: &str) -> Result<KernelProgram, PtxError> {
             let Some(bracket) = decl.find('[') else {
                 return Err(err(line_no, "malformed .shared declaration"));
             };
-            let name = decl[..bracket].split_whitespace().last().unwrap_or("").to_owned();
+            let name = decl[..bracket]
+                .split_whitespace()
+                .last()
+                .unwrap_or("")
+                .to_owned();
             let size: u32 = decl[bracket + 1..decl.len() - 1]
                 .trim()
                 .parse()
@@ -295,7 +309,11 @@ pub fn translate_ptx(source: &str) -> Result<KernelProgram, PtxError> {
     }
     // A PTX kernel always ends in `ret`; make sure the body is terminated
     // even if the translator stopped at `}`.
-    if tr.out.last().is_none_or(|l| !l.trim_start().starts_with("exit")) {
+    if tr
+        .out
+        .last()
+        .is_none_or(|l| !l.trim_start().starts_with("exit"))
+    {
         tr.out.push("exit".to_owned());
     }
     let body = tr.out.join("\n");
@@ -322,20 +340,17 @@ fn parse_params(list: &str, tr: &mut Translator, line_no: usize) -> Result<(), P
         if param.contains(".align") || param.contains('[') {
             return Err(err(line_no, "array/aligned parameters are unsupported"));
         }
-        let name = param.split_whitespace().last().ok_or_else(|| {
-            err(line_no, format!("malformed parameter `{param}`"))
-        })?;
+        let name = param
+            .split_whitespace()
+            .last()
+            .ok_or_else(|| err(line_no, format!("malformed parameter `{param}`")))?;
         tr.params.insert(name.to_owned(), i as u32);
     }
     Ok(())
 }
 
 #[allow(clippy::too_many_lines)]
-fn translate_statement(
-    line: &str,
-    tr: &mut Translator,
-    line_no: usize,
-) -> Result<(), PtxError> {
+fn translate_statement(line: &str, tr: &mut Translator, line_no: usize) -> Result<(), PtxError> {
     let mut rest = line.trim().trim_end_matches(';').trim();
     // Labels.
     while let Some(colon) = rest.find(':') {
@@ -381,12 +396,17 @@ fn translate_statement(
         "ret" | "exit" => tr.emit(format!("{guard}exit")),
         "bar" => tr.emit("bar.sync 0x0".to_owned()),
         "bra" => {
-            let target = ops.first().ok_or_else(|| err(line_no, "bra needs a target"))?;
+            let target = ops
+                .first()
+                .ok_or_else(|| err(line_no, "bra needs a target"))?;
             tr.emit(format!("{guard}bra {}", clean_label(target)));
         }
         "cvta" => {
             // Address-space cast: a register-to-register move here.
-            let d = tr.operand(ops.first().ok_or_else(|| err(line_no, "cvta dest"))?, line_no)?;
+            let d = tr.operand(
+                ops.first().ok_or_else(|| err(line_no, "cvta dest"))?,
+                line_no,
+            )?;
             let a = tr.operand(ops.get(1).ok_or_else(|| err(line_no, "cvta src"))?, line_no)?;
             tr.emit(format!("{guard}mov.u32 {d}, {a}"));
         }
@@ -423,27 +443,42 @@ fn translate_statement(
         }
         "setp" => {
             // setp.CMP.TY %p, a, b
-            let cmp = parts.get(1).copied().ok_or_else(|| err(line_no, "setp needs a comparison"))?;
+            let cmp = parts
+                .get(1)
+                .copied()
+                .ok_or_else(|| err(line_no, "setp needs a comparison"))?;
             if !["eq", "ne", "lt", "le", "gt", "ge"].contains(&cmp) {
-                return Err(err(line_no, format!("unsupported setp comparison `.{cmp}`")));
+                return Err(err(
+                    line_no,
+                    format!("unsupported setp comparison `.{cmp}`"),
+                ));
             }
             let ty = map_type(parts.last().unwrap_or(&"s32"), line_no)?;
-            let p = tr.operand(ops.first().ok_or_else(|| err(line_no, "setp dest"))?, line_no)?;
+            let p = tr.operand(
+                ops.first().ok_or_else(|| err(line_no, "setp dest"))?,
+                line_no,
+            )?;
             let a = tr.operand(ops.get(1).ok_or_else(|| err(line_no, "setp lhs"))?, line_no)?;
             let b = tr.operand(ops.get(2).ok_or_else(|| err(line_no, "setp rhs"))?, line_no)?;
             tr.emit(format!("{guard}set.{cmp}.{ty}.{ty} {p}/$o127, {a}, {b}"));
         }
         "selp" => {
             let ty = map_type(parts.last().unwrap_or(&"b32"), line_no)?;
-            let d = tr.operand(ops.first().ok_or_else(|| err(line_no, "selp dest"))?, line_no)?;
+            let d = tr.operand(
+                ops.first().ok_or_else(|| err(line_no, "selp dest"))?,
+                line_no,
+            )?;
             let a = tr.operand(ops.get(1).ok_or_else(|| err(line_no, "selp a"))?, line_no)?;
             let b = tr.operand(ops.get(2).ok_or_else(|| err(line_no, "selp b"))?, line_no)?;
-            let p = tr.operand(ops.get(3).ok_or_else(|| err(line_no, "selp pred"))?, line_no)?;
+            let p = tr.operand(
+                ops.get(3).ok_or_else(|| err(line_no, "selp pred"))?,
+                line_no,
+            )?;
             tr.emit(format!("{guard}selp.ne.{ty} {d}, {a}, {b}, {p}"));
         }
-        "mov" | "cvt" | "add" | "sub" | "mul" | "mad" | "fma" | "div" | "rem" | "min"
-        | "max" | "neg" | "abs" | "sqrt" | "rsqrt" | "rcp" | "ex2" | "lg2" | "and" | "or"
-        | "xor" | "not" | "shl" | "shr" => {
+        "mov" | "cvt" | "add" | "sub" | "mul" | "mad" | "fma" | "div" | "rem" | "min" | "max"
+        | "neg" | "abs" | "sqrt" | "rsqrt" | "rcp" | "ex2" | "lg2" | "and" | "or" | "xor"
+        | "not" | "shl" | "shr" => {
             // Map the opcode and type modifiers.
             let mut out_op = match opcode {
                 "fma" => "mad".to_owned(),
@@ -465,11 +500,14 @@ fn translate_statement(
             // 32 bits equals the plain 32-bit product, so `wide` only
             // survives for 16-bit sources.
             if wide {
-                if types.last().copied() == Some("u16") || types.last().copied() == Some("s16")
-                {
+                if types.last().copied() == Some("u16") || types.last().copied() == Some("s16") {
                     out_op.push_str(".wide");
                 } else {
-                    types = vec![if types.last().copied() == Some("s32") { "s32" } else { "u32" }];
+                    types = vec![if types.last().copied() == Some("s32") {
+                        "s32"
+                    } else {
+                        "u32"
+                    }];
                 }
             }
             let ty_suffix = match types.as_slice() {
@@ -482,12 +520,17 @@ fn translate_statement(
             for op in &ops {
                 translated.push(tr.operand(op, line_no)?);
             }
-            tr.emit(format!("{guard}{out_op}{ty_suffix} {}", translated.join(", ")));
+            tr.emit(format!(
+                "{guard}{out_op}{ty_suffix} {}",
+                translated.join(", ")
+            ));
         }
         other => {
             return Err(err(
                 line_no,
-                format!("unsupported PTX instruction `{other}` (atomics/textures/calls are out of scope)"),
+                format!(
+                "unsupported PTX instruction `{other}` (atomics/textures/calls are out of scope)"
+            ),
             ))
         }
     }

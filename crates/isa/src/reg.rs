@@ -52,7 +52,11 @@ impl Special {
     /// Assembler spelling, e.g. `"%tid.x"`.
     #[must_use]
     pub fn name(self) -> &'static str {
-        Self::ALL.iter().find(|(s, _)| *s == self).expect("all variants listed").1
+        Self::ALL
+            .iter()
+            .find(|(s, _)| *s == self)
+            .expect("all variants listed")
+            .1
     }
 
     /// Parses an assembler spelling.

@@ -84,12 +84,16 @@ fn memory_operand_forms() {
     assert_eq!(i.src[0].unwrap().register(), Some(Register::Gpr(9)));
     // Negative offset (two's-complement wrap).
     let i = one("ld.global.u32 $r1, [$r2+-68]");
-    let Some(Operand::Mem(m)) = i.src[0] else { panic!("expected memory operand") };
+    let Some(Operand::Mem(m)) = i.src[0] else {
+        panic!("expected memory operand")
+    };
     assert_eq!(m.offset, (-68i32) as u32);
     assert_eq!(m.space, MemSpace::Global);
     // Local space.
     let i = one("mov.u32 l[0x8], $r1");
-    let Some(Dest::Mem(m)) = i.dst[0] else { panic!("expected memory dest") };
+    let Some(Dest::Mem(m)) = i.dst[0] else {
+        panic!("expected memory dest")
+    };
     assert_eq!(m.space, MemSpace::Local);
 }
 
@@ -97,8 +101,14 @@ fn memory_operand_forms() {
 fn immediate_forms() {
     assert_eq!(one("mov.u32 $r1, 0x10").src[0], Some(Operand::Imm(16)));
     assert_eq!(one("mov.u32 $r1, 16").src[0], Some(Operand::Imm(16)));
-    assert_eq!(one("mov.u32 $r1, -16").src[0], Some(Operand::Imm((-16i32) as u32)));
-    assert_eq!(one("mov.u32 $r1, -0x10").src[0], Some(Operand::Imm((-16i32) as u32)));
+    assert_eq!(
+        one("mov.u32 $r1, -16").src[0],
+        Some(Operand::Imm((-16i32) as u32))
+    );
+    assert_eq!(
+        one("mov.u32 $r1, -0x10").src[0],
+        Some(Operand::Imm((-16i32) as u32))
+    );
     assert_eq!(
         one("mov.f32 $r1, 0f40490FDB").src[0],
         Some(Operand::Imm(0x4049_0FDB))
@@ -120,8 +130,14 @@ fn immediate_forms() {
 #[test]
 fn half_register_operands() {
     let i = one("mul.wide.u16 $r4, $r1.lo, $r3.hi");
-    assert_eq!(i.src[0], Some(Operand::half_reg(Register::Gpr(1), Half::Lo)));
-    assert_eq!(i.src[1], Some(Operand::half_reg(Register::Gpr(3), Half::Hi)));
+    assert_eq!(
+        i.src[0],
+        Some(Operand::half_reg(Register::Gpr(1), Half::Lo))
+    );
+    assert_eq!(
+        i.src[1],
+        Some(Operand::half_reg(Register::Gpr(3), Half::Hi))
+    );
     assert!(i.wide);
 }
 

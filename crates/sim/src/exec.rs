@@ -149,10 +149,7 @@ fn flags_of(value: u32, ty: ScalarType, carry: bool, overflow: bool) -> u32 {
     } else {
         (value as i32) < 0
     };
-    u32::from(zero)
-        | (u32::from(sign) << 1)
-        | (u32::from(carry) << 2)
-        | (u32::from(overflow) << 3)
+    u32::from(zero) | (u32::from(sign) << 1) | (u32::from(carry) << 2) | (u32::from(overflow) << 3)
 }
 
 /// Fetches an operand value, applying half-word selection and negation.
@@ -311,8 +308,13 @@ pub(crate) fn step<H: ExecHook>(
 
     let ty = instr.ty;
     match instr.opcode {
-        Opcode::Nop | Opcode::Ssy | Opcode::Bra | Opcode::Bar | Opcode::Ret
-        | Opcode::Retp | Opcode::Exit => match instr.opcode {
+        Opcode::Nop
+        | Opcode::Ssy
+        | Opcode::Bra
+        | Opcode::Bar
+        | Opcode::Ret
+        | Opcode::Retp
+        | Opcode::Exit => match instr.opcode {
             Opcode::Bra => {
                 next_pc = instr.target.expect("assembler resolves branch targets");
             }
@@ -353,7 +355,11 @@ pub(crate) fn step<H: ExecHook>(
             let b = operand_value(thread, ctx, instr.src[1].as_ref().expect("rhs"), ty)?;
             result = Some(if ty.is_float() {
                 let (x, y) = (f32::from_bits(a), f32::from_bits(b));
-                let r = if instr.opcode == Opcode::Add { x + y } else { x - y };
+                let r = if instr.opcode == Opcode::Add {
+                    x + y
+                } else {
+                    x - y
+                };
                 (r.to_bits(), false, false)
             } else if instr.opcode == Opcode::Add {
                 let (r, carry) = a.overflowing_add(b);
@@ -403,7 +409,11 @@ pub(crate) fn step<H: ExecHook>(
                 (f32::from_bits(a) / f32::from_bits(b)).to_bits()
             } else if b == 0 {
                 // CUDA integer division by zero produces all-ones, not a trap.
-                if instr.opcode == Opcode::Div { u32::MAX } else { a }
+                if instr.opcode == Opcode::Div {
+                    u32::MAX
+                } else {
+                    a
+                }
             } else if ty.is_signed() {
                 let (x, y) = (a as i32, b as i32);
                 let r = if instr.opcode == Opcode::Div {
@@ -413,7 +423,14 @@ pub(crate) fn step<H: ExecHook>(
                 };
                 mask(r as u32, ty)
             } else {
-                mask(if instr.opcode == Opcode::Div { a / b } else { a % b }, ty)
+                mask(
+                    if instr.opcode == Opcode::Div {
+                        a / b
+                    } else {
+                        a % b
+                    },
+                    ty,
+                )
             };
             result = Some((v, false, false));
         }
@@ -486,11 +503,30 @@ pub(crate) fn step<H: ExecHook>(
             result = Some((mask(v, ty), false, false));
         }
         Opcode::Set => {
-            let a = operand_value(thread, ctx, instr.src[0].as_ref().expect("lhs"), instr.src_ty)?;
-            let b = operand_value(thread, ctx, instr.src[1].as_ref().expect("rhs"), instr.src_ty)?;
-            let hit = compare(a, b, instr.cmp.expect("assembler enforces set.cmp"), instr.src_ty);
+            let a = operand_value(
+                thread,
+                ctx,
+                instr.src[0].as_ref().expect("lhs"),
+                instr.src_ty,
+            )?;
+            let b = operand_value(
+                thread,
+                ctx,
+                instr.src[1].as_ref().expect("rhs"),
+                instr.src_ty,
+            )?;
+            let hit = compare(
+                a,
+                b,
+                instr.cmp.expect("assembler enforces set.cmp"),
+                instr.src_ty,
+            );
             let v = if ty.is_float() {
-                if hit { 1.0f32.to_bits() } else { 0 }
+                if hit {
+                    1.0f32.to_bits()
+                } else {
+                    0
+                }
             } else if hit {
                 mask(u32::MAX, ty)
             } else {
@@ -501,7 +537,11 @@ pub(crate) fn step<H: ExecHook>(
         Opcode::Selp => {
             let a = operand_value(thread, ctx, instr.src[0].as_ref().expect("a"), ty)?;
             let b = operand_value(thread, ctx, instr.src[1].as_ref().expect("b"), ty)?;
-            let Some(Operand::Reg { reg: Register::Pred(p), .. }) = instr.src[2] else {
+            let Some(Operand::Reg {
+                reg: Register::Pred(p),
+                ..
+            }) = instr.src[2]
+            else {
                 panic!("selp requires a predicate third operand");
             };
             let test = match instr.cmp {
@@ -512,7 +552,11 @@ pub(crate) fn step<H: ExecHook>(
                 Some(CmpOp::Ge) => PredTest::Ge,
                 _ => PredTest::Ne,
             };
-            result = Some((if guard_passes(thread, p, test) { a } else { b }, false, false));
+            result = Some((
+                if guard_passes(thread, p, test) { a } else { b },
+                false,
+                false,
+            ));
         }
     }
 
@@ -549,7 +593,12 @@ pub(crate) fn step<H: ExecHook>(
         }
     }
 
-    hook.on_retire(RetireEvent { tid: thread.coords.flat_tid(), dyn_idx: thread.icnt, pc, instr });
+    hook.on_retire(RetireEvent {
+        tid: thread.coords.flat_tid(),
+        dyn_idx: thread.icnt,
+        pc,
+        instr,
+    });
     thread.icnt += 1;
     thread.pc = next_pc;
     Ok(effect)

@@ -49,7 +49,9 @@ impl Simulator {
     /// Creates a simulator with the default thread-serial schedule.
     #[must_use]
     pub fn new() -> Self {
-        Simulator { mode: ExecMode::ThreadSerial }
+        Simulator {
+            mode: ExecMode::ThreadSerial,
+        }
     }
 
     /// Creates a warp-lockstep simulator (hardware warps are 32 lanes).
@@ -60,7 +62,9 @@ impl Simulator {
     #[must_use]
     pub fn warp_lockstep(width: u32) -> Self {
         assert!(width > 0, "warp width must be positive");
-        Simulator { mode: ExecMode::WarpLockstep { width } }
+        Simulator {
+            mode: ExecMode::WarpLockstep { width },
+        }
     }
 
     /// The scheduling mode.
@@ -95,8 +99,10 @@ impl Simulator {
             threads: launch.num_threads(),
         };
 
-        let mut shared =
-            MemBlock::with_space((launch.shared_size() as usize).div_ceil(4), MemSpace::Shared);
+        let mut shared = MemBlock::with_space(
+            (launch.shared_size() as usize).div_ceil(4),
+            MemSpace::Shared,
+        );
         let mut threads: Vec<ThreadState> = Vec::with_capacity(cta_threads);
         // Reconvergence table for warp-lockstep mode, once per launch. An
         // explicit `ssy <label>` earlier in the same basic block wins
@@ -116,8 +122,7 @@ impl Simulator {
                                 .then_some(i.target)
                                 .flatten()
                         });
-                        declared
-                            .or_else(|| pdom[cfg.block_of(pc)].map(|b| cfg.blocks()[b].start))
+                        declared.or_else(|| pdom[cfg.block_of(pc)].map(|b| cfg.blocks()[b].start))
                     })
                     .collect()
             }
@@ -192,7 +197,11 @@ impl Simulator {
         budget: &mut u64,
         stats: &mut RunStats,
     ) -> Result<(), SimFault> {
-        let mut ctx = ExecCtx { program, global, shared };
+        let mut ctx = ExecCtx {
+            program,
+            global,
+            shared,
+        };
         loop {
             let mut all_done = true;
             for thread in threads.iter_mut() {
@@ -241,7 +250,11 @@ impl Simulator {
         rpcs: &[Option<usize>],
     ) -> Result<(), SimFault> {
         use crate::warp::{WarpEffect, WarpStack};
-        let mut ctx = ExecCtx { program, global, shared };
+        let mut ctx = ExecCtx {
+            program,
+            global,
+            shared,
+        };
         let mut warps: Vec<WarpStack> = (0..threads.len())
             .collect::<Vec<_>>()
             .chunks(width as usize)
@@ -308,7 +321,9 @@ mod tests {
         .unwrap();
         let mut global = MemBlock::with_words(8);
         let launch = Launch::new(p).grid(1, 1).block(8, 1, 1).param(0);
-        let stats = Simulator::new().run(&launch, &mut global, &mut NopHook).unwrap();
+        let stats = Simulator::new()
+            .run(&launch, &mut global, &mut NopHook)
+            .unwrap();
         assert_eq!(global.words(), &[42u32; 8]);
         assert_eq!(stats.barriers, 1);
         assert_eq!(stats.threads, 8);
@@ -319,7 +334,9 @@ mod tests {
         let p = assemble("t", "spin: bra spin").unwrap();
         let mut global = MemBlock::with_words(1);
         let launch = Launch::new(p).instr_budget(1000);
-        let err = Simulator::new().run(&launch, &mut global, &mut NopHook).unwrap_err();
+        let err = Simulator::new()
+            .run(&launch, &mut global, &mut NopHook)
+            .unwrap_err();
         assert_eq!(err, SimFault::BudgetExceeded);
     }
 
@@ -328,8 +345,16 @@ mod tests {
         let p = assemble("t", "mov.u32 $r1, 0x1000\nst.global.u32 [$r1], $r1\nexit").unwrap();
         let mut global = MemBlock::with_words(4);
         let launch = Launch::new(p);
-        let err = Simulator::new().run(&launch, &mut global, &mut NopHook).unwrap_err();
-        assert!(matches!(err, SimFault::InvalidAccess { space: MemSpace::Global, .. }));
+        let err = Simulator::new()
+            .run(&launch, &mut global, &mut NopHook)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimFault::InvalidAccess {
+                space: MemSpace::Global,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -19,7 +19,10 @@ impl MemBlock {
     /// memory.
     #[must_use]
     pub fn with_words(words: usize) -> Self {
-        MemBlock { words: vec![0; words], space: MemSpace::Global }
+        MemBlock {
+            words: vec![0; words],
+            space: MemSpace::Global,
+        }
     }
 
     /// A block sized in bytes (rounded up to a whole word).
@@ -32,7 +35,10 @@ impl MemBlock {
     /// fault reports).
     #[must_use]
     pub fn with_space(words: usize, space: MemSpace) -> Self {
-        MemBlock { words: vec![0; words], space }
+        MemBlock {
+            words: vec![0; words],
+            space,
+        }
     }
 
     /// Size in bytes.
@@ -48,11 +54,17 @@ impl MemBlock {
 
     fn index(&self, addr: u32) -> Result<usize, SimFault> {
         if !addr.is_multiple_of(4) {
-            return Err(SimFault::Unaligned { space: self.space, addr });
+            return Err(SimFault::Unaligned {
+                space: self.space,
+                addr,
+            });
         }
         let idx = (addr / 4) as usize;
         if idx >= self.words.len() {
-            return Err(SimFault::InvalidAccess { space: self.space, addr });
+            return Err(SimFault::InvalidAccess {
+                space: self.space,
+                addr,
+            });
         }
         Ok(idx)
     }

@@ -126,7 +126,12 @@ mod tests {
     use super::*;
 
     fn coords(tid: (u32, u32, u32), ctaid: (u32, u32)) -> ThreadCoords {
-        ThreadCoords { tid, ctaid, ntid: (16, 16, 1), nctaid: (4, 2) }
+        ThreadCoords {
+            tid,
+            ctaid,
+            ntid: (16, 16, 1),
+            nctaid: (4, 2),
+        }
     }
 
     #[test]

@@ -170,7 +170,9 @@ mod tests {
         let mut tracer =
             Tracer::new(launch.num_threads(), launch.threads_per_cta()).with_full_traces([0]);
         let mut global = MemBlock::with_words(1024);
-        Simulator::new().run(&launch, &mut global, &mut tracer).unwrap();
+        Simulator::new()
+            .run(&launch, &mut global, &mut tracer)
+            .unwrap();
         tracer.finish()
     }
 

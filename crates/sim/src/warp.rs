@@ -57,7 +57,13 @@ pub(crate) enum WarpEffect {
 impl WarpStack {
     /// A fresh warp over the given thread indices, starting at pc 0.
     pub(crate) fn new(members: Vec<usize>) -> Self {
-        WarpStack { stack: vec![StackEntry { pc: 0, rpc: None, members }] }
+        WarpStack {
+            stack: vec![StackEntry {
+                pc: 0,
+                rpc: None,
+                members,
+            }],
+        }
     }
 
     /// Runs the warp until every lane exits or parks at a barrier.
@@ -107,8 +113,7 @@ impl WarpStack {
                 "lockstep invariant: every active lane sits at the entry pc"
             );
             // Divergent barriers are UB on hardware; refuse deterministically.
-            if ctx.program.get(pc).is_some_and(|i| i.opcode == Opcode::Bar)
-                && self.stack.len() > 1
+            if ctx.program.get(pc).is_some_and(|i| i.opcode == Opcode::Bar) && self.stack.len() > 1
             {
                 return Err(SimFault::BarrierDivergence { pc: pc as u32 });
             }
@@ -148,7 +153,11 @@ impl WarpStack {
                     let mut split: Vec<(usize, Vec<usize>)> = groups.into_iter().collect();
                     split.sort_by_key(|&(pc, _)| std::cmp::Reverse(pc));
                     for (gpc, members) in split {
-                        self.stack.push(StackEntry { pc: gpc, rpc, members });
+                        self.stack.push(StackEntry {
+                            pc: gpc,
+                            rpc,
+                            members,
+                        });
                     }
                 }
             }

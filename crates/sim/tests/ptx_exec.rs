@@ -85,7 +85,10 @@ fn translated_saxpy_computes_and_respects_the_guard() {
 
 #[test]
 fn translated_saxpy_is_mode_equivalent() {
-    assert_eq!(run_saxpy(Simulator::new()), run_saxpy(Simulator::warp_lockstep(4)));
+    assert_eq!(
+        run_saxpy(Simulator::new()),
+        run_saxpy(Simulator::warp_lockstep(4))
+    );
 }
 
 #[test]
@@ -93,10 +96,17 @@ fn translated_kernel_is_injectable() {
     // The translated kernel exposes the same fault-site space machinery as
     // hand-written kernels.
     let program = translate_ptx(SAXPY_PTX).expect("translates");
-    let launch = Launch::new(program).block(8, 1, 1).param(0).param(32).param(6).param_f32(2.0);
+    let launch = Launch::new(program)
+        .block(8, 1, 1)
+        .param(0)
+        .param(32)
+        .param(6)
+        .param_f32(2.0);
     let mut tracer = fsp_sim::Tracer::new(8, 8).with_full_traces(0..8);
     let mut memory = MemBlock::with_words(16);
-    Simulator::new().run(&launch, &mut memory, &mut tracer).expect("runs");
+    Simulator::new()
+        .run(&launch, &mut memory, &mut tracer)
+        .expect("runs");
     let trace = tracer.finish();
     assert!(trace.total_fault_sites() > 0);
     // Divergence shows in iCnt: in-bounds threads run the body.

@@ -29,9 +29,8 @@ fn runf(body: &str) -> f32 {
 
 #[test]
 fn add_wraps_unsigned() {
-    let v = run1(
-        "mov.u32 $r1, 0xFFFFFFFF\nadd.u32 $r1, $r1, 0x2\nst.global.u32 [$r124], $r1\nexit",
-    );
+    let v =
+        run1("mov.u32 $r1, 0xFFFFFFFF\nadd.u32 $r1, $r1, 0x2\nst.global.u32 [$r124], $r1\nexit");
     assert_eq!(v, 1);
 }
 
@@ -43,9 +42,7 @@ fn sub_wraps_below_zero() {
 
 #[test]
 fn u16_ops_mask_to_16_bits() {
-    let v = run1(
-        "mov.u32 $r1, 0xFFFF\nadd.u16 $r1, $r1, 0x2\nst.global.u32 [$r124], $r1\nexit",
-    );
+    let v = run1("mov.u32 $r1, 0xFFFF\nadd.u16 $r1, $r1, 0x2\nst.global.u32 [$r124], $r1\nexit");
     assert_eq!(v, 1, "u16 add wraps at 16 bits");
 }
 
@@ -127,9 +124,7 @@ fn signed_division_overflow_wraps() {
 
 #[test]
 fn remainder_by_zero_returns_dividend() {
-    let v = run1(
-        "mov.u32 $r1, 0x7\nrem.u32 $r3, $r1, $r124\nst.global.u32 [$r124], $r3\nexit",
-    );
+    let v = run1("mov.u32 $r1, 0x7\nrem.u32 $r3, $r1, $r124\nst.global.u32 [$r124], $r3\nexit");
     assert_eq!(v, 7);
 }
 
@@ -164,17 +159,13 @@ fn arithmetic_shift_preserves_sign() {
 
 #[test]
 fn cvt_u32_u16_truncates() {
-    let v = run1(
-        "mov.u32 $r1, 0xABCD1234\ncvt.u32.u16 $r2, $r1\nst.global.u32 [$r124], $r2\nexit",
-    );
+    let v = run1("mov.u32 $r1, 0xABCD1234\ncvt.u32.u16 $r2, $r1\nst.global.u32 [$r124], $r2\nexit");
     assert_eq!(v, 0x1234);
 }
 
 #[test]
 fn cvt_s32_s16_sign_extends() {
-    let v = run1(
-        "mov.u32 $r1, 0xFFFF\ncvt.s32.s16 $r2, $r1\nst.global.u32 [$r124], $r2\nexit",
-    );
+    let v = run1("mov.u32 $r1, 0xFFFF\ncvt.s32.s16 $r2, $r1\nst.global.u32 [$r124], $r2\nexit");
     assert_eq!(v as i32, -1);
 }
 
@@ -188,9 +179,7 @@ fn cvt_f32_s32_and_back() {
 
 #[test]
 fn cvt_f32_u32_saturates_on_negative() {
-    let v = run1(
-        "mov.f32 $r1, -3.5\ncvt.u32.f32 $r2, $r1\nst.global.u32 [$r124], $r2\nexit",
-    );
+    let v = run1("mov.f32 $r1, -3.5\ncvt.u32.f32 $r2, $r1\nst.global.u32 [$r124], $r2\nexit");
     assert_eq!(v, 0, "negative float to unsigned saturates at 0");
 }
 
@@ -431,9 +420,7 @@ fn local_memory_is_per_thread() {
 
 #[test]
 fn zero_register_discards_writes() {
-    let v = run1(
-        "mov.u32 $r124, 0x99\nadd.u32 $r1, $r124, 0x1\nst.global.u32 [$r124], $r1\nexit",
-    );
+    let v = run1("mov.u32 $r124, 0x99\nadd.u32 $r1, $r124, 0x1\nst.global.u32 [$r124], $r1\nexit");
     assert_eq!(v, 1, "$r124 reads zero even after a write");
 }
 
@@ -441,7 +428,9 @@ fn zero_register_discards_writes() {
 fn falling_off_the_end_is_implicit_exit() {
     let p = assemble("t", "mov.u32 $r1, 0x1\nst.global.u32 [$r124], $r1").unwrap();
     let mut g = MemBlock::with_words(1);
-    let stats = Simulator::new().run(&Launch::new(p), &mut g, &mut NopHook).unwrap();
+    let stats = Simulator::new()
+        .run(&Launch::new(p), &mut g, &mut NopHook)
+        .unwrap();
     assert_eq!(g.words()[0], 1);
     assert_eq!(stats.instructions, 2);
 }
@@ -450,7 +439,9 @@ fn falling_off_the_end_is_implicit_exit() {
 fn unaligned_global_access_faults() {
     let p = assemble("t", "mov.u32 $r1, 0x2\nld.global.u32 $r2, [$r1]\nexit").unwrap();
     let mut g = MemBlock::with_words(4);
-    let err = Simulator::new().run(&Launch::new(p), &mut g, &mut NopHook).unwrap_err();
+    let err = Simulator::new()
+        .run(&Launch::new(p), &mut g, &mut NopHook)
+        .unwrap_err();
     assert!(matches!(err, SimFault::Unaligned { .. }));
 }
 
@@ -459,7 +450,9 @@ fn shared_out_of_bounds_faults() {
     let p = assemble("t", "mov.u32 $r1, s[0x0FF0]\nexit").unwrap();
     let mut g = MemBlock::with_words(1);
     let launch = Launch::new(p).shared_bytes(0x100);
-    let err = Simulator::new().run(&launch, &mut g, &mut NopHook).unwrap_err();
+    let err = Simulator::new()
+        .run(&launch, &mut g, &mut NopHook)
+        .unwrap_err();
     assert!(matches!(err, SimFault::InvalidAccess { .. }));
 }
 
@@ -481,7 +474,9 @@ fn alu_with_memory_operands() {
     )
     .unwrap();
     let mut g = MemBlock::with_words(2);
-    Simulator::new().run(&Launch::new(p), &mut g, &mut NopHook).unwrap();
+    Simulator::new()
+        .run(&Launch::new(p), &mut g, &mut NopHook)
+        .unwrap();
     assert_eq!(g.words()[0], 43);
     assert_eq!(g.words()[1], 5);
 }

@@ -328,8 +328,9 @@ mod tests {
 
     #[test]
     fn from_iterator() {
-        let p: ResilienceProfile =
-            [Outcome::Masked, Outcome::Masked, Outcome::Sdc].into_iter().collect();
+        let p: ResilienceProfile = [Outcome::Masked, Outcome::Masked, Outcome::Sdc]
+            .into_iter()
+            .collect();
         assert_eq!(p.total(), 3.0);
         assert_eq!(p.masked(), 2.0);
     }

@@ -80,7 +80,8 @@ pub fn t_quantile(p: f64, df: f64) -> f64 {
     let g1 = (z.powi(3) + z) / 4.0;
     let g2 = (5.0 * z.powi(5) + 16.0 * z.powi(3) + 3.0 * z) / 96.0;
     let g3 = (3.0 * z.powi(7) + 19.0 * z.powi(5) + 17.0 * z.powi(3) - 15.0 * z) / 384.0;
-    let g4 = (79.0 * z.powi(9) + 776.0 * z.powi(7) + 1482.0 * z.powi(5) - 1920.0 * z.powi(3)
+    let g4 = (79.0 * z.powi(9) + 776.0 * z.powi(7) + 1482.0 * z.powi(5)
+        - 1920.0 * z.powi(3)
         - 945.0 * z)
         / 92_160.0;
     z + g1 / df + g2 / df.powi(2) + g3 / df.powi(3) + g4 / df.powi(4)

@@ -43,8 +43,7 @@ pub fn required_samples_finite(
     let t = two_sided_t(confidence);
     let p = 0.5;
     let n = population as f64;
-    let samples = n
-        / (1.0 + error_margin * error_margin * (n - 1.0) / (t * t * p * (1.0 - p)));
+    let samples = n / (1.0 + error_margin * error_margin * (n - 1.0) / (t * t * p * (1.0 - p)));
     RequiredSamples {
         confidence,
         error_margin,

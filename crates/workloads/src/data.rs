@@ -17,7 +17,9 @@ impl DataGen {
     pub fn new(label: &str) -> Self {
         let mut state = 0x9E37_79B9_7F4A_7C15u64;
         for b in label.bytes() {
-            state = state.wrapping_mul(0x100_0000_01B3).wrapping_add(u64::from(b));
+            state = state
+                .wrapping_mul(0x100_0000_01B3)
+                .wrapping_add(u64::from(b));
         }
         DataGen { state }
     }
@@ -107,4 +109,3 @@ mod tests {
         assert!(u.iter().all(|&x| x < 10));
     }
 }
-

@@ -29,9 +29,17 @@ struct Geom {
 fn geom(scale: Scale) -> Geom {
     match scale {
         // 8192 threads: block 32x8, grid 2x16 = 32 CTAs (Table I / III).
-        Scale::Paper => Geom { nj: 64, rb: 64, block: (32, 8) },
+        Scale::Paper => Geom {
+            nj: 64,
+            rb: 64,
+            block: (32, 8),
+        },
         // 512 threads: block 8x4, grid 2x8 = 16 CTAs, same structure.
-        Scale::Eval => Geom { nj: 16, rb: 16, block: (8, 4) },
+        Scale::Eval => Geom {
+            nj: 16,
+            rb: 16,
+            block: (8, 4),
+        },
     }
 }
 
@@ -164,7 +172,10 @@ pub fn k1(scale: Scale) -> Workload {
         vec![a_addr, b_addr],
         memory,
         (b_addr, words),
-        Some(PaperReference { threads: 8192, fault_sites: 6.32e6 }),
+        Some(PaperReference {
+            threads: 8192,
+            fault_sites: 6.32e6,
+        }),
     )
 }
 
@@ -179,9 +190,15 @@ mod tests {
         let w = k1(Scale::Eval);
         let g = geom(Scale::Eval);
         let mut memory = w.init_memory();
-        Simulator::new().run(&w.launch(), &mut memory, &mut NopHook).unwrap();
+        Simulator::new()
+            .run(&w.launch(), &mut memory, &mut NopHook)
+            .unwrap();
         let words = ((g.rb + 1) * g.nj) as usize;
-        let a: Vec<f32> = memory.read_slice(0, words).iter().map(|&x| f32::from_bits(x)).collect();
+        let a: Vec<f32> = memory
+            .read_slice(0, words)
+            .iter()
+            .map(|&x| f32::from_bits(x))
+            .collect();
         let expect = reference(&a, g.nj as usize, g.rb as usize);
         let (addr, len) = w.output_region();
         let out = memory.read_slice(addr, len);
@@ -197,7 +214,9 @@ mod tests {
             let launch = w.launch();
             let mut tracer = Tracer::new(launch.num_threads(), launch.threads_per_cta());
             let mut memory = w.init_memory();
-            Simulator::new().run(&launch, &mut memory, &mut tracer).unwrap();
+            Simulator::new()
+                .run(&launch, &mut memory, &mut tracer)
+                .unwrap();
             let trace = tracer.finish();
             let mut icnts: Vec<u32> = trace.icnt.clone();
             icnts.sort_unstable();
@@ -213,7 +232,9 @@ mod tests {
         assert_eq!(launch.num_threads(), 8192);
         let mut tracer = Tracer::new(launch.num_threads(), launch.threads_per_cta());
         let mut memory = w.init_memory();
-        Simulator::new().run(&launch, &mut memory, &mut tracer).unwrap();
+        Simulator::new()
+            .run(&launch, &mut memory, &mut tracer)
+            .unwrap();
         let total = tracer.finish().total_fault_sites() as f64;
         let paper = w.paper_reference().unwrap().fault_sites;
         assert!(

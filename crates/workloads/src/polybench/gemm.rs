@@ -27,9 +27,15 @@ struct Geom {
 fn geom(scale: Scale) -> Geom {
     match scale {
         // 16384 threads: 128x128 elements, block 32x8, grid 4x16.
-        Scale::Paper => Geom { n: 128, block: (32, 8) },
+        Scale::Paper => Geom {
+            n: 128,
+            block: (32, 8),
+        },
         // 256 threads: 16x16 elements, block 8x4, grid 2x4.
-        Scale::Eval => Geom { n: 16, block: (8, 4) },
+        Scale::Eval => Geom {
+            n: 16,
+            block: (8, 4),
+        },
     }
 }
 
@@ -120,7 +126,10 @@ pub fn k1(scale: Scale) -> Workload {
         vec![a_addr, b_addr, c_addr],
         memory,
         (c_addr, words),
-        Some(PaperReference { threads: 16384, fault_sites: 6.23e8 }),
+        Some(PaperReference {
+            threads: 16384,
+            fault_sites: 6.23e8,
+        }),
     )
 }
 
@@ -137,17 +146,20 @@ mod tests {
         let words = n * n;
         let mut memory = w.init_memory();
         let read_f32 = |m: &MemBlock, addr: u32| -> Vec<f32> {
-            m.read_slice(addr, words).iter().map(|&x| f32::from_bits(x)).collect()
+            m.read_slice(addr, words)
+                .iter()
+                .map(|&x| f32::from_bits(x))
+                .collect()
         };
         let a = read_f32(&memory, 0);
         let b = read_f32(&memory, (words * 4) as u32);
         let c = read_f32(&memory, (words * 8) as u32);
-        Simulator::new().run(&w.launch(), &mut memory, &mut NopHook).unwrap();
+        Simulator::new()
+            .run(&w.launch(), &mut memory, &mut NopHook)
+            .unwrap();
         let expect = reference(&a, &b, &c, n);
         let (addr, len) = w.output_region();
-        for (idx, (&bits, &want)) in
-            memory.read_slice(addr, len).iter().zip(&expect).enumerate()
-        {
+        for (idx, (&bits, &want)) in memory.read_slice(addr, len).iter().zip(&expect).enumerate() {
             assert_eq!(bits, want.to_bits(), "mismatch at element {idx}");
         }
     }
@@ -158,9 +170,14 @@ mod tests {
         let launch = w.launch();
         let mut tracer = Tracer::new(launch.num_threads(), launch.threads_per_cta());
         let mut memory = w.init_memory();
-        Simulator::new().run(&launch, &mut memory, &mut tracer).unwrap();
+        Simulator::new()
+            .run(&launch, &mut memory, &mut tracer)
+            .unwrap();
         let trace = tracer.finish();
         let first = trace.icnt[0];
-        assert!(trace.icnt.iter().all(|&c| c == first), "all threads identical");
+        assert!(
+            trace.icnt.iter().all(|&c| c == first),
+            "all threads identical"
+        );
     }
 }

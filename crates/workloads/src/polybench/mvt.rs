@@ -99,7 +99,10 @@ pub fn k1(scale: Scale) -> Workload {
         vec![a_addr, y_addr, x_addr],
         memory,
         (x_addr, n),
-        Some(PaperReference { threads: 512, fault_sites: 6.83e7 }),
+        Some(PaperReference {
+            threads: 512,
+            fault_sites: 6.83e7,
+        }),
     )
 }
 
@@ -118,12 +121,12 @@ mod tests {
         let a = to_f32(memory.read_slice(0, n * n));
         let y1 = to_f32(memory.read_slice((n * n * 4) as u32, n));
         let x1 = to_f32(memory.read_slice((n * n * 4 + n * 4) as u32, n));
-        Simulator::new().run(&w.launch(), &mut memory, &mut NopHook).unwrap();
+        Simulator::new()
+            .run(&w.launch(), &mut memory, &mut NopHook)
+            .unwrap();
         let expect = reference(&a, &y1, &x1, n);
         let (addr, len) = w.output_region();
-        for (idx, (&bits, &want)) in
-            memory.read_slice(addr, len).iter().zip(&expect).enumerate()
-        {
+        for (idx, (&bits, &want)) in memory.read_slice(addr, len).iter().zip(&expect).enumerate() {
             assert_eq!(bits, want.to_bits(), "mismatch at row {idx}");
         }
     }

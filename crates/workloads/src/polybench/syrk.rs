@@ -22,8 +22,14 @@ struct Geom {
 
 fn geom(scale: Scale) -> Geom {
     match scale {
-        Scale::Paper => Geom { n: 128, block: (32, 8) },
-        Scale::Eval => Geom { n: 16, block: (8, 4) },
+        Scale::Paper => Geom {
+            n: 128,
+            block: (32, 8),
+        },
+        Scale::Eval => Geom {
+            n: 16,
+            block: (8, 4),
+        },
     }
 }
 
@@ -112,7 +118,10 @@ pub fn k1(scale: Scale) -> Workload {
         vec![a_addr, c_addr],
         memory,
         (c_addr, words),
-        Some(PaperReference { threads: 16384, fault_sites: 6.23e8 }),
+        Some(PaperReference {
+            threads: 16384,
+            fault_sites: 6.23e8,
+        }),
     )
 }
 
@@ -128,19 +137,22 @@ mod tests {
         let n = geom(Scale::Eval).n as usize;
         let words = n * n;
         let mut memory = w.init_memory();
-        let a: Vec<f32> =
-            memory.read_slice(0, words).iter().map(|&x| f32::from_bits(x)).collect();
+        let a: Vec<f32> = memory
+            .read_slice(0, words)
+            .iter()
+            .map(|&x| f32::from_bits(x))
+            .collect();
         let c: Vec<f32> = memory
             .read_slice((words * 4) as u32, words)
             .iter()
             .map(|&x| f32::from_bits(x))
             .collect();
-        Simulator::new().run(&w.launch(), &mut memory, &mut NopHook).unwrap();
+        Simulator::new()
+            .run(&w.launch(), &mut memory, &mut NopHook)
+            .unwrap();
         let expect = reference(&a, &c, n);
         let (addr, len) = w.output_region();
-        for (idx, (&bits, &want)) in
-            memory.read_slice(addr, len).iter().zip(&expect).enumerate()
-        {
+        for (idx, (&bits, &want)) in memory.read_slice(addr, len).iter().zip(&expect).enumerate() {
             assert_eq!(bits, want.to_bits(), "mismatch at element {idx}");
         }
     }

@@ -35,11 +35,25 @@ struct Geom {
 fn geom(scale: Scale) -> Geom {
     match scale {
         // Fan1: 512 threads; Fan2: 4096 threads (Table I).
-        Scale::Paper => {
-            Geom { size: 64, b1: 256, g1: 2, b2: 16, g2: 4, t_early: 0, t_late: 48 }
-        }
+        Scale::Paper => Geom {
+            size: 64,
+            b1: 256,
+            g1: 2,
+            b2: 16,
+            g2: 4,
+            t_early: 0,
+            t_late: 48,
+        },
         // Fan1: 64 threads; Fan2: 256 threads.
-        Scale::Eval => Geom { size: 16, b1: 32, g1: 2, b2: 8, g2: 2, t_early: 0, t_late: 8 },
+        Scale::Eval => Geom {
+            size: 16,
+            b1: 32,
+            g1: 2,
+            b2: 8,
+            g2: 2,
+            t_early: 0,
+            t_late: 8,
+        },
     }
 }
 
@@ -136,7 +150,10 @@ fn memory(g: &Geom) -> MemBlock {
         a[i * n + i] += 10.0; // diagonal dominance keeps Fan1's divisor sane
     }
     memory.write_f32_slice(0, &a);
-    memory.write_f32_slice((2 * words * 4) as u32, &DataGen::new("gaussian.b").f32_buffer(n, 1.0, 2.0));
+    memory.write_f32_slice(
+        (2 * words * 4) as u32,
+        &DataGen::new("gaussian.b").f32_buffer(n, 1.0, 2.0),
+    );
     memory
 }
 
@@ -194,28 +211,60 @@ fn fan2(scale: Scale, id: &'static str, t: u32, paper: PaperReference) -> Worklo
 #[must_use]
 pub fn k1(scale: Scale) -> Workload {
     let g = geom(scale);
-    fan1(scale, "K1", g.t_early, PaperReference { threads: 512, fault_sites: 1.63e5 })
+    fan1(
+        scale,
+        "K1",
+        g.t_early,
+        PaperReference {
+            threads: 512,
+            fault_sites: 1.63e5,
+        },
+    )
 }
 
 /// `Fan2` at the first elimination step (paper kernel K2).
 #[must_use]
 pub fn k2(scale: Scale) -> Workload {
     let g = geom(scale);
-    fan2(scale, "K2", g.t_early, PaperReference { threads: 4096, fault_sites: 4.92e6 })
+    fan2(
+        scale,
+        "K2",
+        g.t_early,
+        PaperReference {
+            threads: 4096,
+            fault_sites: 4.92e6,
+        },
+    )
 }
 
 /// `Fan1` at a late elimination step (paper kernel K125).
 #[must_use]
 pub fn k125(scale: Scale) -> Workload {
     let g = geom(scale);
-    fan1(scale, "K125", g.t_late, PaperReference { threads: 512, fault_sites: 1.09e5 })
+    fan1(
+        scale,
+        "K125",
+        g.t_late,
+        PaperReference {
+            threads: 512,
+            fault_sites: 1.09e5,
+        },
+    )
 }
 
 /// `Fan2` at a late elimination step (paper kernel K126).
 #[must_use]
 pub fn k126(scale: Scale) -> Workload {
     let g = geom(scale);
-    fan2(scale, "K126", g.t_late, PaperReference { threads: 4096, fault_sites: 8.79e5 })
+    fan2(
+        scale,
+        "K126",
+        g.t_late,
+        PaperReference {
+            threads: 4096,
+            fault_sites: 8.79e5,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -228,7 +277,9 @@ mod tests {
         let launch = w.launch();
         let mut tracer = Tracer::new(launch.num_threads(), launch.threads_per_cta());
         let mut memory = w.init_memory();
-        Simulator::new().run(&launch, &mut memory, &mut tracer).unwrap();
+        Simulator::new()
+            .run(&launch, &mut memory, &mut tracer)
+            .unwrap();
         let mut icnts = tracer.finish().icnt;
         icnts.sort_unstable();
         icnts.dedup();
@@ -250,12 +301,17 @@ mod tests {
 
     #[test]
     fn late_invocations_have_fewer_sites() {
-        for (early, late) in [(k1(Scale::Eval), k125(Scale::Eval)), (k2(Scale::Eval), k126(Scale::Eval))] {
+        for (early, late) in [
+            (k1(Scale::Eval), k125(Scale::Eval)),
+            (k2(Scale::Eval), k126(Scale::Eval)),
+        ] {
             let sites = |w: &Workload| {
                 let launch = w.launch();
                 let mut tracer = Tracer::new(launch.num_threads(), launch.threads_per_cta());
                 let mut memory = w.init_memory();
-                Simulator::new().run(&launch, &mut memory, &mut tracer).unwrap();
+                Simulator::new()
+                    .run(&launch, &mut memory, &mut tracer)
+                    .unwrap();
                 tracer.finish().total_fault_sites()
             };
             assert!(
@@ -272,9 +328,14 @@ mod tests {
         let g = geom(Scale::Eval);
         let n = g.size as usize;
         let mut memory = w.init_memory();
-        let a: Vec<f32> =
-            memory.read_slice(0, n * n).iter().map(|&x| f32::from_bits(x)).collect();
-        Simulator::new().run(&w.launch(), &mut memory, &mut NopHook).unwrap();
+        let a: Vec<f32> = memory
+            .read_slice(0, n * n)
+            .iter()
+            .map(|&x| f32::from_bits(x))
+            .collect();
+        Simulator::new()
+            .run(&w.launch(), &mut memory, &mut NopHook)
+            .unwrap();
         let m: Vec<f32> = memory
             .read_slice((n * n * 4) as u32, n * n)
             .iter()

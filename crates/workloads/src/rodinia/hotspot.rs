@@ -51,9 +51,17 @@ impl Geom {
 fn geom(scale: Scale) -> Geom {
     match scale {
         // 9216 threads = 6x6 CTAs of 16x16 (Table I).
-        Scale::Paper => Geom { bs: 16, tile: 12, g: 6 },
+        Scale::Paper => Geom {
+            bs: 16,
+            tile: 12,
+            g: 6,
+        },
         // 576 threads = 3x3 CTAs of 8x8.
-        Scale::Eval => Geom { bs: 8, tile: 4, g: 3 },
+        Scale::Eval => Geom {
+            bs: 8,
+            tile: 4,
+            g: 3,
+        },
     }
 }
 
@@ -257,8 +265,14 @@ pub fn k1(scale: Scale) -> Workload {
     let power_addr = (words * 4) as u32;
     let out_addr = (words * 8) as u32;
     let mut memory = MemBlock::with_words(3 * words);
-    memory.write_f32_slice(temp_addr, &DataGen::new("hotspot.temp").f32_buffer(words, 323.0, 343.0));
-    memory.write_f32_slice(power_addr, &DataGen::new("hotspot.power").f32_buffer(words, 0.0, 0.01));
+    memory.write_f32_slice(
+        temp_addr,
+        &DataGen::new("hotspot.temp").f32_buffer(words, 323.0, 343.0),
+    );
+    memory.write_f32_slice(
+        power_addr,
+        &DataGen::new("hotspot.power").f32_buffer(words, 0.0, 0.01),
+    );
     Workload::new(
         "HotSpot",
         "calculate_temp",
@@ -271,7 +285,10 @@ pub fn k1(scale: Scale) -> Workload {
         vec![temp_addr, power_addr, out_addr],
         memory,
         (out_addr, words),
-        Some(PaperReference { threads: 9216, fault_sites: 3.44e7 }),
+        Some(PaperReference {
+            threads: 9216,
+            fault_sites: 3.44e7,
+        }),
     )
 }
 
@@ -292,12 +309,12 @@ mod tests {
         let to_f32 = |s: &[u32]| -> Vec<f32> { s.iter().map(|&x| f32::from_bits(x)).collect() };
         let temp = to_f32(memory.read_slice(0, words));
         let power = to_f32(memory.read_slice((words * 4) as u32, words));
-        Simulator::new().run(&w.launch(), &mut memory, &mut NopHook).unwrap();
+        Simulator::new()
+            .run(&w.launch(), &mut memory, &mut NopHook)
+            .unwrap();
         let expect = reference(&temp, &power, g.bs as usize, g.tile as usize, g.g as usize);
         let (addr, len) = w.output_region();
-        for (idx, (&bits, &want)) in
-            memory.read_slice(addr, len).iter().zip(&expect).enumerate()
-        {
+        for (idx, (&bits, &want)) in memory.read_slice(addr, len).iter().zip(&expect).enumerate() {
             assert_eq!(bits, want.to_bits(), "mismatch at cell {idx}");
         }
     }
@@ -309,7 +326,9 @@ mod tests {
         assert_eq!(launch.num_threads(), 9216);
         let mut tracer = Tracer::new(launch.num_threads(), launch.threads_per_cta());
         let mut memory = w.init_memory();
-        Simulator::new().run(&launch, &mut memory, &mut tracer).unwrap();
+        Simulator::new()
+            .run(&launch, &mut memory, &mut tracer)
+            .unwrap();
         let trace = tracer.finish();
         // CTA means split into ~9-10 groups (borders vs corners vs interior).
         let means: BTreeSet<u64> = (0..trace.num_ctas())

@@ -28,11 +28,21 @@ struct Geom {
 fn geom(scale: Scale) -> Geom {
     match scale {
         // 2304 threads = 9 CTAs x 256 (Table I), 34 features, 5 clusters.
-        Scale::Paper => {
-            Geom { npoints: 2200, nfeatures: 34, nclusters: 5, block: 256, grid: 9 }
-        }
+        Scale::Paper => Geom {
+            npoints: 2200,
+            nfeatures: 34,
+            nclusters: 5,
+            block: 256,
+            grid: 9,
+        },
         // 128 threads = 4 CTAs x 32.
-        Scale::Eval => Geom { npoints: 120, nfeatures: 8, nclusters: 4, block: 32, grid: 4 },
+        Scale::Eval => Geom {
+            npoints: 120,
+            nfeatures: 8,
+            nclusters: 4,
+            block: 32,
+            grid: 4,
+        },
     }
 }
 
@@ -120,8 +130,7 @@ fn k2_source(g: &Geom) -> String {
 }
 
 fn features(g: &Geom) -> Vec<f32> {
-    DataGen::new("kmeans.features")
-        .f32_buffer((g.npoints * g.nfeatures) as usize, 0.0, 1.0)
+    DataGen::new("kmeans.features").f32_buffer((g.npoints * g.nfeatures) as usize, 0.0, 1.0)
 }
 
 /// Builds `invert_mapping` (K1).
@@ -144,7 +153,10 @@ pub fn k1(scale: Scale) -> Workload {
         vec![0, (words * 4) as u32],
         memory,
         ((words * 4) as u32, words),
-        Some(PaperReference { threads: 2304, fault_sites: 1.47e7 }),
+        Some(PaperReference {
+            threads: 2304,
+            fault_sites: 1.47e7,
+        }),
     )
 }
 
@@ -176,14 +188,23 @@ pub fn k2(scale: Scale) -> Workload {
         vec![feat_addr, clus_addr, memb_addr],
         memory,
         (memb_addr, g.npoints as usize),
-        Some(PaperReference { threads: 2304, fault_sites: 9.67e7 }),
+        Some(PaperReference {
+            threads: 2304,
+            fault_sites: 9.67e7,
+        }),
     )
 }
 
 /// Host-side reference for K2 (argmin over squared euclidean distance, in
 /// kernel accumulation order).
 #[must_use]
-pub fn k2_reference(features: &[f32], clusters: &[f32], np: usize, nf: usize, nc: usize) -> Vec<u32> {
+pub fn k2_reference(
+    features: &[f32],
+    clusters: &[f32],
+    np: usize,
+    nf: usize,
+    nc: usize,
+) -> Vec<u32> {
     (0..np)
         .map(|p| {
             let mut best = 0u32;
@@ -217,7 +238,9 @@ mod tests {
         let (np, nf) = (g.npoints as usize, g.nfeatures as usize);
         let mut memory = w.init_memory();
         let input: Vec<u32> = memory.read_slice(0, np * nf).to_vec();
-        Simulator::new().run(&w.launch(), &mut memory, &mut NopHook).unwrap();
+        Simulator::new()
+            .run(&w.launch(), &mut memory, &mut NopHook)
+            .unwrap();
         let out = memory.read_slice((np * nf * 4) as u32, np * nf);
         for p in 0..np {
             for f in 0..nf {
@@ -230,12 +253,18 @@ mod tests {
     fn k2_matches_argmin_reference() {
         let w = k2(Scale::Eval);
         let g = geom(Scale::Eval);
-        let (np, nf, nc) = (g.npoints as usize, g.nfeatures as usize, g.nclusters as usize);
+        let (np, nf, nc) = (
+            g.npoints as usize,
+            g.nfeatures as usize,
+            g.nclusters as usize,
+        );
         let mut memory = w.init_memory();
         let to_f32 = |s: &[u32]| -> Vec<f32> { s.iter().map(|&x| f32::from_bits(x)).collect() };
         let feats = to_f32(memory.read_slice(0, np * nf));
         let clus = to_f32(memory.read_slice((np * nf * 4) as u32, nc * nf));
-        Simulator::new().run(&w.launch(), &mut memory, &mut NopHook).unwrap();
+        Simulator::new()
+            .run(&w.launch(), &mut memory, &mut NopHook)
+            .unwrap();
         let (addr, len) = w.output_region();
         let got = memory.read_slice(addr, len);
         let want = k2_reference(&feats, &clus, np, nf, nc);
@@ -248,7 +277,9 @@ mod tests {
         let launch = w.launch();
         let mut tracer = Tracer::new(launch.num_threads(), launch.threads_per_cta());
         let mut memory = w.init_memory();
-        Simulator::new().run(&launch, &mut memory, &mut tracer).unwrap();
+        Simulator::new()
+            .run(&launch, &mut memory, &mut tracer)
+            .unwrap();
         let trace = tracer.finish();
         let min = *trace.icnt.iter().min().unwrap();
         let max = *trace.icnt.iter().max().unwrap();

@@ -177,7 +177,10 @@ pub fn k46(scale: Scale) -> Workload {
         vec![0],
         base_memory(&g),
         (0, n * n),
-        Some(PaperReference { threads: 16, fault_sites: 5.26e5 }),
+        Some(PaperReference {
+            threads: 16,
+            fault_sites: 5.26e5,
+        }),
     )
 }
 
@@ -395,7 +398,10 @@ pub fn k44(scale: Scale) -> Workload {
         vec![0],
         base_memory(&g),
         (0, n * n),
-        Some(PaperReference { threads: 32, fault_sites: 1.75e6 }),
+        Some(PaperReference {
+            threads: 32,
+            fault_sites: 1.75e6,
+        }),
     )
 }
 
@@ -489,7 +495,10 @@ pub fn k45(scale: Scale) -> Workload {
         vec![0],
         base_memory(&g),
         (0, n * n),
-        Some(PaperReference { threads: 256, fault_sites: 6.84e5 }),
+        Some(PaperReference {
+            threads: 256,
+            fault_sites: 6.84e5,
+        }),
     )
 }
 
@@ -501,9 +510,15 @@ mod tests {
 
     fn run(w: &Workload) -> Vec<f32> {
         let mut memory = w.init_memory();
-        Simulator::new().run(&w.launch(), &mut memory, &mut NopHook).unwrap();
+        Simulator::new()
+            .run(&w.launch(), &mut memory, &mut NopHook)
+            .unwrap();
         let (addr, len) = w.output_region();
-        memory.read_slice(addr, len).iter().map(|&x| f32::from_bits(x)).collect()
+        memory
+            .read_slice(addr, len)
+            .iter()
+            .map(|&x| f32::from_bits(x))
+            .collect()
     }
 
     #[test]
@@ -540,7 +555,10 @@ mod tests {
     fn k45_is_loop_free() {
         let w = k45(Scale::Eval);
         let p = w.program();
-        assert!(p.cfg().loops(p).is_empty(), "internal kernel must be unrolled");
+        assert!(
+            p.cfg().loops(p).is_empty(),
+            "internal kernel must be unrolled"
+        );
     }
 
     #[test]
@@ -549,7 +567,9 @@ mod tests {
         let launch = w.launch();
         let mut tracer = Tracer::new(launch.num_threads(), launch.threads_per_cta());
         let mut memory = w.init_memory();
-        Simulator::new().run(&launch, &mut memory, &mut tracer).unwrap();
+        Simulator::new()
+            .run(&launch, &mut memory, &mut tracer)
+            .unwrap();
         let icnt = tracer.finish().icnt;
         let bs = geom(Scale::Eval).bs as usize;
         assert!(icnt[..bs].iter().all(|&c| c == icnt[0]));

@@ -24,9 +24,17 @@ struct Geom {
 fn geom(scale: Scale) -> Geom {
     match scale {
         // 43008 threads = 168 CTAs x 256 (Table VII).
-        Scale::Paper => Geom { nrecords: 42800, block: 256, grid: 168 },
+        Scale::Paper => Geom {
+            nrecords: 42800,
+            block: 256,
+            grid: 168,
+        },
         // 512 threads = 16 CTAs x 32.
-        Scale::Eval => Geom { nrecords: 500, block: 32, grid: 16 },
+        Scale::Eval => Geom {
+            nrecords: 500,
+            block: 32,
+            grid: 16,
+        },
     }
 }
 
@@ -109,9 +117,14 @@ mod tests {
         let g = geom(Scale::Eval);
         let n = g.nrecords as usize;
         let mut memory = w.init_memory();
-        let loc: Vec<f32> =
-            memory.read_slice(0, 2 * n).iter().map(|&x| f32::from_bits(x)).collect();
-        Simulator::new().run(&w.launch(), &mut memory, &mut NopHook).unwrap();
+        let loc: Vec<f32> = memory
+            .read_slice(0, 2 * n)
+            .iter()
+            .map(|&x| f32::from_bits(x))
+            .collect();
+        Simulator::new()
+            .run(&w.launch(), &mut memory, &mut NopHook)
+            .unwrap();
         let (addr, len) = w.output_region();
         let got = memory.read_slice(addr, len);
         for i in 0..n {

@@ -27,9 +27,17 @@ struct Geom {
 fn geom(scale: Scale) -> Geom {
     match scale {
         // 1280 threads = 5 CTAs x 256, 20 iterations (Table VII).
-        Scale::Paper => Geom { bs: 256, nb: 5, height: 20 },
+        Scale::Paper => Geom {
+            bs: 256,
+            nb: 5,
+            height: 20,
+        },
         // 128 threads = 2 CTAs x 64, 10 iterations.
-        Scale::Eval => Geom { bs: 64, nb: 2, height: 10 },
+        Scale::Eval => Geom {
+            bs: 64,
+            nb: 2,
+            height: 10,
+        },
     }
 }
 
@@ -130,7 +138,10 @@ pub fn k1(scale: Scale) -> Workload {
     let wall_addr = (cols * 4) as u32;
     let dst_addr = wall_addr + (wall_words * 4) as u32;
     let mut memory = MemBlock::with_words(cols + wall_words + cols);
-    memory.write_f32_slice(src_addr, &DataGen::new("pathfinder.src").f32_buffer(cols, 0.0, 10.0));
+    memory.write_f32_slice(
+        src_addr,
+        &DataGen::new("pathfinder.src").f32_buffer(cols, 0.0, 10.0),
+    );
     memory.write_f32_slice(
         wall_addr,
         &DataGen::new("pathfinder.wall").f32_buffer(wall_words, 0.0, 10.0),
@@ -147,7 +158,10 @@ pub fn k1(scale: Scale) -> Workload {
         vec![src_addr, wall_addr, dst_addr],
         memory,
         (dst_addr, cols),
-        Some(PaperReference { threads: 1280, fault_sites: 2.77e7 }),
+        Some(PaperReference {
+            threads: 1280,
+            fault_sites: 2.77e7,
+        }),
     )
 }
 
@@ -166,12 +180,12 @@ mod tests {
         let to_f32 = |s: &[u32]| -> Vec<f32> { s.iter().map(|&x| f32::from_bits(x)).collect() };
         let src = to_f32(memory.read_slice(0, cols));
         let wall = to_f32(memory.read_slice((cols * 4) as u32, cols * g.height as usize));
-        Simulator::new().run(&w.launch(), &mut memory, &mut NopHook).unwrap();
+        Simulator::new()
+            .run(&w.launch(), &mut memory, &mut NopHook)
+            .unwrap();
         let expect = reference(&src, &wall, g.bs as usize, g.nb as usize, g.height as usize);
         let (addr, len) = w.output_region();
-        for (idx, (&bits, &want)) in
-            memory.read_slice(addr, len).iter().zip(&expect).enumerate()
-        {
+        for (idx, (&bits, &want)) in memory.read_slice(addr, len).iter().zip(&expect).enumerate() {
             assert_eq!(bits, want.to_bits(), "mismatch at column {idx}");
         }
     }
@@ -182,7 +196,9 @@ mod tests {
         let launch = w.launch();
         let mut tracer = Tracer::new(launch.num_threads(), launch.threads_per_cta());
         let mut memory = w.init_memory();
-        Simulator::new().run(&launch, &mut memory, &mut tracer).unwrap();
+        Simulator::new()
+            .run(&launch, &mut memory, &mut tracer)
+            .unwrap();
         let trace = tracer.finish();
         let mut icnts: Vec<u32> = trace.icnt.clone();
         icnts.sort_unstable();

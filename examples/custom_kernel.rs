@@ -65,7 +65,9 @@ fn main() {
     let input: Vec<u32> = (0..32).collect();
     memory.write_slice(0, &input);
     let mut tracer = Tracer::new(4, 4).with_full_traces(0..4);
-    Simulator::new().run(&launch, &mut memory, &mut tracer).expect("runs");
+    Simulator::new()
+        .run(&launch, &mut memory, &mut tracer)
+        .expect("runs");
     let total = memory.load(0x80).expect("in range");
     assert_eq!(total, (0..32).sum::<u32>());
     println!("reduction result: {total}");

@@ -25,9 +25,14 @@ fn main() {
     // --- Stage 0: the exhaustive population (Equation 1).
     let mut tracer = Tracer::new(launch.num_threads(), launch.threads_per_cta());
     let mut memory = workload.init_memory();
-    Simulator::new().run(&launch, &mut memory, &mut tracer).expect("runs");
+    Simulator::new()
+        .run(&launch, &mut memory, &mut tracer)
+        .expect("runs");
     let trace = tracer.finish();
-    println!("Equation 1: {} exhaustive fault sites", trace.total_fault_sites());
+    println!(
+        "Equation 1: {} exhaustive fault sites",
+        trace.total_fault_sites()
+    );
 
     // --- Stage 1: thread-wise grouping.
     let grouping = ThreadGrouping::analyze(&trace);
@@ -66,14 +71,21 @@ fn main() {
         let config = PruningConfig {
             commonality: Some(CommonalityConfig::default()),
             loop_samples: 7,
-            bits: BitSampler { samples_per_32: bits, pred_policy: PredBitPolicy::ZeroFlagOnly },
+            bits: BitSampler {
+                samples_per_32: bits,
+                pred_policy: PredBitPolicy::ZeroFlagOnly,
+            },
             ..PruningConfig::default()
         };
         let pipeline = PruningPipeline::new(config);
         let plan = pipeline.plan_for(&experiment).expect("plan");
         println!(
             "  bits={:>3}: {:>8} runs  ({:.1} orders of magnitude pruned, weight check: {:.0})",
-            if bits == 0 { "all".to_owned() } else { bits.to_string() },
+            if bits == 0 {
+                "all".to_owned()
+            } else {
+                bits.to_string()
+            },
             plan.stages.after_bit,
             plan.stages.reduction_orders(),
             plan.total_weight()

@@ -35,7 +35,9 @@ impl Saxpy {
             "#,
         )
         .expect("saxpy assembles");
-        Saxpy { program: Arc::new(program) }
+        Saxpy {
+            program: Arc::new(program),
+        }
     }
 }
 
@@ -78,7 +80,10 @@ fn main() {
         .iter()
         .map(|&b| f32::from_bits(b))
         .collect();
-    println!("fault-free: y = {y:?} ({} instructions)", stats.instructions);
+    println!(
+        "fault-free: y = {y:?} ({} instructions)",
+        stats.instructions
+    );
 
     // 2. Count the fault sites (Equation 1 of the paper).
     let trace = tracer.finish();

@@ -14,15 +14,17 @@ use fault_site_pruning::workloads::{self, Scale};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let id = args.first().map_or("pathfinder", String::as_str);
-    let samples: usize = args
-        .get(1)
-        .map_or_else(|| required_samples_infinite(0.99, 0.0166) as usize, |s| {
-            s.parse().expect("samples must be a number")
-        });
+    let samples: usize = args.get(1).map_or_else(
+        || required_samples_infinite(0.99, 0.0166) as usize,
+        |s| s.parse().expect("samples must be a number"),
+    );
     let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
 
     let Some(workload) = workloads::by_id(id, Scale::Eval) else {
-        eprintln!("unknown kernel `{id}`; try one of: {}", workloads::registry_ids().join(", "));
+        eprintln!(
+            "unknown kernel `{id}`; try one of: {}",
+            workloads::registry_ids().join(", ")
+        );
         std::process::exit(1);
     };
     println!(
@@ -40,7 +42,10 @@ fn main() {
     println!("exhaustive population: {} sites", space.total_sites());
     let started = std::time::Instant::now();
     let baseline = run_baseline(&experiment, &space, samples, 42, workers);
-    println!("baseline ({samples} runs, {:.1?}): {baseline}", started.elapsed());
+    println!(
+        "baseline ({samples} runs, {:.1?}): {baseline}",
+        started.elapsed()
+    );
 
     // Progressive pruning: the paper's four stages.
     let pipeline = PruningPipeline::new(PruningConfig::default());
@@ -52,7 +57,11 @@ fn main() {
     );
     let started = std::time::Instant::now();
     let pruned = pipeline.run(&experiment, &plan, workers);
-    println!("pruned   ({} runs, {:.1?}): {pruned}", s.after_bit, started.elapsed());
+    println!(
+        "pruned   ({} runs, {:.1?}): {pruned}",
+        s.after_bit,
+        started.elapsed()
+    );
 
     let (dm, ds, do_) = pruned.diff(&baseline);
     println!("difference: masked {dm:+.2}%, sdc {ds:+.2}%, other {do_:+.2}%");

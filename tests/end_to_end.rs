@@ -140,7 +140,10 @@ fn bit_sampling_reduces_runs_monotonically() {
     let mut last = u64::MAX;
     for samples in [0u32, 16, 8, 4] {
         let pipeline = PruningPipeline::new(PruningConfig {
-            bits: BitSampler { samples_per_32: samples, pred_policy: PredBitPolicy::All },
+            bits: BitSampler {
+                samples_per_32: samples,
+                pred_policy: PredBitPolicy::All,
+            },
             commonality: Some(CommonalityConfig::default()),
             ..PruningConfig::default()
         });

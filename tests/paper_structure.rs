@@ -12,7 +12,9 @@ fn summary_trace(w: &Workload) -> KernelTrace {
     let launch = w.launch();
     let mut tracer = Tracer::new(launch.num_threads(), launch.threads_per_cta());
     let mut memory = w.init_memory();
-    Simulator::new().run(&launch, &mut memory, &mut tracer).expect("fault-free run");
+    Simulator::new()
+        .run(&launch, &mut memory, &mut tracer)
+        .expect("fault-free run");
     tracer.finish()
 }
 
@@ -22,7 +24,9 @@ fn summary_trace(w: &Workload) -> KernelTrace {
 #[test]
 fn table1_site_magnitudes() {
     for w in workloads::all(Scale::Paper) {
-        let Some(paper) = w.paper_reference() else { continue };
+        let Some(paper) = w.paper_reference() else {
+            continue;
+        };
         let trace = summary_trace(&w);
         assert_eq!(trace.num_threads(), paper.threads, "{}", w.registry_id());
         let ratio = trace.total_fault_sites() as f64 / paper.fault_sites;
@@ -113,12 +117,17 @@ fn table7_loop_iterations() {
         let forest = program.cfg().loops(program);
         let summary = summary_trace(&w);
         let grouping = ThreadGrouping::analyze(&summary);
-        let reps: Vec<u32> =
-            grouping.representatives(&summary).iter().map(|r| r.tid).collect();
-        let mut tracer = Tracer::new(launch.num_threads(), launch.threads_per_cta())
-            .with_full_traces(reps);
+        let reps: Vec<u32> = grouping
+            .representatives(&summary)
+            .iter()
+            .map(|r| r.tid)
+            .collect();
+        let mut tracer =
+            Tracer::new(launch.num_threads(), launch.threads_per_cta()).with_full_traces(reps);
         let mut memory = w.init_memory();
-        Simulator::new().run(&launch, &mut memory, &mut tracer).expect("fault-free");
+        Simulator::new()
+            .run(&launch, &mut memory, &mut tracer)
+            .expect("fault-free");
         let trace = tracer.finish();
         let measured = trace
             .full
@@ -145,7 +154,9 @@ fn table7_lud_triangular_iterations() {
         let mut tracer = Tracer::new(launch.num_threads(), launch.threads_per_cta())
             .with_full_traces(0..launch.num_threads());
         let mut memory = w.init_memory();
-        Simulator::new().run(&launch, &mut memory, &mut tracer).expect("fault-free");
+        Simulator::new()
+            .run(&launch, &mut memory, &mut tracer)
+            .expect("fault-free");
         let trace = tracer.finish();
         let measured = trace
             .full
@@ -211,8 +222,7 @@ fn fig2_outcome_grouping_matches_icnt_grouping() {
     let by_icnt = ThreadGrouping::analyze(space.trace());
     let icnt_groups: Vec<Vec<u32>> = by_icnt.groups.iter().map(|g| g.ctas.clone()).collect();
     let n = space.trace().num_ctas() as usize;
-    let agreement =
-        rand_index(&by_outcome.labels(), &labels_from_groups(&icnt_groups, n));
+    let agreement = rand_index(&by_outcome.labels(), &labels_from_groups(&icnt_groups, n));
     assert!(
         agreement > 0.999,
         "outcome groups {:?} vs iCnt groups {icnt_groups:?} (rand {agreement:.3})",

@@ -26,7 +26,12 @@ fn trace_from(per_thread: Vec<Vec<(u32, u16)>>) -> KernelTrace {
             },
         );
     }
-    KernelTrace { icnt, fault_bits, threads_per_cta: n.max(1) as u32, full }
+    KernelTrace {
+        icnt,
+        fault_bits,
+        threads_per_cta: n.max(1) as u32,
+        full,
+    }
 }
 
 proptest! {
@@ -149,8 +154,18 @@ proptest! {
 /// storing every register to global memory at the end.
 fn arbitrary_alu_program() -> impl Strategy<Value = String> {
     let ops = prop::sample::select(vec![
-        "add.u32", "sub.u32", "mul.lo.u32", "and.b32", "or.b32", "xor.b32", "shl.u32",
-        "shr.u32", "min.s32", "max.s32", "add.f32", "mul.f32",
+        "add.u32",
+        "sub.u32",
+        "mul.lo.u32",
+        "and.b32",
+        "or.b32",
+        "xor.b32",
+        "shl.u32",
+        "shr.u32",
+        "min.s32",
+        "max.s32",
+        "add.f32",
+        "mul.f32",
     ]);
     let instr = (ops, 1u8..6, 1u8..6, 1u8..6, any::<u32>(), any::<bool>()).prop_map(
         |(op, d, a, b, imm, use_imm)| {
@@ -168,11 +183,7 @@ fn arbitrary_alu_program() -> impl Strategy<Value = String> {
         // Store $r1..$r5 to out[tid*5 + k].
         src.push_str("cvt.u32.u16 $r6, %tid.x\nmul.lo.u32 $r7, $r6, 0x14\n");
         for k in 0..5 {
-            src.push_str(&format!(
-                "st.global.u32 [$r7+{}], $r{}\n",
-                k * 4,
-                k + 1
-            ));
+            src.push_str(&format!("st.global.u32 [$r7+{}], $r{}\n", k * 4, k + 1));
         }
         src.push_str("exit\n");
         src

@@ -15,7 +15,10 @@ fn all_kernels_roundtrip_through_disassembly() {
         // Drop the `.entry <name>` header line.
         let body: String = text.lines().skip(1).collect::<Vec<_>>().join("\n");
         let reassembled = assemble(original.name(), &body).unwrap_or_else(|e| {
-            panic!("{}: disassembly does not re-assemble: {e}\n{text}", w.registry_id())
+            panic!(
+                "{}: disassembly does not re-assemble: {e}\n{text}",
+                w.registry_id()
+            )
         });
         assert_eq!(
             original.instructions(),
@@ -30,8 +33,12 @@ fn all_kernels_roundtrip_through_disassembly() {
 fn reassembled_kernels_execute_identically() {
     for w in workloads::all(Scale::Eval) {
         let original = w.program();
-        let body: String =
-            original.to_string().lines().skip(1).collect::<Vec<_>>().join("\n");
+        let body: String = original
+            .to_string()
+            .lines()
+            .skip(1)
+            .collect::<Vec<_>>()
+            .join("\n");
         let reassembled = assemble(original.name(), &body).expect("re-assembles");
 
         let run = |program: fault_site_pruning::isa::KernelProgram| -> MemBlock {
@@ -44,11 +51,18 @@ fn reassembled_kernels_execute_identically() {
                 )
                 .params(w.launch().param_values().iter().copied());
             let mut memory = w.init_memory();
-            Simulator::new().run(&launch, &mut memory, &mut NopHook).expect("runs");
+            Simulator::new()
+                .run(&launch, &mut memory, &mut NopHook)
+                .expect("runs");
             memory
         };
         let a = run((**original).clone());
         let b = run(reassembled);
-        assert_eq!(a.words(), b.words(), "{}: behaviour changed", w.registry_id());
+        assert_eq!(
+            a.words(),
+            b.words(),
+            "{}: behaviour changed",
+            w.registry_id()
+        );
     }
 }

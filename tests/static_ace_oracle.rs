@@ -1,0 +1,89 @@
+//! Cross-validation oracle for the static ACE analysis (Stage 0).
+//!
+//! The static analysis claims certain destination bits can never reach
+//! kernel output — flipping them must be invisible. This test *proves* the
+//! claim dynamically, per kernel: every statically-dead bit of every
+//! dynamic retirement of every representative thread is injected through
+//! the real `fsp-inject` machinery and must classify `Masked`. A single
+//! non-masked outcome is a soundness bug in `fsp-analyze`.
+
+use fsp_analyze::StaticAceReport;
+use fsp_core::ThreadGrouping;
+use fsp_inject::{Experiment, FaultSite, WeightedSite};
+use fsp_stats::Outcome;
+use fsp_workloads::{self as workloads, Scale};
+
+fn workers() -> usize {
+    std::thread::available_parallelism().map_or(4, usize::from)
+}
+
+#[test]
+fn statically_dead_bits_are_masked_under_injection() {
+    let mut total_injected = 0usize;
+    let mut kernels_with_dead_bits = 0usize;
+    for w in workloads::all(Scale::Eval) {
+        let program = w.program().clone();
+        let report = StaticAceReport::analyze(&program);
+        if report.summary().dead_bits == 0 {
+            continue;
+        }
+        kernels_with_dead_bits += 1;
+
+        let experiment = Experiment::prepare(&w).expect("fault-free run");
+        // Representative threads cover every distinct dynamic behavior the
+        // pruning pipeline extrapolates from — exactly the threads whose
+        // statically-dead bits Stage 0 skips.
+        let summary = experiment.site_space(std::iter::empty());
+        let grouping = ThreadGrouping::analyze(summary.trace());
+        let reps: Vec<u32> = grouping
+            .representatives(summary.trace())
+            .iter()
+            .map(|r| r.tid)
+            .collect();
+        let space = experiment.site_space(reps.iter().copied());
+
+        let mut sites = Vec::new();
+        for &tid in &reps {
+            let trace = &space.trace().full[&tid];
+            for (dyn_idx, entry) in trace.entries.iter().enumerate() {
+                for bit in report.dead_flat_bits(entry.pc as usize) {
+                    sites.push(WeightedSite {
+                        site: FaultSite {
+                            tid,
+                            dyn_idx: dyn_idx as u32,
+                            bit,
+                        },
+                        weight: 1.0,
+                    });
+                }
+            }
+        }
+        assert!(
+            !sites.is_empty(),
+            "{}: dead bits reported but no dynamic site produced",
+            w.registry_id()
+        );
+
+        let result = experiment.run_campaign(&sites, workers());
+        for (ws, outcome) in sites.iter().zip(&result.outcomes) {
+            assert_eq!(
+                *outcome,
+                Outcome::Masked,
+                "{}: statically-dead site {:?} (pc of dyn_idx {} in thread {}) \
+                 classified {:?} — static ACE analysis is unsound",
+                w.registry_id(),
+                ws.site,
+                ws.site.dyn_idx,
+                ws.site.tid,
+                outcome,
+            );
+        }
+        total_injected += sites.len();
+    }
+    // The oracle is vacuous if the analysis never prunes anything.
+    assert!(
+        kernels_with_dead_bits >= 10,
+        "only {kernels_with_dead_bits} kernels had statically-dead bits"
+    );
+    assert!(total_injected > 0);
+}
