@@ -31,13 +31,24 @@ COMMANDS:
     trace <kernel> <tid>         Dump one thread's dynamic instruction trace
     reproduce <ARTIFACT>         Regenerate a paper artifact:
                                  table1..table7, fig2..fig10, all
+    serve                        Run the campaign orchestration service
+    submit <kernel> [-n N]      Submit a campaign job (pruned, or sampled with -n)
+    status [job-id]              Show one job (or all jobs) on the server
+    fetch <job-id>               Fetch a completed job's result document
+    cancel <job-id>              Cancel a queued or running job
 
 OPTIONS:
-    --workers N    Campaign worker threads (default: all cores)
+    --workers N    Campaign worker threads (default: all cores); for
+                   `serve`, the job worker pool width
     --quick        Smaller statistical baselines (~6K instead of 60K runs)
     --seed S       RNG seed (default 0xF5EED)
     --out PATH     For `reproduce`: also write the artifact text to PATH
-    -n N           Samples for `campaign` (default: statistical baseline)
+    -n N           Samples for `campaign`/`submit` (default: statistical
+                   baseline / pruned mode)
+    --addr A       Service address (default 127.0.0.1:7071)
+    --data DIR     For `serve`: persistent state directory (default .fsp-serve)
+    --local        For `submit`: run in-process, print the same result document
+    --wait         For `submit`: poll until done, then print the result
 ";
 
 fn main() -> ExitCode {
@@ -58,6 +69,10 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut samples: Option<usize> = None;
     let mut paper = false;
     let mut out_path: Option<String> = None;
+    let mut addr = "127.0.0.1:7071".to_owned();
+    let mut data_dir = ".fsp-serve".to_owned();
+    let mut local = false;
+    let mut wait = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -77,8 +92,18 @@ fn run(args: &[String]) -> Result<(), String> {
                 i += 1;
                 out_path = Some(args.get(i).ok_or("--out needs a path")?.clone());
             }
+            "--addr" => {
+                i += 1;
+                addr = args.get(i).ok_or("--addr needs an address")?.clone();
+            }
+            "--data" => {
+                i += 1;
+                data_dir = args.get(i).ok_or("--data needs a directory")?.clone();
+            }
             "--quick" => opts.quick = true,
             "--paper" => paper = true,
+            "--local" => local = true,
+            "--wait" => wait = true,
             "-h" | "--help" => {
                 println!("{USAGE}");
                 return Ok(());
@@ -107,6 +132,11 @@ fn run(args: &[String]) -> Result<(), String> {
         "reproduce" => reproduce(positional.get(1), &opts, out_path.as_deref()),
         "seeds" => seeds(positional.get(1), &opts),
         "severity" => severity(positional.get(1), samples, &opts),
+        "serve" => serve(&addr, &data_dir, &opts),
+        "submit" => submit(positional.get(1), samples, &opts, &addr, local, wait),
+        "status" => status(positional.get(1), &addr),
+        "fetch" => fetch(positional.get(1), &addr),
+        "cancel" => cancel(positional.get(1), &addr),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -428,6 +458,85 @@ fn severity(id: Option<&String>, samples: Option<usize>, opts: &Options) -> Resu
     let w = kernel(id, Scale::Eval)?;
     let n = samples.unwrap_or(1500);
     println!("{}", fsp_cli::extensions::sdc_severity(&w, n, opts));
+    Ok(())
+}
+
+fn serve(addr: &str, data_dir: &str, opts: &Options) -> Result<(), String> {
+    let config = fsp_serve::EngineConfig::new(data_dir).job_workers(opts.workers);
+    let engine = std::sync::Arc::new(
+        fsp_serve::Engine::open(config).map_err(|e| format!("opening {data_dir}: {e}"))?,
+    );
+    let server =
+        fsp_serve::Server::bind(addr, engine).map_err(|e| format!("binding {addr}: {e}"))?;
+    let bound = server.local_addr().map_err(|e| e.to_string())?;
+    eprintln!("fsp-serve listening on {bound} (state in {data_dir})");
+    server.run();
+    Ok(())
+}
+
+/// Builds the job spec `submit` sends: pruned by default, sampled with `-n`.
+fn submit_spec(
+    id: Option<&String>,
+    samples: Option<usize>,
+    opts: &Options,
+) -> Result<fsp_serve::JobSpec, String> {
+    let id = id.ok_or("missing kernel id")?;
+    let mut spec = match samples {
+        Some(n) => fsp_serve::JobSpec::sampled(id, n),
+        None => fsp_serve::JobSpec::pruned(id),
+    };
+    spec.seed = opts.seed;
+    Ok(spec)
+}
+
+fn submit(
+    id: Option<&String>,
+    samples: Option<usize>,
+    opts: &Options,
+    addr: &str,
+    local: bool,
+    wait: bool,
+) -> Result<(), String> {
+    let spec = submit_spec(id, samples, opts)?;
+    if local {
+        let result = fsp_serve::run_local(&spec, opts.workers)?;
+        println!("{result}");
+        return Ok(());
+    }
+    let client = fsp_serve::Client::new(addr);
+    let job_id = client.submit(&spec)?;
+    if wait {
+        let status = client.wait(&job_id, std::time::Duration::from_secs(3600))?;
+        match status.get("state").and_then(fsp_serve::Json::as_str) {
+            Some("completed") => println!("{}", client.result(&job_id)?),
+            Some(state) => return Err(format!("{job_id} ended in state `{state}`")),
+            None => return Err("malformed status document".to_owned()),
+        }
+    } else {
+        println!("{job_id}");
+    }
+    Ok(())
+}
+
+fn status(id: Option<&String>, addr: &str) -> Result<(), String> {
+    let client = fsp_serve::Client::new(addr);
+    match id {
+        Some(id) => println!("{}", client.status(id)?),
+        None => println!("{}", client.jobs()?),
+    }
+    Ok(())
+}
+
+fn fetch(id: Option<&String>, addr: &str) -> Result<(), String> {
+    let id = id.ok_or("missing job id")?;
+    println!("{}", fsp_serve::Client::new(addr).result(id)?);
+    Ok(())
+}
+
+fn cancel(id: Option<&String>, addr: &str) -> Result<(), String> {
+    let id = id.ok_or("missing job id")?;
+    fsp_serve::Client::new(addr).cancel(id)?;
+    eprintln!("cancellation requested for {id}");
     Ok(())
 }
 

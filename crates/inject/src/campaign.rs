@@ -1,6 +1,6 @@
 //! Golden-run preparation, single injections and parallel campaigns.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use fsp_sim::{Launch, MemBlock, SimFault, Simulator, Tracer};
@@ -9,6 +9,43 @@ use fsp_stats::{Outcome, ResilienceProfile};
 use crate::hook::InjectionHook;
 use crate::site::{SiteSpace, WeightedSite};
 use crate::target::InjectionTarget;
+
+/// Sites per work unit handed to a campaign worker. Small enough to load
+/// balance across heterogeneous site costs, large enough that claiming a
+/// chunk (the only synchronized step) is negligible next to running it.
+const CHUNK: usize = 16;
+
+/// Chunk-level progress events from a running campaign.
+///
+/// Implementations observe a campaign from outside the worker pool: after
+/// every completed chunk the workers report the chunk's outcomes, and
+/// between chunks they poll [`CampaignObserver::should_cancel`] so a
+/// long-running campaign can be stopped at chunk granularity. The
+/// orchestration service (`fsp-serve`) uses this to persist outcomes
+/// incrementally and to checkpoint/resume jobs.
+pub trait CampaignObserver: Sync {
+    /// Called by a worker after it finishes a chunk. `start` is the index
+    /// of the chunk's first site in the campaign's site list; `outcomes`
+    /// covers `sites[start..start + outcomes.len()]` in order (including
+    /// any sites that were pre-resolved rather than injected).
+    fn on_chunk(&self, start: usize, outcomes: &[Outcome]) {
+        let _ = (start, outcomes);
+    }
+
+    /// Polled by every worker before claiming the next chunk; returning
+    /// `true` stops the campaign. Already-claimed chunks finish (and are
+    /// still reported through [`CampaignObserver::on_chunk`]), so
+    /// cancellation never tears a chunk.
+    fn should_cancel(&self) -> bool {
+        false
+    }
+}
+
+/// The do-nothing observer used by the blocking campaign entry points.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NopObserver;
+
+impl CampaignObserver for NopObserver {}
 
 /// Hang-detection margin: an injected run may retire at most this many
 /// times the fault-free dynamic instruction count before being declared
@@ -130,24 +167,17 @@ impl<'a, T: InjectionTarget> Experiment<'a, T> {
     }
 
     /// Runs a single-bit-flip campaign over `sites` on `workers` OS
-    /// threads.
+    /// threads (`0` is clamped to 1).
     ///
     /// Outcomes are indexed by site position, so the result is deterministic
     /// regardless of scheduling.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `workers == 0`.
     #[must_use]
     pub fn run_campaign(&self, sites: &[WeightedSite], workers: usize) -> CampaignResult {
         self.run_campaign_with(sites, crate::FaultModel::SingleBitFlip, workers)
     }
 
-    /// Runs a campaign under an explicit [`crate::FaultModel`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `workers == 0`.
+    /// Runs a campaign under an explicit [`crate::FaultModel`] (`workers ==
+    /// 0` is clamped to 1).
     #[must_use]
     pub fn run_campaign_with(
         &self,
@@ -155,36 +185,89 @@ impl<'a, T: InjectionTarget> Experiment<'a, T> {
         model: crate::FaultModel,
         workers: usize,
     ) -> CampaignResult {
-        assert!(workers > 0, "campaign needs at least one worker");
-        let next = AtomicUsize::new(0);
-        let outcomes = Mutex::new(vec![Outcome::Masked; sites.len()]);
-        std::thread::scope(|scope| {
-            for _ in 0..workers.min(sites.len().max(1)) {
-                scope.spawn(|| {
-                    // Chunked work-stealing keeps lock traffic negligible.
-                    const CHUNK: usize = 16;
-                    loop {
-                        let start = next.fetch_add(CHUNK, Ordering::Relaxed);
-                        if start >= sites.len() {
+        let run = self.run_campaign_incremental(sites, model, workers, &[], &NopObserver);
+        run.into_result(sites)
+            .expect("uncancellable campaign always completes")
+    }
+
+    /// Runs a campaign incrementally: sites whose outcome is already known
+    /// (`resolved[i] == Some(..)` — e.g. from a persistent outcome store)
+    /// are taken as-is, only the remainder is injected, and `observer`
+    /// receives chunk-level progress and may cancel between chunks.
+    ///
+    /// `resolved` must be empty (nothing pre-resolved) or exactly
+    /// `sites.len()` long. `workers == 0` is clamped to 1.
+    ///
+    /// The result is deterministic in site order regardless of worker count
+    /// and of how the outcomes are split between `resolved` and fresh
+    /// injections: a fully warm run, a resumed run and a cold run of the
+    /// same sites produce identical outcome vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolved` is non-empty with a length other than
+    /// `sites.len()`.
+    #[must_use]
+    pub fn run_campaign_incremental(
+        &self,
+        sites: &[WeightedSite],
+        model: crate::FaultModel,
+        workers: usize,
+        resolved: &[Option<Outcome>],
+        observer: &dyn CampaignObserver,
+    ) -> IncrementalCampaign {
+        assert!(
+            resolved.is_empty() || resolved.len() == sites.len(),
+            "resolved length {} does not match {} sites",
+            resolved.len(),
+            sites.len()
+        );
+        let mut outcomes: Vec<Option<Outcome>> = if resolved.is_empty() {
+            vec![None; sites.len()]
+        } else {
+            resolved.to_vec()
+        };
+        let from_cache = outcomes.iter().filter(|o| o.is_some()).count();
+        let injected = AtomicUsize::new(0);
+        let cancelled = AtomicBool::new(false);
+        {
+            // Workers claim disjoint `&mut` chunks of the outcome vector;
+            // the mutex guards only the claim (iterator advance), so the
+            // injection hot path runs and writes back lock-free.
+            let chunks = Mutex::new(outcomes.chunks_mut(CHUNK).enumerate());
+            std::thread::scope(|scope| {
+                for _ in 0..workers.max(1).min(sites.len().max(1)) {
+                    scope.spawn(|| loop {
+                        if cancelled.load(Ordering::Relaxed) || observer.should_cancel() {
+                            cancelled.store(true, Ordering::Relaxed);
                             break;
                         }
-                        let end = (start + CHUNK).min(sites.len());
-                        let mut local = Vec::with_capacity(end - start);
-                        for ws in &sites[start..end] {
-                            local.push(self.run_one_with(ws.site, model));
+                        let claimed = chunks.lock().expect("campaign worker panicked").next();
+                        let Some((index, chunk)) = claimed else { break };
+                        let start = index * CHUNK;
+                        let mut fresh = 0usize;
+                        for (offset, slot) in chunk.iter_mut().enumerate() {
+                            if slot.is_none() {
+                                *slot = Some(self.run_one_with(sites[start + offset].site, model));
+                                fresh += 1;
+                            }
                         }
-                        outcomes.lock().expect("campaign worker panicked")[start..end]
-                            .copy_from_slice(&local);
-                    }
-                });
-            }
-        });
-        let outcomes = outcomes.into_inner().expect("campaign worker panicked");
-        let mut profile = ResilienceProfile::new();
-        for (ws, &o) in sites.iter().zip(&outcomes) {
-            profile.record_weighted(o, ws.weight);
+                        injected.fetch_add(fresh, Ordering::Relaxed);
+                        let filled: Vec<Outcome> = chunk
+                            .iter()
+                            .map(|o| o.expect("chunk fully resolved"))
+                            .collect();
+                        observer.on_chunk(start, &filled);
+                    });
+                }
+            });
         }
-        CampaignResult { outcomes, profile }
+        IncrementalCampaign {
+            outcomes,
+            injected: injected.into_inner(),
+            from_cache,
+            cancelled: cancelled.into_inner(),
+        }
     }
 }
 
@@ -195,6 +278,53 @@ pub struct CampaignResult {
     pub outcomes: Vec<Outcome>,
     /// The weighted resilience profile.
     pub profile: ResilienceProfile,
+}
+
+/// The result of an incremental campaign run (see
+/// [`Experiment::run_campaign_incremental`]): possibly partial when the
+/// observer cancelled it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncrementalCampaign {
+    /// Per-site outcomes in input order; `None` marks sites the campaign
+    /// was cancelled before reaching.
+    pub outcomes: Vec<Option<Outcome>>,
+    /// Sites actually injected by this run.
+    pub injected: usize,
+    /// Sites resolved from the caller-supplied outcomes (cache hits).
+    pub from_cache: usize,
+    /// Whether the observer stopped the campaign before it finished.
+    pub cancelled: bool,
+}
+
+impl IncrementalCampaign {
+    /// Whether every site has an outcome.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.outcomes.iter().all(Option::is_some)
+    }
+
+    /// The weighted profile over the sites resolved so far, accumulated in
+    /// site order (so a complete run's partial profile is bit-identical
+    /// across worker counts and cache splits).
+    #[must_use]
+    pub fn partial_profile(&self, sites: &[WeightedSite]) -> ResilienceProfile {
+        let mut profile = ResilienceProfile::new();
+        for (ws, o) in sites.iter().zip(&self.outcomes) {
+            if let Some(o) = o {
+                profile.record_weighted(*o, ws.weight);
+            }
+        }
+        profile
+    }
+
+    /// Converts a complete run into a [`CampaignResult`]; returns `None`
+    /// if any site is still unresolved.
+    #[must_use]
+    pub fn into_result(self, sites: &[WeightedSite]) -> Option<CampaignResult> {
+        let profile = self.partial_profile(sites);
+        let outcomes: Option<Vec<Outcome>> = self.outcomes.into_iter().collect();
+        outcomes.map(|outcomes| CampaignResult { outcomes, profile })
+    }
 }
 
 #[cfg(test)]
@@ -234,6 +364,91 @@ mod tests {
         let a = e.run_campaign(&sites, 1);
         let b = e.run_campaign(&sites, 4);
         assert_eq!(a.outcomes, b.outcomes);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let t = CountdownTarget::new();
+        let e = Experiment::prepare(&t).unwrap();
+        let space = e.site_space(0..4);
+        let sites: Vec<WeightedSite> = space.thread_site_iter(0).map(WeightedSite::from).collect();
+        let a = e.run_campaign(&sites, 0);
+        let b = e.run_campaign(&sites, 1);
+        assert_eq!(a.outcomes, b.outcomes);
+    }
+
+    #[test]
+    fn incremental_resolves_cache_hits_without_injecting() {
+        let t = CountdownTarget::new();
+        let e = Experiment::prepare(&t).unwrap();
+        let space = e.site_space(0..4);
+        let sites: Vec<WeightedSite> = space.thread_site_iter(0).map(WeightedSite::from).collect();
+        let cold = e.run_campaign(&sites, 2);
+        // Pre-resolve every other site from the cold run; the warm run must
+        // inject exactly the gaps and reproduce the cold outcomes.
+        let resolved: Vec<Option<Outcome>> = cold
+            .outcomes
+            .iter()
+            .enumerate()
+            .map(|(i, &o)| (i % 2 == 0).then_some(o))
+            .collect();
+        let hits = resolved.iter().filter(|o| o.is_some()).count();
+        let warm = e.run_campaign_incremental(
+            &sites,
+            crate::FaultModel::SingleBitFlip,
+            2,
+            &resolved,
+            &NopObserver,
+        );
+        assert!(warm.is_complete() && !warm.cancelled);
+        assert_eq!(warm.from_cache, hits);
+        assert_eq!(warm.injected, sites.len() - hits);
+        let warm = warm.into_result(&sites).unwrap();
+        assert_eq!(warm.outcomes, cold.outcomes);
+        assert_eq!(warm.profile, cold.profile);
+    }
+
+    #[test]
+    fn observer_sees_chunks_and_can_cancel() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        struct CancelAfter {
+            seen: AtomicUsize,
+            limit: usize,
+        }
+        impl CampaignObserver for CancelAfter {
+            fn on_chunk(&self, _start: usize, outcomes: &[Outcome]) {
+                self.seen.fetch_add(outcomes.len(), Ordering::Relaxed);
+            }
+            fn should_cancel(&self) -> bool {
+                self.seen.load(Ordering::Relaxed) >= self.limit
+            }
+        }
+
+        let t = CountdownTarget::new();
+        let e = Experiment::prepare(&t).unwrap();
+        let space = e.site_space(0..4);
+        let sites: Vec<WeightedSite> = (0..4)
+            .flat_map(|tid| space.thread_site_iter(tid))
+            .map(WeightedSite::from)
+            .collect();
+        let observer = CancelAfter {
+            seen: AtomicUsize::new(0),
+            limit: 32,
+        };
+        let run =
+            e.run_campaign_incremental(&sites, crate::FaultModel::SingleBitFlip, 1, &[], &observer);
+        assert!(run.cancelled);
+        assert!(!run.is_complete(), "cancellation must leave sites undone");
+        assert!(run.injected >= 32, "claimed chunks run to completion");
+        assert!(run.injected < sites.len());
+        // The partial outcomes agree with an uninterrupted run site-by-site.
+        let full = e.run_campaign(&sites, 2);
+        for (i, o) in run.outcomes.iter().enumerate() {
+            if let Some(o) = o {
+                assert_eq!(*o, full.outcomes[i]);
+            }
+        }
     }
 
     #[test]

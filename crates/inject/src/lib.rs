@@ -40,7 +40,9 @@ mod site;
 mod target;
 pub mod testing;
 
-pub use campaign::{CampaignResult, Experiment};
+pub use campaign::{
+    CampaignObserver, CampaignResult, Experiment, IncrementalCampaign, NopObserver,
+};
 pub use hook::InjectionHook;
 pub use model::FaultModel;
 pub use severity::{relative_l2_error, SeverityBucket};

@@ -36,6 +36,39 @@ impl FaultModel {
         FaultModel::RandomValue,
     ];
 
+    /// Looks a model up by its [`FaultModel::name`].
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<FaultModel> {
+        FaultModel::ALL.into_iter().find(|m| m.name() == name)
+    }
+
+    /// Stable single-byte wire/storage code (the campaign service keys its
+    /// persistent outcome store by it). Inverse of [`FaultModel::from_code`];
+    /// the mapping is frozen — extend, never renumber.
+    #[must_use]
+    pub const fn code(self) -> u8 {
+        match self {
+            FaultModel::SingleBitFlip => 0,
+            FaultModel::DoubleBitFlip => 1,
+            FaultModel::StuckAt0 => 2,
+            FaultModel::StuckAt1 => 3,
+            FaultModel::RandomValue => 4,
+        }
+    }
+
+    /// Decodes a wire/storage code; `None` for unknown codes.
+    #[must_use]
+    pub const fn from_code(code: u8) -> Option<FaultModel> {
+        match code {
+            0 => Some(FaultModel::SingleBitFlip),
+            1 => Some(FaultModel::DoubleBitFlip),
+            2 => Some(FaultModel::StuckAt0),
+            3 => Some(FaultModel::StuckAt1),
+            4 => Some(FaultModel::RandomValue),
+            _ => None,
+        }
+    }
+
     /// Short display name.
     #[must_use]
     pub const fn name(self) -> &'static str {
@@ -125,6 +158,16 @@ mod tests {
         assert_eq!(a & !0xF, 0xFFFF_FFF0, "bits outside the width untouched");
         let c = FaultModel::RandomValue.apply(0xFFFF_FFFF, 0, 4, 43);
         assert_ne!(a, c, "different sites draw different values");
+    }
+
+    #[test]
+    fn codes_and_names_round_trip() {
+        for m in FaultModel::ALL {
+            assert_eq!(FaultModel::from_code(m.code()), Some(m));
+            assert_eq!(FaultModel::from_name(m.name()), Some(m));
+        }
+        assert_eq!(FaultModel::from_code(5), None);
+        assert_eq!(FaultModel::from_name("nonesuch"), None);
     }
 
     #[test]

@@ -1,0 +1,689 @@
+//! The resumable job engine: a bounded worker pool draining a queue of
+//! campaign jobs against the persistent outcome store.
+//!
+//! # Resume protocol
+//!
+//! A job is persisted to `jobs/<id>.json` on every state transition, and
+//! every injected outcome is persisted to the outcome store chunk by
+//! chunk. A crash (or [`Engine::shutdown`], which deliberately behaves
+//! like one for in-flight work) therefore loses nothing but liveness: on
+//! the next [`Engine::open`], jobs still marked queued/running are
+//! requeued, re-planned (planning is deterministic), and their campaign
+//! re-run — at which point every site injected before the crash is a
+//! store hit, so the engine only executes the remainder. A completed
+//! job's profile is recomputed from the full outcome vector in site
+//! order, making it bit-identical to an uninterrupted run's.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use fsp_core::{PruningConfig, PruningPipeline};
+use fsp_inject::{CampaignObserver, Experiment, InjectionTarget, WeightedSite};
+use fsp_stats::{Outcome, ResilienceProfile};
+use fsp_workloads::Scale;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::job::{CampaignMode, JobRecord, JobResult, JobSpec, JobState};
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::store::{OutcomeKey, OutcomeStore};
+
+/// Log records accumulated before the engine folds them into a fresh
+/// checkpoint (bounds recovery replay time).
+const CHECKPOINT_EVERY: u64 = 100_000;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Root of the persistent state (`store/` and `jobs/` live here).
+    pub data_dir: PathBuf,
+    /// Concurrent jobs (the bounded worker pool).
+    pub job_workers: usize,
+    /// OS threads per job's injection campaign.
+    pub campaign_workers: usize,
+}
+
+impl EngineConfig {
+    /// Defaults: the worker pool spans the machine
+    /// (`available_parallelism`), one campaign thread per job worker.
+    #[must_use]
+    pub fn new(data_dir: impl Into<PathBuf>) -> EngineConfig {
+        EngineConfig {
+            data_dir: data_dir.into(),
+            job_workers: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+            campaign_workers: 1,
+        }
+    }
+
+    /// Overrides the worker-pool width (`0` is clamped to 1).
+    #[must_use]
+    pub fn job_workers(mut self, n: usize) -> EngineConfig {
+        self.job_workers = n.max(1);
+        self
+    }
+}
+
+/// Why `GET /jobs/:id/result` cannot produce a result yet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResultError {
+    /// No such job.
+    NotFound,
+    /// The job exists but is not completed; carries its current state.
+    NotReady(JobState),
+    /// The job failed, with its error message.
+    Failed(String),
+}
+
+struct Shared {
+    jobs_dir: PathBuf,
+    store: Mutex<OutcomeStore>,
+    jobs: Mutex<BTreeMap<String, JobRecord>>,
+    queue: Mutex<VecDeque<String>>,
+    queue_cv: Condvar,
+    cancel_flags: Mutex<HashMap<String, Arc<AtomicBool>>>,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    next_id: AtomicU64,
+    campaign_workers: usize,
+}
+
+/// The campaign orchestration engine. Open one per data directory; share
+/// it (via `Arc`) with the HTTP server.
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("jobs_dir", &self.shared.jobs_dir)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Opens the engine over `data_dir`: recovers the outcome store,
+    /// reloads persisted jobs, requeues unfinished ones and starts the
+    /// worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from store recovery or directory creation.
+    pub fn open(config: EngineConfig) -> std::io::Result<Engine> {
+        let EngineConfig {
+            data_dir,
+            job_workers,
+            campaign_workers,
+        } = config;
+        let store = OutcomeStore::open(data_dir.join("store"))?;
+        let jobs_dir = data_dir.join("jobs");
+        std::fs::create_dir_all(&jobs_dir)?;
+
+        let mut jobs = BTreeMap::new();
+        let mut max_id = 0u64;
+        let mut requeue: Vec<String> = Vec::new();
+        for entry in std::fs::read_dir(&jobs_dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let text = std::fs::read_to_string(&path)?;
+            let record = match Json::parse(&text).and_then(|v| JobRecord::from_json(&v)) {
+                Ok(record) => record,
+                Err(e) => {
+                    eprintln!(
+                        "fsp-serve: skipping unreadable job file {}: {e}",
+                        path.display()
+                    );
+                    continue;
+                }
+            };
+            if let Some(n) = record.id.strip_prefix("job-").and_then(|n| n.parse().ok()) {
+                max_id = max_id.max(n);
+            }
+            if record.state.is_active() {
+                requeue.push(record.id.clone());
+            }
+            jobs.insert(record.id.clone(), record);
+        }
+        // Oldest first, so recovery preserves submission order.
+        requeue.sort_by_key(|id| {
+            id.strip_prefix("job-")
+                .and_then(|n| n.parse::<u64>().ok())
+                .unwrap_or(u64::MAX)
+        });
+
+        let shared = Arc::new(Shared {
+            jobs_dir,
+            store: Mutex::new(store),
+            jobs: Mutex::new(jobs),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            cancel_flags: Mutex::new(HashMap::new()),
+            metrics: Metrics::default(),
+            shutdown: AtomicBool::new(false),
+            next_id: AtomicU64::new(max_id + 1),
+            campaign_workers: campaign_workers.max(1),
+        });
+        {
+            let mut jobs = shared.jobs.lock().expect("engine poisoned");
+            let mut queue = shared.queue.lock().expect("engine poisoned");
+            for id in requeue {
+                if let Some(record) = jobs.get_mut(&id) {
+                    record.state = JobState::Queued;
+                    persist(&shared.jobs_dir, record);
+                    queue.push_back(id);
+                }
+            }
+        }
+
+        let engine = Engine {
+            shared: Arc::clone(&shared),
+            workers: Mutex::new(Vec::new()),
+        };
+        let mut workers = engine.workers.lock().expect("engine poisoned");
+        for i in 0..job_workers.max(1) {
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("fsp-job-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning job worker"),
+            );
+        }
+        drop(workers);
+        Ok(engine)
+    }
+
+    /// Submits a job; returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown kernels (with the known ids in the message).
+    pub fn submit(&self, spec: JobSpec) -> Result<String, String> {
+        if fsp_workloads::by_id(&spec.kernel, Scale::Eval).is_none() {
+            return Err(format!(
+                "unknown kernel `{}` (try: {})",
+                spec.kernel,
+                fsp_workloads::registry_ids().join(", ")
+            ));
+        }
+        let id = format!(
+            "job-{}",
+            self.shared.next_id.fetch_add(1, Ordering::Relaxed)
+        );
+        let record = JobRecord::new(id.clone(), spec);
+        {
+            let mut jobs = self.shared.jobs.lock().expect("engine poisoned");
+            persist(&self.shared.jobs_dir, &record);
+            jobs.insert(id.clone(), record);
+        }
+        self.shared
+            .queue
+            .lock()
+            .expect("engine poisoned")
+            .push_back(id.clone());
+        self.shared.queue_cv.notify_one();
+        self.shared
+            .metrics
+            .jobs_submitted
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(id)
+    }
+
+    /// The job's full status document, or `None` if unknown.
+    #[must_use]
+    pub fn job_json(&self, id: &str) -> Option<Json> {
+        self.shared
+            .jobs
+            .lock()
+            .expect("engine poisoned")
+            .get(id)
+            .map(JobRecord::to_json)
+    }
+
+    /// Status documents of every known job, in id order.
+    #[must_use]
+    pub fn jobs_json(&self) -> Json {
+        Json::Arr(
+            self.shared
+                .jobs
+                .lock()
+                .expect("engine poisoned")
+                .values()
+                .map(JobRecord::to_json)
+                .collect(),
+        )
+    }
+
+    /// The canonical result document of a completed job.
+    ///
+    /// # Errors
+    ///
+    /// [`ResultError`] when the job is unknown, unfinished or failed.
+    pub fn result_json(&self, id: &str) -> Result<Json, ResultError> {
+        let jobs = self.shared.jobs.lock().expect("engine poisoned");
+        let record = jobs.get(id).ok_or(ResultError::NotFound)?;
+        match (&record.result, record.state) {
+            (Some(result), JobState::Completed) => {
+                Ok(crate::job::result_to_json(&record.spec, result))
+            }
+            (_, JobState::Failed) => Err(ResultError::Failed(
+                record.error.clone().unwrap_or_else(|| "failed".to_owned()),
+            )),
+            (_, state) => Err(ResultError::NotReady(state)),
+        }
+    }
+
+    /// Requests cancellation: queued jobs cancel immediately, running jobs
+    /// at their next chunk boundary. Returns whether a cancellation was
+    /// initiated.
+    pub fn cancel(&self, id: &str) -> bool {
+        let mut jobs = self.shared.jobs.lock().expect("engine poisoned");
+        match jobs.get_mut(id).map(|r| r.state) {
+            Some(JobState::Queued) => {
+                let record = jobs.get_mut(id).expect("checked above");
+                record.state = JobState::Cancelled;
+                persist(&self.shared.jobs_dir, record);
+                self.shared
+                    .metrics
+                    .jobs_cancelled
+                    .fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Some(JobState::Running) => {
+                let flags = self.shared.cancel_flags.lock().expect("engine poisoned");
+                flags.get(id).is_some_and(|flag| {
+                    flag.store(true, Ordering::Relaxed);
+                    true
+                })
+            }
+            _ => false,
+        }
+    }
+
+    /// Prometheus text exposition of the service metrics.
+    #[must_use]
+    pub fn metrics_text(&self) -> String {
+        let by_state: Vec<(&str, u64)> = {
+            let jobs = self.shared.jobs.lock().expect("engine poisoned");
+            JobState::ALL
+                .iter()
+                .map(|s| {
+                    (
+                        s.name(),
+                        jobs.values().filter(|r| r.state == *s).count() as u64,
+                    )
+                })
+                .collect()
+        };
+        let store_len = self.shared.store.lock().expect("engine poisoned").len() as u64;
+        self.shared.metrics.render(&by_state, store_len)
+    }
+
+    /// Blocks until no job is queued or running, or `timeout` elapses;
+    /// returns whether the engine went idle.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let busy = {
+                let jobs = self.shared.jobs.lock().expect("engine poisoned");
+                jobs.values().any(|r| r.state.is_active())
+            };
+            if !busy {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Stops the worker pool without waiting for in-flight jobs to finish
+    /// — deliberately equivalent to a crash for resumability: running jobs
+    /// stop at their next chunk boundary, stay `running` on disk, and
+    /// resume (from the store) on the next [`Engine::open`]. Flushes and
+    /// checkpoints the store before returning.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.queue_cv.notify_all();
+        let workers: Vec<_> = self
+            .workers
+            .lock()
+            .expect("engine poisoned")
+            .drain(..)
+            .collect();
+        for w in workers {
+            let _ = w.join();
+        }
+        let mut store = self.shared.store.lock().expect("engine poisoned");
+        if let Err(e) = store.flush().and_then(|()| store.checkpoint()) {
+            eprintln!("fsp-serve: checkpoint on shutdown failed: {e}");
+        }
+    }
+}
+
+/// The kernel registry document for `GET /kernels`: ids, names, geometry
+/// and the store-key fingerprints at evaluation scale.
+#[must_use]
+pub fn kernels_json() -> Json {
+    Json::Arr(
+        fsp_workloads::all(Scale::Eval)
+            .iter()
+            .map(|w| {
+                Json::obj([
+                    ("id", Json::Str(w.registry_id().to_owned())),
+                    ("app", Json::Str(w.app().to_owned())),
+                    ("kernel", Json::Str(w.kernel().to_owned())),
+                    ("threads", Json::u64(u64::from(w.launch().num_threads()))),
+                    ("fingerprint", Json::u64(w.fingerprint())),
+                    ("launch", Json::u64(w.launch_hash())),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Runs a job spec in-process, without a server or a store — the library
+/// path `fsp submit --local` uses, producing the same canonical result
+/// document as `GET /jobs/:id/result` for the same spec.
+///
+/// # Errors
+///
+/// Returns a message for unknown kernels or workload faults.
+pub fn run_local(spec: &JobSpec, workers: usize) -> Result<Json, String> {
+    let workload = fsp_workloads::by_id(&spec.kernel, Scale::Eval)
+        .ok_or_else(|| format!("unknown kernel `{}`", spec.kernel))?;
+    let experiment = Experiment::prepare(&workload).map_err(|e| e.to_string())?;
+    let (sites, assumed_masked) = plan_sites(spec, &workload, &experiment)?;
+    let result = experiment.run_campaign_with(&sites, spec.model, workers);
+    let mut profile = result.profile;
+    profile.record_weighted(Outcome::Masked, assumed_masked);
+    Ok(crate::job::result_to_json(
+        spec,
+        &JobResult {
+            fingerprint: workload.fingerprint(),
+            launch: workload.launch_hash(),
+            sites: sites.len(),
+            profile,
+        },
+    ))
+}
+
+/// Deterministically expands a spec into its weighted site list and
+/// assumed-masked weight. Shared by the engine and [`run_local`], so the
+/// service and library paths run byte-identical campaigns.
+fn plan_sites(
+    spec: &JobSpec,
+    workload: &fsp_workloads::Workload,
+    experiment: &Experiment<'_, fsp_workloads::Workload>,
+) -> Result<(Vec<WeightedSite>, f64), String> {
+    match spec.mode {
+        CampaignMode::Pruned {
+            static_ace,
+            loop_samples,
+        } => {
+            let config = PruningConfig {
+                static_ace,
+                loop_samples,
+                loop_seed: spec.seed,
+                ..PruningConfig::default()
+            };
+            let plan = PruningPipeline::new(config)
+                .plan_for(experiment)
+                .map_err(|e| format!("planning failed: {e}"))?;
+            Ok((plan.sites, plan.assumed_masked_weight))
+        }
+        CampaignMode::Sampled { samples } => {
+            let space = experiment.site_space(0..workload.launch().num_threads());
+            let mut rng = StdRng::seed_from_u64(spec.seed);
+            Ok((
+                space
+                    .sample_many(samples, &mut rng)
+                    .into_iter()
+                    .map(WeightedSite::from)
+                    .collect(),
+                0.0,
+            ))
+        }
+    }
+}
+
+fn persist(jobs_dir: &std::path::Path, record: &JobRecord) {
+    let path = jobs_dir.join(format!("{}.json", record.id));
+    let tmp = jobs_dir.join(format!("{}.json.tmp", record.id));
+    let write = || -> std::io::Result<()> {
+        std::fs::write(&tmp, record.to_json().to_string())?;
+        std::fs::rename(&tmp, &path)
+    };
+    if let Err(e) = write() {
+        eprintln!("fsp-serve: persisting {} failed: {e}", record.id);
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let id = {
+            let mut queue = shared.queue.lock().expect("engine poisoned");
+            loop {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                if let Some(id) = queue.pop_front() {
+                    break id;
+                }
+                queue = shared.queue_cv.wait(queue).expect("engine poisoned");
+            }
+        };
+        run_job(shared, &id);
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+    }
+}
+
+enum RunEnd {
+    Completed(JobResult),
+    /// Stopped by engine shutdown: stays `running` on disk, resumes on
+    /// the next open.
+    Interrupted,
+    Cancelled,
+    Failed(String),
+}
+
+fn run_job(shared: &Shared, id: &str) {
+    let spec = {
+        let mut jobs = shared.jobs.lock().expect("engine poisoned");
+        let Some(record) = jobs.get_mut(id) else {
+            return;
+        };
+        // A queued job can have been cancelled before a worker claimed it.
+        if record.state != JobState::Queued {
+            return;
+        }
+        record.state = JobState::Running;
+        persist(&shared.jobs_dir, record);
+        record.spec.clone()
+    };
+    let cancel = Arc::new(AtomicBool::new(false));
+    shared
+        .cancel_flags
+        .lock()
+        .expect("engine poisoned")
+        .insert(id.to_owned(), Arc::clone(&cancel));
+    let end = execute(shared, id, &spec, &cancel);
+    shared
+        .cancel_flags
+        .lock()
+        .expect("engine poisoned")
+        .remove(id);
+    let mut jobs = shared.jobs.lock().expect("engine poisoned");
+    let Some(record) = jobs.get_mut(id) else {
+        return;
+    };
+    match end {
+        RunEnd::Completed(result) => {
+            record.state = JobState::Completed;
+            record.done = record.total;
+            record.partial = result.profile;
+            record.result = Some(result);
+            shared
+                .metrics
+                .jobs_completed
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        RunEnd::Interrupted => return, // stays `running` on disk
+        RunEnd::Cancelled => {
+            record.state = JobState::Cancelled;
+            shared
+                .metrics
+                .jobs_cancelled
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        RunEnd::Failed(error) => {
+            record.state = JobState::Failed;
+            record.error = Some(error);
+            shared.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    persist(&shared.jobs_dir, record);
+}
+
+fn execute(shared: &Shared, id: &str, spec: &JobSpec, cancel: &AtomicBool) -> RunEnd {
+    let Some(workload) = fsp_workloads::by_id(&spec.kernel, Scale::Eval) else {
+        return RunEnd::Failed(format!("unknown kernel `{}`", spec.kernel));
+    };
+    let experiment = match Experiment::prepare(&workload) {
+        Ok(e) => e,
+        Err(e) => return RunEnd::Failed(format!("golden run failed: {e}")),
+    };
+    let (sites, assumed_masked) = match plan_sites(spec, &workload, &experiment) {
+        Ok(planned) => planned,
+        Err(e) => return RunEnd::Failed(e),
+    };
+    let fingerprint = workload.fingerprint();
+    let launch = workload.launch_hash();
+    let keys: Vec<OutcomeKey> = sites
+        .iter()
+        .map(|ws| OutcomeKey::new(fingerprint, launch, spec.model, ws.site))
+        .collect();
+
+    // Drain the store: anything this service ever injected for these keys
+    // is a hit; only the misses run.
+    let resolved: Vec<Option<Outcome>> = {
+        let store = shared.store.lock().expect("engine poisoned");
+        keys.iter().map(|k| store.get(k)).collect()
+    };
+    let hits = resolved.iter().filter(|o| o.is_some()).count();
+    {
+        let mut jobs = shared.jobs.lock().expect("engine poisoned");
+        if let Some(record) = jobs.get_mut(id) {
+            record.total = sites.len();
+            record.done = hits;
+            record.cache_hits = hits;
+            let mut partial = ResilienceProfile::new();
+            for (ws, o) in sites.iter().zip(&resolved) {
+                if let Some(o) = o {
+                    partial.record_weighted(*o, ws.weight);
+                }
+            }
+            record.partial = partial;
+            persist(&shared.jobs_dir, record);
+        }
+    }
+
+    let observer = EngineObserver {
+        shared,
+        id,
+        keys: &keys,
+        resolved: &resolved,
+        sites: &sites,
+        cancel,
+    };
+    let started = Instant::now();
+    let run = experiment.run_campaign_incremental(
+        &sites,
+        spec.model,
+        shared.campaign_workers,
+        &resolved,
+        &observer,
+    );
+    shared.metrics.record_campaign(
+        hits as u64,
+        run.injected as u64,
+        started.elapsed().as_nanos() as u64,
+    );
+    {
+        let mut store = shared.store.lock().expect("engine poisoned");
+        let _ = store.flush();
+        if store.appended_since_checkpoint() >= CHECKPOINT_EVERY {
+            if let Err(e) = store.checkpoint() {
+                eprintln!("fsp-serve: store checkpoint failed: {e}");
+            }
+        }
+    }
+    if run.cancelled {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return RunEnd::Interrupted;
+        }
+        return RunEnd::Cancelled;
+    }
+    // Final profile: recomputed over the complete outcome vector in site
+    // order, so cold, warm and resumed runs agree bit-for-bit.
+    let mut profile = run.partial_profile(&sites);
+    profile.record_weighted(Outcome::Masked, assumed_masked);
+    RunEnd::Completed(JobResult {
+        fingerprint,
+        launch,
+        sites: sites.len(),
+        profile,
+    })
+}
+
+struct EngineObserver<'a> {
+    shared: &'a Shared,
+    id: &'a str,
+    keys: &'a [OutcomeKey],
+    resolved: &'a [Option<Outcome>],
+    sites: &'a [WeightedSite],
+    cancel: &'a AtomicBool,
+}
+
+impl CampaignObserver for EngineObserver<'_> {
+    fn on_chunk(&self, start: usize, outcomes: &[Outcome]) {
+        {
+            let mut store = self.shared.store.lock().expect("engine poisoned");
+            for (j, &o) in outcomes.iter().enumerate() {
+                if self.resolved[start + j].is_none() {
+                    if let Err(e) = store.insert(self.keys[start + j], o) {
+                        eprintln!("fsp-serve: store append failed: {e}");
+                    }
+                }
+            }
+            // One flush per chunk: a crash loses at most the torn tail of
+            // the final in-flight record.
+            let _ = store.flush();
+        }
+        let mut jobs = self.shared.jobs.lock().expect("engine poisoned");
+        if let Some(record) = jobs.get_mut(self.id) {
+            for (j, &o) in outcomes.iter().enumerate() {
+                if self.resolved[start + j].is_none() {
+                    record.done += 1;
+                    record
+                        .partial
+                        .record_weighted(o, self.sites[start + j].weight);
+                }
+            }
+        }
+    }
+
+    fn should_cancel(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Relaxed) || self.cancel.load(Ordering::Relaxed)
+    }
+}

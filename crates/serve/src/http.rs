@@ -1,0 +1,240 @@
+//! A minimal HTTP/1.1 server over `std::net` exposing the engine.
+//!
+//! | Method | Path               | Body / response                        |
+//! |--------|--------------------|----------------------------------------|
+//! | POST   | `/jobs`            | job spec JSON → `{"id": "job-n"}`      |
+//! | GET    | `/jobs`            | array of job status documents          |
+//! | GET    | `/jobs/:id`        | job status document                    |
+//! | GET    | `/jobs/:id/result` | canonical result document (409 early)  |
+//! | POST   | `/jobs/:id/cancel` | `{"cancelled": true}`                  |
+//! | GET    | `/kernels`         | kernel registry with fingerprints      |
+//! | GET    | `/metrics`         | Prometheus text exposition             |
+//!
+//! Connections are `Connection: close`, one thread per request — campaign
+//! throughput, not HTTP throughput, is the bottleneck by design.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::engine::{kernels_json, Engine, ResultError};
+use crate::job::JobSpec;
+use crate::json::Json;
+
+/// Largest accepted request body (a job spec is tiny).
+const MAX_BODY: usize = 1 << 20;
+
+/// A bound, not-yet-serving HTTP server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<Engine>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:7071"`, or port 0 for ephemeral).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(addr: impl ToSocketAddrs, engine: Arc<Engine>) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            engine,
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS lookup failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves forever on the calling thread.
+    pub fn run(self) {
+        let stop = AtomicBool::new(false);
+        serve_until(&self.listener, &self.engine, &stop);
+    }
+
+    /// Serves on a background thread; the handle stops it cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates address lookup or thread-spawn failures.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("fsp-http".to_owned())
+                .spawn(move || serve_until(&self.listener, &self.engine, &stop))?
+        };
+        Ok(ServerHandle { addr, stop, thread })
+    }
+}
+
+/// Handle to a background server started by [`Server::spawn`].
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The serving address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the serving thread. Does not touch
+    /// the engine — shut that down separately.
+    pub fn stop(self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept() call.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.thread.join();
+    }
+}
+
+fn serve_until(listener: &TcpListener, engine: &Arc<Engine>, stop: &AtomicBool) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        match stream {
+            Ok(stream) => {
+                let engine = Arc::clone(engine);
+                let spawned = std::thread::Builder::new()
+                    .name("fsp-http-conn".to_owned())
+                    .spawn(move || {
+                        if let Err(e) = handle_connection(stream, &engine) {
+                            eprintln!("fsp-serve: connection error: {e}");
+                        }
+                    });
+                if let Err(e) = spawned {
+                    eprintln!("fsp-serve: spawning connection handler failed: {e}");
+                }
+            }
+            Err(e) => eprintln!("fsp-serve: accept failed: {e}"),
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, engine: &Engine) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Ok(()); // e.g. the wake-up connection from ServerHandle::stop
+    };
+    let (method, path) = (method.to_owned(), path.to_owned());
+
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(value) = line
+            .split_once(':')
+            .filter(|(name, _)| name.eq_ignore_ascii_case("content-length"))
+            .map(|(_, v)| v.trim())
+        {
+            content_length = value.parse().unwrap_or(0);
+        }
+    }
+    let body = if content_length > 0 && content_length <= MAX_BODY {
+        let mut buf = vec![0u8; content_length];
+        reader.read_exact(&mut buf)?;
+        String::from_utf8_lossy(&buf).into_owned()
+    } else {
+        String::new()
+    };
+
+    let (status, content_type, response_body) = route(engine, &method, &path, &body);
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        _ => "Internal Server Error",
+    };
+    let stream = reader.get_mut();
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{response_body}",
+        response_body.len()
+    )?;
+    stream.flush()
+}
+
+fn error_body(message: &str) -> String {
+    Json::obj([("error", Json::Str(message.to_owned()))]).to_string()
+}
+
+const JSON: &str = "application/json";
+
+fn route(engine: &Engine, method: &str, path: &str, body: &str) -> (u16, &'static str, String) {
+    match (method, path) {
+        ("POST", "/jobs") => match Json::parse(body)
+            .and_then(|v| JobSpec::from_json(&v))
+            .and_then(|spec| engine.submit(spec))
+        {
+            Ok(id) => (200, JSON, Json::obj([("id", Json::Str(id))]).to_string()),
+            Err(e) => (400, JSON, error_body(&e)),
+        },
+        ("GET", "/jobs") => (200, JSON, engine.jobs_json().to_string()),
+        ("GET", "/kernels") => (200, JSON, kernels_json().to_string()),
+        ("GET", "/metrics") => (200, "text/plain; version=0.0.4", engine.metrics_text()),
+        ("GET", _) if path.starts_with("/jobs/") && path.ends_with("/result") => {
+            let id = &path["/jobs/".len()..path.len() - "/result".len()];
+            match engine.result_json(id) {
+                Ok(result) => (200, JSON, result.to_string()),
+                Err(ResultError::NotFound) => (404, JSON, error_body("no such job")),
+                Err(ResultError::NotReady(state)) => (
+                    409,
+                    JSON,
+                    Json::obj([
+                        ("error", Json::Str("job not completed".to_owned())),
+                        ("state", Json::Str(state.name().to_owned())),
+                    ])
+                    .to_string(),
+                ),
+                Err(ResultError::Failed(e)) => (500, JSON, error_body(&e)),
+            }
+        }
+        ("POST", _) if path.starts_with("/jobs/") && path.ends_with("/cancel") => {
+            let id = &path["/jobs/".len()..path.len() - "/cancel".len()];
+            if engine.cancel(id) {
+                (
+                    200,
+                    JSON,
+                    Json::obj([("cancelled", Json::Bool(true))]).to_string(),
+                )
+            } else {
+                (409, JSON, error_body("job not cancellable"))
+            }
+        }
+        ("GET", _) if path.starts_with("/jobs/") => {
+            match engine.job_json(&path["/jobs/".len()..]) {
+                Some(job) => (200, JSON, job.to_string()),
+                None => (404, JSON, error_body("no such job")),
+            }
+        }
+        ("GET" | "POST", _) => (404, JSON, error_body("no such route")),
+        _ => (405, JSON, error_body("method not allowed")),
+    }
+}

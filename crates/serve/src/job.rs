@@ -1,0 +1,440 @@
+//! Job specifications, states and their wire/persistence encoding.
+
+use fsp_inject::FaultModel;
+use fsp_stats::ResilienceProfile;
+
+use crate::json::Json;
+
+/// What kind of campaign a job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignMode {
+    /// The paper's progressive-pruning campaign (`fsp prune` as a job).
+    Pruned {
+        /// Enable the static-ACE Stage 0.
+        static_ace: bool,
+        /// Loop iterations sampled per loop (0 disables the stage).
+        loop_samples: usize,
+    },
+    /// A uniform random-sampling campaign of `samples` injections.
+    Sampled {
+        /// Number of injections.
+        samples: usize,
+    },
+}
+
+/// A campaign job as submitted to `POST /jobs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Registry id of the kernel (e.g. `"gemm"`).
+    pub kernel: String,
+    /// Campaign kind and its stage configuration.
+    pub mode: CampaignMode,
+    /// Fault model for every injection.
+    pub model: FaultModel,
+    /// Seed: drives loop-iteration sampling (pruned) or site sampling
+    /// (sampled).
+    pub seed: u64,
+}
+
+impl JobSpec {
+    /// A pruned campaign with the paper's default stages.
+    #[must_use]
+    pub fn pruned(kernel: &str) -> JobSpec {
+        JobSpec {
+            kernel: kernel.to_owned(),
+            mode: CampaignMode::Pruned {
+                static_ace: true,
+                loop_samples: 7,
+            },
+            model: FaultModel::SingleBitFlip,
+            seed: 0xF5EED,
+        }
+    }
+
+    /// A random-sampling campaign of `samples` injections.
+    #[must_use]
+    pub fn sampled(kernel: &str, samples: usize) -> JobSpec {
+        JobSpec {
+            kernel: kernel.to_owned(),
+            mode: CampaignMode::Sampled { samples },
+            model: FaultModel::SingleBitFlip,
+            seed: 0xF5EED,
+        }
+    }
+
+    /// Encodes the spec's fields (flat, merged into job documents).
+    #[must_use]
+    pub fn fields(&self) -> Vec<(String, Json)> {
+        let mut pairs = vec![("kernel".to_owned(), Json::Str(self.kernel.clone()))];
+        match self.mode {
+            CampaignMode::Pruned {
+                static_ace,
+                loop_samples,
+            } => {
+                pairs.push(("mode".to_owned(), Json::Str("pruned".to_owned())));
+                pairs.push(("static_ace".to_owned(), Json::Bool(static_ace)));
+                pairs.push(("loop_samples".to_owned(), Json::u64(loop_samples as u64)));
+            }
+            CampaignMode::Sampled { samples } => {
+                pairs.push(("mode".to_owned(), Json::Str("sampled".to_owned())));
+                pairs.push(("samples".to_owned(), Json::u64(samples as u64)));
+            }
+        }
+        pairs.push(("model".to_owned(), Json::Str(self.model.name().to_owned())));
+        pairs.push(("seed".to_owned(), Json::u64(self.seed)));
+        pairs
+    }
+
+    /// Encodes the spec as a standalone object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(self.fields())
+    }
+
+    /// Decodes a spec from a submission document. Missing optional fields
+    /// take the [`JobSpec::pruned`] defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field.
+    pub fn from_json(value: &Json) -> Result<JobSpec, String> {
+        let kernel = value
+            .get("kernel")
+            .and_then(Json::as_str)
+            .ok_or("missing field `kernel`")?
+            .to_owned();
+        let mode = match value.get("mode").and_then(Json::as_str).unwrap_or("pruned") {
+            "pruned" => CampaignMode::Pruned {
+                static_ace: value
+                    .get("static_ace")
+                    .map(|v| v.as_bool().ok_or("`static_ace` must be a boolean"))
+                    .transpose()?
+                    .unwrap_or(true),
+                loop_samples: value
+                    .get("loop_samples")
+                    .map(|v| v.as_u64().ok_or("`loop_samples` must be an integer"))
+                    .transpose()?
+                    .unwrap_or(7) as usize,
+            },
+            "sampled" => CampaignMode::Sampled {
+                samples: value
+                    .get("samples")
+                    .ok_or("sampled mode needs `samples`")?
+                    .as_u64()
+                    .ok_or("`samples` must be an integer")? as usize,
+            },
+            other => return Err(format!("unknown mode `{other}`")),
+        };
+        let model = match value.get("model").and_then(Json::as_str) {
+            None => FaultModel::SingleBitFlip,
+            Some(name) => {
+                FaultModel::from_name(name).ok_or_else(|| format!("unknown model `{name}`"))?
+            }
+        };
+        let seed = value
+            .get("seed")
+            .map(|v| v.as_u64().ok_or("`seed` must be an integer"))
+            .transpose()?
+            .unwrap_or(0xF5EED);
+        Ok(JobSpec {
+            kernel,
+            mode,
+            model,
+            seed,
+        })
+    }
+}
+
+/// Lifecycle state of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// Being executed (or interrupted mid-run by a crash — recovery
+    /// requeues it).
+    Running,
+    /// Finished with a result.
+    Completed,
+    /// Finished with an error.
+    Failed,
+    /// Stopped by request.
+    Cancelled,
+}
+
+impl JobState {
+    /// All states, for metrics gauges.
+    pub const ALL: [JobState; 5] = [
+        JobState::Queued,
+        JobState::Running,
+        JobState::Completed,
+        JobState::Failed,
+        JobState::Cancelled,
+    ];
+
+    /// Wire name.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Completed => "completed",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Inverse of [`JobState::name`].
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<JobState> {
+        JobState::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// Whether the job can still make progress.
+    #[must_use]
+    pub const fn is_active(self) -> bool {
+        matches!(self, JobState::Queued | JobState::Running)
+    }
+}
+
+/// A completed job's payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// Kernel program fingerprint the outcomes are keyed under.
+    pub fingerprint: u64,
+    /// Launch-configuration hash.
+    pub launch: u64,
+    /// Number of injected (weighted) sites in the campaign.
+    pub sites: usize,
+    /// The final extrapolated resilience profile.
+    pub profile: ResilienceProfile,
+}
+
+/// One job as tracked by the engine and persisted to `jobs/<id>.json`.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Job id (`"job-<n>"`).
+    pub id: String,
+    /// The submitted spec.
+    pub spec: JobSpec,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Total sites in the campaign (0 until planned).
+    pub total: usize,
+    /// Sites resolved so far (cache hits + injections).
+    pub done: usize,
+    /// Sites served by the outcome store when the job started running.
+    pub cache_hits: usize,
+    /// The running (partial) weighted profile, for status reports.
+    pub partial: ResilienceProfile,
+    /// Failure message, when `state == Failed`.
+    pub error: Option<String>,
+    /// The result, when `state == Completed`.
+    pub result: Option<JobResult>,
+}
+
+/// Encodes a profile's raw weights (bit-exact round trip).
+#[must_use]
+pub fn profile_to_json(p: &ResilienceProfile) -> Json {
+    Json::obj([
+        ("masked", Json::Num(p.masked())),
+        ("sdc", Json::Num(p.sdc())),
+        ("other", Json::Num(p.other())),
+        ("crashes", Json::Num(p.crashes())),
+        ("hangs", Json::Num(p.hangs())),
+    ])
+}
+
+/// Decodes a profile encoded by [`profile_to_json`].
+///
+/// # Errors
+///
+/// Returns a message when a weight is missing or malformed.
+pub fn profile_from_json(value: &Json) -> Result<ResilienceProfile, String> {
+    let field = |name: &str| -> Result<f64, String> {
+        value
+            .get(name)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("profile missing `{name}`"))
+    };
+    Ok(ResilienceProfile::from_parts(
+        field("masked")?,
+        field("sdc")?,
+        field("other")?,
+        field("crashes")?,
+        field("hangs")?,
+    ))
+}
+
+impl JobRecord {
+    /// A freshly submitted job.
+    #[must_use]
+    pub fn new(id: String, spec: JobSpec) -> JobRecord {
+        JobRecord {
+            id,
+            spec,
+            state: JobState::Queued,
+            total: 0,
+            done: 0,
+            cache_hits: 0,
+            partial: ResilienceProfile::new(),
+            error: None,
+            result: None,
+        }
+    }
+
+    /// The full job document: status fields plus (when completed) the
+    /// result. This is both the `GET /jobs/:id` body and the on-disk
+    /// persistence format.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![("id".to_owned(), Json::Str(self.id.clone()))];
+        pairs.extend(self.spec.fields());
+        pairs.push(("state".to_owned(), Json::Str(self.state.name().to_owned())));
+        pairs.push(("total".to_owned(), Json::u64(self.total as u64)));
+        pairs.push(("done".to_owned(), Json::u64(self.done as u64)));
+        pairs.push(("cache_hits".to_owned(), Json::u64(self.cache_hits as u64)));
+        pairs.push(("partial".to_owned(), profile_to_json(&self.partial)));
+        if let Some(error) = &self.error {
+            pairs.push(("error".to_owned(), Json::Str(error.clone())));
+        }
+        if let Some(result) = &self.result {
+            pairs.push(("result".to_owned(), result_to_json(&self.spec, result)));
+        }
+        Json::Obj(pairs)
+    }
+
+    /// Decodes a persisted job document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on any missing or malformed field.
+    pub fn from_json(value: &Json) -> Result<JobRecord, String> {
+        let spec = JobSpec::from_json(value)?;
+        let id = value
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or("missing field `id`")?
+            .to_owned();
+        let state = value
+            .get("state")
+            .and_then(Json::as_str)
+            .and_then(JobState::from_name)
+            .ok_or("missing or unknown `state`")?;
+        let int =
+            |name: &str| -> usize { value.get(name).and_then(Json::as_u64).unwrap_or(0) as usize };
+        let partial = match value.get("partial") {
+            Some(p) => profile_from_json(p)?,
+            None => ResilienceProfile::new(),
+        };
+        let result = value
+            .get("result")
+            .map(|r| -> Result<JobResult, String> {
+                Ok(JobResult {
+                    fingerprint: r
+                        .get("fingerprint")
+                        .and_then(Json::as_u64)
+                        .ok_or("result missing `fingerprint`")?,
+                    launch: r
+                        .get("launch")
+                        .and_then(Json::as_u64)
+                        .ok_or("result missing `launch`")?,
+                    sites: r.get("sites").and_then(Json::as_u64).unwrap_or(0) as usize,
+                    profile: profile_from_json(
+                        r.get("profile").ok_or("result missing `profile`")?,
+                    )?,
+                })
+            })
+            .transpose()?;
+        Ok(JobRecord {
+            id,
+            spec,
+            state,
+            total: int("total"),
+            done: int("done"),
+            cache_hits: int("cache_hits"),
+            partial,
+            error: value.get("error").and_then(Json::as_str).map(str::to_owned),
+            result,
+        })
+    }
+}
+
+/// The canonical result document for a finished campaign. `fsp submit
+/// --local` prints exactly this for an in-process run, so CI can diff the
+/// service path against the library path byte-for-byte.
+#[must_use]
+pub fn result_to_json(spec: &JobSpec, result: &JobResult) -> Json {
+    let mut pairs = spec.fields();
+    pairs.push(("fingerprint".to_owned(), Json::u64(result.fingerprint)));
+    pairs.push(("launch".to_owned(), Json::u64(result.launch)));
+    pairs.push(("sites".to_owned(), Json::u64(result.sites as u64)));
+    pairs.push(("profile".to_owned(), profile_to_json(&result.profile)));
+    let (m, s, o) = result.profile.percentages();
+    pairs.push((
+        "percentages".to_owned(),
+        Json::Arr(vec![Json::Num(m), Json::Num(s), Json::Num(o)]),
+    ));
+    Json::Obj(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsp_stats::Outcome;
+
+    #[test]
+    fn spec_round_trips_both_modes() {
+        for spec in [
+            JobSpec::pruned("gemm"),
+            JobSpec {
+                kernel: "hotspot".to_owned(),
+                mode: CampaignMode::Sampled { samples: 1234 },
+                model: FaultModel::StuckAt1,
+                seed: u64::MAX,
+            },
+        ] {
+            let text = spec.to_json().to_string();
+            let back = JobSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn spec_defaults_fill_in() {
+        let spec = JobSpec::from_json(&Json::parse(r#"{"kernel":"mvt"}"#).unwrap()).unwrap();
+        assert_eq!(spec, JobSpec::pruned("mvt"));
+        assert!(JobSpec::from_json(&Json::parse("{}").unwrap()).is_err());
+        assert!(
+            JobSpec::from_json(&Json::parse(r#"{"kernel":"x","mode":"sampled"}"#).unwrap())
+                .is_err(),
+            "sampled mode requires a sample count"
+        );
+    }
+
+    #[test]
+    fn record_round_trips_with_result() {
+        let mut p = ResilienceProfile::new();
+        p.record_weighted(Outcome::Sdc, 1.0 / 3.0);
+        p.record_weighted(Outcome::HANG, 0.1 + 0.2);
+        let mut record = JobRecord::new("job-7".to_owned(), JobSpec::sampled("gemm", 50));
+        record.state = JobState::Completed;
+        record.total = 50;
+        record.done = 50;
+        record.cache_hits = 20;
+        record.partial = p;
+        record.result = Some(JobResult {
+            fingerprint: u64::MAX - 1,
+            launch: 42,
+            sites: 50,
+            profile: p,
+        });
+        let text = record.to_json().to_string();
+        let back = JobRecord::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.id, record.id);
+        assert_eq!(back.spec, record.spec);
+        assert_eq!(back.state, record.state);
+        assert_eq!(back.cache_hits, record.cache_hits);
+        assert_eq!(back.partial, record.partial, "profile survives bit-exactly");
+        assert_eq!(back.result.unwrap().profile, p);
+    }
+}

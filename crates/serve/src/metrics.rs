@@ -1,0 +1,135 @@
+//! Service counters and their Prometheus text rendering.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic service counters, shared lock-free between the worker pool
+/// and the HTTP layer.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Jobs accepted by `POST /jobs` (plus jobs recovered on restart).
+    pub jobs_submitted: AtomicU64,
+    /// Jobs that reached the completed state.
+    pub jobs_completed: AtomicU64,
+    /// Jobs that failed (bad kernel, workload fault).
+    pub jobs_failed: AtomicU64,
+    /// Jobs cancelled by request.
+    pub jobs_cancelled: AtomicU64,
+    /// Fault sites actually injected (cache misses that ran).
+    pub sites_injected: AtomicU64,
+    /// Sites resolved from the persistent outcome store.
+    pub cache_hits: AtomicU64,
+    /// Sites that had to be injected because the store missed.
+    pub cache_misses: AtomicU64,
+    /// Wall-clock nanoseconds spent inside injection campaigns.
+    pub injection_nanos: AtomicU64,
+}
+
+impl Metrics {
+    /// Adds a campaign's cache accounting in one shot.
+    pub fn record_campaign(&self, hits: u64, injected: u64, nanos: u64) {
+        self.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        self.cache_misses.fetch_add(injected, Ordering::Relaxed);
+        self.sites_injected.fetch_add(injected, Ordering::Relaxed);
+        self.injection_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Renders the Prometheus text exposition format. `jobs_by_state`
+    /// supplies the current gauge of jobs per state (queued/running/...),
+    /// which lives in the job table rather than in atomic counters.
+    #[must_use]
+    pub fn render(&self, jobs_by_state: &[(&str, u64)], store_len: u64) -> String {
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let misses = self.cache_misses.load(Ordering::Relaxed);
+        let injected = self.sites_injected.load(Ordering::Relaxed);
+        let nanos = self.injection_nanos.load(Ordering::Relaxed);
+        let hit_rate = if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        };
+        let sites_per_sec = if nanos == 0 {
+            0.0
+        } else {
+            injected as f64 / (nanos as f64 / 1e9)
+        };
+        let mut out = String::new();
+        out.push_str("# HELP fsp_jobs Jobs by state.\n# TYPE fsp_jobs gauge\n");
+        for (state, count) in jobs_by_state {
+            let _ = writeln!(out, "fsp_jobs{{state=\"{state}\"}} {count}");
+        }
+        let counters: [(&str, &str, u64); 6] = [
+            (
+                "fsp_jobs_submitted_total",
+                "Jobs accepted since start.",
+                self.jobs_submitted.load(Ordering::Relaxed),
+            ),
+            (
+                "fsp_jobs_completed_total",
+                "Jobs completed since start.",
+                self.jobs_completed.load(Ordering::Relaxed),
+            ),
+            (
+                "fsp_jobs_failed_total",
+                "Jobs failed since start.",
+                self.jobs_failed.load(Ordering::Relaxed),
+            ),
+            (
+                "fsp_sites_injected_total",
+                "Fault sites injected (cache misses run).",
+                injected,
+            ),
+            (
+                "fsp_cache_hits_total",
+                "Sites resolved from the outcome store.",
+                hits,
+            ),
+            (
+                "fsp_cache_misses_total",
+                "Sites not found in the outcome store.",
+                misses,
+            ),
+        ];
+        for (name, help, value) in counters {
+            let _ = write!(
+                out,
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            );
+        }
+        let _ = write!(
+            out,
+            "# HELP fsp_cache_hit_rate Fraction of sites served from the store.\n\
+             # TYPE fsp_cache_hit_rate gauge\nfsp_cache_hit_rate {hit_rate}\n"
+        );
+        let _ = write!(
+            out,
+            "# HELP fsp_sites_per_second Injection throughput over campaign wall time.\n\
+             # TYPE fsp_sites_per_second gauge\nfsp_sites_per_second {sites_per_sec:.1}\n"
+        );
+        let _ = write!(
+            out,
+            "# HELP fsp_store_outcomes Outcomes in the persistent store.\n\
+             # TYPE fsp_store_outcomes gauge\nfsp_store_outcomes {store_len}\n"
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_prometheus_text() {
+        let m = Metrics::default();
+        m.jobs_submitted.fetch_add(3, Ordering::Relaxed);
+        m.record_campaign(75, 25, 2_000_000_000);
+        let text = m.render(&[("queued", 1), ("completed", 2)], 100);
+        assert!(text.contains("fsp_jobs{state=\"queued\"} 1\n"));
+        assert!(text.contains("fsp_jobs_submitted_total 3\n"));
+        assert!(text.contains("fsp_cache_hit_rate 0.75\n"));
+        assert!(text.contains("fsp_sites_injected_total 25\n"));
+        assert!(text.contains("fsp_sites_per_second 12.5\n"));
+        assert!(text.contains("fsp_store_outcomes 100\n"));
+    }
+}

@@ -1,0 +1,392 @@
+//! The persistent, content-addressed outcome store.
+//!
+//! Every injection outcome the service ever computes is durably keyed by
+//! *(kernel fingerprint, launch-config hash, fault model, fault site)* —
+//! the complete set of inputs that determine the outcome on this
+//! deterministic simulator. Any campaign (a resumed job, an identical
+//! resubmission, an overlapping pruning config, a different seed hitting
+//! the same sites) first drains cache hits from the store and only injects
+//! the misses.
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! store/
+//!   checkpoint.bin   full index snapshot, replaced by write-then-rename
+//!   outcomes.log     fixed-size records appended since the checkpoint
+//! ```
+//!
+//! Both files hold the same fixed 32-byte record format (little-endian
+//! fields plus a 16-bit FNV checksum). Recovery loads the checkpoint, then
+//! replays the log and truncates it at the first short or corrupt record —
+//! a crash mid-append therefore loses at most the torn tail record, never
+//! checkpointed state. [`OutcomeStore::checkpoint`] writes the whole index
+//! to a temporary file, atomically renames it over `checkpoint.bin`, and
+//! only then truncates the log; a crash between those steps merely replays
+//! records that are already in the checkpoint (inserts are idempotent).
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+
+use fsp_inject::{FaultModel, FaultSite};
+use fsp_stats::Outcome;
+use fsp_workloads::Fnv1a;
+
+/// Size of one serialized outcome record.
+pub const RECORD_LEN: usize = 32;
+
+/// The store key: everything that determines an injection outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OutcomeKey {
+    /// Kernel program fingerprint ([`fsp_workloads::program_fingerprint`]).
+    pub fingerprint: u64,
+    /// Launch-configuration hash (`Workload::launch_hash`).
+    pub launch: u64,
+    /// Fault model wire code ([`FaultModel::code`]).
+    pub model: u8,
+    /// The injected site.
+    pub site: FaultSite,
+}
+
+impl OutcomeKey {
+    /// Builds a key for one site of a fingerprinted kernel launch.
+    #[must_use]
+    pub fn new(fingerprint: u64, launch: u64, model: FaultModel, site: FaultSite) -> Self {
+        OutcomeKey {
+            fingerprint,
+            launch,
+            model: model.code(),
+            site,
+        }
+    }
+}
+
+fn encode_record(key: &OutcomeKey, outcome: Outcome) -> [u8; RECORD_LEN] {
+    let mut buf = [0u8; RECORD_LEN];
+    buf[0..8].copy_from_slice(&key.fingerprint.to_le_bytes());
+    buf[8..16].copy_from_slice(&key.launch.to_le_bytes());
+    buf[16..20].copy_from_slice(&key.site.tid.to_le_bytes());
+    buf[20..24].copy_from_slice(&key.site.dyn_idx.to_le_bytes());
+    buf[24..28].copy_from_slice(&key.site.bit.to_le_bytes());
+    buf[28] = key.model;
+    buf[29] = outcome.code();
+    let mut h = Fnv1a::new();
+    h.write(&buf[..30]);
+    buf[30..32].copy_from_slice(&(h.finish() as u16).to_le_bytes());
+    buf
+}
+
+fn decode_record(buf: &[u8]) -> Option<(OutcomeKey, Outcome)> {
+    if buf.len() < RECORD_LEN {
+        return None;
+    }
+    let mut h = Fnv1a::new();
+    h.write(&buf[..30]);
+    if (h.finish() as u16).to_le_bytes() != [buf[30], buf[31]] {
+        return None;
+    }
+    let word = |r: std::ops::Range<usize>| u32::from_le_bytes(buf[r].try_into().expect("4 bytes"));
+    let outcome = Outcome::from_code(buf[29])?;
+    Some((
+        OutcomeKey {
+            fingerprint: u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes")),
+            launch: u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes")),
+            model: buf[28],
+            site: FaultSite {
+                tid: word(16..20),
+                dyn_idx: word(20..24),
+                bit: word(24..28),
+            },
+        },
+        outcome,
+    ))
+}
+
+/// The on-disk outcome store: append-only log + atomic checkpoints, with
+/// the full index held in memory for O(1) lookups.
+#[derive(Debug)]
+pub struct OutcomeStore {
+    dir: PathBuf,
+    index: HashMap<OutcomeKey, Outcome>,
+    log: BufWriter<File>,
+    appended: u64,
+}
+
+impl OutcomeStore {
+    /// Opens (creating if absent) the store in `dir`, recovering from the
+    /// checkpoint and the append log. A torn log tail — the footprint of a
+    /// crash mid-append — is detected by record framing and checksum, and
+    /// truncated away.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; a corrupt *checkpoint* (which is only ever
+    /// replaced atomically) is an error, not recoverable damage.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<OutcomeStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut index = HashMap::new();
+
+        let checkpoint = dir.join("checkpoint.bin");
+        if checkpoint.exists() {
+            let bytes = std::fs::read(&checkpoint)?;
+            for chunk in bytes.chunks(RECORD_LEN) {
+                let (key, outcome) = decode_record(chunk).ok_or_else(|| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "corrupt store checkpoint (atomic replace should make this impossible)",
+                    )
+                })?;
+                index.insert(key, outcome);
+            }
+        }
+
+        let log_path = dir.join("outcomes.log");
+        let mut valid_len = 0u64;
+        if log_path.exists() {
+            let bytes = std::fs::read(&log_path)?;
+            for chunk in bytes.chunks(RECORD_LEN) {
+                match decode_record(chunk) {
+                    Some((key, outcome)) => {
+                        index.insert(key, outcome);
+                        valid_len += RECORD_LEN as u64;
+                    }
+                    // Torn tail: stop replaying and drop it below.
+                    None => break,
+                }
+            }
+            if valid_len != bytes.len() as u64 {
+                OpenOptions::new()
+                    .write(true)
+                    .open(&log_path)?
+                    .set_len(valid_len)?;
+            }
+        }
+
+        let mut log_file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false)
+            .open(&log_path)?;
+        log_file.seek(SeekFrom::Start(valid_len))?;
+        Ok(OutcomeStore {
+            dir,
+            index,
+            log: BufWriter::new(log_file),
+            appended: valid_len / RECORD_LEN as u64,
+        })
+    }
+
+    /// Looks an outcome up.
+    #[must_use]
+    pub fn get(&self, key: &OutcomeKey) -> Option<Outcome> {
+        self.index.get(key).copied()
+    }
+
+    /// Number of cached outcomes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Records an outcome: updates the index and appends to the log.
+    /// Callers batch inserts and then [`OutcomeStore::flush`] once per
+    /// campaign chunk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates log-append I/O errors.
+    pub fn insert(&mut self, key: OutcomeKey, outcome: Outcome) -> std::io::Result<()> {
+        if self.index.insert(key, outcome) != Some(outcome) {
+            self.log.write_all(&encode_record(&key, outcome))?;
+            self.appended += 1;
+        }
+        Ok(())
+    }
+
+    /// Flushes buffered log appends to the operating system.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush I/O errors.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.log.flush()
+    }
+
+    /// Log records appended since the last checkpoint (compaction
+    /// heuristic input).
+    #[must_use]
+    pub fn appended_since_checkpoint(&self) -> u64 {
+        self.appended
+    }
+
+    /// Writes the full index to a fresh checkpoint (write-then-rename, so
+    /// the old checkpoint survives a crash at any point), then empties the
+    /// log.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn checkpoint(&mut self) -> std::io::Result<()> {
+        self.log.flush()?;
+        let tmp = self.dir.join("checkpoint.tmp");
+        {
+            let mut out = BufWriter::new(File::create(&tmp)?);
+            // Deterministic order keeps checkpoints byte-stable for a
+            // given index (useful for backups and tests).
+            let mut entries: Vec<(&OutcomeKey, &Outcome)> = self.index.iter().collect();
+            entries.sort_unstable_by_key(|(k, _)| **k);
+            for (key, outcome) in entries {
+                out.write_all(&encode_record(key, *outcome))?;
+            }
+            out.flush()?;
+            out.get_ref().sync_all()?;
+        }
+        std::fs::rename(&tmp, self.dir.join("checkpoint.bin"))?;
+        // A crash before this truncation only leaves log records that the
+        // checkpoint already contains; replay is idempotent.
+        self.log.get_ref().set_len(0)?;
+        self.log.get_ref().sync_all()?;
+        self.log.seek(SeekFrom::Start(0))?;
+        self.appended = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(bit: u32) -> OutcomeKey {
+        OutcomeKey::new(
+            0xDEAD_BEEF_0102_0304,
+            0x0505_0606_0707_0808,
+            FaultModel::SingleBitFlip,
+            FaultSite {
+                tid: 7,
+                dyn_idx: 21,
+                bit,
+            },
+        )
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fsp-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn record_codec_round_trips() {
+        let rec = encode_record(&key(3), Outcome::Sdc);
+        assert_eq!(decode_record(&rec), Some((key(3), Outcome::Sdc)));
+        // A single flipped byte fails the checksum.
+        let mut bad = rec;
+        bad[5] ^= 0x40;
+        assert_eq!(decode_record(&bad), None);
+        assert_eq!(decode_record(&rec[..31]), None);
+    }
+
+    #[test]
+    fn persists_across_reopen() {
+        let dir = tmp_dir("reopen");
+        {
+            let mut s = OutcomeStore::open(&dir).unwrap();
+            s.insert(key(0), Outcome::Masked).unwrap();
+            s.insert(key(1), Outcome::CRASH).unwrap();
+            s.flush().unwrap();
+        }
+        let s = OutcomeStore::open(&dir).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(&key(0)), Some(Outcome::Masked));
+        assert_eq!(s.get(&key(1)), Some(Outcome::CRASH));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn duplicate_inserts_do_not_grow_the_log() {
+        let dir = tmp_dir("dedup");
+        let mut s = OutcomeStore::open(&dir).unwrap();
+        s.insert(key(0), Outcome::Masked).unwrap();
+        s.insert(key(0), Outcome::Masked).unwrap();
+        assert_eq!(s.appended_since_checkpoint(), 1);
+        // A changed outcome for the same key is re-logged (last wins).
+        s.insert(key(0), Outcome::Sdc).unwrap();
+        assert_eq!(s.appended_since_checkpoint(), 2);
+        s.flush().unwrap();
+        drop(s);
+        let s = OutcomeStore::open(&dir).unwrap();
+        assert_eq!(s.get(&key(0)), Some(Outcome::Sdc));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The crash-safety contract: a checkpoint plus a log whose final
+    /// record was torn mid-write must reopen with every complete record
+    /// intact and only the torn tail dropped (and truncated away).
+    #[test]
+    fn torn_log_tail_drops_only_the_tail() {
+        let dir = tmp_dir("torn");
+        {
+            let mut s = OutcomeStore::open(&dir).unwrap();
+            s.insert(key(0), Outcome::Masked).unwrap();
+            s.insert(key(1), Outcome::Sdc).unwrap();
+            s.checkpoint().unwrap();
+            for bit in 2..5 {
+                s.insert(key(bit), Outcome::CRASH).unwrap();
+            }
+            s.flush().unwrap();
+        }
+        // Simulate a crash mid-append: tear the last record in half.
+        let log = dir.join("outcomes.log");
+        let bytes = std::fs::read(&log).unwrap();
+        assert_eq!(bytes.len(), 3 * RECORD_LEN);
+        std::fs::write(&log, &bytes[..2 * RECORD_LEN + RECORD_LEN / 2]).unwrap();
+
+        let s = OutcomeStore::open(&dir).unwrap();
+        assert_eq!(s.len(), 4, "checkpoint + 2 complete log records survive");
+        for bit in 0..4 {
+            assert!(s.get(&key(bit)).is_some(), "bit {bit} lost");
+        }
+        assert_eq!(s.get(&key(4)), None, "torn record must not resurface");
+        assert_eq!(
+            std::fs::metadata(&log).unwrap().len(),
+            2 * RECORD_LEN as u64,
+            "recovery truncates the log to the valid prefix"
+        );
+
+        // A corrupt (not just short) trailing record is dropped the same way.
+        let mut bytes = std::fs::read(&log).unwrap();
+        let flipped = bytes.len() - 5;
+        bytes[flipped] ^= 0x10;
+        std::fs::write(&log, &bytes).unwrap();
+        let s = OutcomeStore::open(&dir).unwrap();
+        assert_eq!(s.len(), 3, "corrupt record and nothing else dropped");
+        assert_eq!(std::fs::metadata(&log).unwrap().len(), RECORD_LEN as u64);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_then_log_then_reopen() {
+        let dir = tmp_dir("checkpoint");
+        {
+            let mut s = OutcomeStore::open(&dir).unwrap();
+            s.insert(key(0), Outcome::Masked).unwrap();
+            s.checkpoint().unwrap();
+            assert_eq!(s.appended_since_checkpoint(), 0);
+            s.insert(key(1), Outcome::HANG).unwrap();
+            s.flush().unwrap();
+        }
+        let s = OutcomeStore::open(&dir).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(&key(1)), Some(Outcome::HANG));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

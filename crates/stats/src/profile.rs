@@ -29,6 +29,32 @@ impl Outcome {
     pub const CRASH: Outcome = Outcome::Other(OutcomeKind::Crash);
     /// Hang shorthand.
     pub const HANG: Outcome = Outcome::Other(OutcomeKind::Hang);
+
+    /// Stable single-byte wire/storage code (used by the persistent
+    /// outcome store and the service API). Inverse of
+    /// [`Outcome::from_code`]; the mapping is frozen — extend, never
+    /// renumber.
+    #[must_use]
+    pub const fn code(self) -> u8 {
+        match self {
+            Outcome::Masked => 0,
+            Outcome::Sdc => 1,
+            Outcome::Other(OutcomeKind::Crash) => 2,
+            Outcome::Other(OutcomeKind::Hang) => 3,
+        }
+    }
+
+    /// Decodes a wire/storage code; `None` for unknown codes.
+    #[must_use]
+    pub const fn from_code(code: u8) -> Option<Outcome> {
+        match code {
+            0 => Some(Outcome::Masked),
+            1 => Some(Outcome::Sdc),
+            2 => Some(Outcome::CRASH),
+            3 => Some(Outcome::HANG),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Outcome {
@@ -73,6 +99,37 @@ impl ResilienceProfile {
             other: other as f64,
             crashes: 0.0,
             hangs: 0.0,
+        }
+    }
+
+    /// Reconstructs a profile from its raw weights, e.g. when decoding the
+    /// wire representation used by the campaign service. Inverse of the
+    /// accessor quintuple ([`ResilienceProfile::masked`], [`sdc`],
+    /// [`other`], [`crashes`], [`hangs`]) — round-tripping through it is
+    /// bit-exact.
+    ///
+    /// [`sdc`]: ResilienceProfile::sdc
+    /// [`other`]: ResilienceProfile::other
+    /// [`crashes`]: ResilienceProfile::crashes
+    /// [`hangs`]: ResilienceProfile::hangs
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative or non-finite.
+    #[must_use]
+    pub fn from_parts(masked: f64, sdc: f64, other: f64, crashes: f64, hangs: f64) -> Self {
+        for w in [masked, sdc, other, crashes, hangs] {
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "weight must be finite and non-negative, got {w}"
+            );
+        }
+        ResilienceProfile {
+            masked,
+            sdc,
+            other,
+            crashes,
+            hangs,
         }
     }
 
@@ -350,5 +407,25 @@ mod tests {
     #[should_panic(expected = "weight")]
     fn negative_weight_rejected() {
         ResilienceProfile::new().record_weighted(Outcome::Masked, -1.0);
+    }
+
+    #[test]
+    fn outcome_codes_round_trip() {
+        for o in [Outcome::Masked, Outcome::Sdc, Outcome::CRASH, Outcome::HANG] {
+            assert_eq!(Outcome::from_code(o.code()), Some(o));
+        }
+        assert_eq!(Outcome::from_code(4), None);
+    }
+
+    #[test]
+    fn from_parts_round_trips_bit_exactly() {
+        let mut p = ResilienceProfile::new();
+        p.record_weighted(Outcome::Masked, 0.1 + 0.2); // non-representable sums
+        p.record_weighted(Outcome::Sdc, 1.0 / 3.0);
+        p.record_weighted(Outcome::CRASH, 2.5);
+        p.record_weighted(Outcome::HANG, 1e-9);
+        let q =
+            ResilienceProfile::from_parts(p.masked(), p.sdc(), p.other(), p.crashes(), p.hangs());
+        assert_eq!(p, q);
     }
 }

@@ -31,6 +31,7 @@
 //! ```
 
 mod data;
+mod fingerprint;
 pub mod polybench;
 pub mod rodinia;
 
@@ -41,6 +42,7 @@ use fsp_isa::KernelProgram;
 use fsp_sim::{Launch, MemBlock};
 
 pub use data::DataGen;
+pub use fingerprint::{program_fingerprint, Fnv1a};
 
 /// Benchmark suite of origin.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

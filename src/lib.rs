@@ -9,6 +9,8 @@
 //! - [`stats`] — statistical machinery (sample sizes, profiles)
 //! - [`pruning`] — the paper's contribution: progressive fault-site pruning
 //! - [`workloads`] — Rodinia/Polybench kernels in PTXPlus-like assembly
+//! - [`serve`] — campaign orchestration service: persistent outcome
+//!   store, resumable job engine, HTTP API
 //!
 //! See the repository README for a quickstart and `DESIGN.md` for the
 //! system inventory.
@@ -16,6 +18,7 @@
 pub use fsp_core as pruning;
 pub use fsp_inject as inject;
 pub use fsp_isa as isa;
+pub use fsp_serve as serve;
 pub use fsp_sim as sim;
 pub use fsp_stats as stats;
 pub use fsp_workloads as workloads;

@@ -1,0 +1,99 @@
+//! Full service loop over the wire: boot the HTTP server on an ephemeral
+//! port, submit a campaign, poll it, fetch the result, then resubmit and
+//! verify the persistent store served every site (zero new injections)
+//! with a byte-identical result document.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use fault_site_pruning::serve::{run_local, Client, Engine, EngineConfig, JobSpec, Json, Server};
+
+const SAMPLES: usize = 250;
+
+fn tmp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fsp-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn submit_poll_fetch_and_warm_resubmit() {
+    let dir = tmp_dir();
+    let engine = Arc::new(Engine::open(EngineConfig::new(&dir).job_workers(1)).unwrap());
+    let handle = Server::bind("127.0.0.1:0", Arc::clone(&engine))
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let client = Client::new(handle.addr().to_string());
+
+    let kernels = client.kernels().unwrap();
+    let ids: Vec<&str> = kernels
+        .as_arr()
+        .unwrap()
+        .iter()
+        .filter_map(|k| k.get("id").and_then(Json::as_str))
+        .collect();
+    assert!(ids.contains(&"gemm"), "registry over the wire: {ids:?}");
+
+    // Error paths before any job exists.
+    assert!(client.status("job-999").is_err(), "404 surfaces as Err");
+    assert!(
+        client.submit(&JobSpec::pruned("no-such-kernel")).is_err(),
+        "bad specs are rejected"
+    );
+
+    // Cold run: submit, poll to completion, fetch.
+    let spec = JobSpec::sampled("gemm", SAMPLES);
+    let cold_id = client.submit(&spec).unwrap();
+    let status = client.wait(&cold_id, Duration::from_secs(300)).unwrap();
+    assert_eq!(
+        status.get("state").and_then(Json::as_str),
+        Some("completed")
+    );
+    assert_eq!(
+        status.get("cache_hits").and_then(Json::as_u64),
+        Some(0),
+        "first run of a fresh store is all misses"
+    );
+    let cold = client.result(&cold_id).unwrap().to_string();
+
+    // The service path must equal the in-process library path exactly.
+    let local = run_local(&spec, 1).unwrap().to_string();
+    assert_eq!(cold, local, "service and in-process results must match");
+
+    // Warm resubmit: the store resolves every site; nothing is injected.
+    let injected_before = client.metric("fsp_sites_injected_total").unwrap();
+    let warm_id = client.submit(&spec).unwrap();
+    let status = client.wait(&warm_id, Duration::from_secs(300)).unwrap();
+    assert_eq!(
+        status.get("state").and_then(Json::as_str),
+        Some("completed")
+    );
+    assert_eq!(
+        status.get("cache_hits").and_then(Json::as_u64),
+        Some(SAMPLES as u64),
+        "warm resubmit must be a 100% cache hit"
+    );
+    assert_eq!(
+        client.metric("fsp_sites_injected_total").unwrap(),
+        injected_before,
+        "warm resubmit must inject zero new sites"
+    );
+    let warm = client.result(&warm_id).unwrap().to_string();
+    assert_eq!(warm, cold, "cached result must be byte-identical");
+
+    // Fetching an unfinished/unknown result reports, not panics.
+    assert!(client.result("job-999").is_err());
+
+    // Store survives in the metrics and on disk.
+    assert!(client.metric("fsp_store_outcomes").unwrap() >= 1.0);
+    assert!(
+        dir.join("store").join("outcomes.log").exists()
+            || dir.join("store").join("checkpoint.bin").exists()
+    );
+
+    handle.stop();
+    engine.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
