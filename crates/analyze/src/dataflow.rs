@@ -251,6 +251,7 @@ pub fn def_use(instr: &Instruction) -> DefUse {
             | Opcode::Ret
             | Opcode::Retp
             | Opcode::Exit
+            | Opcode::Trap
             | Opcode::Nop
     );
     if produces_result {

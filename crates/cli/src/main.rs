@@ -27,6 +27,9 @@ COMMANDS:
     disasm <kernel>              Disassemble a kernel (PTXPlus-like listing)
     lint [kernel]                Statically lint a kernel (all kernels when omitted)
     ace <kernel>                 Static ACE classification of a kernel's instructions
+    protect <kernel>             Selectively harden a kernel (DMR) and verify by
+                                 re-injection; see --budget / --scope / -n
+    harden-report <kernel>       Coverage-vs-overhead curve over a budget sweep
     ptx <file.ptx>               Translate an nvcc-style PTX kernel and disassemble it
     trace <kernel> <tid>         Dump one thread's dynamic instruction trace
     reproduce <ARTIFACT>         Regenerate a paper artifact:
@@ -49,6 +52,12 @@ OPTIONS:
     --data DIR     For `serve`: persistent state directory (default .fsp-serve)
     --local        For `submit`: run in-process, print the same result document
     --wait         For `submit`: poll until done, then print the result
+    --budget F     For `protect`/`submit --protect`: overhead budget as a
+                   fraction of full DMR (default 0.25; 1.0 = full DMR)
+    --scope S      For `protect`: planner granularity, one of
+                   range | opcode | thread-group (default range)
+    --protect      For `submit`: submit a protect-mode job (uses --budget,
+                   --scope and -n)
 ";
 
 fn main() -> ExitCode {
@@ -73,9 +82,27 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut data_dir = ".fsp-serve".to_owned();
     let mut local = false;
     let mut wait = false;
+    let mut budget = 0.25f64;
+    let mut scope = fsp_protect::ProtectScope::default();
+    let mut protect_mode = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--budget" => {
+                i += 1;
+                budget = parse(args.get(i), "--budget")?;
+                if !(0.0..=1.0).contains(&budget) {
+                    return Err("--budget must be in 0.0..=1.0".to_owned());
+                }
+            }
+            "--scope" => {
+                i += 1;
+                let name = args.get(i).ok_or("--scope needs a value")?;
+                scope = fsp_protect::ProtectScope::from_name(name).ok_or_else(|| {
+                    format!("unknown scope `{name}` (range | opcode | thread-group)")
+                })?;
+            }
+            "--protect" => protect_mode = true,
             "--workers" => {
                 i += 1;
                 opts.workers = parse(args.get(i), "--workers")?;
@@ -127,13 +154,23 @@ fn run(args: &[String]) -> Result<(), String> {
         "disasm" => disasm(positional.get(1)),
         "lint" => lint(positional.get(1)),
         "ace" => ace(positional.get(1)),
+        "protect" => protect(positional.get(1), budget, scope, samples, &opts),
+        "harden-report" => harden_report(positional.get(1), scope, samples, &opts),
         "ptx" => ptx_translate(positional.get(1)),
         "trace" => trace_thread(positional.get(1), positional.get(2)),
         "reproduce" => reproduce(positional.get(1), &opts, out_path.as_deref()),
         "seeds" => seeds(positional.get(1), &opts),
         "severity" => severity(positional.get(1), samples, &opts),
         "serve" => serve(&addr, &data_dir, &opts),
-        "submit" => submit(positional.get(1), samples, &opts, &addr, local, wait),
+        "submit" => submit(
+            positional.get(1),
+            samples,
+            &opts,
+            &addr,
+            local,
+            wait,
+            protect_mode.then_some((budget, scope)),
+        ),
         "status" => status(positional.get(1), &addr),
         "fetch" => fetch(positional.get(1), &addr),
         "cancel" => cancel(positional.get(1), &addr),
@@ -389,6 +426,128 @@ fn ace(id: Option<&String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `HardenConfig` shared by `protect` and `harden-report`.
+fn harden_config(
+    budget: f64,
+    scope: fsp_protect::ProtectScope,
+    samples: Option<usize>,
+    opts: &Options,
+) -> fsp_protect::HardenConfig {
+    fsp_protect::HardenConfig {
+        scope,
+        budget,
+        samples: samples.unwrap_or(500),
+        seed: opts.seed,
+        model: fsp_inject::FaultModel::SingleBitFlip,
+        workers: opts.workers,
+        use_ace: true,
+    }
+}
+
+fn protect(
+    id: Option<&String>,
+    budget: f64,
+    scope: fsp_protect::ProtectScope,
+    samples: Option<usize>,
+    opts: &Options,
+) -> Result<(), String> {
+    let w = kernel(id, Scale::Eval)?;
+    let config = harden_config(budget, scope, samples, opts);
+    let started = std::time::Instant::now();
+    let outcome = fsp_protect::harden_and_verify(&w, &config).map_err(|e| e.to_string())?;
+    let plan = &outcome.plan;
+    let report = &outcome.report;
+    println!(
+        "{}: selective DMR at budget {budget} ({scope} scope), {} sites/side in {:.1?}",
+        w.registry_id(),
+        report.samples,
+        started.elapsed()
+    );
+    println!(
+        "  protected {} of {} candidate instructions (+{} static, detect trap at pc {})",
+        report.protected_static,
+        report.candidate_static,
+        outcome.hardened.added_static(),
+        outcome.hardened.detect_pc,
+    );
+    let mut t = fsp_cli::output::Table::new(&["unit", "vulnerability", "cost", "selected"]);
+    for (unit, selected) in plan
+        .selected
+        .iter()
+        .map(|u| (u, true))
+        .chain(plan.rejected.iter().map(|u| (u, false)))
+    {
+        t.row(vec![
+            unit.label.clone(),
+            format!("{:.2}", unit.vulnerability),
+            unit.cost.to_string(),
+            if selected { "yes" } else { "no" }.to_owned(),
+        ]);
+    }
+    println!("{t}");
+    if plan.unprotectable_vulnerability > 0.0 {
+        println!(
+            "  unprotectable SDC weight (stores, guarded, control): {:.2}",
+            plan.unprotectable_vulnerability
+        );
+    }
+    println!(
+        "  overhead: planned {:+.1}% measured {:+.1}% (full DMR {:+.1}%)",
+        100.0 * report.planned_overhead,
+        100.0 * report.measured_overhead(),
+        100.0 * report.full_dmr_overhead,
+    );
+    println!("  baseline:  {}", report.baseline);
+    println!("  protected: {}", report.protected);
+    println!(
+        "  SDC {:.2}% -> {:.2}% ({:+.2} points); {:.1}% of baseline SDC weight detected",
+        report.baseline.pct_sdc(),
+        report.protected.pct_sdc(),
+        -report.sdc_reduction_points(),
+        100.0 * report.detection_coverage(),
+    );
+    Ok(())
+}
+
+fn harden_report(
+    id: Option<&String>,
+    scope: fsp_protect::ProtectScope,
+    samples: Option<usize>,
+    opts: &Options,
+) -> Result<(), String> {
+    let w = kernel(id, Scale::Eval)?;
+    let budgets = [0.0, 0.125, 0.25, 0.5, 0.75, 1.0];
+    let config = harden_config(0.0, scope, samples, opts);
+    let started = std::time::Instant::now();
+    let curve = fsp_protect::coverage_curve(&w, &config, &budgets).map_err(|e| e.to_string())?;
+    println!(
+        "{}: coverage-vs-overhead curve ({scope} scope, {} sites/side, {:.1?})",
+        w.registry_id(),
+        config.samples,
+        started.elapsed()
+    );
+    let mut t = fsp_cli::output::Table::new(&[
+        "budget",
+        "protected",
+        "overhead",
+        "SDC %",
+        "detected %",
+        "coverage %",
+    ]);
+    for r in &curve {
+        t.row(vec![
+            format!("{:.3}", r.budget),
+            format!("{}/{}", r.protected_static, r.candidate_static),
+            format!("{:+.1}%", 100.0 * r.measured_overhead()),
+            format!("{:.2}", r.protected.pct_sdc()),
+            format!("{:.2}", 100.0 * r.protected.detected() / r.samples as f64),
+            format!("{:.1}", 100.0 * r.detection_coverage()),
+        ]);
+    }
+    println!("{t}");
+    Ok(())
+}
+
 fn ptx_translate(path: Option<&String>) -> Result<(), String> {
     let path = path.ok_or("missing PTX file path")?;
     let source = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -474,21 +633,31 @@ fn serve(addr: &str, data_dir: &str, opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-/// Builds the job spec `submit` sends: pruned by default, sampled with `-n`.
+/// Builds the job spec `submit` sends: pruned by default, sampled with
+/// `-n`, protect with `--protect`.
 fn submit_spec(
     id: Option<&String>,
     samples: Option<usize>,
     opts: &Options,
+    protect: Option<(f64, fsp_protect::ProtectScope)>,
 ) -> Result<fsp_serve::JobSpec, String> {
     let id = id.ok_or("missing kernel id")?;
-    let mut spec = match samples {
-        Some(n) => fsp_serve::JobSpec::sampled(id, n),
-        None => fsp_serve::JobSpec::pruned(id),
+    let mut spec = match (protect, samples) {
+        (Some((budget, scope)), samples) => {
+            let mut spec = fsp_serve::JobSpec::protect(id, budget, samples.unwrap_or(500));
+            if let fsp_serve::CampaignMode::Protect { scope: s, .. } = &mut spec.mode {
+                *s = scope;
+            }
+            spec
+        }
+        (None, Some(n)) => fsp_serve::JobSpec::sampled(id, n),
+        (None, None) => fsp_serve::JobSpec::pruned(id),
     };
     spec.seed = opts.seed;
     Ok(spec)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn submit(
     id: Option<&String>,
     samples: Option<usize>,
@@ -496,8 +665,9 @@ fn submit(
     addr: &str,
     local: bool,
     wait: bool,
+    protect: Option<(f64, fsp_protect::ProtectScope)>,
 ) -> Result<(), String> {
-    let spec = submit_spec(id, samples, opts)?;
+    let spec = submit_spec(id, samples, opts, protect)?;
     if local {
         let result = fsp_serve::run_local(&spec, opts.workers)?;
         println!("{result}");

@@ -53,15 +53,23 @@ pub struct CtaGroup {
 }
 
 impl CtaGroup {
-    /// Mean per-thread iCnt as a float.
+    /// Mean per-thread iCnt as a float. `0.0` for a group with no CTAs
+    /// (nothing was traced into it).
     #[must_use]
     pub fn mean_icnt(&self) -> f64 {
+        if self.ctas.is_empty() {
+            return 0.0;
+        }
         self.mean_icnt_x1000 as f64 / 1000.0
     }
 
-    /// Fraction of the kernel's CTAs in this group.
+    /// Fraction of the kernel's CTAs in this group. `0.0` when the launch
+    /// reportedly has no CTAs at all (never a division by zero).
     #[must_use]
     pub fn cta_proportion(&self, total_ctas: u32) -> f64 {
+        if total_ctas == 0 {
+            return 0.0;
+        }
         self.ctas.len() as f64 / f64::from(total_ctas)
     }
 }
@@ -196,7 +204,13 @@ impl ThreadGrouping {
                 .map(|t| u64::from(trace.icnt[t as usize]))
                 .sum();
             groups.push(CtaGroup {
-                mean_icnt_x1000: sum_icnt * 1000 / u64::from(per),
+                // `per == 0` cannot happen after the no-threads assert, but
+                // an empty trace must not divide by zero either way.
+                mean_icnt_x1000: if per == 0 {
+                    0
+                } else {
+                    sum_icnt * 1000 / u64::from(per)
+                },
                 ctas,
                 representative_cta: rep_cta,
                 thread_groups: tgroups,
@@ -334,5 +348,28 @@ mod tests {
         let by_mean = ThreadGrouping::analyze_with(&trace, CtaKey::MeanIcnt);
         let by_dist = ThreadGrouping::analyze_with(&trace, CtaKey::Distribution);
         assert!(by_dist.groups.len() >= by_mean.groups.len());
+    }
+
+    #[test]
+    fn degenerate_group_accessors_return_zero() {
+        // A group that covers nothing (e.g. deserialized from a truncated
+        // report) must not divide by zero in its accessors.
+        let empty = CtaGroup {
+            mean_icnt_x1000: 0,
+            ctas: Vec::new(),
+            representative_cta: 0,
+            thread_groups: Vec::new(),
+        };
+        assert_eq!(empty.mean_icnt(), 0.0);
+        assert_eq!(empty.cta_proportion(0), 0.0);
+        assert_eq!(empty.cta_proportion(4), 0.0);
+        let one = CtaGroup {
+            mean_icnt_x1000: 1500,
+            ctas: vec![0],
+            representative_cta: 0,
+            thread_groups: Vec::new(),
+        };
+        assert_eq!(one.cta_proportion(0), 0.0, "zero-CTA launch stays finite");
+        assert!((one.mean_icnt() - 1.5).abs() < 1e-12);
     }
 }

@@ -150,6 +150,7 @@ impl<'a, T: InjectionTarget> Experiment<'a, T> {
         let mut hook = InjectionHook::with_model(site, model);
         match Simulator::new().run(&self.launch, &mut memory, &mut hook) {
             Err(SimFault::BudgetExceeded) => (Outcome::HANG, None),
+            Err(SimFault::DetectedExit { .. }) => (Outcome::Detected, None),
             Err(_) => (Outcome::CRASH, None),
             Ok(_) => {
                 let (addr, len) = self.target.output_region();

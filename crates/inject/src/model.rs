@@ -177,4 +177,82 @@ mod tests {
         names.dedup();
         assert_eq!(names.len(), FaultModel::ALL.len());
     }
+
+    #[test]
+    fn all_covers_every_variant() {
+        // `ALL` is the ground truth for sweeps: every variant must appear
+        // exactly once, and codes must be a bijection onto 0..ALL.len().
+        let mut codes: Vec<u8> = FaultModel::ALL.iter().map(|m| m.code()).collect();
+        codes.sort_unstable();
+        let expected: Vec<u8> = (0..FaultModel::ALL.len() as u8).collect();
+        assert_eq!(codes, expected, "codes are dense and unique");
+        for m in [
+            FaultModel::SingleBitFlip,
+            FaultModel::DoubleBitFlip,
+            FaultModel::StuckAt0,
+            FaultModel::StuckAt1,
+            FaultModel::RandomValue,
+        ] {
+            assert!(FaultModel::ALL.contains(&m));
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn model_strategy() -> impl Strategy<Value = FaultModel> {
+            (0usize..FaultModel::ALL.len()).prop_map(|i| FaultModel::ALL[i])
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            #[test]
+            fn name_round_trips(m in model_strategy()) {
+                prop_assert_eq!(FaultModel::from_name(m.name()), Some(m));
+            }
+
+            #[test]
+            fn code_round_trips(m in model_strategy()) {
+                prop_assert_eq!(FaultModel::from_code(m.code()), Some(m));
+            }
+
+            #[test]
+            fn unknown_codes_decode_to_none(code in any::<u8>()) {
+                prop_assume!(code >= FaultModel::ALL.len() as u8);
+                prop_assert_eq!(FaultModel::from_code(code), None);
+            }
+
+            #[test]
+            fn apply_stays_within_width(
+                m in model_strategy(),
+                value in any::<u32>(),
+                width in 1u32..33,
+                offset in 0u32..32,
+                key in any::<u64>(),
+            ) {
+                prop_assume!(offset < width);
+                let out = m.apply(value, offset, width, key);
+                let outside = if width >= 32 { 0 } else { !((1u32 << width) - 1) };
+                prop_assert_eq!(
+                    out & outside,
+                    value & outside,
+                    "bits outside the destination width must be untouched"
+                );
+            }
+
+            #[test]
+            fn single_bit_flip_is_an_involution(
+                value in any::<u32>(),
+                width in 1u32..33,
+                offset in 0u32..32,
+                key in any::<u64>(),
+            ) {
+                prop_assume!(offset < width);
+                let m = FaultModel::SingleBitFlip;
+                prop_assert_eq!(m.apply(m.apply(value, offset, width, key), offset, width, key), value);
+            }
+        }
+    }
 }

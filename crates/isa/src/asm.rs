@@ -264,7 +264,7 @@ fn apply_operands(
             }
             Ok(())
         }
-        Opcode::Bar | Opcode::Nop | Opcode::Ret | Opcode::Retp | Opcode::Exit => {
+        Opcode::Bar | Opcode::Nop | Opcode::Ret | Opcode::Retp | Opcode::Exit | Opcode::Trap => {
             // `bar.sync 0x...` carries an operand we ignore.
             Ok(())
         }

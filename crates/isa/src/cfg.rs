@@ -122,7 +122,7 @@ impl Cfg {
                     }
                     leader[pc + 1] = true;
                 }
-                Opcode::Ret | Opcode::Retp | Opcode::Exit => {
+                Opcode::Ret | Opcode::Retp | Opcode::Exit | Opcode::Trap => {
                     leader[pc + 1] = true;
                 }
                 _ => {}
@@ -163,7 +163,7 @@ impl Cfg {
                             }
                         }
                     }
-                    Opcode::Exit | Opcode::Ret => {}
+                    Opcode::Exit | Opcode::Ret | Opcode::Trap => {}
                     Opcode::Retp => {
                         // Guarded return falls through; unguarded ends the
                         // thread.

@@ -86,12 +86,16 @@ pub enum Opcode {
     Retp,
     /// Thread exit.
     Exit,
+    /// Detected-error exit: terminates the whole launch with a
+    /// detection fault (the DMR hardening pass branches here on a
+    /// shadow/original mismatch).
+    Trap,
     /// No operation.
     Nop,
 }
 
 impl Opcode {
-    const NAMES: [(Opcode, &'static str); 35] = [
+    const NAMES: [(Opcode, &'static str); 36] = [
         (Opcode::Mov, "mov"),
         (Opcode::Ld, "ld"),
         (Opcode::St, "st"),
@@ -125,6 +129,7 @@ impl Opcode {
         (Opcode::Ret, "ret"),
         (Opcode::Retp, "retp"),
         (Opcode::Exit, "exit"),
+        (Opcode::Trap, "trap"),
         (Opcode::Nop, "nop"),
         (Opcode::Bar, "bar.sync"),
     ];
@@ -150,7 +155,7 @@ impl Opcode {
     pub const fn is_control(self) -> bool {
         matches!(
             self,
-            Opcode::Bra | Opcode::Ret | Opcode::Retp | Opcode::Exit | Opcode::Bar
+            Opcode::Bra | Opcode::Ret | Opcode::Retp | Opcode::Exit | Opcode::Trap | Opcode::Bar
         )
     }
 }
@@ -434,6 +439,7 @@ impl fmt::Display for Instruction {
             | Opcode::Ret
             | Opcode::Retp
             | Opcode::Exit
+            | Opcode::Trap
             | Opcode::Nop => {}
             Opcode::Ld | Opcode::St => write!(f, ".global.{}", self.ty)?,
             Opcode::Cvt | Opcode::Set => write!(f, ".{}.{}", self.ty, self.src_ty)?,

@@ -1,0 +1,479 @@
+//! The protection planner: ranks DMR candidates by measured vulnerability
+//! and selects under a dynamic-instruction overhead budget.
+//!
+//! Vulnerability is *measured*, not guessed: a baseline injection campaign
+//! on the unprotected kernel attributes its SDC weight back to the static
+//! instruction each faulted site belongs to, optionally scaled by the
+//! statically-live bit fraction from fsp-analyze (a fault in a
+//! statically-dead destination bit can never become an SDC, so those bits
+//! do not justify protection). The cost of protecting a static
+//! instruction is [`transform::DYNAMIC_OVERHEAD`] extra dynamic
+//! instructions per fault-free execution, counted from the trace.
+//!
+//! The budget is expressed as a fraction of the *full-DMR* added cost
+//! (protecting every candidate): `--budget 1.0` is full DMR, `--budget
+//! 0.25` spends at most a quarter of full DMR's dynamic overhead.
+//! Selection is a greedy knapsack by vulnerability-per-cost.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use fsp_analyze::StaticAceReport;
+use fsp_core::ThreadGrouping;
+use fsp_inject::{SiteSpace, WeightedSite};
+use fsp_isa::KernelProgram;
+use fsp_stats::Outcome;
+
+use crate::transform;
+
+/// Selection granularity of the planner.
+///
+/// Scope controls how candidates are *grouped and attributed* — the
+/// emitted transformation is always static and whole-grid (every thread
+/// executes the inserted compare groups).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProtectScope {
+    /// Contiguous runs of candidate instructions select together
+    /// (basic-block-ish units).
+    #[default]
+    Range,
+    /// All candidates of one static opcode class select together.
+    Opcode,
+    /// Per-instruction units, with vulnerability attributed through the
+    /// thread-grouping representatives of [`fsp_core`]: only sites
+    /// belonging to representative threads contribute, extrapolated by
+    /// their group's site weight.
+    ThreadGroup,
+}
+
+impl ProtectScope {
+    /// All scopes, for sweeps and argument parsing.
+    pub const ALL: [ProtectScope; 3] = [
+        ProtectScope::Range,
+        ProtectScope::Opcode,
+        ProtectScope::ThreadGroup,
+    ];
+
+    /// Stable CLI/wire name.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            ProtectScope::Range => "range",
+            ProtectScope::Opcode => "opcode",
+            ProtectScope::ThreadGroup => "thread-group",
+        }
+    }
+
+    /// Parses a [`ProtectScope::name`].
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<ProtectScope> {
+        ProtectScope::ALL.into_iter().find(|s| s.name() == name)
+    }
+}
+
+impl std::fmt::Display for ProtectScope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One selection unit of the planner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanUnit {
+    /// Human-readable unit label (`pc 3..7`, `opcode mad`, ...).
+    pub label: String,
+    /// The candidate pcs in the unit.
+    pub pcs: Vec<usize>,
+    /// Attributed SDC weight (live-bit scaled when ACE data is present).
+    pub vulnerability: f64,
+    /// Added dynamic instructions if the unit is protected.
+    pub cost: u64,
+}
+
+/// The planner's decision: which pcs to protect and the ledger behind it.
+#[derive(Debug, Clone)]
+pub struct ProtectionPlan {
+    /// Selection granularity used.
+    pub scope: ProtectScope,
+    /// Budget as a fraction of the full-DMR added cost.
+    pub budget: f64,
+    /// Selected units, in selection order (best ratio first).
+    pub selected: Vec<PlanUnit>,
+    /// Units that did not fit the budget.
+    pub rejected: Vec<PlanUnit>,
+    /// Union of the selected units' pcs.
+    pub selected_pcs: BTreeSet<usize>,
+    /// Added dynamic instructions of the selection.
+    pub added_cost: u64,
+    /// Added dynamic instructions of protecting every candidate.
+    pub full_dmr_cost: u64,
+    /// Fault-free dynamic instructions of the unprotected kernel.
+    pub baseline_instructions: u64,
+    /// SDC weight attributed to instructions DMR cannot protect (stores,
+    /// guarded instructions, predicate writers).
+    pub unprotectable_vulnerability: f64,
+}
+
+impl ProtectionPlan {
+    /// Selected overhead relative to the unprotected kernel's dynamic
+    /// instruction count.
+    #[must_use]
+    pub fn overhead_fraction(&self) -> f64 {
+        ratio(self.added_cost, self.baseline_instructions)
+    }
+
+    /// Full-DMR overhead relative to the unprotected kernel.
+    #[must_use]
+    pub fn full_dmr_overhead_fraction(&self) -> f64 {
+        ratio(self.full_dmr_cost, self.baseline_instructions)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Everything the planner consumes. `space` must carry full traces for
+/// every thread whose sites appear in `sites` (the verification driver
+/// traces all threads).
+#[derive(Debug)]
+pub struct PlanInputs<'a> {
+    /// The unprotected program.
+    pub program: &'a KernelProgram,
+    /// Site space of the fault-free run (full traces).
+    pub space: &'a SiteSpace,
+    /// The baseline campaign's sites.
+    pub sites: &'a [WeightedSite],
+    /// The baseline campaign's outcomes, parallel to `sites`.
+    pub outcomes: &'a [Outcome],
+    /// Optional static ACE analysis for live-bit scaling.
+    pub ace: Option<&'a StaticAceReport>,
+}
+
+/// Plans a selective protection under `budget` (fraction of full-DMR
+/// added cost, clamped to `0.0..=1.0`).
+///
+/// # Panics
+///
+/// Panics if `outcomes` and `sites` lengths differ.
+#[must_use]
+pub fn plan(inputs: &PlanInputs<'_>, scope: ProtectScope, budget: f64) -> ProtectionPlan {
+    assert_eq!(
+        inputs.sites.len(),
+        inputs.outcomes.len(),
+        "one outcome per site"
+    );
+    let budget = budget.clamp(0.0, 1.0);
+    let trace = inputs.space.trace();
+    let program_len = inputs.program.len();
+
+    // Dynamic executions per static instruction, from the full traces.
+    let mut exec: Vec<u64> = vec![0; program_len];
+    for thread in trace.full.values() {
+        for entry in &thread.entries {
+            exec[entry.pc as usize] += 1;
+        }
+    }
+    let baseline_instructions: u64 = trace.icnt.iter().map(|&n| u64::from(n)).sum();
+
+    // SDC weight attributed per pc. Thread-group scope restricts
+    // attribution to representative threads and extrapolates by their
+    // group's site weight.
+    let rep_weight: Option<BTreeMap<u32, f64>> = match scope {
+        ProtectScope::ThreadGroup => {
+            let grouping = ThreadGrouping::analyze(trace);
+            Some(
+                grouping
+                    .representatives(trace)
+                    .into_iter()
+                    .map(|r| (r.tid, r.site_weight()))
+                    .collect(),
+            )
+        }
+        _ => None,
+    };
+    let mut sdc_weight: Vec<f64> = vec![0.0; program_len];
+    for (ws, outcome) in inputs.sites.iter().zip(inputs.outcomes) {
+        if *outcome != Outcome::Sdc {
+            continue;
+        }
+        let scale = match &rep_weight {
+            Some(reps) => match reps.get(&ws.site.tid) {
+                Some(w) => *w,
+                None => continue,
+            },
+            None => 1.0,
+        };
+        let Some(thread) = trace.full.get(&ws.site.tid) else {
+            continue;
+        };
+        let Some(entry) = thread.entries.get(ws.site.dyn_idx as usize) else {
+            continue;
+        };
+        sdc_weight[entry.pc as usize] += ws.weight * scale;
+    }
+
+    // Live-bit scaling: statically-dead destination bits cannot surface.
+    let vuln = |pc: usize| -> f64 {
+        let live = match inputs.ace {
+            Some(ace) => {
+                let dest = ace.dest_bits_at(pc);
+                if dest == 0 {
+                    1.0
+                } else {
+                    f64::from(dest - ace.dead_bits_at(pc)) / f64::from(dest)
+                }
+            }
+            None => 1.0,
+        };
+        sdc_weight[pc] * live
+    };
+    let cost = |pc: usize| -> u64 { exec[pc] * transform::DYNAMIC_OVERHEAD };
+
+    let candidates = transform::candidate_pcs(inputs.program);
+    let candidate_set: BTreeSet<usize> = candidates.iter().copied().collect();
+    let unprotectable_vulnerability: f64 = (0..program_len)
+        .filter(|pc| !candidate_set.contains(pc))
+        .map(|pc| sdc_weight[pc])
+        .sum();
+    let full_dmr_cost: u64 = candidates.iter().map(|&pc| cost(pc)).sum();
+
+    let mut units = build_units(inputs.program, &candidates, scope, &vuln, &cost);
+    // Greedy knapsack by vulnerability per unit cost; zero-cost units
+    // (never-executed code) sort first and are free to take.
+    units.sort_by(|a, b| {
+        let ra = unit_ratio(a);
+        let rb = unit_ratio(b);
+        rb.partial_cmp(&ra)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.cost.cmp(&b.cost))
+            .then_with(|| a.pcs.cmp(&b.pcs))
+    });
+    let cap = (budget * full_dmr_cost as f64).round() as u64;
+    let mut selected = Vec::new();
+    let mut rejected = Vec::new();
+    let mut added_cost = 0u64;
+    for unit in units {
+        if added_cost + unit.cost <= cap {
+            added_cost += unit.cost;
+            selected.push(unit);
+        } else {
+            rejected.push(unit);
+        }
+    }
+    let selected_pcs: BTreeSet<usize> = selected
+        .iter()
+        .flat_map(|u| u.pcs.iter().copied())
+        .collect();
+
+    ProtectionPlan {
+        scope,
+        budget,
+        selected,
+        rejected,
+        selected_pcs,
+        added_cost,
+        full_dmr_cost,
+        baseline_instructions,
+        unprotectable_vulnerability,
+    }
+}
+
+/// A unit's selection priority: vulnerability per unit of cost, with
+/// zero-cost units ranked above everything (they are free).
+fn unit_ratio(unit: &PlanUnit) -> f64 {
+    if unit.cost == 0 {
+        f64::INFINITY
+    } else {
+        unit.vulnerability / unit.cost as f64
+    }
+}
+
+fn build_units(
+    program: &KernelProgram,
+    candidates: &[usize],
+    scope: ProtectScope,
+    vuln: &dyn Fn(usize) -> f64,
+    cost: &dyn Fn(usize) -> u64,
+) -> Vec<PlanUnit> {
+    let make = |label: String, pcs: Vec<usize>| -> PlanUnit {
+        let vulnerability = pcs.iter().map(|&pc| vuln(pc)).sum();
+        let cost = pcs.iter().map(|&pc| cost(pc)).sum();
+        PlanUnit {
+            label,
+            pcs,
+            vulnerability,
+            cost,
+        }
+    };
+    match scope {
+        ProtectScope::Range => {
+            // Contiguous candidate runs.
+            let mut units = Vec::new();
+            let mut run: Vec<usize> = Vec::new();
+            for &pc in candidates {
+                if run.last().is_some_and(|&last| pc != last + 1) {
+                    let label = range_label(&run);
+                    units.push(make(label, std::mem::take(&mut run)));
+                }
+                run.push(pc);
+            }
+            if !run.is_empty() {
+                let label = range_label(&run);
+                units.push(make(label, run));
+            }
+            units
+        }
+        ProtectScope::Opcode => {
+            let mut by_op: BTreeMap<&'static str, Vec<usize>> = BTreeMap::new();
+            for &pc in candidates {
+                by_op
+                    .entry(program.instr(pc).opcode.mnemonic())
+                    .or_default()
+                    .push(pc);
+            }
+            by_op
+                .into_iter()
+                .map(|(op, pcs)| make(format!("opcode {op}"), pcs))
+                .collect()
+        }
+        ProtectScope::ThreadGroup => candidates
+            .iter()
+            .map(|&pc| make(format!("pc {pc}"), vec![pc]))
+            .collect(),
+    }
+}
+
+fn range_label(run: &[usize]) -> String {
+    match run {
+        [] => String::new(),
+        [one] => format!("pc {one}"),
+        [first, .., last] => format!("pc {first}..{last}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsp_inject::FaultSite;
+    use fsp_isa::assemble;
+    use fsp_sim::{Launch, MemBlock, Simulator, Tracer};
+
+    fn fixture() -> (fsp_isa::KernelProgram, SiteSpace) {
+        let p = assemble(
+            "t",
+            r#"
+            mov.u32 $r1, 0x4
+            mul.u32 $r2, $r1, 0x3
+            add.u32 $r3, $r2, 0x1
+            st.global.u32 [$r1], $r3
+            exit
+            "#,
+        )
+        .unwrap();
+        let launch = Launch::new(p.clone()).grid(1, 1).block(2, 1, 1);
+        let mut tracer = Tracer::new(2, 2).with_full_traces(0..2);
+        let mut mem = MemBlock::with_words(16);
+        Simulator::new()
+            .run(&launch, &mut mem, &mut tracer)
+            .unwrap();
+        (p, SiteSpace::new(tracer.finish()))
+    }
+
+    fn site(tid: u32, dyn_idx: u32) -> WeightedSite {
+        WeightedSite::from(FaultSite {
+            tid,
+            dyn_idx,
+            bit: 0,
+        })
+    }
+
+    #[test]
+    fn scope_names_round_trip() {
+        for s in ProtectScope::ALL {
+            assert_eq!(ProtectScope::from_name(s.name()), Some(s));
+        }
+        assert_eq!(ProtectScope::from_name("nonesuch"), None);
+    }
+
+    #[test]
+    fn full_budget_selects_every_candidate() {
+        let (p, space) = fixture();
+        let sites = [site(0, 1), site(0, 2), site(1, 1)];
+        let outcomes = [Outcome::Sdc, Outcome::Masked, Outcome::Sdc];
+        let inputs = PlanInputs {
+            program: &p,
+            space: &space,
+            sites: &sites,
+            outcomes: &outcomes,
+            ace: None,
+        };
+        let plan = plan(&inputs, ProtectScope::Range, 1.0);
+        let candidates: BTreeSet<usize> = transform::candidate_pcs(&p).into_iter().collect();
+        assert_eq!(plan.selected_pcs, candidates);
+        assert_eq!(plan.added_cost, plan.full_dmr_cost);
+        // 3 candidate pcs x 2 threads x 2 retired instructions each.
+        assert_eq!(plan.full_dmr_cost, 12);
+        assert_eq!(plan.baseline_instructions, 10);
+        assert!(plan.rejected.is_empty());
+    }
+
+    #[test]
+    fn partial_budget_prefers_measured_sdc_contributors() {
+        let (p, space) = fixture();
+        // All SDC weight lands on the mul at pc 1.
+        let sites = [site(0, 1), site(1, 1), site(0, 2)];
+        let outcomes = [Outcome::Sdc, Outcome::Sdc, Outcome::Masked];
+        let inputs = PlanInputs {
+            program: &p,
+            space: &space,
+            sites: &sites,
+            outcomes: &outcomes,
+            ace: None,
+        };
+        // Opcode scope so each static instruction is its own unit here.
+        let plan = plan(&inputs, ProtectScope::Opcode, 0.34);
+        assert!(plan.selected_pcs.contains(&1), "mul carries all the SDC");
+        assert!(!plan.selected_pcs.contains(&0));
+        assert!(!plan.selected_pcs.contains(&2));
+        assert!(plan.added_cost <= plan.full_dmr_cost / 3 + 1);
+        assert!(!plan.rejected.is_empty());
+    }
+
+    #[test]
+    fn zero_budget_selects_only_free_units() {
+        let (p, space) = fixture();
+        let sites = [site(0, 1)];
+        let outcomes = [Outcome::Sdc];
+        let inputs = PlanInputs {
+            program: &p,
+            space: &space,
+            sites: &sites,
+            outcomes: &outcomes,
+            ace: None,
+        };
+        let plan = plan(&inputs, ProtectScope::Range, 0.0);
+        assert_eq!(plan.added_cost, 0);
+        assert!(plan.selected_pcs.is_empty(), "every unit here has cost");
+    }
+
+    #[test]
+    fn unprotectable_weight_is_ledgered() {
+        let (p, space) = fixture();
+        // dyn_idx 3 is the store: SDC weight there cannot be protected.
+        let sites = [site(0, 3)];
+        let outcomes = [Outcome::Sdc];
+        let inputs = PlanInputs {
+            program: &p,
+            space: &space,
+            sites: &sites,
+            outcomes: &outcomes,
+            ace: None,
+        };
+        let plan = plan(&inputs, ProtectScope::Range, 1.0);
+        assert!((plan.unprotectable_vulnerability - 1.0).abs() < 1e-12);
+    }
+}

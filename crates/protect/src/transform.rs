@@ -1,0 +1,391 @@
+//! The selective DMR (duplicate-and-compare) transformation.
+//!
+//! Each protected instruction is expanded into a four-instruction group:
+//!
+//! ```text
+//! op.ty  $rS, <sources>        ; shadow recomputation (runs first)
+//! op.ty  $rD, <sources>        ; the original instruction
+//! set.eq.u32.u32 $pK, $rD, $rS ; raw-bit compare (zero flag on mismatch)
+//! @$pK.eq bra __fsp_detect     ; branch to the detected-error exit
+//! ```
+//!
+//! The shadow runs *before* the original so that instructions whose
+//! destination also appears among their sources (`add.u32 $r3, $r3, 1`)
+//! recompute from the pre-write value. Writes fully overwrite their 32-bit
+//! register with the masked result, so a raw `u32` equality compare is
+//! bit-exact for every scalar type, NaNs included. `set.eq` produces
+//! all-ones on a match and `0` on a mismatch; the predicate destination
+//! receives the result's condition codes, so the zero flag is set exactly
+//! on mismatch and the `@$pK.eq` guard branches to the appended
+//! [`trap`](fsp_isa::Opcode::Trap) block only when the shadow disagrees.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use fsp_isa::{
+    CmpOp, Dest, Guard, Instruction, KernelProgram, Opcode, Operand, PredTest, Register, NUM_GPRS,
+    NUM_PREDS,
+};
+
+/// Label of the appended detected-error exit block.
+pub const DETECT_LABEL: &str = "__fsp_detect";
+
+/// Static instructions added per protected instruction (shadow + compare +
+/// guarded branch).
+pub const GROUP_OVERHEAD: usize = 3;
+
+/// Dynamic instructions retired per protected execution in a fault-free
+/// run: the shadow and the compare. The guarded branch is skipped when the
+/// values match, and skipped guards do not retire.
+pub const DYNAMIC_OVERHEAD: u64 = 2;
+
+/// Why a program (or a requested instruction) cannot be hardened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HardenError {
+    /// The requested pc is outside the program.
+    PcOutOfRange {
+        /// The offending pc.
+        pc: usize,
+        /// Program length.
+        len: usize,
+    },
+    /// The instruction at `pc` is not a DMR candidate (guarded, control
+    /// flow, store, or without a single general-purpose register
+    /// destination).
+    NotACandidate {
+        /// The offending pc.
+        pc: usize,
+    },
+    /// Every general-purpose register is already live somewhere in the
+    /// program, leaving no shadow register.
+    NoFreeGpr,
+    /// Every predicate register is used somewhere in the program, leaving
+    /// no compare predicate.
+    NoFreePred,
+}
+
+impl fmt::Display for HardenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HardenError::PcOutOfRange { pc, len } => {
+                write!(f, "pc {pc} out of range for a {len}-instruction program")
+            }
+            HardenError::NotACandidate { pc } => {
+                write!(f, "instruction at pc {pc} is not a DMR candidate")
+            }
+            HardenError::NoFreeGpr => write!(f, "no free general-purpose register for the shadow"),
+            HardenError::NoFreePred => write!(f, "no free predicate register for the compare"),
+        }
+    }
+}
+
+impl std::error::Error for HardenError {}
+
+/// Whether an instruction can be protected by duplicate-and-compare:
+/// unguarded, non-control, with exactly one non-discard general-purpose
+/// register destination (stores, predicate writers and dual-destination
+/// `set` instructions are out).
+#[must_use]
+pub fn is_candidate(instr: &Instruction) -> bool {
+    if instr.guard.is_some() || instr.is_control() {
+        return false;
+    }
+    if matches!(instr.opcode, Opcode::St | Opcode::Ssy | Opcode::Nop) {
+        return false;
+    }
+    let Some(Dest::Reg(reg @ Register::Gpr(_))) = instr.dst[0] else {
+        return false;
+    };
+    !reg.is_discard() && instr.dst[1].is_none()
+}
+
+/// The pcs of every DMR candidate in `program`, in order.
+#[must_use]
+pub fn candidate_pcs(program: &KernelProgram) -> Vec<usize> {
+    (0..program.len())
+        .filter(|&pc| is_candidate(program.instr(pc)))
+        .collect()
+}
+
+/// A hardened kernel: the transformed program plus the bookkeeping needed
+/// to relate it back to the original (pc remapping, shadow resources).
+#[derive(Debug, Clone)]
+pub struct HardenedKernel {
+    /// The transformed program (name suffixed with `__dmr`).
+    pub program: KernelProgram,
+    /// The protected original pcs, ascending.
+    pub protected_pcs: Vec<usize>,
+    /// The shadow general-purpose register.
+    pub shadow_gpr: u8,
+    /// The compare predicate register.
+    pub compare_pred: u8,
+    /// pc of the appended `trap` detected-error exit.
+    pub detect_pc: usize,
+    protected: BTreeSet<usize>,
+    /// `pc_map[t]` = new pc of the *group start* of original pc `t`
+    /// (`pc_map[len]` = first appended instruction).
+    pc_map: Vec<usize>,
+}
+
+impl HardenedKernel {
+    /// New pc of the group start of original pc `t` (the shadow for
+    /// protected instructions, the instruction itself otherwise). Branch
+    /// targets are remapped with this, so a jump to a protected
+    /// instruction re-runs its shadow first.
+    #[must_use]
+    pub fn group_start(&self, old_pc: usize) -> usize {
+        self.pc_map[old_pc]
+    }
+
+    /// New pc of the *original* instruction for original pc `t` — one past
+    /// the shadow for protected instructions. Fault-site remapping targets
+    /// this copy, so injected faults land in the live destination the
+    /// compare checks.
+    #[must_use]
+    pub fn original_pc(&self, old_pc: usize) -> usize {
+        self.pc_map[old_pc] + usize::from(self.protected.contains(&old_pc))
+    }
+
+    /// Whether original pc `t` is protected.
+    #[must_use]
+    pub fn is_protected(&self, old_pc: usize) -> bool {
+        self.protected.contains(&old_pc)
+    }
+
+    /// Static instructions added by the transformation.
+    #[must_use]
+    pub fn added_static(&self) -> usize {
+        self.program.len() - self.original_len()
+    }
+
+    /// Length of the original (untransformed) program.
+    #[must_use]
+    pub fn original_len(&self) -> usize {
+        self.pc_map.len() - 1
+    }
+}
+
+/// Applies duplicate-and-compare to the instructions in `pcs`.
+///
+/// The transformation is purely static and whole-grid: every thread
+/// executes the shadow/compare groups. Planning (which pcs end up in
+/// `pcs`) is where selectivity and scoping live — see [`crate::plan`].
+///
+/// # Errors
+///
+/// [`HardenError`] when a pc is out of range or not a candidate, or when
+/// no free shadow register / compare predicate exists.
+pub fn harden(
+    program: &KernelProgram,
+    pcs: &BTreeSet<usize>,
+) -> Result<HardenedKernel, HardenError> {
+    let len = program.len();
+    for &pc in pcs {
+        if pc >= len {
+            return Err(HardenError::PcOutOfRange { pc, len });
+        }
+        if !is_candidate(program.instr(pc)) {
+            return Err(HardenError::NotACandidate { pc });
+        }
+    }
+    let (shadow_gpr, compare_pred) = free_registers(program)?;
+
+    // Group starts: each protected pc before `t` inserts GROUP_OVERHEAD
+    // extra instructions ahead of it.
+    let mut pc_map = Vec::with_capacity(len + 1);
+    let mut inserted = 0usize;
+    for pc in 0..=len {
+        pc_map.push(pc + inserted * GROUP_OVERHEAD);
+        if pcs.contains(&pc) {
+            inserted += 1;
+        }
+    }
+    let detect_pc = pc_map[len];
+
+    let mut out: Vec<Instruction> = Vec::with_capacity(detect_pc + 1);
+    for pc in 0..len {
+        let mut instr = program.instr(pc).clone();
+        if let Some(t) = instr.target {
+            instr.target = Some(pc_map[t]);
+        }
+        if pcs.contains(&pc) {
+            let dst = instr.dst[0]
+                .and_then(|d| d.register())
+                .expect("candidate has a register destination");
+            let mut shadow = instr.clone();
+            shadow.dst[0] = Some(Dest::Reg(Register::Gpr(shadow_gpr)));
+            out.push(shadow);
+            out.push(instr);
+            let mut compare = Instruction::new(Opcode::Set);
+            compare.cmp = Some(CmpOp::Eq);
+            compare.dst[0] = Some(Dest::Reg(Register::Pred(compare_pred)));
+            compare.src[0] = Some(Operand::reg(dst));
+            compare.src[1] = Some(Operand::reg(Register::Gpr(shadow_gpr)));
+            out.push(compare);
+            let mut branch = Instruction::new(Opcode::Bra);
+            branch.guard = Some(Guard {
+                pred: compare_pred,
+                test: PredTest::Eq,
+            });
+            branch.target = Some(detect_pc);
+            out.push(branch);
+        } else {
+            out.push(instr);
+        }
+    }
+    debug_assert_eq!(out.len(), detect_pc);
+    out.push(Instruction::new(Opcode::Trap));
+
+    let mut labels: BTreeMap<String, usize> = program
+        .labels()
+        .iter()
+        .map(|(name, &pc)| (name.clone(), pc_map[pc]))
+        .collect();
+    let mut detect_label = DETECT_LABEL.to_owned();
+    while labels.contains_key(&detect_label) {
+        detect_label.push('_');
+    }
+    labels.insert(detect_label, detect_pc);
+
+    Ok(HardenedKernel {
+        program: KernelProgram::from_parts(format!("{}__dmr", program.name()), out, labels),
+        protected_pcs: pcs.iter().copied().collect(),
+        shadow_gpr,
+        compare_pred,
+        detect_pc,
+        protected: pcs.clone(),
+        pc_map,
+    })
+}
+
+/// Finds an unused general-purpose register and an unused predicate,
+/// scanning from the highest index down (kernels allocate from the
+/// bottom, so the top of each register file is most likely free).
+fn free_registers(program: &KernelProgram) -> Result<(u8, u8), HardenError> {
+    let mut gpr_used = [false; NUM_GPRS as usize];
+    let mut pred_used = [false; NUM_PREDS as usize];
+    let mut mark = |reg: Register| match reg {
+        Register::Gpr(n) => gpr_used[n as usize] = true,
+        Register::Pred(n) => pred_used[n as usize] = true,
+        _ => {}
+    };
+    for pc in 0..program.len() {
+        let instr = program.instr(pc);
+        if let Some(g) = instr.guard {
+            mark(Register::Pred(g.pred));
+        }
+        for dest in instr.dests() {
+            match dest {
+                Dest::Reg(r) => mark(*r),
+                Dest::Mem(m) => {
+                    if let Some(base) = m.base {
+                        mark(base);
+                    }
+                }
+            }
+        }
+        for src in instr.sources() {
+            if let Some(r) = src.register() {
+                mark(r);
+            }
+        }
+    }
+    let shadow = (0..NUM_GPRS)
+        .rev()
+        .find(|&n| !gpr_used[n as usize] && !Register::Gpr(n).is_discard())
+        .ok_or(HardenError::NoFreeGpr)?;
+    let pred = (0..NUM_PREDS)
+        .rev()
+        .find(|&n| !pred_used[n as usize])
+        .ok_or(HardenError::NoFreePred)?;
+    Ok((shadow, pred))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsp_isa::assemble;
+
+    fn program() -> KernelProgram {
+        assemble(
+            "t",
+            r#"
+            mov.u32 $r1, 0x0
+            mov.u32 $r2, 0x0
+            loop:
+            add.u32 $r1, $r1, 0x1
+            set.lt.u32.u32 $p0/$o127, $r1, 0x4
+            @$p0.ne bra loop
+            st.global.u32 [$r2], $r1
+            exit
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn candidate_filter() {
+        let p = program();
+        // The movs and the add produce a GPR; set writes pred+discard, the
+        // guarded branch, store and exit are all excluded.
+        assert_eq!(candidate_pcs(&p), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn harden_expands_groups_and_remaps_branches() {
+        let p = program();
+        let pcs: BTreeSet<usize> = [0, 2].into_iter().collect();
+        let h = harden(&p, &pcs).unwrap();
+        assert_eq!(h.program.len(), p.len() + 2 * GROUP_OVERHEAD + 1);
+        assert_eq!(h.added_static(), 2 * GROUP_OVERHEAD + 1);
+        // Group starts: pc 0 -> 0, pc 2 -> 5 (after the first group).
+        assert_eq!(h.group_start(0), 0);
+        assert_eq!(h.group_start(1), 4);
+        assert_eq!(h.group_start(2), 5);
+        assert_eq!(h.original_pc(2), 6);
+        assert!(h.is_protected(2) && !h.is_protected(1));
+        // The loop-back branch must target the group start of the add, so
+        // a re-entry recomputes the shadow before the compare.
+        let bra = h.program.instr(h.original_pc(4));
+        assert_eq!(bra.opcode, Opcode::Bra);
+        assert_eq!(bra.target, Some(h.group_start(2)));
+        // The appended trap is the detect block and is labelled.
+        assert_eq!(h.program.instr(h.detect_pc).opcode, Opcode::Trap);
+        assert_eq!(h.program.labels().get(DETECT_LABEL), Some(&h.detect_pc));
+        // Inserted guard branches target the trap.
+        let guard_bra = h.program.instr(h.group_start(0) + 3);
+        assert_eq!(guard_bra.opcode, Opcode::Bra);
+        assert_eq!(guard_bra.target, Some(h.detect_pc));
+        assert_eq!(
+            guard_bra.guard,
+            Some(Guard {
+                pred: h.compare_pred,
+                test: PredTest::Eq
+            })
+        );
+    }
+
+    #[test]
+    fn harden_rejects_non_candidates() {
+        let p = program();
+        let pcs: BTreeSet<usize> = [5].into_iter().collect();
+        assert_eq!(
+            harden(&p, &pcs).unwrap_err(),
+            HardenError::NotACandidate { pc: 5 }
+        );
+        let pcs: BTreeSet<usize> = [99].into_iter().collect();
+        assert_eq!(
+            harden(&p, &pcs).unwrap_err(),
+            HardenError::PcOutOfRange { pc: 99, len: 7 }
+        );
+    }
+
+    #[test]
+    fn shadow_resources_avoid_used_registers() {
+        let p = program();
+        let pcs: BTreeSet<usize> = [0].into_iter().collect();
+        let h = harden(&p, &pcs).unwrap();
+        assert_ne!(h.shadow_gpr, 1, "r1 is live");
+        assert_ne!(h.compare_pred, 0, "p0 is live");
+    }
+}

@@ -1,0 +1,54 @@
+//! Fault-free transparency oracle: every shipped kernel, protected at
+//! full budget with no fault injected, must produce bit-identical output
+//! buffers to the unprotected kernel.
+//!
+//! This is the differential test that justifies trusting the DMR pass:
+//! the inserted shadow/compare/branch groups may only ever change
+//! behaviour when a fault actually corrupts a protected destination.
+
+use std::collections::BTreeSet;
+
+use fsp_inject::Experiment;
+use fsp_protect::{candidate_pcs, harden, ProtectedTarget};
+use fsp_workloads::Scale;
+
+#[test]
+fn full_dmr_is_output_transparent_on_every_kernel() {
+    let mut checked = 0usize;
+    for workload in fsp_workloads::all(Scale::Paper) {
+        let program = workload.program();
+        let pcs: BTreeSet<usize> = candidate_pcs(program).into_iter().collect();
+        assert!(
+            !pcs.is_empty(),
+            "{}: no DMR candidates at all would make protection vacuous",
+            workload.registry_id()
+        );
+        let hardened = harden(program, &pcs)
+            .unwrap_or_else(|e| panic!("{}: harden failed: {e}", workload.registry_id()));
+
+        let baseline = Experiment::prepare(&workload)
+            .unwrap_or_else(|e| panic!("{}: fault-free run failed: {e}", workload.registry_id()));
+        let protected = ProtectedTarget::new(&workload, hardened.program.clone());
+        // prepare() errors if the fault-free run faults, so success here
+        // also proves the trap never fires without an injected fault.
+        let protected_exp = Experiment::prepare(&protected).unwrap_or_else(|e| {
+            panic!(
+                "{}: hardened fault-free run failed (trap fired or faulted): {e}",
+                workload.registry_id()
+            )
+        });
+        assert_eq!(
+            baseline.golden(),
+            protected_exp.golden(),
+            "{}: hardened output differs from the unprotected golden run",
+            workload.registry_id()
+        );
+        assert!(
+            protected_exp.fault_free_instructions() > baseline.fault_free_instructions(),
+            "{}: full DMR must add dynamic instructions",
+            workload.registry_id()
+        );
+        checked += 1;
+    }
+    assert!(checked >= 17, "expected all shipped kernels, got {checked}");
+}

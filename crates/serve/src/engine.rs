@@ -14,7 +14,7 @@
 //! job's profile is recomputed from the full outcome vector in site
 //! order, making it bit-identical to an uninterrupted run's.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -22,14 +22,18 @@ use std::time::{Duration, Instant};
 
 use fsp_core::{PruningConfig, PruningPipeline};
 use fsp_inject::{CampaignObserver, Experiment, InjectionTarget, WeightedSite};
+use fsp_protect::{
+    harden, harden_and_verify, plan_protection, remap_sites, HardenConfig, PlanInputs,
+    ProtectScope, ProtectedTarget,
+};
 use fsp_stats::{Outcome, ResilienceProfile};
-use fsp_workloads::Scale;
+use fsp_workloads::{program_fingerprint, Scale};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::job::{CampaignMode, JobRecord, JobResult, JobSpec, JobState};
 use crate::json::Json;
-use crate::metrics::Metrics;
+use crate::metrics::{mode_index, Metrics};
 use crate::store::{OutcomeKey, OutcomeStore};
 
 /// Log records accumulated before the engine folds them into a fresh
@@ -400,6 +404,27 @@ pub fn kernels_json() -> Json {
 pub fn run_local(spec: &JobSpec, workers: usize) -> Result<Json, String> {
     let workload = fsp_workloads::by_id(&spec.kernel, Scale::Eval)
         .ok_or_else(|| format!("unknown kernel `{}`", spec.kernel))?;
+    if let CampaignMode::Protect {
+        budget_millis,
+        scope,
+        samples,
+    } = spec.mode
+    {
+        let outcome = harden_and_verify(
+            &workload,
+            &protect_config(spec, budget_millis, scope, samples, workers),
+        )
+        .map_err(|e| e.to_string())?;
+        return Ok(crate::job::result_to_json(
+            spec,
+            &JobResult {
+                fingerprint: program_fingerprint(&outcome.hardened.program),
+                launch: workload.launch_hash(),
+                sites: outcome.report.samples,
+                profile: outcome.report.protected,
+            },
+        ));
+    }
     let experiment = Experiment::prepare(&workload).map_err(|e| e.to_string())?;
     let (sites, assumed_masked) = plan_sites(spec, &workload, &experiment)?;
     let result = experiment.run_campaign_with(&sites, spec.model, workers);
@@ -414,6 +439,28 @@ pub fn run_local(spec: &JobSpec, workers: usize) -> Result<Json, String> {
             profile,
         },
     ))
+}
+
+/// The [`HardenConfig`] equivalent of a protect job spec. The engine path
+/// mirrors every field of this (same seed, same sample count, no ACE
+/// scaling) so the library and service paths plan identical protections
+/// and report identical profiles.
+fn protect_config(
+    spec: &JobSpec,
+    budget_millis: u32,
+    scope: ProtectScope,
+    samples: usize,
+    workers: usize,
+) -> HardenConfig {
+    HardenConfig {
+        scope,
+        budget: f64::from(budget_millis) / 1000.0,
+        samples,
+        seed: spec.seed,
+        model: spec.model,
+        workers,
+        use_ace: false,
+    }
 }
 
 /// Deterministically expands a spec into its weighted site list and
@@ -452,6 +499,9 @@ fn plan_sites(
                 0.0,
             ))
         }
+        // Protect jobs run two campaigns against two programs; both
+        // callers branch to their protect paths before planning sites.
+        CampaignMode::Protect { .. } => unreachable!("protect jobs never reach plan_sites"),
     }
 }
 
@@ -537,6 +587,8 @@ fn run_job(shared: &Shared, id: &str) {
                 .metrics
                 .jobs_completed
                 .fetch_add(1, Ordering::Relaxed);
+            shared.metrics.jobs_completed_by_mode[mode_index(spec.mode.mode_name())]
+                .fetch_add(1, Ordering::Relaxed);
         }
         RunEnd::Interrupted => return, // stays `running` on disk
         RunEnd::Cancelled => {
@@ -563,12 +615,185 @@ fn execute(shared: &Shared, id: &str, spec: &JobSpec, cancel: &AtomicBool) -> Ru
         Ok(e) => e,
         Err(e) => return RunEnd::Failed(format!("golden run failed: {e}")),
     };
+    if let CampaignMode::Protect {
+        budget_millis,
+        scope,
+        samples,
+    } = spec.mode
+    {
+        return execute_protect(
+            shared,
+            id,
+            spec,
+            cancel,
+            &workload,
+            &experiment,
+            budget_millis,
+            scope,
+            samples,
+        );
+    }
     let (sites, assumed_masked) = match plan_sites(spec, &workload, &experiment) {
         Ok(planned) => planned,
         Err(e) => return RunEnd::Failed(e),
     };
     let fingerprint = workload.fingerprint();
     let launch = workload.launch_hash();
+    reset_progress(shared, id, sites.len());
+    let outcomes = match campaign_through_store(
+        shared,
+        id,
+        spec,
+        &experiment,
+        &sites,
+        fingerprint,
+        launch,
+        cancel,
+    ) {
+        Ok(outcomes) => outcomes,
+        Err(end) => return end,
+    };
+    // Final profile: recomputed over the complete outcome vector in site
+    // order, so cold, warm and resumed runs agree bit-for-bit.
+    let mut profile = profile_in_site_order(&sites, &outcomes);
+    profile.record_weighted(Outcome::Masked, assumed_masked);
+    RunEnd::Completed(JobResult {
+        fingerprint,
+        launch,
+        sites: sites.len(),
+        profile,
+    })
+}
+
+/// The engine path of a protect job, mirroring
+/// [`fsp_protect::harden_and_verify`] with both campaigns routed through
+/// the outcome store: the baseline campaign shares cache entries with
+/// plain sampled jobs of the same kernel, and the re-injection campaign
+/// keys its outcomes under the *hardened* program's fingerprint, so
+/// resubmitting the same protect spec is a pure warm read.
+#[allow(clippy::too_many_arguments)]
+fn execute_protect(
+    shared: &Shared,
+    id: &str,
+    spec: &JobSpec,
+    cancel: &AtomicBool,
+    workload: &fsp_workloads::Workload,
+    experiment: &Experiment<'_, fsp_workloads::Workload>,
+    budget_millis: u32,
+    scope: ProtectScope,
+    samples: usize,
+) -> RunEnd {
+    let launch = workload.launch();
+    let space = experiment.site_space(0..launch.num_threads());
+    if space.total_sites() == 0 {
+        return RunEnd::Failed("kernel has no fault sites".to_owned());
+    }
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let sites: Vec<WeightedSite> = space
+        .sample_many(samples, &mut rng)
+        .into_iter()
+        .map(WeightedSite::from)
+        .collect();
+    let launch_hash = workload.launch_hash();
+    // Two campaigns of equal site count: baseline, then re-injection.
+    reset_progress(shared, id, sites.len() * 2);
+    let baseline_outcomes = match campaign_through_store(
+        shared,
+        id,
+        spec,
+        experiment,
+        &sites,
+        workload.fingerprint(),
+        launch_hash,
+        cancel,
+    ) {
+        Ok(outcomes) => outcomes,
+        Err(end) => return end,
+    };
+
+    // Plan and transform. Planning is deterministic in (spec, store
+    // outcomes), so a resumed or resubmitted job re-derives the same
+    // hardened program and hits the same store keys.
+    let program = launch.program();
+    let plan = plan_protection(
+        &PlanInputs {
+            program,
+            space: &space,
+            sites: &sites,
+            outcomes: &baseline_outcomes,
+            ace: None,
+        },
+        scope,
+        f64::from(budget_millis) / 1000.0,
+    );
+    let hardened = match harden(program, &plan.selected_pcs) {
+        Ok(hardened) => hardened,
+        Err(e) => return RunEnd::Failed(format!("hardening failed: {e}")),
+    };
+    let protected_target = ProtectedTarget::new(workload, hardened.program.clone());
+    let protected_exp = match Experiment::prepare(&protected_target) {
+        Ok(e) => e,
+        Err(e) => return RunEnd::Failed(format!("hardened golden run failed: {e}")),
+    };
+    if protected_exp.golden() != experiment.golden() {
+        return RunEnd::Failed("hardened kernel broke output transparency".to_owned());
+    }
+    let tids: BTreeSet<u32> = sites.iter().map(|ws| ws.site.tid).collect();
+    let protected_space = protected_exp.site_space(tids);
+    let mapped = remap_sites(&hardened, &space, &protected_space, &sites);
+
+    let outcomes = match campaign_through_store(
+        shared,
+        id,
+        spec,
+        &protected_exp,
+        &mapped,
+        program_fingerprint(&hardened.program),
+        launch_hash,
+        cancel,
+    ) {
+        Ok(outcomes) => outcomes,
+        Err(end) => return end,
+    };
+    RunEnd::Completed(JobResult {
+        fingerprint: program_fingerprint(&hardened.program),
+        launch: launch_hash,
+        sites: sites.len(),
+        profile: profile_in_site_order(&mapped, &outcomes),
+    })
+}
+
+/// Resets a job's progress counters for a (re)run. Resumed jobs reload
+/// stale `done`/`partial` values from disk; the store replay below
+/// re-derives them.
+fn reset_progress(shared: &Shared, id: &str, total: usize) {
+    let mut jobs = shared.jobs.lock().expect("engine poisoned");
+    if let Some(record) = jobs.get_mut(id) {
+        record.total = total;
+        record.done = 0;
+        record.cache_hits = 0;
+        record.partial = ResilienceProfile::new();
+        persist(&shared.jobs_dir, record);
+    }
+}
+
+/// Runs one campaign with the store as cache: resolves hits under the
+/// given program fingerprint, injects only the misses (persisting each
+/// chunk), and returns the complete outcome vector in site order.
+/// Progress is *added* to the job record so a job can chain campaigns.
+///
+/// `Err` carries the terminal [`RunEnd`] when the campaign was stopped.
+#[allow(clippy::too_many_arguments)]
+fn campaign_through_store<T: InjectionTarget>(
+    shared: &Shared,
+    id: &str,
+    spec: &JobSpec,
+    experiment: &Experiment<'_, T>,
+    sites: &[WeightedSite],
+    fingerprint: u64,
+    launch: u64,
+    cancel: &AtomicBool,
+) -> Result<Vec<Outcome>, RunEnd> {
     let keys: Vec<OutcomeKey> = sites
         .iter()
         .map(|ws| OutcomeKey::new(fingerprint, launch, spec.model, ws.site))
@@ -584,16 +809,13 @@ fn execute(shared: &Shared, id: &str, spec: &JobSpec, cancel: &AtomicBool) -> Ru
     {
         let mut jobs = shared.jobs.lock().expect("engine poisoned");
         if let Some(record) = jobs.get_mut(id) {
-            record.total = sites.len();
-            record.done = hits;
-            record.cache_hits = hits;
-            let mut partial = ResilienceProfile::new();
+            record.done += hits;
+            record.cache_hits += hits;
             for (ws, o) in sites.iter().zip(&resolved) {
                 if let Some(o) = o {
-                    partial.record_weighted(*o, ws.weight);
+                    record.partial.record_weighted(*o, ws.weight);
                 }
             }
-            record.partial = partial;
             persist(&shared.jobs_dir, record);
         }
     }
@@ -603,18 +825,19 @@ fn execute(shared: &Shared, id: &str, spec: &JobSpec, cancel: &AtomicBool) -> Ru
         id,
         keys: &keys,
         resolved: &resolved,
-        sites: &sites,
+        sites,
         cancel,
     };
     let started = Instant::now();
     let run = experiment.run_campaign_incremental(
-        &sites,
+        sites,
         spec.model,
         shared.campaign_workers,
         &resolved,
         &observer,
     );
     shared.metrics.record_campaign(
+        mode_index(spec.mode.mode_name()),
         hits as u64,
         run.injected as u64,
         started.elapsed().as_nanos() as u64,
@@ -630,20 +853,25 @@ fn execute(shared: &Shared, id: &str, spec: &JobSpec, cancel: &AtomicBool) -> Ru
     }
     if run.cancelled {
         if shared.shutdown.load(Ordering::Relaxed) {
-            return RunEnd::Interrupted;
+            return Err(RunEnd::Interrupted);
         }
-        return RunEnd::Cancelled;
+        return Err(RunEnd::Cancelled);
     }
-    // Final profile: recomputed over the complete outcome vector in site
-    // order, so cold, warm and resumed runs agree bit-for-bit.
-    let mut profile = run.partial_profile(&sites);
-    profile.record_weighted(Outcome::Masked, assumed_masked);
-    RunEnd::Completed(JobResult {
-        fingerprint,
-        launch,
-        sites: sites.len(),
-        profile,
-    })
+    Ok(run
+        .outcomes
+        .into_iter()
+        .map(|o| o.expect("uncancelled campaign resolves every site"))
+        .collect())
+}
+
+/// The weighted profile of a complete campaign, accumulated in site order
+/// (bit-identical across worker counts and cache splits).
+fn profile_in_site_order(sites: &[WeightedSite], outcomes: &[Outcome]) -> ResilienceProfile {
+    let mut profile = ResilienceProfile::new();
+    for (ws, o) in sites.iter().zip(outcomes) {
+        profile.record_weighted(*o, ws.weight);
+    }
+    profile
 }
 
 struct EngineObserver<'a> {

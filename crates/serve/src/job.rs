@@ -1,6 +1,7 @@
 //! Job specifications, states and their wire/persistence encoding.
 
 use fsp_inject::FaultModel;
+use fsp_protect::ProtectScope;
 use fsp_stats::ResilienceProfile;
 
 use crate::json::Json;
@@ -20,6 +21,19 @@ pub enum CampaignMode {
         /// Number of injections.
         samples: usize,
     },
+    /// Selective hardening: a baseline sampled campaign plans a DMR
+    /// transformation, and the same sites are re-injected into the
+    /// hardened kernel (outcomes keyed under its own fingerprint).
+    Protect {
+        /// Budget as thousandths of the full-DMR overhead (250 = 0.25;
+        /// an integer so the mode stays `Copy + Eq` and round-trips
+        /// through JSON exactly).
+        budget_millis: u32,
+        /// Planner selection granularity.
+        scope: ProtectScope,
+        /// Baseline campaign size.
+        samples: usize,
+    },
 }
 
 /// A campaign job as submitted to `POST /jobs`.
@@ -34,6 +48,18 @@ pub struct JobSpec {
     /// Seed: drives loop-iteration sampling (pruned) or site sampling
     /// (sampled).
     pub seed: u64,
+}
+
+impl CampaignMode {
+    /// Stable wire and metrics-label name of the mode.
+    #[must_use]
+    pub const fn mode_name(self) -> &'static str {
+        match self {
+            CampaignMode::Pruned { .. } => "pruned",
+            CampaignMode::Sampled { .. } => "sampled",
+            CampaignMode::Protect { .. } => "protect",
+        }
+    }
 }
 
 impl JobSpec {
@@ -62,6 +88,22 @@ impl JobSpec {
         }
     }
 
+    /// A selective-hardening job at `budget` (fraction of full-DMR
+    /// overhead, quantized to thousandths).
+    #[must_use]
+    pub fn protect(kernel: &str, budget: f64, samples: usize) -> JobSpec {
+        JobSpec {
+            kernel: kernel.to_owned(),
+            mode: CampaignMode::Protect {
+                budget_millis: (budget.clamp(0.0, 1.0) * 1000.0).round() as u32,
+                scope: ProtectScope::default(),
+                samples,
+            },
+            model: FaultModel::SingleBitFlip,
+            seed: 0xF5EED,
+        }
+    }
+
     /// Encodes the spec's fields (flat, merged into job documents).
     #[must_use]
     pub fn fields(&self) -> Vec<(String, Json)> {
@@ -77,6 +119,19 @@ impl JobSpec {
             }
             CampaignMode::Sampled { samples } => {
                 pairs.push(("mode".to_owned(), Json::Str("sampled".to_owned())));
+                pairs.push(("samples".to_owned(), Json::u64(samples as u64)));
+            }
+            CampaignMode::Protect {
+                budget_millis,
+                scope,
+                samples,
+            } => {
+                pairs.push(("mode".to_owned(), Json::Str("protect".to_owned())));
+                pairs.push((
+                    "budget_millis".to_owned(),
+                    Json::u64(u64::from(budget_millis)),
+                ));
+                pairs.push(("scope".to_owned(), Json::Str(scope.name().to_owned())));
                 pairs.push(("samples".to_owned(), Json::u64(samples as u64)));
             }
         }
@@ -122,6 +177,24 @@ impl JobSpec {
                     .ok_or("sampled mode needs `samples`")?
                     .as_u64()
                     .ok_or("`samples` must be an integer")? as usize,
+            },
+            "protect" => CampaignMode::Protect {
+                budget_millis: value
+                    .get("budget_millis")
+                    .map(|v| v.as_u64().ok_or("`budget_millis` must be an integer"))
+                    .transpose()?
+                    .unwrap_or(250)
+                    .min(1000) as u32,
+                scope: match value.get("scope").and_then(Json::as_str) {
+                    None => ProtectScope::default(),
+                    Some(name) => ProtectScope::from_name(name)
+                        .ok_or_else(|| format!("unknown scope `{name}`"))?,
+                },
+                samples: value
+                    .get("samples")
+                    .map(|v| v.as_u64().ok_or("`samples` must be an integer"))
+                    .transpose()?
+                    .unwrap_or(500) as usize,
             },
             other => return Err(format!("unknown mode `{other}`")),
         };
@@ -241,6 +314,7 @@ pub fn profile_to_json(p: &ResilienceProfile) -> Json {
         ("other", Json::Num(p.other())),
         ("crashes", Json::Num(p.crashes())),
         ("hangs", Json::Num(p.hangs())),
+        ("detected", Json::Num(p.detected())),
     ])
 }
 
@@ -262,6 +336,9 @@ pub fn profile_from_json(value: &Json) -> Result<ResilienceProfile, String> {
         field("other")?,
         field("crashes")?,
         field("hangs")?,
+        // Documents persisted before detection-aware campaigns existed
+        // have no `detected` weight; default to zero.
+        value.get("detected").and_then(Json::as_f64).unwrap_or(0.0),
     ))
 }
 
@@ -392,6 +469,16 @@ mod tests {
                 model: FaultModel::StuckAt1,
                 seed: u64::MAX,
             },
+            JobSpec {
+                kernel: "pathfinder".to_owned(),
+                mode: CampaignMode::Protect {
+                    budget_millis: 375,
+                    scope: ProtectScope::Opcode,
+                    samples: 200,
+                },
+                model: FaultModel::SingleBitFlip,
+                seed: 7,
+            },
         ] {
             let text = spec.to_json().to_string();
             let back = JobSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
@@ -408,6 +495,17 @@ mod tests {
             JobSpec::from_json(&Json::parse(r#"{"kernel":"x","mode":"sampled"}"#).unwrap())
                 .is_err(),
             "sampled mode requires a sample count"
+        );
+        let spec =
+            JobSpec::from_json(&Json::parse(r#"{"kernel":"bfs","mode":"protect"}"#).unwrap())
+                .unwrap();
+        assert_eq!(spec, JobSpec::protect("bfs", 0.25, 500));
+        assert!(
+            JobSpec::from_json(
+                &Json::parse(r#"{"kernel":"x","mode":"protect","scope":"warp"}"#).unwrap()
+            )
+            .is_err(),
+            "unknown scope names are rejected"
         );
     }
 

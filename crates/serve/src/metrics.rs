@@ -3,6 +3,16 @@
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Stable metric labels of the campaign modes, in breakout order.
+pub const MODES: [&str; 3] = ["pruned", "sampled", "protect"];
+
+/// Index of a [`CampaignMode::mode_name`] into the per-mode counters.
+/// Unknown names fold into slot 0 rather than panicking in a metrics path.
+#[must_use]
+pub fn mode_index(mode: &str) -> usize {
+    MODES.iter().position(|m| *m == mode).unwrap_or(0)
+}
+
 /// Monotonic service counters, shared lock-free between the worker pool
 /// and the HTTP layer.
 #[derive(Debug, Default)]
@@ -23,15 +33,24 @@ pub struct Metrics {
     pub cache_misses: AtomicU64,
     /// Wall-clock nanoseconds spent inside injection campaigns.
     pub injection_nanos: AtomicU64,
+    /// Completed jobs per campaign mode (indexed by [`MODES`]).
+    pub jobs_completed_by_mode: [AtomicU64; MODES.len()],
+    /// Injected sites per campaign mode.
+    pub sites_injected_by_mode: [AtomicU64; MODES.len()],
+    /// Campaign wall-clock nanoseconds per campaign mode.
+    pub injection_nanos_by_mode: [AtomicU64; MODES.len()],
 }
 
 impl Metrics {
-    /// Adds a campaign's cache accounting in one shot.
-    pub fn record_campaign(&self, hits: u64, injected: u64, nanos: u64) {
+    /// Adds a campaign's cache accounting in one shot, attributed to the
+    /// mode at `mode` (see [`mode_index`]).
+    pub fn record_campaign(&self, mode: usize, hits: u64, injected: u64, nanos: u64) {
         self.cache_hits.fetch_add(hits, Ordering::Relaxed);
         self.cache_misses.fetch_add(injected, Ordering::Relaxed);
         self.sites_injected.fetch_add(injected, Ordering::Relaxed);
         self.injection_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.sites_injected_by_mode[mode].fetch_add(injected, Ordering::Relaxed);
+        self.injection_nanos_by_mode[mode].fetch_add(nanos, Ordering::Relaxed);
     }
 
     /// Renders the Prometheus text exposition format. `jobs_by_state`
@@ -106,12 +125,50 @@ impl Metrics {
             "# HELP fsp_sites_per_second Injection throughput over campaign wall time.\n\
              # TYPE fsp_sites_per_second gauge\nfsp_sites_per_second {sites_per_sec:.1}\n"
         );
+        self.render_by_mode(&mut out);
         let _ = write!(
             out,
             "# HELP fsp_store_outcomes Outcomes in the persistent store.\n\
              # TYPE fsp_store_outcomes gauge\nfsp_store_outcomes {store_len}\n"
         );
         out
+    }
+
+    /// Renders the per-mode breakout counters (jobs, sites, throughput).
+    fn render_by_mode(&self, out: &mut String) {
+        out.push_str(
+            "# HELP fsp_jobs_completed_by_mode Jobs completed, by campaign mode.\n\
+             # TYPE fsp_jobs_completed_by_mode counter\n",
+        );
+        for (i, mode) in MODES.iter().enumerate() {
+            let n = self.jobs_completed_by_mode[i].load(Ordering::Relaxed);
+            let _ = writeln!(out, "fsp_jobs_completed_by_mode{{mode=\"{mode}\"}} {n}");
+        }
+        out.push_str(
+            "# HELP fsp_sites_injected_by_mode Fault sites injected, by campaign mode.\n\
+             # TYPE fsp_sites_injected_by_mode counter\n",
+        );
+        for (i, mode) in MODES.iter().enumerate() {
+            let n = self.sites_injected_by_mode[i].load(Ordering::Relaxed);
+            let _ = writeln!(out, "fsp_sites_injected_by_mode{{mode=\"{mode}\"}} {n}");
+        }
+        out.push_str(
+            "# HELP fsp_sites_per_second_by_mode Injection throughput, by campaign mode.\n\
+             # TYPE fsp_sites_per_second_by_mode gauge\n",
+        );
+        for (i, mode) in MODES.iter().enumerate() {
+            let n = self.sites_injected_by_mode[i].load(Ordering::Relaxed);
+            let ns = self.injection_nanos_by_mode[i].load(Ordering::Relaxed);
+            let rate = if ns == 0 {
+                0.0
+            } else {
+                n as f64 / (ns as f64 / 1e9)
+            };
+            let _ = writeln!(
+                out,
+                "fsp_sites_per_second_by_mode{{mode=\"{mode}\"}} {rate:.1}"
+            );
+        }
     }
 }
 
@@ -123,7 +180,7 @@ mod tests {
     fn renders_prometheus_text() {
         let m = Metrics::default();
         m.jobs_submitted.fetch_add(3, Ordering::Relaxed);
-        m.record_campaign(75, 25, 2_000_000_000);
+        m.record_campaign(mode_index("sampled"), 75, 25, 2_000_000_000);
         let text = m.render(&[("queued", 1), ("completed", 2)], 100);
         assert!(text.contains("fsp_jobs{state=\"queued\"} 1\n"));
         assert!(text.contains("fsp_jobs_submitted_total 3\n"));
@@ -131,5 +188,30 @@ mod tests {
         assert!(text.contains("fsp_sites_injected_total 25\n"));
         assert!(text.contains("fsp_sites_per_second 12.5\n"));
         assert!(text.contains("fsp_store_outcomes 100\n"));
+    }
+
+    #[test]
+    fn breaks_out_counters_by_mode() {
+        let m = Metrics::default();
+        m.record_campaign(mode_index("pruned"), 0, 40, 1_000_000_000);
+        m.record_campaign(mode_index("protect"), 10, 30, 2_000_000_000);
+        m.jobs_completed_by_mode[mode_index("protect")].fetch_add(1, Ordering::Relaxed);
+        let text = m.render(&[], 0);
+        assert!(text.contains("fsp_sites_injected_by_mode{mode=\"pruned\"} 40\n"));
+        assert!(text.contains("fsp_sites_injected_by_mode{mode=\"sampled\"} 0\n"));
+        assert!(text.contains("fsp_sites_injected_by_mode{mode=\"protect\"} 30\n"));
+        assert!(text.contains("fsp_sites_per_second_by_mode{mode=\"pruned\"} 40.0\n"));
+        assert!(text.contains("fsp_sites_per_second_by_mode{mode=\"protect\"} 15.0\n"));
+        assert!(text.contains("fsp_jobs_completed_by_mode{mode=\"protect\"} 1\n"));
+        assert!(text.contains("fsp_jobs_completed_by_mode{mode=\"pruned\"} 0\n"));
+        // Aggregates still account for every mode's traffic.
+        assert!(text.contains("fsp_sites_injected_total 70\n"));
+    }
+
+    #[test]
+    fn unknown_mode_names_fold_into_slot_zero() {
+        assert_eq!(mode_index("pruned"), 0);
+        assert_eq!(mode_index("nonesuch"), 0);
+        assert_eq!(mode_index("protect"), 2);
     }
 }

@@ -40,6 +40,14 @@ pub enum SimFault {
         /// Program counter of the offending `bar.sync`.
         pc: u32,
     },
+    /// A thread executed `trap`: an in-kernel detector (e.g. a DMR
+    /// compare inserted by the hardening pass) observed corrupted state
+    /// and aborted the launch. Injection campaigns classify this as a
+    /// *Detected* outcome, not a crash.
+    DetectedExit {
+        /// Program counter of the `trap` instruction.
+        pc: u32,
+    },
 }
 
 impl fmt::Display for SimFault {
@@ -54,6 +62,9 @@ impl fmt::Display for SimFault {
             SimFault::BudgetExceeded => write!(f, "dynamic instruction budget exceeded"),
             SimFault::BarrierDivergence { pc } => {
                 write!(f, "bar.sync at pc {pc} executed by a diverged warp")
+            }
+            SimFault::DetectedExit { pc } => {
+                write!(f, "detected-error exit (trap) at pc {pc}")
             }
         }
     }
@@ -314,7 +325,8 @@ pub(crate) fn step<H: ExecHook>(
         | Opcode::Bar
         | Opcode::Ret
         | Opcode::Retp
-        | Opcode::Exit => match instr.opcode {
+        | Opcode::Exit
+        | Opcode::Trap => match instr.opcode {
             Opcode::Bra => {
                 next_pc = instr.target.expect("assembler resolves branch targets");
             }
@@ -325,6 +337,9 @@ pub(crate) fn step<H: ExecHook>(
             Opcode::Ret | Opcode::Retp | Opcode::Exit => {
                 thread.status = ThreadStatus::Done;
                 effect = StepEffect::Done;
+            }
+            Opcode::Trap => {
+                return Err(SimFault::DetectedExit { pc: pc as u32 });
             }
             _ => {}
         },

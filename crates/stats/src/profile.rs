@@ -22,6 +22,9 @@ pub enum Outcome {
     Sdc,
     /// Crash or hang.
     Other(OutcomeKind),
+    /// The fault was caught by an in-kernel detector (DMR compare) and the
+    /// kernel took the detected-exit: a DUE rather than an SDC.
+    Detected,
 }
 
 impl Outcome {
@@ -41,6 +44,7 @@ impl Outcome {
             Outcome::Sdc => 1,
             Outcome::Other(OutcomeKind::Crash) => 2,
             Outcome::Other(OutcomeKind::Hang) => 3,
+            Outcome::Detected => 4,
         }
     }
 
@@ -52,6 +56,7 @@ impl Outcome {
             1 => Some(Outcome::Sdc),
             2 => Some(Outcome::CRASH),
             3 => Some(Outcome::HANG),
+            4 => Some(Outcome::Detected),
             _ => None,
         }
     }
@@ -64,6 +69,7 @@ impl fmt::Display for Outcome {
             Outcome::Sdc => write!(f, "sdc"),
             Outcome::Other(OutcomeKind::Crash) => write!(f, "other(crash)"),
             Outcome::Other(OutcomeKind::Hang) => write!(f, "other(hang)"),
+            Outcome::Detected => write!(f, "detected"),
         }
     }
 }
@@ -81,6 +87,8 @@ pub struct ResilienceProfile {
     other: f64,
     crashes: f64,
     hangs: f64,
+    #[serde(default)]
+    detected: f64,
 }
 
 impl ResilienceProfile {
@@ -99,26 +107,35 @@ impl ResilienceProfile {
             other: other as f64,
             crashes: 0.0,
             hangs: 0.0,
+            detected: 0.0,
         }
     }
 
     /// Reconstructs a profile from its raw weights, e.g. when decoding the
     /// wire representation used by the campaign service. Inverse of the
-    /// accessor quintuple ([`ResilienceProfile::masked`], [`sdc`],
-    /// [`other`], [`crashes`], [`hangs`]) — round-tripping through it is
-    /// bit-exact.
+    /// accessor sextuple ([`ResilienceProfile::masked`], [`sdc`],
+    /// [`other`], [`crashes`], [`hangs`], [`detected`]) — round-tripping
+    /// through it is bit-exact.
     ///
     /// [`sdc`]: ResilienceProfile::sdc
     /// [`other`]: ResilienceProfile::other
     /// [`crashes`]: ResilienceProfile::crashes
     /// [`hangs`]: ResilienceProfile::hangs
+    /// [`detected`]: ResilienceProfile::detected
     ///
     /// # Panics
     ///
     /// Panics if any weight is negative or non-finite.
     #[must_use]
-    pub fn from_parts(masked: f64, sdc: f64, other: f64, crashes: f64, hangs: f64) -> Self {
-        for w in [masked, sdc, other, crashes, hangs] {
+    pub fn from_parts(
+        masked: f64,
+        sdc: f64,
+        other: f64,
+        crashes: f64,
+        hangs: f64,
+        detected: f64,
+    ) -> Self {
+        for w in [masked, sdc, other, crashes, hangs, detected] {
             assert!(
                 w.is_finite() && w >= 0.0,
                 "weight must be finite and non-negative, got {w}"
@@ -130,6 +147,7 @@ impl ResilienceProfile {
             other,
             crashes,
             hangs,
+            detected,
         }
     }
 
@@ -158,6 +176,7 @@ impl ResilienceProfile {
                     OutcomeKind::Hang => self.hangs += weight,
                 }
             }
+            Outcome::Detected => self.detected += weight,
         }
     }
 
@@ -168,12 +187,14 @@ impl ResilienceProfile {
         self.other += other.other;
         self.crashes += other.crashes;
         self.hangs += other.hangs;
+        self.detected += other.detected;
     }
 
-    /// Total recorded weight.
+    /// Total recorded weight across all four classes (the Eq. 1
+    /// exhaustive population when the campaign covered every site).
     #[must_use]
     pub fn total(&self) -> f64 {
-        self.masked + self.sdc + self.other
+        self.masked + self.sdc + self.other + self.detected
     }
 
     /// Masked weight.
@@ -206,6 +227,13 @@ impl ResilienceProfile {
         self.hangs
     }
 
+    /// Detected (DUE) weight — faults caught by an in-kernel detector.
+    /// Zero for campaigns on unprotected kernels.
+    #[must_use]
+    pub fn detected(&self) -> f64 {
+        self.detected
+    }
+
     fn pct(&self, x: f64) -> f64 {
         let t = self.total();
         if t == 0.0 {
@@ -233,6 +261,12 @@ impl ResilienceProfile {
         self.pct(self.other)
     }
 
+    /// Percentage of detected outcomes (0–100).
+    #[must_use]
+    pub fn pct_detected(&self) -> f64 {
+        self.pct(self.detected)
+    }
+
     /// `(masked%, sdc%, other%)` as a tuple.
     #[must_use]
     pub fn percentages(&self) -> (f64, f64, f64) {
@@ -240,12 +274,18 @@ impl ResilienceProfile {
     }
 
     /// Largest absolute per-class percentage difference from `other` — the
-    /// accuracy metric of Figure 9.
+    /// accuracy metric of Figure 9. Includes the detected class (which
+    /// contributes zero on unprotected campaigns).
     #[must_use]
     pub fn max_abs_diff(&self, other: &ResilienceProfile) -> f64 {
         let (m1, s1, o1) = self.percentages();
         let (m2, s2, o2) = other.percentages();
-        (m1 - m2).abs().max((s1 - s2).abs()).max((o1 - o2).abs())
+        let d = (self.pct_detected() - other.pct_detected()).abs();
+        (m1 - m2)
+            .abs()
+            .max((s1 - s2).abs())
+            .max((o1 - o2).abs())
+            .max(d)
     }
 
     /// Signed per-class percentage differences `(masked, sdc, other)`.
@@ -259,14 +299,28 @@ impl ResilienceProfile {
 
 impl fmt::Display for ResilienceProfile {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "masked {:.2}% / sdc {:.2}% / other {:.2}% (n={:.0})",
-            self.pct_masked(),
-            self.pct_sdc(),
-            self.pct_other(),
-            self.total()
-        )
+        // The detected class only appears once a detector is in play;
+        // unprotected campaigns keep the familiar three-class line.
+        if self.detected == 0.0 {
+            write!(
+                f,
+                "masked {:.2}% / sdc {:.2}% / other {:.2}% (n={:.0})",
+                self.pct_masked(),
+                self.pct_sdc(),
+                self.pct_other(),
+                self.total()
+            )
+        } else {
+            write!(
+                f,
+                "masked {:.2}% / sdc {:.2}% / detected {:.2}% / other {:.2}% (n={:.0})",
+                self.pct_masked(),
+                self.pct_sdc(),
+                self.pct_detected(),
+                self.pct_other(),
+                self.total()
+            )
+        }
     }
 }
 
@@ -411,10 +465,16 @@ mod tests {
 
     #[test]
     fn outcome_codes_round_trip() {
-        for o in [Outcome::Masked, Outcome::Sdc, Outcome::CRASH, Outcome::HANG] {
+        for o in [
+            Outcome::Masked,
+            Outcome::Sdc,
+            Outcome::CRASH,
+            Outcome::HANG,
+            Outcome::Detected,
+        ] {
             assert_eq!(Outcome::from_code(o.code()), Some(o));
         }
-        assert_eq!(Outcome::from_code(4), None);
+        assert_eq!(Outcome::from_code(5), None);
     }
 
     #[test]
@@ -424,8 +484,30 @@ mod tests {
         p.record_weighted(Outcome::Sdc, 1.0 / 3.0);
         p.record_weighted(Outcome::CRASH, 2.5);
         p.record_weighted(Outcome::HANG, 1e-9);
-        let q =
-            ResilienceProfile::from_parts(p.masked(), p.sdc(), p.other(), p.crashes(), p.hangs());
+        p.record_weighted(Outcome::Detected, 0.7);
+        let q = ResilienceProfile::from_parts(
+            p.masked(),
+            p.sdc(),
+            p.other(),
+            p.crashes(),
+            p.hangs(),
+            p.detected(),
+        );
         assert_eq!(p, q);
+    }
+
+    #[test]
+    fn detected_counts_toward_total() {
+        let mut p = ResilienceProfile::new();
+        p.record(Outcome::Masked);
+        p.record(Outcome::Detected);
+        p.record(Outcome::Detected);
+        p.record(Outcome::Sdc);
+        assert_eq!(p.total(), 4.0);
+        assert_eq!(p.detected(), 2.0);
+        assert!((p.pct_detected() - 50.0).abs() < 1e-12);
+        // Four-class weights partition the population exactly.
+        assert_eq!(p.masked() + p.sdc() + p.other() + p.detected(), p.total());
+        assert!(format!("{p}").contains("detected 50.00%"));
     }
 }
