@@ -30,6 +30,10 @@ COMMANDS:
     protect <kernel>             Selectively harden a kernel (DMR) and verify by
                                  re-injection; see --budget / --scope / -n
     harden-report <kernel>       Coverage-vs-overhead curve over a budget sweep
+    bench-inject [-n N] [--json] Benchmark campaign throughput per kernel, fast
+                                 path (checkpoint resume + early convergence) vs
+                                 slow path (full re-execution); --json writes
+                                 BENCH_inject.json (override with --out)
     ptx <file.ptx>               Translate an nvcc-style PTX kernel and disassemble it
     trace <kernel> <tid>         Dump one thread's dynamic instruction trace
     reproduce <ARTIFACT>         Regenerate a paper artifact:
@@ -82,6 +86,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut data_dir = ".fsp-serve".to_owned();
     let mut local = false;
     let mut wait = false;
+    let mut json = false;
     let mut budget = 0.25f64;
     let mut scope = fsp_protect::ProtectScope::default();
     let mut protect_mode = false;
@@ -127,6 +132,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 i += 1;
                 data_dir = args.get(i).ok_or("--data needs a directory")?.clone();
             }
+            "--json" => json = true,
             "--quick" => opts.quick = true,
             "--paper" => paper = true,
             "--local" => local = true,
@@ -156,6 +162,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "ace" => ace(positional.get(1)),
         "protect" => protect(positional.get(1), budget, scope, samples, &opts),
         "harden-report" => harden_report(positional.get(1), scope, samples, &opts),
+        "bench-inject" => bench_inject(samples, &opts, json, out_path.as_deref()),
         "ptx" => ptx_translate(positional.get(1)),
         "trace" => trace_thread(positional.get(1), positional.get(2)),
         "reproduce" => reproduce(positional.get(1), &opts, out_path.as_deref()),
@@ -545,6 +552,164 @@ fn harden_report(
         ]);
     }
     println!("{t}");
+    Ok(())
+}
+
+/// One kernel's `bench-inject` measurement.
+struct BenchRow {
+    id: &'static str,
+    sites: usize,
+    fast_secs: f64,
+    slow_secs: f64,
+    skipped_fraction: f64,
+    checkpoint_hits: u64,
+    early_converged: u64,
+}
+
+/// Benchmarks campaign throughput per registry kernel: the same sampled
+/// single-bit-flip campaign is run on the slow path (full re-execution
+/// per site) and the fast path (checkpoint resume + early convergence),
+/// asserting the outcome vectors match along the way. With `--json` the
+/// measurements are written as `BENCH_inject.json` (or `--out PATH`).
+fn bench_inject(
+    samples: Option<usize>,
+    opts: &Options,
+    json: bool,
+    out_path: Option<&str>,
+) -> Result<(), String> {
+    use fsp_inject::{FaultModel, NopObserver, WeightedSite};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let n = samples.unwrap_or(150);
+    let mut rows: Vec<BenchRow> = Vec::new();
+    for id in fsp_workloads::registry_ids() {
+        let w = fsp_workloads::by_id(id, Scale::Eval).expect("registered");
+        let mut experiment = Experiment::prepare(&w).map_err(|e| format!("{id}: {e}"))?;
+        let space = experiment.site_space(0..w.launch().num_threads());
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let sites: Vec<WeightedSite> = space
+            .sample_many(n, &mut rng)
+            .into_iter()
+            .map(WeightedSite::from)
+            .collect();
+        // Each path is run twice and the faster wall time kept: min-of-k
+        // is the standard robust estimator for wall-clock benchmarks, and
+        // it also absorbs the fast path's one-time cost of faulting the
+        // checkpoint and golden-trace structures into cache (the slow path
+        // never touches them).
+        let mut timed = |fast: bool| {
+            experiment.set_fast_path(fast);
+            let mut best: Option<(fsp_inject::IncrementalCampaign, f64)> = None;
+            for _ in 0..2 {
+                let started = std::time::Instant::now();
+                let run = experiment.run_campaign_incremental(
+                    &sites,
+                    FaultModel::SingleBitFlip,
+                    opts.workers,
+                    &[],
+                    &NopObserver,
+                );
+                let secs = started.elapsed().as_secs_f64();
+                if best.as_ref().is_none_or(|(_, b)| secs < *b) {
+                    best = Some((run, secs));
+                }
+            }
+            best.expect("two timed runs")
+        };
+        let (slow, slow_secs) = timed(false);
+        let (fast, fast_secs) = timed(true);
+        if fast.outcomes != slow.outcomes {
+            return Err(format!("{id}: fast-path outcomes diverged from slow path"));
+        }
+        let work = fast.skipped_instructions + fast.executed_instructions;
+        rows.push(BenchRow {
+            id,
+            sites: sites.len(),
+            fast_secs,
+            slow_secs,
+            skipped_fraction: if work == 0 {
+                0.0
+            } else {
+                fast.skipped_instructions as f64 / work as f64
+            },
+            checkpoint_hits: fast.checkpoint_hits,
+            early_converged: fast.early_converged,
+        });
+    }
+    let total_sites: usize = rows.iter().map(|r| r.sites).sum();
+    let fast_total: f64 = rows.iter().map(|r| r.fast_secs).sum();
+    let slow_total: f64 = rows.iter().map(|r| r.slow_secs).sum();
+    if json {
+        let mut doc = String::from("{\n");
+        doc.push_str(&format!("  \"samples_per_kernel\": {n},\n"));
+        doc.push_str(&format!("  \"workers\": {},\n", opts.workers));
+        doc.push_str(&format!("  \"seed\": {},\n", opts.seed));
+        doc.push_str("  \"kernels\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            doc.push_str(&format!(
+                "    {{\"id\": \"{}\", \"sites\": {}, \"slow_sites_per_sec\": {:.1}, \
+                 \"fast_sites_per_sec\": {:.1}, \"speedup\": {:.2}, \
+                 \"skipped_prefix_fraction\": {:.4}, \"checkpoint_hits\": {}, \
+                 \"early_converged\": {}}}{}\n",
+                r.id,
+                r.sites,
+                r.sites as f64 / r.slow_secs,
+                r.sites as f64 / r.fast_secs,
+                r.slow_secs / r.fast_secs,
+                r.skipped_fraction,
+                r.checkpoint_hits,
+                r.early_converged,
+                if i + 1 < rows.len() { "," } else { "" },
+            ));
+        }
+        doc.push_str("  ],\n");
+        doc.push_str(&format!(
+            "  \"aggregate\": {{\"sites\": {}, \"slow_sites_per_sec\": {:.1}, \
+             \"fast_sites_per_sec\": {:.1}, \"speedup\": {:.2}}}\n",
+            total_sites,
+            total_sites as f64 / slow_total,
+            total_sites as f64 / fast_total,
+            slow_total / fast_total,
+        ));
+        doc.push_str("}\n");
+        let path = out_path.unwrap_or("BENCH_inject.json");
+        std::fs::write(path, &doc).map_err(|e| format!("writing {path}: {e}"))?;
+        print!("{doc}");
+        eprintln!("wrote {path}");
+    } else {
+        let mut t = fsp_cli::output::Table::new(&[
+            "kernel",
+            "sites",
+            "slow sites/s",
+            "fast sites/s",
+            "speedup",
+            "skipped prefix",
+            "ckpt hits",
+            "early",
+        ]);
+        for r in &rows {
+            t.row(vec![
+                r.id.to_owned(),
+                r.sites.to_string(),
+                format!("{:.0}", r.sites as f64 / r.slow_secs),
+                format!("{:.0}", r.sites as f64 / r.fast_secs),
+                format!("{:.2}x", r.slow_secs / r.fast_secs),
+                format!("{:.1}%", 100.0 * r.skipped_fraction),
+                r.checkpoint_hits.to_string(),
+                r.early_converged.to_string(),
+            ]);
+        }
+        println!("{t}");
+        println!(
+            "aggregate over {} kernels: {} sites, {:.0} -> {:.0} sites/s ({:.2}x)",
+            rows.len(),
+            total_sites,
+            total_sites as f64 / slow_total,
+            total_sites as f64 / fast_total,
+            slow_total / fast_total,
+        );
+    }
     Ok(())
 }
 

@@ -1,11 +1,29 @@
 //! Golden-run preparation, single injections and parallel campaigns.
+//!
+//! Campaigns run on a checkpoint-resume fast path: the golden run captured
+//! by [`Experiment::prepare`] leaves behind resumable machine snapshots
+//! ([`fsp_sim::Checkpoint`]), each injected run resumes from the closest
+//! snapshot at or before its fault site instead of re-executing the shared
+//! golden prefix, and a value-divergence tracker
+//! ([`crate::FastInjectionHook`]) compares every post-flip commit against
+//! the recorded golden value trace and stops the suffix early once the
+//! fault's divergence set provably empties (the run is `Masked` by
+//! construction).
+//! The slow path — a full re-execution per site — is kept behind
+//! [`Experiment::set_fast_path`] as the differential-testing oracle; the
+//! two paths are byte-identical in outcomes and SDC severities.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use fsp_sim::{Launch, MemBlock, SimFault, Simulator, Tracer};
+use fsp_sim::{
+    Checkpoint, CheckpointConfig, ExecHook, GoldenRecorder, GoldenTrace, KernelTrace, Launch,
+    MemBlock, ResumeScratch, RetireEvent, SimFault, Simulator, Tracer, Writeback,
+};
 use fsp_stats::{Outcome, ResilienceProfile};
 
+use crate::fastpath::FastInjectionHook;
 use crate::hook::InjectionHook;
 use crate::site::{SiteSpace, WeightedSite};
 use crate::target::InjectionTarget;
@@ -14,6 +32,14 @@ use crate::target::InjectionTarget;
 /// balance across heterogeneous site costs, large enough that claiming a
 /// chunk (the only synchronized step) is negligible next to running it.
 const CHUNK: usize = 16;
+
+/// Launches with at most this many threads get full per-thread traces,
+/// golden checkpoints and the golden value trace captured during
+/// [`Experiment::prepare`]. Larger launches (paper-scale grids) skip all
+/// three — a grid-wide per-checkpoint `icnt` table and a full value trace
+/// per thread would dwarf the kernel's own memory — and campaigns over
+/// them fall back to plain full re-execution per site.
+const FULL_TRACE_THREAD_LIMIT: u32 = 4096;
 
 /// Chunk-level progress events from a running campaign.
 ///
@@ -24,12 +50,13 @@ const CHUNK: usize = 16;
 /// orchestration service (`fsp-serve`) uses this to persist outcomes
 /// incrementally and to checkpoint/resume jobs.
 pub trait CampaignObserver: Sync {
-    /// Called by a worker after it finishes a chunk. `start` is the index
-    /// of the chunk's first site in the campaign's site list; `outcomes`
-    /// covers `sites[start..start + outcomes.len()]` in order (including
-    /// any sites that were pre-resolved rather than injected).
-    fn on_chunk(&self, start: usize, outcomes: &[Outcome]) {
-        let _ = (start, outcomes);
+    /// Called by a worker after it finishes a chunk of freshly injected
+    /// sites: `outcomes[k]` is the outcome of `sites[indices[k]]`. Only
+    /// injected sites are reported — pre-resolved outcomes were supplied by
+    /// the caller, who already has them. Chunks follow the campaign's
+    /// checkpoint-locality schedule, so `indices` is not contiguous.
+    fn on_chunk(&self, indices: &[usize], outcomes: &[Outcome]) {
+        let _ = (indices, outcomes);
     }
 
     /// Polled by every worker before claiming the next chunk; returning
@@ -50,13 +77,68 @@ impl CampaignObserver for NopObserver {}
 /// Hang-detection margin: an injected run may retire at most this many
 /// times the fault-free dynamic instruction count before being declared
 /// hung.
-const HANG_FACTOR: u64 = 10;
+///
+/// Calibrated against the workload suite: the longest *finite* injected
+/// run observed across all 17 kernels retires 2.08x the fault-free count
+/// (a corrupted LUD loop bound that doubles one thread's trip count), and
+/// every other kernel stays below 1.15x — so a 4x budget keeps roughly a
+/// 2x margin over the worst finite run while quartering the cost of the
+/// runs that genuinely never terminate (corrupted induction variables
+/// whose state never recurs, which must burn the whole budget in both the
+/// fast and slow paths). The [`MIN_BUDGET`] floor below protects tiny
+/// kernels where a multiplicative margin is meaningless.
+const HANG_FACTOR: u64 = 4;
 /// Floor for the hang budget, so tiny kernels still tolerate benign
 /// control-flow perturbations.
-const MIN_BUDGET: u64 = 100_000;
+///
+/// Calibrated like [`HANG_FACTOR`]: the floor only governs kernels whose
+/// fault-free count is below 5k instructions, and the longest finite
+/// injected run observed on any of those retires ~4.5k instructions —
+/// a 4.5x margin. Hang runs burn the whole budget in both paths, so an
+/// over-generous floor (the previous 100k was 46x the fault-free count of
+/// the smallest LUD kernel) dominates small-kernel campaign time for no
+/// classification benefit.
+const MIN_BUDGET: u64 = 20_000;
 
-/// A prepared injection experiment: golden output, initial memory image and
-/// calibrated hang budget for one target.
+/// Stable hash of the outcome-classifier parameters (the hang budget
+/// calibration above).
+///
+/// Injection outcomes are a function of *(program, launch, fault model,
+/// site)* **and** of how the classifier cuts off non-terminating runs.
+/// Persistent outcome stores must fold this value into their keys so that
+/// outcomes computed under a different hang-budget calibration miss
+/// instead of being served as current.
+#[must_use]
+pub fn classifier_hash() -> u64 {
+    // FNV-1a over the two calibration constants (no dependency on the
+    // workloads crate's hasher from down here in the stack).
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in [HANG_FACTOR, MIN_BUDGET] {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Per-injection cost accounting returned alongside the outcome.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct RunMeta {
+    /// Golden-prefix instructions skipped by resuming from a checkpoint.
+    skipped: u64,
+    /// Instructions actually executed (suffix only when resumed; 0 for
+    /// faulted runs, whose partial work is discarded).
+    executed: u64,
+    /// Whether the run resumed from a checkpoint.
+    ckpt_hit: bool,
+    /// Whether the run was cut short by early convergence.
+    early: bool,
+}
+
+/// A prepared injection experiment: golden output, initial memory image,
+/// calibrated hang budget, the golden trace and resumable checkpoints for
+/// one target.
 #[derive(Debug)]
 pub struct Experiment<'a, T: InjectionTarget> {
     target: &'a T,
@@ -64,11 +146,55 @@ pub struct Experiment<'a, T: InjectionTarget> {
     initial: MemBlock,
     golden: Vec<u32>,
     fault_free_instructions: u64,
+    trace: KernelTrace,
+    /// Whether `trace.full` covers every thread of the launch (small
+    /// launches only; see [`FULL_TRACE_THREAD_LIMIT`]).
+    trace_all: bool,
+    checkpoints: Vec<Checkpoint>,
+    /// Fault-free value trace for the divergence tracker (captured together
+    /// with `trace` and `checkpoints`; `None` over
+    /// [`FULL_TRACE_THREAD_LIMIT`] threads, which also disables the fast
+    /// path).
+    golden_trace: Option<GoldenTrace>,
+    /// Golden store count and last-writer CTA per global word, for the
+    /// tracker's cannot-converge proof (empty when `golden_trace` is
+    /// `None`).
+    global_writers: std::collections::HashMap<u32, fsp_sim::GlobalWriteStats>,
+    fast_path: bool,
+}
+
+/// Composes the dynamic-instruction tracer with the golden value recorder
+/// so [`Experiment::prepare`] still runs the fault-free launch exactly
+/// once. Neither component overrides write-back values, so composition
+/// order is immaterial.
+struct PrepareHook<'h> {
+    tracer: &'h mut Tracer,
+    golden: &'h mut GoldenRecorder,
+}
+
+impl ExecHook for PrepareHook<'_> {
+    fn on_retire(&mut self, ev: RetireEvent<'_>) {
+        self.golden.on_retire(ev);
+        self.tracer.on_retire(ev);
+    }
+
+    fn writeback(&mut self, wb: &Writeback) -> Option<u32> {
+        self.golden.writeback(wb);
+        self.tracer.writeback(wb)
+    }
+
+    fn on_guard_fail(&mut self, tid: u32, pred: u8) {
+        self.golden.on_guard_fail(tid, pred);
+        self.tracer.on_guard_fail(tid, pred);
+    }
 }
 
 impl<'a, T: InjectionTarget> Experiment<'a, T> {
-    /// Runs the target fault-free to capture the golden output and
-    /// calibrate the hang budget.
+    /// Runs the target fault-free — once — to capture the golden output,
+    /// calibrate the hang budget, record the golden trace (so
+    /// [`Experiment::site_space`] needs no second run) and, for launches
+    /// under [`FULL_TRACE_THREAD_LIMIT`] threads, snapshot resumable
+    /// checkpoints for the campaign fast path.
     ///
     /// # Errors
     ///
@@ -78,16 +204,43 @@ impl<'a, T: InjectionTarget> Experiment<'a, T> {
         let launch = target.launch();
         let initial = target.init_memory();
         let mut memory = initial.clone();
-        let stats = Simulator::new().run(&launch, &mut memory, &mut fsp_sim::NopHook)?;
+        let num_threads = launch.num_threads();
+        let trace_all = num_threads <= FULL_TRACE_THREAD_LIMIT;
+        let mut tracer = Tracer::new(num_threads, launch.threads_per_cta());
+        if trace_all {
+            tracer = tracer.with_full_traces(0..num_threads);
+        }
+        let sim = Simulator::new();
+        let mut golden_rec = trace_all.then(|| GoldenRecorder::new(num_threads));
+        let (stats, checkpoints) = if let Some(rec) = golden_rec.as_mut() {
+            let mut hook = PrepareHook {
+                tracer: &mut tracer,
+                golden: rec,
+            };
+            sim.run_with_checkpoints(&launch, &mut memory, &mut hook, CheckpointConfig::default())?
+        } else {
+            (sim.run(&launch, &mut memory, &mut tracer)?, Vec::new())
+        };
         let (addr, len) = target.output_region();
-        let golden = memory.read_slice(addr, len).to_vec();
+        let golden = memory.read_words(addr, len);
         let budget = (stats.instructions * HANG_FACTOR).max(MIN_BUDGET);
+        let golden_trace = golden_rec.map(GoldenRecorder::finish);
+        let global_writers = golden_trace
+            .as_ref()
+            .map(|t| t.global_write_profile(launch.threads_per_cta()))
+            .unwrap_or_default();
         Ok(Experiment {
             target,
             launch: launch.instr_budget(budget),
             initial,
             golden,
             fault_free_instructions: stats.instructions,
+            trace: tracer.finish(),
+            trace_all,
+            checkpoints,
+            golden_trace,
+            global_writers,
+            fast_path: true,
         })
     }
 
@@ -109,20 +262,69 @@ impl<'a, T: InjectionTarget> Experiment<'a, T> {
         &self.golden
     }
 
-    /// Traces the fault-free run and builds the exhaustive [`SiteSpace`].
+    /// Resumable golden checkpoints captured by [`Experiment::prepare`]
+    /// (empty for launches over [`FULL_TRACE_THREAD_LIMIT`] threads).
+    #[must_use]
+    pub fn num_checkpoints(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// Enables or disables the checkpoint-resume / early-convergence fast
+    /// path (on by default). The slow path re-executes every injected run
+    /// from the start and classifies purely by output comparison; it exists
+    /// as the differential-testing oracle for the fast path.
+    pub fn set_fast_path(&mut self, on: bool) {
+        self.fast_path = on;
+    }
+
+    /// Builder-style [`Experiment::set_fast_path`].
+    #[must_use]
+    pub fn with_fast_path(mut self, on: bool) -> Self {
+        self.fast_path = on;
+        self
+    }
+
+    /// Builds the exhaustive [`SiteSpace`] from the golden trace.
     ///
     /// `full_traces` selects the threads that get full traces (needed for
     /// sampling or enumerating their sites); pass `0..launch.num_threads()`
-    /// to make every site addressable.
+    /// to make every site addressable. When [`Experiment::prepare`]
+    /// already recorded the requested traces (every launch under
+    /// [`FULL_TRACE_THREAD_LIMIT`] threads), this is a cheap subset copy;
+    /// otherwise it falls back to one traced re-run.
     #[must_use]
     pub fn site_space(&self, full_traces: impl IntoIterator<Item = u32>) -> SiteSpace {
+        let requested: Vec<u32> = full_traces.into_iter().collect();
+        if self.trace_all || requested.iter().all(|t| self.trace.full.contains_key(t)) {
+            let full: BTreeMap<_, _> = requested
+                .into_iter()
+                .map(|t| (t, self.trace.full.get(&t).cloned().unwrap_or_default()))
+                .collect();
+            return SiteSpace::new(KernelTrace {
+                icnt: self.trace.icnt.clone(),
+                fault_bits: self.trace.fault_bits.clone(),
+                threads_per_cta: self.trace.threads_per_cta,
+                full,
+            });
+        }
         let mut tracer = Tracer::new(self.launch.num_threads(), self.launch.threads_per_cta())
-            .with_full_traces(full_traces);
+            .with_full_traces(requested);
         let mut memory = self.initial.clone();
         Simulator::new()
             .run(&self.launch, &mut memory, &mut tracer)
             .expect("fault-free run cannot fault after successful prepare()");
         SiteSpace::new(tracer.finish())
+    }
+
+    /// The latest checkpoint taken strictly before `site`'s flip could
+    /// retire: per-thread `icnt` is nondecreasing across checkpoints, so
+    /// this is the last one where the site's thread had retired at most
+    /// `dyn_idx` instructions (the flip itself is still ahead).
+    fn checkpoint_for(&self, site: crate::FaultSite) -> Option<&Checkpoint> {
+        let p = self
+            .checkpoints
+            .partition_point(|c| c.icnt(site.tid) <= site.dyn_idx);
+        p.checked_sub(1).map(|i| &self.checkpoints[i])
     }
 
     /// Runs one single-bit-flip injection and classifies its outcome.
@@ -146,25 +348,85 @@ impl<'a, T: InjectionTarget> Experiment<'a, T> {
         site: crate::FaultSite,
         model: crate::FaultModel,
     ) -> (Outcome, Option<f64>) {
-        let mut memory = self.initial.clone();
-        let mut hook = InjectionHook::with_model(site, model);
-        match Simulator::new().run(&self.launch, &mut memory, &mut hook) {
+        let mut scratch = self.initial.clone();
+        let mut resume = ResumeScratch::default();
+        let (outcome, severity, _) = self.run_one_in(site, model, &mut scratch, &mut resume);
+        (outcome, severity)
+    }
+
+    /// Runs one injection in a caller-owned scratch memory block (reused
+    /// across calls to amortize allocation). This is the campaign hot path.
+    fn run_one_in(
+        &self,
+        site: crate::FaultSite,
+        model: crate::FaultModel,
+        scratch: &mut MemBlock,
+        resume: &mut ResumeScratch,
+    ) -> (Outcome, Option<f64>, RunMeta) {
+        let sim = Simulator::new();
+        let mut meta = RunMeta::default();
+        let result = if let (true, Some(golden_trace)) = (self.fast_path, &self.golden_trace) {
+            let mut hook = FastInjectionHook::new(
+                site,
+                model,
+                golden_trace,
+                &self.global_writers,
+                self.launch.threads_per_cta(),
+            );
+            let run = match self.checkpoint_for(site) {
+                Some(cp) => {
+                    meta.ckpt_hit = true;
+                    meta.skipped = cp.retired();
+                    sim.run_from_with(cp, &self.launch, scratch, &mut hook, resume)
+                }
+                None => {
+                    scratch.clone_from(&self.initial);
+                    sim.run(&self.launch, scratch, &mut hook)
+                }
+            };
+            match run {
+                Ok(stats) => {
+                    meta.executed = stats.instructions;
+                    if hook.converged() {
+                        // The divergence set emptied: the machine state
+                        // equals the golden state at this schedule point,
+                        // and determinism forces the golden outcome.
+                        meta.early = true;
+                        return (Outcome::Masked, None, meta);
+                    }
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            }
+        } else {
+            scratch.clone_from(&self.initial);
+            let mut hook = InjectionHook::with_model(site, model);
+            match sim.run(&self.launch, scratch, &mut hook) {
+                Ok(stats) => {
+                    meta.executed = stats.instructions;
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            }
+        };
+        let (outcome, severity) = match result {
             Err(SimFault::BudgetExceeded) => (Outcome::HANG, None),
             Err(SimFault::DetectedExit { .. }) => (Outcome::Detected, None),
             Err(_) => (Outcome::CRASH, None),
-            Ok(_) => {
+            Ok(()) => {
                 let (addr, len) = self.target.output_region();
-                let out = memory.read_slice(addr, len);
-                if out == self.golden.as_slice() {
+                if scratch.region_eq(addr, &self.golden) {
                     (Outcome::Masked, None)
                 } else {
+                    let out = scratch.read_words(addr, len);
                     (
                         Outcome::Sdc,
-                        Some(crate::relative_l2_error(&self.golden, out)),
+                        Some(crate::relative_l2_error(&self.golden, &out)),
                     )
                 }
             }
-        }
+        };
+        (outcome, severity, meta)
     }
 
     /// Runs a single-bit-flip campaign over `sites` on `workers` OS
@@ -199,10 +461,14 @@ impl<'a, T: InjectionTarget> Experiment<'a, T> {
     /// `resolved` must be empty (nothing pre-resolved) or exactly
     /// `sites.len()` long. `workers == 0` is clamped to 1.
     ///
-    /// The result is deterministic in site order regardless of worker count
-    /// and of how the outcomes are split between `resolved` and fresh
-    /// injections: a fully warm run, a resumed run and a cold run of the
-    /// same sites produce identical outcome vectors.
+    /// Unresolved sites are scheduled in checkpoint order (all sites
+    /// resuming from the same golden snapshot run back to back), which
+    /// keeps each worker's copy-on-write scratch memory warm; outcomes are
+    /// still indexed by site position, so the result is deterministic in
+    /// site order regardless of worker count and of how the outcomes are
+    /// split between `resolved` and fresh injections: a fully warm run, a
+    /// resumed run and a cold run of the same sites produce identical
+    /// outcome vectors.
     ///
     /// # Panics
     ///
@@ -229,36 +495,81 @@ impl<'a, T: InjectionTarget> Experiment<'a, T> {
             resolved.to_vec()
         };
         let from_cache = outcomes.iter().filter(|o| o.is_some()).count();
+        // Checkpoint-locality schedule: unresolved sites ordered by resume
+        // position (ties broken by site index for determinism of the
+        // *schedule*; outcomes are order-independent).
+        let order: Vec<usize> = {
+            let mut v: Vec<usize> = (0..sites.len())
+                .filter(|&i| outcomes[i].is_none())
+                .collect();
+            if self.fast_path {
+                v.sort_by_key(|&i| {
+                    (
+                        self.checkpoint_for(sites[i].site)
+                            .map_or(0, Checkpoint::retired),
+                        i,
+                    )
+                });
+            }
+            v
+        };
         let injected = AtomicUsize::new(0);
         let cancelled = AtomicBool::new(false);
+        let cursor = AtomicUsize::new(0);
+        let checkpoint_hits = AtomicU64::new(0);
+        let skipped_instructions = AtomicU64::new(0);
+        let executed_instructions = AtomicU64::new(0);
+        let early_converged = AtomicU64::new(0);
         {
-            // Workers claim disjoint `&mut` chunks of the outcome vector;
-            // the mutex guards only the claim (iterator advance), so the
-            // injection hot path runs and writes back lock-free.
-            let chunks = Mutex::new(outcomes.chunks_mut(CHUNK).enumerate());
+            // Workers claim chunks of the schedule via the cursor and run
+            // them against a private scratch memory; the mutex guards only
+            // the brief scatter write of finished outcomes, so the
+            // injection hot path runs lock-free.
+            let results = Mutex::new(&mut outcomes);
             std::thread::scope(|scope| {
-                for _ in 0..workers.max(1).min(sites.len().max(1)) {
-                    scope.spawn(|| loop {
-                        if cancelled.load(Ordering::Relaxed) || observer.should_cancel() {
-                            cancelled.store(true, Ordering::Relaxed);
-                            break;
-                        }
-                        let claimed = chunks.lock().expect("campaign worker panicked").next();
-                        let Some((index, chunk)) = claimed else { break };
-                        let start = index * CHUNK;
-                        let mut fresh = 0usize;
-                        for (offset, slot) in chunk.iter_mut().enumerate() {
-                            if slot.is_none() {
-                                *slot = Some(self.run_one_with(sites[start + offset].site, model));
-                                fresh += 1;
+                for _ in 0..workers.max(1).min(order.len().max(1)) {
+                    scope.spawn(|| {
+                        let mut scratch = self.initial.clone();
+                        let mut resume = ResumeScratch::default();
+                        loop {
+                            if cancelled.load(Ordering::Relaxed) || observer.should_cancel() {
+                                cancelled.store(true, Ordering::Relaxed);
+                                break;
                             }
+                            let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
+                            if start >= order.len() {
+                                break;
+                            }
+                            let indices = &order[start..(start + CHUNK).min(order.len())];
+                            let mut outs = Vec::with_capacity(indices.len());
+                            let (mut hits, mut skipped, mut executed, mut early) =
+                                (0u64, 0u64, 0u64, 0u64);
+                            for &i in indices {
+                                let (o, _, meta) = self.run_one_in(
+                                    sites[i].site,
+                                    model,
+                                    &mut scratch,
+                                    &mut resume,
+                                );
+                                hits += u64::from(meta.ckpt_hit);
+                                skipped += meta.skipped;
+                                executed += meta.executed;
+                                early += u64::from(meta.early);
+                                outs.push(o);
+                            }
+                            injected.fetch_add(indices.len(), Ordering::Relaxed);
+                            checkpoint_hits.fetch_add(hits, Ordering::Relaxed);
+                            skipped_instructions.fetch_add(skipped, Ordering::Relaxed);
+                            executed_instructions.fetch_add(executed, Ordering::Relaxed);
+                            early_converged.fetch_add(early, Ordering::Relaxed);
+                            {
+                                let mut slots = results.lock().expect("campaign worker panicked");
+                                for (&i, &o) in indices.iter().zip(&outs) {
+                                    slots[i] = Some(o);
+                                }
+                            }
+                            observer.on_chunk(indices, &outs);
                         }
-                        injected.fetch_add(fresh, Ordering::Relaxed);
-                        let filled: Vec<Outcome> = chunk
-                            .iter()
-                            .map(|o| o.expect("chunk fully resolved"))
-                            .collect();
-                        observer.on_chunk(start, &filled);
                     });
                 }
             });
@@ -268,6 +579,10 @@ impl<'a, T: InjectionTarget> Experiment<'a, T> {
             injected: injected.into_inner(),
             from_cache,
             cancelled: cancelled.into_inner(),
+            checkpoint_hits: checkpoint_hits.into_inner(),
+            skipped_instructions: skipped_instructions.into_inner(),
+            executed_instructions: executed_instructions.into_inner(),
+            early_converged: early_converged.into_inner(),
         }
     }
 }
@@ -295,6 +610,14 @@ pub struct IncrementalCampaign {
     pub from_cache: usize,
     /// Whether the observer stopped the campaign before it finished.
     pub cancelled: bool,
+    /// Injected runs that resumed from a golden checkpoint.
+    pub checkpoint_hits: u64,
+    /// Golden-prefix instructions skipped via checkpoint resume.
+    pub skipped_instructions: u64,
+    /// Instructions actually executed by completed injected runs.
+    pub executed_instructions: u64,
+    /// Injected runs classified `Masked` by early convergence.
+    pub early_converged: u64,
 }
 
 impl IncrementalCampaign {
@@ -378,6 +701,61 @@ mod tests {
         assert_eq!(a.outcomes, b.outcomes);
     }
 
+    /// The tentpole's correctness contract in miniature: the fast path
+    /// (checkpoint resume + early convergence) and the slow path (full
+    /// re-execution, output comparison only) must agree on every outcome
+    /// *and* every SDC severity, under every fault model.
+    #[test]
+    fn fast_path_matches_slow_path_everywhere() {
+        let t = CountdownTarget::new();
+        let fast = Experiment::prepare(&t).unwrap();
+        let slow = Experiment::prepare(&t).unwrap().with_fast_path(false);
+        let space = fast.site_space(0..4);
+        let sites: Vec<WeightedSite> = (0..4)
+            .flat_map(|tid| space.thread_site_iter(tid))
+            .map(WeightedSite::from)
+            .collect();
+        for model in crate::FaultModel::ALL {
+            for ws in &sites {
+                let (of, sf) = fast.run_one_detailed(ws.site, model);
+                let (os, ss) = slow.run_one_detailed(ws.site, model);
+                assert_eq!(of, os, "outcome diverged at {:?} under {model:?}", ws.site);
+                assert_eq!(sf, ss, "severity diverged at {:?} under {model:?}", ws.site);
+            }
+        }
+    }
+
+    #[test]
+    fn campaign_counters_are_consistent() {
+        let t = CountdownTarget::new();
+        let e = Experiment::prepare(&t).unwrap();
+        let space = e.site_space(0..4);
+        let sites: Vec<WeightedSite> = (0..4)
+            .flat_map(|tid| space.thread_site_iter(tid))
+            .map(WeightedSite::from)
+            .collect();
+        let run = e.run_campaign_incremental(
+            &sites,
+            crate::FaultModel::SingleBitFlip,
+            2,
+            &[],
+            &NopObserver,
+        );
+        assert!(run.is_complete());
+        assert_eq!(run.injected, sites.len());
+        assert!(
+            run.early_converged > 0,
+            "dead-register flips converge early"
+        );
+        assert!(run.early_converged <= run.injected as u64);
+        assert!(run.executed_instructions > 0);
+        assert_eq!(
+            run.checkpoint_hits > 0,
+            e.num_checkpoints() > 0,
+            "hits iff checkpoints exist"
+        );
+    }
+
     #[test]
     fn incremental_resolves_cache_hits_without_injecting() {
         let t = CountdownTarget::new();
@@ -418,7 +796,8 @@ mod tests {
             limit: usize,
         }
         impl CampaignObserver for CancelAfter {
-            fn on_chunk(&self, _start: usize, outcomes: &[Outcome]) {
+            fn on_chunk(&self, indices: &[usize], outcomes: &[Outcome]) {
+                assert_eq!(indices.len(), outcomes.len());
                 self.seen.fetch_add(outcomes.len(), Ordering::Relaxed);
             }
             fn should_cancel(&self) -> bool {

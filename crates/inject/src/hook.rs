@@ -93,7 +93,7 @@ mod tests {
         Simulator::new()
             .run(&Launch::new(p), &mut g, &mut hook)
             .unwrap();
-        (g.words().to_vec(), hook.triggered())
+        (g.to_vec(), hook.triggered())
     }
 
     #[test]

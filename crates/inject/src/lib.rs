@@ -33,6 +33,7 @@
 //! ```
 
 mod campaign;
+mod fastpath;
 mod hook;
 mod model;
 mod severity;
@@ -41,8 +42,9 @@ mod target;
 pub mod testing;
 
 pub use campaign::{
-    CampaignObserver, CampaignResult, Experiment, IncrementalCampaign, NopObserver,
+    classifier_hash, CampaignObserver, CampaignResult, Experiment, IncrementalCampaign, NopObserver,
 };
+pub use fastpath::FastInjectionHook;
 pub use hook::InjectionHook;
 pub use model::FaultModel;
 pub use severity::{relative_l2_error, SeverityBucket};

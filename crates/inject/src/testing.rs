@@ -100,6 +100,6 @@ mod tests {
             .run(&t.launch(), &mut memory, &mut NopHook)
             .unwrap();
         // sum over k..=1 of k for counter = 4 + tid.
-        assert_eq!(memory.words(), &[10, 15, 21, 28]);
+        assert_eq!(memory.to_vec(), [10, 15, 21, 28]);
     }
 }

@@ -27,7 +27,16 @@ use fsp_protect::{
     ProtectScope, ProtectedTarget,
 };
 use fsp_stats::{Outcome, ResilienceProfile};
-use fsp_workloads::{program_fingerprint, Scale};
+use fsp_workloads::{program_fingerprint, Scale, Workload};
+
+/// Launch-hash component of store keys and result documents: the
+/// workload's launch-configuration hash mixed with the outcome
+/// classifier's calibration ([`fsp_inject::classifier_hash`]), so
+/// outcomes persisted under a different hang-budget calibration miss
+/// instead of being served as current.
+fn keyed_launch_hash(w: &Workload) -> u64 {
+    w.launch_hash() ^ fsp_inject::classifier_hash()
+}
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -387,7 +396,7 @@ pub fn kernels_json() -> Json {
                     ("kernel", Json::Str(w.kernel().to_owned())),
                     ("threads", Json::u64(u64::from(w.launch().num_threads()))),
                     ("fingerprint", Json::u64(w.fingerprint())),
-                    ("launch", Json::u64(w.launch_hash())),
+                    ("launch", Json::u64(keyed_launch_hash(w))),
                 ])
             })
             .collect(),
@@ -419,7 +428,7 @@ pub fn run_local(spec: &JobSpec, workers: usize) -> Result<Json, String> {
             spec,
             &JobResult {
                 fingerprint: program_fingerprint(&outcome.hardened.program),
-                launch: workload.launch_hash(),
+                launch: keyed_launch_hash(&workload),
                 sites: outcome.report.samples,
                 profile: outcome.report.protected,
             },
@@ -434,7 +443,7 @@ pub fn run_local(spec: &JobSpec, workers: usize) -> Result<Json, String> {
         spec,
         &JobResult {
             fingerprint: workload.fingerprint(),
-            launch: workload.launch_hash(),
+            launch: keyed_launch_hash(&workload),
             sites: sites.len(),
             profile,
         },
@@ -638,7 +647,7 @@ fn execute(shared: &Shared, id: &str, spec: &JobSpec, cancel: &AtomicBool) -> Ru
         Err(e) => return RunEnd::Failed(e),
     };
     let fingerprint = workload.fingerprint();
-    let launch = workload.launch_hash();
+    let launch = keyed_launch_hash(&workload);
     reset_progress(shared, id, sites.len());
     let outcomes = match campaign_through_store(
         shared,
@@ -694,7 +703,7 @@ fn execute_protect(
         .into_iter()
         .map(WeightedSite::from)
         .collect();
-    let launch_hash = workload.launch_hash();
+    let launch_hash = keyed_launch_hash(workload);
     // Two campaigns of equal site count: baseline, then re-injection.
     reset_progress(shared, id, sites.len() * 2);
     let baseline_outcomes = match campaign_through_store(
@@ -824,7 +833,6 @@ fn campaign_through_store<T: InjectionTarget>(
         shared,
         id,
         keys: &keys,
-        resolved: &resolved,
         sites,
         cancel,
     };
@@ -841,6 +849,11 @@ fn campaign_through_store<T: InjectionTarget>(
         hits as u64,
         run.injected as u64,
         started.elapsed().as_nanos() as u64,
+    );
+    shared.metrics.record_fast_path(
+        run.checkpoint_hits,
+        run.skipped_instructions,
+        run.early_converged,
     );
     {
         let mut store = shared.store.lock().expect("engine poisoned");
@@ -878,20 +891,19 @@ struct EngineObserver<'a> {
     shared: &'a Shared,
     id: &'a str,
     keys: &'a [OutcomeKey],
-    resolved: &'a [Option<Outcome>],
     sites: &'a [WeightedSite],
     cancel: &'a AtomicBool,
 }
 
 impl CampaignObserver for EngineObserver<'_> {
-    fn on_chunk(&self, start: usize, outcomes: &[Outcome]) {
+    fn on_chunk(&self, indices: &[usize], outcomes: &[Outcome]) {
         {
             let mut store = self.shared.store.lock().expect("engine poisoned");
-            for (j, &o) in outcomes.iter().enumerate() {
-                if self.resolved[start + j].is_none() {
-                    if let Err(e) = store.insert(self.keys[start + j], o) {
-                        eprintln!("fsp-serve: store append failed: {e}");
-                    }
+            // Every reported site is a fresh injection (pre-resolved sites
+            // are never re-reported), so each one is appended.
+            for (&i, &o) in indices.iter().zip(outcomes) {
+                if let Err(e) = store.insert(self.keys[i], o) {
+                    eprintln!("fsp-serve: store append failed: {e}");
                 }
             }
             // One flush per chunk: a crash loses at most the torn tail of
@@ -900,13 +912,9 @@ impl CampaignObserver for EngineObserver<'_> {
         }
         let mut jobs = self.shared.jobs.lock().expect("engine poisoned");
         if let Some(record) = jobs.get_mut(self.id) {
-            for (j, &o) in outcomes.iter().enumerate() {
-                if self.resolved[start + j].is_none() {
-                    record.done += 1;
-                    record
-                        .partial
-                        .record_weighted(o, self.sites[start + j].weight);
-                }
+            for (&i, &o) in indices.iter().zip(outcomes) {
+                record.done += 1;
+                record.partial.record_weighted(o, self.sites[i].weight);
             }
         }
     }

@@ -39,6 +39,14 @@ pub struct Metrics {
     pub sites_injected_by_mode: [AtomicU64; MODES.len()],
     /// Campaign wall-clock nanoseconds per campaign mode.
     pub injection_nanos_by_mode: [AtomicU64; MODES.len()],
+    /// Injected runs that resumed from a golden checkpoint instead of
+    /// replaying the shared prefix.
+    pub checkpoint_hits: AtomicU64,
+    /// Golden-prefix instructions skipped via checkpoint resume.
+    pub skipped_instructions: AtomicU64,
+    /// Injected runs classified Masked by early convergence (divergence
+    /// set emptied before the run finished).
+    pub early_converged: AtomicU64,
 }
 
 impl Metrics {
@@ -51,6 +59,16 @@ impl Metrics {
         self.injection_nanos.fetch_add(nanos, Ordering::Relaxed);
         self.sites_injected_by_mode[mode].fetch_add(injected, Ordering::Relaxed);
         self.injection_nanos_by_mode[mode].fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Adds a campaign's checkpoint-resume fast-path accounting.
+    pub fn record_fast_path(&self, checkpoint_hits: u64, skipped: u64, early_converged: u64) {
+        self.checkpoint_hits
+            .fetch_add(checkpoint_hits, Ordering::Relaxed);
+        self.skipped_instructions
+            .fetch_add(skipped, Ordering::Relaxed);
+        self.early_converged
+            .fetch_add(early_converged, Ordering::Relaxed);
     }
 
     /// Renders the Prometheus text exposition format. `jobs_by_state`
@@ -77,7 +95,7 @@ impl Metrics {
         for (state, count) in jobs_by_state {
             let _ = writeln!(out, "fsp_jobs{{state=\"{state}\"}} {count}");
         }
-        let counters: [(&str, &str, u64); 6] = [
+        let counters: [(&str, &str, u64); 9] = [
             (
                 "fsp_jobs_submitted_total",
                 "Jobs accepted since start.",
@@ -107,6 +125,21 @@ impl Metrics {
                 "fsp_cache_misses_total",
                 "Sites not found in the outcome store.",
                 misses,
+            ),
+            (
+                "fsp_checkpoint_hits_total",
+                "Injected runs resumed from a golden checkpoint.",
+                self.checkpoint_hits.load(Ordering::Relaxed),
+            ),
+            (
+                "fsp_skipped_instructions_total",
+                "Golden-prefix instructions skipped via checkpoint resume.",
+                self.skipped_instructions.load(Ordering::Relaxed),
+            ),
+            (
+                "fsp_early_converged_total",
+                "Injected runs classified Masked by early convergence.",
+                self.early_converged.load(Ordering::Relaxed),
             ),
         ];
         for (name, help, value) in counters {
@@ -181,6 +214,7 @@ mod tests {
         let m = Metrics::default();
         m.jobs_submitted.fetch_add(3, Ordering::Relaxed);
         m.record_campaign(mode_index("sampled"), 75, 25, 2_000_000_000);
+        m.record_fast_path(20, 9000, 12);
         let text = m.render(&[("queued", 1), ("completed", 2)], 100);
         assert!(text.contains("fsp_jobs{state=\"queued\"} 1\n"));
         assert!(text.contains("fsp_jobs_submitted_total 3\n"));
@@ -188,6 +222,9 @@ mod tests {
         assert!(text.contains("fsp_sites_injected_total 25\n"));
         assert!(text.contains("fsp_sites_per_second 12.5\n"));
         assert!(text.contains("fsp_store_outcomes 100\n"));
+        assert!(text.contains("fsp_checkpoint_hits_total 20\n"));
+        assert!(text.contains("fsp_skipped_instructions_total 9000\n"));
+        assert!(text.contains("fsp_early_converged_total 12\n"));
     }
 
     #[test]

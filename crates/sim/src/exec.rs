@@ -7,7 +7,7 @@ use fsp_isa::{
     CmpOp, Dest, Half, MemRef, MemSpace, Opcode, Operand, PredTest, Register, ScalarType,
 };
 
-use crate::hook::{ExecHook, RetireEvent, Writeback};
+use crate::hook::{ExecHook, MemAccess, RetireEvent, Writeback};
 use crate::mem::MemBlock;
 use crate::thread::{ThreadState, ThreadStatus};
 
@@ -83,25 +83,85 @@ pub(crate) enum StepEffect {
     Done,
 }
 
+/// Per-step log of the memory words an instruction touches, surfaced to
+/// hooks through [`RetireEvent::accesses`].
+#[derive(Debug)]
+pub(crate) struct AccessLog {
+    buf: [MemAccess; 6],
+    len: usize,
+}
+
+impl Default for AccessLog {
+    fn default() -> Self {
+        AccessLog {
+            buf: [MemAccess {
+                space: MemSpace::Global,
+                addr: 0,
+                is_store: false,
+                value: 0,
+            }; 6],
+            len: 0,
+        }
+    }
+}
+
+impl AccessLog {
+    fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    fn push(&mut self, access: MemAccess) {
+        // An instruction touches at most 4 words (3 memory sources + one
+        // store); the buffer is generously sized, so this never saturates.
+        if self.len < self.buf.len() {
+            self.buf[self.len] = access;
+            self.len += 1;
+        }
+    }
+
+    fn as_slice(&self) -> &[MemAccess] {
+        &self.buf[..self.len]
+    }
+
+    /// Whether the most recent step wrote memory in any address space.
+    pub(crate) fn has_store(&self) -> bool {
+        self.buf[..self.len].iter().any(|a| a.is_store)
+    }
+}
+
 /// Mutable memory context shared by the threads of the running CTA.
 pub(crate) struct ExecCtx<'a> {
     pub program: &'a fsp_isa::KernelProgram,
     pub global: &'a mut MemBlock,
     pub shared: &'a mut MemBlock,
+    pub accesses: AccessLog,
 }
 
 impl ExecCtx<'_> {
     fn load(&mut self, thread: &mut ThreadState, m: MemRef) -> Result<u32, SimFault> {
         let addr = self.resolve(thread, m);
-        match m.space {
+        let value = match m.space {
             MemSpace::Global => self.global.load(addr),
             MemSpace::Shared => self.shared.load(addr),
             MemSpace::Local => thread.local_mut().load(addr),
-        }
+        }?;
+        self.accesses.push(MemAccess {
+            space: m.space,
+            addr,
+            is_store: false,
+            value,
+        });
+        Ok(value)
     }
 
     fn store(&mut self, thread: &mut ThreadState, m: MemRef, value: u32) -> Result<(), SimFault> {
         let addr = self.resolve(thread, m);
+        self.accesses.push(MemAccess {
+            space: m.space,
+            addr,
+            is_store: true,
+            value,
+        });
         match m.space {
             MemSpace::Global => self.global.store(addr, value),
             MemSpace::Shared => self.shared.store(addr, value),
@@ -302,10 +362,12 @@ pub(crate) fn step<H: ExecHook>(
     };
     if let Some(g) = &instr.guard {
         if !guard_passes(thread, g.pred, g.test) {
+            hook.on_guard_fail(thread.coords.flat_tid(), g.pred);
             thread.pc += 1;
             return Ok(StepEffect::Continue);
         }
     }
+    ctx.accesses.clear();
     if *budget == 0 {
         return Err(SimFault::BudgetExceeded);
     }
@@ -613,6 +675,7 @@ pub(crate) fn step<H: ExecHook>(
         dyn_idx: thread.icnt,
         pc,
         instr,
+        accesses: ctx.accesses.as_slice(),
     });
     thread.icnt += 1;
     thread.pc = next_pc;

@@ -1,6 +1,24 @@
 //! Execution hooks: the attachment point for tracing and fault injection.
 
-use fsp_isa::{Instruction, Register};
+use fsp_isa::{Instruction, MemSpace, Register};
+
+/// One memory word touched by a retiring instruction.
+///
+/// Reported through [`RetireEvent::accesses`] in operand order (loads as
+/// the sources are fetched, then the store, if any), so divergence-tracking
+/// hooks can follow corrupted values through memory without re-decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Address space of the access.
+    pub space: MemSpace,
+    /// Resolved byte address.
+    pub addr: u32,
+    /// `true` for a store, `false` for a load.
+    pub is_store: bool,
+    /// The word transferred: the value read for a load, the value
+    /// committed for a store.
+    pub value: u32,
+}
 
 /// An executed ("retired") instruction, reported once per guard-passing
 /// dynamic instruction.
@@ -14,6 +32,8 @@ pub struct RetireEvent<'a> {
     pub pc: usize,
     /// The instruction.
     pub instr: &'a Instruction,
+    /// Memory words the instruction touched, in operand order.
+    pub accesses: &'a [MemAccess],
 }
 
 /// A register write-back about to be committed.
@@ -46,7 +66,9 @@ pub struct Writeback {
 ///
 /// Instructions whose guard fails do not retire and do not write back,
 /// matching the paper's fault-site definition (a site is a bit of a
-/// destination register that is actually written).
+/// destination register that is actually written); they are reported via
+/// `on_guard_fail` instead, so divergence trackers can tell whether a
+/// corrupted predicate steered control flow.
 pub trait ExecHook {
     /// Called after an instruction retires (all write-backs committed).
     #[inline]
@@ -57,6 +79,20 @@ pub trait ExecHook {
     #[inline]
     fn writeback(&mut self, _wb: &Writeback) -> Option<u32> {
         None
+    }
+
+    /// Called when an instruction's guard fails (the instruction does not
+    /// retire). `pred` is the guard's predicate register number.
+    #[inline]
+    fn on_guard_fail(&mut self, _tid: u32, _pred: u8) {}
+
+    /// Polled between steps (thread-serial schedule only): returning `true`
+    /// stops the run early with whatever state has accumulated. Injection
+    /// fast paths use this to cut a run short once the fault provably can
+    /// no longer change the outcome.
+    #[inline]
+    fn converged(&self) -> bool {
+        false
     }
 }
 
@@ -75,5 +111,15 @@ impl<H: ExecHook + ?Sized> ExecHook for &mut H {
     #[inline]
     fn writeback(&mut self, wb: &Writeback) -> Option<u32> {
         (**self).writeback(wb)
+    }
+
+    #[inline]
+    fn on_guard_fail(&mut self, tid: u32, pred: u8) {
+        (**self).on_guard_fail(tid, pred);
+    }
+
+    #[inline]
+    fn converged(&self) -> bool {
+        (**self).converged()
     }
 }

@@ -52,7 +52,9 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod checkpoint;
 mod exec;
+mod golden;
 mod hook;
 mod launch;
 mod machine;
@@ -61,10 +63,12 @@ mod thread;
 mod trace;
 mod warp;
 
+pub use checkpoint::{Checkpoint, CheckpointConfig};
 pub use exec::SimFault;
-pub use hook::{ExecHook, NopHook, RetireEvent, Writeback};
+pub use golden::{GlobalWriteStats, GoldenRecorder, GoldenStore, GoldenThread, GoldenTrace};
+pub use hook::{ExecHook, MemAccess, NopHook, RetireEvent, Writeback};
 pub use launch::Launch;
-pub use machine::{ExecMode, RunStats, Simulator};
+pub use machine::{ExecMode, ResumeScratch, RunStats, Simulator};
 pub use mem::MemBlock;
 pub use thread::ThreadCoords;
 pub use trace::{KernelTrace, ThreadTrace, TraceEntry, Tracer};

@@ -2,7 +2,8 @@
 
 use fsp_isa::MemSpace;
 
-use crate::exec::{step, ExecCtx, SimFault, StepEffect};
+use crate::checkpoint::{Checkpoint, CheckpointConfig};
+use crate::exec::{step, AccessLog, ExecCtx, SimFault, StepEffect};
 use crate::hook::ExecHook;
 use crate::launch::Launch;
 use crate::mem::MemBlock;
@@ -12,9 +13,11 @@ use crate::PARAM_BASE;
 /// Summary of a completed (fault-free or survivable-fault) run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunStats {
-    /// Total dynamic instructions retired across all threads.
+    /// Total dynamic instructions retired across all threads. For runs
+    /// resumed from a checkpoint this covers the executed suffix only.
     pub instructions: u64,
-    /// Number of barrier releases across all CTAs.
+    /// Number of barrier releases across all CTAs (suffix-only when
+    /// resumed).
     pub barriers: u64,
     /// Total threads executed.
     pub threads: u32,
@@ -43,6 +46,62 @@ pub enum ExecMode {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Simulator {
     mode: ExecMode,
+}
+
+/// Reusable per-worker buffers for [`Simulator::run_from_with`]: the
+/// thread-state vector and shared-memory image a resume clones out of the
+/// checkpoint. Campaigns resume thousands of runs per worker; reusing one
+/// scratch keeps those clones off the allocator.
+#[derive(Debug)]
+pub struct ResumeScratch {
+    threads: Vec<ThreadState>,
+    shared: MemBlock,
+}
+
+impl Default for ResumeScratch {
+    fn default() -> Self {
+        ResumeScratch {
+            threads: Vec::new(),
+            shared: MemBlock::with_space(0, MemSpace::Shared),
+        }
+    }
+}
+
+/// Resets a CTA's shared memory and writes the launch parameters at the
+/// base.
+fn reset_shared(shared: &mut MemBlock, launch: &Launch) {
+    shared.clear();
+    for (i, &p) in launch.param_values().iter().enumerate() {
+        shared
+            .store(PARAM_BASE + 4 * i as u32, p)
+            .expect("parameters fit in shared memory");
+    }
+}
+
+/// (Re)builds the thread states of the CTA at `(cx, cy)` in `threads`,
+/// reusing existing allocations.
+fn fill_cta_threads(threads: &mut Vec<ThreadState>, launch: &Launch, cx: u32, cy: u32) {
+    let (gx, gy) = launch.grid_dim();
+    let (bx, by, bz) = launch.block_dim();
+    let mut idx = 0;
+    for tz in 0..bz {
+        for ty in 0..by {
+            for tx in 0..bx {
+                let coords = ThreadCoords {
+                    tid: (tx, ty, tz),
+                    ctaid: (cx, cy),
+                    ntid: (bx, by, bz),
+                    nctaid: (gx, gy),
+                };
+                if idx < threads.len() {
+                    threads[idx].reset(coords);
+                } else {
+                    threads.push(ThreadState::new(coords));
+                }
+                idx += 1;
+            }
+        }
+    }
 }
 
 impl Simulator {
@@ -76,6 +135,10 @@ impl Simulator {
     /// Runs `launch` against `global` memory, reporting execution events to
     /// `hook`.
     ///
+    /// In thread-serial mode the hook's [`ExecHook::converged`] is polled
+    /// between steps; a `true` stops the run early with the stats retired
+    /// so far.
+    ///
     /// # Errors
     ///
     /// Propagates the first [`SimFault`] raised by any thread (invalid or
@@ -90,7 +153,6 @@ impl Simulator {
     ) -> Result<RunStats, SimFault> {
         let program = launch.program();
         let (gx, gy) = launch.grid_dim();
-        let (bx, by, bz) = launch.block_dim();
         let cta_threads = launch.threads_per_cta() as usize;
         let mut budget = launch.budget();
         let mut stats = RunStats {
@@ -131,43 +193,24 @@ impl Simulator {
         for cy in 0..gy {
             for cx in 0..gx {
                 // Fresh shared memory per CTA, parameters at the base.
-                shared.clear();
-                for (i, &p) in launch.param_values().iter().enumerate() {
-                    shared
-                        .store(PARAM_BASE + 4 * i as u32, p)
-                        .expect("parameters fit in shared memory");
-                }
-                // (Re)build the CTA's thread states.
-                let mut idx = 0;
-                for tz in 0..bz {
-                    for ty in 0..by {
-                        for tx in 0..bx {
-                            let coords = ThreadCoords {
-                                tid: (tx, ty, tz),
-                                ctaid: (cx, cy),
-                                ntid: (bx, by, bz),
-                                nctaid: (gx, gy),
-                            };
-                            if idx < threads.len() {
-                                threads[idx].reset(coords);
-                            } else {
-                                threads.push(ThreadState::new(coords));
-                            }
-                            idx += 1;
-                        }
-                    }
-                }
+                reset_shared(&mut shared, launch);
+                fill_cta_threads(&mut threads, launch, cx, cy);
 
                 match self.mode {
-                    ExecMode::ThreadSerial => self.run_cta(
-                        program,
-                        global,
-                        &mut shared,
-                        &mut threads[..cta_threads],
-                        hook,
-                        &mut budget,
-                        &mut stats,
-                    )?,
+                    ExecMode::ThreadSerial => {
+                        if self.run_cta(
+                            program,
+                            global,
+                            &mut shared,
+                            &mut threads[..cta_threads],
+                            hook,
+                            &mut budget,
+                            &mut stats,
+                        )? {
+                            stats.instructions = launch.budget() - budget;
+                            return Ok(stats);
+                        }
+                    }
                     ExecMode::WarpLockstep { width } => self.run_cta_warps(
                         program,
                         global,
@@ -186,6 +229,251 @@ impl Simulator {
         Ok(stats)
     }
 
+    /// Runs `launch` like [`Simulator::run`] while capturing resumable
+    /// snapshots of the machine roughly every `config.interval` retired
+    /// instructions (thread-serial schedule only). The returned checkpoints
+    /// are ordered by [`Checkpoint::retired`] and every per-thread
+    /// [`Checkpoint::icnt`] is nondecreasing across them.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics in warp-lockstep mode: mid-warp reconvergence state is not
+    /// snapshot-able.
+    pub fn run_with_checkpoints<H: ExecHook>(
+        &self,
+        launch: &Launch,
+        global: &mut MemBlock,
+        hook: &mut H,
+        config: CheckpointConfig,
+    ) -> Result<(RunStats, Vec<Checkpoint>), SimFault> {
+        assert!(
+            matches!(self.mode, ExecMode::ThreadSerial),
+            "checkpoint capture requires the thread-serial schedule"
+        );
+        let program = launch.program();
+        let (gx, _) = launch.grid_dim();
+        let cta_threads = launch.threads_per_cta() as usize;
+        let nctas = launch.num_ctas();
+        let mut budget = launch.budget();
+        let mut stats = RunStats {
+            instructions: 0,
+            barriers: 0,
+            threads: launch.num_threads(),
+        };
+        let mut shared = MemBlock::with_space(
+            (launch.shared_size() as usize).div_ceil(4),
+            MemSpace::Shared,
+        );
+        let mut threads: Vec<ThreadState> = Vec::with_capacity(cta_threads);
+        // Retired counts of threads in already-completed CTAs; threads of
+        // the running CTA are overlaid at capture time.
+        let mut icnt_done = vec![0u32; launch.num_threads() as usize];
+        let mut checkpoints: Vec<Checkpoint> = Vec::new();
+        let mut interval = config.interval.max(1);
+        let max = config.max.max(1);
+        let mut next_at = interval;
+
+        for cta in 0..nctas {
+            let (cx, cy) = (cta % gx, cta / gx);
+            reset_shared(&mut shared, launch);
+            fill_cta_threads(&mut threads, launch, cx, cy);
+            loop {
+                let mut all_done = true;
+                for i in 0..cta_threads {
+                    if threads[i].status != ThreadStatus::Ready {
+                        if threads[i].status == ThreadStatus::AtBarrier {
+                            all_done = false;
+                        }
+                        continue;
+                    }
+                    loop {
+                        // Between-step snapshot point: the machine state
+                        // here (statuses + memories) fully determines the
+                        // rest of the run under the serial schedule.
+                        let retired = launch.budget() - budget;
+                        if retired >= next_at {
+                            let mut icnt = icnt_done.clone();
+                            for t in &threads[..cta_threads] {
+                                icnt[t.coords.flat_tid() as usize] = t.icnt;
+                            }
+                            checkpoints.push(Checkpoint {
+                                retired,
+                                barriers: stats.barriers,
+                                cta,
+                                threads: threads[..cta_threads].to_vec(),
+                                shared: shared.clone(),
+                                global: global.clone(),
+                                icnt,
+                            });
+                            if checkpoints.len() >= max {
+                                // Thin to every other snapshot and double
+                                // the cadence: long runs keep a bounded
+                                // set at geometrically coarser spacing.
+                                let mut keep = 0u32;
+                                checkpoints.retain(|_| {
+                                    keep += 1;
+                                    keep % 2 == 1
+                                });
+                                interval *= 2;
+                            }
+                            next_at = retired + interval;
+                        }
+                        let mut ctx = ExecCtx {
+                            program,
+                            global,
+                            shared: &mut shared,
+                            accesses: AccessLog::default(),
+                        };
+                        match step(&mut threads[i], &mut ctx, hook, &mut budget)? {
+                            StepEffect::Continue => {}
+                            StepEffect::Barrier => {
+                                all_done = false;
+                                break;
+                            }
+                            StepEffect::Done => break,
+                        }
+                    }
+                }
+                if all_done {
+                    break;
+                }
+                stats.barriers += 1;
+                for thread in threads.iter_mut() {
+                    if thread.status == ThreadStatus::AtBarrier {
+                        thread.status = ThreadStatus::Ready;
+                    }
+                }
+            }
+            for t in &threads[..cta_threads] {
+                icnt_done[t.coords.flat_tid() as usize] = t.icnt;
+            }
+        }
+        stats.instructions = launch.budget() - budget;
+        Ok((stats, checkpoints))
+    }
+
+    /// Resumes `launch` from `checkpoint`, skipping the already-retired
+    /// golden prefix (thread-serial schedule only). `global` is overwritten
+    /// with the checkpoint's image (copy-on-write, so this is O(chunk
+    /// pointers)). The remaining dynamic-instruction budget is
+    /// `launch.budget() - checkpoint.retired()`, which makes hang
+    /// classification identical to a full run.
+    ///
+    /// The returned stats cover the executed suffix only.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics in warp-lockstep mode, or if the checkpoint does not belong
+    /// to an equivalent launch (thread-count mismatch).
+    pub fn run_from<H: ExecHook>(
+        &self,
+        checkpoint: &Checkpoint,
+        launch: &Launch,
+        global: &mut MemBlock,
+        hook: &mut H,
+    ) -> Result<RunStats, SimFault> {
+        self.run_from_with(
+            checkpoint,
+            launch,
+            global,
+            hook,
+            &mut ResumeScratch::default(),
+        )
+    }
+
+    /// [`Simulator::run_from`] with caller-owned resume buffers: campaigns
+    /// resume thousands of runs per worker, so the per-resume thread-state
+    /// and shared-memory images are cloned into `scratch`'s allocations
+    /// instead of fresh ones.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::run`].
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Simulator::run_from`].
+    pub fn run_from_with<H: ExecHook>(
+        &self,
+        checkpoint: &Checkpoint,
+        launch: &Launch,
+        global: &mut MemBlock,
+        hook: &mut H,
+        scratch: &mut ResumeScratch,
+    ) -> Result<RunStats, SimFault> {
+        assert!(
+            matches!(self.mode, ExecMode::ThreadSerial),
+            "checkpoint resume requires the thread-serial schedule"
+        );
+        let program = launch.program();
+        let (gx, _) = launch.grid_dim();
+        let cta_threads = launch.threads_per_cta() as usize;
+        assert_eq!(
+            checkpoint.threads.len(),
+            cta_threads,
+            "checkpoint does not match this launch"
+        );
+        global.clone_from(&checkpoint.global);
+        let start_budget = launch.budget().saturating_sub(checkpoint.retired);
+        let mut budget = start_budget;
+        let mut stats = RunStats {
+            instructions: 0,
+            barriers: 0,
+            threads: launch.num_threads(),
+        };
+        let ResumeScratch { threads, shared } = scratch;
+        shared.clone_from(&checkpoint.shared);
+        threads.clone_from(&checkpoint.threads);
+        // Finish the checkpointed CTA from its snapshot state, then the
+        // remaining CTAs from scratch.
+        if self.run_cta(
+            program,
+            global,
+            shared,
+            &mut threads[..cta_threads],
+            hook,
+            &mut budget,
+            &mut stats,
+        )? {
+            stats.instructions = start_budget - budget;
+            return Ok(stats);
+        }
+        for cta in (checkpoint.cta + 1)..launch.num_ctas() {
+            let (cx, cy) = (cta % gx, cta / gx);
+            reset_shared(shared, launch);
+            fill_cta_threads(threads, launch, cx, cy);
+            if self.run_cta(
+                program,
+                global,
+                shared,
+                &mut threads[..cta_threads],
+                hook,
+                &mut budget,
+                &mut stats,
+            )? {
+                break;
+            }
+        }
+        stats.instructions = start_budget - budget;
+        Ok(stats)
+    }
+
+    /// Runs one CTA to completion under the serial schedule. Returns `true`
+    /// if the hook reported convergence and the run should stop early.
+    ///
+    /// Each thread's quantum is watched by a [`SpinDetector`]: under the
+    /// serial schedule a quantum has exclusive access to the machine, so a
+    /// provably periodic thread (architectural state recurs with no stores
+    /// in between) is aborted as [`SimFault::BudgetExceeded`] without
+    /// grinding through the remaining budget.
     #[allow(clippy::too_many_arguments)]
     fn run_cta<H: ExecHook>(
         &self,
@@ -196,11 +484,12 @@ impl Simulator {
         hook: &mut H,
         budget: &mut u64,
         stats: &mut RunStats,
-    ) -> Result<(), SimFault> {
+    ) -> Result<bool, SimFault> {
         let mut ctx = ExecCtx {
             program,
             global,
             shared,
+            accesses: AccessLog::default(),
         };
         loop {
             let mut all_done = true;
@@ -212,8 +501,13 @@ impl Simulator {
                     continue;
                 }
                 // Run this thread until it blocks, exits or faults.
+                let mut spin = SpinDetector::new();
                 loop {
-                    match step(thread, &mut ctx, hook, budget)? {
+                    let effect = step(thread, &mut ctx, hook, budget)?;
+                    if hook.converged() {
+                        return Ok(true);
+                    }
+                    match effect {
                         StepEffect::Continue => {}
                         StepEffect::Barrier => {
                             all_done = false;
@@ -221,10 +515,11 @@ impl Simulator {
                         }
                         StepEffect::Done => break,
                     }
+                    spin.observe(thread, ctx.accesses.has_store())?;
                 }
             }
             if all_done {
-                return Ok(());
+                return Ok(false);
             }
             // Every live thread is at the barrier: release them all.
             stats.barriers += 1;
@@ -254,6 +549,7 @@ impl Simulator {
             program,
             global,
             shared,
+            accesses: AccessLog::default(),
         };
         let mut warps: Vec<WarpStack> = (0..threads.len())
             .collect::<Vec<_>>()
@@ -282,6 +578,105 @@ impl Simulator {
                 }
             }
         }
+    }
+}
+
+/// Quantum step count a thread must exceed before spin detection arms.
+///
+/// Legitimate quanta in the workload suite are orders of magnitude shorter
+/// (the longest *whole-thread* retirement stream across all evaluated
+/// kernels is 588 instructions, and a quantum is a slice of one), so below
+/// this threshold the detector costs one counter increment per step and
+/// nothing else. The threshold is a performance knob, not a soundness one:
+/// arming during a legitimate long quantum merely adds a cheap
+/// pc-first state comparison per step until the quantum ends.
+const SPIN_ARM_STEPS: u64 = 1 << 12;
+
+/// Detects provably infinite loops inside a single thread quantum.
+///
+/// Under the serial schedule a thread's quantum has exclusive access to
+/// global, shared and local memory — nothing else runs until it blocks. So
+/// if the thread's complete architectural state (`pc`, registers,
+/// predicates, offset registers) exactly recurs and *no store to any
+/// address space* happened in between, every load repeats its previous
+/// value and execution is periodic: the quantum can never end. Aborting
+/// with [`SimFault::BudgetExceeded`] at that point classifies the run
+/// exactly as budget exhaustion would, at a fraction of the cost.
+///
+/// `icnt` is deliberately excluded from the comparison: it increments every
+/// retirement but only feeds hook events, never execution semantics, and a
+/// fault-injection hook has necessarily already fired by the time a run
+/// diverges into a spin (the fault-free run has no over-length quanta).
+///
+/// Snapshots are taken at power-of-two step counts (Brent's cycle-finding
+/// schedule), so a period of any length is caught within a small constant
+/// factor of its first full repetition.
+struct SpinDetector {
+    steps: u64,
+    next_snap: u64,
+    /// No store retired since the current snapshot was taken.
+    clean: bool,
+    /// Register index that broke the last full comparison, checked first:
+    /// a monotone hang loop (a corrupted induction variable counting away
+    /// from its bound) revisits the snapshot `pc` every iteration but
+    /// keeps differing in the same striding register, so this hint turns
+    /// the per-revisit scan into a single compare.
+    hint: usize,
+    snap: Option<Box<SpinSnapshot>>,
+}
+
+struct SpinSnapshot {
+    pc: usize,
+    ofs: [u32; 4],
+    preds: [u8; 8],
+    gprs: [u32; 128],
+}
+
+impl SpinDetector {
+    fn new() -> Self {
+        SpinDetector {
+            steps: 0,
+            next_snap: SPIN_ARM_STEPS,
+            clean: false,
+            hint: 0,
+            snap: None,
+        }
+    }
+
+    /// Observes one retired (non-terminal) step of the watched thread.
+    ///
+    /// `stored` is whether the step wrote memory; over-reporting is safe
+    /// (it only delays detection), under-reporting would be unsound.
+    #[inline]
+    fn observe(&mut self, thread: &ThreadState, stored: bool) -> Result<(), SimFault> {
+        self.steps += 1;
+        if stored {
+            self.clean = false;
+        }
+        if self.steps >= self.next_snap {
+            self.next_snap *= 2;
+            self.snap = Some(Box::new(SpinSnapshot {
+                pc: thread.pc,
+                ofs: thread.ofs,
+                preds: thread.preds,
+                gprs: thread.gprs,
+            }));
+            self.clean = true;
+        } else if self.clean {
+            if let Some(s) = &self.snap {
+                if s.pc == thread.pc
+                    && s.gprs[self.hint] == thread.gprs[self.hint]
+                    && s.ofs == thread.ofs
+                    && s.preds == thread.preds
+                {
+                    match (0..s.gprs.len()).find(|&i| s.gprs[i] != thread.gprs[i]) {
+                        Some(i) => self.hint = i,
+                        None => return Err(SimFault::BudgetExceeded),
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -324,9 +719,50 @@ mod tests {
         let stats = Simulator::new()
             .run(&launch, &mut global, &mut NopHook)
             .unwrap();
-        assert_eq!(global.words(), &[42u32; 8]);
+        assert_eq!(global.to_vec(), [42u32; 8]);
         assert_eq!(stats.barriers, 1);
         assert_eq!(stats.threads, 8);
+    }
+
+    #[test]
+    fn provable_spin_aborts_without_draining_budget() {
+        // With a budget this large, only spin detection lets the run
+        // terminate in test time.
+        let p = assemble("t", "spin: bra spin").unwrap();
+        let mut global = MemBlock::with_words(1);
+        let launch = Launch::new(p).instr_budget(1 << 40);
+        let err = Simulator::new()
+            .run(&launch, &mut global, &mut NopHook)
+            .unwrap_err();
+        assert_eq!(err, SimFault::BudgetExceeded);
+    }
+
+    #[test]
+    fn long_finite_loop_is_not_flagged_as_spin() {
+        // 100k iterations, no stores, register state never recurs: must run
+        // to completion even though the quantum is far past the arm
+        // threshold.
+        let p = assemble(
+            "t",
+            r#"
+            mov.u32 $r1, 0x186A0
+            loop:
+            sub.u32 $r1, $r1, 0x1
+            set.ne.u32.u32 $p0/$o127, $r1, $r124
+            @$p0.ne bra loop
+            mov.u32 $r2, s[0x0010]
+            st.global.u32 [$r2], $r1
+            exit
+            "#,
+        )
+        .unwrap();
+        let mut global = MemBlock::with_words(1);
+        let launch = Launch::new(p).instr_budget(1 << 40).param(0);
+        let stats = Simulator::new()
+            .run(&launch, &mut global, &mut NopHook)
+            .unwrap();
+        assert_eq!(global.load(0).unwrap(), 0);
+        assert!(stats.instructions > 100_000);
     }
 
     #[test]
@@ -376,8 +812,137 @@ mod tests {
         let run = || {
             let mut g = MemBlock::with_words(16);
             Simulator::new().run(&launch, &mut g, &mut NopHook).unwrap();
-            g.words().to_vec()
+            g.to_vec()
         };
         assert_eq!(run(), run());
+    }
+
+    /// A multi-CTA, barrier-using kernel for checkpoint tests.
+    fn checkpoint_kernel() -> Launch {
+        let p = assemble(
+            "t",
+            r#"
+            cvt.u32.u16 $r1, %tid.x
+            cvt.u32.u16 $r2, %ctaid.x
+            mul.lo.u32 $r3, $r2, $r1
+            mov.u32 $r5, 0x0
+            mov.u32 $r6, 0x8
+            loop:
+            add.u32 $r3, $r3, $r1
+            add.u32 $r5, $r5, 0x1
+            set.lt.u32.u32 $p0/$o127, $r5, $r6
+            @$p0.ne bra loop
+            bar.sync 0x0
+            mad.lo.u32 $r4, $r2, 0x4, $r1
+            shl.u32 $r4, $r4, 0x2
+            add.u32 $r4, $r4, s[0x0010]
+            st.global.u32 [$r4], $r3
+            exit
+            "#,
+        )
+        .unwrap();
+        Launch::new(p)
+            .grid(3, 1)
+            .block(4, 1, 1)
+            .param(0)
+            .instr_budget(100_000)
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_run() {
+        let launch = checkpoint_kernel();
+        let mut plain = MemBlock::with_words(16);
+        let plain_stats = Simulator::new()
+            .run(&launch, &mut plain, &mut NopHook)
+            .unwrap();
+        let mut ckpt = MemBlock::with_words(16);
+        let (stats, cps) = Simulator::new()
+            .run_with_checkpoints(
+                &launch,
+                &mut ckpt,
+                &mut NopHook,
+                CheckpointConfig {
+                    interval: 16,
+                    max: 64,
+                },
+            )
+            .unwrap();
+        assert_eq!(stats, plain_stats);
+        assert_eq!(ckpt, plain);
+        assert!(!cps.is_empty(), "a 16-instruction cadence captures some");
+        assert!(cps.windows(2).all(|w| w[0].retired < w[1].retired));
+        for tid in 0..launch.num_threads() {
+            assert!(
+                cps.windows(2).all(|w| w[0].icnt(tid) <= w[1].icnt(tid)),
+                "per-thread icnt must be nondecreasing"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_from_every_checkpoint_reproduces_the_run() {
+        let launch = checkpoint_kernel();
+        let mut golden = MemBlock::with_words(16);
+        let golden_stats = Simulator::new()
+            .run(&launch, &mut golden, &mut NopHook)
+            .unwrap();
+        let mut tmp = MemBlock::with_words(16);
+        let (_, cps) = Simulator::new()
+            .run_with_checkpoints(
+                &launch,
+                &mut tmp,
+                &mut NopHook,
+                CheckpointConfig {
+                    interval: 7,
+                    max: 1000,
+                },
+            )
+            .unwrap();
+        assert!(cps.len() > 3, "want snapshots across CTA boundaries");
+        let mut resumed = MemBlock::with_words(16);
+        for cp in &cps {
+            let stats = Simulator::new()
+                .run_from(cp, &launch, &mut resumed, &mut NopHook)
+                .unwrap();
+            assert_eq!(resumed, golden, "resume at retired={}", cp.retired());
+            assert_eq!(
+                stats.instructions,
+                golden_stats.instructions - cp.retired(),
+                "suffix stats count only the skipped-prefix remainder"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_thinning_bounds_the_set() {
+        let launch = checkpoint_kernel();
+        let mut g = MemBlock::with_words(16);
+        let (_, cps) = Simulator::new()
+            .run_with_checkpoints(
+                &launch,
+                &mut g,
+                &mut NopHook,
+                CheckpointConfig {
+                    interval: 1,
+                    max: 8,
+                },
+            )
+            .unwrap();
+        assert!(cps.len() <= 8, "thinning keeps the set bounded");
+        assert!(cps.windows(2).all(|w| w[0].retired < w[1].retired));
+    }
+
+    #[test]
+    fn hang_budget_is_identical_when_resumed() {
+        // A kernel that spins forever: full run and resumed run must both
+        // classify as BudgetExceeded, with the resumed budget shrunk by
+        // exactly the skipped prefix.
+        let p = assemble("t", "spin: bra spin").unwrap();
+        let launch = Launch::new(p).instr_budget(1000);
+        let mut g = MemBlock::with_words(1);
+        let err = Simulator::new()
+            .run_with_checkpoints(&launch, &mut g, &mut NopHook, CheckpointConfig::default())
+            .unwrap_err();
+        assert_eq!(err, SimFault::BudgetExceeded);
     }
 }

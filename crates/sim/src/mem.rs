@@ -1,17 +1,62 @@
 //! Word-granular memory blocks used for global, shared and local spaces.
+//!
+//! Storage is chunked and copy-on-write: a block is a vector of
+//! reference-counted 4 KiB chunks, so cloning a block (checkpoint capture,
+//! per-injection scratch reset) is O(chunks) pointer copies and the actual
+//! words are duplicated only when a chunk is first written through a given
+//! clone. A campaign holding dozens of golden checkpoints therefore shares
+//! one copy of every region the kernel never rewrites.
+
+use std::sync::{Arc, OnceLock};
 
 use crate::exec::SimFault;
 use fsp_isa::MemSpace;
+
+/// Words per copy-on-write chunk (4 KiB).
+const CHUNK_WORDS: usize = 1024;
+const CHUNK_SHIFT: u32 = CHUNK_WORDS.trailing_zeros();
+const CHUNK_MASK: usize = CHUNK_WORDS - 1;
+
+type Chunk = [u32; CHUNK_WORDS];
+
+/// The process-wide all-zero chunk every fresh or cleared block points at.
+fn zero_chunk() -> &'static Arc<Chunk> {
+    static ZERO: OnceLock<Arc<Chunk>> = OnceLock::new();
+    ZERO.get_or_init(|| Arc::new([0; CHUNK_WORDS]))
+}
 
 /// A byte-addressed, word-granular memory block.
 ///
 /// All accesses must be 4-byte aligned and in bounds; violations surface as
 /// [`SimFault::InvalidAccess`] / [`SimFault::Unaligned`], which the injector
 /// classifies as a *crash* outcome.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Invariant: words past the logical length in the final chunk are always
+/// zero (stores are bounds-checked first), so chunk-wise equality and
+/// whole-chunk copies never observe stale padding.
+#[derive(Debug, PartialEq, Eq)]
 pub struct MemBlock {
-    words: Vec<u32>,
+    chunks: Vec<Arc<Chunk>>,
+    words: usize,
     space: MemSpace,
+}
+
+impl Clone for MemBlock {
+    fn clone(&self) -> Self {
+        MemBlock {
+            chunks: self.chunks.clone(),
+            words: self.words,
+            space: self.space,
+        }
+    }
+
+    /// Reuses the chunk-pointer table allocation; the chunks themselves are
+    /// shared, so resetting a scratch block to an initial image is O(chunks).
+    fn clone_from(&mut self, source: &Self) {
+        self.chunks.clone_from(&source.chunks);
+        self.words = source.words;
+        self.space = source.space;
+    }
 }
 
 impl MemBlock {
@@ -19,10 +64,7 @@ impl MemBlock {
     /// memory.
     #[must_use]
     pub fn with_words(words: usize) -> Self {
-        MemBlock {
-            words: vec![0; words],
-            space: MemSpace::Global,
-        }
+        Self::with_space(words, MemSpace::Global)
     }
 
     /// A block sized in bytes (rounded up to a whole word).
@@ -36,7 +78,8 @@ impl MemBlock {
     #[must_use]
     pub fn with_space(words: usize, space: MemSpace) -> Self {
         MemBlock {
-            words: vec![0; words],
+            chunks: vec![zero_chunk().clone(); words.div_ceil(CHUNK_WORDS)],
+            words,
             space,
         }
     }
@@ -44,12 +87,17 @@ impl MemBlock {
     /// Size in bytes.
     #[must_use]
     pub fn len_bytes(&self) -> usize {
-        self.words.len() * 4
+        self.words * 4
     }
 
-    /// Resets all words to zero without reallocating.
+    /// Resets all words to zero without copying: every chunk pointer is
+    /// swapped back to the shared zero chunk.
     pub fn clear(&mut self) {
-        self.words.fill(0);
+        for chunk in &mut self.chunks {
+            if !Arc::ptr_eq(chunk, zero_chunk()) {
+                *chunk = zero_chunk().clone();
+            }
+        }
     }
 
     fn index(&self, addr: u32) -> Result<usize, SimFault> {
@@ -60,7 +108,7 @@ impl MemBlock {
             });
         }
         let idx = (addr / 4) as usize;
-        if idx >= self.words.len() {
+        if idx >= self.words {
             return Err(SimFault::InvalidAccess {
                 space: self.space,
                 addr,
@@ -75,29 +123,87 @@ impl MemBlock {
     ///
     /// [`SimFault::Unaligned`] or [`SimFault::InvalidAccess`].
     pub fn load(&self, addr: u32) -> Result<u32, SimFault> {
-        self.index(addr).map(|i| self.words[i])
+        self.index(addr)
+            .map(|i| self.chunks[i >> CHUNK_SHIFT][i & CHUNK_MASK])
     }
 
-    /// Stores `value` at byte address `addr`.
+    /// Stores `value` at byte address `addr`, materialising a private copy
+    /// of the addressed chunk if it is still shared.
     ///
     /// # Errors
     ///
     /// [`SimFault::Unaligned`] or [`SimFault::InvalidAccess`].
     pub fn store(&mut self, addr: u32, value: u32) -> Result<(), SimFault> {
         let i = self.index(addr)?;
-        self.words[i] = value;
+        Arc::make_mut(&mut self.chunks[i >> CHUNK_SHIFT])[i & CHUNK_MASK] = value;
         Ok(())
     }
 
-    /// View of the underlying words.
+    /// Copies the whole block out into a dense vector (fingerprinting,
+    /// test assertions).
     #[must_use]
-    pub fn words(&self) -> &[u32] {
-        &self.words
+    pub fn to_vec(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.words);
+        for chunk in &self.chunks {
+            let take = (self.words - out.len()).min(CHUNK_WORDS);
+            out.extend_from_slice(&chunk[..take]);
+        }
+        out
     }
 
-    /// Mutable view of the underlying words (host-side initialization).
-    pub fn words_mut(&mut self) -> &mut [u32] {
-        &mut self.words
+    /// Host-side helper: reads `len` words starting at byte address `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is unaligned or out of bounds — host readback
+    /// bugs should fail loudly.
+    #[must_use]
+    pub fn read_words(&self, addr: u32, len: usize) -> Vec<u32> {
+        assert_eq!(addr % 4, 0, "unaligned host read at {addr:#x}");
+        let start = (addr / 4) as usize;
+        assert!(
+            start + len <= self.words,
+            "host read of {len} words at {addr:#x} past end of block"
+        );
+        let mut out = Vec::with_capacity(len);
+        let mut idx = start;
+        while out.len() < len {
+            let off = idx & CHUNK_MASK;
+            let take = (len - out.len()).min(CHUNK_WORDS - off);
+            out.extend_from_slice(&self.chunks[idx >> CHUNK_SHIFT][off..off + take]);
+            idx += take;
+        }
+        out
+    }
+
+    /// Compares the words starting at byte address `addr` against
+    /// `expected` without copying them out (golden-output checks in the
+    /// injection hot path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is unaligned or out of bounds.
+    #[must_use]
+    pub fn region_eq(&self, addr: u32, expected: &[u32]) -> bool {
+        assert_eq!(addr % 4, 0, "unaligned host read at {addr:#x}");
+        let start = (addr / 4) as usize;
+        assert!(
+            start + expected.len() <= self.words,
+            "host compare of {} words at {addr:#x} past end of block",
+            expected.len()
+        );
+        let mut idx = start;
+        let mut rest = expected;
+        while !rest.is_empty() {
+            let off = idx & CHUNK_MASK;
+            let take = rest.len().min(CHUNK_WORDS - off);
+            if self.chunks[idx >> CHUNK_SHIFT][off..off + take] != rest[..take] {
+                return false;
+            }
+            idx += take;
+            rest = &rest[take..];
+        }
+        true
     }
 
     /// Host-side helper: writes a `u32` slice starting at byte address
@@ -110,7 +216,21 @@ impl MemBlock {
     pub fn write_slice(&mut self, addr: u32, data: &[u32]) {
         assert_eq!(addr % 4, 0, "unaligned host write at {addr:#x}");
         let start = (addr / 4) as usize;
-        self.words[start..start + data.len()].copy_from_slice(data);
+        assert!(
+            start + data.len() <= self.words,
+            "host write of {} words at {addr:#x} past end of block",
+            data.len()
+        );
+        let mut idx = start;
+        let mut rest = data;
+        while !rest.is_empty() {
+            let off = idx & CHUNK_MASK;
+            let take = rest.len().min(CHUNK_WORDS - off);
+            Arc::make_mut(&mut self.chunks[idx >> CHUNK_SHIFT])[off..off + take]
+                .copy_from_slice(&rest[..take]);
+            idx += take;
+            rest = &rest[take..];
+        }
     }
 
     /// Host-side helper: writes an `f32` slice starting at byte address
@@ -122,21 +242,15 @@ impl MemBlock {
     pub fn write_f32_slice(&mut self, addr: u32, data: &[f32]) {
         assert_eq!(addr % 4, 0, "unaligned host write at {addr:#x}");
         let start = (addr / 4) as usize;
-        for (slot, v) in self.words[start..start + data.len()].iter_mut().zip(data) {
-            *slot = v.to_bits();
+        assert!(
+            start + data.len() <= self.words,
+            "host write of {} words at {addr:#x} past end of block",
+            data.len()
+        );
+        for (i, v) in data.iter().enumerate() {
+            let idx = start + i;
+            Arc::make_mut(&mut self.chunks[idx >> CHUNK_SHIFT])[idx & CHUNK_MASK] = v.to_bits();
         }
-    }
-
-    /// Host-side helper: reads `len` words starting at byte address `addr`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the range is unaligned or out of bounds.
-    #[must_use]
-    pub fn read_slice(&self, addr: u32, len: usize) -> &[u32] {
-        assert_eq!(addr % 4, 0, "unaligned host read at {addr:#x}");
-        let start = (addr / 4) as usize;
-        &self.words[start..start + len]
     }
 }
 
@@ -173,10 +287,76 @@ mod tests {
         let mut m = MemBlock::with_bytes(30); // rounds to 8 words
         assert_eq!(m.len_bytes(), 32);
         m.write_slice(4, &[1, 2, 3]);
-        assert_eq!(m.read_slice(4, 3), &[1, 2, 3]);
+        assert_eq!(m.read_words(4, 3), &[1, 2, 3]);
+        assert!(m.region_eq(4, &[1, 2, 3]));
+        assert!(!m.region_eq(4, &[1, 2, 4]));
         m.write_f32_slice(16, &[1.5]);
         assert_eq!(m.load(16).unwrap(), 1.5f32.to_bits());
         m.clear();
         assert_eq!(m.load(4).unwrap(), 0);
+    }
+
+    #[test]
+    fn clone_shares_chunks_until_written() {
+        let mut a = MemBlock::with_words(3 * CHUNK_WORDS);
+        a.store(0, 7).unwrap();
+        let mut b = a.clone();
+        assert!(
+            Arc::ptr_eq(&a.chunks[0], &b.chunks[0]),
+            "clone is O(chunks)"
+        );
+        b.store(4, 9).unwrap();
+        assert!(
+            !Arc::ptr_eq(&a.chunks[0], &b.chunks[0]),
+            "first write detaches the chunk"
+        );
+        assert_eq!(a.load(4).unwrap(), 0, "original unaffected");
+        assert_eq!(b.load(0).unwrap(), 7, "detached chunk keeps prior words");
+        assert!(
+            Arc::ptr_eq(&a.chunks[1], &b.chunks[1]),
+            "untouched chunks stay shared"
+        );
+    }
+
+    #[test]
+    fn clone_from_resets_to_source_image() {
+        let mut golden = MemBlock::with_words(2 * CHUNK_WORDS + 5);
+        golden.write_slice(0, &[1, 2, 3]);
+        let mut scratch = golden.clone();
+        scratch
+            .store(4 * (2 * CHUNK_WORDS as u32 + 5), 42)
+            .unwrap_err();
+        scratch.store(4, 99).unwrap();
+        scratch.clone_from(&golden);
+        assert_eq!(scratch, golden);
+        assert_eq!(scratch.load(4).unwrap(), 2);
+    }
+
+    #[test]
+    fn cross_chunk_ranges() {
+        let n = 2 * CHUNK_WORDS + 10;
+        let mut m = MemBlock::with_words(n);
+        let data: Vec<u32> = (0..n as u32).collect();
+        m.write_slice(0, &data);
+        assert_eq!(m.to_vec(), data);
+        let mid = CHUNK_WORDS as u32 * 4 - 8;
+        assert_eq!(
+            m.read_words(mid, 4),
+            &data[CHUNK_WORDS - 2..CHUNK_WORDS + 2]
+        );
+        assert!(m.region_eq(0, &data));
+        m.clear();
+        assert_eq!(m.to_vec(), vec![0; n]);
+    }
+
+    #[test]
+    fn tail_padding_stays_zero() {
+        // Logical length straddles into a partial final chunk; equality and
+        // to_vec must ignore the padding (which stores can never touch).
+        let mut a = MemBlock::with_words(10);
+        let b = MemBlock::with_words(10);
+        assert!(a.store(40, 1).is_err(), "past-end store rejected");
+        assert_eq!(a, b);
+        assert_eq!(a.to_vec().len(), 10);
     }
 }

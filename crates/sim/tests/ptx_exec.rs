@@ -65,7 +65,7 @@ fn run_saxpy(sim: Simulator) -> Vec<f32> {
         .param_f32(a);
     sim.run(&launch, &mut memory, &mut NopHook).expect("runs");
     memory
-        .read_slice(32, 8)
+        .read_words(32, 8)
         .iter()
         .map(|&b| f32::from_bits(b))
         .collect()

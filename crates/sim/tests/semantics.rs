@@ -16,7 +16,7 @@ fn run(body: &str, n: usize) -> Vec<u32> {
     Simulator::new()
         .run(&Launch::new(p), &mut g, &mut NopHook)
         .expect("test kernel runs");
-    g.words()[..n].to_vec()
+    g.read_words(0, n)
 }
 
 fn run1(body: &str) -> u32 {
@@ -415,7 +415,7 @@ fn local_memory_is_per_thread() {
     Simulator::new()
         .run(&Launch::new(p).block(4, 1, 1), &mut g, &mut NopHook)
         .unwrap();
-    assert_eq!(g.words(), &[0, 1, 2, 3]);
+    assert_eq!(g.to_vec(), [0, 1, 2, 3]);
 }
 
 #[test]
@@ -431,7 +431,7 @@ fn falling_off_the_end_is_implicit_exit() {
     let stats = Simulator::new()
         .run(&Launch::new(p), &mut g, &mut NopHook)
         .unwrap();
-    assert_eq!(g.words()[0], 1);
+    assert_eq!(g.load(0).unwrap(), 1);
     assert_eq!(stats.instructions, 2);
 }
 
@@ -477,8 +477,8 @@ fn alu_with_memory_operands() {
     Simulator::new()
         .run(&Launch::new(p), &mut g, &mut NopHook)
         .unwrap();
-    assert_eq!(g.words()[0], 43);
-    assert_eq!(g.words()[1], 5);
+    assert_eq!(g.load(0).unwrap(), 43);
+    assert_eq!(g.load(4).unwrap(), 5);
 }
 
 #[test]
@@ -500,5 +500,5 @@ fn retp_guard_controls_exit() {
     Simulator::new()
         .run(&Launch::new(p).block(2, 1, 1), &mut g, &mut NopHook)
         .unwrap();
-    assert_eq!(g.words(), &[0, 1], "thread 0 exited early, thread 1 stored");
+    assert_eq!(g.to_vec(), [0, 1], "thread 0 exited early, thread 1 stored");
 }

@@ -9,7 +9,7 @@ fn run_warped(src: &str, threads: u32, width: u32, words: usize) -> Vec<u32> {
     Simulator::warp_lockstep(width)
         .run(&Launch::new(p).block(threads, 1, 1), &mut g, &mut NopHook)
         .expect("warp kernel runs");
-    g.words()[..words].to_vec()
+    g.read_words(0, words)
 }
 
 #[test]

@@ -91,9 +91,9 @@ impl Workload {
         for &p in &self.params {
             h.write_u32(p);
         }
-        let words = self.memory.words();
+        let words = self.memory.to_vec();
         h.write_u64(words.len() as u64);
-        for &w in words {
+        for &w in &words {
             h.write_u32(w);
         }
         h.write_u32(self.output.0);

@@ -195,13 +195,13 @@ mod tests {
             .unwrap();
         let words = ((g.rb + 1) * g.nj) as usize;
         let a: Vec<f32> = memory
-            .read_slice(0, words)
+            .read_words(0, words)
             .iter()
             .map(|&x| f32::from_bits(x))
             .collect();
         let expect = reference(&a, g.nj as usize, g.rb as usize);
         let (addr, len) = w.output_region();
-        let out = memory.read_slice(addr, len);
+        let out = memory.read_words(addr, len);
         for (idx, (&bits, &want)) in out.iter().zip(&expect).enumerate() {
             assert_eq!(bits, want.to_bits(), "mismatch at word {idx}");
         }

@@ -146,7 +146,7 @@ mod tests {
         let words = n * n;
         let mut memory = w.init_memory();
         let read_f32 = |m: &MemBlock, addr: u32| -> Vec<f32> {
-            m.read_slice(addr, words)
+            m.read_words(addr, words)
                 .iter()
                 .map(|&x| f32::from_bits(x))
                 .collect()
@@ -159,7 +159,7 @@ mod tests {
             .unwrap();
         let expect = reference(&a, &b, &c, n);
         let (addr, len) = w.output_region();
-        for (idx, (&bits, &want)) in memory.read_slice(addr, len).iter().zip(&expect).enumerate() {
+        for (idx, (&bits, &want)) in memory.read_words(addr, len).iter().zip(&expect).enumerate() {
             assert_eq!(bits, want.to_bits(), "mismatch at element {idx}");
         }
     }

@@ -131,12 +131,12 @@ mod tests {
         let words = n * n;
         let mut memory = w.init_memory();
         let a: Vec<f32> = memory
-            .read_slice(0, words)
+            .read_words(0, words)
             .iter()
             .map(|&x| f32::from_bits(x))
             .collect();
         let b: Vec<f32> = memory
-            .read_slice((words * 4) as u32, words)
+            .read_words((words * 4) as u32, words)
             .iter()
             .map(|&x| f32::from_bits(x))
             .collect();
@@ -145,7 +145,7 @@ mod tests {
             .unwrap();
         let expect = reference(&a, &b, n);
         let (addr, len) = w.output_region();
-        for (idx, (&bits, &want)) in memory.read_slice(addr, len).iter().zip(&expect).enumerate() {
+        for (idx, (&bits, &want)) in memory.read_words(addr, len).iter().zip(&expect).enumerate() {
             assert_eq!(bits, want.to_bits(), "mismatch at element {idx}");
         }
     }

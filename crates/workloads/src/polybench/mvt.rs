@@ -118,15 +118,15 @@ mod tests {
         let n = geom(Scale::Eval).n as usize;
         let mut memory = w.init_memory();
         let to_f32 = |s: &[u32]| -> Vec<f32> { s.iter().map(|&x| f32::from_bits(x)).collect() };
-        let a = to_f32(memory.read_slice(0, n * n));
-        let y1 = to_f32(memory.read_slice((n * n * 4) as u32, n));
-        let x1 = to_f32(memory.read_slice((n * n * 4 + n * 4) as u32, n));
+        let a = to_f32(&memory.read_words(0, n * n));
+        let y1 = to_f32(&memory.read_words((n * n * 4) as u32, n));
+        let x1 = to_f32(&memory.read_words((n * n * 4 + n * 4) as u32, n));
         Simulator::new()
             .run(&w.launch(), &mut memory, &mut NopHook)
             .unwrap();
         let expect = reference(&a, &y1, &x1, n);
         let (addr, len) = w.output_region();
-        for (idx, (&bits, &want)) in memory.read_slice(addr, len).iter().zip(&expect).enumerate() {
+        for (idx, (&bits, &want)) in memory.read_words(addr, len).iter().zip(&expect).enumerate() {
             assert_eq!(bits, want.to_bits(), "mismatch at row {idx}");
         }
     }

@@ -329,7 +329,7 @@ mod tests {
         let n = g.size as usize;
         let mut memory = w.init_memory();
         let a: Vec<f32> = memory
-            .read_slice(0, n * n)
+            .read_words(0, n * n)
             .iter()
             .map(|&x| f32::from_bits(x))
             .collect();
@@ -337,7 +337,7 @@ mod tests {
             .run(&w.launch(), &mut memory, &mut NopHook)
             .unwrap();
         let m: Vec<f32> = memory
-            .read_slice((n * n * 4) as u32, n * n)
+            .read_words((n * n * 4) as u32, n * n)
             .iter()
             .map(|&x| f32::from_bits(x))
             .collect();

@@ -307,14 +307,14 @@ mod tests {
         let words = r * r;
         let mut memory = w.init_memory();
         let to_f32 = |s: &[u32]| -> Vec<f32> { s.iter().map(|&x| f32::from_bits(x)).collect() };
-        let temp = to_f32(memory.read_slice(0, words));
-        let power = to_f32(memory.read_slice((words * 4) as u32, words));
+        let temp = to_f32(&memory.read_words(0, words));
+        let power = to_f32(&memory.read_words((words * 4) as u32, words));
         Simulator::new()
             .run(&w.launch(), &mut memory, &mut NopHook)
             .unwrap();
         let expect = reference(&temp, &power, g.bs as usize, g.tile as usize, g.g as usize);
         let (addr, len) = w.output_region();
-        for (idx, (&bits, &want)) in memory.read_slice(addr, len).iter().zip(&expect).enumerate() {
+        for (idx, (&bits, &want)) in memory.read_words(addr, len).iter().zip(&expect).enumerate() {
             assert_eq!(bits, want.to_bits(), "mismatch at cell {idx}");
         }
     }

@@ -237,11 +237,11 @@ mod tests {
         let g = geom(Scale::Eval);
         let (np, nf) = (g.npoints as usize, g.nfeatures as usize);
         let mut memory = w.init_memory();
-        let input: Vec<u32> = memory.read_slice(0, np * nf).to_vec();
+        let input: Vec<u32> = memory.read_words(0, np * nf);
         Simulator::new()
             .run(&w.launch(), &mut memory, &mut NopHook)
             .unwrap();
-        let out = memory.read_slice((np * nf * 4) as u32, np * nf);
+        let out = memory.read_words((np * nf * 4) as u32, np * nf);
         for p in 0..np {
             for f in 0..nf {
                 assert_eq!(out[f * np + p], input[p * nf + f], "point {p} feature {f}");
@@ -260,13 +260,13 @@ mod tests {
         );
         let mut memory = w.init_memory();
         let to_f32 = |s: &[u32]| -> Vec<f32> { s.iter().map(|&x| f32::from_bits(x)).collect() };
-        let feats = to_f32(memory.read_slice(0, np * nf));
-        let clus = to_f32(memory.read_slice((np * nf * 4) as u32, nc * nf));
+        let feats = to_f32(&memory.read_words(0, np * nf));
+        let clus = to_f32(&memory.read_words((np * nf * 4) as u32, nc * nf));
         Simulator::new()
             .run(&w.launch(), &mut memory, &mut NopHook)
             .unwrap();
         let (addr, len) = w.output_region();
-        let got = memory.read_slice(addr, len);
+        let got = memory.read_words(addr, len);
         let want = k2_reference(&feats, &clus, np, nf, nc);
         assert_eq!(got, &want[..]);
     }

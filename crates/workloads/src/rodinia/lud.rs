@@ -515,7 +515,7 @@ mod tests {
             .unwrap();
         let (addr, len) = w.output_region();
         memory
-            .read_slice(addr, len)
+            .read_words(addr, len)
             .iter()
             .map(|&x| f32::from_bits(x))
             .collect()

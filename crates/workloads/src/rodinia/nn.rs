@@ -118,7 +118,7 @@ mod tests {
         let n = g.nrecords as usize;
         let mut memory = w.init_memory();
         let loc: Vec<f32> = memory
-            .read_slice(0, 2 * n)
+            .read_words(0, 2 * n)
             .iter()
             .map(|&x| f32::from_bits(x))
             .collect();
@@ -126,7 +126,7 @@ mod tests {
             .run(&w.launch(), &mut memory, &mut NopHook)
             .unwrap();
         let (addr, len) = w.output_region();
-        let got = memory.read_slice(addr, len);
+        let got = memory.read_words(addr, len);
         for i in 0..n {
             let dlat = loc[2 * i] - LAT0;
             let dlng = loc[2 * i + 1] - LNG0;

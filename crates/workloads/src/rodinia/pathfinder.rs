@@ -178,14 +178,14 @@ mod tests {
         let cols = (g.bs * g.nb) as usize;
         let mut memory = w.init_memory();
         let to_f32 = |s: &[u32]| -> Vec<f32> { s.iter().map(|&x| f32::from_bits(x)).collect() };
-        let src = to_f32(memory.read_slice(0, cols));
-        let wall = to_f32(memory.read_slice((cols * 4) as u32, cols * g.height as usize));
+        let src = to_f32(&memory.read_words(0, cols));
+        let wall = to_f32(&memory.read_words((cols * 4) as u32, cols * g.height as usize));
         Simulator::new()
             .run(&w.launch(), &mut memory, &mut NopHook)
             .unwrap();
         let expect = reference(&src, &wall, g.bs as usize, g.nb as usize, g.height as usize);
         let (addr, len) = w.output_region();
-        for (idx, (&bits, &want)) in memory.read_slice(addr, len).iter().zip(&expect).enumerate() {
+        for (idx, (&bits, &want)) in memory.read_words(addr, len).iter().zip(&expect).enumerate() {
             assert_eq!(bits, want.to_bits(), "mismatch at column {idx}");
         }
     }

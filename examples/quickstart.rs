@@ -76,7 +76,7 @@ fn main() {
         .run(&launch, &mut memory, &mut tracer)
         .expect("fault-free run");
     let y: Vec<f32> = memory
-        .read_slice(Saxpy::N * 4, Saxpy::N as usize)
+        .read_words(Saxpy::N * 4, Saxpy::N as usize)
         .iter()
         .map(|&b| f32::from_bits(b))
         .collect();

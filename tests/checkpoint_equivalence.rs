@@ -1,0 +1,114 @@
+//! Differential oracle for the checkpoint-resume fast path.
+//!
+//! The campaign engine has two classification paths: the fast path
+//! (resume from a golden checkpoint, early-convergence exit) and the slow
+//! path (full re-execution from t=0, output comparison only), kept behind
+//! `Experiment::set_fast_path` exactly so this test can exist. Because
+//! the simulator is deterministic, the two must agree *bit for bit* — on
+//! every outcome, and on every SDC severity — across every registry
+//! kernel, every fault model and any worker count.
+
+use fault_site_pruning::inject::{
+    Experiment, FaultModel, FaultSite, InjectionTarget, WeightedSite,
+};
+use fault_site_pruning::workloads::{self, Scale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Random sites drawn per kernel, on top of the deterministic first/last
+/// site of the space (the last site exercises the deepest checkpoint).
+const SAMPLED_SITES: usize = 8;
+
+fn sites_for(space: &fault_site_pruning::inject::SiteSpace, seed: u64) -> Vec<WeightedSite> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total = space.total_sites();
+    let mut sites: Vec<FaultSite> = vec![space.site_at(0), space.site_at(total - 1)];
+    sites.extend(space.sample_many(SAMPLED_SITES, &mut rng));
+    sites.into_iter().map(WeightedSite::from).collect()
+}
+
+/// Fast-path campaigns reproduce slow-path outcome vectors and SDC
+/// severities on all kernels, under every fault model, at worker counts
+/// 1 and 4.
+#[test]
+fn fast_path_is_byte_identical_to_slow_path() {
+    for w in workloads::all(Scale::Eval) {
+        let id = w.registry_id();
+        let fast = Experiment::prepare(&w).expect("fault-free run");
+        let slow = Experiment::prepare(&w)
+            .expect("fault-free run")
+            .with_fast_path(false);
+        // Kernels shorter than the default checkpoint interval legitimately
+        // capture none (the whole run *is* the suffix).
+        if fast.fault_free_instructions() >= 1024 {
+            assert!(
+                fast.num_checkpoints() > 0,
+                "{id}: launch retired {} instructions but captured no checkpoints",
+                fast.fault_free_instructions()
+            );
+        }
+        let space = fast.site_space(0..w.launch().num_threads());
+        let sites = sites_for(&space, 0xF5EED ^ fast.fault_free_instructions());
+        for model in FaultModel::ALL {
+            let f1 = fast.run_campaign_with(&sites, model, 1);
+            let f4 = fast.run_campaign_with(&sites, model, 4);
+            let s1 = slow.run_campaign_with(&sites, model, 1);
+            let s4 = slow.run_campaign_with(&sites, model, 4);
+            assert_eq!(
+                f1.outcomes, s1.outcomes,
+                "{id}: fast/slow outcomes diverged under {model:?}"
+            );
+            assert_eq!(
+                f1.outcomes, f4.outcomes,
+                "{id}: fast path not worker-count invariant under {model:?}"
+            );
+            assert_eq!(
+                s1.outcomes, s4.outcomes,
+                "{id}: slow path not worker-count invariant under {model:?}"
+            );
+            assert_eq!(f1.profile, s1.profile, "{id}: profiles diverged");
+            // SDC severities must match exactly, not just the class.
+            for (ws, outcome) in sites.iter().zip(&f1.outcomes) {
+                if *outcome == fault_site_pruning::stats::Outcome::Sdc {
+                    let (of, sevf) = fast.run_one_detailed(ws.site, model);
+                    let (os, sevs) = slow.run_one_detailed(ws.site, model);
+                    assert_eq!(of, os, "{id}: detailed outcome at {:?}", ws.site);
+                    assert_eq!(
+                        sevf, sevs,
+                        "{id}: SDC severity diverged at {:?} under {model:?}",
+                        ws.site
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The fast path actually engages on real kernels: campaigns resume from
+/// checkpoints, skip golden-prefix work and take early-convergence exits
+/// somewhere in the registry (per-kernel rates vary with site position).
+#[test]
+fn fast_path_engages_on_registry_kernels() {
+    let mut hits = 0u64;
+    let mut skipped = 0u64;
+    let mut early = 0u64;
+    for w in workloads::all(Scale::Eval) {
+        let e = Experiment::prepare(&w).expect("fault-free run");
+        let space = e.site_space(0..w.launch().num_threads());
+        let sites = sites_for(&space, 7);
+        let run = e.run_campaign_incremental(
+            &sites,
+            FaultModel::SingleBitFlip,
+            4,
+            &[],
+            &fault_site_pruning::inject::NopObserver,
+        );
+        assert!(run.is_complete());
+        hits += run.checkpoint_hits;
+        skipped += run.skipped_instructions;
+        early += run.early_converged;
+    }
+    assert!(hits > 0, "no campaign resumed from a checkpoint");
+    assert!(skipped > 0, "checkpoint resumes skipped no prefix work");
+    assert!(early > 0, "no injection converged early");
+}

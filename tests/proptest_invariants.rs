@@ -204,7 +204,7 @@ proptest! {
             let mut g = MemBlock::with_words(8 * 5);
             sim.run(&Launch::new(program.clone()).block(8, 1, 1), &mut g, &mut NopHook)
                 .expect("runs");
-            g.words().to_vec()
+            g.to_vec()
         };
         let serial = run(Simulator::new());
         prop_assert_eq!(&serial, &run(Simulator::new()), "serial determinism");

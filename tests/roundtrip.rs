@@ -59,8 +59,8 @@ fn reassembled_kernels_execute_identically() {
         let a = run((**original).clone());
         let b = run(reassembled);
         assert_eq!(
-            a.words(),
-            b.words(),
+            a.to_vec(),
+            b.to_vec(),
             "{}: behaviour changed",
             w.registry_id()
         );

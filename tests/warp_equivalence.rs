@@ -13,7 +13,7 @@ fn run_mode(w: &workloads::Workload, sim: Simulator) -> (Vec<u32>, Vec<u32>) {
     let mut memory = w.init_memory();
     sim.run(&launch, &mut memory, &mut tracer)
         .unwrap_or_else(|e| panic!("{} under {:?}: {e}", w.registry_id(), sim.mode()));
-    (memory.words().to_vec(), tracer.finish().icnt)
+    (memory.to_vec(), tracer.finish().icnt)
 }
 
 #[test]
