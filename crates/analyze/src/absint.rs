@@ -1,0 +1,1315 @@
+//! Worklist abstract interpreter over fsp-isa programs.
+//!
+//! The interpreter bounds every register value with a *wrapping-aware
+//! unsigned interval* enriched with a known-zero-bit mask (a stride/alignment
+//! domain: `zeros` covering bits 0..k proves the value is a multiple of
+//! `2^k`), tracks predicate registers as sets of possible 4-bit
+//! condition-code values, and tags values that depend on the thread id
+//! within a CTA. Thread-coordinate specials seed the intervals
+//! (`%tid.x ∈ [0, ntid.x-1]`), so per-thread address computations stay
+//! bounded without enumerating threads.
+//!
+//! Every transfer function over-approximates the concrete interpreter in
+//! `fsp-sim::exec` — when a rule cannot mirror the concrete semantics
+//! exactly it returns ⊤. Soundness is what the downstream consumers lean
+//! on: [`crate::classify`] turns provably-faulting flipped addresses into
+//! predicted DUEs, and the `lint` extensions report provable OOB accesses.
+//! Both claims are cross-validated dynamically by the oracle tests.
+
+use std::collections::VecDeque;
+
+use fsp_isa::{
+    CmpOp, Dest, Half, Instruction, KernelProgram, MemRef, MemSpace, Opcode, Operand, Register,
+    ScalarType, Special, NUM_PREDS, PARAM_BASE,
+};
+
+use crate::dataflow::{reg_index, TRACKED_REGS};
+
+/// Block visits before interval bounds are widened to ⊤ on the growing
+/// side. Small enough to converge fast, large enough to let short chains
+/// of increments stabilise exactly.
+const WIDEN_AFTER: usize = 4;
+
+/// Launch facts the interpreter folds into the abstract state: geometry
+/// seeds the special-register intervals, parameters are constant-folded
+/// through shared memory, and the space sizes bound addresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbsContext {
+    /// CTA dimensions `(x, y, z)`.
+    pub block: (u32, u32, u32),
+    /// Grid dimensions `(x, y)`.
+    pub grid: (u32, u32),
+    /// Kernel parameters in declaration order (written at
+    /// [`fsp_isa::PARAM_BASE`] in shared memory).
+    pub params: Vec<u32>,
+    /// Per-CTA shared memory size in bytes (word-aligned, as the machine
+    /// rounds it).
+    pub shared_bytes: u32,
+    /// Global memory size in bytes.
+    pub global_bytes: u32,
+    /// Per-thread local memory size in bytes.
+    pub local_bytes: u32,
+}
+
+impl AbsContext {
+    /// Size in bytes of an address space, as the simulator enforces it.
+    #[must_use]
+    pub fn space_bytes(&self, space: MemSpace) -> u32 {
+        match space {
+            MemSpace::Global => self.global_bytes,
+            MemSpace::Shared => self.shared_bytes,
+            MemSpace::Local => self.local_bytes,
+        }
+    }
+
+    /// Byte range of shared memory holding the kernel parameters.
+    #[must_use]
+    pub fn param_range(&self) -> (u32, u32) {
+        (PARAM_BASE, PARAM_BASE + 4 * self.params.len() as u32)
+    }
+}
+
+/// An abstract 32-bit value: an **unwrapped unsigned interval**
+/// `[lo, hi]` plus a mask of bits known to be zero in every concrete
+/// value. ⊤ is `[0, u32::MAX]` with no known zeros.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbsVal {
+    /// Inclusive unsigned lower bound.
+    pub lo: u32,
+    /// Inclusive unsigned upper bound.
+    pub hi: u32,
+    /// Bits that are zero in every concrete value.
+    pub zeros: u32,
+}
+
+/// Fills every bit at or below the highest set bit.
+const fn fill_down(m: u32) -> u32 {
+    let mut x = m;
+    x |= x >> 1;
+    x |= x >> 2;
+    x |= x >> 4;
+    x |= x >> 8;
+    x |= x >> 16;
+    x
+}
+
+impl AbsVal {
+    /// The unconstrained value.
+    pub const TOP: AbsVal = AbsVal {
+        lo: 0,
+        hi: u32::MAX,
+        zeros: 0,
+    };
+
+    /// A single concrete value.
+    #[must_use]
+    pub fn constant(v: u32) -> AbsVal {
+        AbsVal {
+            lo: v,
+            hi: v,
+            zeros: !v,
+        }
+    }
+
+    /// An interval `[lo, hi]`, normalised.
+    #[must_use]
+    pub fn range(lo: u32, hi: u32) -> AbsVal {
+        AbsVal { lo, hi, zeros: 0 }.normalize()
+    }
+
+    /// Reconciles the interval and zero-mask components: bits above the
+    /// interval's magnitude are zero, and known-zero bits cap the interval.
+    #[must_use]
+    fn normalize(mut self) -> AbsVal {
+        self.zeros |= !fill_down(self.hi);
+        self.hi = self.hi.min(!self.zeros);
+        if self.lo > self.hi {
+            // Contradictory facts can only arise on infeasible paths; any
+            // consistent clamp is sound there.
+            self.lo = self.hi;
+        }
+        self
+    }
+
+    /// Whether the value is a single known constant.
+    #[must_use]
+    pub fn as_const(&self) -> Option<u32> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+
+    /// Least upper bound.
+    #[must_use]
+    pub fn join(&self, other: &AbsVal) -> AbsVal {
+        AbsVal {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+            zeros: self.zeros & other.zeros,
+        }
+        .normalize()
+    }
+
+    /// Widening: bounds that grew since `old` jump to their extreme.
+    /// `zeros` only shrinks (monotone, bounded) and needs no widening.
+    #[must_use]
+    fn widen_from(&self, old: &AbsVal) -> AbsVal {
+        AbsVal {
+            lo: if self.lo < old.lo { 0 } else { self.lo },
+            hi: if self.hi > old.hi { u32::MAX } else { self.hi },
+            zeros: self.zeros,
+        }
+        .normalize()
+    }
+
+    /// Bits provably zero, folding in what the interval magnitude implies.
+    #[must_use]
+    pub fn known_zeros(&self) -> u32 {
+        self.zeros | !fill_down(self.hi)
+    }
+
+    /// Number of low bits provably zero in both operands (alignment run).
+    fn common_alignment(a: &AbsVal, b: &AbsVal) -> u32 {
+        (a.zeros & b.zeros).trailing_ones()
+    }
+
+    /// Abstract wrapping addition.
+    #[must_use]
+    pub fn add(&self, other: &AbsVal) -> AbsVal {
+        let lo = u64::from(self.lo) + u64::from(other.lo);
+        let hi = u64::from(self.hi) + u64::from(other.hi);
+        // Low zero-runs survive even a wrapping add: multiples of 2^k stay
+        // multiples of 2^k. This is what keeps flipped-address alignment
+        // provable.
+        let align = Self::common_alignment(self, other);
+        let align_zeros = (1u32 << align.min(31)) - 1;
+        if hi <= u64::from(u32::MAX) {
+            AbsVal {
+                lo: lo as u32,
+                hi: hi as u32,
+                zeros: align_zeros,
+            }
+            .normalize()
+        } else {
+            AbsVal {
+                zeros: align_zeros,
+                ..AbsVal::TOP
+            }
+            .normalize()
+        }
+    }
+
+    /// Abstract wrapping subtraction.
+    #[must_use]
+    pub fn sub(&self, other: &AbsVal) -> AbsVal {
+        let align = Self::common_alignment(self, other);
+        let align_zeros = (1u32 << align.min(31)) - 1;
+        if self.lo >= other.hi {
+            AbsVal {
+                lo: self.lo - other.hi,
+                hi: self.hi - other.lo,
+                zeros: align_zeros,
+            }
+            .normalize()
+        } else {
+            AbsVal {
+                zeros: align_zeros,
+                ..AbsVal::TOP
+            }
+            .normalize()
+        }
+    }
+
+    /// Abstract wrapping multiplication.
+    #[must_use]
+    pub fn mul(&self, other: &AbsVal) -> AbsVal {
+        let za = self.zeros.trailing_ones().min(31);
+        let zb = other.zeros.trailing_ones().min(31);
+        let align_zeros = (1u32 << (za + zb).min(31)) - 1;
+        let hi = u64::from(self.hi) * u64::from(other.hi);
+        if hi <= u64::from(u32::MAX) {
+            AbsVal {
+                lo: self.lo.wrapping_mul(other.lo),
+                hi: hi as u32,
+                zeros: align_zeros,
+            }
+            .normalize()
+        } else {
+            AbsVal {
+                zeros: align_zeros,
+                ..AbsVal::TOP
+            }
+            .normalize()
+        }
+    }
+
+    /// Abstract unsigned division (exec maps `x / 0` to `u32::MAX`).
+    #[must_use]
+    pub fn udiv(&self, other: &AbsVal) -> AbsVal {
+        if other.lo == 0 {
+            return AbsVal::TOP;
+        }
+        AbsVal::range(self.lo / other.hi, self.hi / other.lo)
+    }
+
+    /// Abstract unsigned remainder (exec maps `x % 0` to `x`).
+    #[must_use]
+    pub fn urem(&self, other: &AbsVal) -> AbsVal {
+        if other.lo == 0 {
+            return AbsVal::range(0, self.hi);
+        }
+        AbsVal::range(0, self.hi.min(other.hi - 1))
+    }
+
+    /// Abstract bitwise and.
+    #[must_use]
+    pub fn and(&self, other: &AbsVal) -> AbsVal {
+        AbsVal {
+            lo: 0,
+            hi: self.hi.min(other.hi),
+            zeros: self.known_zeros() | other.known_zeros(),
+        }
+        .normalize()
+    }
+
+    /// Abstract bitwise or.
+    #[must_use]
+    pub fn or(&self, other: &AbsVal) -> AbsVal {
+        AbsVal {
+            lo: self.lo.max(other.lo),
+            hi: fill_down(self.hi) | fill_down(other.hi),
+            zeros: self.known_zeros() & other.known_zeros(),
+        }
+        .normalize()
+    }
+
+    /// Abstract bitwise xor.
+    #[must_use]
+    pub fn xor(&self, other: &AbsVal) -> AbsVal {
+        AbsVal {
+            lo: 0,
+            hi: fill_down(self.hi) | fill_down(other.hi),
+            zeros: self.known_zeros() & other.known_zeros(),
+        }
+        .normalize()
+    }
+
+    /// Abstract bitwise not.
+    #[must_use]
+    pub fn not(&self) -> AbsVal {
+        AbsVal::range(!self.hi, !self.lo)
+    }
+
+    /// Abstract left shift by a constant amount (`amt < 32`).
+    #[must_use]
+    pub fn shl_const(&self, amt: u32) -> AbsVal {
+        if amt >= 32 {
+            return AbsVal::constant(0);
+        }
+        let low_zeros = (1u32 << amt) - 1;
+        if amt == 0 {
+            return *self;
+        }
+        if u64::from(self.hi) << amt <= u64::from(u32::MAX) {
+            AbsVal {
+                lo: self.lo << amt,
+                hi: self.hi << amt,
+                zeros: (self.zeros << amt) | low_zeros,
+            }
+            .normalize()
+        } else {
+            // The shift wraps, but the vacated low bits are still zero —
+            // exactly the alignment fact address computations rely on.
+            AbsVal {
+                zeros: (self.zeros << amt) | low_zeros,
+                ..AbsVal::TOP
+            }
+            .normalize()
+        }
+    }
+
+    /// Abstract right shift by a constant amount.
+    #[must_use]
+    pub fn shr_const(&self, amt: u32, signed: bool) -> AbsVal {
+        let nonneg = self.hi < 0x8000_0000 || self.known_zeros() & 0x8000_0000 != 0;
+        if amt >= 32 {
+            return if !signed || nonneg {
+                AbsVal::constant(0)
+            } else {
+                // Negative signed values become all-ones.
+                AbsVal::TOP
+            };
+        }
+        if amt == 0 {
+            return *self;
+        }
+        if !signed || nonneg {
+            AbsVal::range(self.lo >> amt, self.hi >> amt)
+        } else {
+            AbsVal::TOP
+        }
+    }
+
+    /// Abstract two's-complement negation.
+    #[must_use]
+    pub fn neg(&self) -> AbsVal {
+        if self.hi == 0 {
+            AbsVal::constant(0)
+        } else if self.lo >= 1 {
+            AbsVal::range(u32::MAX - self.hi + 1, u32::MAX - self.lo + 1)
+        } else {
+            // The range straddles zero: -0 wraps to 0, everything else to
+            // the high end.
+            AbsVal::TOP
+        }
+    }
+
+    /// Truncation to the low 16 bits (`exec::mask` for 16-bit types).
+    #[must_use]
+    pub fn trunc16(&self) -> AbsVal {
+        if self.hi <= 0xFFFF {
+            AbsVal {
+                lo: self.lo,
+                hi: self.hi,
+                zeros: self.zeros | 0xFFFF_0000,
+            }
+            .normalize()
+        } else {
+            AbsVal {
+                lo: 0,
+                hi: 0xFFFF,
+                zeros: (self.zeros & 0xFFFF) | 0xFFFF_0000,
+            }
+            .normalize()
+        }
+    }
+
+    /// Whether every concrete value is `< 2^31` (safe to reinterpret as a
+    /// non-negative signed integer).
+    #[must_use]
+    pub fn provably_nonneg(&self) -> bool {
+        self.hi < 0x8000_0000 || self.known_zeros() & 0x8000_0000 != 0
+    }
+}
+
+/// Applies the interpreter's type mask to a committed result.
+fn mask_ty(v: AbsVal, ty: ScalarType, wide: bool) -> AbsVal {
+    if ty.bits() == 16 && !wide {
+        v.trunc16()
+    } else {
+        v
+    }
+}
+
+/// Possible 4-bit condition-code values of a predicate, as a 16-entry
+/// bitset (`1 << flags` for every reachable flag word). ⊤ is `0xFFFF`.
+pub type PredSet = u16;
+
+/// Flag values a result can produce (`exec::flags_of`). `co` says whether
+/// the producing opcode can set carry/overflow (only add/sub can).
+fn flags_from(v: &AbsVal, float: bool, co: bool) -> PredSet {
+    let may_zero = v.lo == 0;
+    let may_nonzero = v.hi != 0;
+    let (may_sign, may_notsign) = if float {
+        // `f32 < 0.0` is false for +values, +0/-0 and NaN; it can only be
+        // true when bit 31 can be set.
+        if v.known_zeros() & 0x8000_0000 != 0 {
+            (false, true)
+        } else {
+            (true, true)
+        }
+    } else {
+        (v.hi >= 0x8000_0000, v.lo < 0x8000_0000 || may_zero)
+    };
+    let mut set: PredSet = 0;
+    for f in 0u16..16 {
+        let z = f & 0b0001 != 0;
+        let s = f & 0b0010 != 0;
+        let has_co = f & 0b1100 != 0;
+        if z && (!may_zero || s) {
+            continue; // a zero value is never negative
+        }
+        if !z && !may_nonzero {
+            continue;
+        }
+        if s && !may_sign {
+            continue;
+        }
+        if !z && !s && !may_notsign {
+            continue;
+        }
+        if has_co && !co {
+            continue;
+        }
+        set |= 1 << f;
+    }
+    set
+}
+
+/// Interval of raw 4-bit values a predicate set allows (for data reads of
+/// predicate registers).
+fn predset_to_val(set: PredSet) -> AbsVal {
+    if set == 0 {
+        return AbsVal::constant(0);
+    }
+    let lo = set.trailing_zeros();
+    let hi = 15 - u32::from(set).leading_zeros().saturating_sub(16);
+    let mut zeros = u32::MAX;
+    for f in 0..16u32 {
+        if set & (1 << f) != 0 {
+            zeros &= !f;
+        }
+    }
+    AbsVal {
+        lo,
+        hi,
+        zeros: zeros | !0xF,
+    }
+    .normalize()
+}
+
+/// Abstract machine state at a program point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct AbsState {
+    /// Per tracked register (dense [`reg_index`] space). Predicate entries
+    /// are unused — see `preds`.
+    vals: Vec<AbsVal>,
+    /// Possible condition-code words per predicate register.
+    preds: [PredSet; NUM_PREDS as usize],
+    /// Whether each tracked register may vary across threads of one CTA.
+    tid: Vec<bool>,
+}
+
+impl AbsState {
+    /// The zero-initialised register file at kernel entry.
+    fn entry() -> AbsState {
+        AbsState {
+            vals: vec![AbsVal::constant(0); TRACKED_REGS],
+            preds: [1 << 0; NUM_PREDS as usize],
+            tid: vec![false; TRACKED_REGS],
+        }
+    }
+
+    /// Joins `other` into `self`; reports whether `self` changed.
+    fn join_from(&mut self, other: &AbsState, widen: bool) -> bool {
+        let mut changed = false;
+        for (a, b) in self.vals.iter_mut().zip(&other.vals) {
+            let joined = a.join(b);
+            let next = if widen { joined.widen_from(a) } else { joined };
+            if next != *a {
+                *a = next;
+                changed = true;
+            }
+        }
+        for (a, b) in self.preds.iter_mut().zip(&other.preds) {
+            let next = *a | *b;
+            if next != *a {
+                *a = next;
+                changed = true;
+            }
+        }
+        for (a, b) in self.tid.iter_mut().zip(&other.tid) {
+            if *b && !*a {
+                *a = true;
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+/// One memory access of an instruction, with its resolved abstract address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccessAbs {
+    /// Address space.
+    pub space: MemSpace,
+    /// Constant byte offset of the `MemRef`.
+    pub offset: u32,
+    /// Whether the access is a store.
+    pub store: bool,
+    /// The base register, if any.
+    pub base: Option<Register>,
+    /// Resolved absolute byte address (`base + offset`, wrapping).
+    pub addr: AbsVal,
+    /// Whether the address may vary across threads of one CTA.
+    pub addr_tid_dep: bool,
+    /// For stores: whether the stored value may vary across threads.
+    pub value_tid_dep: bool,
+}
+
+/// Abstract facts about one register write-back slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotAbs {
+    /// Write-back slot index.
+    pub slot: u8,
+    /// Register written.
+    pub reg: Register,
+    /// Committed value bound (for predicate destinations this is the bound
+    /// of the 4-bit flag word).
+    pub value: AbsVal,
+    /// Possible flag words, when `reg` is a predicate.
+    pub flags: PredSet,
+    /// Whether the committed value may vary across threads of one CTA.
+    pub tid_dep: bool,
+}
+
+/// Whole-program abstract interpretation result.
+#[derive(Debug, Clone)]
+pub struct AbsintReport {
+    /// Per-pc register write-back facts, in slot order (same order as
+    /// [`crate::StaticAceReport::slots`]).
+    per_pc_slots: Vec<Vec<SlotAbs>>,
+    /// Per-pc memory accesses: `Mem` source operands in operand order,
+    /// then `Mem` destinations.
+    per_pc_mem: Vec<Vec<MemAccessAbs>>,
+    /// Per-pc guard reachability (false for instructions in unreachable
+    /// blocks — no facts recorded there).
+    reached: Vec<bool>,
+    /// Whether parameter loads were constant-folded (no shared store can
+    /// overlap the parameter region).
+    params_folded: bool,
+    ctx: AbsContext,
+}
+
+impl AbsintReport {
+    /// Runs the interpreter to fixpoint over `program` under `ctx`.
+    #[must_use]
+    pub fn analyze(program: &KernelProgram, ctx: &AbsContext) -> Self {
+        let interp = Interp {
+            program,
+            ctx: ctx.clone(),
+        };
+        // Pass 1 (no parameter folding) bounds every shared-store address;
+        // folding is only enabled when none can overlap the param region.
+        let first = interp.run(false);
+        let (plo, phi) = ctx.param_range();
+        let mut overlap = false;
+        for accesses in &first.per_pc_mem {
+            for a in accesses {
+                if a.store
+                    && a.space == MemSpace::Shared
+                    && a.addr.lo < phi
+                    && u64::from(a.addr.hi) + 4 > u64::from(plo)
+                {
+                    overlap = true;
+                }
+            }
+        }
+        if overlap || ctx.params.is_empty() {
+            first
+        } else {
+            let mut folded = interp.run(true);
+            folded.params_folded = true;
+            folded
+        }
+    }
+
+    /// Write-back facts of instruction `pc`, in slot order.
+    #[must_use]
+    pub fn slots(&self, pc: usize) -> &[SlotAbs] {
+        &self.per_pc_slots[pc]
+    }
+
+    /// Memory accesses of instruction `pc` (sources then destinations).
+    #[must_use]
+    pub fn mem(&self, pc: usize) -> &[MemAccessAbs] {
+        &self.per_pc_mem[pc]
+    }
+
+    /// Whether instruction `pc` is reachable from the kernel entry.
+    #[must_use]
+    pub fn reached(&self, pc: usize) -> bool {
+        self.reached[pc]
+    }
+
+    /// Whether parameter loads were constant-folded.
+    #[must_use]
+    pub fn params_folded(&self) -> bool {
+        self.params_folded
+    }
+
+    /// The launch context the analysis ran under.
+    #[must_use]
+    pub fn ctx(&self) -> &AbsContext {
+        &self.ctx
+    }
+}
+
+struct Interp<'p> {
+    program: &'p KernelProgram,
+    ctx: AbsContext,
+}
+
+/// Evaluation artifacts of one instruction the recorder keeps.
+#[derive(Default)]
+struct Recorded {
+    slots: Vec<SlotAbs>,
+    mem: Vec<MemAccessAbs>,
+}
+
+impl Interp<'_> {
+    fn run(&self, fold_params: bool) -> AbsintReport {
+        let cfg = self.program.cfg();
+        let blocks = cfg.blocks();
+        let nb = blocks.len();
+        let n = self.program.len();
+
+        let mut entry: Vec<Option<AbsState>> = vec![None; nb];
+        let mut visits = vec![0usize; nb];
+        let mut work: VecDeque<usize> = VecDeque::new();
+        if nb > 0 {
+            entry[0] = Some(AbsState::entry());
+            work.push_back(0);
+        }
+        while let Some(b) = work.pop_front() {
+            let mut st = entry[b].clone().expect("queued blocks have a state");
+            for pc in blocks[b].range() {
+                self.exec(&mut st, pc, fold_params, None);
+            }
+            for &s in &blocks[b].successors {
+                match &mut entry[s] {
+                    Some(old) => {
+                        visits[s] += 1;
+                        let widen = visits[s] >= WIDEN_AFTER;
+                        if old.join_from(&st, widen) && !work.contains(&s) {
+                            work.push_back(s);
+                        }
+                    }
+                    None => {
+                        entry[s] = Some(st.clone());
+                        if !work.contains(&s) {
+                            work.push_back(s);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Recording sweep over the fixed point.
+        let mut per_pc_slots: Vec<Vec<SlotAbs>> = vec![Vec::new(); n];
+        let mut per_pc_mem: Vec<Vec<MemAccessAbs>> = vec![Vec::new(); n];
+        let mut reached = vec![false; n];
+        for (b, block) in blocks.iter().enumerate() {
+            let Some(start) = &entry[b] else { continue };
+            let mut st = start.clone();
+            for pc in block.range() {
+                reached[pc] = true;
+                let mut rec = Recorded::default();
+                self.exec(&mut st, pc, fold_params, Some(&mut rec));
+                per_pc_slots[pc] = rec.slots;
+                per_pc_mem[pc] = rec.mem;
+            }
+        }
+        AbsintReport {
+            per_pc_slots,
+            per_pc_mem,
+            reached,
+            params_folded: false,
+            ctx: self.ctx.clone(),
+        }
+    }
+
+    /// Bound of a special register under the launch geometry.
+    fn special(&self, s: Special) -> AbsVal {
+        let (bx, by, bz) = self.ctx.block;
+        let (gx, gy) = self.ctx.grid;
+        match s {
+            Special::TidX => AbsVal::range(0, bx - 1),
+            Special::TidY => AbsVal::range(0, by - 1),
+            Special::TidZ => AbsVal::range(0, bz - 1),
+            Special::NTidX => AbsVal::constant(bx),
+            Special::NTidY => AbsVal::constant(by),
+            Special::CtaIdX => AbsVal::range(0, gx - 1),
+            Special::CtaIdY => AbsVal::range(0, gy - 1),
+            Special::NCtaIdX => AbsVal::constant(gx),
+            Special::NCtaIdY => AbsVal::constant(gy),
+        }
+    }
+
+    /// Resolves a memory operand's absolute address.
+    fn resolve(&self, st: &AbsState, m: &MemRef) -> (AbsVal, bool) {
+        let (base, tid_dep) = match m.base {
+            None => (AbsVal::constant(0), false),
+            Some(reg) => self.read_reg(st, reg),
+        };
+        (base.add(&AbsVal::constant(m.offset)), tid_dep)
+    }
+
+    /// Abstract `exec::read_reg`: value bound and tid-dependence.
+    fn read_reg(&self, st: &AbsState, reg: Register) -> (AbsVal, bool) {
+        if reg.is_discard() {
+            return (AbsVal::constant(0), false);
+        }
+        match reg {
+            Register::Special(s) => (
+                self.special(s),
+                matches!(s, Special::TidX | Special::TidY | Special::TidZ),
+            ),
+            Register::Pred(p) => {
+                let ri = reg_index(reg).expect("preds are tracked");
+                (predset_to_val(st.preds[p as usize]), st.tid[ri])
+            }
+            _ => {
+                let ri = reg_index(reg).expect("gprs/ofs are tracked");
+                (st.vals[ri], st.tid[ri])
+            }
+        }
+    }
+
+    /// Abstract `exec::operand_value`, recording memory accesses.
+    fn operand(
+        &self,
+        st: &AbsState,
+        op: &Operand,
+        fold_params: bool,
+        rec: Option<&mut Recorded>,
+    ) -> (AbsVal, bool) {
+        match op {
+            Operand::Imm(v) => (AbsVal::constant(*v), false),
+            Operand::Reg { reg, half, neg } => {
+                let (mut v, tid_dep) = self.read_reg(st, *reg);
+                match half {
+                    Some(Half::Lo) => v = v.and(&AbsVal::constant(0xFFFF)),
+                    Some(Half::Hi) => v = v.shr_const(16, false),
+                    None => {}
+                }
+                if *neg {
+                    // Type-dependent negation is applied by the caller
+                    // (float negation is a sign-bit flip); being uniformly
+                    // conservative here keeps the operand path simple.
+                    v = AbsVal::TOP;
+                }
+                (v, tid_dep)
+            }
+            Operand::Mem(m) => {
+                let (addr, addr_tid_dep) = self.resolve(st, m);
+                if let Some(rec) = rec {
+                    rec.mem.push(MemAccessAbs {
+                        space: m.space,
+                        offset: m.offset,
+                        store: false,
+                        base: m.base,
+                        addr,
+                        addr_tid_dep,
+                        value_tid_dep: false,
+                    });
+                }
+                let value = if fold_params && m.space == MemSpace::Shared {
+                    self.fold_param(&addr)
+                } else {
+                    None
+                };
+                match value {
+                    Some(v) => (AbsVal::constant(v), false),
+                    // Loaded contents are unmodeled; a tid-dependent
+                    // address can load tid-dependent data.
+                    None => (AbsVal::TOP, addr_tid_dep),
+                }
+            }
+        }
+    }
+
+    /// Constant-folds a shared load of a kernel parameter.
+    fn fold_param(&self, addr: &AbsVal) -> Option<u32> {
+        let a = addr.as_const()?;
+        let (plo, phi) = self.ctx.param_range();
+        if a >= plo && a + 4 <= phi && a % 4 == 0 {
+            Some(self.ctx.params[((a - plo) / 4) as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Abstract transfer of one instruction. With `rec` set, also records
+    /// per-slot and per-access facts (used only on the post-fixpoint
+    /// sweep).
+    fn exec(
+        &self,
+        st: &mut AbsState,
+        pc: usize,
+        fold_params: bool,
+        mut rec: Option<&mut Recorded>,
+    ) {
+        let instr = self.program.instr(pc);
+        let guarded = instr.guard.is_some();
+        let ty = instr.ty;
+
+        // Evaluate sources in operand order, mirroring the interpreter.
+        let mut srcs: Vec<(AbsVal, bool)> = Vec::with_capacity(3);
+        for op in instr.src.iter().flatten() {
+            srcs.push(self.operand(st, op, fold_params, rec.as_deref_mut()));
+        }
+        let src = |i: usize| srcs.get(i).map_or((AbsVal::TOP, true), |v| *v);
+        let any_tid = |k: usize| (0..k).any(|i| src(i).1);
+
+        // Memory destinations resolve their address too.
+        let mut store_dests: Vec<(AbsVal, bool)> = Vec::new();
+        for dest in instr.dests() {
+            if let Dest::Mem(m) = dest {
+                store_dests.push(self.resolve(st, m));
+            }
+        }
+
+        let produces_result = !matches!(
+            instr.opcode,
+            Opcode::St
+                | Opcode::Bra
+                | Opcode::Ssy
+                | Opcode::Bar
+                | Opcode::Ret
+                | Opcode::Retp
+                | Opcode::Exit
+                | Opcode::Trap
+                | Opcode::Nop
+        );
+
+        // Result value, tid-dependence and carry/overflow producibility.
+        let (value, tid_dep, co) = if produces_result {
+            let v = self.compute(instr, &srcs);
+            let nsrc = srcs.len();
+            (
+                v,
+                any_tid(nsrc),
+                matches!(instr.opcode, Opcode::Add | Opcode::Sub) && !ty.is_float(),
+            )
+        } else {
+            (AbsVal::TOP, false, false)
+        };
+
+        // Record stores (source accesses were already recorded during
+        // operand evaluation).
+        if let Some(rec) = rec.as_deref_mut() {
+            let mut di = 0;
+            for dest in instr.dests() {
+                if let Dest::Mem(m) = dest {
+                    let (addr, addr_tid_dep) = store_dests[di];
+                    di += 1;
+                    rec.mem.push(MemAccessAbs {
+                        space: m.space,
+                        offset: m.offset,
+                        store: true,
+                        base: m.base,
+                        addr,
+                        addr_tid_dep,
+                        // The stored value for `st` is src 0; for
+                        // store-through-mov it is the computed result.
+                        value_tid_dep: if instr.opcode == Opcode::St {
+                            src(0).1
+                        } else {
+                            tid_dep
+                        },
+                    });
+                }
+            }
+        }
+
+        // Write-backs.
+        if produces_result {
+            for (slot, dest) in instr.dst.iter().enumerate() {
+                let Some(Dest::Reg(reg)) = dest else { continue };
+                if reg.is_discard() || matches!(reg, Register::Special(_)) {
+                    continue;
+                }
+                match reg {
+                    Register::Pred(p) => {
+                        let flags = flags_from(&value, ty.is_float(), co);
+                        let next = if guarded {
+                            st.preds[*p as usize] | flags
+                        } else {
+                            flags
+                        };
+                        st.preds[*p as usize] = next;
+                        if let Some(ri) = reg_index(*reg) {
+                            st.tid[ri] = tid_dep || (guarded && st.tid[ri]);
+                        }
+                        if let Some(rec) = rec.as_deref_mut() {
+                            rec.slots.push(SlotAbs {
+                                slot: slot as u8,
+                                reg: *reg,
+                                value: predset_to_val(flags),
+                                flags,
+                                tid_dep,
+                            });
+                        }
+                    }
+                    _ => {
+                        let Some(ri) = reg_index(*reg) else { continue };
+                        let next = if guarded {
+                            value.join(&st.vals[ri])
+                        } else {
+                            value
+                        };
+                        st.vals[ri] = next;
+                        st.tid[ri] = tid_dep || (guarded && st.tid[ri]);
+                        if let Some(rec) = rec.as_deref_mut() {
+                            rec.slots.push(SlotAbs {
+                                slot: slot as u8,
+                                reg: *reg,
+                                value,
+                                flags: 0,
+                                tid_dep,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Abstract value of the committed result (post type-mask), mirroring
+    /// `exec::step`'s per-opcode arms.
+    fn compute(&self, instr: &Instruction, srcs: &[(AbsVal, bool)]) -> AbsVal {
+        let ty = instr.ty;
+        let s = |i: usize| srcs.get(i).map_or(AbsVal::TOP, |v| v.0);
+        let v = match instr.opcode {
+            Opcode::Mov | Opcode::Ld => s(0),
+            Opcode::Cvt => self.cvt(s(0), instr.src_ty, ty),
+            Opcode::Add if !ty.is_float() => s(0).add(&s(1)),
+            Opcode::Sub if !ty.is_float() => s(0).sub(&s(1)),
+            Opcode::Mul | Opcode::Mad if !ty.is_float() => {
+                let prod = if instr.wide {
+                    self.mul_wide(s(0), s(1), ty)
+                } else if instr.hi {
+                    AbsVal::TOP
+                } else {
+                    s(0).mul(&s(1))
+                };
+                if instr.opcode == Opcode::Mad {
+                    // The wide addend is read as u32; the committed value
+                    // wraps either way, which `add` over-approximates.
+                    prod.add(&s(2))
+                } else {
+                    prod
+                }
+            }
+            Opcode::Div if !ty.is_float() && !ty.is_signed() => s(0).udiv(&s(1)),
+            Opcode::Rem if !ty.is_float() && !ty.is_signed() => s(0).urem(&s(1)),
+            Opcode::Div | Opcode::Rem if !ty.is_float() => {
+                // Signed: only precise when both operands are provably
+                // non-negative, where it matches the unsigned rules.
+                if s(0).provably_nonneg() && s(1).provably_nonneg() {
+                    if instr.opcode == Opcode::Div {
+                        s(0).udiv(&s(1))
+                    } else {
+                        s(0).urem(&s(1))
+                    }
+                } else {
+                    AbsVal::TOP
+                }
+            }
+            Opcode::Min | Opcode::Max if !ty.is_float() && !ty.is_signed() => {
+                let (a, b) = (s(0), s(1));
+                if instr.opcode == Opcode::Min {
+                    AbsVal::range(a.lo.min(b.lo), a.hi.min(b.hi))
+                } else {
+                    AbsVal::range(a.lo.max(b.lo), a.hi.max(b.hi))
+                }
+            }
+            // The result is one of the operands; join is sound for any
+            // type interpretation.
+            Opcode::Min | Opcode::Max | Opcode::Selp => s(0).join(&s(1)),
+            Opcode::Abs if ty.is_float() => {
+                let a = s(0);
+                AbsVal {
+                    lo: if a.provably_nonneg() { a.lo } else { 0 },
+                    hi: a.hi.min(0x7FFF_FFFF),
+                    zeros: a.zeros | 0x8000_0000,
+                }
+                .normalize()
+            }
+            Opcode::Neg if !ty.is_float() => s(0).neg(),
+            Opcode::And if !ty.is_float() => s(0).and(&s(1)),
+            Opcode::Or if !ty.is_float() => s(0).or(&s(1)),
+            Opcode::Xor if !ty.is_float() => s(0).xor(&s(1)),
+            Opcode::Not if !ty.is_float() => s(0).not(),
+            Opcode::Shl if !ty.is_float() => match s(1).as_const() {
+                Some(k) => s(0).shl_const(k),
+                None => AbsVal::TOP,
+            },
+            Opcode::Shr if !ty.is_float() => match s(1).as_const() {
+                Some(k) => s(0).shr_const(k, ty.is_signed()),
+                None => {
+                    if ty.is_signed() && !s(0).provably_nonneg() {
+                        AbsVal::TOP
+                    } else {
+                        // Any unsigned shift only shrinks the value.
+                        AbsVal::range(0, s(0).hi)
+                    }
+                }
+            },
+            Opcode::Set => {
+                // 0 or all-ones in the destination type (1.0f for floats),
+                // pinned down when the compare is provable.
+                let true_bits = if ty.is_float() {
+                    1.0f32.to_bits()
+                } else if ty.bits() == 16 {
+                    0xFFFF
+                } else {
+                    u32::MAX
+                };
+                match instr
+                    .cmp
+                    .and_then(|cmp| prove_cmp(&s(0), &s(1), cmp, instr.src_ty))
+                {
+                    Some(true) => AbsVal::constant(true_bits),
+                    Some(false) => AbsVal::constant(0),
+                    None => AbsVal::constant(0).join(&AbsVal::constant(true_bits)),
+                }
+            }
+            _ => AbsVal::TOP,
+        };
+        mask_ty(v, ty, instr.wide)
+    }
+
+    /// Abstract `exec::widen` + wide multiply: both factors are truncated
+    /// to 16 bits; the 32-bit product cannot wrap for unsigned factors.
+    fn mul_wide(&self, a: AbsVal, b: AbsVal, ty: ScalarType) -> AbsVal {
+        let (ta, tb) = (a.trunc16(), b.trunc16());
+        if ty.is_signed() && (ta.hi > 0x7FFF || tb.hi > 0x7FFF) {
+            // A possibly-negative factor sign-extends; the product's bit
+            // pattern is unconstrained from the interval alone.
+            return AbsVal::TOP;
+        }
+        ta.mul(&tb)
+    }
+
+    /// Abstract `exec::convert`.
+    fn cvt(&self, v: AbsVal, from: ScalarType, to: ScalarType) -> AbsVal {
+        use ScalarType as T;
+        if from == T::F32 || to == T::F32 {
+            // Float conversions are unmodeled (except the trivial identity,
+            // which `exec` special-cases).
+            if from == T::F32 && to == T::F32 {
+                return v;
+            }
+            return AbsVal::TOP;
+        }
+        // int → int: interpret the source per `int_value` (sign/zero
+        // extension of 16-bit sources; 32-bit sources reinterpret
+        // bit-identically), then mask to the destination width.
+        let src = match from {
+            T::U16 => v.trunc16(),
+            T::S16 if v.trunc16().hi <= 0x7FFF => v.trunc16(),
+            T::S16 => {
+                // Possibly-negative 16-bit source: sign extension only
+                // touches bits the 16-bit mask strips again.
+                return if to.bits() == 16 {
+                    v.trunc16()
+                } else {
+                    AbsVal::TOP
+                };
+            }
+            _ => v,
+        };
+        if to.bits() == 16 {
+            src.trunc16()
+        } else {
+            src
+        }
+    }
+}
+
+/// Tries to prove the outcome of a comparison from the operand bounds.
+/// `None` means both outcomes remain possible.
+/// Decides a scalar compare abstractly: `Some(r)` means *every* concrete
+/// pair drawn from `a`×`b` compares to `r`; `None` means undecided. Signed
+/// compares are only decided when both sides are provably non-negative
+/// (where signed and unsigned order agree); float compares never are
+/// (NaN semantics are invisible to bit-pattern intervals).
+pub fn prove_cmp(a: &AbsVal, b: &AbsVal, cmp: CmpOp, src_ty: ScalarType) -> Option<bool> {
+    if src_ty.is_float() {
+        // Float compares involve NaN semantics the bit-pattern intervals
+        // cannot speak to.
+        return None;
+    }
+    if src_ty.is_signed() && !(a.provably_nonneg() && b.provably_nonneg()) {
+        return None;
+    }
+    let disjoint = a.hi < b.lo || a.lo > b.hi;
+    match cmp {
+        CmpOp::Eq => match (a.as_const(), b.as_const()) {
+            (Some(x), Some(y)) if x == y => Some(true),
+            _ if disjoint => Some(false),
+            _ => None,
+        },
+        CmpOp::Ne => match (a.as_const(), b.as_const()) {
+            (Some(x), Some(y)) if x == y => Some(false),
+            _ if disjoint => Some(true),
+            _ => None,
+        },
+        CmpOp::Lt if a.hi < b.lo => Some(true),
+        CmpOp::Lt if a.lo >= b.hi => Some(false),
+        CmpOp::Le if a.hi <= b.lo => Some(true),
+        CmpOp::Le if a.lo > b.hi => Some(false),
+        CmpOp::Gt if a.lo > b.hi => Some(true),
+        CmpOp::Gt if a.hi <= b.lo => Some(false),
+        CmpOp::Ge if a.lo >= b.hi => Some(true),
+        CmpOp::Ge if a.hi < b.lo => Some(false),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsp_isa::assemble;
+
+    fn ctx() -> AbsContext {
+        AbsContext {
+            block: (64, 1, 1),
+            grid: (2, 1),
+            params: vec![0x100, 16],
+            shared_bytes: 16 * 1024,
+            global_bytes: 4096,
+            local_bytes: 4096,
+        }
+    }
+
+    #[test]
+    fn constant_propagation_through_arithmetic() {
+        let p = assemble(
+            "t",
+            r#"
+            mov.u32 $r1, 0x10
+            shl.u32 $r2, $r1, 0x2
+            add.u32 $r3, $r2, 0x4
+            st.global.u32 [$r3], $r1
+            exit
+            "#,
+        )
+        .unwrap();
+        let r = AbsintReport::analyze(&p, &ctx());
+        assert_eq!(r.slots(1)[0].value.as_const(), Some(0x40));
+        assert_eq!(r.slots(2)[0].value.as_const(), Some(0x44));
+        let st = &r.mem(3)[0];
+        assert!(st.store);
+        assert_eq!(st.addr.as_const(), Some(0x44));
+    }
+
+    #[test]
+    fn tid_seeds_intervals_and_alignment() {
+        let p = assemble(
+            "t",
+            r#"
+            cvt.u32.u16 $r1, %tid.x
+            shl.u32 $r2, $r1, 0x2
+            ld.global.u32 $r3, [$r2]
+            st.global.u32 [$r2], $r3
+            exit
+            "#,
+        )
+        .unwrap();
+        let r = AbsintReport::analyze(&p, &ctx());
+        let addr = &r.mem(2)[0];
+        assert_eq!(addr.addr.lo, 0);
+        assert_eq!(addr.addr.hi, 63 * 4);
+        assert_eq!(addr.addr.known_zeros() & 0b11, 0b11, "word aligned");
+        assert!(addr.addr_tid_dep);
+        assert!(r.slots(0)[0].tid_dep);
+    }
+
+    #[test]
+    fn params_fold_when_no_shared_store_overlaps() {
+        let p = assemble(
+            "t",
+            r#"
+            ld.shared.u32 $r1, s[0x10]
+            st.global.u32 [$r1], $r1
+            exit
+            "#,
+        )
+        .unwrap();
+        let r = AbsintReport::analyze(&p, &ctx());
+        assert!(r.params_folded());
+        assert_eq!(r.slots(0)[0].value.as_const(), Some(0x100));
+    }
+
+    #[test]
+    fn shared_store_near_params_disables_folding() {
+        let p = assemble(
+            "t",
+            r#"
+            st.shared.u32 s[0x10], $r124
+            ld.shared.u32 $r1, s[0x10]
+            st.global.u32 [$r1], $r1
+            exit
+            "#,
+        )
+        .unwrap();
+        let r = AbsintReport::analyze(&p, &ctx());
+        assert!(!r.params_folded());
+        assert!(r.slots(1)[0].value.as_const().is_none());
+    }
+
+    #[test]
+    fn loop_counter_converges_with_widening() {
+        let p = assemble(
+            "t",
+            r#"
+            mov.u32 $r1, 0x0
+            loop:
+            add.u32 $r1, $r1, 0x1
+            set.ne.u32.u32 $p0/$o127, $r1, 0xA
+            @$p0.ne bra loop
+            st.global.u32 [$r124], $r1
+            exit
+            "#,
+        )
+        .unwrap();
+        // Terminates and the counter's lower bound survives widening.
+        let r = AbsintReport::analyze(&p, &ctx());
+        assert!(r.reached(4));
+        assert!(r.slots(1)[0].value.hi >= 0xA);
+    }
+
+    #[test]
+    fn set_flags_track_provable_compares() {
+        let p = assemble(
+            "t",
+            r#"
+            mov.u32 $r1, 0x5
+            set.eq.u32.u32 $p0/$o127, $r1, 0x5
+            @$p0.eq bra skip
+            st.global.u32 [$r124], $r1
+            skip:
+            exit
+            "#,
+        )
+        .unwrap();
+        let r = AbsintReport::analyze(&p, &ctx());
+        // set true → all-ones value → zero flag clear, sign set.
+        let flags = r.slots(1)[0].flags;
+        assert_eq!(flags & 0b1, 0, "value u32::MAX is never zero-flagged");
+    }
+
+    #[test]
+    fn predset_to_val_bounds() {
+        assert_eq!(predset_to_val(1 << 0).as_const(), Some(0));
+        assert_eq!(predset_to_val(1 << 5).as_const(), Some(5));
+        let v = predset_to_val((1 << 1) | (1 << 3));
+        assert_eq!((v.lo, v.hi), (1, 3));
+        assert_eq!(predset_to_val(0xFFFF).hi, 15);
+    }
+
+    #[test]
+    fn absval_transfer_edge_cases() {
+        let top = AbsVal::TOP;
+        assert_eq!(top.add(&AbsVal::constant(1)).hi, u32::MAX);
+        // Wrapping shl keeps low zeros.
+        let v = AbsVal::TOP.shl_const(4);
+        assert_eq!(v.known_zeros() & 0xF, 0xF);
+        assert_eq!(AbsVal::constant(8).shl_const(33).as_const(), Some(0));
+        assert_eq!(
+            AbsVal::constant(0x8000_0000)
+                .shr_const(33, false)
+                .as_const(),
+            Some(0)
+        );
+        assert_eq!(AbsVal::constant(0).neg().as_const(), Some(0));
+        assert_eq!(AbsVal::constant(1).neg().as_const(), Some(u32::MAX));
+        // Division by a possibly-zero divisor is ⊤ (exec yields MAX).
+        assert_eq!(AbsVal::constant(8).udiv(&AbsVal::range(0, 2)), AbsVal::TOP);
+        assert_eq!(
+            AbsVal::constant(8).udiv(&AbsVal::constant(2)).as_const(),
+            Some(4)
+        );
+    }
+}

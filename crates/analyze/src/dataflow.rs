@@ -8,8 +8,8 @@
 //! consumer must never claim a live bit dead.
 
 use fsp_isa::{
-    Cfg, Dest, Half, Instruction, KernelProgram, Opcode, Operand, PredTest, Register, NUM_GPRS,
-    NUM_OFS, NUM_PREDS,
+    Cfg, Dest, Half, Instruction, KernelProgram, MemSpace, Opcode, Operand, PredTest, Register,
+    NUM_GPRS, NUM_OFS, NUM_PREDS,
 };
 
 /// Dense index space for the registers the analysis tracks. Specials are
@@ -97,6 +97,25 @@ impl BitSet {
     }
 }
 
+/// How an instruction consumes a register read — the context the abstract
+/// outcome classifier needs to decide what a flipped bit can drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UseKind {
+    /// Read by the instruction guard (condition-code test).
+    Guard,
+    /// Read as an arithmetic/data source operand.
+    Data,
+    /// Read as the base of a memory address (`ExecCtx::resolve`).
+    MemBase {
+        /// Address space of the access.
+        space: MemSpace,
+        /// Constant byte offset added to the base.
+        offset: u32,
+        /// Whether the access is a store.
+        store: bool,
+    },
+}
+
 /// One register read of an instruction, with the mask of value bits the
 /// interpreter actually consumes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,6 +124,8 @@ pub struct RegUse {
     pub reg: Register,
     /// Bits of the register value that can influence execution.
     pub mask: u32,
+    /// Read context (guard test, data operand, or address base).
+    pub kind: UseKind,
 }
 
 /// One register write of an instruction.
@@ -185,6 +206,7 @@ pub fn def_use(instr: &Instruction) -> DefUse {
         du.uses.push(RegUse {
             reg: Register::Pred(g.pred),
             mask: pred_test_mask(g.test),
+            kind: UseKind::Guard,
         });
     }
 
@@ -200,6 +222,11 @@ pub fn def_use(instr: &Instruction) -> DefUse {
                         du.uses.push(RegUse {
                             reg: base,
                             mask: u32::MAX,
+                            kind: UseKind::MemBase {
+                                space: m.space,
+                                offset: m.offset,
+                                store: false,
+                            },
                         });
                     }
                 }
@@ -220,7 +247,11 @@ pub fn def_use(instr: &Instruction) -> DefUse {
                     // Predicates read back their 4 flag bits (`read_reg`).
                     mask &= 0xF;
                 }
-                du.uses.push(RegUse { reg: *reg, mask });
+                du.uses.push(RegUse {
+                    reg: *reg,
+                    mask,
+                    kind: UseKind::Data,
+                });
             }
         }
     }
@@ -234,6 +265,11 @@ pub fn def_use(instr: &Instruction) -> DefUse {
                     du.uses.push(RegUse {
                         reg: base,
                         mask: u32::MAX,
+                        kind: UseKind::MemBase {
+                            space: m.space,
+                            offset: m.offset,
+                            store: true,
+                        },
                     });
                 }
             }
@@ -380,6 +416,16 @@ pub struct DefSite {
     pub def: RegDef,
 }
 
+/// One use site a definition reaches: the reading instruction and the index
+/// of the read within its [`DefUse::uses`] list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UseSite {
+    /// Instruction index of the read.
+    pub pc: usize,
+    /// Index into `def_use[pc].uses`.
+    pub use_index: usize,
+}
+
 /// One use of a register with no reaching definition (it reads the
 /// zero-initialised register file).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -401,6 +447,10 @@ pub struct DataflowResult {
     /// every use the definition reaches. A zero mask means the definition
     /// is dead.
     pub use_masks: Vec<u32>,
+    /// Per definition (parallel to `defs`): every use site the definition
+    /// reaches, in block-walk order. The outcome classifier inspects these
+    /// to decide where a flipped destination bit can flow.
+    pub use_sites: Vec<Vec<UseSite>>,
     /// Uses whose reaching-definition set is empty on *every* path.
     pub undefined_uses: Vec<UndefinedUse>,
     /// Per-block reachability from the CFG entry.
@@ -536,6 +586,7 @@ impl<'p> ProgramDataflow<'p> {
 
         // --- Def-use chains: walk each reachable block with its IN set ---
         let mut use_masks = vec![0u32; defs.len()];
+        let mut use_sites: Vec<Vec<UseSite>> = vec![Vec::new(); defs.len()];
         let mut undefined_uses = Vec::new();
         for (b, block) in blocks.iter().enumerate() {
             if !reachable[b] {
@@ -544,12 +595,13 @@ impl<'p> ProgramDataflow<'p> {
             let mut current = reach_in[b].clone();
             for pc in block.range() {
                 // Uses read pre-write values: consume before applying defs.
-                for u in &def_use[pc].uses {
+                for (ui, u) in def_use[pc].uses.iter().enumerate() {
                     let Some(ri) = reg_index(u.reg) else { continue };
                     let mut any = false;
                     for id in current.iter() {
                         if reg_index(defs[id].def.reg) == Some(ri) {
                             use_masks[id] |= u.mask;
+                            use_sites[id].push(UseSite { pc, use_index: ui });
                             any = true;
                         }
                     }
@@ -628,6 +680,7 @@ impl<'p> ProgramDataflow<'p> {
             def_use,
             defs,
             use_masks,
+            use_sites,
             undefined_uses,
             reachable,
             live_in,

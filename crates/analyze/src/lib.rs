@@ -8,10 +8,14 @@
 //!   any dynamic profiling (Stage 0 of the pruning pipeline).
 //! - [`lint`]: a kernel linter for the hand-written workload assembly.
 
+pub mod absint;
 pub mod ace;
+pub mod classify;
 pub mod dataflow;
 pub mod lint;
 
+pub use absint::{prove_cmp, AbsContext, AbsVal, AbsintReport, MemAccessAbs, SlotAbs};
 pub use ace::{AceClass, AceSummary, SlotAce, StaticAceReport};
-pub use dataflow::{DataflowResult, DefUse, ProgramDataflow};
-pub use lint::{lint, Finding, LintKind, LintReport, Severity};
+pub use classify::{absint_version, ClassifyReport, ClassifySummary, PredictedKind, SlotClassify};
+pub use dataflow::{DataflowResult, DefUse, ProgramDataflow, UseKind, UseSite};
+pub use lint::{lint, lint_with_launch, Finding, LintKind, LintReport, Severity};

@@ -12,9 +12,10 @@
 
 use std::fmt;
 
-use fsp_isa::{KernelProgram, Opcode, Operand, Register, ScalarType};
+use fsp_isa::{KernelProgram, MemSpace, Opcode, Operand, Register, ScalarType};
 
-use crate::dataflow::ProgramDataflow;
+use crate::absint::{AbsContext, AbsintReport};
+use crate::dataflow::{ProgramDataflow, UseKind};
 
 /// How serious a finding is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -51,6 +52,19 @@ pub enum LintKind {
     DivergentBarrier,
     /// A natural loop whose body has no edge leaving it.
     InfiniteLoop,
+    /// A memory access whose every possible address is out of bounds or
+    /// misaligned under the launch geometry (abstract interpretation).
+    ProvableOob,
+    /// A shared-memory load in a kernel that never stores to shared
+    /// memory, outside the parameter region — it can only read zeros.
+    UninitSharedRead,
+    /// Threads of a CTA store differing (thread-dependent) values to the
+    /// same shared address with no guard — a write-write race.
+    SharedRace,
+    /// A memory access whose base register merges a guarded definition
+    /// with another definition: the address depends on which side of a
+    /// divergent guard executed.
+    DivergentAddress,
 }
 
 impl LintKind {
@@ -58,10 +72,31 @@ impl LintKind {
     #[must_use]
     pub fn severity(self) -> Severity {
         match self {
-            LintKind::UndefinedRead | LintKind::UnreachableBlock | LintKind::InfiniteLoop => {
-                Severity::Error
-            }
-            LintKind::TypeMismatch | LintKind::DivergentBarrier => Severity::Warning,
+            LintKind::UndefinedRead
+            | LintKind::UnreachableBlock
+            | LintKind::InfiniteLoop
+            | LintKind::ProvableOob => Severity::Error,
+            LintKind::TypeMismatch
+            | LintKind::DivergentBarrier
+            | LintKind::UninitSharedRead
+            | LintKind::SharedRace
+            | LintKind::DivergentAddress => Severity::Warning,
+        }
+    }
+
+    /// Stable machine-readable name (what `fsp lint --json` emits).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            LintKind::UndefinedRead => "undefined-read",
+            LintKind::TypeMismatch => "type-mismatch",
+            LintKind::UnreachableBlock => "unreachable-block",
+            LintKind::DivergentBarrier => "divergent-barrier",
+            LintKind::InfiniteLoop => "infinite-loop",
+            LintKind::ProvableOob => "provable-oob",
+            LintKind::UninitSharedRead => "uninit-shared-read",
+            LintKind::SharedRace => "shared-race",
+            LintKind::DivergentAddress => "divergent-address",
         }
     }
 }
@@ -195,6 +230,20 @@ fn mismatch(def: TyKind, used: TyKind) -> bool {
 /// Lints `program`, running the dataflow passes it needs.
 #[must_use]
 pub fn lint(program: &KernelProgram) -> LintReport {
+    lint_impl(program, None)
+}
+
+/// Lints `program` with the launch-aware sanitizer checks enabled: the
+/// abstract interpreter bounds every address under `ctx`, adding provable
+/// out-of-bounds accesses, uninitialized shared reads, shared-memory
+/// write-write races and divergence-dependent addresses to the structural
+/// checks of [`lint`].
+#[must_use]
+pub fn lint_with_launch(program: &KernelProgram, ctx: &AbsContext) -> LintReport {
+    lint_impl(program, Some(ctx))
+}
+
+fn lint_impl(program: &KernelProgram, ctx: Option<&AbsContext>) -> LintReport {
     let pd = ProgramDataflow::new(program);
     let df = pd.run();
     let cfg = pd.cfg();
@@ -275,8 +324,124 @@ pub fn lint(program: &KernelProgram) -> LintReport {
         }
     }
 
+    // 6. Launch-aware sanitizer checks (abstract interpretation).
+    if let Some(ctx) = ctx {
+        launch_checks(program, &df, ctx, &mut push);
+    }
+
     findings.sort_by_key(|f| (f.pc, f.severity == Severity::Warning));
     LintReport { findings }
+}
+
+/// The absint-powered sanitizer lints.
+fn launch_checks(
+    program: &KernelProgram,
+    df: &crate::dataflow::DataflowResult,
+    ctx: &AbsContext,
+    push: &mut impl FnMut(LintKind, usize, String),
+) {
+    let abs = AbsintReport::analyze(program, ctx);
+    let (plo, phi) = ctx.param_range();
+    let has_shared_store = (0..program.len()).any(|pc| {
+        abs.mem(pc)
+            .iter()
+            .any(|a| a.store && a.space == MemSpace::Shared)
+    });
+    let cta_threads = ctx.block.0 * ctx.block.1 * ctx.block.2;
+
+    for pc in 0..program.len() {
+        if !abs.reached(pc) {
+            continue;
+        }
+        for a in abs.mem(pc) {
+            let limit = u64::from(4 * ctx.space_bytes(a.space).div_ceil(4));
+            let what = if a.store { "store" } else { "load" };
+            // Provable OOB / misalignment: every possible address faults.
+            if u64::from(a.addr.lo) >= limit {
+                push(
+                    LintKind::ProvableOob,
+                    pc,
+                    format!(
+                        "{what} address is always out of bounds: \
+                         [{:#x}, {:#x}] exceeds the {:?} space of {} bytes",
+                        a.addr.lo,
+                        a.addr.hi,
+                        a.space,
+                        ctx.space_bytes(a.space),
+                    ),
+                );
+            } else if let Some(addr) = a.addr.as_const() {
+                if addr % 4 != 0 {
+                    push(
+                        LintKind::ProvableOob,
+                        pc,
+                        format!("{what} address {addr:#x} is not word-aligned"),
+                    );
+                }
+            }
+            // Uninitialized shared read: no shared store anywhere, and the
+            // load provably misses the parameter region.
+            let within_params = a.addr.lo >= plo && u64::from(a.addr.hi) + 4 <= u64::from(phi);
+            if !a.store && a.space == MemSpace::Shared && !has_shared_store && !within_params {
+                push(
+                    LintKind::UninitSharedRead,
+                    pc,
+                    "shared load in a kernel that never stores to shared memory \
+                     (reads zero-initialised words)"
+                        .to_string(),
+                );
+            }
+            // Shared write-write race: every thread of the CTA stores a
+            // thread-dependent value through a thread-uniform address.
+            if a.store
+                && a.space == MemSpace::Shared
+                && cta_threads > 1
+                && !a.addr_tid_dep
+                && a.value_tid_dep
+                && program.instr(pc).guard.is_none()
+            {
+                push(
+                    LintKind::SharedRace,
+                    pc,
+                    "threads of a CTA race a thread-dependent value into the same \
+                     shared address"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    // Divergence-dependent addresses: the base register of an access can
+    // hold the result of a guarded definition or its predecessor.
+    let mut reaching: std::collections::BTreeMap<(usize, usize), Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for (id, sites) in df.use_sites.iter().enumerate() {
+        for s in sites {
+            reaching.entry((s.pc, s.use_index)).or_default().push(id);
+        }
+    }
+    for ((pc, ui), def_ids) in &reaching {
+        let u = &df.def_use[*pc].uses[*ui];
+        if !matches!(u.kind, UseKind::MemBase { .. }) {
+            continue;
+        }
+        let guarded = def_ids
+            .iter()
+            .filter(|&&id| df.defs[id].def.guarded)
+            .count();
+        if guarded >= 1 && def_ids.len() >= 2 {
+            push(
+                LintKind::DivergentAddress,
+                *pc,
+                format!(
+                    "address base {} merges a guarded definition with {} other \
+                     definition(s); the access target depends on divergent control flow",
+                    u.reg,
+                    def_ids.len() - 1,
+                ),
+            );
+        }
+    }
 }
 
 /// The chain of blocks every thread must pass through: the entry and its

@@ -25,7 +25,9 @@ COMMANDS:
     severity <kernel> [-n N]     SDC severity histogram (relative output error)
     opcodes <kernel> [-n N]      Per-opcode vulnerability breakdown
     disasm <kernel>              Disassemble a kernel (PTXPlus-like listing)
-    lint [kernel]                Statically lint a kernel (all kernels when omitted)
+    lint [kernel] [--json]       Statically lint a kernel (all kernels when omitted);
+         [--deny]                --json emits findings as JSON, --deny exits
+                                 non-zero on any finding (warnings included)
     ace <kernel>                 Static ACE classification of a kernel's instructions
     protect <kernel>             Selectively harden a kernel (DMR) and verify by
                                  re-injection; see --budget / --scope / -n
@@ -87,6 +89,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut local = false;
     let mut wait = false;
     let mut json = false;
+    let mut deny = false;
     let mut budget = 0.25f64;
     let mut scope = fsp_protect::ProtectScope::default();
     let mut protect_mode = false;
@@ -133,6 +136,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 data_dir = args.get(i).ok_or("--data needs a directory")?.clone();
             }
             "--json" => json = true,
+            "--deny" => deny = true,
             "--quick" => opts.quick = true,
             "--paper" => paper = true,
             "--local" => local = true,
@@ -158,7 +162,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "ablation" => ablation(positional.get(1), &opts),
         "opcodes" => opcodes(positional.get(1), samples, &opts),
         "disasm" => disasm(positional.get(1)),
-        "lint" => lint(positional.get(1)),
+        "lint" => lint(positional.get(1), json, deny),
         "ace" => ace(positional.get(1)),
         "protect" => protect(positional.get(1), budget, scope, samples, &opts),
         "harden-report" => harden_report(positional.get(1), scope, samples, &opts),
@@ -282,6 +286,7 @@ fn prune(id: Option<&String>, opts: &Options) -> Result<(), String> {
     println!("{}: progressive pruning", w.registry_id());
     println!("  exhaustive:        {}", s.exhaustive);
     println!("  after static-ACE:  {}", s.after_static);
+    println!("  after absint:      {}", s.after_absint);
     println!("  after thread-wise: {}", s.after_thread);
     println!("  after insn-wise:   {}", s.after_instruction);
     println!("  after loop-wise:   {}", s.after_loop);
@@ -294,6 +299,22 @@ fn prune(id: Option<&String>, opts: &Options) -> Result<(), String> {
             ace.ace_instructions,
             100.0 * ace.pruned_fraction(),
         );
+    }
+    if let Some(c) = &plan.classify {
+        println!(
+            "  absint: {:.1} sites predicted CRASH, {:.1} Detected, {:.1} class-redistributed \
+             ({:.2}% of the population skipped statically)",
+            plan.predicted_crash_weight,
+            plan.predicted_detected_weight,
+            plan.class_redistributed_weight,
+            100.0 * plan.static_skip_fraction(),
+        );
+        if c.classes > 0 {
+            println!(
+                "  absint classes: {} class(es) covering {} static bits",
+                c.classes, c.class_pruned_bits
+            );
+        }
     }
     let started = std::time::Instant::now();
     let pruned = pipeline.run(&experiment, &plan, opts.workers);
@@ -362,18 +383,47 @@ fn disasm(id: Option<&String>) -> Result<(), String> {
     Ok(())
 }
 
-fn lint(id: Option<&String>) -> Result<(), String> {
+fn lint(id: Option<&String>, json: bool, deny: bool) -> Result<(), String> {
     let targets: Vec<fsp_workloads::Workload> = match id {
         Some(_) => vec![kernel(id, Scale::Eval)?],
         None => fsp_workloads::all(Scale::Eval),
     };
     let mut errors = 0usize;
     let mut warnings = 0usize;
-    for w in &targets {
-        let report = fsp_analyze::lint(w.program());
+    let mut doc = String::from("[\n");
+    for (wi, w) in targets.iter().enumerate() {
+        // The launch-aware pass adds the abstract-interpretation lints
+        // (provable OOB, uninitialized shared reads, shared races,
+        // divergence-dependent addresses) on top of the static checks.
+        let report = fsp_analyze::lint_with_launch(w.program(), &fsp_core::abs_context_for(w));
         errors += report.errors();
         warnings += report.warnings();
-        if report.findings.is_empty() {
+        if json {
+            doc.push_str(&format!(
+                "  {{\"kernel\": \"{}\", \"errors\": {}, \"warnings\": {}, \"findings\": [",
+                w.registry_id(),
+                report.errors(),
+                report.warnings()
+            ));
+            for (i, f) in report.findings.iter().enumerate() {
+                doc.push_str(&format!(
+                    "{}\n    {{\"kind\": \"{}\", \"severity\": \"{}\", \"pc\": {}, \
+                     \"message\": {:?}}}",
+                    if i == 0 { "" } else { "," },
+                    f.kind.name(),
+                    f.severity,
+                    f.pc,
+                    f.message,
+                ));
+            }
+            if !report.findings.is_empty() {
+                doc.push_str("\n  ");
+            }
+            doc.push_str(&format!(
+                "]}}{}\n",
+                if wi + 1 < targets.len() { "," } else { "" }
+            ));
+        } else if report.findings.is_empty() {
             println!("{}: clean", w.registry_id());
         } else {
             println!(
@@ -387,7 +437,10 @@ fn lint(id: Option<&String>) -> Result<(), String> {
             }
         }
     }
-    if targets.len() > 1 {
+    doc.push_str("]\n");
+    if json {
+        print!("{doc}");
+    } else if targets.len() > 1 {
         println!(
             "{} kernel(s) linted: {errors} error(s), {warnings} warning(s)",
             targets.len()
@@ -395,6 +448,8 @@ fn lint(id: Option<&String>) -> Result<(), String> {
     }
     if errors > 0 {
         Err(format!("lint found {errors} error(s)"))
+    } else if deny && warnings > 0 {
+        Err(format!("lint found {warnings} warning(s) (--deny)"))
     } else {
         Ok(())
     }
@@ -404,6 +459,7 @@ fn ace(id: Option<&String>) -> Result<(), String> {
     let w = kernel(id, Scale::Eval)?;
     let program = w.program();
     let report = fsp_analyze::StaticAceReport::analyze(program);
+    let classify = fsp_analyze::ClassifyReport::analyze(program, &fsp_core::abs_context_for(&w));
     println!("{}: static ACE classification", w.registry_id());
     for pc in 0..program.len() {
         let verdict = match report.classify(pc) {
@@ -418,7 +474,20 @@ fn ace(id: Option<&String>) -> Result<(), String> {
                 )
             }
         };
-        println!("  {pc:4}  {:<44} {verdict}", program.instr(pc).to_string());
+        let mut absint = String::new();
+        let crash = classify.crash_bits_at(pc);
+        let detected = classify.detected_bits_at(pc);
+        let class = classify.class_pruned_bits_at(pc);
+        if crash + detected > 0 {
+            absint.push_str(&format!("  predicted-DUE {}b", crash + detected));
+        }
+        if class > 0 {
+            absint.push_str(&format!("  class {class}b"));
+        }
+        println!(
+            "  {pc:4}  {:<44} {verdict}{absint}",
+            program.instr(pc).to_string()
+        );
     }
     let s = report.summary();
     println!(
@@ -429,6 +498,16 @@ fn ace(id: Option<&String>) -> Result<(), String> {
         s.dead_bits,
         s.total_bits,
         100.0 * s.pruned_fraction(),
+    );
+    let c = classify.summary();
+    println!(
+        "absint: {} bits predicted CRASH, {} predicted Detected, \
+         {} class-pruned in {} class(es); {:.1}% of static bits skipped",
+        c.predicted_crash_bits,
+        c.predicted_detected_bits,
+        c.class_pruned_bits,
+        c.classes,
+        100.0 * c.skipped_fraction(),
     );
     Ok(())
 }
@@ -564,6 +643,11 @@ struct BenchRow {
     skipped_fraction: f64,
     checkpoint_hits: u64,
     early_converged: u64,
+    /// Static bits the abstract interpreter predicts as DUEs, as a
+    /// fraction of the kernel's static destination bits.
+    static_predicted_fraction: f64,
+    /// Static bits folded into equivalence classes, same denominator.
+    class_pruned_fraction: f64,
 }
 
 /// Benchmarks campaign throughput per registry kernel: the same sampled
@@ -622,6 +706,9 @@ fn bench_inject(
         if fast.outcomes != slow.outcomes {
             return Err(format!("{id}: fast-path outcomes diverged from slow path"));
         }
+        let c = fsp_analyze::ClassifyReport::analyze(w.program(), &fsp_core::abs_context_for(&w))
+            .summary();
+        let total_bits = c.total_bits.max(1) as f64;
         let work = fast.skipped_instructions + fast.executed_instructions;
         rows.push(BenchRow {
             id,
@@ -635,6 +722,9 @@ fn bench_inject(
             },
             checkpoint_hits: fast.checkpoint_hits,
             early_converged: fast.early_converged,
+            static_predicted_fraction: (c.predicted_crash_bits + c.predicted_detected_bits) as f64
+                / total_bits,
+            class_pruned_fraction: c.class_pruned_bits as f64 / total_bits,
         });
     }
     let total_sites: usize = rows.iter().map(|r| r.sites).sum();
@@ -651,7 +741,8 @@ fn bench_inject(
                 "    {{\"id\": \"{}\", \"sites\": {}, \"slow_sites_per_sec\": {:.1}, \
                  \"fast_sites_per_sec\": {:.1}, \"speedup\": {:.2}, \
                  \"skipped_prefix_fraction\": {:.4}, \"checkpoint_hits\": {}, \
-                 \"early_converged\": {}}}{}\n",
+                 \"early_converged\": {}, \"static_predicted_fraction\": {:.4}, \
+                 \"class_pruned_fraction\": {:.4}}}{}\n",
                 r.id,
                 r.sites,
                 r.sites as f64 / r.slow_secs,
@@ -660,6 +751,8 @@ fn bench_inject(
                 r.skipped_fraction,
                 r.checkpoint_hits,
                 r.early_converged,
+                r.static_predicted_fraction,
+                r.class_pruned_fraction,
                 if i + 1 < rows.len() { "," } else { "" },
             ));
         }

@@ -60,6 +60,8 @@ pub use commonality::{align_lcs, Alignment, Commonality, CommonalityConfig, RepR
 pub use grouping::{CtaGroup, CtaKey, Representative, ThreadGroup, ThreadGrouping};
 pub use loops::{LoopStats, LoopTag, LoopTagging};
 pub use outcome_grouping::OutcomeGrouping;
-pub use pipeline::{run_baseline, PruningConfig, PruningPipeline, PruningPlan, StageCounts};
+pub use pipeline::{
+    abs_context_for, run_baseline, PruningConfig, PruningPipeline, PruningPlan, StageCounts,
+};
 
-pub use fsp_analyze::{AceClass, AceSummary, StaticAceReport};
+pub use fsp_analyze::{AceClass, AceSummary, ClassifyReport, ClassifySummary, StaticAceReport};

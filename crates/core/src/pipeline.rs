@@ -1,10 +1,10 @@
 //! The progressive pruning pipeline (Section III, Figure 1), extended with
 //! a static Stage 0 (ACE analysis, see [`fsp_analyze::ace`]).
 
-use fsp_analyze::{AceSummary, StaticAceReport};
+use fsp_analyze::{AbsContext, AceSummary, ClassifyReport, ClassifySummary, StaticAceReport};
 use fsp_inject::{Experiment, FaultSite, InjectionTarget, SiteSpace, WeightedSite};
 use fsp_isa::KernelProgram;
-use fsp_sim::{KernelTrace, SimFault};
+use fsp_sim::{KernelTrace, SimFault, LOCAL_WORDS};
 use fsp_stats::{Outcome, ResilienceProfile};
 use serde::{Deserialize, Serialize};
 
@@ -20,6 +20,14 @@ pub struct PruningConfig {
     /// proves can never reach kernel output are accounted masked without
     /// injection, before any dynamic stage runs.
     pub static_ace: bool,
+    /// Abstract-interpretation classification (see [`fsp_analyze::absint`]):
+    /// bits whose flip provably crashes or traps are recorded as predicted
+    /// DUEs without injection, and static equivalence classes inject one
+    /// representative carrying the class weight. Requires launch context,
+    /// so it only takes effect through [`PruningPipeline::plan_for`] or an
+    /// explicit [`PruningPipeline::plan_classified`] call.
+    #[serde(default = "default_true")]
+    pub absint: bool,
     /// CTA classifier for thread-wise pruning.
     pub cta_key: CtaKey,
     /// Instruction-wise pruning; `None` disables the stage.
@@ -33,10 +41,15 @@ pub struct PruningConfig {
     pub bits: BitSampler,
 }
 
+fn default_true() -> bool {
+    true
+}
+
 impl Default for PruningConfig {
     fn default() -> Self {
         PruningConfig {
             static_ace: true,
+            absint: default_true(),
             cta_key: CtaKey::MeanIcnt,
             commonality: Some(CommonalityConfig::default()),
             loop_samples: 7,
@@ -55,6 +68,7 @@ impl PruningConfig {
     pub fn thread_wise_only() -> Self {
         PruningConfig {
             static_ace: false,
+            absint: false,
             cta_key: CtaKey::MeanIcnt,
             commonality: None,
             loop_samples: 0,
@@ -74,6 +88,11 @@ pub struct StageCounts {
     /// stage is disabled. Estimated over the whole population by weighting
     /// each representative's statically-dead bits.
     pub after_static: u64,
+    /// After the abstract-interpretation stage (predicted-DUE bits and
+    /// equivalence-class members removed); equals `after_static` when the
+    /// stage is disabled. Whole-population estimate like `after_static`.
+    #[serde(default)]
+    pub after_absint: u64,
     /// After thread-wise pruning (statically-dead bits of the
     /// representatives excluded when Stage 0 is enabled).
     pub after_thread: u64,
@@ -117,15 +136,47 @@ pub struct PruningPlan {
     pub loop_stats: LoopStats,
     /// Static ACE summary behind Stage 0 (when enabled).
     pub static_ace: Option<AceSummary>,
+    /// Exhaustive-site weight statically predicted to crash (provable
+    /// OOB / misaligned access under the flip) and skipped by injection.
+    #[serde(default)]
+    pub predicted_crash_weight: f64,
+    /// Exhaustive-site weight statically predicted Detected (always-taken
+    /// trap guard under the flip) and skipped by injection.
+    #[serde(default)]
+    pub predicted_detected_weight: f64,
+    /// Weight of equivalence-class member bits folded onto their class
+    /// representatives (injected once, extrapolated).
+    #[serde(default)]
+    pub class_redistributed_weight: f64,
+    /// Abstract-interpretation classification summary (when enabled).
+    #[serde(default)]
+    pub classify: Option<ClassifySummary>,
 }
 
 impl PruningPlan {
-    /// Total exhaustive weight accounted by the plan: injected weights plus
-    /// assumed-masked weight. Equals `stages.exhaustive` by construction
-    /// (weight conservation).
+    /// Total exhaustive weight accounted by the plan: injected weights
+    /// (class-member weight rides on its representative's site) plus
+    /// assumed-masked and predicted-DUE weight. Equals `stages.exhaustive`
+    /// by construction (weight conservation).
     #[must_use]
     pub fn total_weight(&self) -> f64 {
-        self.sites.iter().map(|s| s.weight).sum::<f64>() + self.assumed_masked_weight
+        self.sites.iter().map(|s| s.weight).sum::<f64>()
+            + self.assumed_masked_weight
+            + self.predicted_crash_weight
+            + self.predicted_detected_weight
+    }
+
+    /// Weight skipped by the abstract-interpretation stage (predicted DUEs
+    /// plus class members), as a fraction of the exhaustive population.
+    #[must_use]
+    pub fn static_skip_fraction(&self) -> f64 {
+        if self.stages.exhaustive == 0 {
+            return 0.0;
+        }
+        (self.predicted_crash_weight
+            + self.predicted_detected_weight
+            + self.class_redistributed_weight)
+            / self.stages.exhaustive as f64
     }
 }
 
@@ -169,18 +220,45 @@ impl PruningPipeline {
             .collect();
         // Pass 2: full traces for the representatives.
         let full = experiment.site_space(reps);
-        let program = experiment.target().launch();
-        Ok(self.plan(program.program(), full.trace()))
+        let launch = experiment.target().launch();
+        let classify = if self.config.absint {
+            let ctx = abs_context_for(experiment.target());
+            Some(ClassifyReport::analyze(launch.program(), &ctx))
+        } else {
+            None
+        };
+        Ok(self.plan_classified(launch.program(), full.trace(), classify.as_ref()))
     }
 
     /// Builds a plan from a program and a trace that contains full traces
-    /// for every representative thread.
+    /// for every representative thread, without the launch-context-aware
+    /// abstract-interpretation stage (equivalent to
+    /// [`PruningPipeline::plan_classified`] with no report).
     ///
     /// # Panics
     ///
     /// Panics if a representative thread lacks a full trace.
     #[must_use]
     pub fn plan(&self, program: &KernelProgram, trace: &KernelTrace) -> PruningPlan {
+        self.plan_classified(program, trace, None)
+    }
+
+    /// Builds a plan from a program, a trace with full traces for every
+    /// representative thread, and an optional abstract-interpretation
+    /// classification (predicted-DUE sites are skipped and recorded as
+    /// predicted weight; equivalence-class members fold their weight onto
+    /// their representative's site).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a representative thread lacks a full trace.
+    #[must_use]
+    pub fn plan_classified(
+        &self,
+        program: &KernelProgram,
+        trace: &KernelTrace,
+        classify: Option<&ClassifyReport>,
+    ) -> PruningPlan {
         let grouping = ThreadGrouping::analyze_with(trace, self.config.cta_key);
         let reps = grouping.representatives(trace);
         let exhaustive = trace.total_fault_sites();
@@ -208,26 +286,51 @@ impl PruningPipeline {
                 .as_ref()
                 .map_or(0, |r| u64::from(r.dead_bits_at(pc as usize)))
         };
+        // Statically skipped bits per pc: ACE-dead plus absint-predicted
+        // plus class members (all three verdict spaces are disjoint).
+        let pruned_at = |pc: u32| -> u64 {
+            let mut n = dead_at(pc);
+            if let Some(c) = classify {
+                let pc = pc as usize;
+                n += u64::from(
+                    c.crash_bits_at(pc) + c.detected_bits_at(pc) + c.class_pruned_bits_at(pc),
+                );
+            }
+            n
+        };
         let rep_dead: Vec<u64> = rep_traces
             .iter()
             .map(|t| t.entries.iter().map(|e| dead_at(e.pc)).sum())
             .collect();
+        let rep_pruned: Vec<u64> = rep_traces
+            .iter()
+            .map(|t| t.entries.iter().map(|e| pruned_at(e.pc)).sum())
+            .collect();
         let after_thread: u64 = reps
             .iter()
-            .zip(&rep_dead)
+            .zip(&rep_pruned)
             .map(|(r, &d)| r.own_sites - d)
             .sum();
-        // Whole-population estimate: each representative's dead bits stand
-        // for its covered threads, exactly like its injected sites do.
-        let after_static = if static_report.is_some() {
+        // Whole-population estimates: each representative's statically
+        // skipped bits stand for its covered threads, exactly like its
+        // injected sites do.
+        let population = |skipped: &[u64], floor: u64| -> u64 {
             let live: f64 = reps
                 .iter()
-                .zip(&rep_dead)
+                .zip(skipped)
                 .map(|(r, &d)| r.site_weight() * (r.own_sites - d) as f64)
                 .sum();
-            (live.round() as u64).clamp(after_thread, exhaustive)
+            (live.round() as u64).clamp(floor, exhaustive)
+        };
+        let after_static = if static_report.is_some() {
+            population(&rep_dead, after_thread)
         } else {
             exhaustive
+        };
+        let after_absint = if classify.is_some() {
+            population(&rep_pruned, after_thread).min(after_static)
+        } else {
+            after_static
         };
 
         // Per-representative, per-dynamic-instruction site weight. `None`
@@ -268,7 +371,7 @@ impl PruningPipeline {
                     ws.iter()
                         .zip(&t.entries)
                         .filter(|(w, _)| w.is_some())
-                        .map(|(_, e)| u64::from(e.dest_bits) - dead_at(e.pc))
+                        .map(|(_, e)| u64::from(e.dest_bits) - pruned_at(e.pc))
                         .sum::<u64>()
                 })
                 .sum()
@@ -326,33 +429,89 @@ impl PruningPipeline {
         }
         let after_loop = count_bits(&weights);
 
-        // Stage 4: bit-wise pruning.
+        // Stage 4: bit-wise pruning, composed with the static verdicts:
+        // dead bits are assumed masked, predicted bits move to the
+        // predicted-DUE pools, class members ride on their representative.
         let mut sites = Vec::new();
         let mut assumed_masked_weight = 0.0f64;
+        let mut predicted_crash_weight = 0.0f64;
+        let mut predicted_detected_weight = 0.0f64;
+        let mut class_redistributed_weight = 0.0f64;
         for (rep_idx, rep) in reps.iter().enumerate() {
             for (i, entry) in rep_traces[rep_idx].entries.iter().enumerate() {
                 let Some(w) = weights[rep_idx][i] else {
                     continue;
                 };
-                let instr = program.instr(entry.pc as usize);
+                let pc = entry.pc as usize;
+                let instr = program.instr(pc);
                 let dead_masks = static_report
                     .as_ref()
-                    .map(|r| r.slot_dead_masks(entry.pc as usize))
+                    .map(|r| r.slot_dead_masks(pc))
                     .unwrap_or_default();
-                for sel in self
+                let cls = classify.map(|c| c.slots(pc)).unwrap_or(&[]);
+                // The bit selector treats every statically-skipped bit as
+                // "dead"; the weight split between masked / predicted /
+                // class pools happens below.
+                let mut skip_masks = dead_masks.clone();
+                skip_masks.resize(skip_masks.len().max(cls.len()), 0);
+                for (m, s) in skip_masks.iter_mut().zip(cls) {
+                    *m |= s.predicted_mask() | s.class_mask;
+                }
+                let mut offset = 0u32;
+                for (slot_idx, sel) in self
                     .config
                     .bits
-                    .select_instruction_masked(instr, &dead_masks)
+                    .select_instruction_masked(instr, &skip_masks)
+                    .iter()
+                    .enumerate()
                 {
-                    assumed_masked_weight += w * f64::from(sel.assumed_masked_bits);
+                    let (crash, detected, class_mask, rep_bit) = cls
+                        .get(slot_idx)
+                        .map(|s| {
+                            let flat_rep = s.class_rep.map(|r| r + offset);
+                            offset += s.width;
+                            (s.crash_mask, s.detected_mask, s.class_mask, flat_rep)
+                        })
+                        .unwrap_or((0, 0, 0, None));
+                    predicted_crash_weight += w * f64::from(crash.count_ones());
+                    predicted_detected_weight += w * f64::from(detected.count_ones());
+                    let members = class_mask.count_ones();
+                    class_redistributed_weight += w * f64::from(members);
+                    // `assumed_masked_bits` counted every skipped bit (plus
+                    // policy-masked predicate flags); carve out the
+                    // predicted and class bits accounted above.
+                    let masked =
+                        sel.assumed_masked_bits - (crash | detected).count_ones() - members;
+                    assumed_masked_weight += w * f64::from(masked);
+                    let mut rep_injected = false;
                     for &bit in &sel.bits {
+                        let mut weight = w * sel.weight_per_bit;
+                        if rep_bit == Some(bit) {
+                            // The representative carries its class members'
+                            // weight: all members provably share its
+                            // outcome per dynamic instance.
+                            weight += w * f64::from(members);
+                            rep_injected = true;
+                        }
                         sites.push(WeightedSite {
                             site: FaultSite {
                                 tid: rep.tid,
                                 dyn_idx: i as u32,
                                 bit,
                             },
-                            weight: w * sel.weight_per_bit,
+                            weight,
+                        });
+                    }
+                    if let (Some(bit), false, true) = (rep_bit, rep_injected, members > 0) {
+                        // Bit sampling skipped the representative: inject
+                        // it anyway so the class weight lands on a run.
+                        sites.push(WeightedSite {
+                            site: FaultSite {
+                                tid: rep.tid,
+                                dyn_idx: i as u32,
+                                bit,
+                            },
+                            weight: w * f64::from(members),
                         });
                     }
                 }
@@ -361,6 +520,7 @@ impl PruningPipeline {
         let stages = StageCounts {
             exhaustive,
             after_static,
+            after_absint,
             after_thread,
             after_instruction,
             after_loop,
@@ -374,6 +534,10 @@ impl PruningPipeline {
             commonality,
             loop_stats,
             static_ace: static_report.as_ref().map(StaticAceReport::summary),
+            predicted_crash_weight,
+            predicted_detected_weight,
+            class_redistributed_weight,
+            classify: classify.map(ClassifyReport::summary),
         };
         debug_assert!(
             (plan.total_weight() - exhaustive as f64).abs() <= 1e-6 * (exhaustive as f64).max(1.0),
@@ -395,7 +559,31 @@ impl PruningPipeline {
     ) -> ResilienceProfile {
         let mut profile = experiment.run_campaign(&plan.sites, workers).profile;
         profile.record_weighted(Outcome::Masked, plan.assumed_masked_weight);
+        // Predicted DUEs were never run; their statically-proven outcome
+        // weight is folded in directly (weight conservation).
+        if plan.predicted_crash_weight > 0.0 {
+            profile.record_weighted(Outcome::CRASH, plan.predicted_crash_weight);
+        }
+        if plan.predicted_detected_weight > 0.0 {
+            profile.record_weighted(Outcome::Detected, plan.predicted_detected_weight);
+        }
         profile
+    }
+}
+
+/// The abstract-interpretation context of a target's launch: grid and
+/// block geometry, parameter values, and the sizes of the three memory
+/// spaces the simulator enforces.
+#[must_use]
+pub fn abs_context_for<T: InjectionTarget>(target: &T) -> AbsContext {
+    let launch = target.launch();
+    AbsContext {
+        block: launch.block_dim(),
+        grid: launch.grid_dim(),
+        params: launch.param_values().to_vec(),
+        shared_bytes: launch.shared_size(),
+        global_bytes: target.init_memory().len_bytes() as u32,
+        local_bytes: (4 * LOCAL_WORDS) as u32,
     }
 }
 
@@ -456,7 +644,8 @@ mod tests {
         let (plan, _, _) = plan_with(PruningConfig::default());
         let s = plan.stages;
         assert!(s.after_static <= s.exhaustive);
-        assert!(s.after_thread <= s.after_static);
+        assert!(s.after_absint <= s.after_static);
+        assert!(s.after_thread <= s.after_absint);
         assert!(s.after_instruction <= s.after_thread);
         assert!(s.after_loop <= s.after_instruction);
         assert!(s.after_bit <= s.after_loop);
@@ -490,6 +679,36 @@ mod tests {
         assert!(
             diff < 1e-9,
             "static stage changed the profile by {diff:.4}%"
+        );
+    }
+
+    #[test]
+    fn absint_stage_preserves_profile() {
+        // Exhaustive bit sampling isolates the absint stage: predicted
+        // DUEs are claimed without running and class members ride their
+        // representative, so any unsound verdict moves the profile.
+        let base = PruningConfig {
+            bits: BitSampler::exhaustive(),
+            ..PruningConfig::default()
+        };
+        let with = plan_with(PruningConfig {
+            absint: true,
+            ..base
+        });
+        let without = plan_with(PruningConfig {
+            absint: false,
+            ..base
+        });
+        assert!(with.0.classify.is_some());
+        assert!(without.0.classify.is_none());
+        assert!(
+            (with.0.total_weight() - with.0.stages.exhaustive as f64).abs() < 1e-6,
+            "absint plan lost weight"
+        );
+        let diff = with.1.max_abs_diff(&without.1);
+        assert!(
+            diff < 1e-6,
+            "absint stage changed the profile by {diff:.4}%"
         );
     }
 

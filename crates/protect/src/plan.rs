@@ -151,6 +151,11 @@ pub struct PlanInputs<'a> {
     pub outcomes: &'a [Outcome],
     /// Optional static ACE analysis for live-bit scaling.
     pub ace: Option<&'a StaticAceReport>,
+    /// Optional abstract-interpretation classification: bits statically
+    /// predicted to crash/trap (and equivalence-class members, which share
+    /// their representative's non-SDC outcome) can never surface as SDCs,
+    /// so they scale an instruction's vulnerability down like dead bits.
+    pub classify: Option<&'a fsp_analyze::ClassifyReport>,
 }
 
 /// Plans a selective protection under `budget` (fraction of full-DMR
@@ -216,19 +221,22 @@ pub fn plan(inputs: &PlanInputs<'_>, scope: ProtectScope, budget: f64) -> Protec
         sdc_weight[entry.pc as usize] += ws.weight * scale;
     }
 
-    // Live-bit scaling: statically-dead destination bits cannot surface.
+    // Live-bit scaling: statically-dead destination bits cannot surface,
+    // and neither can bits the abstract interpreter predicts as DUEs or
+    // folds into equivalence classes (provable crash at every use).
     let vuln = |pc: usize| -> f64 {
-        let live = match inputs.ace {
-            Some(ace) => {
-                let dest = ace.dest_bits_at(pc);
-                if dest == 0 {
-                    1.0
-                } else {
-                    f64::from(dest - ace.dead_bits_at(pc)) / f64::from(dest)
+        let mut live = 1.0;
+        if let Some(ace) = inputs.ace {
+            let dest = ace.dest_bits_at(pc);
+            if dest > 0 {
+                let mut skipped = ace.dead_bits_at(pc);
+                if let Some(c) = inputs.classify {
+                    skipped +=
+                        c.crash_bits_at(pc) + c.detected_bits_at(pc) + c.class_pruned_bits_at(pc);
                 }
+                live = f64::from(dest - skipped.min(dest)) / f64::from(dest);
             }
-            None => 1.0,
-        };
+        }
         sdc_weight[pc] * live
     };
     let cost = |pc: usize| -> u64 { exec[pc] * transform::DYNAMIC_OVERHEAD };
@@ -410,6 +418,7 @@ mod tests {
             sites: &sites,
             outcomes: &outcomes,
             ace: None,
+            classify: None,
         };
         let plan = plan(&inputs, ProtectScope::Range, 1.0);
         let candidates: BTreeSet<usize> = transform::candidate_pcs(&p).into_iter().collect();
@@ -433,6 +442,7 @@ mod tests {
             sites: &sites,
             outcomes: &outcomes,
             ace: None,
+            classify: None,
         };
         // Opcode scope so each static instruction is its own unit here.
         let plan = plan(&inputs, ProtectScope::Opcode, 0.34);
@@ -454,6 +464,7 @@ mod tests {
             sites: &sites,
             outcomes: &outcomes,
             ace: None,
+            classify: None,
         };
         let plan = plan(&inputs, ProtectScope::Range, 0.0);
         assert_eq!(plan.added_cost, 0);
@@ -472,6 +483,7 @@ mod tests {
             sites: &sites,
             outcomes: &outcomes,
             ace: None,
+            classify: None,
         };
         let plan = plan(&inputs, ProtectScope::Range, 1.0);
         assert!((plan.unprotectable_vulnerability - 1.0).abs() < 1e-12);

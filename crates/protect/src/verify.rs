@@ -314,12 +314,16 @@ pub fn harden_and_verify<T: InjectionTarget>(
 
     let program = launch.program();
     let ace = config.use_ace.then(|| StaticAceReport::analyze(program));
+    let classify = config
+        .use_ace
+        .then(|| fsp_analyze::ClassifyReport::analyze(program, &fsp_core::abs_context_for(target)));
     let inputs = PlanInputs {
         program,
         space: &space,
         sites: &sites,
         outcomes: &baseline_run.outcomes,
         ace: ace.as_ref(),
+        classify: classify.as_ref(),
     };
     let plan = plan::plan(&inputs, config.scope, config.budget);
     let hardened = transform::harden(program, &plan.selected_pcs)?;

@@ -31,11 +31,13 @@ use fsp_workloads::{program_fingerprint, Scale, Workload};
 
 /// Launch-hash component of store keys and result documents: the
 /// workload's launch-configuration hash mixed with the outcome
-/// classifier's calibration ([`fsp_inject::classifier_hash`]), so
-/// outcomes persisted under a different hang-budget calibration miss
-/// instead of being served as current.
+/// classifier's calibration ([`fsp_inject::classifier_hash`]) *and* the
+/// static analysis version ([`fsp_analyze::absint_version`]), so outcomes
+/// persisted under a different hang-budget calibration — or planned by an
+/// older abstract-interpretation semantics (which changes which sites are
+/// skipped as predicted DUEs) — miss instead of being served as current.
 fn keyed_launch_hash(w: &Workload) -> u64 {
-    w.launch_hash() ^ fsp_inject::classifier_hash()
+    w.launch_hash() ^ fsp_inject::classifier_hash() ^ fsp_analyze::absint_version()
 }
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -435,16 +437,16 @@ pub fn run_local(spec: &JobSpec, workers: usize) -> Result<Json, String> {
         ));
     }
     let experiment = Experiment::prepare(&workload).map_err(|e| e.to_string())?;
-    let (sites, assumed_masked) = plan_sites(spec, &workload, &experiment)?;
-    let result = experiment.run_campaign_with(&sites, spec.model, workers);
+    let planned = plan_sites(spec, &workload, &experiment)?;
+    let result = experiment.run_campaign_with(&planned.sites, spec.model, workers);
     let mut profile = result.profile;
-    profile.record_weighted(Outcome::Masked, assumed_masked);
+    planned.settle(&mut profile);
     Ok(crate::job::result_to_json(
         spec,
         &JobResult {
             fingerprint: workload.fingerprint(),
             launch: keyed_launch_hash(&workload),
-            sites: sites.len(),
+            sites: planned.sites.len(),
             profile,
         },
     ))
@@ -472,14 +474,38 @@ fn protect_config(
     }
 }
 
+/// A planned campaign: the sites to run plus the weight the planner
+/// accounted statically (assumed masked, predicted DUEs) and the
+/// per-stage accounting for the metrics endpoint.
+struct PlannedCampaign {
+    sites: Vec<WeightedSite>,
+    assumed_masked: f64,
+    predicted_crash: f64,
+    predicted_detected: f64,
+    stages: Option<fsp_core::StageCounts>,
+}
+
+impl PlannedCampaign {
+    /// Folds the statically-accounted weight into a campaign profile.
+    fn settle(&self, profile: &mut ResilienceProfile) {
+        profile.record_weighted(Outcome::Masked, self.assumed_masked);
+        if self.predicted_crash > 0.0 {
+            profile.record_weighted(Outcome::CRASH, self.predicted_crash);
+        }
+        if self.predicted_detected > 0.0 {
+            profile.record_weighted(Outcome::Detected, self.predicted_detected);
+        }
+    }
+}
+
 /// Deterministically expands a spec into its weighted site list and
-/// assumed-masked weight. Shared by the engine and [`run_local`], so the
-/// service and library paths run byte-identical campaigns.
+/// statically-accounted weights. Shared by the engine and [`run_local`],
+/// so the service and library paths run byte-identical campaigns.
 fn plan_sites(
     spec: &JobSpec,
     workload: &fsp_workloads::Workload,
     experiment: &Experiment<'_, fsp_workloads::Workload>,
-) -> Result<(Vec<WeightedSite>, f64), String> {
+) -> Result<PlannedCampaign, String> {
     match spec.mode {
         CampaignMode::Pruned {
             static_ace,
@@ -494,19 +520,28 @@ fn plan_sites(
             let plan = PruningPipeline::new(config)
                 .plan_for(experiment)
                 .map_err(|e| format!("planning failed: {e}"))?;
-            Ok((plan.sites, plan.assumed_masked_weight))
+            Ok(PlannedCampaign {
+                sites: plan.sites,
+                assumed_masked: plan.assumed_masked_weight,
+                predicted_crash: plan.predicted_crash_weight,
+                predicted_detected: plan.predicted_detected_weight,
+                stages: Some(plan.stages),
+            })
         }
         CampaignMode::Sampled { samples } => {
             let space = experiment.site_space(0..workload.launch().num_threads());
             let mut rng = StdRng::seed_from_u64(spec.seed);
-            Ok((
-                space
+            Ok(PlannedCampaign {
+                sites: space
                     .sample_many(samples, &mut rng)
                     .into_iter()
                     .map(WeightedSite::from)
                     .collect(),
-                0.0,
-            ))
+                assumed_masked: 0.0,
+                predicted_crash: 0.0,
+                predicted_detected: 0.0,
+                stages: None,
+            })
         }
         // Protect jobs run two campaigns against two programs; both
         // callers branch to their protect paths before planning sites.
@@ -642,10 +677,16 @@ fn execute(shared: &Shared, id: &str, spec: &JobSpec, cancel: &AtomicBool) -> Ru
             samples,
         );
     }
-    let (sites, assumed_masked) = match plan_sites(spec, &workload, &experiment) {
+    let planned = match plan_sites(spec, &workload, &experiment) {
         Ok(planned) => planned,
         Err(e) => return RunEnd::Failed(e),
     };
+    if let Some(stages) = &planned.stages {
+        shared
+            .metrics
+            .record_plan(stages, planned.predicted_crash, planned.predicted_detected);
+    }
+    let sites = &planned.sites;
     let fingerprint = workload.fingerprint();
     let launch = keyed_launch_hash(&workload);
     reset_progress(shared, id, sites.len());
@@ -654,7 +695,7 @@ fn execute(shared: &Shared, id: &str, spec: &JobSpec, cancel: &AtomicBool) -> Ru
         id,
         spec,
         &experiment,
-        &sites,
+        sites,
         fingerprint,
         launch,
         cancel,
@@ -664,8 +705,8 @@ fn execute(shared: &Shared, id: &str, spec: &JobSpec, cancel: &AtomicBool) -> Ru
     };
     // Final profile: recomputed over the complete outcome vector in site
     // order, so cold, warm and resumed runs agree bit-for-bit.
-    let mut profile = profile_in_site_order(&sites, &outcomes);
-    profile.record_weighted(Outcome::Masked, assumed_masked);
+    let mut profile = profile_in_site_order(sites, &outcomes);
+    planned.settle(&mut profile);
     RunEnd::Completed(JobResult {
         fingerprint,
         launch,
@@ -731,6 +772,7 @@ fn execute_protect(
             sites: &sites,
             outcomes: &baseline_outcomes,
             ace: None,
+            classify: None,
         },
         scope,
         f64::from(budget_millis) / 1000.0,

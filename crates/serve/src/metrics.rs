@@ -3,8 +3,22 @@
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use fsp_core::StageCounts;
+
 /// Stable metric labels of the campaign modes, in breakout order.
 pub const MODES: [&str; 3] = ["pruned", "sampled", "protect"];
+
+/// Stable metric labels of the pruning stages, in pipeline order
+/// (surviving sites *after* each stage; `exhaustive` is the population).
+pub const STAGES: [&str; 7] = [
+    "exhaustive",
+    "static_ace",
+    "absint",
+    "thread",
+    "instruction",
+    "loop",
+    "bit",
+];
 
 /// Index of a [`CampaignMode::mode_name`] into the per-mode counters.
 /// Unknown names fold into slot 0 rather than panicking in a metrics path.
@@ -47,6 +61,15 @@ pub struct Metrics {
     /// Injected runs classified Masked by early convergence (divergence
     /// set emptied before the run finished).
     pub early_converged: AtomicU64,
+    /// Sites surviving after each pruning stage, summed over planned
+    /// pruned campaigns (indexed by [`STAGES`]).
+    pub stage_sites: [AtomicU64; STAGES.len()],
+    /// Exhaustive-site weight statically predicted `CRASH` and skipped
+    /// (rounded to whole sites).
+    pub predicted_crash_weight: AtomicU64,
+    /// Exhaustive-site weight statically predicted `Detected` and skipped
+    /// (rounded to whole sites).
+    pub predicted_detected_weight: AtomicU64,
 }
 
 impl Metrics {
@@ -59,6 +82,28 @@ impl Metrics {
         self.injection_nanos.fetch_add(nanos, Ordering::Relaxed);
         self.sites_injected_by_mode[mode].fetch_add(injected, Ordering::Relaxed);
         self.injection_nanos_by_mode[mode].fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Adds a pruned campaign's per-stage plan accounting: how many sites
+    /// survived each stage, and how much weight the static analysis
+    /// predicted as DUEs without running it.
+    pub fn record_plan(&self, stages: &StageCounts, predicted_crash: f64, predicted_detected: f64) {
+        let by_stage = [
+            stages.exhaustive,
+            stages.after_static,
+            stages.after_absint,
+            stages.after_thread,
+            stages.after_instruction,
+            stages.after_loop,
+            stages.after_bit,
+        ];
+        for (counter, n) in self.stage_sites.iter().zip(by_stage) {
+            counter.fetch_add(n, Ordering::Relaxed);
+        }
+        self.predicted_crash_weight
+            .fetch_add(predicted_crash.round() as u64, Ordering::Relaxed);
+        self.predicted_detected_weight
+            .fetch_add(predicted_detected.round() as u64, Ordering::Relaxed);
     }
 
     /// Adds a campaign's checkpoint-resume fast-path accounting.
@@ -159,12 +204,38 @@ impl Metrics {
              # TYPE fsp_sites_per_second gauge\nfsp_sites_per_second {sites_per_sec:.1}\n"
         );
         self.render_by_mode(&mut out);
+        self.render_by_stage(&mut out);
         let _ = write!(
             out,
             "# HELP fsp_store_outcomes Outcomes in the persistent store.\n\
              # TYPE fsp_store_outcomes gauge\nfsp_store_outcomes {store_len}\n"
         );
         out
+    }
+
+    /// Renders the per-stage plan counters and the predicted-DUE weights.
+    fn render_by_stage(&self, out: &mut String) {
+        out.push_str(
+            "# HELP fsp_plan_sites_by_stage Sites surviving each pruning stage, \
+             summed over planned campaigns.\n\
+             # TYPE fsp_plan_sites_by_stage counter\n",
+        );
+        for (i, stage) in STAGES.iter().enumerate() {
+            let n = self.stage_sites[i].load(Ordering::Relaxed);
+            let _ = writeln!(out, "fsp_plan_sites_by_stage{{stage=\"{stage}\"}} {n}");
+        }
+        out.push_str(
+            "# HELP fsp_predicted_due_weight Exhaustive-site weight statically \
+             predicted as a DUE and skipped, by predicted outcome.\n\
+             # TYPE fsp_predicted_due_weight counter\n",
+        );
+        let crash = self.predicted_crash_weight.load(Ordering::Relaxed);
+        let detected = self.predicted_detected_weight.load(Ordering::Relaxed);
+        let _ = writeln!(out, "fsp_predicted_due_weight{{kind=\"crash\"}} {crash}");
+        let _ = writeln!(
+            out,
+            "fsp_predicted_due_weight{{kind=\"detected\"}} {detected}"
+        );
     }
 
     /// Renders the per-mode breakout counters (jobs, sites, throughput).
@@ -243,6 +314,28 @@ mod tests {
         assert!(text.contains("fsp_jobs_completed_by_mode{mode=\"pruned\"} 0\n"));
         // Aggregates still account for every mode's traffic.
         assert!(text.contains("fsp_sites_injected_total 70\n"));
+    }
+
+    #[test]
+    fn records_per_stage_plan_counters() {
+        let m = Metrics::default();
+        let stages = StageCounts {
+            exhaustive: 1000,
+            after_static: 900,
+            after_absint: 850,
+            after_thread: 400,
+            after_instruction: 300,
+            after_loop: 200,
+            after_bit: 100,
+        };
+        m.record_plan(&stages, 30.4, 7.6);
+        m.record_plan(&stages, 0.0, 0.0);
+        let text = m.render(&[], 0);
+        assert!(text.contains("fsp_plan_sites_by_stage{stage=\"exhaustive\"} 2000\n"));
+        assert!(text.contains("fsp_plan_sites_by_stage{stage=\"absint\"} 1700\n"));
+        assert!(text.contains("fsp_plan_sites_by_stage{stage=\"bit\"} 200\n"));
+        assert!(text.contains("fsp_predicted_due_weight{kind=\"crash\"} 30\n"));
+        assert!(text.contains("fsp_predicted_due_weight{kind=\"detected\"} 8\n"));
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub use hook::{ExecHook, MemAccess, NopHook, RetireEvent, Writeback};
 pub use launch::Launch;
 pub use machine::{ExecMode, ResumeScratch, RunStats, Simulator};
 pub use mem::MemBlock;
-pub use thread::ThreadCoords;
+pub use thread::{ThreadCoords, LOCAL_WORDS};
 pub use trace::{KernelTrace, ThreadTrace, TraceEntry, Tracer};
 
 /// Byte offset of the first kernel parameter in shared memory

@@ -4,8 +4,9 @@ use fsp_isa::Special;
 
 use crate::mem::MemBlock;
 
-/// Number of words of per-thread local memory (`l[...]`).
-const LOCAL_WORDS: usize = 1024;
+/// Number of words of per-thread local memory (`l[...]`). Public so static
+/// analyses can bound local-space addresses exactly as the machine does.
+pub const LOCAL_WORDS: usize = 1024;
 
 /// A thread's coordinates within the grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

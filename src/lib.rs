@@ -7,6 +7,8 @@
 //! - [`sim`] — deterministic functional SIMT simulator
 //! - [`inject`] — fault model, site enumeration, injection campaigns
 //! - [`stats`] — statistical machinery (sample sizes, profiles)
+//! - [`analyze`] — static dataflow + abstract interpretation: Stage 0 ACE
+//!   pruning, predicted-DUE classification, equivalence classes, linter
 //! - [`pruning`] — the paper's contribution: progressive fault-site pruning
 //! - [`workloads`] — Rodinia/Polybench kernels in PTXPlus-like assembly
 //! - [`serve`] — campaign orchestration service: persistent outcome
@@ -15,6 +17,7 @@
 //! See the repository README for a quickstart and `DESIGN.md` for the
 //! system inventory.
 
+pub use fsp_analyze as analyze;
 pub use fsp_core as pruning;
 pub use fsp_inject as inject;
 pub use fsp_isa as isa;

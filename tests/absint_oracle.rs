@@ -1,0 +1,308 @@
+//! Cross-validation oracle for the abstract-interpretation classifier.
+//!
+//! [`ClassifyReport`] makes two kinds of static claims about fault sites:
+//!
+//! 1. **Predicted DUEs** — flipping the bit provably crashes the launch
+//!    (OOB/misaligned access) or provably takes a trap guard. The pruning
+//!    pipeline records these outcomes *without injecting them*, so a wrong
+//!    prediction silently corrupts the resilience profile.
+//! 2. **Equivalence classes** — all member bits of a class share their
+//!    outcome per dynamic instance, so one representative carries the
+//!    whole class weight.
+//!
+//! This test proves both claims dynamically on the real workloads: every
+//! statically-classified site of every representative thread is injected
+//! through the `fsp-inject` machinery and the simulated outcome must
+//! match the prediction bit-for-bit. A single mismatch is a soundness bug
+//! in `fsp-analyze`.
+
+use std::sync::Arc;
+
+use fsp_analyze::{ClassifyReport, PredictedKind};
+use fsp_core::{abs_context_for, PruningConfig, PruningPipeline, ThreadGrouping};
+use fsp_inject::{Experiment, FaultSite, InjectionTarget, WeightedSite};
+use fsp_isa::assemble;
+use fsp_sim::{Launch, MemBlock};
+use fsp_stats::{Outcome, ResilienceProfile};
+use fsp_workloads::{self as workloads, Scale};
+
+fn workers() -> usize {
+    std::thread::available_parallelism().map_or(4, usize::from)
+}
+
+/// Representative threads of a prepared experiment, exactly as the
+/// pruning pipeline picks them.
+fn representatives<T: InjectionTarget>(experiment: &Experiment<'_, T>) -> Vec<u32> {
+    let summary = experiment.site_space(std::iter::empty());
+    let grouping = ThreadGrouping::analyze(summary.trace());
+    grouping
+        .representatives(summary.trace())
+        .iter()
+        .map(|r| r.tid)
+        .collect()
+}
+
+#[test]
+fn predicted_due_sites_match_simulated_outcome() {
+    let mut total_injected = 0usize;
+    let mut kernels_with_predictions = 0usize;
+    for w in workloads::all(Scale::Eval) {
+        let classify = ClassifyReport::analyze(w.program(), &abs_context_for(&w));
+        if classify.summary().predicted_crash_bits + classify.summary().predicted_detected_bits == 0
+        {
+            continue;
+        }
+        kernels_with_predictions += 1;
+
+        let experiment = Experiment::prepare(&w).expect("fault-free run");
+        let reps = representatives(&experiment);
+        let space = experiment.site_space(reps.iter().copied());
+
+        let mut sites = Vec::new();
+        let mut expected = Vec::new();
+        for &tid in &reps {
+            let trace = &space.trace().full[&tid];
+            for (dyn_idx, entry) in trace.entries.iter().enumerate() {
+                for (bit, kind) in classify.predicted_flat_bits(entry.pc as usize) {
+                    sites.push(WeightedSite {
+                        site: FaultSite {
+                            tid,
+                            dyn_idx: dyn_idx as u32,
+                            bit,
+                        },
+                        weight: 1.0,
+                    });
+                    expected.push(kind);
+                }
+            }
+        }
+        assert!(
+            !sites.is_empty(),
+            "{}: predictions reported but no dynamic site produced",
+            w.registry_id()
+        );
+
+        let result = experiment.run_campaign(&sites, workers());
+        for ((ws, kind), outcome) in sites.iter().zip(&expected).zip(&result.outcomes) {
+            let want = match kind {
+                PredictedKind::Crash => Outcome::CRASH,
+                PredictedKind::Detected => Outcome::Detected,
+            };
+            assert_eq!(
+                *outcome,
+                want,
+                "{}: site {:?} statically predicted {kind:?} but simulated {outcome:?} \
+                 — abstract-interpretation classifier is unsound",
+                w.registry_id(),
+                ws.site,
+            );
+        }
+        total_injected += sites.len();
+    }
+    // The oracle is vacuous if the classifier never predicts anything.
+    assert!(
+        kernels_with_predictions >= 5,
+        "only {kernels_with_predictions} kernels had predicted-DUE bits"
+    );
+    assert!(total_injected > 0);
+}
+
+#[test]
+fn class_members_share_outcome_with_representative() {
+    let mut instances_checked = 0usize;
+    for w in workloads::all(Scale::Eval) {
+        let classify = ClassifyReport::analyze(w.program(), &abs_context_for(&w));
+        if classify.summary().class_pruned_bits == 0 {
+            continue;
+        }
+
+        let experiment = Experiment::prepare(&w).expect("fault-free run");
+        let reps = representatives(&experiment);
+        let space = experiment.site_space(reps.iter().copied());
+
+        // One injection per (instance, class bit): the representative plus
+        // every pruned member, so outcomes can be compared per instance.
+        let mut sites = Vec::new();
+        let mut groups: Vec<(usize, usize)> = Vec::new(); // (start, len) per instance
+        for &tid in &reps {
+            let trace = &space.trace().full[&tid];
+            for (dyn_idx, entry) in trace.entries.iter().enumerate() {
+                for class in classify.classes_flat(entry.pc as usize) {
+                    let start = sites.len();
+                    for bit in std::iter::once(class.rep).chain(class.members.iter().copied()) {
+                        sites.push(WeightedSite {
+                            site: FaultSite {
+                                tid,
+                                dyn_idx: dyn_idx as u32,
+                                bit,
+                            },
+                            weight: 1.0,
+                        });
+                    }
+                    groups.push((start, sites.len() - start));
+                }
+            }
+        }
+        assert!(
+            !sites.is_empty(),
+            "{}: classes but no site",
+            w.registry_id()
+        );
+
+        let result = experiment.run_campaign(&sites, workers());
+        for &(start, len) in &groups {
+            let rep_outcome = result.outcomes[start];
+            for k in 1..len {
+                assert_eq!(
+                    result.outcomes[start + k],
+                    rep_outcome,
+                    "{}: class member {:?} diverged from representative {:?} ({:?}) \
+                     — equivalence class is unsound",
+                    w.registry_id(),
+                    sites[start + k].site,
+                    sites[start].site,
+                    rep_outcome,
+                );
+            }
+            instances_checked += 1;
+        }
+
+        // Representative-carries-the-class-weight is exact: a profile built
+        // from rep outcomes at class weight equals the full-membership one.
+        let mut rep_profile = ResilienceProfile::default();
+        let mut full_profile = ResilienceProfile::default();
+        for &(start, len) in &groups {
+            rep_profile.record_weighted(result.outcomes[start], len as f64);
+            for k in 0..len {
+                full_profile.record_weighted(result.outcomes[start + k], 1.0);
+            }
+        }
+        assert!(
+            rep_profile.max_abs_diff(&full_profile) < 1e-9,
+            "{}: representative-weighted profile diverges from full class campaign",
+            w.registry_id()
+        );
+    }
+    assert!(instances_checked > 0, "no class instance exercised");
+}
+
+/// A 4-thread target whose kernel carries an always-failing trap guard, so
+/// the `Detected` prediction path gets dynamic coverage (no stock workload
+/// uses `trap`; only hardened kernels do).
+#[derive(Debug)]
+struct TrapTarget {
+    program: Arc<fsp_isa::KernelProgram>,
+}
+
+impl TrapTarget {
+    const THREADS: u32 = 4;
+
+    fn new() -> Self {
+        let program = assemble(
+            "trap_guard",
+            r#"
+            cvt.u32.u16 $r1, %tid.x
+            set.eq.u32.u32 $p0/$o127, $r1, 0x100
+            @$p0.ne trap
+            shl.u32 $r2, $r1, 0x2
+            st.global.u32 [$r2], $r1
+            exit
+            "#,
+        )
+        .expect("trap kernel assembles");
+        TrapTarget {
+            program: Arc::new(program),
+        }
+    }
+}
+
+impl InjectionTarget for TrapTarget {
+    fn name(&self) -> &str {
+        "trap_guard"
+    }
+
+    fn launch(&self) -> Launch {
+        Launch::new(Arc::clone(&self.program))
+            .grid(1, 1)
+            .block(Self::THREADS, 1, 1)
+    }
+
+    fn init_memory(&self) -> MemBlock {
+        MemBlock::with_words(Self::THREADS as usize)
+    }
+
+    fn output_region(&self) -> (u32, usize) {
+        (0, Self::THREADS as usize)
+    }
+}
+
+#[test]
+fn predicted_detected_sites_trap_under_injection() {
+    let target = TrapTarget::new();
+    let classify = ClassifyReport::analyze(target.launch().program(), &abs_context_for(&target));
+    assert!(
+        classify.summary().predicted_detected_bits > 0,
+        "trap-guard kernel produced no Detected prediction"
+    );
+
+    let experiment = Experiment::prepare(&target).expect("fault-free run");
+    let space = experiment.site_space(0..TrapTarget::THREADS);
+    let mut sites = Vec::new();
+    for tid in 0..TrapTarget::THREADS {
+        let trace = &space.trace().full[&tid];
+        for (dyn_idx, entry) in trace.entries.iter().enumerate() {
+            for (bit, kind) in classify.predicted_flat_bits(entry.pc as usize) {
+                assert_eq!(kind, PredictedKind::Detected);
+                sites.push(WeightedSite {
+                    site: FaultSite {
+                        tid,
+                        dyn_idx: dyn_idx as u32,
+                        bit,
+                    },
+                    weight: 1.0,
+                });
+            }
+        }
+    }
+    assert!(!sites.is_empty());
+    let result = experiment.run_campaign(&sites, workers());
+    for (ws, outcome) in sites.iter().zip(&result.outcomes) {
+        assert_eq!(
+            *outcome,
+            Outcome::Detected,
+            "site {:?} predicted Detected but simulated {outcome:?}",
+            ws.site
+        );
+    }
+}
+
+#[test]
+fn absint_plan_conserves_exhaustive_weight() {
+    for w in workloads::all(Scale::Eval) {
+        let experiment = Experiment::prepare(&w).expect("fault-free run");
+
+        let with = PruningPipeline::new(PruningConfig::default())
+            .plan_for(&experiment)
+            .expect("plan");
+        let without = PruningPipeline::new(PruningConfig {
+            absint: false,
+            ..PruningConfig::default()
+        })
+        .plan_for(&experiment)
+        .expect("plan");
+
+        let exhaustive = with.stages.exhaustive as f64;
+        for (label, plan) in [("absint", &with), ("no-absint", &without)] {
+            let total = plan.total_weight();
+            assert!(
+                (total - exhaustive).abs() < 1e-6 * exhaustive.max(1.0),
+                "{} [{label}]: plan accounts {total} of {exhaustive} exhaustive weight",
+                w.registry_id()
+            );
+        }
+        assert!(with.stages.after_absint <= with.stages.after_static);
+        assert_eq!(without.stages.after_absint, without.stages.after_static);
+        assert!(with.classify.is_some());
+        assert!(without.classify.is_none());
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based soundness tests for the abstract-value transfer
+//! functions in `fsp_analyze::absint`.
+//!
+//! Every test follows the same scheme: draw a concrete value (or pair),
+//! wrap it in a random abstraction that contains it, apply the abstract
+//! transfer and the *simulator's* concrete semantics side by side, and
+//! assert the concrete result is still inside the abstract one. The
+//! concrete semantics here mirror `fsp-sim`'s `exec` exactly: wrapping
+//! integer arithmetic, `x / 0 → u32::MAX`, `x % 0 → x`, shifts by ≥ 32
+//! collapse to 0 (or all-ones for an arithmetic shift of a negative),
+//! and signed compares operate on the `i32` reinterpretation.
+
+use fsp_analyze::{prove_cmp, AbsVal};
+use fsp_isa::{CmpOp, ScalarType};
+use proptest::prelude::*;
+
+/// γ-membership: `v` is a possible concrete value of `a`.
+fn contains(a: &AbsVal, v: u32) -> bool {
+    a.lo <= v && v <= a.hi && v & a.zeros == 0
+}
+
+/// A random abstraction of `x` (always contains `x` by construction).
+fn abstraction(x: u32, mode: u8, d1: u32, d2: u32) -> AbsVal {
+    match mode {
+        0 => AbsVal::constant(x),
+        1 => AbsVal::range(x.saturating_sub(d1), x.saturating_add(d2)),
+        2 => AbsVal::range(x, x.saturating_add(d2)),
+        _ => AbsVal::TOP,
+    }
+}
+
+/// Values that sit on the wrapping / sign / width boundaries the transfer
+/// functions must get right, mixed with a uniformly random draw.
+fn edge(pick: u8, raw: u32) -> u32 {
+    match pick {
+        0 => 0,
+        1 => 1,
+        2 => 0x7FFF_FFFF,
+        3 => 0x8000_0000,
+        4 => u32::MAX,
+        5 => u32::MAX - 1,
+        6 => 0xFFFF,
+        _ => raw,
+    }
+}
+
+/// The simulator's concrete compare (`exec::compare`).
+fn concrete_cmp(x: u32, y: u32, cmp: CmpOp, ty: ScalarType) -> bool {
+    let ord = if ty.is_signed() {
+        (x as i32).cmp(&(y as i32))
+    } else {
+        x.cmp(&y)
+    };
+    match cmp {
+        CmpOp::Eq => ord.is_eq(),
+        CmpOp::Ne => ord.is_ne(),
+        CmpOp::Lt => ord.is_lt(),
+        CmpOp::Le => ord.is_le(),
+        CmpOp::Gt => ord.is_gt(),
+        CmpOp::Ge => ord.is_ge(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Wrapping binary arithmetic and the bitwise operations: the
+    /// concrete result stays inside the abstract one, including when the
+    /// concrete computation wraps past `u32::MAX`.
+    #[test]
+    fn binary_transfer_functions_are_sound(
+        (xp, xr) in (0u8..8, any::<u32>()),
+        (yp, yr) in (0u8..8, any::<u32>()),
+        (ma, da1, da2) in (0u8..4, 0u32..0x1000, 0u32..0x1000),
+        (mb, db1, db2) in (0u8..4, 0u32..0x1000, 0u32..0x1000),
+    ) {
+        let (x, y) = (edge(xp, xr), edge(yp, yr));
+        let (a, b) = (abstraction(x, ma, da1, da2), abstraction(y, mb, db1, db2));
+        prop_assert!(contains(&a, x) && contains(&b, y));
+
+        let cases: [(&str, AbsVal, u32); 8] = [
+            ("add", a.add(&b), x.wrapping_add(y)),
+            ("sub", a.sub(&b), x.wrapping_sub(y)),
+            ("mul", a.mul(&b), x.wrapping_mul(y)),
+            ("and", a.and(&b), x & y),
+            ("or", a.or(&b), x | y),
+            ("xor", a.xor(&b), x ^ y),
+            ("udiv", a.udiv(&b), x.checked_div(y).unwrap_or(u32::MAX)),
+            ("urem", a.urem(&b), x.checked_rem(y).unwrap_or(x)),
+        ];
+        for (op, abs, conc) in cases {
+            prop_assert!(
+                contains(&abs, conc),
+                "{op}: {conc:#x} escapes {abs:?} (x={x:#x} in {a:?}, y={y:#x} in {b:?})"
+            );
+        }
+        // join contains both operands' concretisations.
+        let j = a.join(&b);
+        prop_assert!(contains(&j, x) && contains(&j, y));
+    }
+
+    /// Unary transfers and the derived zero-bit facts.
+    #[test]
+    fn unary_transfer_functions_are_sound(
+        (xp, xr) in (0u8..8, any::<u32>()),
+        (m, d1, d2) in (0u8..4, 0u32..0x1000, 0u32..0x1000),
+    ) {
+        let x = edge(xp, xr);
+        let a = abstraction(x, m, d1, d2);
+        prop_assert!(contains(&a.not(), !x));
+        prop_assert!(contains(&a.neg(), x.wrapping_neg()));
+        prop_assert!(contains(&a.trunc16(), x & 0xFFFF));
+        // known_zeros is a universally-quantified claim about members.
+        prop_assert!(x & a.known_zeros() == 0, "{x:#x} vs zeros {:#x}", a.known_zeros());
+    }
+
+    /// Shifts, including the ≥-width edge the ISA defines specially:
+    /// `shl`/`shr` by ≥ 32 produce 0, except an arithmetic right shift of
+    /// a negative value, which produces all-ones.
+    #[test]
+    fn shift_transfer_functions_are_sound(
+        (xp, xr) in (0u8..8, any::<u32>()),
+        (m, d1, d2) in (0u8..4, 0u32..0x1000, 0u32..0x1000),
+        amt in 0u32..64,
+    ) {
+        let x = edge(xp, xr);
+        let a = abstraction(x, m, d1, d2);
+
+        let shl = if amt >= 32 { 0 } else { x << amt };
+        prop_assert!(
+            contains(&a.shl_const(amt), shl),
+            "shl {amt}: {shl:#x} escapes {:?} (x={x:#x})", a.shl_const(amt)
+        );
+
+        let lshr = if amt >= 32 { 0 } else { x >> amt };
+        prop_assert!(
+            contains(&a.shr_const(amt, false), lshr),
+            "lshr {amt}: {lshr:#x} escapes {:?} (x={x:#x})", a.shr_const(amt, false)
+        );
+
+        let ashr = if amt >= 32 {
+            if (x as i32) < 0 { u32::MAX } else { 0 }
+        } else {
+            ((x as i32) >> amt) as u32
+        };
+        prop_assert!(
+            contains(&a.shr_const(amt, true), ashr),
+            "ashr {amt}: {ashr:#x} escapes {:?} (x={x:#x})", a.shr_const(amt, true)
+        );
+    }
+
+    /// `prove_cmp` decisions are universally true: whenever the abstract
+    /// compare answers, the concrete compare of *any* contained pair must
+    /// agree — across signed and unsigned views of the same bits, and
+    /// across the sign-boundary edge values where the two orders diverge.
+    #[test]
+    fn proved_compares_agree_with_concrete_execution(
+        (xp, xr) in (0u8..8, any::<u32>()),
+        (yp, yr) in (0u8..8, any::<u32>()),
+        (ma, da1, da2) in (0u8..4, 0u32..0x1000, 0u32..0x1000),
+        (mb, db1, db2) in (0u8..4, 0u32..0x1000, 0u32..0x1000),
+        cmp in prop::sample::select(vec![
+            CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge,
+        ]),
+        ty in prop::sample::select(vec![ScalarType::U32, ScalarType::S32]),
+    ) {
+        let (x, y) = (edge(xp, xr), edge(yp, yr));
+        let (a, b) = (abstraction(x, ma, da1, da2), abstraction(y, mb, db1, db2));
+        if let Some(proved) = prove_cmp(&a, &b, cmp, ty) {
+            let concrete = concrete_cmp(x, y, cmp, ty);
+            prop_assert_eq!(
+                proved, concrete,
+                "prove_cmp({:?}, {:?}, {:?}, {:?}) = {} but {:#x} vs {:#x} is {}",
+                a, b, cmp, ty, proved, x, y, concrete
+            );
+        }
+    }
+}
