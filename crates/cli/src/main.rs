@@ -45,6 +45,15 @@ COMMANDS:
     status [job-id]              Show one job (or all jobs) on the server
     fetch <job-id>               Fetch a completed job's result document
     cancel <job-id>              Cancel a queued or running job
+    worker                       Run a fleet worker: pull campaign leases from a
+                                 coordinator (`fsp serve`), execute them with the
+                                 checkpoint-resume fast path, stream outcomes back
+    fleet-status                 Show the coordinator's fleet counters: chunks by
+                                 state, requeues, duplicates, per-worker stats
+    fleet-bench [--json]         Benchmark fleet scaling: sites/sec at 1/2/4
+                                 workers for three kernels, plus the requeue
+                                 overhead of killing a worker mid-run; --json
+                                 writes BENCH_fleet.json (override with --out)
 
 OPTIONS:
     --workers N    Campaign worker threads (default: all cores); for
@@ -64,6 +73,18 @@ OPTIONS:
                    range | opcode | thread-group (default range)
     --protect      For `submit`: submit a protect-mode job (uses --budget,
                    --scope and -n)
+    --fleet        For `submit`: execute on fleet workers (start `fsp worker`
+                   processes against the same --addr); placement only — the
+                   result document stays byte-identical to a local run
+    --name S       For `worker`: worker name for lease attribution and
+                   metrics labels (default worker-<pid>)
+    --idle-exit    For `worker`: exit once the coordinator reports no
+                   pending chunks, instead of idling for more work
+    --fail-after N For `worker`: abandon a lease after completing N chunks
+                   without releasing it (crash simulation for fleet tests)
+    --lease-ms N   For `serve`: lease TTL in milliseconds before an
+                   unheartbeated chunk is re-served (default 30000)
+    --chunk N      For `serve`: fault sites per lease chunk (default 64)
 ";
 
 fn main() -> ExitCode {
@@ -93,6 +114,12 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut budget = 0.25f64;
     let mut scope = fsp_protect::ProtectScope::default();
     let mut protect_mode = false;
+    let mut fleet = false;
+    let mut worker_name: Option<String> = None;
+    let mut idle_exit = false;
+    let mut fail_after: Option<usize> = None;
+    let mut lease_ms: Option<u64> = None;
+    let mut chunk: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -135,6 +162,24 @@ fn run(args: &[String]) -> Result<(), String> {
                 i += 1;
                 data_dir = args.get(i).ok_or("--data needs a directory")?.clone();
             }
+            "--name" => {
+                i += 1;
+                worker_name = Some(args.get(i).ok_or("--name needs a value")?.clone());
+            }
+            "--fail-after" => {
+                i += 1;
+                fail_after = Some(parse(args.get(i), "--fail-after")?);
+            }
+            "--lease-ms" => {
+                i += 1;
+                lease_ms = Some(parse(args.get(i), "--lease-ms")?);
+            }
+            "--chunk" => {
+                i += 1;
+                chunk = Some(parse(args.get(i), "--chunk")?);
+            }
+            "--fleet" => fleet = true,
+            "--idle-exit" => idle_exit = true,
             "--json" => json = true,
             "--deny" => deny = true,
             "--quick" => opts.quick = true,
@@ -172,7 +217,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "reproduce" => reproduce(positional.get(1), &opts, out_path.as_deref()),
         "seeds" => seeds(positional.get(1), &opts),
         "severity" => severity(positional.get(1), samples, &opts),
-        "serve" => serve(&addr, &data_dir, &opts),
+        "serve" => serve(&addr, &data_dir, &opts, lease_ms, chunk),
         "submit" => submit(
             positional.get(1),
             samples,
@@ -180,11 +225,15 @@ fn run(args: &[String]) -> Result<(), String> {
             &addr,
             local,
             wait,
+            fleet,
             protect_mode.then_some((budget, scope)),
         ),
         "status" => status(positional.get(1), &addr),
         "fetch" => fetch(positional.get(1), &addr),
         "cancel" => cancel(positional.get(1), &addr),
+        "worker" => worker(&addr, worker_name, &opts, idle_exit, fail_after),
+        "fleet-status" => fleet_status(&addr),
+        "fleet-bench" => fleet_bench(samples, &opts, json, out_path.as_deref()),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -878,8 +927,20 @@ fn severity(id: Option<&String>, samples: Option<usize>, opts: &Options) -> Resu
     Ok(())
 }
 
-fn serve(addr: &str, data_dir: &str, opts: &Options) -> Result<(), String> {
-    let config = fsp_serve::EngineConfig::new(data_dir).job_workers(opts.workers);
+fn serve(
+    addr: &str,
+    data_dir: &str,
+    opts: &Options,
+    lease_ms: Option<u64>,
+    chunk: Option<usize>,
+) -> Result<(), String> {
+    let mut config = fsp_serve::EngineConfig::new(data_dir).job_workers(opts.workers);
+    if let Some(ms) = lease_ms {
+        config = config.lease_ttl(std::time::Duration::from_millis(ms));
+    }
+    if let Some(n) = chunk {
+        config = config.chunk_sites(n);
+    }
     let engine = std::sync::Arc::new(
         fsp_serve::Engine::open(config).map_err(|e| format!("opening {data_dir}: {e}"))?,
     );
@@ -923,16 +984,24 @@ fn submit(
     addr: &str,
     local: bool,
     wait: bool,
+    fleet: bool,
     protect: Option<(f64, fsp_protect::ProtectScope)>,
 ) -> Result<(), String> {
     let spec = submit_spec(id, samples, opts, protect)?;
     if local {
+        if fleet {
+            return Err("--local and --fleet are mutually exclusive".to_owned());
+        }
         let result = fsp_serve::run_local(&spec, opts.workers)?;
         println!("{result}");
         return Ok(());
     }
     let client = fsp_serve::Client::new(addr);
-    let job_id = client.submit(&spec)?;
+    let job_id = if fleet {
+        client.submit_fleet(&spec)?
+    } else {
+        client.submit(&spec)?
+    };
     if wait {
         let status = client.wait(&job_id, std::time::Duration::from_secs(3600))?;
         match status.get("state").and_then(fsp_serve::Json::as_str) {
@@ -965,6 +1034,247 @@ fn cancel(id: Option<&String>, addr: &str) -> Result<(), String> {
     let id = id.ok_or("missing job id")?;
     fsp_serve::Client::new(addr).cancel(id)?;
     eprintln!("cancellation requested for {id}");
+    Ok(())
+}
+
+fn worker(
+    addr: &str,
+    name: Option<String>,
+    opts: &Options,
+    idle_exit: bool,
+    fail_after: Option<usize>,
+) -> Result<(), String> {
+    let name = name.unwrap_or_else(|| format!("worker-{}", std::process::id()));
+    let mut config = fsp_fleet::WorkerConfig::new(addr, &name);
+    config.campaign_workers = opts.workers;
+    config.exit_when_idle = idle_exit;
+    config.fail_after = fail_after;
+    eprintln!("fsp worker `{name}` pulling leases from {addr}");
+    static STOP: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+    let summary = fsp_fleet::run_worker(&config, &STOP)?;
+    eprintln!(
+        "worker `{name}` done: {} chunks, {} sites{}",
+        summary.chunks,
+        summary.sites,
+        if summary.abandoned {
+            " (abandoned a lease)"
+        } else {
+            ""
+        }
+    );
+    Ok(())
+}
+
+fn fleet_status(addr: &str) -> Result<(), String> {
+    let doc = fsp_serve::Client::new(addr).fleet_status()?;
+    let count = |key: &str| doc.get(key).and_then(fsp_serve::Json::as_u64).unwrap_or(0);
+    println!(
+        "chunks: {} available, {} leased, {} done",
+        count("chunks_available"),
+        count("chunks_leased"),
+        count("chunks_done")
+    );
+    println!(
+        "requeues: {}   duplicate submissions: {}",
+        count("requeues"),
+        count("duplicates")
+    );
+    let workers = doc
+        .get("workers")
+        .and_then(fsp_serve::Json::as_arr)
+        .unwrap_or_default();
+    if workers.is_empty() {
+        println!("workers: none seen yet");
+        return Ok(());
+    }
+    let mut t = fsp_cli::output::Table::new(&["worker", "leases", "heartbeats", "chunks", "sites"]);
+    for w in workers {
+        let field = |key: &str| {
+            w.get(key)
+                .and_then(fsp_serve::Json::as_u64)
+                .unwrap_or(0)
+                .to_string()
+        };
+        t.row(vec![
+            w.get("name")
+                .and_then(fsp_serve::Json::as_str)
+                .unwrap_or("?")
+                .to_owned(),
+            field("leases"),
+            field("heartbeats"),
+            field("chunks"),
+            field("sites"),
+        ]);
+    }
+    println!("{t}");
+    Ok(())
+}
+
+/// One end-to-end fleet run for `fleet-bench`: an ephemeral coordinator
+/// on a fresh state directory, `workers` in-process worker loops (one
+/// campaign thread each, so worker count is the only scaling knob), one
+/// sampled job. Returns (wall seconds, lease requeues observed).
+fn fleet_bench_run(
+    scratch: &std::path::Path,
+    kernel: &str,
+    n: usize,
+    workers: usize,
+    fail_after: Option<usize>,
+    seed: u64,
+) -> Result<(f64, u64), String> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Duration;
+
+    let dir = scratch.join(format!(
+        "{kernel}-w{workers}{}",
+        if fail_after.is_some() { "-kill" } else { "" }
+    ));
+    // A dead worker's lease must expire quickly in the kill-overhead run;
+    // healthy runs heartbeat well inside either TTL.
+    let ttl = Duration::from_millis(if fail_after.is_some() { 1000 } else { 10_000 });
+    let config = fsp_serve::EngineConfig::new(&dir)
+        .job_workers(1)
+        .chunk_sites(32)
+        .lease_ttl(ttl);
+    let engine = std::sync::Arc::new(
+        fsp_serve::Engine::open(config).map_err(|e| format!("opening {}: {e}", dir.display()))?,
+    );
+    let handle = fsp_serve::Server::bind("127.0.0.1:0", std::sync::Arc::clone(&engine))
+        .and_then(fsp_serve::Server::spawn)
+        .map_err(|e| format!("starting coordinator: {e}"))?;
+    let addr = handle.addr().to_string();
+    let client = fsp_serve::Client::new(&addr);
+
+    let mut spec = fsp_serve::JobSpec::sampled(kernel, n);
+    spec.seed = seed;
+    let started = std::time::Instant::now();
+    let job = client.submit_fleet(&spec)?;
+
+    let stop = AtomicBool::new(false);
+    let status = std::thread::scope(|scope| {
+        for i in 0..workers {
+            let mut cfg = fsp_fleet::WorkerConfig::new(&addr, format!("bench-{i}"));
+            cfg.campaign_workers = 1;
+            if i == 0 {
+                cfg.fail_after = fail_after;
+            }
+            let stop = &stop;
+            scope.spawn(move || {
+                let _ = fsp_fleet::run_worker(&cfg, stop);
+            });
+        }
+        let status = client.wait(&job, Duration::from_secs(600));
+        stop.store(true, Ordering::Relaxed);
+        status
+    })?;
+    let secs = started.elapsed().as_secs_f64();
+    match status.get("state").and_then(fsp_serve::Json::as_str) {
+        Some("completed") => {}
+        other => return Err(format!("{kernel} w={workers}: job ended as {other:?}")),
+    }
+    let requeues = client
+        .metric("fsp_fleet_lease_requeues_total")
+        .unwrap_or(0.0) as u64;
+    handle.stop();
+    engine.shutdown();
+    Ok((secs, requeues))
+}
+
+/// Benchmarks distributed campaign execution: the same sampled job is
+/// drained by 1, 2 and 4 single-threaded workers for three kernels, and
+/// a separate run kills a worker mid-fleet (via `fail_after`) to price
+/// one lease requeue. With `--json` the measurements are written as
+/// `BENCH_fleet.json` (or `--out PATH`).
+fn fleet_bench(
+    samples: Option<usize>,
+    opts: &Options,
+    json: bool,
+    out_path: Option<&str>,
+) -> Result<(), String> {
+    const KERNELS: [&str; 3] = ["gemm", "hotspot", "pathfinder"];
+    const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+    let n = samples.unwrap_or(256);
+    let scratch = std::env::temp_dir().join(format!("fsp-fleet-bench-{}", std::process::id()));
+
+    struct FleetRow {
+        kernel: &'static str,
+        workers: usize,
+        secs: f64,
+    }
+    let mut rows: Vec<FleetRow> = Vec::new();
+    for kernel in KERNELS {
+        for workers in WORKER_COUNTS {
+            let (secs, _) = fleet_bench_run(&scratch, kernel, n, workers, None, opts.seed)?;
+            eprintln!(
+                "{kernel} w={workers}: {secs:.2}s ({:.0} sites/s)",
+                n as f64 / secs
+            );
+            rows.push(FleetRow {
+                kernel,
+                workers,
+                secs,
+            });
+        }
+    }
+    let baseline = rows
+        .iter()
+        .find(|r| r.kernel == "gemm" && r.workers == 2)
+        .expect("measured above")
+        .secs;
+    let (kill_secs, requeues) = fleet_bench_run(&scratch, "gemm", n, 2, Some(1), opts.seed)?;
+    eprintln!(
+        "gemm w=2 with one mid-run kill: {kill_secs:.2}s ({requeues} requeues, \
+         +{:.2}s vs healthy)",
+        kill_secs - baseline
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    if json {
+        let mut doc = String::from("{\n");
+        doc.push_str(&format!("  \"samples_per_job\": {n},\n"));
+        doc.push_str(&format!("  \"seed\": {},\n", opts.seed));
+        doc.push_str("  \"chunk_sites\": 32,\n");
+        doc.push_str("  \"scaling\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            doc.push_str(&format!(
+                "    {{\"kernel\": \"{}\", \"workers\": {}, \"sites\": {n}, \
+                 \"secs\": {:.3}, \"sites_per_sec\": {:.1}}}{}\n",
+                r.kernel,
+                r.workers,
+                r.secs,
+                n as f64 / r.secs,
+                if i + 1 < rows.len() { "," } else { "" },
+            ));
+        }
+        doc.push_str("  ],\n");
+        doc.push_str(&format!(
+            "  \"kill_overhead\": {{\"kernel\": \"gemm\", \"workers\": 2, \
+             \"healthy_secs\": {baseline:.3}, \"kill_secs\": {kill_secs:.3}, \
+             \"overhead_secs\": {:.3}, \"requeues\": {requeues}}}\n",
+            kill_secs - baseline
+        ));
+        doc.push_str("}\n");
+        let path = out_path.unwrap_or("BENCH_fleet.json");
+        std::fs::write(path, &doc).map_err(|e| format!("writing {path}: {e}"))?;
+        print!("{doc}");
+        eprintln!("wrote {path}");
+    } else {
+        let mut t = fsp_cli::output::Table::new(&["kernel", "workers", "secs", "sites/s"]);
+        for r in &rows {
+            t.row(vec![
+                r.kernel.to_owned(),
+                r.workers.to_string(),
+                format!("{:.2}", r.secs),
+                format!("{:.0}", n as f64 / r.secs),
+            ]);
+        }
+        println!("{t}");
+        println!(
+            "mid-run kill (gemm, 2 workers): {kill_secs:.2}s vs {baseline:.2}s healthy \
+             (+{:.2}s, {requeues} lease requeues)",
+            kill_secs - baseline
+        );
+    }
     Ok(())
 }
 

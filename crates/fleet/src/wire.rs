@@ -1,0 +1,321 @@
+//! The fleet wire protocol: outcome-record codec and checksummed frames.
+//!
+//! Everything a lease or an outcome submission carries on the wire is
+//! framed here, in formats deliberately shared with the persistent outcome
+//! store:
+//!
+//! * [`OutcomeKey`] + [`encode_record`] / [`decode_record`] — the store's
+//!   fixed 32-byte record (little-endian fields + 16-bit FNV checksum).
+//!   This codec *is* the store's on-disk format; a worker's outcome frame
+//!   therefore decodes directly into store inserts, byte for byte.
+//! * [`SiteFrame`] — a lease's chunk plan: packed fault sites
+//!   ([`fsp_inject::pack_sites`]) hex-armored with an FNV-1a checksum over
+//!   the raw bytes.
+//! * [`OutcomeFrame`] — a worker's results for one lease: concatenated
+//!   32-byte records, hex-armored, FNV-1a checksummed as a frame (each
+//!   record additionally carries its own 16-bit checksum).
+//!
+//! Frames ride inside JSON request/response bodies ([`crate::json`]); hex
+//! armor keeps them printable without a base64 dependency.
+
+use fsp_inject::{FaultModel, FaultSite};
+use fsp_stats::Outcome;
+use fsp_workloads::Fnv1a;
+
+use crate::json::Json;
+
+/// Size of one serialized outcome record.
+pub const RECORD_LEN: usize = 32;
+
+/// The store key: everything that determines an injection outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OutcomeKey {
+    /// Kernel program fingerprint ([`fsp_workloads::program_fingerprint`]).
+    pub fingerprint: u64,
+    /// Launch-configuration hash (`Workload::launch_hash`, mixed with the
+    /// classifier and static-analysis versions by the service).
+    pub launch: u64,
+    /// Fault model wire code ([`FaultModel::code`]).
+    pub model: u8,
+    /// The injected site.
+    pub site: FaultSite,
+}
+
+impl OutcomeKey {
+    /// Builds a key for one site of a fingerprinted kernel launch.
+    #[must_use]
+    pub fn new(fingerprint: u64, launch: u64, model: FaultModel, site: FaultSite) -> Self {
+        OutcomeKey {
+            fingerprint,
+            launch,
+            model: model.code(),
+            site,
+        }
+    }
+}
+
+/// Encodes one outcome record in the store's fixed 32-byte layout.
+#[must_use]
+pub fn encode_record(key: &OutcomeKey, outcome: Outcome) -> [u8; RECORD_LEN] {
+    let mut buf = [0u8; RECORD_LEN];
+    buf[0..8].copy_from_slice(&key.fingerprint.to_le_bytes());
+    buf[8..16].copy_from_slice(&key.launch.to_le_bytes());
+    buf[16..20].copy_from_slice(&key.site.tid.to_le_bytes());
+    buf[20..24].copy_from_slice(&key.site.dyn_idx.to_le_bytes());
+    buf[24..28].copy_from_slice(&key.site.bit.to_le_bytes());
+    buf[28] = key.model;
+    buf[29] = outcome.code();
+    let mut h = Fnv1a::new();
+    h.write(&buf[..30]);
+    buf[30..32].copy_from_slice(&(h.finish() as u16).to_le_bytes());
+    buf
+}
+
+/// Decodes one 32-byte outcome record; `None` on short input, a checksum
+/// mismatch or an unknown outcome code.
+#[must_use]
+pub fn decode_record(buf: &[u8]) -> Option<(OutcomeKey, Outcome)> {
+    if buf.len() < RECORD_LEN {
+        return None;
+    }
+    let mut h = Fnv1a::new();
+    h.write(&buf[..30]);
+    if (h.finish() as u16).to_le_bytes() != [buf[30], buf[31]] {
+        return None;
+    }
+    let word = |r: std::ops::Range<usize>| u32::from_le_bytes(buf[r].try_into().expect("4 bytes"));
+    let outcome = Outcome::from_code(buf[29])?;
+    Some((
+        OutcomeKey {
+            fingerprint: u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes")),
+            launch: u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes")),
+            model: buf[28],
+            site: FaultSite {
+                tid: word(16..20),
+                dyn_idx: word(20..24),
+                bit: word(24..28),
+            },
+        },
+        outcome,
+    ))
+}
+
+/// Hex-armors raw frame bytes.
+#[must_use]
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit(u32::from(b >> 4), 16).expect("nibble"));
+        out.push(char::from_digit(u32::from(b & 0xF), 16).expect("nibble"));
+    }
+    out
+}
+
+/// Decodes hex armor; `None` on odd length or a non-hex digit.
+#[must_use]
+pub fn from_hex(text: &str) -> Option<Vec<u8>> {
+    if !text.len().is_multiple_of(2) {
+        return None;
+    }
+    let digits: Vec<u32> = text
+        .chars()
+        .map(|c| c.to_digit(16))
+        .collect::<Option<_>>()?;
+    Some(
+        digits
+            .chunks_exact(2)
+            .map(|d| (d[0] << 4 | d[1]) as u8)
+            .collect(),
+    )
+}
+
+/// FNV-1a over a whole frame's raw bytes (the frame-level checksum).
+#[must_use]
+pub fn frame_fnv(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// A chunk plan on the wire: the lease's fault sites, packed and
+/// checksummed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteFrame {
+    /// The sites, in chunk order.
+    pub sites: Vec<FaultSite>,
+}
+
+impl SiteFrame {
+    /// Encodes the frame as JSON fields (`sites` hex + `fnv` checksum).
+    #[must_use]
+    pub fn to_fields(&self) -> Vec<(String, Json)> {
+        let packed = fsp_inject::pack_sites(&self.sites);
+        vec![
+            ("sites".to_owned(), Json::Str(to_hex(&packed))),
+            ("fnv".to_owned(), Json::Str(frame_fnv(&packed).to_string())),
+        ]
+    }
+
+    /// Decodes the frame from a JSON object carrying `sites` + `fnv`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on missing fields, bad hex, a checksum mismatch
+    /// or torn site packing.
+    pub fn from_json(value: &Json) -> Result<SiteFrame, String> {
+        let hex = value
+            .get("sites")
+            .and_then(Json::as_str)
+            .ok_or("frame missing `sites`")?;
+        let fnv = value
+            .get("fnv")
+            .and_then(Json::as_u64)
+            .ok_or("frame missing `fnv`")?;
+        let packed = from_hex(hex).ok_or("`sites` is not valid hex")?;
+        if frame_fnv(&packed) != fnv {
+            return Err("site frame checksum mismatch".to_owned());
+        }
+        let sites = fsp_inject::unpack_sites(&packed).ok_or("torn site frame")?;
+        Ok(SiteFrame { sites })
+    }
+}
+
+/// A worker's outcome submission for one lease: every record keyed exactly
+/// as the coordinator's outcome store will persist it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutcomeFrame {
+    /// The submitting worker's name (metrics attribution).
+    pub worker: String,
+    /// The decoded records.
+    pub records: Vec<(OutcomeKey, Outcome)>,
+}
+
+impl OutcomeFrame {
+    /// Encodes the frame as a JSON body for `POST /leases/:id/outcomes`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut raw = Vec::with_capacity(self.records.len() * RECORD_LEN);
+        for (key, outcome) in &self.records {
+            raw.extend_from_slice(&encode_record(key, *outcome));
+        }
+        Json::obj([
+            ("worker", Json::Str(self.worker.clone())),
+            ("records", Json::Str(to_hex(&raw))),
+            ("fnv", Json::Str(frame_fnv(&raw).to_string())),
+        ])
+    }
+
+    /// Decodes and verifies a submission body: frame checksum first, then
+    /// every record's own checksum.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on missing fields, bad hex, either checksum
+    /// failing, or a record count that does not divide into 32-byte
+    /// records.
+    pub fn from_json(value: &Json) -> Result<OutcomeFrame, String> {
+        let worker = value
+            .get("worker")
+            .and_then(Json::as_str)
+            .ok_or("frame missing `worker`")?
+            .to_owned();
+        let hex = value
+            .get("records")
+            .and_then(Json::as_str)
+            .ok_or("frame missing `records`")?;
+        let fnv = value
+            .get("fnv")
+            .and_then(Json::as_u64)
+            .ok_or("frame missing `fnv`")?;
+        let raw = from_hex(hex).ok_or("`records` is not valid hex")?;
+        if frame_fnv(&raw) != fnv {
+            return Err("outcome frame checksum mismatch".to_owned());
+        }
+        if raw.len() % RECORD_LEN != 0 {
+            return Err("outcome frame is not whole records".to_owned());
+        }
+        let records = raw
+            .chunks_exact(RECORD_LEN)
+            .map(|chunk| decode_record(chunk).ok_or("corrupt record in outcome frame"))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(OutcomeFrame { worker, records })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(bit: u32) -> OutcomeKey {
+        OutcomeKey::new(
+            0xDEAD_BEEF_0102_0304,
+            0x0505_0606_0707_0808,
+            FaultModel::SingleBitFlip,
+            FaultSite {
+                tid: 7,
+                dyn_idx: 21,
+                bit,
+            },
+        )
+    }
+
+    #[test]
+    fn record_codec_round_trips() {
+        let rec = encode_record(&key(3), Outcome::Sdc);
+        assert_eq!(decode_record(&rec), Some((key(3), Outcome::Sdc)));
+        // A single flipped byte fails the checksum.
+        let mut bad = rec;
+        bad[5] ^= 0x40;
+        assert_eq!(decode_record(&bad), None);
+        assert_eq!(decode_record(&rec[..31]), None);
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        assert_eq!(from_hex(&to_hex(&bytes)).unwrap(), bytes);
+        assert_eq!(from_hex("0g"), None);
+        assert_eq!(from_hex("012"), None);
+    }
+
+    #[test]
+    fn site_frame_round_trips_and_rejects_corruption() {
+        let frame = SiteFrame {
+            sites: (0..5)
+                .map(|i| FaultSite {
+                    tid: i,
+                    dyn_idx: i * 3,
+                    bit: 31 - i,
+                })
+                .collect(),
+        };
+        let json = Json::Obj(frame.to_fields());
+        assert_eq!(SiteFrame::from_json(&json).unwrap(), frame);
+
+        // Flip one nibble of the payload: the frame checksum must catch it.
+        let Json::Obj(mut pairs) = json else {
+            unreachable!()
+        };
+        if let Json::Str(hex) = &mut pairs[0].1 {
+            let mut chars: Vec<char> = hex.chars().collect();
+            chars[4] = if chars[4] == '0' { '1' } else { '0' };
+            *hex = chars.into_iter().collect();
+        }
+        assert!(SiteFrame::from_json(&Json::Obj(pairs)).is_err());
+    }
+
+    #[test]
+    fn outcome_frame_round_trips_and_rejects_corruption() {
+        let frame = OutcomeFrame {
+            worker: "w1".to_owned(),
+            records: vec![(key(0), Outcome::Masked), (key(1), Outcome::HANG)],
+        };
+        let text = frame.to_json().to_string();
+        let back = OutcomeFrame::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, frame);
+
+        // Tamper with the checksum field: rejected before record decode.
+        let tampered = text.replace("\"fnv\":\"", "\"fnv\":\"9");
+        assert!(OutcomeFrame::from_json(&Json::parse(&tampered).unwrap()).is_err());
+    }
+}

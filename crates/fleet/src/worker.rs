@@ -1,0 +1,319 @@
+//! The work-stealing worker runtime behind `fsp worker`.
+//!
+//! A worker is a plain loop: pull a lease from the coordinator, execute
+//! its chunk with the checkpoint-resume fast path, stream the outcomes
+//! back, repeat. All fault tolerance lives in the protocol rather than in
+//! worker state:
+//!
+//! * transient coordinator errors retry under capped exponential backoff
+//!   with jitter ([`crate::retry::Backoff`]);
+//! * a heartbeat thread renews the active lease at a third of its TTL; if
+//!   the coordinator reports the lease stolen (409) or gone (404), a lost
+//!   flag cancels the running campaign between chunks and the lease is
+//!   abandoned — the rightful holder finishes it;
+//! * a worker that dies loses only its leased chunk, which expires on the
+//!   coordinator and is re-served to whichever worker asks next.
+//!
+//! Workers hold no durable state. Outcome records are keyed with the
+//! fingerprint and (opaque) launch hash carried by the lease, so a
+//! worker's submission is byte-compatible with records the coordinator
+//! would have written locally — the store collapses duplicates and the
+//! final profile cannot depend on which worker ran what.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use fsp_inject::{CampaignObserver, Experiment, WeightedSite};
+use fsp_workloads::{Scale, Workload};
+
+use crate::json::Json;
+use crate::lease::Grant;
+use crate::retry::Backoff;
+use crate::wire::{OutcomeFrame, OutcomeKey};
+
+/// How many consecutive transport failures a worker tolerates before
+/// concluding the coordinator is gone for good.
+const MAX_TRANSPORT_FAILURES: u32 = 60;
+
+/// Worker configuration.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Coordinator address (`host:port`).
+    pub addr: String,
+    /// Worker name, used for lease attribution and metrics labels.
+    pub name: String,
+    /// OS threads for the injection campaign of each chunk.
+    pub campaign_workers: usize,
+    /// Exit once the coordinator reports no pending chunks (instead of
+    /// idling for more work).
+    pub exit_when_idle: bool,
+    /// Fault injection for tests and benchmarks: after completing this
+    /// many chunks, abandon the next granted lease without executing or
+    /// releasing it (simulates a worker crash mid-lease).
+    pub fail_after: Option<usize>,
+}
+
+impl WorkerConfig {
+    /// A worker named `name` against `addr`, with library defaults.
+    #[must_use]
+    pub fn new(addr: impl Into<String>, name: impl Into<String>) -> Self {
+        WorkerConfig {
+            addr: addr.into(),
+            name: name.into(),
+            campaign_workers: 1,
+            exit_when_idle: false,
+            fail_after: None,
+        }
+    }
+}
+
+/// What a worker did before exiting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// Chunks executed and delivered.
+    pub chunks: usize,
+    /// Fault sites in those chunks.
+    pub sites: usize,
+    /// Whether the worker exited via `fail_after` holding an undelivered
+    /// lease.
+    pub abandoned: bool,
+}
+
+/// One blocking HTTP exchange (the worker cannot use `fsp_serve::Client`
+/// without a dependency cycle; the protocol is four lines of HTTP/1.1).
+fn http(addr: &str, method: &str, path: &str, body: &str) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .map_err(|e| format!("sending request: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("reading response: {e}"))?;
+    let (head, response_body) = response
+        .split_once("\r\n\r\n")
+        .ok_or("truncated HTTP response")?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or("malformed status line")?;
+    Ok((status, response_body.to_owned()))
+}
+
+/// Cancels the running campaign between chunks once the lease is lost or
+/// the worker is asked to stop.
+struct LeaseObserver<'a> {
+    lost: &'a AtomicBool,
+    stop: &'a AtomicBool,
+}
+
+impl CampaignObserver for LeaseObserver<'_> {
+    fn should_cancel(&self) -> bool {
+        self.lost.load(Ordering::Relaxed) || self.stop.load(Ordering::Relaxed)
+    }
+}
+
+/// Prepared experiments, one per kernel the worker has seen.
+///
+/// [`Experiment`] borrows its workload, so cache entries are leaked to
+/// `'static`; the registry is small (17 kernels) and a worker process
+/// prepares each at most once, so the leak is bounded and intentional.
+#[derive(Default)]
+struct ExperimentCache {
+    entries: BTreeMap<String, &'static Experiment<'static, Workload>>,
+}
+
+impl ExperimentCache {
+    fn get(&mut self, kernel: &str) -> Result<&'static Experiment<'static, Workload>, String> {
+        if let Some(exp) = self.entries.get(kernel) {
+            return Ok(exp);
+        }
+        let workload = fsp_workloads::by_id(kernel, Scale::Eval)
+            .ok_or_else(|| format!("lease names unknown kernel `{kernel}`"))?;
+        let workload: &'static Workload = Box::leak(Box::new(workload));
+        let experiment =
+            Experiment::prepare(workload).map_err(|e| format!("preparing `{kernel}`: {e}"))?;
+        let experiment: &'static Experiment<'static, Workload> = Box::leak(Box::new(experiment));
+        self.entries.insert(kernel.to_owned(), experiment);
+        Ok(experiment)
+    }
+}
+
+/// Runs the worker loop until the fleet drains (`exit_when_idle`), `stop`
+/// is raised, or the coordinator stays unreachable past the transport
+/// failure budget.
+///
+/// # Errors
+///
+/// Unrecoverable conditions only: a kernel the worker cannot prepare, a
+/// fingerprint mismatch (worker built from different kernel sources than
+/// the coordinator), or a coordinator unreachable for the whole backoff
+/// budget. Lease races, stolen leases and duplicate submissions are
+/// handled silently — they are normal fleet weather.
+pub fn run_worker(config: &WorkerConfig, stop: &AtomicBool) -> Result<WorkerSummary, String> {
+    let mut cache = ExperimentCache::default();
+    let mut summary = WorkerSummary::default();
+    let seed = crate::wire::frame_fnv(config.name.as_bytes());
+    let mut poll = Backoff::poll(seed);
+    let mut failures = 0u32;
+
+    while !stop.load(Ordering::Relaxed) {
+        let body = Json::obj([("worker", Json::Str(config.name.clone()))]).to_string();
+        let response = match http(&config.addr, "POST", "/leases", &body) {
+            Ok((200, body)) => body,
+            Ok((status, body)) => {
+                return Err(format!(
+                    "coordinator refused lease request ({status}): {body}"
+                ))
+            }
+            Err(_) if failures + 1 < MAX_TRANSPORT_FAILURES => {
+                failures += 1;
+                poll.sleep();
+                continue;
+            }
+            Err(e) => return Err(format!("coordinator unreachable: {e}")),
+        };
+        failures = 0;
+        let value = Json::parse(&response).map_err(|e| format!("malformed grant: {e}"))?;
+        if value.get("lease").and_then(Json::as_str).is_none() {
+            let pending = value.get("pending").and_then(Json::as_u64).unwrap_or(0);
+            if pending == 0 && config.exit_when_idle {
+                return Ok(summary);
+            }
+            poll.sleep();
+            continue;
+        }
+        poll.reset();
+        let grant = Grant::from_json(&value)?;
+        if config.fail_after == Some(summary.chunks) {
+            // Crash simulation: die holding the lease. The coordinator's
+            // deadline machinery must recover it.
+            summary.abandoned = true;
+            return Ok(summary);
+        }
+        if execute_lease(config, &mut cache, &grant, stop)? {
+            summary.chunks += 1;
+            summary.sites += grant.sites.len();
+        }
+    }
+    Ok(summary)
+}
+
+/// Executes one granted lease: heartbeat thread + campaign + submission.
+/// Returns whether the chunk was delivered (false = lease lost or worker
+/// stopped; the chunk will be re-served).
+fn execute_lease(
+    config: &WorkerConfig,
+    cache: &mut ExperimentCache,
+    grant: &Grant,
+    stop: &AtomicBool,
+) -> Result<bool, String> {
+    let experiment = cache.get(&grant.kernel)?;
+    let local_fp = experiment.target().fingerprint();
+    if local_fp != grant.fingerprint {
+        return Err(format!(
+            "kernel `{}` fingerprint mismatch (lease {:#x}, local {:#x}): \
+             worker and coordinator run different kernel sources",
+            grant.kernel, grant.fingerprint, local_fp
+        ));
+    }
+
+    let lost = AtomicBool::new(false);
+    let done = AtomicBool::new(false);
+    let delivered = std::thread::scope(|scope| {
+        // Heartbeat at a third of the TTL; tolerate transport errors (the
+        // lease then simply risks expiry, which the protocol survives).
+        scope.spawn(|| {
+            let interval = (grant.ttl / 3).max(Duration::from_millis(20));
+            let slice = Duration::from_millis(10);
+            loop {
+                let mut slept = Duration::ZERO;
+                while slept < interval {
+                    if done.load(Ordering::Relaxed) || stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    std::thread::sleep(slice);
+                    slept += slice;
+                }
+                let body = Json::obj([("worker", Json::Str(config.name.clone()))]).to_string();
+                let path = format!("/leases/{}/heartbeat", grant.lease);
+                match http(&config.addr, "POST", &path, &body) {
+                    // Transport errors are tolerated like a successful
+                    // renewal: at worst the lease expires, which the
+                    // protocol survives. Only an explicit refusal
+                    // (stolen/gone) abandons the chunk.
+                    Ok((200, _)) | Err(_) => {}
+                    Ok((_, _)) => {
+                        lost.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            }
+        });
+
+        let sites: Vec<WeightedSite> = grant.sites.iter().map(|s| WeightedSite::from(*s)).collect();
+        let observer = LeaseObserver { lost: &lost, stop };
+        let run = experiment.run_campaign_incremental(
+            &sites,
+            grant.model,
+            config.campaign_workers,
+            &[],
+            &observer,
+        );
+        done.store(true, Ordering::Relaxed);
+        if run.cancelled || !run.is_complete() {
+            return Ok(false);
+        }
+
+        let records: Vec<_> = grant
+            .sites
+            .iter()
+            .zip(&run.outcomes)
+            .map(|(site, outcome)| {
+                let key = OutcomeKey {
+                    fingerprint: grant.fingerprint,
+                    launch: grant.launch,
+                    model: grant.model.code(),
+                    site: *site,
+                };
+                (key, outcome.expect("complete run"))
+            })
+            .collect();
+        let frame = OutcomeFrame {
+            worker: config.name.clone(),
+            records,
+        }
+        .to_json()
+        .to_string();
+        submit_outcomes(config, &grant.lease, &frame)
+    });
+    delivered
+}
+
+/// Streams an outcome frame back, retrying transient transport errors.
+/// 4xx means the lease is stale or the frame malformed — dropped, the
+/// chunk re-serves after expiry.
+fn submit_outcomes(config: &WorkerConfig, lease: &str, frame: &str) -> Result<bool, String> {
+    let seed = crate::wire::frame_fnv(lease.as_bytes());
+    let mut backoff = Backoff::poll(seed);
+    let path = format!("/leases/{lease}/outcomes");
+    for attempt in 0..MAX_TRANSPORT_FAILURES {
+        match http(&config.addr, "POST", &path, frame) {
+            Ok((200, _)) => return Ok(true),
+            Ok((_, _)) => return Ok(false),
+            Err(e) if attempt + 1 == MAX_TRANSPORT_FAILURES => {
+                return Err(format!("submitting outcomes: {e}"))
+            }
+            Err(_) => backoff.sleep(),
+        }
+    }
+    unreachable!("loop returns on the last attempt")
+}

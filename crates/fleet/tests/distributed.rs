@@ -1,0 +1,108 @@
+//! End-to-end distributed determinism: a real coordinator (engine + HTTP
+//! server) drained by two workers, one of which crashes holding a lease.
+//!
+//! This is the acceptance test for the fleet layer's core claim: the
+//! result document is **byte-identical** to an in-process `run_local`
+//! run regardless of worker count or kill schedule, expired leases are
+//! requeued (work stealing), and no fault site is double-counted.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use fsp_fleet::{run_worker, WorkerConfig};
+use fsp_serve::{Client, Engine, EngineConfig, JobSpec, Json, Server};
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("fsp-fleet-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn fleet_result_is_byte_identical_despite_worker_crash() {
+    let dir = scratch_dir("distributed");
+    let config = EngineConfig::new(&dir)
+        .job_workers(1)
+        .chunk_sites(8)
+        .lease_ttl(Duration::from_millis(500));
+    let engine = Arc::new(Engine::open(config).expect("open engine"));
+    let handle = Server::bind("127.0.0.1:0", Arc::clone(&engine))
+        .expect("bind ephemeral port")
+        .spawn()
+        .expect("spawn server");
+    let addr = handle.addr().to_string();
+    let client = Client::new(&addr);
+
+    let mut spec = JobSpec::sampled("pathfinder", 40);
+    spec.seed = 7;
+    let job = client.submit_fleet(&spec).expect("submit fleet job");
+
+    // Phase 1: a worker that "crashes" — it acquires its first lease and
+    // exits without executing or releasing it. The coordinator must
+    // recover that chunk through lease expiry alone.
+    let stop = AtomicBool::new(false);
+    let mut crasher = WorkerConfig::new(&addr, "crasher");
+    crasher.campaign_workers = 1;
+    crasher.fail_after = Some(0);
+    let crashed = run_worker(&crasher, &stop).expect("crasher loop");
+    assert!(crashed.abandoned, "crasher must die holding a lease");
+    assert_eq!(crashed.chunks, 0, "crasher must deliver nothing");
+
+    // Phase 2: a healthy worker drains the fleet, stealing the dead
+    // worker's chunk once its lease expires.
+    let status = std::thread::scope(|scope| {
+        let mut steady = WorkerConfig::new(&addr, "steady");
+        steady.campaign_workers = 1;
+        let stop = &stop;
+        scope.spawn(move || {
+            let _ = run_worker(&steady, stop);
+        });
+        let status = client
+            .wait(&job, Duration::from_secs(300))
+            .expect("job finishes");
+        stop.store(true, Ordering::Relaxed);
+        status
+    });
+    assert_eq!(
+        status.get("state").and_then(Json::as_str),
+        Some("completed"),
+        "job must complete: {status}"
+    );
+    let total = status.get("total").and_then(Json::as_u64).expect("total");
+    let done = status.get("done").and_then(Json::as_u64).expect("done");
+    assert_eq!(done, total, "every planned site resolved exactly once");
+
+    let fleet_doc = client.fleet_status().expect("fleet status");
+    let requeues = fleet_doc
+        .get("requeues")
+        .and_then(Json::as_u64)
+        .expect("requeues");
+    assert!(requeues >= 1, "the abandoned lease must be requeued");
+    // No double counting: sites credited across all workers equal the
+    // job's plan exactly — the stolen chunk was executed once, by the
+    // worker that stole it.
+    let credited: u64 = fleet_doc
+        .get("workers")
+        .and_then(Json::as_arr)
+        .expect("workers")
+        .iter()
+        .map(|w| w.get("sites").and_then(Json::as_u64).unwrap_or(0))
+        .sum();
+    assert_eq!(credited, total, "sites credited once across the fleet");
+
+    let fleet_result = client.result(&job).expect("result document").to_string();
+    handle.stop();
+    engine.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The whole point: distribution is placement, not policy. The result
+    // document matches a single-process run byte for byte.
+    let local = fsp_serve::run_local(&spec, 1)
+        .expect("local run")
+        .to_string();
+    assert_eq!(
+        fleet_result, local,
+        "fleet result must be byte-identical to `fsp submit --local`"
+    );
+}

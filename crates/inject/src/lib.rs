@@ -48,5 +48,5 @@ pub use fastpath::FastInjectionHook;
 pub use hook::InjectionHook;
 pub use model::FaultModel;
 pub use severity::{relative_l2_error, SeverityBucket};
-pub use site::{FaultSite, SiteSpace, WeightedSite};
+pub use site::{pack_sites, unpack_sites, FaultSite, SiteSpace, WeightedSite};
 pub use target::InjectionTarget;

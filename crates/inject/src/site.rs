@@ -38,6 +38,40 @@ impl From<FaultSite> for WeightedSite {
     }
 }
 
+/// Packs fault sites into a flat little-endian byte plan (12 bytes per
+/// site: `tid`, `dyn_idx`, `bit`), the chunk-plan serialization used by
+/// distributed campaign execution.
+#[must_use]
+pub fn pack_sites(sites: &[FaultSite]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(sites.len() * 12);
+    for site in sites {
+        out.extend_from_slice(&site.tid.to_le_bytes());
+        out.extend_from_slice(&site.dyn_idx.to_le_bytes());
+        out.extend_from_slice(&site.bit.to_le_bytes());
+    }
+    out
+}
+
+/// Unpacks a [`pack_sites`] plan; `None` if the byte length is not a
+/// multiple of the 12-byte site record (a torn plan).
+#[must_use]
+pub fn unpack_sites(bytes: &[u8]) -> Option<Vec<FaultSite>> {
+    if !bytes.len().is_multiple_of(12) {
+        return None;
+    }
+    let word = |b: &[u8]| u32::from_le_bytes(b.try_into().expect("4 bytes"));
+    Some(
+        bytes
+            .chunks_exact(12)
+            .map(|rec| FaultSite {
+                tid: word(&rec[0..4]),
+                dyn_idx: word(&rec[4..8]),
+                bit: word(&rec[8..12]),
+            })
+            .collect(),
+    )
+}
+
 /// The exhaustive fault-site population of one traced kernel launch.
 ///
 /// Construction requires a [`KernelTrace`] with *full* traces for every
@@ -302,6 +336,22 @@ mod tests {
             seen[site.tid as usize] = true;
         }
         assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn site_packing_round_trips() {
+        let sites: Vec<FaultSite> = (0..7)
+            .map(|i| FaultSite {
+                tid: i,
+                dyn_idx: u32::from_le_bytes([1, 2, 3, 4]).wrapping_add(i),
+                bit: 35 - i,
+            })
+            .collect();
+        let packed = pack_sites(&sites);
+        assert_eq!(packed.len(), sites.len() * 12);
+        assert_eq!(unpack_sites(&packed).unwrap(), sites);
+        assert_eq!(unpack_sites(&[]).unwrap(), Vec::new());
+        assert_eq!(unpack_sites(&packed[..13]), None, "torn plan rejected");
     }
 
     #[test]

@@ -35,6 +35,35 @@ impl Client {
             .ok_or_else(|| "malformed submit response".to_owned())
     }
 
+    /// Submits a job for fleet execution: the campaign is sharded into
+    /// leases drained by `fsp worker` processes instead of the server's
+    /// in-process pool. Returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and server-side rejections (as their message).
+    pub fn submit_fleet(&self, spec: &JobSpec) -> Result<String, String> {
+        let mut doc = spec.to_json();
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.push(("fleet".to_owned(), Json::Bool(true)));
+        }
+        let body = expect_json(self.request("POST", "/jobs", Some(&doc.to_string()))?)?;
+        body.get("id")
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| "malformed submit response".to_owned())
+    }
+
+    /// The fleet status document (`GET /fleet`): chunk counts by state
+    /// and per-worker lease/heartbeat/throughput counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn fleet_status(&self) -> Result<Json, String> {
+        expect_json(self.request("GET", "/fleet", None)?)
+    }
+
     /// The job's status document.
     ///
     /// # Errors
@@ -54,13 +83,17 @@ impl Client {
     }
 
     /// Polls until the job leaves the queued/running states, then returns
-    /// its final status document.
+    /// its final status document. Polling backs off exponentially with
+    /// jitter (the fleet retry schedule, [`fsp_fleet::Backoff`]): quick
+    /// first checks for short jobs, a capped gentle cadence for long ones,
+    /// and decorrelated load when many clients wait at once.
     ///
     /// # Errors
     ///
     /// Transport failures, or `timeout` elapsing first.
     pub fn wait(&self, id: &str, timeout: Duration) -> Result<Json, String> {
         let deadline = Instant::now() + timeout;
+        let mut backoff = fsp_fleet::Backoff::poll(fsp_fleet::wire::frame_fnv(id.as_bytes()));
         loop {
             let status = self.status(id)?;
             match status.get("state").and_then(Json::as_str) {
@@ -68,10 +101,12 @@ impl Client {
                 Some(_) => return Ok(status),
                 None => return Err("status document missing `state`".to_owned()),
             }
-            if Instant::now() >= deadline {
+            let now = Instant::now();
+            if now >= deadline {
                 return Err(format!("timed out waiting for {id}"));
             }
-            std::thread::sleep(Duration::from_millis(50));
+            // Never sleep past the caller's deadline.
+            std::thread::sleep(backoff.next_delay().min(deadline - now));
         }
     }
 

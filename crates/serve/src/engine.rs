@@ -21,6 +21,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use fsp_core::{PruningConfig, PruningPipeline};
+use fsp_fleet::lease::{ChunkSpec, FleetConfig, LeaseTable, Submission};
+use fsp_fleet::wire::OutcomeFrame;
 use fsp_inject::{CampaignObserver, Experiment, InjectionTarget, WeightedSite};
 use fsp_protect::{
     harden, harden_and_verify, plan_protection, remap_sites, HardenConfig, PlanInputs,
@@ -60,6 +62,8 @@ pub struct EngineConfig {
     pub job_workers: usize,
     /// OS threads per job's injection campaign.
     pub campaign_workers: usize,
+    /// Lease TTL and chunk granularity for fleet-executed jobs.
+    pub fleet: FleetConfig,
 }
 
 impl EngineConfig {
@@ -71,6 +75,7 @@ impl EngineConfig {
             data_dir: data_dir.into(),
             job_workers: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
             campaign_workers: 1,
+            fleet: FleetConfig::default(),
         }
     }
 
@@ -78,6 +83,20 @@ impl EngineConfig {
     #[must_use]
     pub fn job_workers(mut self, n: usize) -> EngineConfig {
         self.job_workers = n.max(1);
+        self
+    }
+
+    /// Overrides the fleet lease TTL (heartbeat deadline).
+    #[must_use]
+    pub fn lease_ttl(mut self, ttl: Duration) -> EngineConfig {
+        self.fleet.lease_ttl = ttl;
+        self
+    }
+
+    /// Overrides the fleet chunk granularity (`0` is clamped to 1).
+    #[must_use]
+    pub fn chunk_sites(mut self, n: usize) -> EngineConfig {
+        self.fleet.chunk_sites = n.max(1);
         self
     }
 }
@@ -104,6 +123,7 @@ struct Shared {
     shutdown: AtomicBool,
     next_id: AtomicU64,
     campaign_workers: usize,
+    leases: LeaseTable,
 }
 
 /// The campaign orchestration engine. Open one per data directory; share
@@ -134,6 +154,7 @@ impl Engine {
             data_dir,
             job_workers,
             campaign_workers,
+            fleet,
         } = config;
         let store = OutcomeStore::open(data_dir.join("store"))?;
         let jobs_dir = data_dir.join("jobs");
@@ -184,6 +205,7 @@ impl Engine {
             shutdown: AtomicBool::new(false),
             next_id: AtomicU64::new(max_id + 1),
             campaign_workers: campaign_workers.max(1),
+            leases: LeaseTable::new(fleet),
         });
         {
             let mut jobs = shared.jobs.lock().expect("engine poisoned");
@@ -221,6 +243,19 @@ impl Engine {
     ///
     /// Rejects unknown kernels (with the known ids in the message).
     pub fn submit(&self, spec: JobSpec) -> Result<String, String> {
+        self.submit_with(spec, false)
+    }
+
+    /// Submits a job, optionally placing its campaign on the worker fleet
+    /// (leased chunks drained by `fsp worker` processes) instead of the
+    /// in-process pool. Protect jobs ignore the placement flag: their
+    /// re-injection campaign targets a hardened program workers cannot
+    /// re-derive from a kernel id, so they always run in-process.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown kernels (with the known ids in the message).
+    pub fn submit_with(&self, spec: JobSpec, fleet: bool) -> Result<String, String> {
         if fsp_workloads::by_id(&spec.kernel, Scale::Eval).is_none() {
             return Err(format!(
                 "unknown kernel `{}` (try: {})",
@@ -232,7 +267,8 @@ impl Engine {
             "job-{}",
             self.shared.next_id.fetch_add(1, Ordering::Relaxed)
         );
-        let record = JobRecord::new(id.clone(), spec);
+        let mut record = JobRecord::new(id.clone(), spec);
+        record.fleet = fleet && !matches!(record.spec.mode, CampaignMode::Protect { .. });
         {
             let mut jobs = self.shared.jobs.lock().expect("engine poisoned");
             persist(&self.shared.jobs_dir, &record);
@@ -322,6 +358,106 @@ impl Engine {
         }
     }
 
+    /// Grants a lease to `worker`, requeuing expired leases first
+    /// (`POST /leases`). When nothing is available the body carries the
+    /// count of still-pending chunks so idle workers can tell a drained
+    /// fleet from a fully-leased one.
+    #[must_use]
+    pub fn fleet_acquire(&self, worker: &str) -> Json {
+        let acquired = self.shared.leases.acquire(worker);
+        match acquired.grant {
+            Some(grant) => grant.to_json(),
+            None => Json::obj([
+                ("lease", Json::Null),
+                ("pending", Json::u64(acquired.pending as u64)),
+            ]),
+        }
+    }
+
+    /// Renews a lease's deadline (`POST /leases/:id/heartbeat`). Returns
+    /// `(status, body)`: 404 for a lease that no longer exists, 409 for
+    /// one stolen by another worker — either way the renewing worker
+    /// should abandon the chunk.
+    #[must_use]
+    pub fn fleet_heartbeat(&self, lease: &str, worker: &str) -> (u16, Json) {
+        match self.shared.leases.heartbeat(lease, worker) {
+            Ok(ttl) => (
+                200,
+                Json::obj([("ttl_ms", Json::u64(ttl.as_millis() as u64))]),
+            ),
+            Err(fsp_fleet::HeartbeatError::Unknown) => (404, error_json("unknown lease")),
+            Err(fsp_fleet::HeartbeatError::NotHolder) => {
+                (409, error_json("lease stolen by another worker"))
+            }
+        }
+    }
+
+    /// Accepts a worker's outcome frame (`POST /leases/:id/outcomes`).
+    ///
+    /// Every record is validated against the lease's key fields, then
+    /// persisted to the outcome store *before* the lease is marked done —
+    /// the store is the durability boundary, so a coordinator crash after
+    /// this call can never lose an acknowledged chunk. Duplicate and
+    /// stale deliveries (the normal weather of at-least-once delivery)
+    /// return 200 with `accepted: 0` so workers move on quietly.
+    #[must_use]
+    pub fn fleet_submit_outcomes(&self, lease: &str, body: &Json) -> (u16, Json) {
+        let frame = match OutcomeFrame::from_json(body) {
+            Ok(frame) => frame,
+            Err(e) => return (400, error_json(&e)),
+        };
+        let Some(meta) = self.shared.leases.meta(lease) else {
+            return (
+                200,
+                Json::obj([("accepted", Json::u64(0)), ("stale", Json::Bool(true))]),
+            );
+        };
+        let model = meta.model.code();
+        if frame.records.iter().any(|(k, _)| {
+            k.fingerprint != meta.fingerprint || k.launch != meta.launch || k.model != model
+        }) {
+            return (
+                400,
+                error_json("frame records do not match the lease's campaign"),
+            );
+        }
+        {
+            let mut store = self.shared.store.lock().expect("engine poisoned");
+            for (key, outcome) in &frame.records {
+                if let Err(e) = store.insert(*key, *outcome) {
+                    eprintln!("fsp-serve: store append failed: {e}");
+                }
+            }
+            let _ = store.flush();
+        }
+        let outcomes: std::collections::BTreeMap<_, _> =
+            frame.records.iter().map(|(k, o)| (k.site, *o)).collect();
+        match self.shared.leases.complete(lease, &frame.worker, &outcomes) {
+            Submission::Accepted => (
+                200,
+                Json::obj([("accepted", Json::u64(frame.records.len() as u64))]),
+            ),
+            Submission::Duplicate => (
+                200,
+                Json::obj([("accepted", Json::u64(0)), ("duplicate", Json::Bool(true))]),
+            ),
+            // The lease vanished between `meta` and `complete` (job
+            // retracted): the records were valid, treat as stale.
+            Submission::Unknown => (
+                200,
+                Json::obj([("accepted", Json::u64(0)), ("stale", Json::Bool(true))]),
+            ),
+            Submission::Incomplete => (400, error_json("frame does not cover the lease's sites")),
+        }
+    }
+
+    /// The fleet status document (`GET /fleet`): chunk counts by state,
+    /// requeue/duplicate totals and per-worker counters.
+    #[must_use]
+    pub fn fleet_status_json(&self) -> Json {
+        self.shared.leases.status_json()
+    }
+
     /// Prometheus text exposition of the service metrics.
     #[must_use]
     pub fn metrics_text(&self) -> String {
@@ -338,7 +474,9 @@ impl Engine {
                 .collect()
         };
         let store_len = self.shared.store.lock().expect("engine poisoned").len() as u64;
-        self.shared.metrics.render(&by_state, store_len)
+        let mut text = self.shared.metrics.render(&by_state, store_len);
+        self.shared.leases.render_metrics(&mut text);
+        text
     }
 
     /// Blocks until no job is queued or running, or `timeout` elapses;
@@ -592,7 +730,7 @@ enum RunEnd {
 }
 
 fn run_job(shared: &Shared, id: &str) {
-    let spec = {
+    let (spec, fleet) = {
         let mut jobs = shared.jobs.lock().expect("engine poisoned");
         let Some(record) = jobs.get_mut(id) else {
             return;
@@ -603,7 +741,7 @@ fn run_job(shared: &Shared, id: &str) {
         }
         record.state = JobState::Running;
         persist(&shared.jobs_dir, record);
-        record.spec.clone()
+        (record.spec.clone(), record.fleet)
     };
     let cancel = Arc::new(AtomicBool::new(false));
     shared
@@ -611,7 +749,7 @@ fn run_job(shared: &Shared, id: &str) {
         .lock()
         .expect("engine poisoned")
         .insert(id.to_owned(), Arc::clone(&cancel));
-    let end = execute(shared, id, &spec, &cancel);
+    let end = execute(shared, id, &spec, fleet, &cancel);
     shared
         .cancel_flags
         .lock()
@@ -651,7 +789,7 @@ fn run_job(shared: &Shared, id: &str) {
     persist(&shared.jobs_dir, record);
 }
 
-fn execute(shared: &Shared, id: &str, spec: &JobSpec, cancel: &AtomicBool) -> RunEnd {
+fn execute(shared: &Shared, id: &str, spec: &JobSpec, fleet: bool, cancel: &AtomicBool) -> RunEnd {
     let Some(workload) = fsp_workloads::by_id(&spec.kernel, Scale::Eval) else {
         return RunEnd::Failed(format!("unknown kernel `{}`", spec.kernel));
     };
@@ -690,16 +828,21 @@ fn execute(shared: &Shared, id: &str, spec: &JobSpec, cancel: &AtomicBool) -> Ru
     let fingerprint = workload.fingerprint();
     let launch = keyed_launch_hash(&workload);
     reset_progress(shared, id, sites.len());
-    let outcomes = match campaign_through_store(
-        shared,
-        id,
-        spec,
-        &experiment,
-        sites,
-        fingerprint,
-        launch,
-        cancel,
-    ) {
+    let campaign = if fleet {
+        fleet_campaign_through_store(shared, id, spec, sites, fingerprint, launch, cancel)
+    } else {
+        campaign_through_store(
+            shared,
+            id,
+            spec,
+            &experiment,
+            sites,
+            fingerprint,
+            launch,
+            cancel,
+        )
+    };
+    let outcomes = match campaign {
         Ok(outcomes) => outcomes,
         Err(end) => return end,
     };
@@ -917,6 +1060,134 @@ fn campaign_through_store<T: InjectionTarget>(
         .into_iter()
         .map(|o| o.expect("uncancelled campaign resolves every site"))
         .collect())
+}
+
+/// Runs one campaign on the worker fleet: resolves store hits exactly
+/// like the in-process path, shards the misses into chunk leases, then
+/// supervises until every chunk is delivered by some worker.
+///
+/// The supervisor never touches the store — outcome frames are persisted
+/// (and flushed) by the HTTP submission path *before* a lease is marked
+/// done, so by the time a chunk appears here its records are durable.
+/// Outcomes are assembled into the plan's site order, which makes the
+/// final profile byte-identical to the in-process path regardless of
+/// worker count, chunk interleaving, lease steals or duplicate
+/// deliveries.
+///
+/// `Err` carries the terminal [`RunEnd`] when the job was stopped; the
+/// job's published leases are retracted so workers stop pulling them.
+fn fleet_campaign_through_store(
+    shared: &Shared,
+    id: &str,
+    spec: &JobSpec,
+    sites: &[WeightedSite],
+    fingerprint: u64,
+    launch: u64,
+    cancel: &AtomicBool,
+) -> Result<Vec<Outcome>, RunEnd> {
+    let keys: Vec<OutcomeKey> = sites
+        .iter()
+        .map(|ws| OutcomeKey::new(fingerprint, launch, spec.model, ws.site))
+        .collect();
+    let mut outcomes: Vec<Option<Outcome>> = {
+        let store = shared.store.lock().expect("engine poisoned");
+        keys.iter().map(|k| store.get(k)).collect()
+    };
+    let hits = outcomes.iter().filter(|o| o.is_some()).count();
+    {
+        let mut jobs = shared.jobs.lock().expect("engine poisoned");
+        if let Some(record) = jobs.get_mut(id) {
+            record.done += hits;
+            record.cache_hits += hits;
+            for (ws, o) in sites.iter().zip(&outcomes) {
+                if let Some(o) = o {
+                    record.partial.record_weighted(*o, ws.weight);
+                }
+            }
+            persist(&shared.jobs_dir, record);
+        }
+    }
+
+    // Shard the misses. A sampled plan may repeat a site; every index gets
+    // its outcome from its own chunk's map, so repeats are harmless.
+    let miss: Vec<usize> = (0..sites.len())
+        .filter(|&i| outcomes[i].is_none())
+        .collect();
+    let chunk_len = shared.leases.config().chunk_sites.max(1);
+    let chunks: Vec<Vec<usize>> = miss.chunks(chunk_len).map(<[usize]>::to_vec).collect();
+    let specs: Vec<ChunkSpec> = chunks
+        .iter()
+        .enumerate()
+        .map(|(chunk_idx, indices)| ChunkSpec {
+            job: id.to_owned(),
+            chunk_idx,
+            kernel: spec.kernel.clone(),
+            model: spec.model,
+            fingerprint,
+            launch,
+            sites: indices.iter().map(|&i| sites[i].site).collect(),
+        })
+        .collect();
+    let started = Instant::now();
+    let mut remaining = specs.len();
+    shared.leases.publish(specs);
+
+    while remaining > 0 {
+        if shared.shutdown.load(Ordering::Relaxed) || cancel.load(Ordering::Relaxed) {
+            shared.leases.retract_job(id);
+            if shared.shutdown.load(Ordering::Relaxed) {
+                return Err(RunEnd::Interrupted);
+            }
+            return Err(RunEnd::Cancelled);
+        }
+        let delivered = shared.leases.take_completed(id);
+        if delivered.is_empty() {
+            shared.leases.wait_progress(Duration::from_millis(200));
+            continue;
+        }
+        {
+            let mut jobs = shared.jobs.lock().expect("engine poisoned");
+            for (chunk_idx, map) in delivered {
+                for &i in &chunks[chunk_idx] {
+                    let o = *map
+                        .get(&sites[i].site)
+                        .expect("lease completion covers every chunk site");
+                    outcomes[i] = Some(o);
+                    if let Some(record) = jobs.get_mut(id) {
+                        record.done += 1;
+                        record.partial.record_weighted(o, sites[i].weight);
+                    }
+                }
+                remaining -= 1;
+            }
+            if let Some(record) = jobs.get_mut(id) {
+                persist(&shared.jobs_dir, record);
+            }
+        }
+        shared.leases.prune_delivered(id);
+    }
+    shared.metrics.record_campaign(
+        mode_index(spec.mode.mode_name()),
+        hits as u64,
+        miss.len() as u64,
+        started.elapsed().as_nanos() as u64,
+    );
+    {
+        let mut store = shared.store.lock().expect("engine poisoned");
+        if store.appended_since_checkpoint() >= CHECKPOINT_EVERY {
+            if let Err(e) = store.checkpoint() {
+                eprintln!("fsp-serve: store checkpoint failed: {e}");
+            }
+        }
+    }
+    Ok(outcomes
+        .into_iter()
+        .map(|o| o.expect("all chunks delivered"))
+        .collect())
+}
+
+fn error_json(message: &str) -> Json {
+    Json::obj([("error", Json::Str(message.to_owned()))])
 }
 
 /// The weighted profile of a complete campaign, accumulated in site order

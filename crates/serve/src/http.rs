@@ -1,29 +1,43 @@
 //! A minimal HTTP/1.1 server over `std::net` exposing the engine.
 //!
-//! | Method | Path               | Body / response                        |
-//! |--------|--------------------|----------------------------------------|
-//! | POST   | `/jobs`            | job spec JSON → `{"id": "job-n"}`      |
-//! | GET    | `/jobs`            | array of job status documents          |
-//! | GET    | `/jobs/:id`        | job status document                    |
-//! | GET    | `/jobs/:id/result` | canonical result document (409 early)  |
-//! | POST   | `/jobs/:id/cancel` | `{"cancelled": true}`                  |
-//! | GET    | `/kernels`         | kernel registry with fingerprints      |
-//! | GET    | `/metrics`         | Prometheus text exposition             |
+//! | Method | Path                     | Body / response                        |
+//! |--------|--------------------------|----------------------------------------|
+//! | POST   | `/jobs`                  | job spec JSON (+ optional `"fleet"`) → `{"id": "job-n"}` |
+//! | GET    | `/jobs`                  | array of job status documents          |
+//! | GET    | `/jobs/:id`              | job status document                    |
+//! | GET    | `/jobs/:id/result`       | canonical result document (409 early)  |
+//! | POST   | `/jobs/:id/cancel`       | `{"cancelled": true}`                  |
+//! | POST   | `/leases`                | `{"worker": name}` → lease grant or `{"lease": null, "pending": n}` |
+//! | POST   | `/leases/:id/heartbeat`  | `{"worker": name}` → `{"ttl_ms": n}` (404 gone, 409 stolen) |
+//! | POST   | `/leases/:id/outcomes`   | checksummed outcome frame → `{"accepted": n}` |
+//! | GET    | `/fleet`                 | fleet status (chunks, workers)         |
+//! | GET    | `/kernels`               | kernel registry with fingerprints      |
+//! | GET    | `/metrics`               | Prometheus text exposition             |
 //!
 //! Connections are `Connection: close`, one thread per request — campaign
-//! throughput, not HTTP throughput, is the bottleneck by design.
+//! throughput, not HTTP throughput, is the bottleneck by design. Every
+//! connection gets a read/write deadline ([`SOCKET_TIMEOUT`]) so a stalled
+//! or half-open peer cannot pin its handler thread forever.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use crate::engine::{kernels_json, Engine, ResultError};
 use crate::job::JobSpec;
 use crate::json::Json;
 
-/// Largest accepted request body (a job spec is tiny).
+/// Largest accepted request body (a job spec is tiny; the largest outcome
+/// frame — a full lease chunk of hex-armored 32-byte records — stays well
+/// under this).
 const MAX_BODY: usize = 1 << 20;
+
+/// Per-connection socket deadline, applied to both reads and writes. One
+/// slow, stalled or half-open client (a worker dying mid-request, a
+/// dropped network link) would otherwise pin its handler thread forever.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// A bound, not-yet-serving HTTP server.
 #[derive(Debug)]
@@ -110,12 +124,24 @@ fn serve_until(listener: &TcpListener, engine: &Arc<Engine>, stop: &AtomicBool) 
         }
         match stream {
             Ok(stream) => {
+                // A stalled client must never pin its handler thread:
+                // bound every socket operation. `Some(..)` is never zero,
+                // so set_* cannot fail with InvalidInput.
+                let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+                let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
                 let engine = Arc::clone(engine);
                 let spawned = std::thread::Builder::new()
                     .name("fsp-http-conn".to_owned())
                     .spawn(move || {
                         if let Err(e) = handle_connection(stream, &engine) {
-                            eprintln!("fsp-serve: connection error: {e}");
+                            // Deadline expiries are routine (slow or gone
+                            // peers); close silently rather than spam.
+                            if !matches!(
+                                e.kind(),
+                                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                            ) {
+                                eprintln!("fsp-serve: connection error: {e}");
+                            }
                         }
                     });
                 if let Err(e) = spawned {
@@ -189,14 +215,49 @@ const JSON: &str = "application/json";
 
 fn route(engine: &Engine, method: &str, path: &str, body: &str) -> (u16, &'static str, String) {
     match (method, path) {
-        ("POST", "/jobs") => match Json::parse(body)
-            .and_then(|v| JobSpec::from_json(&v))
-            .and_then(|spec| engine.submit(spec))
-        {
+        ("POST", "/jobs") => match Json::parse(body).and_then(|v| {
+            let fleet = v.get("fleet").and_then(Json::as_bool).unwrap_or(false);
+            JobSpec::from_json(&v).and_then(|spec| engine.submit_with(spec, fleet))
+        }) {
             Ok(id) => (200, JSON, Json::obj([("id", Json::Str(id))]).to_string()),
             Err(e) => (400, JSON, error_body(&e)),
         },
         ("GET", "/jobs") => (200, JSON, engine.jobs_json().to_string()),
+        ("POST", "/leases") => match Json::parse(body) {
+            Ok(v) => {
+                let worker = v
+                    .get("worker")
+                    .and_then(Json::as_str)
+                    .unwrap_or("anonymous");
+                (200, JSON, engine.fleet_acquire(worker).to_string())
+            }
+            Err(e) => (400, JSON, error_body(&e)),
+        },
+        ("POST", _) if path.starts_with("/leases/") && path.ends_with("/heartbeat") => {
+            let id = &path["/leases/".len()..path.len() - "/heartbeat".len()];
+            match Json::parse(body) {
+                Ok(v) => {
+                    let worker = v
+                        .get("worker")
+                        .and_then(Json::as_str)
+                        .unwrap_or("anonymous");
+                    let (status, response) = engine.fleet_heartbeat(id, worker);
+                    (status, JSON, response.to_string())
+                }
+                Err(e) => (400, JSON, error_body(&e)),
+            }
+        }
+        ("POST", _) if path.starts_with("/leases/") && path.ends_with("/outcomes") => {
+            let id = &path["/leases/".len()..path.len() - "/outcomes".len()];
+            match Json::parse(body) {
+                Ok(v) => {
+                    let (status, response) = engine.fleet_submit_outcomes(id, &v);
+                    (status, JSON, response.to_string())
+                }
+                Err(e) => (400, JSON, error_body(&e)),
+            }
+        }
+        ("GET", "/fleet") => (200, JSON, engine.fleet_status_json().to_string()),
         ("GET", "/kernels") => (200, JSON, kernels_json().to_string()),
         ("GET", "/metrics") => (200, "text/plain; version=0.0.4", engine.metrics_text()),
         ("GET", _) if path.starts_with("/jobs/") && path.ends_with("/result") => {

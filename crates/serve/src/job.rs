@@ -303,6 +303,11 @@ pub struct JobRecord {
     pub error: Option<String>,
     /// The result, when `state == Completed`.
     pub result: Option<JobResult>,
+    /// Whether the campaign executes on the worker fleet instead of the
+    /// in-process pool. Deliberately *not* part of [`JobSpec`]: execution
+    /// placement must never leak into the canonical result document,
+    /// which is byte-identical however the outcomes were computed.
+    pub fleet: bool,
 }
 
 /// Encodes a profile's raw weights (bit-exact round trip).
@@ -356,6 +361,7 @@ impl JobRecord {
             partial: ResilienceProfile::new(),
             error: None,
             result: None,
+            fleet: false,
         }
     }
 
@@ -370,6 +376,9 @@ impl JobRecord {
         pairs.push(("total".to_owned(), Json::u64(self.total as u64)));
         pairs.push(("done".to_owned(), Json::u64(self.done as u64)));
         pairs.push(("cache_hits".to_owned(), Json::u64(self.cache_hits as u64)));
+        if self.fleet {
+            pairs.push(("fleet".to_owned(), Json::Bool(true)));
+        }
         pairs.push(("partial".to_owned(), profile_to_json(&self.partial)));
         if let Some(error) = &self.error {
             pairs.push(("error".to_owned(), Json::Str(error.clone())));
@@ -432,6 +441,7 @@ impl JobRecord {
             partial,
             error: value.get("error").and_then(Json::as_str).map(str::to_owned),
             result,
+            fleet: value.get("fleet").and_then(Json::as_bool).unwrap_or(false),
         })
     }
 }

@@ -1,395 +1,10 @@
-//! A minimal JSON value, encoder and parser for the service wire types.
+//! The service JSON layer: re-exported from the fleet wire stack.
 //!
-//! The workspace's `serde` is an offline no-op stub, so the service speaks
-//! JSON through this hand-rolled module instead. It is deliberately small:
-//! one [`Json`] tree type, a strict recursive-descent parser and a compact
-//! encoder. Two properties matter to the service and are tested:
-//!
-//! * **Numeric exactness** — `f64` values encode via Rust's shortest
-//!   round-trip formatting, so a resilience profile survives the wire
-//!   bit-identically (the warm-cache acceptance check diffs profiles for
-//!   exact equality).
-//! * **Deterministic output** — objects preserve insertion order, so the
-//!   same value always encodes to the same bytes (CI diffs service output
-//!   against in-process output textually).
+//! The hand-rolled JSON value (bit-exact `f64` round trip, insertion-order
+//! objects) moved down into [`fsp_fleet::json`] when the distributed layer
+//! was introduced — lease grants and outcome frames share the exact
+//! encoder with job documents, so a profile computed by a fleet of workers
+//! serializes identically to one computed in-process. This module keeps
+//! the historical `fsp_serve::json::Json` path alive.
 
-use std::fmt;
-
-/// A JSON value. Objects preserve insertion order.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any number (JSON numbers are doubles on the wire).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object, as ordered key/value pairs.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Builds an object from pairs.
-    #[must_use]
-    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
-        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
-    }
-
-    /// Object field lookup (first match); `None` on non-objects.
-    #[must_use]
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The string payload, if this is a string.
-    #[must_use]
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The numeric payload, if this is a number.
-    #[must_use]
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// The payload as an exact unsigned integer. Accepts integral numbers
-    /// within `f64`'s exact range and decimal strings (the wire encodes
-    /// 64-bit values beyond 2^53 — e.g. fingerprints — as strings).
-    #[must_use]
-    pub fn as_u64(&self) -> Option<u64> {
-        match self {
-            Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= 9_007_199_254_740_992.0 => {
-                Some(*n as u64)
-            }
-            Json::Str(s) => s.parse().ok(),
-            _ => None,
-        }
-    }
-
-    /// The boolean payload, if this is a boolean.
-    #[must_use]
-    pub fn as_bool(&self) -> Option<bool> {
-        match self {
-            Json::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-
-    /// The element list, if this is an array.
-    #[must_use]
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-
-    /// Encodes a `u64` losslessly: as a JSON number when `f64`-exact,
-    /// as a decimal string beyond 2^53 (see [`Json::as_u64`]).
-    #[must_use]
-    pub fn u64(v: u64) -> Json {
-        if v <= 9_007_199_254_740_992 {
-            Json::Num(v as f64)
-        } else {
-            Json::Str(v.to_string())
-        }
-    }
-
-    /// Parses a JSON document (strict: one value, trailing whitespace only).
-    ///
-    /// # Errors
-    ///
-    /// Returns a position-annotated message on malformed input.
-    pub fn parse(text: &str) -> Result<Json, String> {
-        let bytes = text.as_bytes();
-        let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing data at byte {pos}"));
-        }
-        Ok(value)
-    }
-}
-
-impl fmt::Display for Json {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Json::Null => f.write_str("null"),
-            Json::Bool(b) => write!(f, "{b}"),
-            Json::Num(n) => {
-                if n.is_finite() {
-                    // Integral values print without the trailing ".0";
-                    // everything else uses shortest-round-trip formatting.
-                    // Both parse back to the identical f64.
-                    if n.fract() == 0.0 && n.abs() < 1e15 {
-                        write!(f, "{n:.0}")
-                    } else {
-                        write!(f, "{n:?}")
-                    }
-                } else {
-                    // JSON has no Inf/NaN; the wire types never produce
-                    // them (profiles are finite by construction).
-                    f.write_str("null")
-                }
-            }
-            Json::Str(s) => write_escaped(f, s),
-            Json::Arr(items) => {
-                f.write_str("[")?;
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        f.write_str(",")?;
-                    }
-                    write!(f, "{item}")?;
-                }
-                f.write_str("]")
-            }
-            Json::Obj(pairs) => {
-                f.write_str("{")?;
-                for (i, (k, v)) in pairs.iter().enumerate() {
-                    if i > 0 {
-                        f.write_str(",")?;
-                    }
-                    write_escaped(f, k)?;
-                    f.write_str(":")?;
-                    write!(f, "{v}")?;
-                }
-                f.write_str("}")
-            }
-        }
-    }
-}
-
-fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
-    f.write_str("\"")?;
-    for c in s.chars() {
-        match c {
-            '"' => f.write_str("\\\"")?,
-            '\\' => f.write_str("\\\\")?,
-            '\n' => f.write_str("\\n")?,
-            '\r' => f.write_str("\\r")?,
-            '\t' => f.write_str("\\t")?,
-            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
-            c => write!(f, "{c}")?,
-        }
-    }
-    f.write_str("\"")
-}
-
-fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    skip_ws(bytes, pos);
-    match bytes.get(*pos) {
-        None => Err("unexpected end of input".to_owned()),
-        Some(b'n') => expect_literal(bytes, pos, "null", Json::Null),
-        Some(b't') => expect_literal(bytes, pos, "true", Json::Bool(true)),
-        Some(b'f') => expect_literal(bytes, pos, "false", Json::Bool(false)),
-        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
-        Some(b'[') => {
-            *pos += 1;
-            let mut items = Vec::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(Json::Arr(items));
-            }
-            loop {
-                items.push(parse_value(bytes, pos)?);
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(Json::Arr(items));
-                    }
-                    _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
-                }
-            }
-        }
-        Some(b'{') => {
-            *pos += 1;
-            let mut pairs = Vec::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(Json::Obj(pairs));
-            }
-            loop {
-                skip_ws(bytes, pos);
-                let key = parse_string(bytes, pos)?;
-                skip_ws(bytes, pos);
-                if bytes.get(*pos) != Some(&b':') {
-                    return Err(format!("expected ':' at byte {pos}", pos = *pos));
-                }
-                *pos += 1;
-                let value = parse_value(bytes, pos)?;
-                pairs.push((key, value));
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(Json::Obj(pairs));
-                    }
-                    _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
-                }
-            }
-        }
-        Some(_) => parse_number(bytes, pos),
-    }
-}
-
-fn expect_literal(
-    bytes: &[u8],
-    pos: &mut usize,
-    literal: &str,
-    value: Json,
-) -> Result<Json, String> {
-    if bytes[*pos..].starts_with(literal.as_bytes()) {
-        *pos += literal.len();
-        Ok(value)
-    } else {
-        Err(format!("bad literal at byte {pos}", pos = *pos))
-    }
-}
-
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
-    if bytes.get(*pos) != Some(&b'"') {
-        return Err(format!("expected string at byte {pos}", pos = *pos));
-    }
-    *pos += 1;
-    let mut out = Vec::new();
-    loop {
-        match bytes.get(*pos) {
-            None => return Err("unterminated string".to_owned()),
-            Some(b'"') => {
-                *pos += 1;
-                return String::from_utf8(out).map_err(|e| e.to_string());
-            }
-            Some(b'\\') => {
-                *pos += 1;
-                match bytes.get(*pos) {
-                    Some(b'"') => out.push(b'"'),
-                    Some(b'\\') => out.push(b'\\'),
-                    Some(b'/') => out.push(b'/'),
-                    Some(b'n') => out.push(b'\n'),
-                    Some(b'r') => out.push(b'\r'),
-                    Some(b't') => out.push(b'\t'),
-                    Some(b'b') => out.push(0x08),
-                    Some(b'f') => out.push(0x0C),
-                    Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
-                        let code = u32::from_str_radix(
-                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                            16,
-                        )
-                        .map_err(|e| e.to_string())?;
-                        let c = char::from_u32(code).unwrap_or('\u{FFFD}');
-                        let mut buf = [0u8; 4];
-                        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
-                        *pos += 4;
-                    }
-                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
-                }
-                *pos += 1;
-            }
-            Some(&b) => {
-                out.push(b);
-                *pos += 1;
-            }
-        }
-    }
-}
-
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    let start = *pos;
-    while *pos < bytes.len()
-        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-    {
-        *pos += 1;
-    }
-    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
-    text.parse::<f64>()
-        .map(Json::Num)
-        .map_err(|_| format!("bad number `{text}` at byte {start}"))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn round_trips_structures() {
-        let v = Json::obj([
-            ("a", Json::Num(1.5)),
-            ("b", Json::Arr(vec![Json::Null, Json::Bool(true)])),
-            ("s", Json::Str("line\n\"quote\"".to_owned())),
-            ("big", Json::u64(u64::MAX)),
-        ]);
-        let text = v.to_string();
-        assert_eq!(Json::parse(&text).unwrap(), v);
-        assert_eq!(
-            Json::parse(&text).unwrap().get("big").unwrap().as_u64(),
-            Some(u64::MAX)
-        );
-    }
-
-    #[test]
-    fn floats_round_trip_bit_exactly() {
-        for x in [
-            0.1 + 0.2,
-            1.0 / 3.0,
-            f64::MIN_POSITIVE,
-            123_456_789.123_456,
-            6000.0,
-            -0.0,
-        ] {
-            let text = Json::Num(x).to_string();
-            let back = Json::parse(&text).unwrap().as_f64().unwrap();
-            assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {text} -> {back}");
-        }
-    }
-
-    #[test]
-    fn integral_numbers_print_without_fraction() {
-        assert_eq!(Json::Num(6000.0).to_string(), "6000");
-        assert_eq!(Json::Num(-0.0).to_string(), "-0");
-        assert_eq!(Json::Num(2.5).to_string(), "2.5");
-    }
-
-    #[test]
-    fn rejects_garbage() {
-        assert!(Json::parse("{").is_err());
-        assert!(Json::parse("[1,]").is_err());
-        assert!(Json::parse("1 2").is_err());
-        assert!(Json::parse("\"unterminated").is_err());
-        assert!(Json::parse("nul").is_err());
-    }
-
-    #[test]
-    fn parses_whitespace_and_nesting() {
-        let v = Json::parse(" { \"k\" : [ 1 , { \"x\" : null } ] } ").unwrap();
-        assert_eq!(v.get("k").unwrap().as_arr().unwrap().len(), 2);
-    }
-}
+pub use fsp_fleet::json::Json;

@@ -30,79 +30,13 @@ use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Seek, SeekFrom, Write};
 use std::path::PathBuf;
 
-use fsp_inject::{FaultModel, FaultSite};
 use fsp_stats::Outcome;
-use fsp_workloads::Fnv1a;
 
-/// Size of one serialized outcome record.
-pub const RECORD_LEN: usize = 32;
-
-/// The store key: everything that determines an injection outcome.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct OutcomeKey {
-    /// Kernel program fingerprint ([`fsp_workloads::program_fingerprint`]).
-    pub fingerprint: u64,
-    /// Launch-configuration hash (`Workload::launch_hash`).
-    pub launch: u64,
-    /// Fault model wire code ([`FaultModel::code`]).
-    pub model: u8,
-    /// The injected site.
-    pub site: FaultSite,
-}
-
-impl OutcomeKey {
-    /// Builds a key for one site of a fingerprinted kernel launch.
-    #[must_use]
-    pub fn new(fingerprint: u64, launch: u64, model: FaultModel, site: FaultSite) -> Self {
-        OutcomeKey {
-            fingerprint,
-            launch,
-            model: model.code(),
-            site,
-        }
-    }
-}
-
-fn encode_record(key: &OutcomeKey, outcome: Outcome) -> [u8; RECORD_LEN] {
-    let mut buf = [0u8; RECORD_LEN];
-    buf[0..8].copy_from_slice(&key.fingerprint.to_le_bytes());
-    buf[8..16].copy_from_slice(&key.launch.to_le_bytes());
-    buf[16..20].copy_from_slice(&key.site.tid.to_le_bytes());
-    buf[20..24].copy_from_slice(&key.site.dyn_idx.to_le_bytes());
-    buf[24..28].copy_from_slice(&key.site.bit.to_le_bytes());
-    buf[28] = key.model;
-    buf[29] = outcome.code();
-    let mut h = Fnv1a::new();
-    h.write(&buf[..30]);
-    buf[30..32].copy_from_slice(&(h.finish() as u16).to_le_bytes());
-    buf
-}
-
-fn decode_record(buf: &[u8]) -> Option<(OutcomeKey, Outcome)> {
-    if buf.len() < RECORD_LEN {
-        return None;
-    }
-    let mut h = Fnv1a::new();
-    h.write(&buf[..30]);
-    if (h.finish() as u16).to_le_bytes() != [buf[30], buf[31]] {
-        return None;
-    }
-    let word = |r: std::ops::Range<usize>| u32::from_le_bytes(buf[r].try_into().expect("4 bytes"));
-    let outcome = Outcome::from_code(buf[29])?;
-    Some((
-        OutcomeKey {
-            fingerprint: u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes")),
-            launch: u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes")),
-            model: buf[28],
-            site: FaultSite {
-                tid: word(16..20),
-                dyn_idx: word(20..24),
-                bit: word(24..28),
-            },
-        },
-        outcome,
-    ))
-}
+// The record codec lives in the fleet wire layer (`fsp_fleet::wire`):
+// the on-disk record format *is* the distributed outcome-frame format, so
+// a worker's submission decodes directly into store inserts, byte for
+// byte. Re-exported here so store users keep their historical paths.
+pub use fsp_fleet::wire::{decode_record, encode_record, OutcomeKey, RECORD_LEN};
 
 /// The on-disk outcome store: append-only log + atomic checkpoints, with
 /// the full index held in memory for O(1) lookups.
@@ -264,6 +198,7 @@ impl OutcomeStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fsp_inject::{FaultModel, FaultSite};
 
     fn key(bit: u32) -> OutcomeKey {
         OutcomeKey::new(
@@ -282,17 +217,6 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("fsp-store-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
-    }
-
-    #[test]
-    fn record_codec_round_trips() {
-        let rec = encode_record(&key(3), Outcome::Sdc);
-        assert_eq!(decode_record(&rec), Some((key(3), Outcome::Sdc)));
-        // A single flipped byte fails the checksum.
-        let mut bad = rec;
-        bad[5] ^= 0x40;
-        assert_eq!(decode_record(&bad), None);
-        assert_eq!(decode_record(&rec[..31]), None);
     }
 
     #[test]

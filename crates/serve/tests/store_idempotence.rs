@@ -1,0 +1,114 @@
+//! Property test for the outcome store under fleet-shaped duplication.
+//!
+//! The at-least-once delivery of the lease protocol means the store must
+//! absorb the same chunk of records **any number of times**, interleaved
+//! with checkpoint/recover cycles at arbitrary points, and end up in a
+//! state indistinguishable from a single clean application. If this ever
+//! breaks, stolen-lease rival submissions would corrupt resumed campaigns.
+
+use std::path::PathBuf;
+
+use fsp_inject::FaultSite;
+use fsp_serve::{OutcomeKey, OutcomeStore};
+use fsp_stats::Outcome;
+use proptest::prelude::*;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fsp-store-prop-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One generated chunk record: raw site coordinates plus an outcome pick.
+fn record_strategy() -> impl Strategy<Value = (u32, u32, u32, Outcome)> {
+    (0u32..512, 0u32..4096, 0u32..32).prop_map(|(tid, dyn_idx, bit)| {
+        // Derive the outcome from the site so duplicated sites in a chunk
+        // always agree, exactly like the deterministic simulator.
+        let pick = (tid ^ dyn_idx ^ bit) % 4;
+        let outcome = [Outcome::Masked, Outcome::Sdc, Outcome::CRASH, Outcome::HANG][pick as usize];
+        (tid, dyn_idx, bit, outcome)
+    })
+}
+
+fn keyed(fingerprint: u64, launch: u64, r: &(u32, u32, u32, Outcome)) -> (OutcomeKey, Outcome) {
+    let site = FaultSite {
+        tid: r.0,
+        dyn_idx: r.1,
+        bit: r.2,
+    };
+    (
+        OutcomeKey {
+            fingerprint,
+            launch,
+            model: 0,
+            site,
+        },
+        r.3,
+    )
+}
+
+/// Reads back every key and the length — the store's whole observable
+/// state from the engine's point of view.
+fn observe(store: &OutcomeStore, keys: &[(OutcomeKey, Outcome)]) -> (usize, Vec<Option<Outcome>>) {
+    (
+        store.len(),
+        keys.iter().map(|(k, _)| store.get(k)).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn replayed_chunks_recover_to_the_clean_store(
+        chunk in proptest::collection::vec(record_strategy(), 1..40),
+        fingerprint in any::<u64>(),
+        launch in any::<u64>(),
+        // Each replay optionally checkpoints, then always reopens the
+        // store from disk (a crash/recover boundary between deliveries).
+        schedule in proptest::collection::vec(any::<bool>(), 1..6),
+    ) {
+        let records: Vec<(OutcomeKey, Outcome)> =
+            chunk.iter().map(|r| keyed(fingerprint, launch, r)).collect();
+
+        // Reference: one clean application.
+        let clean_dir = tmp_dir("clean");
+        let mut clean = OutcomeStore::open(&clean_dir).expect("open clean store");
+        for (key, outcome) in &records {
+            clean.insert(*key, *outcome).expect("insert");
+        }
+        clean.flush().expect("flush");
+        let reference = observe(&clean, &records);
+
+        // Replayed: the same chunk delivered once per schedule entry,
+        // with a recovery boundary (and sometimes a checkpoint) between
+        // deliveries.
+        let replay_dir = tmp_dir("replay");
+        let mut store = OutcomeStore::open(&replay_dir).expect("open replay store");
+        for checkpoint in &schedule {
+            for (key, outcome) in &records {
+                store.insert(*key, *outcome).expect("insert replay");
+            }
+            store.flush().expect("flush replay");
+            if *checkpoint {
+                store.checkpoint().expect("checkpoint");
+            }
+            drop(store);
+            store = OutcomeStore::open(&replay_dir).expect("recover store");
+        }
+
+        let recovered = observe(&store, &records);
+        prop_assert_eq!(&recovered, &reference, "replayed store diverged from clean store");
+        // Duplicates are invisible: the store holds exactly the distinct
+        // keys, never one record per delivery.
+        let distinct = records
+            .iter()
+            .map(|(k, _)| k.site)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
+        prop_assert_eq!(recovered.0, distinct);
+
+        let _ = std::fs::remove_dir_all(&clean_dir);
+        let _ = std::fs::remove_dir_all(&replay_dir);
+    }
+}
