@@ -50,6 +50,9 @@ COMMANDS:
                                  checkpoint-resume fast path, stream outcomes back
     fleet-status                 Show the coordinator's fleet counters: chunks by
                                  state, requeues, duplicates, per-worker stats
+    timeline [--out PATH]        Fetch the coordinator's live span timeline
+                                 (`GET /trace`, Chrome trace-event JSON; the
+                                 server must run with `serve --trace`)
     fleet-bench [--json]         Benchmark fleet scaling: sites/sec at 1/2/4
                                  workers for three kernels, plus the requeue
                                  overhead of killing a worker mid-run; --json
@@ -85,6 +88,12 @@ OPTIONS:
     --lease-ms N   For `serve`: lease TTL in milliseconds before an
                    unheartbeated chunk is re-served (default 30000)
     --chunk N      For `serve`: fault sites per lease chunk (default 64)
+    --trace        For `serve`: enable the span tracer (serves `GET /trace`;
+                   fleet grants instruct workers to trace too)
+    --trace-out P  Any command: trace it and write the span timeline to P as
+                   Chrome trace-event JSON (load in Perfetto / about:tracing)
+    --profile      Any command: print an aggregated span profile (count,
+                   total/self/min/max time per span name) to stderr on exit
 ";
 
 fn main() -> ExitCode {
@@ -120,6 +129,9 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut fail_after: Option<usize> = None;
     let mut lease_ms: Option<u64> = None;
     let mut chunk: Option<usize> = None;
+    let mut trace = false;
+    let mut trace_out: Option<String> = None;
+    let mut profile_spans = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -179,6 +191,12 @@ fn run(args: &[String]) -> Result<(), String> {
                 chunk = Some(parse(args.get(i), "--chunk")?);
             }
             "--fleet" => fleet = true,
+            "--trace" => trace = true,
+            "--trace-out" => {
+                i += 1;
+                trace_out = Some(args.get(i).ok_or("--trace-out needs a path")?.clone());
+            }
+            "--profile" => profile_spans = true,
             "--idle-exit" => idle_exit = true,
             "--json" => json = true,
             "--deny" => deny = true,
@@ -197,7 +215,12 @@ fn run(args: &[String]) -> Result<(), String> {
     let Some(command) = positional.first() else {
         return Err("missing command".to_owned());
     };
-    match command.as_str() {
+    // The span tracer is process-global: any of the observability
+    // surfaces switches it on before the command runs.
+    if trace || trace_out.is_some() || profile_spans {
+        fsp_obs::set_tracing(true);
+    }
+    let result = match command.as_str() {
         "list" => list(),
         "profile" => profile(positional.get(1), paper),
         "campaign" => campaign(positional.get(1), samples, &opts),
@@ -217,7 +240,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "reproduce" => reproduce(positional.get(1), &opts, out_path.as_deref()),
         "seeds" => seeds(positional.get(1), &opts),
         "severity" => severity(positional.get(1), samples, &opts),
-        "serve" => serve(&addr, &data_dir, &opts, lease_ms, chunk),
+        "serve" => serve(&addr, &data_dir, &opts, lease_ms, chunk, trace),
+        "timeline" => timeline(&addr, out_path.as_deref()),
         "submit" => submit(
             positional.get(1),
             samples,
@@ -235,7 +259,23 @@ fn run(args: &[String]) -> Result<(), String> {
         "fleet-status" => fleet_status(&addr),
         "fleet-bench" => fleet_bench(samples, &opts, json, out_path.as_deref()),
         other => Err(format!("unknown command `{other}`")),
+    };
+    if result.is_ok() {
+        if profile_spans {
+            let snapshot = fsp_obs::snapshot();
+            eprint!(
+                "{}",
+                fsp_obs::render_profile(&fsp_obs::profile(&snapshot.events))
+            );
+        }
+        if let Some(path) = &trace_out {
+            let snapshot = fsp_obs::snapshot();
+            std::fs::write(path, fsp_obs::chrome_trace_json(&snapshot, "fsp"))
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {path} ({} spans)", snapshot.events.len());
+        }
     }
+    result
 }
 
 fn parse<T: std::str::FromStr>(arg: Option<&String>, flag: &str) -> Result<T, String> {
@@ -689,6 +729,12 @@ struct BenchRow {
     sites: usize,
     fast_secs: f64,
     slow_secs: f64,
+    /// Golden run + checkpoint capture wall time (the campaign's setup
+    /// phase, amortized over every injected site).
+    prepare_nanos: u64,
+    /// FNV-1a over the outcome codes in site order; identical across
+    /// fast/slow paths and across tracing on/off.
+    outcome_fnv: u64,
     skipped_fraction: f64,
     checkpoint_hits: u64,
     early_converged: u64,
@@ -717,8 +763,14 @@ fn bench_inject(
     let n = samples.unwrap_or(150);
     let mut rows: Vec<BenchRow> = Vec::new();
     for id in fsp_workloads::registry_ids() {
+        let _kernel_span = fsp_obs::span_labeled("bench.kernel", id);
         let w = fsp_workloads::by_id(id, Scale::Eval).expect("registered");
-        let mut experiment = Experiment::prepare(&w).map_err(|e| format!("{id}: {e}"))?;
+        let prepare_start = fsp_obs::now_ns();
+        let mut experiment = {
+            let _prepare = fsp_obs::span("bench.prepare");
+            Experiment::prepare(&w).map_err(|e| format!("{id}: {e}"))?
+        };
+        let prepare_nanos = fsp_obs::now_ns() - prepare_start;
         let space = experiment.site_space(0..w.launch().num_threads());
         let mut rng = StdRng::seed_from_u64(opts.seed);
         let sites: Vec<WeightedSite> = space
@@ -733,6 +785,7 @@ fn bench_inject(
         // never touches them).
         let mut timed = |fast: bool| {
             experiment.set_fast_path(fast);
+            let _path = fsp_obs::span_labeled("bench.path", if fast { "fast" } else { "slow" });
             let mut best: Option<(fsp_inject::IncrementalCampaign, f64)> = None;
             for _ in 0..2 {
                 let started = std::time::Instant::now();
@@ -755,6 +808,13 @@ fn bench_inject(
         if fast.outcomes != slow.outcomes {
             return Err(format!("{id}: fast-path outcomes diverged from slow path"));
         }
+        let outcome_fnv = {
+            let mut h = fsp_obs::Fnv1a::new();
+            for o in &fast.outcomes {
+                h.write(&[o.expect("complete run").code()]);
+            }
+            h.finish()
+        };
         let c = fsp_analyze::ClassifyReport::analyze(w.program(), &fsp_core::abs_context_for(&w))
             .summary();
         let total_bits = c.total_bits.max(1) as f64;
@@ -764,6 +824,8 @@ fn bench_inject(
             sites: sites.len(),
             fast_secs,
             slow_secs,
+            prepare_nanos,
+            outcome_fnv,
             skipped_fraction: if work == 0 {
                 0.0
             } else {
@@ -789,6 +851,8 @@ fn bench_inject(
             doc.push_str(&format!(
                 "    {{\"id\": \"{}\", \"sites\": {}, \"slow_sites_per_sec\": {:.1}, \
                  \"fast_sites_per_sec\": {:.1}, \"speedup\": {:.2}, \
+                 \"prepare_nanos\": {}, \"slow_nanos\": {}, \"fast_nanos\": {}, \
+                 \"outcome_fnv\": \"{:#018x}\", \
                  \"skipped_prefix_fraction\": {:.4}, \"checkpoint_hits\": {}, \
                  \"early_converged\": {}, \"static_predicted_fraction\": {:.4}, \
                  \"class_pruned_fraction\": {:.4}}}{}\n",
@@ -797,6 +861,10 @@ fn bench_inject(
                 r.sites as f64 / r.slow_secs,
                 r.sites as f64 / r.fast_secs,
                 r.slow_secs / r.fast_secs,
+                r.prepare_nanos,
+                (r.slow_secs * 1e9) as u64,
+                (r.fast_secs * 1e9) as u64,
+                r.outcome_fnv,
                 r.skipped_fraction,
                 r.checkpoint_hits,
                 r.early_converged,
@@ -933,8 +1001,11 @@ fn serve(
     opts: &Options,
     lease_ms: Option<u64>,
     chunk: Option<usize>,
+    trace: bool,
 ) -> Result<(), String> {
-    let mut config = fsp_serve::EngineConfig::new(data_dir).job_workers(opts.workers);
+    let mut config = fsp_serve::EngineConfig::new(data_dir)
+        .job_workers(opts.workers)
+        .trace(trace);
     if let Some(ms) = lease_ms {
         config = config.lease_ttl(std::time::Duration::from_millis(ms));
     }
@@ -1011,6 +1082,18 @@ fn submit(
         }
     } else {
         println!("{job_id}");
+    }
+    Ok(())
+}
+
+fn timeline(addr: &str, out: Option<&str>) -> Result<(), String> {
+    let trace = fsp_serve::Client::new(addr).trace()?;
+    match out {
+        Some(path) => {
+            std::fs::write(path, &trace).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => println!("{trace}"),
     }
     Ok(())
 }

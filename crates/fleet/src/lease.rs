@@ -83,6 +83,14 @@ pub struct Grant {
     pub launch: u64,
     /// Time until the lease may be stolen unless renewed.
     pub ttl: Duration,
+    /// Whether the coordinator is tracing: the worker should enable its
+    /// own tracer and ship a span frame with the outcomes.
+    pub trace: bool,
+    /// Coordinator-clock nanoseconds at grant time. Workers echo it in
+    /// their trace frame; the coordinator rebases worker-relative span
+    /// times onto its own timeline with it, so no cross-process clock
+    /// state is kept between requests.
+    pub grant_ns: u64,
     /// The sites to inject.
     pub sites: Vec<FaultSite>,
 }
@@ -104,6 +112,8 @@ impl Grant {
                 "ttl_ms".to_owned(),
                 Json::Num(u64::try_from(self.ttl.as_millis()).unwrap_or(u64::MAX) as f64),
             ),
+            ("trace".to_owned(), Json::Bool(self.trace)),
+            ("grant_ns".to_owned(), Json::u64(self.grant_ns)),
         ];
         fields.extend(
             SiteFrame {
@@ -148,6 +158,9 @@ impl Grant {
                     .and_then(Json::as_u64)
                     .ok_or("grant missing `ttl_ms`")?,
             ),
+            // Optional for wire compatibility with pre-tracing grants.
+            trace: value.get("trace").and_then(Json::as_bool).unwrap_or(false),
+            grant_ns: value.get("grant_ns").and_then(Json::as_u64).unwrap_or(0),
             sites: frame.sites,
         })
     }
@@ -327,6 +340,8 @@ impl LeaseTable {
                     fingerprint: chunk.spec.fingerprint,
                     launch: chunk.spec.launch,
                     ttl,
+                    trace: fsp_obs::tracing_enabled(),
+                    grant_ns: fsp_obs::now_ns(),
                     sites: chunk.spec.sites.clone(),
                 });
                 break;

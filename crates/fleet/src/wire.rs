@@ -19,8 +19,8 @@
 //! armor keeps them printable without a base64 dependency.
 
 use fsp_inject::{FaultModel, FaultSite};
+use fsp_obs::Fnv1a;
 use fsp_stats::Outcome;
-use fsp_workloads::Fnv1a;
 
 use crate::json::Json;
 
@@ -242,6 +242,124 @@ impl OutcomeFrame {
     }
 }
 
+/// Upper bound on spans per [`TraceFrame`]: keeps the JSON body of a
+/// submission (outcome records + trace) under the coordinator's request
+/// size limit. Excess spans are dropped newest-first, preserving the
+/// structural lease/campaign spans that open earliest.
+pub const MAX_FRAME_SPANS: usize = 4096;
+
+/// One traced span (or instant) shipped by a worker.
+///
+/// `rel_ns` is the span's start on the *worker's* clock, relative to the
+/// moment the worker received the lease grant — the only instant both
+/// sides can name. The coordinator rebases it onto its own timeline as
+/// `grant_ns + rel_ns`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEntry {
+    /// Worker-local thread lane.
+    pub tid: u32,
+    /// Stack depth at open.
+    pub depth: u32,
+    /// Span name.
+    pub name: String,
+    /// Optional dynamic label.
+    pub label: Option<String>,
+    /// Start relative to grant receipt (may be negative: spans drained
+    /// from a previous lease).
+    pub rel_ns: i64,
+    /// Duration (zero for instants).
+    pub dur_ns: u64,
+    /// Whether this is an instant event rather than a span.
+    pub instant: bool,
+}
+
+/// A worker's span submission, riding piggyback on an [`OutcomeFrame`]
+/// body. The coordinator-clock `grant_ns` from the lease grant is echoed
+/// back so the coordinator can rebase statelessly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceFrame {
+    /// Coordinator-clock nanoseconds at grant time (echoed from the
+    /// grant).
+    pub grant_ns: u64,
+    /// The worker's drained spans, start-relative to grant receipt.
+    pub spans: Vec<SpanEntry>,
+}
+
+impl TraceFrame {
+    /// Encodes the frame as JSON fields to splice into an outcome
+    /// submission body.
+    #[must_use]
+    pub fn to_fields(&self) -> Vec<(String, Json)> {
+        let spans = self
+            .spans
+            .iter()
+            .take(MAX_FRAME_SPANS)
+            .map(|s| {
+                let mut fields = vec![
+                    ("tid".to_owned(), Json::u64(u64::from(s.tid))),
+                    ("depth".to_owned(), Json::u64(u64::from(s.depth))),
+                    ("name".to_owned(), Json::Str(s.name.clone())),
+                    ("rel_ns".to_owned(), Json::Str(s.rel_ns.to_string())),
+                    ("dur_ns".to_owned(), Json::u64(s.dur_ns)),
+                    ("instant".to_owned(), Json::Bool(s.instant)),
+                ];
+                if let Some(label) = &s.label {
+                    fields.push(("label".to_owned(), Json::Str(label.clone())));
+                }
+                Json::Obj(fields)
+            })
+            .collect();
+        vec![
+            ("trace_grant_ns".to_owned(), Json::u64(self.grant_ns)),
+            ("trace_spans".to_owned(), Json::Arr(spans)),
+        ]
+    }
+
+    /// Decodes the trace fields from a submission body; `Ok(None)` when
+    /// the body carries no trace (an untraced worker).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when trace fields are present but malformed.
+    pub fn from_json(value: &Json) -> Result<Option<TraceFrame>, String> {
+        let Some(grant_ns) = value.get("trace_grant_ns").and_then(Json::as_u64) else {
+            return Ok(None);
+        };
+        let spans = value
+            .get("trace_spans")
+            .and_then(Json::as_arr)
+            .ok_or("trace frame missing `trace_spans`")?;
+        let spans = spans
+            .iter()
+            .map(|s| {
+                let num = |field: &str| {
+                    s.get(field)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("trace span missing `{field}`"))
+                };
+                Ok(SpanEntry {
+                    tid: u32::try_from(num("tid")?).map_err(|_| "trace span tid overflow")?,
+                    depth: u32::try_from(num("depth")?).map_err(|_| "trace span depth overflow")?,
+                    name: s
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or("trace span missing `name`")?
+                        .to_owned(),
+                    label: s.get("label").and_then(Json::as_str).map(str::to_owned),
+                    rel_ns: s
+                        .get("rel_ns")
+                        .and_then(Json::as_str)
+                        .and_then(|t| t.parse().ok())
+                        .ok_or("trace span missing `rel_ns`")?,
+                    dur_ns: num("dur_ns")?,
+                    instant: s.get("instant").and_then(Json::as_bool).unwrap_or(false),
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Some(TraceFrame { grant_ns, spans }))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,5 +435,45 @@ mod tests {
         // Tamper with the checksum field: rejected before record decode.
         let tampered = text.replace("\"fnv\":\"", "\"fnv\":\"9");
         assert!(OutcomeFrame::from_json(&Json::parse(&tampered).unwrap()).is_err());
+    }
+
+    #[test]
+    fn trace_frame_round_trips_and_is_optional() {
+        let frame = TraceFrame {
+            grant_ns: 123_456_789_000,
+            spans: vec![
+                SpanEntry {
+                    tid: 1,
+                    depth: 0,
+                    name: "worker.lease".to_owned(),
+                    label: Some("lease-0".to_owned()),
+                    rel_ns: -250,
+                    dur_ns: 9_000,
+                    instant: false,
+                },
+                SpanEntry {
+                    tid: 1,
+                    depth: 1,
+                    name: "worker.heartbeat".to_owned(),
+                    label: None,
+                    rel_ns: 40,
+                    dur_ns: 0,
+                    instant: true,
+                },
+            ],
+        };
+        let body = Json::Obj(frame.to_fields()).to_string();
+        let back = TraceFrame::from_json(&Json::parse(&body).unwrap())
+            .unwrap()
+            .expect("trace fields present");
+        assert_eq!(back, frame);
+
+        // An outcome body without trace fields is simply untraced.
+        let plain = OutcomeFrame {
+            worker: "w1".to_owned(),
+            records: vec![(key(0), Outcome::Masked)],
+        }
+        .to_json();
+        assert_eq!(TraceFrame::from_json(&plain).unwrap(), None);
     }
 }

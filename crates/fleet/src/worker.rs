@@ -32,7 +32,7 @@ use fsp_workloads::{Scale, Workload};
 use crate::json::Json;
 use crate::lease::Grant;
 use crate::retry::Backoff;
-use crate::wire::{OutcomeFrame, OutcomeKey};
+use crate::wire::{OutcomeFrame, OutcomeKey, SpanEntry, TraceFrame};
 
 /// How many consecutive transport failures a worker tolerates before
 /// concluding the coordinator is gone for good.
@@ -193,13 +193,20 @@ pub fn run_worker(config: &WorkerConfig, stop: &AtomicBool) -> Result<WorkerSumm
         }
         poll.reset();
         let grant = Grant::from_json(&value)?;
+        // A traced coordinator turns on this worker's tracer; the receipt
+        // time is the rebase anchor for every span shipped with this
+        // lease's outcomes (see `crate::wire::TraceFrame`).
+        if grant.trace {
+            fsp_obs::set_tracing(true);
+        }
+        let grant_received_ns = fsp_obs::now_ns();
         if config.fail_after == Some(summary.chunks) {
             // Crash simulation: die holding the lease. The coordinator's
             // deadline machinery must recover it.
             summary.abandoned = true;
             return Ok(summary);
         }
-        if execute_lease(config, &mut cache, &grant, stop)? {
+        if execute_lease(config, &mut cache, &grant, grant_received_ns, stop)? {
             summary.chunks += 1;
             summary.sites += grant.sites.len();
         }
@@ -214,8 +221,10 @@ fn execute_lease(
     config: &WorkerConfig,
     cache: &mut ExperimentCache,
     grant: &Grant,
+    grant_received_ns: u64,
     stop: &AtomicBool,
 ) -> Result<bool, String> {
+    let lease_span = fsp_obs::span_labeled("worker.lease", grant.lease.clone());
     let experiment = cache.get(&grant.kernel)?;
     let local_fp = experiment.target().fingerprint();
     if local_fp != grant.fingerprint {
@@ -228,12 +237,32 @@ fn execute_lease(
 
     let lost = AtomicBool::new(false);
     let done = AtomicBool::new(false);
-    let delivered = std::thread::scope(|scope| {
+    let completed = std::thread::scope(|scope| {
         // Heartbeat at a third of the TTL; tolerate transport errors (the
         // lease then simply risks expiry, which the protocol survives).
         scope.spawn(|| {
             let interval = (grant.ttl / 3).max(Duration::from_millis(20));
             let slice = Duration::from_millis(10);
+            let renew = || {
+                fsp_obs::instant("worker.heartbeat", Some(grant.lease.clone()));
+                let body = Json::obj([("worker", Json::Str(config.name.clone()))]).to_string();
+                let path = format!("/leases/{}/heartbeat", grant.lease);
+                match http(&config.addr, "POST", &path, &body) {
+                    // Transport errors are tolerated like a successful
+                    // renewal: at worst the lease expires, which the
+                    // protocol survives. Only an explicit refusal
+                    // (stolen/gone) abandons the chunk.
+                    Ok((200, _)) | Err(_) => true,
+                    Ok((_, _)) => false,
+                }
+            };
+            // First renewal immediately: even a lease whose campaign
+            // finishes inside the first interval lands (and traces) at
+            // least one heartbeat.
+            if !renew() {
+                lost.store(true, Ordering::Relaxed);
+                return;
+            }
             loop {
                 let mut slept = Duration::ZERO;
                 while slept < interval {
@@ -243,24 +272,16 @@ fn execute_lease(
                     std::thread::sleep(slice);
                     slept += slice;
                 }
-                let body = Json::obj([("worker", Json::Str(config.name.clone()))]).to_string();
-                let path = format!("/leases/{}/heartbeat", grant.lease);
-                match http(&config.addr, "POST", &path, &body) {
-                    // Transport errors are tolerated like a successful
-                    // renewal: at worst the lease expires, which the
-                    // protocol survives. Only an explicit refusal
-                    // (stolen/gone) abandons the chunk.
-                    Ok((200, _)) | Err(_) => {}
-                    Ok((_, _)) => {
-                        lost.store(true, Ordering::Relaxed);
-                        return;
-                    }
+                if !renew() {
+                    lost.store(true, Ordering::Relaxed);
+                    return;
                 }
             }
         });
 
         let sites: Vec<WeightedSite> = grant.sites.iter().map(|s| WeightedSite::from(*s)).collect();
         let observer = LeaseObserver { lost: &lost, stop };
+        let campaign_span = fsp_obs::span("worker.campaign");
         let run = experiment.run_campaign_incremental(
             &sites,
             grant.model,
@@ -268,9 +289,10 @@ fn execute_lease(
             &[],
             &observer,
         );
+        drop(campaign_span);
         done.store(true, Ordering::Relaxed);
         if run.cancelled || !run.is_complete() {
-            return Ok(false);
+            return None;
         }
 
         let records: Vec<_> = grant
@@ -287,15 +309,49 @@ fn execute_lease(
                 (key, outcome.expect("complete run"))
             })
             .collect();
-        let frame = OutcomeFrame {
+        Some(OutcomeFrame {
             worker: config.name.clone(),
             records,
-        }
-        .to_json()
-        .to_string();
-        submit_outcomes(config, &grant.lease, &frame)
+        })
     });
-    delivered
+    let Some(outcome_frame) = completed else {
+        drop(lease_span);
+        return Ok(false);
+    };
+    // Close the lease span before draining so it rides in this frame;
+    // the submission span below ships with the *next* lease's frame.
+    drop(lease_span);
+    let mut frame = outcome_frame.to_json();
+    if grant.trace {
+        splice_trace(&mut frame, grant.grant_ns, grant_received_ns);
+    }
+    let frame = frame.to_string();
+    let _submit = fsp_obs::span("worker.submit");
+    submit_outcomes(config, &grant.lease, &frame)
+}
+
+/// Drains this worker's span ring and attaches it to an outcome frame,
+/// rebased onto "nanoseconds since this worker saw the grant" — the
+/// coordinator re-anchors with `grant_ns` (see [`TraceFrame`]).
+fn splice_trace(frame: &mut Json, grant_ns: u64, grant_received_ns: u64) {
+    let snapshot = fsp_obs::drain();
+    let spans = snapshot
+        .events
+        .iter()
+        .map(|e| SpanEntry {
+            tid: e.tid,
+            depth: e.depth,
+            name: e.name.to_string(),
+            label: e.label.clone(),
+            rel_ns: e.start_ns.cast_signed() - grant_received_ns.cast_signed(),
+            dur_ns: e.dur_ns,
+            instant: e.instant,
+        })
+        .collect();
+    let trace = TraceFrame { grant_ns, spans };
+    if let Json::Obj(fields) = frame {
+        fields.extend(trace.to_fields());
+    }
 }
 
 /// Streams an outcome frame back, retrying transient transport errors.

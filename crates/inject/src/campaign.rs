@@ -15,13 +15,13 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 use fsp_sim::{
     Checkpoint, CheckpointConfig, ExecHook, GoldenRecorder, GoldenTrace, KernelTrace, Launch,
     MemBlock, ResumeScratch, RetireEvent, SimFault, Simulator, Tracer, Writeback,
 };
-use fsp_stats::{Outcome, ResilienceProfile};
+use fsp_stats::{Outcome, OutcomeKind, ResilienceProfile};
 
 use crate::fastpath::FastInjectionHook;
 use crate::hook::InjectionHook;
@@ -110,16 +110,102 @@ const MIN_BUDGET: u64 = 20_000;
 /// instead of being served as current.
 #[must_use]
 pub fn classifier_hash() -> u64 {
-    // FNV-1a over the two calibration constants (no dependency on the
-    // workloads crate's hasher from down here in the stack).
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for v in [HANG_FACTOR, MIN_BUDGET] {
-        for b in v.to_le_bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    // FNV-1a over the two calibration constants.
+    let mut h = fsp_obs::Fnv1a::new();
+    h.write_u64(HANG_FACTOR);
+    h.write_u64(MIN_BUDGET);
+    h.finish()
+}
+
+/// Prometheus label values for the five outcome classes, indexed by
+/// [`outcome_index`].
+const OUTCOME_LABELS: [&str; 5] = ["masked", "sdc", "crash", "hang", "detected"];
+
+fn outcome_index(o: Outcome) -> usize {
+    match o {
+        Outcome::Masked => 0,
+        Outcome::Sdc => 1,
+        Outcome::Other(OutcomeKind::Crash) => 2,
+        Outcome::Other(OutcomeKind::Hang) => 3,
+        Outcome::Detected => 4,
+    }
+}
+
+/// Handles into the process-global metrics registry, resolved once and
+/// then updated lock-free on the injection hot path.
+struct InjectMetrics {
+    /// Injected-run wall time by outcome class.
+    run_nanos: [fsp_obs::Histogram; 5],
+    /// Runs that resumed from a golden checkpoint vs. started cold.
+    runs_resumed: fsp_obs::Counter,
+    runs_cold: fsp_obs::Counter,
+    /// Fast-path attribution: the divergence tracker proved convergence
+    /// (early `Masked`), bailed to the output comparison, or screened the
+    /// run to completion without doing either.
+    fast_early_masked: fsp_obs::Counter,
+    fast_bailed: fsp_obs::Counter,
+    fast_screened: fsp_obs::Counter,
+}
+
+fn inject_metrics() -> &'static InjectMetrics {
+    static METRICS: OnceLock<InjectMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = fsp_obs::registry();
+        InjectMetrics {
+            run_nanos: std::array::from_fn(|i| {
+                r.histogram_labeled(
+                    "fsp_inject_run_nanos",
+                    &[("outcome", OUTCOME_LABELS[i])],
+                    "Injected-run wall time by outcome class.",
+                )
+            }),
+            runs_resumed: r.counter_labeled(
+                "fsp_inject_runs_total",
+                &[("path", "resume")],
+                "Injected runs by start path (checkpoint resume vs. cold).",
+            ),
+            runs_cold: r.counter_labeled(
+                "fsp_inject_runs_total",
+                &[("path", "cold")],
+                "Injected runs by start path (checkpoint resume vs. cold).",
+            ),
+            fast_early_masked: r.counter_labeled(
+                "fsp_inject_fastpath_total",
+                &[("result", "early_masked")],
+                "Fast-path runs by how the divergence tracker resolved them.",
+            ),
+            fast_bailed: r.counter_labeled(
+                "fsp_inject_fastpath_total",
+                &[("result", "bailed")],
+                "Fast-path runs by how the divergence tracker resolved them.",
+            ),
+            fast_screened: r.counter_labeled(
+                "fsp_inject_fastpath_total",
+                &[("result", "screened")],
+                "Fast-path runs by how the divergence tracker resolved them.",
+            ),
+        }
+    })
+}
+
+impl InjectMetrics {
+    fn record_run(&self, meta: RunMeta, fast: bool, bailed: bool, outcome: Outcome, start_ns: u64) {
+        self.run_nanos[outcome_index(outcome)].record(fsp_obs::now_ns().saturating_sub(start_ns));
+        if meta.ckpt_hit {
+            self.runs_resumed.inc();
+        } else {
+            self.runs_cold.inc();
+        }
+        if fast {
+            if meta.early {
+                self.fast_early_masked.inc();
+            } else if bailed {
+                self.fast_bailed.inc();
+            } else {
+                self.fast_screened.inc();
+            }
         }
     }
-    h
 }
 
 /// Per-injection cost accounting returned alongside the outcome.
@@ -201,6 +287,7 @@ impl<'a, T: InjectionTarget> Experiment<'a, T> {
     /// Returns the [`SimFault`] if the *fault-free* run itself faults —
     /// that is a workload bug, not an injection outcome.
     pub fn prepare(target: &'a T) -> Result<Self, SimFault> {
+        let _prepare = fsp_obs::span("inject.prepare");
         let launch = target.launch();
         let initial = target.init_memory();
         let mut memory = initial.clone();
@@ -212,14 +299,22 @@ impl<'a, T: InjectionTarget> Experiment<'a, T> {
         }
         let sim = Simulator::new();
         let mut golden_rec = trace_all.then(|| GoldenRecorder::new(num_threads));
-        let (stats, checkpoints) = if let Some(rec) = golden_rec.as_mut() {
-            let mut hook = PrepareHook {
-                tracer: &mut tracer,
-                golden: rec,
-            };
-            sim.run_with_checkpoints(&launch, &mut memory, &mut hook, CheckpointConfig::default())?
-        } else {
-            (sim.run(&launch, &mut memory, &mut tracer)?, Vec::new())
+        let (stats, checkpoints) = {
+            let _golden = fsp_obs::span("inject.golden_run");
+            if let Some(rec) = golden_rec.as_mut() {
+                let mut hook = PrepareHook {
+                    tracer: &mut tracer,
+                    golden: rec,
+                };
+                sim.run_with_checkpoints(
+                    &launch,
+                    &mut memory,
+                    &mut hook,
+                    CheckpointConfig::default(),
+                )?
+            } else {
+                (sim.run(&launch, &mut memory, &mut tracer)?, Vec::new())
+            }
         };
         let (addr, len) = target.output_region();
         let golden = memory.read_words(addr, len);
@@ -363,9 +458,13 @@ impl<'a, T: InjectionTarget> Experiment<'a, T> {
         scratch: &mut MemBlock,
         resume: &mut ResumeScratch,
     ) -> (Outcome, Option<f64>, RunMeta) {
+        let start_ns = fsp_obs::now_ns();
         let sim = Simulator::new();
         let mut meta = RunMeta::default();
+        let mut fast_used = false;
+        let mut bailed = false;
         let result = if let (true, Some(golden_trace)) = (self.fast_path, &self.golden_trace) {
+            fast_used = true;
             let mut hook = FastInjectionHook::new(
                 site,
                 model,
@@ -384,6 +483,7 @@ impl<'a, T: InjectionTarget> Experiment<'a, T> {
                     sim.run(&self.launch, scratch, &mut hook)
                 }
             };
+            bailed = hook.bailed();
             match run {
                 Ok(stats) => {
                     meta.executed = stats.instructions;
@@ -392,6 +492,7 @@ impl<'a, T: InjectionTarget> Experiment<'a, T> {
                         // equals the golden state at this schedule point,
                         // and determinism forces the golden outcome.
                         meta.early = true;
+                        inject_metrics().record_run(meta, true, false, Outcome::Masked, start_ns);
                         return (Outcome::Masked, None, meta);
                     }
                     Ok(())
@@ -426,6 +527,7 @@ impl<'a, T: InjectionTarget> Experiment<'a, T> {
                 }
             }
         };
+        inject_metrics().record_run(meta, fast_used, bailed, outcome, start_ns);
         (outcome, severity, meta)
     }
 
@@ -489,6 +591,7 @@ impl<'a, T: InjectionTarget> Experiment<'a, T> {
             resolved.len(),
             sites.len()
         );
+        let _campaign = fsp_obs::span_labeled("inject.campaign", format!("{} sites", sites.len()));
         let mut outcomes: Vec<Option<Outcome>> = if resolved.is_empty() {
             vec![None; sites.len()]
         } else {
@@ -541,6 +644,7 @@ impl<'a, T: InjectionTarget> Experiment<'a, T> {
                                 break;
                             }
                             let indices = &order[start..(start + CHUNK).min(order.len())];
+                            let _chunk = fsp_obs::span("inject.chunk");
                             let mut outs = Vec::with_capacity(indices.len());
                             let (mut hits, mut skipped, mut executed, mut early) =
                                 (0u64, 0u64, 0u64, 0u64);

@@ -1,0 +1,63 @@
+//! The workspace's one FNV-1a 64-bit hasher.
+//!
+//! Everything content-addressed in the workspace — kernel fingerprints,
+//! launch hashes, outcome-store records, wire-frame checksums, worker
+//! backoff seeds — hashes through this type. It used to be copied into
+//! each layer (the dependency graph put `fsp-workloads` above
+//! `fsp-inject`, so the lower layers rolled their own); `fsp-obs` sits at
+//! the very bottom of the graph, so every crate can share the single
+//! implementation. The published reference vectors are asserted where the
+//! hasher is most load-bearing, in `fsp-workloads`' fingerprint tests.
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Incremental FNV-1a 64-bit hasher (std's `DefaultHasher` makes no
+/// stability promise across releases, so the store rolls its own).
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u32` in little-endian byte order.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The 64-bit digest.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a of a byte slice.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}

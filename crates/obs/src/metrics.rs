@@ -1,0 +1,497 @@
+//! The unified metrics registry: counters, gauges and log2-bucket
+//! histograms with exact merge semantics, rendered as Prometheus text.
+//!
+//! Handles are cheap `Arc`-backed clones updated with relaxed atomics;
+//! the registry mutex is touched only at registration and render time.
+//! Registration is get-or-create: asking for an existing `(name, labels)`
+//! series returns the live handle, so layers can share series without
+//! threading handles through APIs.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// How a gauge renders its value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GaugeFormat {
+    /// Rust's shortest `f64` formatting (`0.75`, integral values without a
+    /// fraction).
+    #[default]
+    Auto,
+    /// One fixed decimal (`12.5`, `0.0`) — throughput-style gauges.
+    Fixed1,
+}
+
+/// A set-to-current-value gauge (stored as `f64` bits).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Sets from an unsigned integer (exact up to 2^53).
+    #[allow(clippy::cast_precision_loss)]
+    pub fn set_u64(&self, v: u64) {
+        self.set(v as f64);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of log2 buckets: bucket `k` holds values of bit length `k`
+/// (`0` holds only zero), so `u64`'s full range needs 65.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A log2-bucket histogram.
+///
+/// Bucket `k` counts values in `[2^(k-1), 2^k)` (bucket 0 counts zeros),
+/// i.e. values of bit length `k`. Buckets are plain counts, so merging
+/// shard histograms bucket-wise is *exactly* equivalent to recording the
+/// concatenated stream into one histogram — no interpolation error.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }))
+    }
+}
+
+/// The index of the bucket holding `v`: its bit length.
+#[must_use]
+pub fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// A point-in-time copy of a histogram's state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (see [`bucket_of`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Number of recorded values.
+    pub count: u64,
+}
+
+impl Histogram {
+    /// Records one value.
+    pub fn record(&self, v: u64) {
+        self.0.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds another histogram's counts into this one (exact: bucket-wise
+    /// addition; see the type docs for why this equals single-stream
+    /// recording).
+    pub fn merge_from(&self, other: &Histogram) {
+        let snap = other.snapshot();
+        for (bucket, n) in self.0.buckets.iter().zip(snap.buckets) {
+            bucket.fetch_add(n, Ordering::Relaxed);
+        }
+        self.0.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        self.0.count.fetch_add(snap.count, Ordering::Relaxed);
+    }
+
+    /// Copies out the current counts.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed)),
+            sum: self.0.sum.load(Ordering::Relaxed),
+            count: self.0.count.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Series {
+    Counter(Counter),
+    Gauge(Gauge, GaugeFormat),
+    Histogram(Histogram),
+}
+
+impl Series {
+    fn kind(&self) -> &'static str {
+        match self {
+            Series::Counter(_) => "counter",
+            Series::Gauge(..) => "gauge",
+            Series::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct MetricFamily {
+    name: String,
+    help: &'static str,
+    series: Vec<(Vec<(String, String)>, Series)>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    families: Vec<MetricFamily>,
+    /// `name -> families index`; `(name, labels) -> series index` lives in
+    /// the family's (short) series vector.
+    index: BTreeMap<String, usize>,
+}
+
+/// A collection of metric families rendered together as Prometheus text.
+///
+/// Families render in registration order; series within a family in
+/// first-seen order — output is deterministic for a fixed registration
+/// sequence.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+fn unpoisoned<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn series(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &'static str,
+        make: impl FnOnce() -> Series,
+    ) -> Series {
+        let mut inner = unpoisoned(&self.inner);
+        let family = if let Some(&i) = inner.index.get(name) {
+            i
+        } else {
+            let i = inner.families.len();
+            inner.families.push(MetricFamily {
+                name: name.to_owned(),
+                help,
+                series: Vec::new(),
+            });
+            inner.index.insert(name.to_owned(), i);
+            i
+        };
+        let family = &mut inner.families[family];
+        if let Some((_, series)) = family.series.iter().find(|(have, _)| {
+            have.len() == labels.len()
+                && have
+                    .iter()
+                    .zip(labels)
+                    .all(|((hk, hv), (k, v))| hk == k && hv == v)
+        }) {
+            return series.clone();
+        }
+        let series = make();
+        assert!(
+            family.series.is_empty() || family.series[0].1.kind() == series.kind(),
+            "metric `{name}` registered with conflicting types"
+        );
+        family.series.push((
+            labels
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                .collect(),
+            series.clone(),
+        ));
+        series
+    }
+
+    /// The unlabeled counter `name`, created on first use.
+    pub fn counter(&self, name: &str, help: &'static str) -> Counter {
+        self.counter_labeled(name, &[], help)
+    }
+
+    /// The counter `name{labels}`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` was already registered as a different metric type.
+    pub fn counter_labeled(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &'static str,
+    ) -> Counter {
+        match self.series(name, labels, help, || Series::Counter(Counter::default())) {
+            Series::Counter(c) => c,
+            other => panic!("metric `{name}` is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// The unlabeled gauge `name`, created on first use.
+    pub fn gauge(&self, name: &str, help: &'static str, format: GaugeFormat) -> Gauge {
+        self.gauge_labeled(name, &[], help, format)
+    }
+
+    /// The gauge `name{labels}`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` was already registered as a different metric type.
+    pub fn gauge_labeled(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &'static str,
+        format: GaugeFormat,
+    ) -> Gauge {
+        match self.series(name, labels, help, || {
+            Series::Gauge(Gauge::default(), format)
+        }) {
+            Series::Gauge(g, _) => g,
+            other => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// The unlabeled histogram `name`, created on first use.
+    pub fn histogram(&self, name: &str, help: &'static str) -> Histogram {
+        self.histogram_labeled(name, &[], help)
+    }
+
+    /// The histogram `name{labels}`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` was already registered as a different metric type.
+    pub fn histogram_labeled(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &'static str,
+    ) -> Histogram {
+        match self.series(name, labels, help, || {
+            Series::Histogram(Histogram::default())
+        }) {
+            Series::Histogram(h) => h,
+            other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Renders every family in the Prometheus text exposition format.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let inner = unpoisoned(&self.inner);
+        let mut out = String::new();
+        for family in &inner.families {
+            let name = &family.name;
+            let kind = family.series.first().map_or("untyped", |(_, s)| s.kind());
+            let _ = writeln!(out, "# HELP {name} {}\n# TYPE {name} {kind}", family.help);
+            for (labels, series) in &family.series {
+                let labels = render_labels(labels);
+                match series {
+                    Series::Counter(c) => {
+                        let _ = writeln!(out, "{name}{labels} {}", c.get());
+                    }
+                    Series::Gauge(g, format) => {
+                        let v = g.get();
+                        let _ = match format {
+                            GaugeFormat::Auto => writeln!(out, "{name}{labels} {v}"),
+                            GaugeFormat::Fixed1 => writeln!(out, "{name}{labels} {v:.1}"),
+                        };
+                    }
+                    Series::Histogram(h) => render_histogram(&mut out, name, &labels, h),
+                }
+            }
+        }
+        out
+    }
+}
+
+fn render_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    out.push('}');
+    out
+}
+
+fn render_histogram(out: &mut String, name: &str, labels: &str, histogram: &Histogram) {
+    let snap = histogram.snapshot();
+    let last = snap.buckets.iter().rposition(|&n| n > 0).unwrap_or(0);
+    let mut cumulative = 0u64;
+    for (k, &n) in snap.buckets.iter().enumerate().take(last + 1) {
+        cumulative += n;
+        // Bucket k holds values of bit length k: inclusive bound 2^k - 1.
+        let le = (1u128 << k) - 1;
+        let _ = writeln!(
+            out,
+            "{name}_bucket{} {cumulative}",
+            le_labels(labels, &le.to_string())
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{name}_bucket{} {}",
+        le_labels(labels, "+Inf"),
+        snap.count
+    );
+    let _ = writeln!(out, "{name}_sum{labels} {}", snap.sum);
+    let _ = writeln!(out, "{name}_count{labels} {}", snap.count);
+}
+
+fn le_labels(labels: &str, le: &str) -> String {
+    if labels.is_empty() {
+        format!("{{le=\"{le}\"}}")
+    } else {
+        format!("{},le=\"{le}\"}}", &labels[..labels.len() - 1])
+    }
+}
+
+/// The process-global registry, shared by layers that have no natural
+/// owner for their metrics (the injection engine, the simulator).
+/// `fsp-serve` owns a per-engine [`Registry`] instead, so engine counters
+/// reset with the engine.
+#[must_use]
+pub fn registry() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_render() {
+        let r = Registry::new();
+        let c = r.counter("t_total", "Things.");
+        c.add(3);
+        let by_kind = r.counter_labeled("t_by_kind", &[("kind", "a")], "Things by kind.");
+        by_kind.inc();
+        r.counter_labeled("t_by_kind", &[("kind", "b")], "Things by kind.")
+            .add(2);
+        let g = r.gauge("t_rate", "Rate.", GaugeFormat::Fixed1);
+        g.set(12.5);
+        let auto = r.gauge("t_frac", "Fraction.", GaugeFormat::Auto);
+        auto.set(0.75);
+        let text = r.render();
+        assert!(text.contains("# HELP t_total Things.\n# TYPE t_total counter\nt_total 3\n"));
+        assert!(text.contains("t_by_kind{kind=\"a\"} 1\n"));
+        assert!(text.contains("t_by_kind{kind=\"b\"} 2\n"));
+        assert!(text.contains("t_rate 12.5\n"));
+        assert!(text.contains("t_frac 0.75\n"));
+        // Re-registration returns the same live series.
+        r.counter("t_total", "Things.").inc();
+        assert_eq!(c.get(), 4);
+        assert_eq!(by_kind.get(), 1);
+    }
+
+    #[test]
+    fn gauge_auto_format_matches_f64_display() {
+        let r = Registry::new();
+        r.gauge("g", "G.", GaugeFormat::Auto).set(0.0);
+        assert!(r.render().contains("g 0\n"));
+        r.gauge("g", "G.", GaugeFormat::Auto).set(2.0);
+        assert!(r.render().contains("g 2\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        let h = Histogram::default();
+        for v in [0, 1, 2, 3, 1000] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 1006);
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[2], 2);
+        assert_eq!(snap.buckets[10], 1);
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let r = Registry::new();
+        let h = r.histogram("lat_ns", "Latency.");
+        h.record(1);
+        h.record(3);
+        let text = r.render();
+        assert!(text.contains("# TYPE lat_ns histogram\n"));
+        assert!(text.contains("lat_ns_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("lat_ns_bucket{le=\"3\"} 2\n"));
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("lat_ns_sum 4\n"));
+        assert!(text.contains("lat_ns_count 2\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "is a counter, not a gauge")]
+    fn type_conflicts_panic() {
+        let r = Registry::new();
+        let _ = r.counter("m", "M.");
+        let _ = r.gauge("m", "M.", GaugeFormat::Auto);
+    }
+}

@@ -1,0 +1,32 @@
+//! Property test: merging shard histograms is exactly equivalent to
+//! recording the concatenated stream into a single histogram.
+
+use fsp_obs::Histogram;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn merge_of_shards_equals_single_stream(
+        values in proptest::collection::vec(any::<u64>(), 0..256),
+        shards in 1usize..8,
+    ) {
+        // Record the stream round-robin into `shards` histograms, then
+        // fold them into one.
+        let parts: Vec<Histogram> = (0..shards).map(|_| Histogram::default()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            parts[i % shards].record(v);
+        }
+        let merged = Histogram::default();
+        for part in &parts {
+            merged.merge_from(part);
+        }
+
+        // The same stream into one histogram.
+        let single = Histogram::default();
+        for &v in &values {
+            single.record(v);
+        }
+
+        prop_assert_eq!(merged.snapshot(), single.snapshot());
+    }
+}

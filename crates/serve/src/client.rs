@@ -151,6 +151,21 @@ impl Client {
         }
     }
 
+    /// The live span timeline as Chrome trace-event JSON (requires the
+    /// server to run with tracing enabled — `fsp serve --trace`).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn trace(&self) -> Result<String, String> {
+        let (status, body) = self.request("GET", "/trace", None)?;
+        if status == 200 {
+            Ok(body)
+        } else {
+            Err(format!("GET /trace returned {status}"))
+        }
+    }
+
     /// One scrape value from `/metrics` (e.g. `"fsp_cache_hits_total"`).
     ///
     /// # Errors

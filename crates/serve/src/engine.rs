@@ -22,7 +22,7 @@ use std::time::{Duration, Instant};
 
 use fsp_core::{PruningConfig, PruningPipeline};
 use fsp_fleet::lease::{ChunkSpec, FleetConfig, LeaseTable, Submission};
-use fsp_fleet::wire::OutcomeFrame;
+use fsp_fleet::wire::{OutcomeFrame, TraceFrame};
 use fsp_inject::{CampaignObserver, Experiment, InjectionTarget, WeightedSite};
 use fsp_protect::{
     harden, harden_and_verify, plan_protection, remap_sites, HardenConfig, PlanInputs,
@@ -64,6 +64,9 @@ pub struct EngineConfig {
     pub campaign_workers: usize,
     /// Lease TTL and chunk granularity for fleet-executed jobs.
     pub fleet: FleetConfig,
+    /// Enable the span tracer at engine start (`GET /trace` then serves a
+    /// live Chrome trace; fleet grants instruct workers to trace too).
+    pub trace: bool,
 }
 
 impl EngineConfig {
@@ -76,7 +79,15 @@ impl EngineConfig {
             job_workers: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
             campaign_workers: 1,
             fleet: FleetConfig::default(),
+            trace: false,
         }
+    }
+
+    /// Enables (or disables) the span tracer at engine start.
+    #[must_use]
+    pub fn trace(mut self, on: bool) -> EngineConfig {
+        self.trace = on;
+        self
     }
 
     /// Overrides the worker-pool width (`0` is clamped to 1).
@@ -155,7 +166,11 @@ impl Engine {
             job_workers,
             campaign_workers,
             fleet,
+            trace,
         } = config;
+        if trace {
+            fsp_obs::set_tracing(true);
+        }
         let store = OutcomeStore::open(data_dir.join("store"))?;
         let jobs_dir = data_dir.join("jobs");
         std::fs::create_dir_all(&jobs_dir)?;
@@ -280,10 +295,7 @@ impl Engine {
             .expect("engine poisoned")
             .push_back(id.clone());
         self.shared.queue_cv.notify_one();
-        self.shared
-            .metrics
-            .jobs_submitted
-            .fetch_add(1, Ordering::Relaxed);
+        self.shared.metrics.jobs_submitted.inc();
         Ok(id)
     }
 
@@ -341,10 +353,7 @@ impl Engine {
                 let record = jobs.get_mut(id).expect("checked above");
                 record.state = JobState::Cancelled;
                 persist(&self.shared.jobs_dir, record);
-                self.shared
-                    .metrics
-                    .jobs_cancelled
-                    .fetch_add(1, Ordering::Relaxed);
+                self.shared.metrics.jobs_cancelled.inc();
                 true
             }
             Some(JobState::Running) => {
@@ -366,7 +375,13 @@ impl Engine {
     pub fn fleet_acquire(&self, worker: &str) -> Json {
         let acquired = self.shared.leases.acquire(worker);
         match acquired.grant {
-            Some(grant) => grant.to_json(),
+            Some(grant) => {
+                fsp_obs::instant(
+                    "serve.lease.grant",
+                    Some(format!("{worker} {}", grant.lease)),
+                );
+                grant.to_json()
+            }
             None => Json::obj([
                 ("lease", Json::Null),
                 ("pending", Json::u64(acquired.pending as u64)),
@@ -421,6 +436,33 @@ impl Engine {
                 error_json("frame records do not match the lease's campaign"),
             );
         }
+        // Re-anchor any spans the worker shipped with the frame onto this
+        // process's clock (see [`TraceFrame`]) so `GET /trace` renders a
+        // single cross-process timeline.
+        if fsp_obs::tracing_enabled() {
+            match TraceFrame::from_json(body) {
+                Ok(Some(trace)) => {
+                    let events: Vec<fsp_obs::Event> = trace
+                        .spans
+                        .iter()
+                        .map(|s| fsp_obs::Event {
+                            process: None,
+                            tid: s.tid,
+                            name: s.name.clone().into(),
+                            label: s.label.clone(),
+                            start_ns: u64::try_from(trace.grant_ns.cast_signed() + s.rel_ns)
+                                .unwrap_or(0),
+                            dur_ns: s.dur_ns,
+                            depth: s.depth,
+                            instant: s.instant,
+                        })
+                        .collect();
+                    fsp_obs::inject_foreign(&frame.worker, events);
+                }
+                Ok(None) => {}
+                Err(e) => eprintln!("fsp-serve: dropping malformed trace frame: {e}"),
+            }
+        }
         {
             let mut store = self.shared.store.lock().expect("engine poisoned");
             for (key, outcome) in &frame.records {
@@ -428,15 +470,26 @@ impl Engine {
                     eprintln!("fsp-serve: store append failed: {e}");
                 }
             }
+            let flush_start = fsp_obs::now_ns();
             let _ = store.flush();
+            self.shared
+                .metrics
+                .store_flush_nanos
+                .record(fsp_obs::now_ns() - flush_start);
         }
         let outcomes: std::collections::BTreeMap<_, _> =
             frame.records.iter().map(|(k, o)| (k.site, *o)).collect();
         match self.shared.leases.complete(lease, &frame.worker, &outcomes) {
-            Submission::Accepted => (
-                200,
-                Json::obj([("accepted", Json::u64(frame.records.len() as u64))]),
-            ),
+            Submission::Accepted => {
+                fsp_obs::instant(
+                    "serve.lease.complete",
+                    Some(format!("{} {lease}", frame.worker)),
+                );
+                (
+                    200,
+                    Json::obj([("accepted", Json::u64(frame.records.len() as u64))]),
+                )
+            }
             Submission::Duplicate => (
                 200,
                 Json::obj([("accepted", Json::u64(0)), ("duplicate", Json::Bool(true))]),
@@ -476,7 +529,18 @@ impl Engine {
         let store_len = self.shared.store.lock().expect("engine poisoned").len() as u64;
         let mut text = self.shared.metrics.render(&by_state, store_len);
         self.shared.leases.render_metrics(&mut text);
+        // Process-wide metrics (injection-engine histograms and counters)
+        // registered on the global registry by whichever layers ran.
+        text.push_str(&fsp_obs::registry().render());
         text
+    }
+
+    /// The live span timeline as Chrome trace-event JSON (`GET /trace`):
+    /// this process's spans plus any worker spans re-anchored from
+    /// submitted frames. Non-destructive — the ring keeps accumulating.
+    #[must_use]
+    pub fn trace_json(&self) -> String {
+        fsp_obs::chrome_trace_json(&fsp_obs::snapshot(), "coordinator")
     }
 
     /// Blocks until no job is queued or running, or `timeout` elapses;
@@ -749,7 +813,10 @@ fn run_job(shared: &Shared, id: &str) {
         .lock()
         .expect("engine poisoned")
         .insert(id.to_owned(), Arc::clone(&cancel));
-    let end = execute(shared, id, &spec, fleet, &cancel);
+    let end = {
+        let _job = fsp_obs::span_labeled("serve.job", format!("{id} {}", spec.kernel));
+        execute(shared, id, &spec, fleet, &cancel)
+    };
     shared
         .cancel_flags
         .lock()
@@ -765,25 +832,18 @@ fn run_job(shared: &Shared, id: &str) {
             record.done = record.total;
             record.partial = result.profile;
             record.result = Some(result);
-            shared
-                .metrics
-                .jobs_completed
-                .fetch_add(1, Ordering::Relaxed);
-            shared.metrics.jobs_completed_by_mode[mode_index(spec.mode.mode_name())]
-                .fetch_add(1, Ordering::Relaxed);
+            shared.metrics.jobs_completed.inc();
+            shared.metrics.jobs_completed_by_mode[mode_index(spec.mode.mode_name())].inc();
         }
         RunEnd::Interrupted => return, // stays `running` on disk
         RunEnd::Cancelled => {
             record.state = JobState::Cancelled;
-            shared
-                .metrics
-                .jobs_cancelled
-                .fetch_add(1, Ordering::Relaxed);
+            shared.metrics.jobs_cancelled.inc();
         }
         RunEnd::Failed(error) => {
             record.state = JobState::Failed;
             record.error = Some(error);
-            shared.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.jobs_failed.inc();
         }
     }
     persist(&shared.jobs_dir, record);
@@ -988,6 +1048,7 @@ fn campaign_through_store<T: InjectionTarget>(
     launch: u64,
     cancel: &AtomicBool,
 ) -> Result<Vec<Outcome>, RunEnd> {
+    let _campaign = fsp_obs::span_labeled("serve.campaign", id.to_owned());
     let keys: Vec<OutcomeKey> = sites
         .iter()
         .map(|ws| OutcomeKey::new(fingerprint, launch, spec.model, ws.site))
@@ -1042,7 +1103,12 @@ fn campaign_through_store<T: InjectionTarget>(
     );
     {
         let mut store = shared.store.lock().expect("engine poisoned");
+        let flush_start = fsp_obs::now_ns();
         let _ = store.flush();
+        shared
+            .metrics
+            .store_flush_nanos
+            .record(fsp_obs::now_ns() - flush_start);
         if store.appended_since_checkpoint() >= CHECKPOINT_EVERY {
             if let Err(e) = store.checkpoint() {
                 eprintln!("fsp-serve: store checkpoint failed: {e}");
@@ -1085,6 +1151,7 @@ fn fleet_campaign_through_store(
     launch: u64,
     cancel: &AtomicBool,
 ) -> Result<Vec<Outcome>, RunEnd> {
+    let _campaign = fsp_obs::span_labeled("serve.fleet_campaign", id.to_owned());
     let keys: Vec<OutcomeKey> = sites
         .iter()
         .map(|ws| OutcomeKey::new(fingerprint, launch, spec.model, ws.site))
@@ -1221,7 +1288,12 @@ impl CampaignObserver for EngineObserver<'_> {
             }
             // One flush per chunk: a crash loses at most the torn tail of
             // the final in-flight record.
+            let flush_start = fsp_obs::now_ns();
             let _ = store.flush();
+            self.shared
+                .metrics
+                .store_flush_nanos
+                .record(fsp_obs::now_ns() - flush_start);
         }
         let mut jobs = self.shared.jobs.lock().expect("engine poisoned");
         if let Some(record) = jobs.get_mut(self.id) {

@@ -13,6 +13,7 @@
 //! | GET    | `/fleet`                 | fleet status (chunks, workers)         |
 //! | GET    | `/kernels`               | kernel registry with fingerprints      |
 //! | GET    | `/metrics`               | Prometheus text exposition             |
+//! | GET    | `/trace`                 | Chrome trace-event JSON (span timeline) |
 //!
 //! Connections are `Connection: close`, one thread per request — campaign
 //! throughput, not HTTP throughput, is the bottleneck by design. Every
@@ -188,7 +189,10 @@ fn handle_connection(stream: TcpStream, engine: &Engine) -> std::io::Result<()> 
         String::new()
     };
 
-    let (status, content_type, response_body) = route(engine, &method, &path, &body);
+    let (status, content_type, response_body) = {
+        let _request = fsp_obs::span_labeled("http.request", format!("{method} {path}"));
+        route(engine, &method, &path, &body)
+    };
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -260,6 +264,7 @@ fn route(engine: &Engine, method: &str, path: &str, body: &str) -> (u16, &'stati
         ("GET", "/fleet") => (200, JSON, engine.fleet_status_json().to_string()),
         ("GET", "/kernels") => (200, JSON, kernels_json().to_string()),
         ("GET", "/metrics") => (200, "text/plain; version=0.0.4", engine.metrics_text()),
+        ("GET", "/trace") => (200, JSON, engine.trace_json()),
         ("GET", _) if path.starts_with("/jobs/") && path.ends_with("/result") => {
             let id = &path["/jobs/".len()..path.len() - "/result".len()];
             match engine.result_json(id) {

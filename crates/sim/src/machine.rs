@@ -296,6 +296,7 @@ impl Simulator {
                         // rest of the run under the serial schedule.
                         let retired = launch.budget() - budget;
                         if retired >= next_at {
+                            let _cap = fsp_obs::span("sim.checkpoint_capture");
                             let mut icnt = icnt_done.clone();
                             for t in &threads[..cta_threads] {
                                 icnt[t.coords.flat_tid() as usize] = t.icnt;
@@ -421,6 +422,7 @@ impl Simulator {
             cta_threads,
             "checkpoint does not match this launch"
         );
+        let restore = fsp_obs::span("sim.checkpoint_restore");
         global.clone_from(&checkpoint.global);
         let start_budget = launch.budget().saturating_sub(checkpoint.retired);
         let mut budget = start_budget;
@@ -432,6 +434,7 @@ impl Simulator {
         let ResumeScratch { threads, shared } = scratch;
         shared.clone_from(&checkpoint.shared);
         threads.clone_from(&checkpoint.threads);
+        drop(restore);
         // Finish the checkpointed CTA from its snapshot state, then the
         // remaining CTAs from scratch.
         if self.run_cta(

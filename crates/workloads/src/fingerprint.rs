@@ -12,50 +12,11 @@ use fsp_isa::KernelProgram;
 
 use crate::Workload;
 
-const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
-
-/// Incremental FNV-1a 64-bit hasher (std's `DefaultHasher` makes no
-/// stability promise across releases, so the store rolls its own).
-#[derive(Debug, Clone, Copy)]
-pub struct Fnv1a(u64);
-
-impl Default for Fnv1a {
-    fn default() -> Self {
-        Fnv1a(FNV_OFFSET)
-    }
-}
-
-impl Fnv1a {
-    /// A fresh hasher.
-    #[must_use]
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Absorbs bytes.
-    pub fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
-        }
-    }
-
-    /// Absorbs a `u32` in little-endian byte order.
-    pub fn write_u32(&mut self, v: u32) {
-        self.write(&v.to_le_bytes());
-    }
-
-    /// Absorbs a `u64` in little-endian byte order.
-    pub fn write_u64(&mut self, v: u64) {
-        self.write(&v.to_le_bytes());
-    }
-
-    /// The 64-bit digest.
-    #[must_use]
-    pub fn finish(&self) -> u64 {
-        self.0
-    }
-}
+// The hasher itself lives at the bottom of the crate graph so every layer
+// (including ones this crate depends on) shares one implementation; this
+// re-export keeps `fsp_workloads::Fnv1a` a stable path, and the reference
+// vectors stay asserted in this module's tests.
+pub use fsp_obs::Fnv1a;
 
 /// Fingerprints a kernel program by its disassembly text.
 ///
