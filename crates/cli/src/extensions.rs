@@ -183,7 +183,7 @@ pub fn opcode_vulnerability(w: &Workload, samples: usize, opts: &Options) -> Str
     let trace = space.trace();
     let mut per_opcode: BTreeMap<&'static str, ResilienceProfile> = BTreeMap::new();
     for (ws, &outcome) in sites.iter().zip(&result.outcomes) {
-        let full = &trace.full[&ws.site.tid];
+        let full = &trace.full[ws.site.tid];
         let pc = full.entries[ws.site.dyn_idx as usize].pc;
         let op = program.instr(pc as usize).opcode.mnemonic();
         per_opcode.entry(op).or_default().record(outcome);

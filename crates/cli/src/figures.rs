@@ -142,7 +142,7 @@ pub fn fig4(opts: &Options) -> String {
         let program = w.launch();
         let mut rows: Vec<(u32, u32, f64)> = Vec::new();
         for tid in trace.cta_threads(cta) {
-            let full = &trace.full[&tid];
+            let full = &trace.full[tid];
             let mut sites = Vec::new();
             for (i, e) in full.entries.iter().enumerate() {
                 let instr = program.program().instr(e.pc as usize);
@@ -205,9 +205,9 @@ pub fn fig5(_opts: &Options) -> String {
         .iter()
         .map(|r| r.tid)
         .collect();
-    reps.sort_by_key(|tid| std::cmp::Reverse(trace.full[tid].entries.len()));
+    reps.sort_by_key(|tid| std::cmp::Reverse(trace.full[*tid].entries.len()));
     let (a, b) = (reps[0], reps[1]);
-    let (ta, tb) = (&trace.full[&a], &trace.full[&b]);
+    let (ta, tb) = (&trace.full[a], &trace.full[b]);
     let alignment = fsp_core::align_lcs(&ta.pcs(), &tb.pcs());
     let matched_a: std::collections::BTreeSet<u32> =
         alignment.pairs.iter().map(|&(x, _)| x).collect();
@@ -305,7 +305,7 @@ pub fn fig7(opts: &Options) -> String {
         let program = w.launch();
         // Partition each thread's sites by (register class, bit section).
         let mut buckets: BTreeMap<(bool, u32), Vec<FaultSite>> = BTreeMap::new();
-        for (&tid, full) in &trace.full {
+        for (tid, full) in trace.full.iter() {
             for (i, e) in full.entries.iter().enumerate() {
                 let instr = program.program().instr(e.pc as usize);
                 let mut offset = 0u32;

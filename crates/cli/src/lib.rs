@@ -42,6 +42,9 @@ pub struct Options {
     pub quick: bool,
     /// RNG seed for baselines and sampling.
     pub seed: u64,
+    /// Lane budget for batched multi-lane injection (clamped to
+    /// `1..=fsp_inject::MAX_BATCH`; 1 disables batching).
+    pub batch: usize,
 }
 
 impl Default for Options {
@@ -50,6 +53,7 @@ impl Default for Options {
             workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
             quick: false,
             seed: 0xF5EED,
+            batch: fsp_inject::DEFAULT_BATCH,
         }
     }
 }

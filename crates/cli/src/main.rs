@@ -32,9 +32,11 @@ COMMANDS:
     protect <kernel>             Selectively harden a kernel (DMR) and verify by
                                  re-injection; see --budget / --scope / -n
     harden-report <kernel>       Coverage-vs-overhead curve over a budget sweep
-    bench-inject [-n N] [--json] Benchmark campaign throughput per kernel, fast
-                                 path (checkpoint resume + early convergence) vs
-                                 slow path (full re-execution); --json writes
+    bench-inject [-n N] [--json] Benchmark campaign throughput per kernel:
+                                 slow path (full re-execution) vs solo fast
+                                 path (checkpoint resume + early convergence)
+                                 vs batched fast path (multi-lane golden
+                                 replay, see --batch); --json writes
                                  BENCH_inject.json (override with --out)
     ptx <file.ptx>               Translate an nvcc-style PTX kernel and disassemble it
     trace <kernel> <tid>         Dump one thread's dynamic instruction trace
@@ -63,6 +65,10 @@ OPTIONS:
                    `serve`, the job worker pool width
     --quick        Smaller statistical baselines (~6K instead of 60K runs)
     --seed S       RNG seed (default 0xF5EED)
+    --batch N      For `bench-inject`: lane budget for batched multi-lane
+                   injection — sites sharing a CTA ride one golden replay
+                   as shadow lanes (default 16, max 64; 1 = solo path;
+                   campaigns elsewhere always use the default budget)
     --out PATH     For `reproduce`: also write the artifact text to PATH
     -n N           Samples for `campaign`/`submit` (default: statistical
                    baseline / pruned mode)
@@ -157,6 +163,13 @@ fn run(args: &[String]) -> Result<(), String> {
             "--seed" => {
                 i += 1;
                 opts.seed = parse(args.get(i), "--seed")?;
+            }
+            "--batch" => {
+                i += 1;
+                opts.batch = parse(args.get(i), "--batch")?;
+                if !(1..=fsp_inject::MAX_BATCH).contains(&opts.batch) {
+                    return Err(format!("--batch must be in 1..={}", fsp_inject::MAX_BATCH));
+                }
             }
             "-n" => {
                 i += 1;
@@ -727,8 +740,13 @@ fn harden_report(
 struct BenchRow {
     id: &'static str,
     sites: usize,
+    /// Batched fast path (multi-lane golden replay, `--batch` lanes).
     fast_secs: f64,
+    /// Fast path with a lane budget of 1 (per-site checkpoint resume).
+    solo_secs: f64,
     slow_secs: f64,
+    /// Mean lanes resolved per shared replay in the batched run.
+    lane_occupancy: f64,
     /// Golden run + checkpoint capture wall time (the campaign's setup
     /// phase, amortized over every injected site).
     prepare_nanos: u64,
@@ -783,9 +801,10 @@ fn bench_inject(
         // it also absorbs the fast path's one-time cost of faulting the
         // checkpoint and golden-trace structures into cache (the slow path
         // never touches them).
-        let mut timed = |fast: bool| {
+        let mut timed = |fast: bool, batch: usize, label: &'static str| {
             experiment.set_fast_path(fast);
-            let _path = fsp_obs::span_labeled("bench.path", if fast { "fast" } else { "slow" });
+            experiment.set_batch(batch);
+            let _path = fsp_obs::span_labeled("bench.path", label);
             let mut best: Option<(fsp_inject::IncrementalCampaign, f64)> = None;
             for _ in 0..2 {
                 let started = std::time::Instant::now();
@@ -803,10 +822,19 @@ fn bench_inject(
             }
             best.expect("two timed runs")
         };
-        let (slow, slow_secs) = timed(false);
-        let (fast, fast_secs) = timed(true);
+        let (slow, slow_secs) = timed(false, 1, "slow");
+        let (solo, solo_secs) = timed(true, 1, "solo");
+        let (fast, fast_secs) = timed(true, opts.batch, "batched");
+        if solo.outcomes != slow.outcomes {
+            return Err(format!(
+                "{id}: solo fast-path outcomes diverged from slow path"
+            ));
+        }
         if fast.outcomes != slow.outcomes {
-            return Err(format!("{id}: fast-path outcomes diverged from slow path"));
+            return Err(format!(
+                "{id}: batched (--batch {}) outcomes diverged from slow path",
+                opts.batch
+            ));
         }
         let outcome_fnv = {
             let mut h = fsp_obs::Fnv1a::new();
@@ -823,7 +851,13 @@ fn bench_inject(
             id,
             sites: sites.len(),
             fast_secs,
+            solo_secs,
             slow_secs,
+            lane_occupancy: if fast.batch_replays == 0 {
+                1.0
+            } else {
+                fast.batch_lanes as f64 / fast.batch_replays as f64
+            },
             prepare_nanos,
             outcome_fnv,
             skipped_fraction: if work == 0 {
@@ -840,18 +874,23 @@ fn bench_inject(
     }
     let total_sites: usize = rows.iter().map(|r| r.sites).sum();
     let fast_total: f64 = rows.iter().map(|r| r.fast_secs).sum();
+    let solo_total: f64 = rows.iter().map(|r| r.solo_secs).sum();
     let slow_total: f64 = rows.iter().map(|r| r.slow_secs).sum();
     if json {
         let mut doc = String::from("{\n");
         doc.push_str(&format!("  \"samples_per_kernel\": {n},\n"));
         doc.push_str(&format!("  \"workers\": {},\n", opts.workers));
         doc.push_str(&format!("  \"seed\": {},\n", opts.seed));
+        doc.push_str(&format!("  \"batch\": {},\n", opts.batch));
         doc.push_str("  \"kernels\": [\n");
         for (i, r) in rows.iter().enumerate() {
             doc.push_str(&format!(
                 "    {{\"id\": \"{}\", \"sites\": {}, \"slow_sites_per_sec\": {:.1}, \
+                 \"solo_sites_per_sec\": {:.1}, \
                  \"fast_sites_per_sec\": {:.1}, \"speedup\": {:.2}, \
-                 \"prepare_nanos\": {}, \"slow_nanos\": {}, \"fast_nanos\": {}, \
+                 \"batch_speedup\": {:.2}, \"lane_occupancy\": {:.2}, \
+                 \"prepare_nanos\": {}, \"slow_nanos\": {}, \"solo_nanos\": {}, \
+                 \"fast_nanos\": {}, \
                  \"outcome_fnv\": \"{:#018x}\", \
                  \"skipped_prefix_fraction\": {:.4}, \"checkpoint_hits\": {}, \
                  \"early_converged\": {}, \"static_predicted_fraction\": {:.4}, \
@@ -859,10 +898,14 @@ fn bench_inject(
                 r.id,
                 r.sites,
                 r.sites as f64 / r.slow_secs,
+                r.sites as f64 / r.solo_secs,
                 r.sites as f64 / r.fast_secs,
                 r.slow_secs / r.fast_secs,
+                r.solo_secs / r.fast_secs,
+                r.lane_occupancy,
                 r.prepare_nanos,
                 (r.slow_secs * 1e9) as u64,
+                (r.solo_secs * 1e9) as u64,
                 (r.fast_secs * 1e9) as u64,
                 r.outcome_fnv,
                 r.skipped_fraction,
@@ -876,11 +919,15 @@ fn bench_inject(
         doc.push_str("  ],\n");
         doc.push_str(&format!(
             "  \"aggregate\": {{\"sites\": {}, \"slow_sites_per_sec\": {:.1}, \
-             \"fast_sites_per_sec\": {:.1}, \"speedup\": {:.2}}}\n",
+             \"solo_sites_per_sec\": {:.1}, \
+             \"fast_sites_per_sec\": {:.1}, \"speedup\": {:.2}, \
+             \"batch_speedup\": {:.2}}}\n",
             total_sites,
             total_sites as f64 / slow_total,
+            total_sites as f64 / solo_total,
             total_sites as f64 / fast_total,
             slow_total / fast_total,
+            solo_total / fast_total,
         ));
         doc.push_str("}\n");
         let path = out_path.unwrap_or("BENCH_inject.json");
@@ -892,8 +939,10 @@ fn bench_inject(
             "kernel",
             "sites",
             "slow sites/s",
-            "fast sites/s",
+            "solo sites/s",
+            "batched sites/s",
             "speedup",
+            "lanes",
             "skipped prefix",
             "ckpt hits",
             "early",
@@ -903,8 +952,10 @@ fn bench_inject(
                 r.id.to_owned(),
                 r.sites.to_string(),
                 format!("{:.0}", r.sites as f64 / r.slow_secs),
+                format!("{:.0}", r.sites as f64 / r.solo_secs),
                 format!("{:.0}", r.sites as f64 / r.fast_secs),
                 format!("{:.2}x", r.slow_secs / r.fast_secs),
+                format!("{:.1}", r.lane_occupancy),
                 format!("{:.1}%", 100.0 * r.skipped_fraction),
                 r.checkpoint_hits.to_string(),
                 r.early_converged.to_string(),
@@ -912,12 +963,16 @@ fn bench_inject(
         }
         println!("{t}");
         println!(
-            "aggregate over {} kernels: {} sites, {:.0} -> {:.0} sites/s ({:.2}x)",
+            "aggregate over {} kernels: {} sites, {:.0} -> {:.0} -> {:.0} sites/s \
+             ({:.2}x vs slow, {:.2}x vs solo, batch {})",
             rows.len(),
             total_sites,
             total_sites as f64 / slow_total,
+            total_sites as f64 / solo_total,
             total_sites as f64 / fast_total,
             slow_total / fast_total,
+            solo_total / fast_total,
+            opts.batch,
         );
     }
     Ok(())
@@ -960,7 +1015,7 @@ fn trace_thread(id: Option<&String>, tid: Option<&String>) -> Result<(), String>
     let trace = tracer.finish();
     let program = launch.program();
     let forest = program.cfg().loops(program);
-    let full = &trace.full[&tid];
+    let full = &trace.full[tid];
     let tagging = fsp_core::LoopTagging::analyze(full, &forest);
     println!(
         "thread {tid} of {}: {} dynamic instructions, {} fault sites",

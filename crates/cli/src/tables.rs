@@ -207,10 +207,10 @@ pub fn table5(opts: &Options) -> String {
         .iter()
         .map(|r| r.tid)
         .collect();
-    reps.sort_by_key(|tid| std::cmp::Reverse(trace.full[tid].entries.len()));
+    reps.sort_by_key(|tid| std::cmp::Reverse(trace.full[*tid].entries.len()));
     let (a, b) = (reps[0], reps[1]);
-    let ta = &trace.full[&a];
-    let tb = &trace.full[&b];
+    let ta = &trace.full[a];
+    let tb = &trace.full[b];
     let alignment = fsp_core::align_lcs(&tb.pcs(), &ta.pcs());
 
     // Inject the matched ("common") instructions of each thread, bit-sampled
@@ -222,7 +222,7 @@ pub fn table5(opts: &Options) -> String {
     };
     let program = w.launch();
     let sites_for = |tid: u32, idxs: &[u32]| -> Vec<WeightedSite> {
-        let tr = &trace.full[&tid];
+        let tr = &trace.full[tid];
         let mut sites = Vec::new();
         for &i in idxs {
             let instr = program.program().instr(tr.entries[i as usize].pc as usize);
@@ -350,7 +350,7 @@ pub fn table7(_opts: &Options) -> String {
         let mut total = 0f64;
         let mut stats = Vec::new();
         for rep in &reps {
-            let tagging = LoopTagging::analyze(&trace.full[&rep.tid], &forest);
+            let tagging = LoopTagging::analyze(&trace.full[rep.tid], &forest);
             in_loop += rep.covered_threads as f64 * tagging.instructions_in_loops() as f64;
             total += rep.covered_threads as f64 * tagging.tags.len() as f64;
             stats.push(tagging);

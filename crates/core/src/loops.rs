@@ -203,7 +203,7 @@ mod tests {
         let mut tracer = Tracer::new(1, 1).with_full_traces([0]);
         let mut g = MemBlock::with_words(16);
         Simulator::new().run(&launch, &mut g, &mut tracer).unwrap();
-        let trace = tracer.finish().full.remove(&0).unwrap();
+        let trace = tracer.finish().full.remove(0).unwrap();
         (p, trace)
     }
 

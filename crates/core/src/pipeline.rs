@@ -268,7 +268,7 @@ impl PruningPipeline {
             .map(|r| {
                 trace
                     .full
-                    .get(&r.tid)
+                    .get(r.tid)
                     .unwrap_or_else(|| panic!("representative {} lacks a full trace", r.tid))
             })
             .collect();

@@ -13,16 +13,20 @@
 //! [`Experiment::set_fast_path`] as the differential-testing oracle; the
 //! two paths are byte-identical in outcomes and SDC severities.
 
-use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
+use fsp_isa::PredTest;
 use fsp_sim::{
-    Checkpoint, CheckpointConfig, ExecHook, GoldenRecorder, GoldenTrace, KernelTrace, Launch,
-    MemBlock, ResumeScratch, RetireEvent, SimFault, Simulator, Tracer, Writeback,
+    Checkpoint, CheckpointConfig, ExecHook, FullTraces, GlobalWriteProfile, GoldenRecorder,
+    GoldenTrace, KernelTrace, Launch, MemBlock, ResumeScratch, RetireEvent, SimFault, Simulator,
+    Tracer, Writeback,
 };
 use fsp_stats::{Outcome, OutcomeKind, ResilienceProfile};
 
+use crate::batch::{
+    BatchInjectionHook, DemoteCause, LaneEnd, RetireCause, DEFAULT_BATCH, MAX_BATCH,
+};
 use crate::fastpath::FastInjectionHook;
 use crate::hook::InjectionHook;
 use crate::site::{SiteSpace, WeightedSite};
@@ -188,6 +192,63 @@ fn inject_metrics() -> &'static InjectMetrics {
     })
 }
 
+/// Prometheus label values for the batched-lane retirement causes, indexed
+/// by [`lane_end_index`].
+const LANE_END_LABELS: [&str; 9] = [
+    "converged",
+    "untriggered",
+    "end_masked",
+    "end_sdc",
+    "demoted_control",
+    "demoted_addr",
+    "demoted_cap",
+    "demoted_fuel",
+    "demoted_replay",
+];
+
+fn lane_end_index(end: LaneEnd) -> usize {
+    match end {
+        LaneEnd::Resolved(_, RetireCause::Converged) => 0,
+        LaneEnd::Resolved(_, RetireCause::Untriggered) => 1,
+        LaneEnd::Resolved(_, RetireCause::EndMasked) => 2,
+        LaneEnd::Resolved(_, RetireCause::EndSdc) => 3,
+        LaneEnd::Demoted(DemoteCause::Control) => 4,
+        LaneEnd::Demoted(DemoteCause::Address) => 5,
+        LaneEnd::Demoted(DemoteCause::Capacity) => 6,
+        LaneEnd::Demoted(DemoteCause::Fuel) => 7,
+        LaneEnd::Demoted(DemoteCause::Replay) => 8,
+    }
+}
+
+/// Batched-execution metrics: lane occupancy per replay and per-lane
+/// retirement causes.
+struct BatchMetrics {
+    /// Lanes riding each batched replay.
+    lanes: fsp_obs::Histogram,
+    /// Lanes by how they retired (see [`LANE_END_LABELS`]).
+    lane_end: [fsp_obs::Counter; 9],
+}
+
+fn batch_metrics() -> &'static BatchMetrics {
+    static METRICS: OnceLock<BatchMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = fsp_obs::registry();
+        BatchMetrics {
+            lanes: r.histogram(
+                "fsp_inject_batch_lanes",
+                "Lane occupancy of batched injection replays.",
+            ),
+            lane_end: std::array::from_fn(|i| {
+                r.counter_labeled(
+                    "fsp_inject_batch_lane_total",
+                    &[("cause", LANE_END_LABELS[i])],
+                    "Batched injection lanes by retirement cause.",
+                )
+            }),
+        }
+    })
+}
+
 impl InjectMetrics {
     fn record_run(&self, meta: RunMeta, fast: bool, bailed: bool, outcome: Outcome, start_ns: u64) {
         self.run_nanos[outcome_index(outcome)].record(fsp_obs::now_ns().saturating_sub(start_ns));
@@ -222,6 +283,28 @@ struct RunMeta {
     early: bool,
 }
 
+/// Aggregated cost accounting of one batched replay plus its solo
+/// fallbacks, mirroring the per-run [`RunMeta`] counters lane-by-lane.
+#[derive(Debug, Clone, Copy, Default)]
+struct BatchRunMeta {
+    /// Lanes that resumed from a golden checkpoint (counted per lane: each
+    /// lane stands for one injected run that skipped its golden prefix).
+    hits: u64,
+    /// Golden-prefix instructions skipped, summed over lanes.
+    skipped: u64,
+    /// Instructions actually executed: the shared replay once, plus any
+    /// solo fallback runs.
+    executed: u64,
+    /// Lanes resolved by early convergence.
+    early: u64,
+    /// Shared golden replays run (1 per batch; 0 when every lane fell
+    /// back solo before the replay could start — never happens today).
+    replays: u64,
+    /// Lanes resolved *on* the shared replay, i.e. without a solo
+    /// fallback. `lanes / replays` is the effective batch occupancy.
+    lanes: u64,
+}
+
 /// A prepared injection experiment: golden output, initial memory image,
 /// calibrated hang budget, the golden trace and resumable checkpoints for
 /// one target.
@@ -245,8 +328,11 @@ pub struct Experiment<'a, T: InjectionTarget> {
     /// Golden store count and last-writer CTA per global word, for the
     /// tracker's cannot-converge proof (empty when `golden_trace` is
     /// `None`).
-    global_writers: std::collections::HashMap<u32, fsp_sim::GlobalWriteStats>,
+    global_writers: GlobalWriteProfile,
     fast_path: bool,
+    /// Shadow lanes per batched replay (see [`Experiment::set_batch`]);
+    /// `1` disables batching entirely.
+    batch: usize,
 }
 
 /// Composes the dynamic-instruction tracer with the golden value recorder
@@ -269,9 +355,9 @@ impl ExecHook for PrepareHook<'_> {
         self.tracer.writeback(wb)
     }
 
-    fn on_guard_fail(&mut self, tid: u32, pred: u8) {
-        self.golden.on_guard_fail(tid, pred);
-        self.tracer.on_guard_fail(tid, pred);
+    fn on_guard_fail(&mut self, tid: u32, pred: u8, test: PredTest) {
+        self.golden.on_guard_fail(tid, pred, test);
+        self.tracer.on_guard_fail(tid, pred, test);
     }
 }
 
@@ -336,6 +422,7 @@ impl<'a, T: InjectionTarget> Experiment<'a, T> {
             golden_trace,
             global_writers,
             fast_path: true,
+            batch: DEFAULT_BATCH,
         })
     }
 
@@ -379,6 +466,29 @@ impl<'a, T: InjectionTarget> Experiment<'a, T> {
         self
     }
 
+    /// Sets the number of shadow lanes per batched replay (clamped to
+    /// `1..=`[`MAX_BATCH`]). Campaign sites that resume from the same
+    /// golden checkpoint and trigger in the same CTA ride one shared
+    /// fault-free replay, up to this many at a time; `1` disables batching
+    /// (every site runs solo). Outcomes are byte-identical across batch
+    /// sizes — batching only changes how the work is amortized.
+    pub fn set_batch(&mut self, lanes: usize) {
+        self.batch = lanes.clamp(1, MAX_BATCH);
+    }
+
+    /// Builder-style [`Experiment::set_batch`].
+    #[must_use]
+    pub fn with_batch(mut self, lanes: usize) -> Self {
+        self.set_batch(lanes);
+        self
+    }
+
+    /// Current shadow-lane count per batched replay.
+    #[must_use]
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
     /// Builds the exhaustive [`SiteSpace`] from the golden trace.
     ///
     /// `full_traces` selects the threads that get full traces (needed for
@@ -390,10 +500,10 @@ impl<'a, T: InjectionTarget> Experiment<'a, T> {
     #[must_use]
     pub fn site_space(&self, full_traces: impl IntoIterator<Item = u32>) -> SiteSpace {
         let requested: Vec<u32> = full_traces.into_iter().collect();
-        if self.trace_all || requested.iter().all(|t| self.trace.full.contains_key(t)) {
-            let full: BTreeMap<_, _> = requested
+        if self.trace_all || requested.iter().all(|&t| self.trace.full.contains(t)) {
+            let full: FullTraces = requested
                 .into_iter()
-                .map(|t| (t, self.trace.full.get(&t).cloned().unwrap_or_default()))
+                .map(|t| (t, self.trace.full.get(t).cloned().unwrap_or_default()))
                 .collect();
             return SiteSpace::new(KernelTrace {
                 icnt: self.trace.icnt.clone(),
@@ -420,6 +530,31 @@ impl<'a, T: InjectionTarget> Experiment<'a, T> {
             .checkpoints
             .partition_point(|c| c.icnt(site.tid) <= site.dyn_idx);
         p.checked_sub(1).map(|i| &self.checkpoints[i])
+    }
+
+    /// Batch-group identity of a site's resume point: `0` for a cold start,
+    /// `i + 1` for checkpoint `i`. Sites sharing a key restore identical
+    /// machine state, so they can ride one replay.
+    fn checkpoint_key(&self, site: crate::FaultSite) -> usize {
+        self.checkpoints
+            .partition_point(|c| c.icnt(site.tid) <= site.dyn_idx)
+    }
+
+    /// The batch-group sort key of a site: `(CTA, resume point)`. Campaign
+    /// batching co-schedules sites sharing a CTA — a batch resumes from the
+    /// *earliest* checkpoint among its lanes, which is sound for every
+    /// later lane because per-thread retired counts are monotone across
+    /// checkpoints, so the earlier restore point still precedes each
+    /// lane's trigger. Sorting by resume point within the CTA keeps the
+    /// checkpoint spread inside one batch small. Distributed chunk
+    /// formation (fsp-serve / fsp-fleet) aligns lease boundaries to CTA
+    /// groups so a lease split never tears a batch.
+    #[must_use]
+    pub fn batch_group_key(&self, site: crate::FaultSite) -> (u32, usize) {
+        (
+            site.tid / self.launch.threads_per_cta().max(1),
+            self.checkpoint_key(site),
+        )
     }
 
     /// Runs one single-bit-flip injection and classifies its outcome.
@@ -531,6 +666,72 @@ impl<'a, T: InjectionTarget> Experiment<'a, T> {
         (outcome, severity, meta)
     }
 
+    /// Runs one batched replay over sites sharing a batch group (same
+    /// resume checkpoint, same CTA): a single fault-free resumed simulation
+    /// drives one shadow lane per site, lanes whose outcome the tracker
+    /// cannot classify are re-run through [`Experiment::run_one_in`], and
+    /// the per-site outcomes are appended to `outs` in site order.
+    fn run_batch_in(
+        &self,
+        batch_sites: &[crate::FaultSite],
+        model: crate::FaultModel,
+        scratch: &mut MemBlock,
+        resume: &mut ResumeScratch,
+        outs: &mut Vec<Outcome>,
+    ) -> BatchRunMeta {
+        let _span = fsp_obs::span_labeled("inject.batch", format!("{} lanes", batch_sites.len()));
+        let sim = Simulator::new();
+        let mut hook = BatchInjectionHook::new(
+            batch_sites,
+            model,
+            self.launch.num_threads(),
+            self.launch.threads_per_cta(),
+            self.target.output_region(),
+        );
+        let mut meta = BatchRunMeta::default();
+        let cp = self.checkpoint_for(batch_sites[0]);
+        let run = match cp {
+            Some(cp) => sim.run_from_with(cp, &self.launch, scratch, &mut hook, resume),
+            None => {
+                scratch.clone_from(&self.initial);
+                sim.run(&self.launch, scratch, &mut hook)
+            }
+        };
+        match run {
+            Ok(stats) => meta.executed += stats.instructions,
+            // The shared replay is fault-free by construction; a fault here
+            // means no lane outcome can be attributed — solo-rerun them all.
+            Err(_) => hook.demote_all(),
+        }
+        let ends = hook.finish();
+        let metrics = batch_metrics();
+        metrics.lanes.record(batch_sites.len() as u64);
+        meta.replays = 1;
+        for (&site, &end) in batch_sites.iter().zip(&ends) {
+            metrics.lane_end[lane_end_index(end)].inc();
+            match end {
+                LaneEnd::Resolved(outcome, cause) => {
+                    if let Some(cp) = cp {
+                        meta.hits += 1;
+                        meta.skipped += cp.retired();
+                    }
+                    meta.early += u64::from(cause == RetireCause::Converged);
+                    meta.lanes += 1;
+                    outs.push(outcome);
+                }
+                LaneEnd::Demoted(_) => {
+                    let (outcome, _, rm) = self.run_one_in(site, model, scratch, resume);
+                    meta.hits += u64::from(rm.ckpt_hit);
+                    meta.skipped += rm.skipped;
+                    meta.executed += rm.executed;
+                    meta.early += u64::from(rm.early);
+                    outs.push(outcome);
+                }
+            }
+        }
+        meta
+    }
+
     /// Runs a single-bit-flip campaign over `sites` on `workers` OS
     /// threads (`0` is clamped to 1).
     ///
@@ -601,11 +802,20 @@ impl<'a, T: InjectionTarget> Experiment<'a, T> {
         // Checkpoint-locality schedule: unresolved sites ordered by resume
         // position (ties broken by site index for determinism of the
         // *schedule*; outcomes are order-independent).
+        let batched = self.fast_path && self.golden_trace.is_some() && self.batch > 1;
         let order: Vec<usize> = {
             let mut v: Vec<usize> = (0..sites.len())
                 .filter(|&i| outcomes[i].is_none())
                 .collect();
-            if self.fast_path {
+            if batched {
+                // Batch-group order: sites sharing a CTA land adjacent,
+                // sorted by resume point, so unit formation below can
+                // co-schedule them with a small checkpoint spread.
+                v.sort_by_key(|&i| {
+                    let (cta, ckpt) = self.batch_group_key(sites[i].site);
+                    (cta, ckpt, i)
+                });
+            } else if self.fast_path {
                 v.sort_by_key(|&i| {
                     (
                         self.checkpoint_for(sites[i].site)
@@ -616,6 +826,35 @@ impl<'a, T: InjectionTarget> Experiment<'a, T> {
             }
             v
         };
+        // Work units claimed by workers: runs of the schedule sharing a
+        // CTA (capped at the lane budget) when batching, plain fixed-size
+        // chunks otherwise. A batch resumes from its first lane's
+        // checkpoint — the earliest in the unit, since the schedule sorts
+        // by resume point within the CTA. Single-site units always take
+        // the solo path, so a lane budget of 1 is *exactly* the solo
+        // campaign.
+        let units: Vec<(usize, usize)> = if batched {
+            let mut u = Vec::new();
+            let mut start = 0;
+            while start < order.len() {
+                let (cta, _) = self.batch_group_key(sites[order[start]].site);
+                let mut end = start + 1;
+                while end < order.len()
+                    && end - start < self.batch
+                    && self.batch_group_key(sites[order[end]].site).0 == cta
+                {
+                    end += 1;
+                }
+                u.push((start, end));
+                start = end;
+            }
+            u
+        } else {
+            (0..order.len())
+                .step_by(CHUNK)
+                .map(|s| (s, (s + CHUNK).min(order.len())))
+                .collect()
+        };
         let injected = AtomicUsize::new(0);
         let cancelled = AtomicBool::new(false);
         let cursor = AtomicUsize::new(0);
@@ -623,6 +862,8 @@ impl<'a, T: InjectionTarget> Experiment<'a, T> {
         let skipped_instructions = AtomicU64::new(0);
         let executed_instructions = AtomicU64::new(0);
         let early_converged = AtomicU64::new(0);
+        let batch_replays = AtomicU64::new(0);
+        let batch_lanes = AtomicU64::new(0);
         {
             // Workers claim chunks of the schedule via the cursor and run
             // them against a private scratch memory; the mutex guards only
@@ -639,27 +880,45 @@ impl<'a, T: InjectionTarget> Experiment<'a, T> {
                                 cancelled.store(true, Ordering::Relaxed);
                                 break;
                             }
-                            let start = cursor.fetch_add(CHUNK, Ordering::Relaxed);
-                            if start >= order.len() {
+                            let unit = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(&(lo, hi)) = units.get(unit) else {
                                 break;
-                            }
-                            let indices = &order[start..(start + CHUNK).min(order.len())];
+                            };
+                            let indices = &order[lo..hi];
                             let _chunk = fsp_obs::span("inject.chunk");
                             let mut outs = Vec::with_capacity(indices.len());
                             let (mut hits, mut skipped, mut executed, mut early) =
                                 (0u64, 0u64, 0u64, 0u64);
-                            for &i in indices {
-                                let (o, _, meta) = self.run_one_in(
-                                    sites[i].site,
+                            if batched && indices.len() > 1 {
+                                let batch_sites: Vec<crate::FaultSite> =
+                                    indices.iter().map(|&i| sites[i].site).collect();
+                                let bm = self.run_batch_in(
+                                    &batch_sites,
                                     model,
                                     &mut scratch,
                                     &mut resume,
+                                    &mut outs,
                                 );
-                                hits += u64::from(meta.ckpt_hit);
-                                skipped += meta.skipped;
-                                executed += meta.executed;
-                                early += u64::from(meta.early);
-                                outs.push(o);
+                                hits += bm.hits;
+                                skipped += bm.skipped;
+                                executed += bm.executed;
+                                early += bm.early;
+                                batch_replays.fetch_add(bm.replays, Ordering::Relaxed);
+                                batch_lanes.fetch_add(bm.lanes, Ordering::Relaxed);
+                            } else {
+                                for &i in indices {
+                                    let (o, _, meta) = self.run_one_in(
+                                        sites[i].site,
+                                        model,
+                                        &mut scratch,
+                                        &mut resume,
+                                    );
+                                    hits += u64::from(meta.ckpt_hit);
+                                    skipped += meta.skipped;
+                                    executed += meta.executed;
+                                    early += u64::from(meta.early);
+                                    outs.push(o);
+                                }
                             }
                             injected.fetch_add(indices.len(), Ordering::Relaxed);
                             checkpoint_hits.fetch_add(hits, Ordering::Relaxed);
@@ -687,6 +946,8 @@ impl<'a, T: InjectionTarget> Experiment<'a, T> {
             skipped_instructions: skipped_instructions.into_inner(),
             executed_instructions: executed_instructions.into_inner(),
             early_converged: early_converged.into_inner(),
+            batch_replays: batch_replays.into_inner(),
+            batch_lanes: batch_lanes.into_inner(),
         }
     }
 }
@@ -722,6 +983,12 @@ pub struct IncrementalCampaign {
     pub executed_instructions: u64,
     /// Injected runs classified `Masked` by early convergence.
     pub early_converged: u64,
+    /// Shared golden replays run by the batched fast path (0 when the
+    /// campaign ran solo).
+    pub batch_replays: u64,
+    /// Lanes resolved on a shared replay without a solo fallback;
+    /// `batch_lanes / batch_replays` is the effective lane occupancy.
+    pub batch_lanes: u64,
 }
 
 impl IncrementalCampaign {

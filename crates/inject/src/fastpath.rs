@@ -36,10 +36,10 @@
 //! so the campaign stops the run and records `Masked` immediately
 //! ([`ExecHook::converged`]).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use fsp_isa::{MemSpace, Opcode, Register};
-use fsp_sim::{ExecHook, GlobalWriteStats, GoldenTrace, MemAccess, RetireEvent, Writeback};
+use fsp_sim::{ExecHook, GlobalWriteProfile, GoldenTrace, MemAccess, RetireEvent, Writeback};
 
 use crate::hook::InjectionHook;
 use crate::model::FaultModel;
@@ -61,7 +61,7 @@ const SG_SCAN_CAP: usize = 16;
 /// Compact key for a register: thread-private, so keyed per tid elsewhere.
 /// `None` for registers that cannot carry state (`$r124`, `$o127`,
 /// specials) — writes to them are discarded and never diverge.
-fn reg_key(reg: Register) -> Option<u16> {
+pub(crate) fn reg_key(reg: Register) -> Option<u16> {
     match reg {
         Register::Special(_) | Register::Discard => None,
         Register::Gpr(124) => None,
@@ -74,7 +74,7 @@ fn reg_key(reg: Register) -> Option<u16> {
 /// Key for a memory word: `(space code, owner, byte address)`. Global
 /// words have one owner (0); shared words are owned by their CTA; local
 /// words by their thread.
-fn space_code(space: MemSpace) -> u8 {
+pub(crate) fn space_code(space: MemSpace) -> u8 {
     match space {
         MemSpace::Global => 0,
         MemSpace::Shared => 1,
@@ -94,7 +94,7 @@ pub struct FastInjectionHook<'a> {
     /// ([`GoldenTrace::global_write_profile`]): proves when a divergent
     /// output word can never be restored, so tracking can stop on the
     /// spot (the dominant SDC case).
-    writers: &'a HashMap<u32, GlobalWriteStats>,
+    writers: &'a GlobalWriteProfile,
     threads_per_cta: u32,
     /// The flip has committed; tracking is live.
     armed: bool,
@@ -141,7 +141,7 @@ impl<'a> FastInjectionHook<'a> {
         site: FaultSite,
         model: FaultModel,
         golden: &'a GoldenTrace,
-        writers: &'a HashMap<u32, GlobalWriteStats>,
+        writers: &'a GlobalWriteProfile,
         threads_per_cta: u32,
     ) -> Self {
         FastInjectionHook {
@@ -237,7 +237,7 @@ impl<'a> FastInjectionHook<'a> {
                 // single-assignment kernels, and it drops the per-retirement
                 // screen for the whole remaining run.
                 if key.0 == space_code(MemSpace::Global)
-                    && self.writers.get(&key.2).is_none_or(|w| w.count <= 1)
+                    && self.writers.get(key.2).is_none_or(|w| w.count <= 1)
                 {
                     self.bailed = true;
                     return;
@@ -376,7 +376,7 @@ impl ExecHook for FastInjectionHook<'_> {
                     if (self.sg_keys[i] >> 56) as u8 == space_code(MemSpace::Global)
                         && self
                             .writers
-                            .get(&self.sg_addrs[i])
+                            .get(self.sg_addrs[i])
                             .is_none_or(|w| w.last_cta < cta)
                     {
                         self.bailed = true;
@@ -487,7 +487,7 @@ mod tests {
     use fsp_isa::assemble;
     use fsp_sim::{GoldenRecorder, Launch, MemBlock, Simulator};
 
-    fn golden_of(launch: &Launch, words: usize) -> (GoldenTrace, HashMap<u32, GlobalWriteStats>) {
+    fn golden_of(launch: &Launch, words: usize) -> (GoldenTrace, GlobalWriteProfile) {
         let mut mem = MemBlock::with_words(words);
         let mut rec = GoldenRecorder::new(launch.num_threads());
         Simulator::new()

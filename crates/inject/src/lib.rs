@@ -32,6 +32,7 @@
 //! # Ok::<(), fsp_sim::SimFault>(())
 //! ```
 
+mod batch;
 mod campaign;
 mod fastpath;
 mod hook;
@@ -41,6 +42,7 @@ mod site;
 mod target;
 pub mod testing;
 
+pub use batch::{batch_version, DEFAULT_BATCH, MAX_BATCH};
 pub use campaign::{
     classifier_hash, CampaignObserver, CampaignResult, Experiment, IncrementalCampaign, NopObserver,
 };

@@ -146,7 +146,7 @@ impl SiteSpace {
         let full = self
             .trace
             .full
-            .get(&tid)
+            .get(tid)
             .unwrap_or_else(|| panic!("thread {tid} has no full trace"));
         for (dyn_idx, entry) in full.entries.iter().enumerate() {
             let bits = u64::from(entry.dest_bits);
@@ -188,7 +188,7 @@ impl SiteSpace {
         let full = self
             .trace
             .full
-            .get(&tid)
+            .get(tid)
             .unwrap_or_else(|| panic!("thread {tid} has no full trace"));
         full.entries
             .iter()
@@ -212,7 +212,7 @@ impl SiteSpace {
         let full = self
             .trace
             .full
-            .get(&tid)
+            .get(tid)
             .unwrap_or_else(|| panic!("thread {tid} has no full trace"));
         full.entries
             .iter()

@@ -212,7 +212,7 @@ pub fn plan(inputs: &PlanInputs<'_>, scope: ProtectScope, budget: f64) -> Protec
             },
             None => 1.0,
         };
-        let Some(thread) = trace.full.get(&ws.site.tid) else {
+        let Some(thread) = trace.full.get(ws.site.tid) else {
             continue;
         };
         let Some(entry) = thread.entries.get(ws.site.dyn_idx as usize) else {

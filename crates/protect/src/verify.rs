@@ -250,8 +250,8 @@ pub fn remap_sites(
         .iter()
         .map(|ws| {
             let map = per_thread.entry(ws.site.tid).or_insert_with(|| {
-                let base = &baseline.trace().full[&ws.site.tid];
-                let prot = &protected.trace().full[&ws.site.tid];
+                let base = &baseline.trace().full[ws.site.tid];
+                let prot = &protected.trace().full[ws.site.tid];
                 let mapped: Vec<u32> = prot
                     .entries
                     .iter()

@@ -33,13 +33,18 @@ use fsp_workloads::{program_fingerprint, Scale, Workload};
 
 /// Launch-hash component of store keys and result documents: the
 /// workload's launch-configuration hash mixed with the outcome
-/// classifier's calibration ([`fsp_inject::classifier_hash`]) *and* the
-/// static analysis version ([`fsp_analyze::absint_version`]), so outcomes
-/// persisted under a different hang-budget calibration — or planned by an
-/// older abstract-interpretation semantics (which changes which sites are
-/// skipped as predicted DUEs) — miss instead of being served as current.
+/// classifier's calibration ([`fsp_inject::classifier_hash`]), the
+/// static analysis version ([`fsp_analyze::absint_version`]), *and* the
+/// batched-injection format tag ([`fsp_inject::batch_version`]), so
+/// outcomes persisted under a different hang-budget calibration — or
+/// planned by an older abstract-interpretation semantics, or produced by
+/// an incompatible lane-batching scheme — miss instead of being served
+/// as current.
 fn keyed_launch_hash(w: &Workload) -> u64 {
-    w.launch_hash() ^ fsp_inject::classifier_hash() ^ fsp_analyze::absint_version()
+    w.launch_hash()
+        ^ fsp_inject::classifier_hash()
+        ^ fsp_analyze::absint_version()
+        ^ fsp_inject::batch_version()
 }
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -889,7 +894,16 @@ fn execute(shared: &Shared, id: &str, spec: &JobSpec, fleet: bool, cancel: &Atom
     let launch = keyed_launch_hash(&workload);
     reset_progress(shared, id, sites.len());
     let campaign = if fleet {
-        fleet_campaign_through_store(shared, id, spec, sites, fingerprint, launch, cancel)
+        fleet_campaign_through_store(
+            shared,
+            id,
+            spec,
+            sites,
+            fingerprint,
+            launch,
+            workload.launch().threads_per_cta(),
+            cancel,
+        )
     } else {
         campaign_through_store(
             shared,
@@ -1128,6 +1142,44 @@ fn campaign_through_store<T: InjectionTarget>(
         .collect())
 }
 
+/// Shards miss indices into lease chunks aligned to batch groups. The
+/// worker's batched fast path co-schedules sites that share a CTA onto
+/// one golden replay, so a lease boundary that split a CTA group would
+/// strand its lanes in thinner batches across two workers. Misses are
+/// sorted by (CTA, dynamic index) — sites sharing a resume checkpoint
+/// end up adjacent — and a chunk only closes at a CTA boundary once it
+/// has reached `chunk_len` (with a 2x hard cap so one huge CTA can't
+/// produce an unbounded lease). Outcomes are assembled by plan index,
+/// so reordering the misses is invisible to the final profile.
+fn batch_aligned_chunks(
+    sites: &[WeightedSite],
+    mut miss: Vec<usize>,
+    chunk_len: usize,
+    threads_per_cta: u32,
+) -> Vec<Vec<usize>> {
+    let tpc = threads_per_cta.max(1);
+    miss.sort_by_key(|&i| {
+        let s = sites[i].site;
+        (s.tid / tpc, s.dyn_idx, s.tid, s.bit)
+    });
+    let mut chunks: Vec<Vec<usize>> = Vec::new();
+    for &i in &miss {
+        let cta = sites[i].site.tid / tpc;
+        match chunks.last_mut() {
+            Some(chunk)
+                if chunk.len() < chunk_len * 2
+                    && (chunk.len() < chunk_len
+                        || sites[*chunk.last().expect("chunk non-empty")].site.tid / tpc
+                            == cta) =>
+            {
+                chunk.push(i);
+            }
+            _ => chunks.push(vec![i]),
+        }
+    }
+    chunks
+}
+
 /// Runs one campaign on the worker fleet: resolves store hits exactly
 /// like the in-process path, shards the misses into chunk leases, then
 /// supervises until every chunk is delivered by some worker.
@@ -1142,6 +1194,7 @@ fn campaign_through_store<T: InjectionTarget>(
 ///
 /// `Err` carries the terminal [`RunEnd`] when the job was stopped; the
 /// job's published leases are retracted so workers stop pulling them.
+#[allow(clippy::too_many_arguments)]
 fn fleet_campaign_through_store(
     shared: &Shared,
     id: &str,
@@ -1149,6 +1202,7 @@ fn fleet_campaign_through_store(
     sites: &[WeightedSite],
     fingerprint: u64,
     launch: u64,
+    threads_per_cta: u32,
     cancel: &AtomicBool,
 ) -> Result<Vec<Outcome>, RunEnd> {
     let _campaign = fsp_obs::span_labeled("serve.fleet_campaign", id.to_owned());
@@ -1175,13 +1229,15 @@ fn fleet_campaign_through_store(
         }
     }
 
-    // Shard the misses. A sampled plan may repeat a site; every index gets
-    // its outcome from its own chunk's map, so repeats are harmless.
+    // Shard the misses, aligned to batch groups; a sampled plan may
+    // repeat a site, and every index gets its outcome from its own
+    // chunk's map, so repeats are harmless.
     let miss: Vec<usize> = (0..sites.len())
         .filter(|&i| outcomes[i].is_none())
         .collect();
+    let misses = miss.len();
     let chunk_len = shared.leases.config().chunk_sites.max(1);
-    let chunks: Vec<Vec<usize>> = miss.chunks(chunk_len).map(<[usize]>::to_vec).collect();
+    let chunks = batch_aligned_chunks(sites, miss, chunk_len, threads_per_cta);
     let specs: Vec<ChunkSpec> = chunks
         .iter()
         .enumerate()
@@ -1236,7 +1292,7 @@ fn fleet_campaign_through_store(
     shared.metrics.record_campaign(
         mode_index(spec.mode.mode_name()),
         hits as u64,
-        miss.len() as u64,
+        misses as u64,
         started.elapsed().as_nanos() as u64,
     );
     {
@@ -1306,5 +1362,58 @@ impl CampaignObserver for EngineObserver<'_> {
 
     fn should_cancel(&self) -> bool {
         self.shared.shutdown.load(Ordering::Relaxed) || self.cancel.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsp_inject::FaultSite;
+
+    fn site(tid: u32, dyn_idx: u32) -> WeightedSite {
+        WeightedSite::from(FaultSite {
+            tid,
+            dyn_idx,
+            bit: 0,
+        })
+    }
+
+    /// Chunks cover every miss exactly once, never mix CTAs before
+    /// reaching the target length, and respect the 2x hard cap.
+    #[test]
+    fn chunk_formation_aligns_to_cta_groups() {
+        let tpc = 4;
+        // CTA 0: 3 sites; CTA 1: 11 sites (forces a within-CTA split at
+        // the 2x cap); CTA 2: 1 site.
+        let sites: Vec<WeightedSite> = (0..3)
+            .map(|i| site(i % tpc, i))
+            .chain((0..11).map(|i| site(4 + i % tpc, i)))
+            .chain([site(9, 0)])
+            .collect();
+        let miss: Vec<usize> = (0..sites.len()).collect();
+        let chunks = batch_aligned_chunks(&sites, miss, 4, tpc);
+        let mut seen: Vec<usize> = chunks.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..sites.len()).collect::<Vec<_>>());
+        for chunk in &chunks {
+            assert!(chunk.len() <= 8, "2x cap violated: {}", chunk.len());
+            let ctas: std::collections::BTreeSet<u32> =
+                chunk.iter().map(|&i| sites[i].site.tid / tpc).collect();
+            // A chunk may only span CTAs past the target length — and
+            // then only because the previous CTA's tail filled it.
+            if chunk.len() <= 4 {
+                assert!(ctas.len() <= 2, "short chunk spans {} CTAs", ctas.len());
+            }
+        }
+        // All three CTAs are covered, and the chunk sequence never
+        // returns to a CTA it has moved past (group contiguity).
+        let cta_seq: Vec<u32> = chunks
+            .iter()
+            .flatten()
+            .map(|&i| sites[i].site.tid / tpc)
+            .collect();
+        let mut deduped = cta_seq.clone();
+        deduped.dedup();
+        assert_eq!(deduped, vec![0, 1, 2], "CTA groups torn: {cta_seq:?}");
     }
 }

@@ -129,12 +129,42 @@ impl AccessLog {
     }
 }
 
+/// Per-step log of the processed source-operand values an instruction
+/// consumed, surfaced to hooks through [`RetireEvent::srcs`]. Values are
+/// recorded after half-word selection and negation, in source-slot order,
+/// so a hook can re-evaluate the instruction against substituted inputs
+/// (shadow-lane recompute) without re-resolving operands.
+#[derive(Debug, Default)]
+pub(crate) struct SrcLog {
+    buf: [u32; 4],
+    len: usize,
+}
+
+impl SrcLog {
+    fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    fn push(&mut self, v: u32) {
+        // At most 3 sources per instruction (plus slack).
+        if self.len < self.buf.len() {
+            self.buf[self.len] = v;
+            self.len += 1;
+        }
+    }
+
+    fn as_slice(&self) -> &[u32] {
+        &self.buf[..self.len]
+    }
+}
+
 /// Mutable memory context shared by the threads of the running CTA.
 pub(crate) struct ExecCtx<'a> {
     pub program: &'a fsp_isa::KernelProgram,
     pub global: &'a mut MemBlock,
     pub shared: &'a mut MemBlock,
     pub accesses: AccessLog,
+    pub srcs: SrcLog,
 }
 
 impl ExecCtx<'_> {
@@ -197,11 +227,12 @@ fn write_reg(thread: &mut ThreadState, reg: Register, value: u32) {
     }
 }
 
-/// Evaluates a guard against a predicate register's condition codes.
-fn guard_passes(thread: &ThreadState, pred: u8, test: PredTest) -> bool {
-    let p = thread.preds[pred as usize];
-    let zero = p & 0b0001 != 0;
-    let sign = p & 0b0010 != 0;
+/// Evaluates a predicate test against a 4-bit condition-code word
+/// (zero = bit 0, sign = bit 1).
+#[must_use]
+pub fn pred_test(flags: u8, test: PredTest) -> bool {
+    let zero = flags & 0b0001 != 0;
+    let sign = flags & 0b0010 != 0;
     match test {
         PredTest::Eq => zero,
         PredTest::Ne => !zero,
@@ -212,8 +243,14 @@ fn guard_passes(thread: &ThreadState, pred: u8, test: PredTest) -> bool {
     }
 }
 
+/// Evaluates a guard against a predicate register's condition codes.
+fn guard_passes(thread: &ThreadState, pred: u8, test: PredTest) -> bool {
+    pred_test(thread.preds[pred as usize], test)
+}
+
 /// Condition-code flags derived from a result value.
-fn flags_of(value: u32, ty: ScalarType, carry: bool, overflow: bool) -> u32 {
+#[must_use]
+pub fn flags_of(value: u32, ty: ScalarType, carry: bool, overflow: bool) -> u32 {
     let zero = value == 0;
     let sign = if ty.is_float() {
         f32::from_bits(value) < 0.0
@@ -223,33 +260,37 @@ fn flags_of(value: u32, ty: ScalarType, carry: bool, overflow: bool) -> u32 {
     u32::from(zero) | (u32::from(sign) << 1) | (u32::from(carry) << 2) | (u32::from(overflow) << 3)
 }
 
-/// Fetches an operand value, applying half-word selection and negation.
+/// Applies half-word selection and negation to a raw register word —
+/// the processing [`operand_value`] performs on register operands. Public
+/// so shadow-lane recompute can re-process a substituted raw value.
+#[must_use]
+pub fn apply_half_neg(raw: u32, half: Option<Half>, neg: bool, ty: ScalarType) -> u32 {
+    let mut v = raw;
+    match half {
+        Some(Half::Lo) => v &= 0xFFFF,
+        Some(Half::Hi) => v >>= 16,
+        None => {}
+    }
+    if neg {
+        v = negate(v, ty);
+    }
+    v
+}
+
+/// Fetches an operand value, applying half-word selection and negation,
+/// and logs the processed value in [`ExecCtx::srcs`].
 fn operand_value(
     thread: &mut ThreadState,
     ctx: &mut ExecCtx<'_>,
     op: &Operand,
     ty: ScalarType,
 ) -> Result<u32, SimFault> {
-    let mut v = match op {
-        Operand::Reg { reg, half, neg } => {
-            let mut v = read_reg(thread, *reg);
-            match half {
-                Some(Half::Lo) => v &= 0xFFFF,
-                Some(Half::Hi) => v >>= 16,
-                None => {}
-            }
-            if *neg {
-                v = negate(v, ty);
-            }
-            return Ok(v);
-        }
+    let v = match op {
+        Operand::Reg { reg, half, neg } => apply_half_neg(read_reg(thread, *reg), *half, *neg, ty),
         Operand::Imm(v) => *v,
         Operand::Mem(m) => ctx.load(thread, *m)?,
     };
-    if ty == ScalarType::U16 {
-        // Keep immediate/memory operands of 16-bit ops in range.
-        v &= 0xFFFF_FFFF; // full word; masking happens per-operation
-    }
+    ctx.srcs.push(v);
     Ok(v)
 }
 
@@ -345,6 +386,242 @@ fn mask(v: u32, ty: ScalarType) -> u32 {
     }
 }
 
+/// The scalar type governing half/neg processing of source slot `slot`.
+#[must_use]
+pub fn operand_ty(instr: &fsp_isa::Instruction, slot: usize) -> ScalarType {
+    match instr.opcode {
+        Opcode::Cvt | Opcode::Set => instr.src_ty,
+        Opcode::Mad if instr.wide && slot == 2 => ScalarType::U32,
+        _ => instr.ty,
+    }
+}
+
+/// Number of source values a value-producing opcode consumes (the length
+/// of [`RetireEvent::srcs`] for its retirement).
+fn src_count(op: Opcode) -> usize {
+    match op {
+        Opcode::Mov
+        | Opcode::Ld
+        | Opcode::Cvt
+        | Opcode::Abs
+        | Opcode::Neg
+        | Opcode::Rcp
+        | Opcode::Sqrt
+        | Opcode::Rsqrt
+        | Opcode::Ex2
+        | Opcode::Lg2
+        | Opcode::Not => 1,
+        Opcode::Mad | Opcode::Selp => 3,
+        _ => 2,
+    }
+}
+
+/// Evaluates a value-producing instruction over already-processed source
+/// values (`RetireEvent::srcs` order), returning `(value, carry, overflow)`.
+///
+/// This is the single evaluator [`step`] itself commits through, so a hook
+/// re-running it over substituted sources (shadow-lane recompute) gets
+/// bit-identical semantics by construction. `Selp` expects the raw 4-bit
+/// flags of its predicate operand in slot 2.
+///
+/// # Panics
+/// On control opcodes and `st`, which produce no register result.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn eval_op(instr: &fsp_isa::Instruction, s: &[u32]) -> (u32, bool, bool) {
+    let ty = instr.ty;
+    match instr.opcode {
+        Opcode::Mov | Opcode::Ld => (mask(s[0], ty), false, false),
+        Opcode::Cvt => (convert(s[0], instr.src_ty, ty), false, false),
+        Opcode::Add | Opcode::Sub => {
+            let (a, b) = (s[0], s[1]);
+            if ty.is_float() {
+                let (x, y) = (f32::from_bits(a), f32::from_bits(b));
+                let r = if instr.opcode == Opcode::Add {
+                    x + y
+                } else {
+                    x - y
+                };
+                (r.to_bits(), false, false)
+            } else if instr.opcode == Opcode::Add {
+                let (r, carry) = a.overflowing_add(b);
+                let (_, overflow) = (a as i32).overflowing_add(b as i32);
+                (mask(r, ty), carry, overflow)
+            } else {
+                let (r, borrow) = a.overflowing_sub(b);
+                let (_, overflow) = (a as i32).overflowing_sub(b as i32);
+                (mask(r, ty), borrow, overflow)
+            }
+        }
+        Opcode::Mul | Opcode::Mad => {
+            let (a, b) = (s[0], s[1]);
+            let prod: u32 = if ty.is_float() {
+                (f32::from_bits(a) * f32::from_bits(b)).to_bits()
+            } else if instr.wide {
+                (widen(a, ty).wrapping_mul(widen(b, ty))) as u32
+            } else if instr.hi {
+                if ty.is_signed() {
+                    ((i64::from(a as i32).wrapping_mul(i64::from(b as i32))) >> 32) as u32
+                } else {
+                    ((u64::from(a).wrapping_mul(u64::from(b))) >> 32) as u32
+                }
+            } else {
+                mask(a.wrapping_mul(b), ty)
+            };
+            let v = if instr.opcode == Opcode::Mad {
+                let c = s[2];
+                if ty.is_float() {
+                    (f32::from_bits(prod) + f32::from_bits(c)).to_bits()
+                } else if instr.wide {
+                    prod.wrapping_add(c)
+                } else {
+                    mask(prod.wrapping_add(c), ty)
+                }
+            } else {
+                prod
+            };
+            (v, false, false)
+        }
+        Opcode::Div | Opcode::Rem => {
+            let (a, b) = (s[0], s[1]);
+            let v = if ty.is_float() {
+                (f32::from_bits(a) / f32::from_bits(b)).to_bits()
+            } else if b == 0 {
+                // CUDA integer division by zero produces all-ones, not a trap.
+                if instr.opcode == Opcode::Div {
+                    u32::MAX
+                } else {
+                    a
+                }
+            } else if ty.is_signed() {
+                let (x, y) = (a as i32, b as i32);
+                let r = if instr.opcode == Opcode::Div {
+                    x.wrapping_div(y)
+                } else {
+                    x.wrapping_rem(y)
+                };
+                mask(r as u32, ty)
+            } else {
+                mask(
+                    if instr.opcode == Opcode::Div {
+                        a / b
+                    } else {
+                        a % b
+                    },
+                    ty,
+                )
+            };
+            (v, false, false)
+        }
+        Opcode::Min | Opcode::Max => {
+            let (a, b) = (s[0], s[1]);
+            let take_a = if instr.opcode == Opcode::Min {
+                compare(a, b, CmpOp::Le, ty)
+            } else {
+                compare(a, b, CmpOp::Ge, ty)
+            };
+            (if take_a { a } else { b }, false, false)
+        }
+        Opcode::Abs => {
+            let a = s[0];
+            let v = if ty.is_float() {
+                a & 0x7FFF_FFFF
+            } else {
+                mask((a as i32).wrapping_abs() as u32, ty)
+            };
+            (v, false, false)
+        }
+        Opcode::Neg => (mask(negate(s[0], ty), ty), false, false),
+        Opcode::Rcp | Opcode::Sqrt | Opcode::Rsqrt | Opcode::Ex2 | Opcode::Lg2 => {
+            let x = f32::from_bits(s[0]);
+            let r = match instr.opcode {
+                Opcode::Rcp => 1.0 / x,
+                Opcode::Sqrt => x.sqrt(),
+                Opcode::Rsqrt => 1.0 / x.sqrt(),
+                Opcode::Ex2 => x.exp2(),
+                Opcode::Lg2 => x.log2(),
+                _ => unreachable!(),
+            };
+            (r.to_bits(), false, false)
+        }
+        Opcode::And | Opcode::Or | Opcode::Xor => {
+            let (a, b) = (s[0], s[1]);
+            let v = match instr.opcode {
+                Opcode::And => a & b,
+                Opcode::Or => a | b,
+                Opcode::Xor => a ^ b,
+                _ => unreachable!(),
+            };
+            (mask(v, ty), false, false)
+        }
+        Opcode::Not => (mask(!s[0], ty), false, false),
+        Opcode::Shl | Opcode::Shr => {
+            let (a, amt) = (s[0], s[1]);
+            let v = if amt >= 32 {
+                match (instr.opcode, ty.is_signed(), (a as i32) < 0) {
+                    (Opcode::Shr, true, true) => u32::MAX,
+                    _ => 0,
+                }
+            } else if instr.opcode == Opcode::Shl {
+                a.wrapping_shl(amt)
+            } else if ty.is_signed() {
+                ((a as i32) >> amt) as u32
+            } else {
+                a >> amt
+            };
+            (mask(v, ty), false, false)
+        }
+        Opcode::Set => {
+            let hit = compare(
+                s[0],
+                s[1],
+                instr.cmp.expect("assembler enforces set.cmp"),
+                instr.src_ty,
+            );
+            let v = if ty.is_float() {
+                if hit {
+                    1.0f32.to_bits()
+                } else {
+                    0
+                }
+            } else if hit {
+                mask(u32::MAX, ty)
+            } else {
+                0
+            };
+            (v, false, false)
+        }
+        Opcode::Selp => {
+            let test = match instr.cmp {
+                Some(CmpOp::Eq) => PredTest::Eq,
+                Some(CmpOp::Lt) => PredTest::Lt,
+                Some(CmpOp::Le) => PredTest::Le,
+                Some(CmpOp::Gt) => PredTest::Gt,
+                Some(CmpOp::Ge) => PredTest::Ge,
+                _ => PredTest::Ne,
+            };
+            (
+                if pred_test(s[2] as u8, test) {
+                    s[0]
+                } else {
+                    s[1]
+                },
+                false,
+                false,
+            )
+        }
+        Opcode::Nop
+        | Opcode::Ssy
+        | Opcode::Bra
+        | Opcode::Bar
+        | Opcode::Ret
+        | Opcode::Retp
+        | Opcode::Exit
+        | Opcode::Trap
+        | Opcode::St => unreachable!("eval_op on a non-value opcode"),
+    }
+}
+
 /// Executes one instruction of `thread`.
 ///
 /// `budget` counts down per retirement; hitting zero aborts with
@@ -362,12 +639,13 @@ pub(crate) fn step<H: ExecHook>(
     };
     if let Some(g) = &instr.guard {
         if !guard_passes(thread, g.pred, g.test) {
-            hook.on_guard_fail(thread.coords.flat_tid(), g.pred);
+            hook.on_guard_fail(thread.coords.flat_tid(), g.pred, g.test);
             thread.pc += 1;
             return Ok(StepEffect::Continue);
         }
     }
     ctx.accesses.clear();
+    ctx.srcs.clear();
     if *budget == 0 {
         return Err(SimFault::BudgetExceeded);
     }
@@ -405,11 +683,6 @@ pub(crate) fn step<H: ExecHook>(
             }
             _ => {}
         },
-        Opcode::Mov | Opcode::Ld => {
-            let src = instr.src[0].as_ref().expect("mov/ld needs a source");
-            let v = operand_value(thread, ctx, src, ty)?;
-            result = Some((mask(v, ty), false, false));
-        }
         Opcode::St => {
             let v = operand_value(
                 thread,
@@ -422,218 +695,26 @@ pub(crate) fn step<H: ExecHook>(
             };
             ctx.store(thread, m, v)?;
         }
-        Opcode::Cvt => {
-            let src = instr.src[0].as_ref().expect("cvt needs a source");
-            let v = operand_value(thread, ctx, src, instr.src_ty)?;
-            result = Some((convert(v, instr.src_ty, ty), false, false));
-        }
-        Opcode::Add | Opcode::Sub => {
-            let a = operand_value(thread, ctx, instr.src[0].as_ref().expect("lhs"), ty)?;
-            let b = operand_value(thread, ctx, instr.src[1].as_ref().expect("rhs"), ty)?;
-            result = Some(if ty.is_float() {
-                let (x, y) = (f32::from_bits(a), f32::from_bits(b));
-                let r = if instr.opcode == Opcode::Add {
-                    x + y
+        _ => {
+            for i in 0..src_count(instr.opcode) {
+                if instr.opcode == Opcode::Selp && i == 2 {
+                    // `selp` steers on raw predicate flags, not a fetched
+                    // operand; log them so `eval_op` (and shadow-lane
+                    // recompute) sees them in slot 2.
+                    let Some(Operand::Reg {
+                        reg: Register::Pred(p),
+                        ..
+                    }) = instr.src[2]
+                    else {
+                        panic!("selp requires a predicate third operand");
+                    };
+                    ctx.srcs.push(u32::from(thread.preds[p as usize]));
                 } else {
-                    x - y
-                };
-                (r.to_bits(), false, false)
-            } else if instr.opcode == Opcode::Add {
-                let (r, carry) = a.overflowing_add(b);
-                let (_, overflow) = (a as i32).overflowing_add(b as i32);
-                (mask(r, ty), carry, overflow)
-            } else {
-                let (r, borrow) = a.overflowing_sub(b);
-                let (_, overflow) = (a as i32).overflowing_sub(b as i32);
-                (mask(r, ty), borrow, overflow)
-            });
-        }
-        Opcode::Mul | Opcode::Mad => {
-            let a = operand_value(thread, ctx, instr.src[0].as_ref().expect("a"), ty)?;
-            let b = operand_value(thread, ctx, instr.src[1].as_ref().expect("b"), ty)?;
-            let prod: u32 = if ty.is_float() {
-                (f32::from_bits(a) * f32::from_bits(b)).to_bits()
-            } else if instr.wide {
-                (widen(a, ty).wrapping_mul(widen(b, ty))) as u32
-            } else if instr.hi {
-                if ty.is_signed() {
-                    ((i64::from(a as i32).wrapping_mul(i64::from(b as i32))) >> 32) as u32
-                } else {
-                    ((u64::from(a).wrapping_mul(u64::from(b))) >> 32) as u32
+                    let op = instr.src[i].as_ref().expect("missing source operand");
+                    operand_value(thread, ctx, op, operand_ty(instr, i))?;
                 }
-            } else {
-                mask(a.wrapping_mul(b), ty)
-            };
-            let v = if instr.opcode == Opcode::Mad {
-                let c_ty = if instr.wide { ScalarType::U32 } else { ty };
-                let c = operand_value(thread, ctx, instr.src[2].as_ref().expect("c"), c_ty)?;
-                if ty.is_float() {
-                    (f32::from_bits(prod) + f32::from_bits(c)).to_bits()
-                } else if instr.wide {
-                    prod.wrapping_add(c)
-                } else {
-                    mask(prod.wrapping_add(c), ty)
-                }
-            } else {
-                prod
-            };
-            result = Some((v, false, false));
-        }
-        Opcode::Div | Opcode::Rem => {
-            let a = operand_value(thread, ctx, instr.src[0].as_ref().expect("lhs"), ty)?;
-            let b = operand_value(thread, ctx, instr.src[1].as_ref().expect("rhs"), ty)?;
-            let v = if ty.is_float() {
-                (f32::from_bits(a) / f32::from_bits(b)).to_bits()
-            } else if b == 0 {
-                // CUDA integer division by zero produces all-ones, not a trap.
-                if instr.opcode == Opcode::Div {
-                    u32::MAX
-                } else {
-                    a
-                }
-            } else if ty.is_signed() {
-                let (x, y) = (a as i32, b as i32);
-                let r = if instr.opcode == Opcode::Div {
-                    x.wrapping_div(y)
-                } else {
-                    x.wrapping_rem(y)
-                };
-                mask(r as u32, ty)
-            } else {
-                mask(
-                    if instr.opcode == Opcode::Div {
-                        a / b
-                    } else {
-                        a % b
-                    },
-                    ty,
-                )
-            };
-            result = Some((v, false, false));
-        }
-        Opcode::Min | Opcode::Max => {
-            let a = operand_value(thread, ctx, instr.src[0].as_ref().expect("lhs"), ty)?;
-            let b = operand_value(thread, ctx, instr.src[1].as_ref().expect("rhs"), ty)?;
-            let take_a = if instr.opcode == Opcode::Min {
-                compare(a, b, CmpOp::Le, ty)
-            } else {
-                compare(a, b, CmpOp::Ge, ty)
-            };
-            result = Some((if take_a { a } else { b }, false, false));
-        }
-        Opcode::Abs => {
-            let a = operand_value(thread, ctx, instr.src[0].as_ref().expect("src"), ty)?;
-            let v = if ty.is_float() {
-                a & 0x7FFF_FFFF
-            } else {
-                mask((a as i32).wrapping_abs() as u32, ty)
-            };
-            result = Some((v, false, false));
-        }
-        Opcode::Neg => {
-            let a = operand_value(thread, ctx, instr.src[0].as_ref().expect("src"), ty)?;
-            result = Some((mask(negate(a, ty), ty), false, false));
-        }
-        Opcode::Rcp | Opcode::Sqrt | Opcode::Rsqrt | Opcode::Ex2 | Opcode::Lg2 => {
-            let a = operand_value(thread, ctx, instr.src[0].as_ref().expect("src"), ty)?;
-            let x = f32::from_bits(a);
-            let r = match instr.opcode {
-                Opcode::Rcp => 1.0 / x,
-                Opcode::Sqrt => x.sqrt(),
-                Opcode::Rsqrt => 1.0 / x.sqrt(),
-                Opcode::Ex2 => x.exp2(),
-                Opcode::Lg2 => x.log2(),
-                _ => unreachable!(),
-            };
-            result = Some((r.to_bits(), false, false));
-        }
-        Opcode::And | Opcode::Or | Opcode::Xor => {
-            let a = operand_value(thread, ctx, instr.src[0].as_ref().expect("lhs"), ty)?;
-            let b = operand_value(thread, ctx, instr.src[1].as_ref().expect("rhs"), ty)?;
-            let v = match instr.opcode {
-                Opcode::And => a & b,
-                Opcode::Or => a | b,
-                Opcode::Xor => a ^ b,
-                _ => unreachable!(),
-            };
-            result = Some((mask(v, ty), false, false));
-        }
-        Opcode::Not => {
-            let a = operand_value(thread, ctx, instr.src[0].as_ref().expect("src"), ty)?;
-            result = Some((mask(!a, ty), false, false));
-        }
-        Opcode::Shl | Opcode::Shr => {
-            let a = operand_value(thread, ctx, instr.src[0].as_ref().expect("lhs"), ty)?;
-            let amt = operand_value(thread, ctx, instr.src[1].as_ref().expect("amt"), ty)?;
-            let v = if amt >= 32 {
-                match (instr.opcode, ty.is_signed(), (a as i32) < 0) {
-                    (Opcode::Shr, true, true) => u32::MAX,
-                    _ => 0,
-                }
-            } else if instr.opcode == Opcode::Shl {
-                a.wrapping_shl(amt)
-            } else if ty.is_signed() {
-                ((a as i32) >> amt) as u32
-            } else {
-                a >> amt
-            };
-            result = Some((mask(v, ty), false, false));
-        }
-        Opcode::Set => {
-            let a = operand_value(
-                thread,
-                ctx,
-                instr.src[0].as_ref().expect("lhs"),
-                instr.src_ty,
-            )?;
-            let b = operand_value(
-                thread,
-                ctx,
-                instr.src[1].as_ref().expect("rhs"),
-                instr.src_ty,
-            )?;
-            let hit = compare(
-                a,
-                b,
-                instr.cmp.expect("assembler enforces set.cmp"),
-                instr.src_ty,
-            );
-            let v = if ty.is_float() {
-                if hit {
-                    1.0f32.to_bits()
-                } else {
-                    0
-                }
-            } else if hit {
-                mask(u32::MAX, ty)
-            } else {
-                0
-            };
-            result = Some((v, false, false));
-        }
-        Opcode::Selp => {
-            let a = operand_value(thread, ctx, instr.src[0].as_ref().expect("a"), ty)?;
-            let b = operand_value(thread, ctx, instr.src[1].as_ref().expect("b"), ty)?;
-            let Some(Operand::Reg {
-                reg: Register::Pred(p),
-                ..
-            }) = instr.src[2]
-            else {
-                panic!("selp requires a predicate third operand");
-            };
-            let test = match instr.cmp {
-                Some(CmpOp::Eq) => PredTest::Eq,
-                Some(CmpOp::Lt) => PredTest::Lt,
-                Some(CmpOp::Le) => PredTest::Le,
-                Some(CmpOp::Gt) => PredTest::Gt,
-                Some(CmpOp::Ge) => PredTest::Ge,
-                _ => PredTest::Ne,
-            };
-            result = Some((
-                if guard_passes(thread, p, test) { a } else { b },
-                false,
-                false,
-            ));
+            }
+            result = Some(eval_op(instr, ctx.srcs.as_slice()));
         }
     }
 
@@ -676,6 +757,7 @@ pub(crate) fn step<H: ExecHook>(
         pc,
         instr,
         accesses: ctx.accesses.as_slice(),
+        srcs: ctx.srcs.as_slice(),
     });
     thread.icnt += 1;
     thread.pc = next_pc;

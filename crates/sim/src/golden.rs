@@ -112,6 +112,45 @@ pub struct GlobalWriteStats {
     pub last_cta: u32,
 }
 
+/// Grid-wide global-store profile: one [`GlobalWriteStats`] per global
+/// word the golden run stores, held as a sorted vector keyed by address.
+/// Lookup is a branch-free binary search — this is probed on the
+/// per-instruction comparison path of the injection fast paths, where the
+/// previous `HashMap` paid a SipHash per divergent store.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalWriteProfile {
+    entries: Vec<(u32, GlobalWriteStats)>,
+}
+
+impl GlobalWriteProfile {
+    /// The profile of global word `addr`, or `None` if the golden run
+    /// never stores it.
+    #[must_use]
+    pub fn get(&self, addr: u32) -> Option<&GlobalWriteStats> {
+        self.entries
+            .binary_search_by_key(&addr, |&(a, _)| a)
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Number of distinct global words stored by the golden run.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the golden run stores no global words.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(addr, stats)` pairs in ascending address order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &GlobalWriteStats)> {
+        self.entries.iter().map(|(a, s)| (*a, s))
+    }
+}
+
 /// Per-thread fault-free commit logs for a whole launch.
 #[derive(Debug, Clone, Default)]
 pub struct GoldenTrace {
@@ -120,15 +159,12 @@ pub struct GoldenTrace {
 
 impl GoldenTrace {
     /// Profiles every global word the golden run stores: how many times
-    /// grid-wide and the last CTA to do so. Words absent from the map are
-    /// never stored by the fault-free run.
+    /// grid-wide and the last CTA to do so. Words absent from the profile
+    /// are never stored by the fault-free run.
     #[must_use]
-    pub fn global_write_profile(
-        &self,
-        threads_per_cta: u32,
-    ) -> std::collections::HashMap<u32, GlobalWriteStats> {
+    pub fn global_write_profile(&self, threads_per_cta: u32) -> GlobalWriteProfile {
         let tpc = threads_per_cta.max(1);
-        let mut map = std::collections::HashMap::new();
+        let mut map = std::collections::BTreeMap::new();
         for (tid, t) in self.threads.iter().enumerate() {
             let cta = tid as u32 / tpc;
             for s in t.stores.iter().filter(|s| s.space == MemSpace::Global) {
@@ -137,7 +173,9 @@ impl GoldenTrace {
                 e.last_cta = e.last_cta.max(cta);
             }
         }
-        map
+        GlobalWriteProfile {
+            entries: map.into_iter().collect(),
+        }
     }
 
     /// The commit log of flat thread `tid`, if it is in range.

@@ -1,6 +1,6 @@
 //! Execution hooks: the attachment point for tracing and fault injection.
 
-use fsp_isa::{Instruction, MemSpace, Register};
+use fsp_isa::{Instruction, MemSpace, PredTest, Register};
 
 /// One memory word touched by a retiring instruction.
 ///
@@ -34,6 +34,12 @@ pub struct RetireEvent<'a> {
     pub instr: &'a Instruction,
     /// Memory words the instruction touched, in operand order.
     pub accesses: &'a [MemAccess],
+    /// Processed source-operand values (after half-word selection and
+    /// negation), in source-slot order. For `selp`, slot 2 holds the raw
+    /// 4-bit flags of the steering predicate. Empty for control
+    /// instructions. Feeding these to [`crate::eval_op`] reproduces the
+    /// committed result bit-for-bit.
+    pub srcs: &'a [u32],
 }
 
 /// A register write-back about to be committed.
@@ -82,9 +88,11 @@ pub trait ExecHook {
     }
 
     /// Called when an instruction's guard fails (the instruction does not
-    /// retire). `pred` is the guard's predicate register number.
+    /// retire). `pred` is the guard's predicate register number and `test`
+    /// the condition it evaluated, so shadow-lane trackers can re-evaluate
+    /// the guard against a lane's diverged flags.
     #[inline]
-    fn on_guard_fail(&mut self, _tid: u32, _pred: u8) {}
+    fn on_guard_fail(&mut self, _tid: u32, _pred: u8, _test: PredTest) {}
 
     /// Polled between steps (thread-serial schedule only): returning `true`
     /// stops the run early with whatever state has accumulated. Injection
@@ -114,8 +122,8 @@ impl<H: ExecHook + ?Sized> ExecHook for &mut H {
     }
 
     #[inline]
-    fn on_guard_fail(&mut self, tid: u32, pred: u8) {
-        (**self).on_guard_fail(tid, pred);
+    fn on_guard_fail(&mut self, tid: u32, pred: u8, test: PredTest) {
+        (**self).on_guard_fail(tid, pred, test);
     }
 
     #[inline]

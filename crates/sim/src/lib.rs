@@ -64,14 +64,16 @@ mod trace;
 mod warp;
 
 pub use checkpoint::{Checkpoint, CheckpointConfig};
-pub use exec::SimFault;
-pub use golden::{GlobalWriteStats, GoldenRecorder, GoldenStore, GoldenThread, GoldenTrace};
+pub use exec::{apply_half_neg, eval_op, flags_of, operand_ty, pred_test, SimFault};
+pub use golden::{
+    GlobalWriteProfile, GlobalWriteStats, GoldenRecorder, GoldenStore, GoldenThread, GoldenTrace,
+};
 pub use hook::{ExecHook, MemAccess, NopHook, RetireEvent, Writeback};
 pub use launch::Launch;
 pub use machine::{ExecMode, ResumeScratch, RunStats, Simulator};
 pub use mem::MemBlock;
 pub use thread::{ThreadCoords, LOCAL_WORDS};
-pub use trace::{KernelTrace, ThreadTrace, TraceEntry, Tracer};
+pub use trace::{FullTraces, KernelTrace, ThreadTrace, TraceEntry, Tracer};
 
 /// Byte offset of the first kernel parameter in shared memory
 /// (PTXPlus convention: `s[0x0010]` is parameter 0).

@@ -3,7 +3,7 @@
 use fsp_isa::MemSpace;
 
 use crate::checkpoint::{Checkpoint, CheckpointConfig};
-use crate::exec::{step, AccessLog, ExecCtx, SimFault, StepEffect};
+use crate::exec::{step, AccessLog, ExecCtx, SimFault, SrcLog, StepEffect};
 use crate::hook::ExecHook;
 use crate::launch::Launch;
 use crate::mem::MemBlock;
@@ -328,6 +328,7 @@ impl Simulator {
                             global,
                             shared: &mut shared,
                             accesses: AccessLog::default(),
+                            srcs: SrcLog::default(),
                         };
                         match step(&mut threads[i], &mut ctx, hook, &mut budget)? {
                             StepEffect::Continue => {}
@@ -493,6 +494,7 @@ impl Simulator {
             global,
             shared,
             accesses: AccessLog::default(),
+            srcs: SrcLog::default(),
         };
         loop {
             let mut all_done = true;
@@ -553,6 +555,7 @@ impl Simulator {
             global,
             shared,
             accesses: AccessLog::default(),
+            srcs: SrcLog::default(),
         };
         let mut warps: Vec<WarpStack> = (0..threads.len())
             .collect::<Vec<_>>()

@@ -11,8 +11,6 @@
 //!   bit-wise pruning, which only ever look at a handful of representative
 //!   threads.
 
-use std::collections::BTreeMap;
-
 use serde::{Deserialize, Serialize};
 
 use crate::hook::{ExecHook, RetireEvent};
@@ -47,6 +45,122 @@ impl ThreadTrace {
     }
 }
 
+/// Full per-thread traces, stored densely: a vector of optional traces
+/// indexed by flat thread id. Lookup is a bounds check plus an indexed
+/// load — this sits on the per-instruction comparison path of the
+/// injection fast paths, where the previous `BTreeMap` paid a pointer
+/// chase per retirement.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FullTraces {
+    slots: Vec<Option<ThreadTrace>>,
+    count: usize,
+}
+
+impl FullTraces {
+    /// An empty trace set.
+    #[must_use]
+    pub fn new() -> Self {
+        FullTraces::default()
+    }
+
+    /// Inserts (or replaces) the full trace of `tid`.
+    pub fn insert(&mut self, tid: u32, trace: ThreadTrace) -> Option<ThreadTrace> {
+        let idx = tid as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        let prev = self.slots[idx].replace(trace);
+        if prev.is_none() {
+            self.count += 1;
+        }
+        prev
+    }
+
+    /// The full trace of `tid`, if one was recorded.
+    #[must_use]
+    pub fn get(&self, tid: u32) -> Option<&ThreadTrace> {
+        self.slots.get(tid as usize).and_then(Option::as_ref)
+    }
+
+    /// Mutable access to the full trace of `tid`.
+    pub fn get_mut(&mut self, tid: u32) -> Option<&mut ThreadTrace> {
+        self.slots.get_mut(tid as usize).and_then(Option::as_mut)
+    }
+
+    /// Whether a full trace was recorded for `tid`.
+    #[must_use]
+    pub fn contains(&self, tid: u32) -> bool {
+        self.get(tid).is_some()
+    }
+
+    /// Removes and returns the full trace of `tid`.
+    pub fn remove(&mut self, tid: u32) -> Option<ThreadTrace> {
+        let prev = self.slots.get_mut(tid as usize).and_then(Option::take);
+        if prev.is_some() {
+            self.count -= 1;
+        }
+        prev
+    }
+
+    /// Number of recorded traces.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether no traces were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// `(tid, trace)` pairs in ascending thread order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &ThreadTrace)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.as_ref().map(|t| (i as u32, t)))
+    }
+
+    /// Recorded thread ids in ascending order.
+    pub fn tids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.iter().map(|(t, _)| t)
+    }
+
+    /// Recorded traces in ascending thread order.
+    pub fn values(&self) -> impl Iterator<Item = &ThreadTrace> {
+        self.iter().map(|(_, t)| t)
+    }
+}
+
+impl std::ops::Index<u32> for FullTraces {
+    type Output = ThreadTrace;
+
+    fn index(&self, tid: u32) -> &ThreadTrace {
+        self.get(tid)
+            .unwrap_or_else(|| panic!("no full trace recorded for thread {tid}"))
+    }
+}
+
+impl PartialEq for FullTraces {
+    fn eq(&self, other: &Self) -> bool {
+        // Trailing empty slots are representation detail, not content.
+        self.count == other.count && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for FullTraces {}
+
+impl FromIterator<(u32, ThreadTrace)> for FullTraces {
+    fn from_iter<I: IntoIterator<Item = (u32, ThreadTrace)>>(iter: I) -> Self {
+        let mut full = FullTraces::new();
+        for (tid, trace) in iter {
+            full.insert(tid, trace);
+        }
+        full
+    }
+}
+
 /// Aggregated trace of one kernel launch.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct KernelTrace {
@@ -57,7 +171,7 @@ pub struct KernelTrace {
     /// Threads per CTA (to regroup flat tids into CTAs).
     pub threads_per_cta: u32,
     /// Full traces for the threads that were requested.
-    pub full: BTreeMap<u32, ThreadTrace>,
+    pub full: FullTraces,
 }
 
 impl KernelTrace {
@@ -103,7 +217,7 @@ pub struct Tracer {
     icnt: Vec<u32>,
     fault_bits: Vec<u64>,
     threads_per_cta: u32,
-    full: BTreeMap<u32, ThreadTrace>,
+    full: FullTraces,
 }
 
 impl Tracer {
@@ -115,7 +229,7 @@ impl Tracer {
             icnt: vec![0; num_threads as usize],
             fault_bits: vec![0; num_threads as usize],
             threads_per_cta,
-            full: BTreeMap::new(),
+            full: FullTraces::new(),
         }
     }
 
@@ -147,7 +261,7 @@ impl ExecHook for Tracer {
         self.icnt[t] += 1;
         let bits = ev.instr.dest_bits();
         self.fault_bits[t] += u64::from(bits);
-        if let Some(full) = self.full.get_mut(&ev.tid) {
+        if let Some(full) = self.full.get_mut(ev.tid) {
             full.entries.push(TraceEntry {
                 pc: ev.pc as u32,
                 dest_bits: bits as u16,
@@ -212,7 +326,7 @@ mod tests {
         );
         assert_eq!(trace.fault_bits[0], 32 + 36);
         assert_eq!(trace.total_fault_sites(), 2 * (32 + 36));
-        let full = &trace.full[&0];
+        let full = &trace.full[0];
         assert_eq!(full.fault_bits(), 68);
         assert_eq!(full.pcs(), vec![0, 1, 2, 3]);
     }

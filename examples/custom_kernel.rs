@@ -78,7 +78,7 @@ fn main() {
         println!(
             "thread {tid}: iCnt {}, {} fault sites",
             trace.icnt[tid as usize],
-            trace.full[&tid].fault_bits()
+            trace.full[tid].fault_bits()
         );
     }
     println!("total fault sites: {}", trace.total_fault_sites());

@@ -56,7 +56,7 @@ fn main() {
     let experiment = Experiment::prepare(&workload).expect("prepare");
     let rep = grouping.representatives(&trace)[0].tid;
     let space = experiment.site_space([rep]);
-    let tagging = LoopTagging::analyze(&space.trace().full[&rep], &forest);
+    let tagging = LoopTagging::analyze(&space.trace().full[rep], &forest);
     println!(
         "\nloop-wise: {} loop(s); representative executes {} iterations, \
          {:.1}% of its instructions are inside loops",

@@ -61,7 +61,7 @@ fn predicted_due_sites_match_simulated_outcome() {
         let mut sites = Vec::new();
         let mut expected = Vec::new();
         for &tid in &reps {
-            let trace = &space.trace().full[&tid];
+            let trace = &space.trace().full[tid];
             for (dyn_idx, entry) in trace.entries.iter().enumerate() {
                 for (bit, kind) in classify.predicted_flat_bits(entry.pc as usize) {
                     sites.push(WeightedSite {
@@ -125,7 +125,7 @@ fn class_members_share_outcome_with_representative() {
         let mut sites = Vec::new();
         let mut groups: Vec<(usize, usize)> = Vec::new(); // (start, len) per instance
         for &tid in &reps {
-            let trace = &space.trace().full[&tid];
+            let trace = &space.trace().full[tid];
             for (dyn_idx, entry) in trace.entries.iter().enumerate() {
                 for class in classify.classes_flat(entry.pc as usize) {
                     let start = sites.len();
@@ -249,7 +249,7 @@ fn predicted_detected_sites_trap_under_injection() {
     let space = experiment.site_space(0..TrapTarget::THREADS);
     let mut sites = Vec::new();
     for tid in 0..TrapTarget::THREADS {
-        let trace = &space.trace().full[&tid];
+        let trace = &space.trace().full[tid];
         for (dyn_idx, entry) in trace.entries.iter().enumerate() {
             for (bit, kind) in classify.predicted_flat_bits(entry.pc as usize) {
                 assert_eq!(kind, PredictedKind::Detected);

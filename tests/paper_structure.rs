@@ -183,7 +183,7 @@ fn fig7_pred_high_flags_are_masked() {
     let program = launch.program();
     let mut sites = Vec::new();
     for tid in 0..64u32 {
-        let full = &space.trace().full[&tid];
+        let full = &space.trace().full[tid];
         for (i, e) in full.entries.iter().enumerate() {
             let instr = program.instr(e.pc as usize);
             // First destination slot is the predicate for `set`.

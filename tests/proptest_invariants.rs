@@ -2,7 +2,7 @@
 
 use fault_site_pruning::inject::SiteSpace;
 use fault_site_pruning::pruning::{align_lcs, BitSampler, PredBitPolicy};
-use fault_site_pruning::sim::{KernelTrace, ThreadTrace, TraceEntry};
+use fault_site_pruning::sim::{FullTraces, KernelTrace, ThreadTrace, TraceEntry};
 use fault_site_pruning::stats::{
     required_samples_finite, required_samples_infinite, FiveNumber, Outcome, ResilienceProfile,
 };
@@ -12,7 +12,7 @@ fn trace_from(per_thread: Vec<Vec<(u32, u16)>>) -> KernelTrace {
     let n = per_thread.len();
     let mut icnt = Vec::with_capacity(n);
     let mut fault_bits = Vec::with_capacity(n);
-    let mut full = std::collections::BTreeMap::new();
+    let mut full = FullTraces::new();
     for (tid, entries) in per_thread.into_iter().enumerate() {
         icnt.push(entries.len() as u32);
         fault_bits.push(entries.iter().map(|&(_, b)| u64::from(b)).sum());

@@ -44,7 +44,7 @@ fn statically_dead_bits_are_masked_under_injection() {
 
         let mut sites = Vec::new();
         for &tid in &reps {
-            let trace = &space.trace().full[&tid];
+            let trace = &space.trace().full[tid];
             for (dyn_idx, entry) in trace.entries.iter().enumerate() {
                 for bit in report.dead_flat_bits(entry.pc as usize) {
                     sites.push(WeightedSite {
