@@ -59,14 +59,22 @@ impl Default for Options {
 }
 
 impl Options {
+    /// The (confidence, error margin) pair the baselines target: the
+    /// paper's (99.8%, ±0.63%), or (99%, ±1.66%) in quick mode.
+    #[must_use]
+    pub fn stat_pair(&self) -> (f64, f64) {
+        if self.quick {
+            (0.99, 0.0166)
+        } else {
+            (0.998, 0.0063)
+        }
+    }
+
     /// The statistical-baseline sample count: the paper's 60K (99.8% CI,
     /// ±0.63%), or ~6K in quick mode (99% CI, ±1.66%).
     #[must_use]
     pub fn baseline_samples(&self) -> usize {
-        if self.quick {
-            fsp_stats::required_samples_infinite(0.99, 0.0166) as usize
-        } else {
-            fsp_stats::required_samples_infinite(0.998, 0.0063) as usize
-        }
+        let (confidence, margin) = self.stat_pair();
+        fsp_stats::required_samples_infinite(confidence, margin) as usize
     }
 }

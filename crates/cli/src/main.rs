@@ -44,7 +44,11 @@ COMMANDS:
                                  table1..table7, fig2..fig10, all
     serve                        Run the campaign orchestration service
     submit <kernel> [-n N]      Submit a campaign job (pruned, or sampled with -n)
-    status [job-id]              Show one job (or all jobs) on the server
+    status [job-id]              Show one job (or all jobs) on the server;
+                                 with an id, also renders the live per-outcome
+                                 estimate ± CI table from `/progress`
+    watch <job-id>               Live-refresh a job's streaming outcome
+                                 estimates until it reaches a terminal state
     fetch <job-id>               Fetch a completed job's result document
     cancel <job-id>              Cancel a queued or running job
     worker                       Run a fleet worker: pull campaign leases from a
@@ -82,6 +86,14 @@ OPTIONS:
                    range | opcode | thread-group (default range)
     --protect      For `submit`: submit a protect-mode job (uses --budget,
                    --scope and -n)
+    --stop-at-margin E
+                   For `submit`: stop the campaign early once every
+                   outcome-class confidence interval half-width fits ±E.
+                   Unlike --fleet this changes the result document, so it
+                   is part of the job spec (and its fingerprint)
+    --stop-confidence C
+                   For `submit`: confidence level for the --stop-at-margin
+                   intervals (default 0.998)
     --fleet        For `submit`: execute on fleet workers (start `fsp worker`
                    processes against the same --addr); placement only — the
                    result document stays byte-identical to a local run
@@ -130,6 +142,8 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut scope = fsp_protect::ProtectScope::default();
     let mut protect_mode = false;
     let mut fleet = false;
+    let mut stop_margin: Option<f64> = None;
+    let mut stop_confidence: Option<f64> = None;
     let mut worker_name: Option<String> = None;
     let mut idle_exit = false;
     let mut fail_after: Option<usize> = None;
@@ -203,6 +217,22 @@ fn run(args: &[String]) -> Result<(), String> {
                 i += 1;
                 chunk = Some(parse(args.get(i), "--chunk")?);
             }
+            "--stop-at-margin" => {
+                i += 1;
+                let margin: f64 = parse(args.get(i), "--stop-at-margin")?;
+                if !(margin > 0.0 && margin < 1.0) {
+                    return Err("--stop-at-margin must be in (0, 1)".to_owned());
+                }
+                stop_margin = Some(margin);
+            }
+            "--stop-confidence" => {
+                i += 1;
+                let confidence: f64 = parse(args.get(i), "--stop-confidence")?;
+                if !(confidence > 0.0 && confidence < 1.0) {
+                    return Err("--stop-confidence must be in (0, 1)".to_owned());
+                }
+                stop_confidence = Some(confidence);
+            }
             "--fleet" => fleet = true,
             "--trace" => trace = true,
             "--trace-out" => {
@@ -227,6 +257,11 @@ fn run(args: &[String]) -> Result<(), String> {
     }
     let Some(command) = positional.first() else {
         return Err("missing command".to_owned());
+    };
+    let stop = match (stop_margin, stop_confidence) {
+        (Some(margin), confidence) => Some((margin, confidence.unwrap_or(0.998))),
+        (None, Some(_)) => return Err("--stop-confidence requires --stop-at-margin".to_owned()),
+        (None, None) => None,
     };
     // The span tracer is process-global: any of the observability
     // surfaces switches it on before the command runs.
@@ -264,8 +299,10 @@ fn run(args: &[String]) -> Result<(), String> {
             wait,
             fleet,
             protect_mode.then_some((budget, scope)),
+            stop,
         ),
         "status" => status(positional.get(1), &addr),
+        "watch" => watch(positional.get(1), &addr),
         "fetch" => fetch(positional.get(1), &addr),
         "cancel" => cancel(positional.get(1), &addr),
         "worker" => worker(&addr, worker_name, &opts, idle_exit, fail_after),
@@ -376,7 +413,30 @@ fn campaign(id: Option<&String>, samples: Option<usize>, opts: &Options) -> Resu
         started.elapsed()
     );
     println!("  {profile}");
+    print!("{}", sample_size_report(n, opts));
     Ok(())
+}
+
+/// The satellite a-priori check: how the plan's actual sample count
+/// compares with the `required_samples` math at the requested
+/// (confidence, margin) pair, warning on undershoot.
+fn sample_size_report(actual: usize, opts: &Options) -> String {
+    let (confidence, margin) = opts.stat_pair();
+    let required = fsp_stats::required_samples_infinite(confidence, margin) as usize;
+    let mut out = format!(
+        "  a-priori requirement: {required} samples for {:.1}% confidence ±{:.2}% \
+         (plan has {actual})\n",
+        100.0 * confidence,
+        100.0 * margin,
+    );
+    if actual < required {
+        out.push_str(&format!(
+            "  warning: plan undershoots the requested (confidence, margin) pair \
+             by {} samples\n",
+            required - actual
+        ));
+    }
+    out
 }
 
 fn prune(id: Option<&String>, opts: &Options) -> Result<(), String> {
@@ -393,6 +453,7 @@ fn prune(id: Option<&String>, opts: &Options) -> Result<(), String> {
     println!("  after insn-wise:   {}", s.after_instruction);
     println!("  after loop-wise:   {}", s.after_loop);
     println!("  after bit-wise:    {} injections", s.after_bit);
+    print!("{}", sample_size_report(s.after_bit as usize, opts));
     if let Some(ace) = &plan.static_ace {
         println!(
             "  static ACE: {} un-ACE / {} partial / {} ACE instructions, {:.1}% of static bits pruned",
@@ -1112,8 +1173,15 @@ fn submit(
     wait: bool,
     fleet: bool,
     protect: Option<(f64, fsp_protect::ProtectScope)>,
+    stop: Option<(f64, f64)>,
 ) -> Result<(), String> {
-    let spec = submit_spec(id, samples, opts, protect)?;
+    let mut spec = submit_spec(id, samples, opts, protect)?;
+    if let Some((margin, confidence)) = stop {
+        if protect.is_some() {
+            return Err("--stop-at-margin is not supported for protect jobs".to_owned());
+        }
+        spec = spec.with_stop(margin, confidence);
+    }
     if local {
         if fleet {
             return Err("--local and --fleet are mutually exclusive".to_owned());
@@ -1156,10 +1224,96 @@ fn timeline(addr: &str, out: Option<&str>) -> Result<(), String> {
 fn status(id: Option<&String>, addr: &str) -> Result<(), String> {
     let client = fsp_serve::Client::new(addr);
     match id {
-        Some(id) => println!("{}", client.status(id)?),
+        Some(id) => {
+            // The raw document stays line one: it is the stable,
+            // scriptable interface. The estimate table below is for
+            // humans.
+            println!("{}", client.status(id)?);
+            println!("{}", progress_table(&client.progress(id)?));
+        }
         None => println!("{}", client.jobs()?),
     }
     Ok(())
+}
+
+/// Renders a `/progress` document as the human-facing estimate table.
+fn progress_table(doc: &fsp_serve::Json) -> String {
+    use fsp_serve::Json;
+    let str_field = |k: &str| doc.get(k).and_then(Json::as_str).unwrap_or("?");
+    let u64_field = |k: &str| doc.get(k).and_then(Json::as_u64).unwrap_or(0);
+    let f64_field = |k: &str| doc.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+    let mut out = format!(
+        "{} ({} {}) [{}] {}/{} sites done, {} cached\n",
+        str_field("id"),
+        str_field("kernel"),
+        str_field("mode"),
+        str_field("state"),
+        u64_field("done"),
+        u64_field("total"),
+        u64_field("cache_hits"),
+    );
+    let mut t = fsp_cli::output::Table::new(&["outcome", "count", "estimate", "± half width"]);
+    for row in doc
+        .get("outcomes")
+        .and_then(Json::as_arr)
+        .unwrap_or_default()
+    {
+        let f = |k: &str| row.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+        t.row(vec![
+            row.get("outcome")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_owned(),
+            row.get("count")
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+                .to_string(),
+            format!("{:7.3}%", 100.0 * f("estimate")),
+            format!("{:.3}%", 100.0 * f("half_width")),
+        ]);
+    }
+    out.push_str(&t.to_string());
+    let requested = match doc.get("margin") {
+        Some(Json::Num(margin)) => format!("requested ±{:.3}%", 100.0 * margin),
+        _ => "no stop requested".to_owned(),
+    };
+    out.push_str(&format!(
+        "achieved ±{:.3}% at {:.1}% confidence ({requested}); \
+         ~{} sites to converge\n",
+        100.0 * f64_field("achieved_margin"),
+        100.0 * f64_field("confidence"),
+        u64_field("projected_remaining"),
+    ));
+    if let Some(Json::Bool(true)) = doc.get("early_stopped") {
+        out.push_str(&format!(
+            "early-stopped after {} of {} planned sites\n",
+            u64_field("sites_injected"),
+            u64_field("total"),
+        ));
+    }
+    out
+}
+
+/// `fsp watch <job>`: redraws the progress table until the job reaches a
+/// terminal state, pacing polls with the fleet's jittered backoff (quick
+/// first checks, a capped gentle cadence for long campaigns).
+fn watch(id: Option<&String>, addr: &str) -> Result<(), String> {
+    let id = id.ok_or("missing job id")?;
+    let client = fsp_serve::Client::new(addr);
+    let mut backoff = fsp_fleet::Backoff::poll(fsp_fleet::wire::frame_fnv(id.as_bytes()));
+    loop {
+        let doc = client.progress(id)?;
+        // ANSI clear-and-home keeps the table refreshing in place
+        // without a TUI dependency.
+        print!("\x1b[2J\x1b[H{}", progress_table(&doc));
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        match doc.get("state").and_then(fsp_serve::Json::as_str) {
+            Some("queued" | "running") => {}
+            Some(_) | None => return Ok(()),
+        }
+        std::thread::sleep(backoff.next_delay());
+    }
 }
 
 fn fetch(id: Option<&String>, addr: &str) -> Result<(), String> {

@@ -149,6 +149,10 @@ struct InjectMetrics {
     fast_early_masked: fsp_obs::Counter,
     fast_bailed: fsp_obs::Counter,
     fast_screened: fsp_obs::Counter,
+    /// Classified outcomes by class, across all three engines (solo,
+    /// fast-path, batched). Recorded once per finished chunk so live
+    /// estimators can watch the registry without touching the hot loop.
+    outcome_total: [fsp_obs::Counter; 5],
 }
 
 fn inject_metrics() -> &'static InjectMetrics {
@@ -188,6 +192,13 @@ fn inject_metrics() -> &'static InjectMetrics {
                 &[("result", "screened")],
                 "Fast-path runs by how the divergence tracker resolved them.",
             ),
+            outcome_total: std::array::from_fn(|i| {
+                r.counter_labeled(
+                    "fsp_inject_outcome_total",
+                    &[("outcome", OUTCOME_LABELS[i])],
+                    "Classified injection outcomes by class.",
+                )
+            }),
         }
     })
 }
@@ -925,6 +936,10 @@ impl<'a, T: InjectionTarget> Experiment<'a, T> {
                             skipped_instructions.fetch_add(skipped, Ordering::Relaxed);
                             executed_instructions.fetch_add(executed, Ordering::Relaxed);
                             early_converged.fetch_add(early, Ordering::Relaxed);
+                            let im = inject_metrics();
+                            for &o in &outs {
+                                im.outcome_total[outcome_index(o)].inc();
+                            }
                             {
                                 let mut slots = results.lock().expect("campaign worker panicked");
                                 for (&i, &o) in indices.iter().zip(&outs) {

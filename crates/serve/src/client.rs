@@ -73,6 +73,17 @@ impl Client {
         expect_json(self.request("GET", &format!("/jobs/{id}"), None)?)
     }
 
+    /// The job's live statistical progress document: per-outcome point
+    /// estimates with confidence intervals, achieved-vs-requested margin
+    /// and projected sites remaining.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and 4xx/5xx responses.
+    pub fn progress(&self, id: &str) -> Result<Json, String> {
+        expect_json(self.request("GET", &format!("/jobs/{id}/progress"), None)?)
+    }
+
     /// The canonical result document of a completed job.
     ///
     /// # Errors

@@ -1,0 +1,172 @@
+//! The self-contained live-monitoring page served at `GET /dashboard`.
+//!
+//! Deliberately a single static HTML string with inline CSS and
+//! dependency-free JavaScript: the service has no asset pipeline and no
+//! network egress, so the page must carry everything it needs. It polls
+//! `GET /jobs` for the roster and `GET /jobs/:id/progress` for the
+//! selected job, rendering per-outcome point estimates with their
+//! confidence intervals as horizontal bars plus the convergence summary
+//! (achieved vs requested margin, projected sites remaining).
+
+/// The dashboard document, byte-stable per build.
+pub const PAGE: &str = r#"<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>fsp live campaign analytics</title>
+<style>
+  :root { color-scheme: dark; }
+  body { font: 14px/1.45 ui-monospace, SFMono-Regular, Menlo, Consolas, monospace;
+         background: #101418; color: #d7dde4; margin: 0; padding: 1.2rem 1.6rem; }
+  h1 { font-size: 1.1rem; margin: 0 0 .8rem; color: #8ecdf7; }
+  h1 small { color: #5b6672; font-weight: normal; }
+  table { border-collapse: collapse; width: 100%; margin-bottom: 1.1rem; }
+  th, td { text-align: left; padding: .28rem .6rem; border-bottom: 1px solid #222a33; }
+  th { color: #8a97a5; font-weight: normal; }
+  tr.job { cursor: pointer; }
+  tr.job:hover td { background: #182029; }
+  tr.selected td { background: #1c2733; }
+  .state-completed { color: #7fd78f; }
+  .state-running { color: #f2c66d; }
+  .state-failed, .state-cancelled { color: #e07a6a; }
+  .state-queued { color: #8a97a5; }
+  .bar { position: relative; height: 12px; background: #1b232d; border-radius: 2px;
+         min-width: 220px; }
+  .bar .ci { position: absolute; top: 2px; bottom: 2px; background: #2d4a63;
+             border-radius: 2px; }
+  .bar .pt { position: absolute; top: 0; bottom: 0; width: 2px; background: #8ecdf7; }
+  .num { text-align: right; font-variant-numeric: tabular-nums; }
+  #summary { color: #8a97a5; margin: .4rem 0 1rem; }
+  #summary b { color: #d7dde4; }
+  .converged { color: #7fd78f; }
+  .pending { color: #f2c66d; }
+  #error { color: #e07a6a; }
+</style>
+</head>
+<body>
+<h1>fsp live campaign analytics <small id="tick"></small></h1>
+<div id="error"></div>
+<table id="jobs"><thead>
+<tr><th>job</th><th>kernel</th><th>mode</th><th>state</th>
+<th class="num">done</th><th class="num">total</th><th class="num">cache</th></tr>
+</thead><tbody></tbody></table>
+<div id="summary"></div>
+<table id="progress" hidden><thead>
+<tr><th>outcome</th><th class="num">count</th><th class="num">estimate</th>
+<th class="num">&plusmn; half width</th><th>interval</th></tr>
+</thead><tbody></tbody></table>
+<script>
+"use strict";
+let selected = null;
+const $ = (id) => document.getElementById(id);
+const pct = (x) => (100 * x).toFixed(3) + "%";
+
+async function fetchJson(path) {
+  const response = await fetch(path, { cache: "no-store" });
+  if (!response.ok) throw new Error(path + " -> " + response.status);
+  return response.json();
+}
+
+function renderJobs(jobs) {
+  const body = $("jobs").querySelector("tbody");
+  body.replaceChildren();
+  for (const job of jobs) {
+    const row = document.createElement("tr");
+    row.className = "job" + (job.id === selected ? " selected" : "");
+    row.onclick = () => { selected = job.id; refresh(); };
+    const cells = [job.id, job.kernel, job.mode, job.state,
+                   job.done, job.total, job.cache_hits];
+    cells.forEach((value, i) => {
+      const cell = document.createElement("td");
+      cell.textContent = value;
+      if (i === 3) cell.className = "state-" + job.state;
+      if (i >= 4) cell.className = "num";
+      row.appendChild(cell);
+    });
+    body.appendChild(row);
+    if (selected === null) selected = job.id;
+  }
+}
+
+function renderProgress(doc) {
+  $("progress").hidden = false;
+  const body = $("progress").querySelector("tbody");
+  body.replaceChildren();
+  for (const entry of doc.outcomes) {
+    const row = document.createElement("tr");
+    const bar = document.createElement("div");
+    bar.className = "bar";
+    const ci = document.createElement("div");
+    ci.className = "ci";
+    ci.style.left = pct(entry.lo);
+    ci.style.width = pct(Math.max(0, entry.hi - entry.lo));
+    const pt = document.createElement("div");
+    pt.className = "pt";
+    pt.style.left = pct(entry.estimate);
+    bar.append(ci, pt);
+    const texts = [entry.outcome, entry.count, pct(entry.estimate),
+                   pct(entry.half_width)];
+    texts.forEach((value, i) => {
+      const cell = document.createElement("td");
+      cell.textContent = value;
+      if (i >= 1) cell.className = "num";
+      row.appendChild(cell);
+    });
+    const cell = document.createElement("td");
+    cell.appendChild(bar);
+    row.appendChild(cell);
+    body.appendChild(row);
+  }
+  const target = doc.margin === null
+    ? "no stop requested (baseline ±0.63%)"
+    : "requested ±" + pct(doc.margin);
+  const tail = doc.converged
+    ? '<span class="converged">converged</span>'
+    : '<span class="pending">~' + doc.projected_remaining + " sites to go</span>";
+  const stopped = doc.early_stopped
+    ? " &middot; early-stopped at " + doc.sites_injected + " sites" : "";
+  $("summary").innerHTML =
+    "<b>" + doc.id + "</b> &middot; " + doc.state +
+    " &middot; achieved ±" + pct(doc.achieved_margin) +
+    " at " + (100 * doc.confidence) + "% confidence &middot; " + target +
+    " &middot; " + tail + stopped;
+}
+
+async function refresh() {
+  try {
+    renderJobs(await fetchJson("/jobs"));
+    if (selected !== null) renderProgress(await fetchJson("/jobs/" + selected + "/progress"));
+    $("error").textContent = "";
+    $("tick").textContent = "polled " + new Date().toLocaleTimeString();
+  } catch (e) {
+    $("error").textContent = String(e);
+  }
+}
+
+refresh();
+setInterval(refresh, 2000);
+</script>
+</body>
+</html>
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::PAGE;
+
+    #[test]
+    fn page_is_self_contained_html() {
+        assert!(PAGE.starts_with("<!doctype html>"));
+        // No external assets: everything inline, nothing fetched beyond
+        // the service's own JSON endpoints.
+        for forbidden in ["http://", "https://", "src=", "@import"] {
+            assert!(
+                !PAGE.contains(forbidden),
+                "external reference {forbidden:?}"
+            );
+        }
+        for required in ["/jobs", "/progress", "achieved", "projected_remaining"] {
+            assert!(PAGE.contains(required), "missing {required:?}");
+        }
+    }
+}

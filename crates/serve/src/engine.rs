@@ -28,6 +28,7 @@ use fsp_protect::{
     harden, harden_and_verify, plan_protection, remap_sites, HardenConfig, PlanInputs,
     ProtectScope, ProtectedTarget,
 };
+use fsp_stats::stream::{EarlyStop, StopRule, StreamEstimator};
 use fsp_stats::{Outcome, ResilienceProfile};
 use fsp_workloads::{program_fingerprint, Scale, Workload};
 
@@ -49,7 +50,9 @@ fn keyed_launch_hash(w: &Workload) -> u64 {
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::job::{CampaignMode, JobRecord, JobResult, JobSpec, JobState};
+use crate::job::{
+    CampaignMode, EarlyStopReport, JobRecord, JobResult, JobSpec, JobState, StopSpec,
+};
 use crate::json::Json;
 use crate::metrics::{mode_index, Metrics};
 use crate::store::{OutcomeKey, OutcomeStore};
@@ -283,6 +286,9 @@ impl Engine {
                 fsp_workloads::registry_ids().join(", ")
             ));
         }
+        if spec.stop.is_some() && matches!(spec.mode, CampaignMode::Protect { .. }) {
+            return Err("early stopping is not supported for protect jobs".to_owned());
+        }
         let id = format!(
             "job-{}",
             self.shared.next_id.fetch_add(1, Ordering::Relaxed)
@@ -313,6 +319,19 @@ impl Engine {
             .expect("engine poisoned")
             .get(id)
             .map(JobRecord::to_json)
+    }
+
+    /// The live statistical progress document (`GET /jobs/:id/progress`),
+    /// or `None` if unknown. Assembled from the job record's per-outcome
+    /// counters, so in-process and fleet jobs render identically.
+    #[must_use]
+    pub fn progress_json(&self, id: &str) -> Option<Json> {
+        self.shared
+            .jobs
+            .lock()
+            .expect("engine poisoned")
+            .get(id)
+            .map(crate::job::progress_to_json)
     }
 
     /// Status documents of every known job, in id order.
@@ -622,6 +641,9 @@ pub fn kernels_json() -> Json {
 pub fn run_local(spec: &JobSpec, workers: usize) -> Result<Json, String> {
     let workload = fsp_workloads::by_id(&spec.kernel, Scale::Eval)
         .ok_or_else(|| format!("unknown kernel `{}`", spec.kernel))?;
+    if spec.stop.is_some() && matches!(spec.mode, CampaignMode::Protect { .. }) {
+        return Err("early stopping is not supported for protect jobs".to_owned());
+    }
     if let CampaignMode::Protect {
         budget_millis,
         scope,
@@ -640,11 +662,50 @@ pub fn run_local(spec: &JobSpec, workers: usize) -> Result<Json, String> {
                 launch: keyed_launch_hash(&workload),
                 sites: outcome.report.samples,
                 profile: outcome.report.protected,
+                early: None,
             },
         ));
     }
     let experiment = Experiment::prepare(&workload).map_err(|e| e.to_string())?;
     let planned = plan_sites(spec, &workload, &experiment)?;
+    if let Some(stop) = spec.stop {
+        // Same incremental engine + prefix tracker as the service path,
+        // so `--local` and served early-stopped runs agree on the exact
+        // stopping prefix and produce byte-identical result documents.
+        let stopper = Mutex::new(new_stopper(stop, &planned));
+        let run = experiment.run_campaign_incremental(
+            &planned.sites,
+            spec.model,
+            workers,
+            &[],
+            &StopObserver { stopper: &stopper },
+        );
+        let tracker = stopper.into_inner().expect("stop tracker poisoned");
+        let used = tracker.stop_len().unwrap_or(planned.sites.len());
+        let prefix: Vec<Outcome> = run.outcomes[..used]
+            .iter()
+            .map(|o| o.expect("contiguous stopped prefix is resolved"))
+            .collect();
+        let mut profile = profile_in_site_order(&planned.sites[..used], &prefix);
+        planned.settle(&mut profile);
+        let early = early_report(
+            stop,
+            &planned,
+            &planned.sites[..used],
+            &prefix,
+            tracker.stop_len().is_some(),
+        );
+        return Ok(crate::job::result_to_json(
+            spec,
+            &JobResult {
+                fingerprint: workload.fingerprint(),
+                launch: keyed_launch_hash(&workload),
+                sites: planned.sites.len(),
+                profile,
+                early: Some(early),
+            },
+        ));
+    }
     let result = experiment.run_campaign_with(&planned.sites, spec.model, workers);
     let mut profile = result.profile;
     planned.settle(&mut profile);
@@ -655,6 +716,7 @@ pub fn run_local(spec: &JobSpec, workers: usize) -> Result<Json, String> {
             launch: keyed_launch_hash(&workload),
             sites: planned.sites.len(),
             profile,
+            early: None,
         },
     ))
 }
@@ -693,6 +755,27 @@ struct PlannedCampaign {
 }
 
 impl PlannedCampaign {
+    /// The statically settled mass as per-class certain weight in
+    /// `Outcome::code()` order, for streaming estimators.
+    fn certain(&self) -> [f64; 5] {
+        [
+            self.assumed_masked,
+            0.0,
+            self.predicted_crash,
+            0.0,
+            self.predicted_detected,
+        ]
+    }
+
+    /// The `[masked, crash, detected]` triple persisted on job records.
+    fn settled3(&self) -> [f64; 3] {
+        [
+            self.assumed_masked,
+            self.predicted_crash,
+            self.predicted_detected,
+        ]
+    }
+
     /// Folds the statically-accounted weight into a campaign profile.
     fn settle(&self, profile: &mut ResilienceProfile) {
         profile.record_weighted(Outcome::Masked, self.assumed_masked);
@@ -753,6 +836,58 @@ fn plan_sites(
         // Protect jobs run two campaigns against two programs; both
         // callers branch to their protect paths before planning sites.
         CampaignMode::Protect { .. } => unreachable!("protect jobs never reach plan_sites"),
+    }
+}
+
+/// Builds the early-stop prefix tracker for a planned campaign.
+fn new_stopper(stop: StopSpec, planned: &PlannedCampaign) -> EarlyStop {
+    EarlyStop::new(
+        StopRule::new(stop.confidence, stop.margin),
+        planned.sites.iter().map(|ws| ws.weight).collect(),
+        planned.certain(),
+    )
+}
+
+/// Recomputes the early-stop report over the used plan prefix — a pure
+/// function of the prefix outcomes, so local, fleet and resumed runs
+/// agree byte-for-byte.
+fn early_report(
+    stop: StopSpec,
+    planned: &PlannedCampaign,
+    sites: &[WeightedSite],
+    outcomes: &[Outcome],
+    stopped: bool,
+) -> EarlyStopReport {
+    let mut est = StreamEstimator::with_certain(planned.certain());
+    for (ws, o) in sites.iter().zip(outcomes) {
+        est.record_weighted(*o, ws.weight);
+    }
+    EarlyStopReport {
+        stopped,
+        sites_injected: sites.len(),
+        achieved_margin: est.achieved_margin(stop.confidence),
+    }
+}
+
+/// Observer for `run_local` early-stopped campaigns: feeds the prefix
+/// tracker and cancels the worker pool once the rule fires.
+struct StopObserver<'a> {
+    stopper: &'a Mutex<EarlyStop>,
+}
+
+impl CampaignObserver for StopObserver<'_> {
+    fn on_chunk(&self, indices: &[usize], outcomes: &[Outcome]) {
+        let mut tracker = self.stopper.lock().expect("stop tracker poisoned");
+        for (&i, &o) in indices.iter().zip(outcomes) {
+            tracker.resolve(i, o);
+        }
+    }
+
+    fn should_cancel(&self) -> bool {
+        self.stopper
+            .lock()
+            .expect("stop tracker poisoned")
+            .should_stop()
     }
 }
 
@@ -834,7 +969,11 @@ fn run_job(shared: &Shared, id: &str) {
     match end {
         RunEnd::Completed(result) => {
             record.state = JobState::Completed;
-            record.done = record.total;
+            // An early-stopped campaign legitimately finishes with
+            // unresolved tail sites; keep its true progress count.
+            if !result.early.is_some_and(|e| e.stopped) {
+                record.done = record.total;
+            }
             record.partial = result.profile;
             record.result = Some(result);
             shared.metrics.jobs_completed.inc();
@@ -854,6 +993,7 @@ fn run_job(shared: &Shared, id: &str) {
     persist(&shared.jobs_dir, record);
 }
 
+#[allow(clippy::too_many_lines)]
 fn execute(shared: &Shared, id: &str, spec: &JobSpec, fleet: bool, cancel: &AtomicBool) -> RunEnd {
     let Some(workload) = fsp_workloads::by_id(&spec.kernel, Scale::Eval) else {
         return RunEnd::Failed(format!("unknown kernel `{}`", spec.kernel));
@@ -892,7 +1032,10 @@ fn execute(shared: &Shared, id: &str, spec: &JobSpec, fleet: bool, cancel: &Atom
     let sites = &planned.sites;
     let fingerprint = workload.fingerprint();
     let launch = keyed_launch_hash(&workload);
-    reset_progress(shared, id, sites.len());
+    reset_progress(shared, id, sites.len(), planned.settled3());
+    let stopper = spec
+        .stop
+        .map(|stop| Mutex::new(new_stopper(stop, &planned)));
     let campaign = if fleet {
         fleet_campaign_through_store(
             shared,
@@ -903,6 +1046,7 @@ fn execute(shared: &Shared, id: &str, spec: &JobSpec, fleet: bool, cancel: &Atom
             launch,
             workload.launch().threads_per_cta(),
             cancel,
+            stopper.as_ref(),
         )
     } else {
         campaign_through_store(
@@ -914,21 +1058,65 @@ fn execute(shared: &Shared, id: &str, spec: &JobSpec, fleet: bool, cancel: &Atom
             fingerprint,
             launch,
             cancel,
+            stopper.as_ref(),
         )
     };
     let outcomes = match campaign {
         Ok(outcomes) => outcomes,
         Err(end) => return end,
     };
+    // Early-stopped campaigns score only the contiguous stopped prefix in
+    // plan order — the deterministic basis that makes reruns and
+    // local/fleet placements byte-identical. Without a stopper the prefix
+    // is the whole plan.
+    let stopped_at = stopper
+        .as_ref()
+        .and_then(|s| s.lock().expect("stop tracker poisoned").stop_len());
+    let used = stopped_at.unwrap_or(sites.len());
+    let prefix: Vec<Outcome> = outcomes[..used]
+        .iter()
+        .map(|o| o.expect("contiguous resolved prefix"))
+        .collect();
     // Final profile: recomputed over the complete outcome vector in site
     // order, so cold, warm and resumed runs agree bit-for-bit.
-    let mut profile = profile_in_site_order(sites, &outcomes);
+    let mut profile = profile_in_site_order(&sites[..used], &prefix);
     planned.settle(&mut profile);
+    let early = spec.stop.map(|stop| {
+        early_report(
+            stop,
+            &planned,
+            &sites[..used],
+            &prefix,
+            stopped_at.is_some(),
+        )
+    });
+    if early.is_some() {
+        // Cancellation is best-effort, so workers may overshoot the
+        // stopped prefix; re-baseline the record's streaming counters to
+        // the scored prefix so the progress document of a finished job
+        // agrees with its result document.
+        let mut counts = [0u64; 5];
+        let mut sum_w2 = 0.0;
+        for (ws, o) in sites[..used].iter().zip(&prefix) {
+            counts[o.code() as usize] += 1;
+            sum_w2 += ws.weight * ws.weight;
+        }
+        let mut jobs = shared.jobs.lock().expect("engine poisoned");
+        if let Some(record) = jobs.get_mut(id) {
+            record.outcome_counts = counts;
+            record.sum_w2 = sum_w2;
+            if stopped_at.is_some() {
+                record.done = used;
+                record.cache_hits = record.cache_hits.min(used);
+            }
+        }
+    }
     RunEnd::Completed(JobResult {
         fingerprint,
         launch,
         sites: sites.len(),
         profile,
+        early,
     })
 }
 
@@ -963,8 +1151,8 @@ fn execute_protect(
         .collect();
     let launch_hash = keyed_launch_hash(workload);
     // Two campaigns of equal site count: baseline, then re-injection.
-    reset_progress(shared, id, sites.len() * 2);
-    let baseline_outcomes = match campaign_through_store(
+    reset_progress(shared, id, sites.len() * 2, [0.0; 3]);
+    let baseline_outcomes: Vec<Outcome> = match campaign_through_store(
         shared,
         id,
         spec,
@@ -973,8 +1161,12 @@ fn execute_protect(
         workload.fingerprint(),
         launch_hash,
         cancel,
+        None,
     ) {
-        Ok(outcomes) => outcomes,
+        Ok(outcomes) => outcomes
+            .into_iter()
+            .map(|o| o.expect("uncancelled campaign resolves every site"))
+            .collect(),
         Err(end) => return end,
     };
 
@@ -1010,7 +1202,7 @@ fn execute_protect(
     let protected_space = protected_exp.site_space(tids);
     let mapped = remap_sites(&hardened, &space, &protected_space, &sites);
 
-    let outcomes = match campaign_through_store(
+    let outcomes: Vec<Outcome> = match campaign_through_store(
         shared,
         id,
         spec,
@@ -1019,8 +1211,12 @@ fn execute_protect(
         program_fingerprint(&hardened.program),
         launch_hash,
         cancel,
+        None,
     ) {
-        Ok(outcomes) => outcomes,
+        Ok(outcomes) => outcomes
+            .into_iter()
+            .map(|o| o.expect("uncancelled campaign resolves every site"))
+            .collect(),
         Err(end) => return end,
     };
     RunEnd::Completed(JobResult {
@@ -1028,19 +1224,23 @@ fn execute_protect(
         launch: launch_hash,
         sites: sites.len(),
         profile: profile_in_site_order(&mapped, &outcomes),
+        early: None,
     })
 }
 
 /// Resets a job's progress counters for a (re)run. Resumed jobs reload
 /// stale `done`/`partial` values from disk; the store replay below
 /// re-derives them.
-fn reset_progress(shared: &Shared, id: &str, total: usize) {
+fn reset_progress(shared: &Shared, id: &str, total: usize, settled: [f64; 3]) {
     let mut jobs = shared.jobs.lock().expect("engine poisoned");
     if let Some(record) = jobs.get_mut(id) {
         record.total = total;
         record.done = 0;
         record.cache_hits = 0;
         record.partial = ResilienceProfile::new();
+        record.outcome_counts = [0; 5];
+        record.sum_w2 = 0.0;
+        record.settled = settled;
         persist(&shared.jobs_dir, record);
     }
 }
@@ -1061,7 +1261,8 @@ fn campaign_through_store<T: InjectionTarget>(
     fingerprint: u64,
     launch: u64,
     cancel: &AtomicBool,
-) -> Result<Vec<Outcome>, RunEnd> {
+    stopper: Option<&Mutex<EarlyStop>>,
+) -> Result<Vec<Option<Outcome>>, RunEnd> {
     let _campaign = fsp_obs::span_labeled("serve.campaign", id.to_owned());
     let keys: Vec<OutcomeKey> = sites
         .iter()
@@ -1083,9 +1284,20 @@ fn campaign_through_store<T: InjectionTarget>(
             for (ws, o) in sites.iter().zip(&resolved) {
                 if let Some(o) = o {
                     record.partial.record_weighted(*o, ws.weight);
+                    record.outcome_counts[o.code() as usize] += 1;
+                    record.sum_w2 += ws.weight * ws.weight;
+                    shared.metrics.job_outcome_total[o.code() as usize].inc();
                 }
             }
             persist(&shared.jobs_dir, record);
+        }
+    }
+    if let Some(stopper) = stopper {
+        let mut tracker = stopper.lock().expect("stop tracker poisoned");
+        for (i, o) in resolved.iter().enumerate() {
+            if let Some(o) = o {
+                tracker.resolve(i, *o);
+            }
         }
     }
 
@@ -1095,6 +1307,7 @@ fn campaign_through_store<T: InjectionTarget>(
         keys: &keys,
         sites,
         cancel,
+        stopper,
     };
     let started = Instant::now();
     let run = experiment.run_campaign_incremental(
@@ -1133,13 +1346,16 @@ fn campaign_through_store<T: InjectionTarget>(
         if shared.shutdown.load(Ordering::Relaxed) {
             return Err(RunEnd::Interrupted);
         }
-        return Err(RunEnd::Cancelled);
+        if cancel.load(Ordering::Relaxed) {
+            return Err(RunEnd::Cancelled);
+        }
+        // Cancelled by the stop tracker: the contiguous resolved prefix
+        // is complete, which is all the caller scores.
+        debug_assert!(
+            stopper.is_some_and(|s| s.lock().expect("stop tracker poisoned").should_stop())
+        );
     }
-    Ok(run
-        .outcomes
-        .into_iter()
-        .map(|o| o.expect("uncancelled campaign resolves every site"))
-        .collect())
+    Ok(run.outcomes)
 }
 
 /// Shards miss indices into lease chunks aligned to batch groups. The
@@ -1194,7 +1410,7 @@ fn batch_aligned_chunks(
 ///
 /// `Err` carries the terminal [`RunEnd`] when the job was stopped; the
 /// job's published leases are retracted so workers stop pulling them.
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
 fn fleet_campaign_through_store(
     shared: &Shared,
     id: &str,
@@ -1204,7 +1420,8 @@ fn fleet_campaign_through_store(
     launch: u64,
     threads_per_cta: u32,
     cancel: &AtomicBool,
-) -> Result<Vec<Outcome>, RunEnd> {
+    stopper: Option<&Mutex<EarlyStop>>,
+) -> Result<Vec<Option<Outcome>>, RunEnd> {
     let _campaign = fsp_obs::span_labeled("serve.fleet_campaign", id.to_owned());
     let keys: Vec<OutcomeKey> = sites
         .iter()
@@ -1223,9 +1440,24 @@ fn fleet_campaign_through_store(
             for (ws, o) in sites.iter().zip(&outcomes) {
                 if let Some(o) = o {
                     record.partial.record_weighted(*o, ws.weight);
+                    record.outcome_counts[o.code() as usize] += 1;
+                    record.sum_w2 += ws.weight * ws.weight;
+                    shared.metrics.job_outcome_total[o.code() as usize].inc();
                 }
             }
             persist(&shared.jobs_dir, record);
+        }
+    }
+    if let Some(stopper) = stopper {
+        let mut tracker = stopper.lock().expect("stop tracker poisoned");
+        for (i, o) in outcomes.iter().enumerate() {
+            if let Some(o) = o {
+                tracker.resolve(i, *o);
+            }
+        }
+        if tracker.should_stop() {
+            // The cached prefix alone satisfies the rule: nothing to lease.
+            return Ok(outcomes);
         }
     }
 
@@ -1268,6 +1500,7 @@ fn fleet_campaign_through_store(
             shared.leases.wait_progress(Duration::from_millis(200));
             continue;
         }
+        let mut fresh: Vec<(usize, Outcome)> = Vec::new();
         {
             let mut jobs = shared.jobs.lock().expect("engine poisoned");
             for (chunk_idx, map) in delivered {
@@ -1276,9 +1509,13 @@ fn fleet_campaign_through_store(
                         .get(&sites[i].site)
                         .expect("lease completion covers every chunk site");
                     outcomes[i] = Some(o);
+                    fresh.push((i, o));
                     if let Some(record) = jobs.get_mut(id) {
                         record.done += 1;
                         record.partial.record_weighted(o, sites[i].weight);
+                        record.outcome_counts[o.code() as usize] += 1;
+                        record.sum_w2 += sites[i].weight * sites[i].weight;
+                        shared.metrics.job_outcome_total[o.code() as usize].inc();
                     }
                 }
                 remaining -= 1;
@@ -1288,6 +1525,19 @@ fn fleet_campaign_through_store(
             }
         }
         shared.leases.prune_delivered(id);
+        if let Some(stopper) = stopper {
+            let mut tracker = stopper.lock().expect("stop tracker poisoned");
+            for (i, o) in fresh {
+                tracker.resolve(i, o);
+            }
+            if tracker.should_stop() {
+                // CI convergence: stop issuing leases and retract the
+                // job's remaining chunks; in-flight workers see their
+                // submissions answered as stale and move on.
+                shared.leases.retract_job(id);
+                break;
+            }
+        }
     }
     shared.metrics.record_campaign(
         mode_index(spec.mode.mode_name()),
@@ -1303,10 +1553,7 @@ fn fleet_campaign_through_store(
             }
         }
     }
-    Ok(outcomes
-        .into_iter()
-        .map(|o| o.expect("all chunks delivered"))
-        .collect())
+    Ok(outcomes)
 }
 
 fn error_json(message: &str) -> Json {
@@ -1329,6 +1576,7 @@ struct EngineObserver<'a> {
     keys: &'a [OutcomeKey],
     sites: &'a [WeightedSite],
     cancel: &'a AtomicBool,
+    stopper: Option<&'a Mutex<EarlyStop>>,
 }
 
 impl CampaignObserver for EngineObserver<'_> {
@@ -1351,17 +1599,32 @@ impl CampaignObserver for EngineObserver<'_> {
                 .store_flush_nanos
                 .record(fsp_obs::now_ns() - flush_start);
         }
-        let mut jobs = self.shared.jobs.lock().expect("engine poisoned");
-        if let Some(record) = jobs.get_mut(self.id) {
+        {
+            let mut jobs = self.shared.jobs.lock().expect("engine poisoned");
+            if let Some(record) = jobs.get_mut(self.id) {
+                for (&i, &o) in indices.iter().zip(outcomes) {
+                    record.done += 1;
+                    record.partial.record_weighted(o, self.sites[i].weight);
+                    record.outcome_counts[o.code() as usize] += 1;
+                    record.sum_w2 += self.sites[i].weight * self.sites[i].weight;
+                    self.shared.metrics.job_outcome_total[o.code() as usize].inc();
+                }
+            }
+        }
+        if let Some(stopper) = self.stopper {
+            let mut tracker = stopper.lock().expect("stop tracker poisoned");
             for (&i, &o) in indices.iter().zip(outcomes) {
-                record.done += 1;
-                record.partial.record_weighted(o, self.sites[i].weight);
+                tracker.resolve(i, o);
             }
         }
     }
 
     fn should_cancel(&self) -> bool {
-        self.shared.shutdown.load(Ordering::Relaxed) || self.cancel.load(Ordering::Relaxed)
+        self.shared.shutdown.load(Ordering::Relaxed)
+            || self.cancel.load(Ordering::Relaxed)
+            || self
+                .stopper
+                .is_some_and(|s| s.lock().expect("stop tracker poisoned").should_stop())
     }
 }
 

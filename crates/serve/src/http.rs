@@ -5,6 +5,7 @@
 //! | POST   | `/jobs`                  | job spec JSON (+ optional `"fleet"`) → `{"id": "job-n"}` |
 //! | GET    | `/jobs`                  | array of job status documents          |
 //! | GET    | `/jobs/:id`              | job status document                    |
+//! | GET    | `/jobs/:id/progress`     | live per-outcome estimates + intervals |
 //! | GET    | `/jobs/:id/result`       | canonical result document (409 early)  |
 //! | POST   | `/jobs/:id/cancel`       | `{"cancelled": true}`                  |
 //! | POST   | `/leases`                | `{"worker": name}` → lease grant or `{"lease": null, "pending": n}` |
@@ -14,6 +15,7 @@
 //! | GET    | `/kernels`               | kernel registry with fingerprints      |
 //! | GET    | `/metrics`               | Prometheus text exposition             |
 //! | GET    | `/trace`                 | Chrome trace-event JSON (span timeline) |
+//! | GET    | `/dashboard`             | self-contained live-monitoring page    |
 //!
 //! Connections are `Connection: close`, one thread per request — campaign
 //! throughput, not HTTP throughput, is the bottleneck by design. Every
@@ -264,7 +266,19 @@ fn route(engine: &Engine, method: &str, path: &str, body: &str) -> (u16, &'stati
         ("GET", "/fleet") => (200, JSON, engine.fleet_status_json().to_string()),
         ("GET", "/kernels") => (200, JSON, kernels_json().to_string()),
         ("GET", "/metrics") => (200, "text/plain; version=0.0.4", engine.metrics_text()),
+        ("GET", "/dashboard") => (
+            200,
+            "text/html; charset=utf-8",
+            crate::dashboard::PAGE.to_owned(),
+        ),
         ("GET", "/trace") => (200, JSON, engine.trace_json()),
+        ("GET", _) if path.starts_with("/jobs/") && path.ends_with("/progress") => {
+            let id = &path["/jobs/".len()..path.len() - "/progress".len()];
+            match engine.progress_json(id) {
+                Some(progress) => (200, JSON, progress.to_string()),
+                None => (404, JSON, error_body("no such job")),
+            }
+        }
         ("GET", _) if path.starts_with("/jobs/") && path.ends_with("/result") => {
             let id = &path["/jobs/".len()..path.len() - "/result".len()];
             match engine.result_json(id) {

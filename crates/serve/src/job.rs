@@ -36,6 +36,20 @@ pub enum CampaignMode {
     },
 }
 
+/// Opt-in CI-convergence early stopping for a campaign (`submit
+/// --stop-at-margin`). Unlike the `fleet` placement flag, early stopping
+/// *changes the result*, so it is part of the spec's serialized fields —
+/// and therefore of every fingerprint derived from them. Specs without it
+/// serialize exactly as before, keeping historical documents byte-stable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StopSpec {
+    /// Required error margin: stop once every outcome-class confidence
+    /// interval half-width fits it.
+    pub margin: f64,
+    /// Confidence level of the per-class intervals.
+    pub confidence: f64,
+}
+
 /// A campaign job as submitted to `POST /jobs`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
@@ -48,6 +62,8 @@ pub struct JobSpec {
     /// Seed: drives loop-iteration sampling (pruned) or site sampling
     /// (sampled).
     pub seed: u64,
+    /// Optional early stopping; `None` runs the full plan.
+    pub stop: Option<StopSpec>,
 }
 
 impl CampaignMode {
@@ -74,6 +90,7 @@ impl JobSpec {
             },
             model: FaultModel::SingleBitFlip,
             seed: 0xF5EED,
+            stop: None,
         }
     }
 
@@ -85,6 +102,7 @@ impl JobSpec {
             mode: CampaignMode::Sampled { samples },
             model: FaultModel::SingleBitFlip,
             seed: 0xF5EED,
+            stop: None,
         }
     }
 
@@ -101,7 +119,15 @@ impl JobSpec {
             },
             model: FaultModel::SingleBitFlip,
             seed: 0xF5EED,
+            stop: None,
         }
+    }
+
+    /// Builds a copy with early stopping enabled.
+    #[must_use]
+    pub fn with_stop(mut self, margin: f64, confidence: f64) -> JobSpec {
+        self.stop = Some(StopSpec { margin, confidence });
+        self
     }
 
     /// Encodes the spec's fields (flat, merged into job documents).
@@ -137,6 +163,10 @@ impl JobSpec {
         }
         pairs.push(("model".to_owned(), Json::Str(self.model.name().to_owned())));
         pairs.push(("seed".to_owned(), Json::u64(self.seed)));
+        if let Some(stop) = self.stop {
+            pairs.push(("stop_at_margin".to_owned(), Json::Num(stop.margin)));
+            pairs.push(("stop_confidence".to_owned(), Json::Num(stop.confidence)));
+        }
         pairs
     }
 
@@ -209,11 +239,35 @@ impl JobSpec {
             .map(|v| v.as_u64().ok_or("`seed` must be an integer"))
             .transpose()?
             .unwrap_or(0xF5EED);
+        let stop = match value.get("stop_at_margin") {
+            None => {
+                if value.get("stop_confidence").is_some() {
+                    return Err("`stop_confidence` requires `stop_at_margin`".to_owned());
+                }
+                None
+            }
+            Some(m) => {
+                let margin = m.as_f64().ok_or("`stop_at_margin` must be a number")?;
+                let confidence = value
+                    .get("stop_confidence")
+                    .map(|v| v.as_f64().ok_or("`stop_confidence` must be a number"))
+                    .transpose()?
+                    .unwrap_or(0.998);
+                if !(margin > 0.0 && margin < 1.0) {
+                    return Err("`stop_at_margin` must be in (0, 1)".to_owned());
+                }
+                if !(confidence > 0.0 && confidence < 1.0) {
+                    return Err("`stop_confidence` must be in (0, 1)".to_owned());
+                }
+                Some(StopSpec { margin, confidence })
+            }
+        };
         Ok(JobSpec {
             kernel,
             mode,
             model,
             seed,
+            stop,
         })
     }
 }
@@ -269,6 +323,20 @@ impl JobState {
     }
 }
 
+/// How an early-stop-enabled campaign ended. Present on a result iff the
+/// spec requested stopping — results of plain campaigns are untouched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EarlyStopReport {
+    /// Whether the stopping rule fired before the plan was exhausted.
+    pub stopped: bool,
+    /// Sites actually contributing to the profile: the stopped prefix
+    /// length, or the full plan when the rule never fired.
+    pub sites_injected: usize,
+    /// The widest per-class interval half-width over those sites, at the
+    /// requested confidence.
+    pub achieved_margin: f64,
+}
+
 /// A completed job's payload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobResult {
@@ -280,6 +348,8 @@ pub struct JobResult {
     pub sites: usize,
     /// The final extrapolated resilience profile.
     pub profile: ResilienceProfile,
+    /// Early-stop outcome, when the spec requested stopping.
+    pub early: Option<EarlyStopReport>,
 }
 
 /// One job as tracked by the engine and persisted to `jobs/<id>.json`.
@@ -299,6 +369,16 @@ pub struct JobRecord {
     pub cache_hits: usize,
     /// The running (partial) weighted profile, for status reports.
     pub partial: ResilienceProfile,
+    /// Raw per-outcome resolution counts in `Outcome::code()` order
+    /// (masked / sdc / crash / hang / detected) — the dashboard's and
+    /// Prometheus's shared source of truth.
+    pub outcome_counts: [u64; 5],
+    /// Second moment of the resolved-site weights, for the effective
+    /// sample size of streaming interval estimates.
+    pub sum_w2: f64,
+    /// Statically settled certain weight `[masked, crash, detected]`
+    /// from the pruning stages, folded into live estimates.
+    pub settled: [f64; 3],
     /// Failure message, when `state == Failed`.
     pub error: Option<String>,
     /// The result, when `state == Completed`.
@@ -359,6 +439,9 @@ impl JobRecord {
             done: 0,
             cache_hits: 0,
             partial: ResilienceProfile::new(),
+            outcome_counts: [0; 5],
+            sum_w2: 0.0,
+            settled: [0.0; 3],
             error: None,
             result: None,
             fleet: false,
@@ -380,6 +463,21 @@ impl JobRecord {
             pairs.push(("fleet".to_owned(), Json::Bool(true)));
         }
         pairs.push(("partial".to_owned(), profile_to_json(&self.partial)));
+        pairs.push((
+            "outcomes".to_owned(),
+            Json::Obj(
+                fsp_stats::stream::CLASS_LABELS
+                    .iter()
+                    .zip(self.outcome_counts)
+                    .map(|(label, count)| ((*label).to_owned(), Json::u64(count)))
+                    .collect(),
+            ),
+        ));
+        pairs.push(("sum_w2".to_owned(), Json::Num(self.sum_w2)));
+        pairs.push((
+            "settled".to_owned(),
+            Json::Arr(self.settled.iter().map(|&w| Json::Num(w)).collect()),
+        ));
         if let Some(error) = &self.error {
             pairs.push(("error".to_owned(), Json::Str(error.clone())));
         }
@@ -415,6 +513,23 @@ impl JobRecord {
         let result = value
             .get("result")
             .map(|r| -> Result<JobResult, String> {
+                let early = r
+                    .get("early_stopped")
+                    .map(|flag| -> Result<EarlyStopReport, String> {
+                        Ok(EarlyStopReport {
+                            stopped: flag.as_bool().ok_or("`early_stopped` must be a boolean")?,
+                            sites_injected: r
+                                .get("sites_injected")
+                                .and_then(Json::as_u64)
+                                .ok_or("early-stop result missing `sites_injected`")?
+                                as usize,
+                            achieved_margin: r
+                                .get("achieved_margin")
+                                .and_then(Json::as_f64)
+                                .ok_or("early-stop result missing `achieved_margin`")?,
+                        })
+                    })
+                    .transpose()?;
                 Ok(JobResult {
                     fingerprint: r
                         .get("fingerprint")
@@ -428,9 +543,24 @@ impl JobRecord {
                     profile: profile_from_json(
                         r.get("profile").ok_or("result missing `profile`")?,
                     )?,
+                    early,
                 })
             })
             .transpose()?;
+        // Documents persisted before streaming progress existed carry no
+        // per-outcome counts or weight moments; default to zero.
+        let mut outcome_counts = [0u64; 5];
+        if let Some(counts) = value.get("outcomes") {
+            for (k, label) in fsp_stats::stream::CLASS_LABELS.iter().enumerate() {
+                outcome_counts[k] = counts.get(label).and_then(Json::as_u64).unwrap_or(0);
+            }
+        }
+        let mut settled = [0.0f64; 3];
+        if let Some(Json::Arr(items)) = value.get("settled") {
+            for (slot, item) in settled.iter_mut().zip(items) {
+                *slot = item.as_f64().unwrap_or(0.0);
+            }
+        }
         Ok(JobRecord {
             id,
             spec,
@@ -439,6 +569,9 @@ impl JobRecord {
             done: int("done"),
             cache_hits: int("cache_hits"),
             partial,
+            outcome_counts,
+            sum_w2: value.get("sum_w2").and_then(Json::as_f64).unwrap_or(0.0),
+            settled,
             error: value.get("error").and_then(Json::as_str).map(str::to_owned),
             result,
             fleet: value.get("fleet").and_then(Json::as_bool).unwrap_or(false),
@@ -461,6 +594,134 @@ pub fn result_to_json(spec: &JobSpec, result: &JobResult) -> Json {
         "percentages".to_owned(),
         Json::Arr(vec![Json::Num(m), Json::Num(s), Json::Num(o)]),
     ));
+    if let Some(early) = &result.early {
+        pairs.push(("early_stopped".to_owned(), Json::Bool(early.stopped)));
+        pairs.push((
+            "sites_injected".to_owned(),
+            Json::u64(early.sites_injected as u64),
+        ));
+        pairs.push((
+            "achieved_margin".to_owned(),
+            Json::Num(early.achieved_margin),
+        ));
+        pairs.push((
+            "stream_version".to_owned(),
+            Json::u64(fsp_stats::stream_version()),
+        ));
+    }
+    Json::Obj(pairs)
+}
+
+/// The live statistical progress document (`GET /jobs/:id/progress`):
+/// per-outcome point estimates with Wilson intervals at the requested (or
+/// paper-default) confidence, the achieved-vs-requested margin, and a
+/// projection of sites remaining to convergence. Assembled purely from
+/// the job record's counters, so in-process and fleet jobs — and resumed
+/// jobs restored from disk — all render identically.
+#[must_use]
+pub fn progress_to_json(record: &JobRecord) -> Json {
+    use fsp_stats::stream::CLASS_LABELS;
+    use fsp_stats::{StopRule, StreamEstimator};
+
+    let stop = record.spec.stop;
+    let confidence = stop.map_or(0.998, |s| s.confidence);
+    // No requested margin still yields a useful projection: report
+    // distance from the paper's baseline ±0.63% criterion.
+    let margin = stop.map_or(0.0063, |s| s.margin);
+    let p = &record.partial;
+    let mut weights = [p.masked(), p.sdc(), p.crashes(), p.hangs(), p.detected()];
+    let certain = [
+        record.settled[0],
+        0.0,
+        record.settled[1],
+        0.0,
+        record.settled[2],
+    ];
+    // A completed job's partial profile is the *settled* final profile;
+    // peel the certain mass back out so it is not counted twice.
+    if record.state == JobState::Completed {
+        for (w, c) in weights.iter_mut().zip(certain) {
+            *w = (*w - c).max(0.0);
+        }
+    }
+    let est = StreamEstimator::from_parts(record.outcome_counts, weights, record.sum_w2, certain);
+    let intervals = est.intervals(confidence);
+    let rule = StopRule::new(confidence, margin);
+    let projected = rule.projected_total(&est);
+    let mut pairs = vec![
+        ("id".to_owned(), Json::Str(record.id.clone())),
+        (
+            "state".to_owned(),
+            Json::Str(record.state.name().to_owned()),
+        ),
+        ("kernel".to_owned(), Json::Str(record.spec.kernel.clone())),
+        (
+            "mode".to_owned(),
+            Json::Str(record.spec.mode.mode_name().to_owned()),
+        ),
+        ("fleet".to_owned(), Json::Bool(record.fleet)),
+        ("total".to_owned(), Json::u64(record.total as u64)),
+        ("done".to_owned(), Json::u64(record.done as u64)),
+        ("cache_hits".to_owned(), Json::u64(record.cache_hits as u64)),
+        (
+            "stream_version".to_owned(),
+            Json::u64(fsp_stats::stream_version()),
+        ),
+        ("confidence".to_owned(), Json::Num(confidence)),
+        (
+            "margin".to_owned(),
+            stop.map_or(Json::Null, |s| Json::Num(s.margin)),
+        ),
+        ("stop_requested".to_owned(), Json::Bool(stop.is_some())),
+        (
+            "outcomes".to_owned(),
+            Json::Arr(
+                CLASS_LABELS
+                    .iter()
+                    .enumerate()
+                    .map(|(k, label)| {
+                        Json::obj([
+                            ("outcome", Json::Str((*label).to_owned())),
+                            ("count", Json::u64(record.outcome_counts[k])),
+                            ("weight", Json::Num(certain[k] + weights[k])),
+                            ("estimate", Json::Num(intervals[k].estimate)),
+                            ("lo", Json::Num(intervals[k].lo)),
+                            ("hi", Json::Num(intervals[k].hi)),
+                            ("half_width", Json::Num(intervals[k].half_width())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "achieved_margin".to_owned(),
+            Json::Num(est.achieved_margin(confidence)),
+        ),
+        (
+            "converged".to_owned(),
+            Json::Bool(est.converged(confidence, margin)),
+        ),
+        ("projected_total".to_owned(), Json::u64(projected)),
+        (
+            "projected_remaining".to_owned(),
+            Json::u64(
+                projected
+                    .saturating_sub(est.len())
+                    .min(record.total.saturating_sub(record.done) as u64),
+            ),
+        ),
+    ];
+    if let Some(early) = record.result.as_ref().and_then(|r| r.early) {
+        pairs.push(("early_stopped".to_owned(), Json::Bool(early.stopped)));
+        pairs.push((
+            "sites_injected".to_owned(),
+            Json::u64(early.sites_injected as u64),
+        ));
+        pairs.push((
+            "final_achieved_margin".to_owned(),
+            Json::Num(early.achieved_margin),
+        ));
+    }
     Json::Obj(pairs)
 }
 
@@ -478,7 +739,9 @@ mod tests {
                 mode: CampaignMode::Sampled { samples: 1234 },
                 model: FaultModel::StuckAt1,
                 seed: u64::MAX,
+                stop: None,
             },
+            JobSpec::sampled("fdtd", 900).with_stop(0.0063, 0.998),
             JobSpec {
                 kernel: "pathfinder".to_owned(),
                 mode: CampaignMode::Protect {
@@ -488,6 +751,7 @@ mod tests {
                 },
                 model: FaultModel::SingleBitFlip,
                 seed: 7,
+                stop: None,
             },
         ] {
             let text = spec.to_json().to_string();
@@ -535,6 +799,7 @@ mod tests {
             launch: 42,
             sites: 50,
             profile: p,
+            early: None,
         });
         let text = record.to_json().to_string();
         let back = JobRecord::from_json(&Json::parse(&text).unwrap()).unwrap();

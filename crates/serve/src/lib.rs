@@ -30,6 +30,7 @@
 #![allow(clippy::missing_panics_doc)]
 
 pub mod client;
+pub mod dashboard;
 pub mod engine;
 pub mod http;
 pub mod job;
@@ -40,7 +41,10 @@ pub mod store;
 pub use client::Client;
 pub use engine::{kernels_json, run_local, Engine, EngineConfig, ResultError};
 pub use http::{Server, ServerHandle};
-pub use job::{CampaignMode, JobRecord, JobResult, JobSpec, JobState};
+pub use job::{
+    progress_to_json, CampaignMode, EarlyStopReport, JobRecord, JobResult, JobSpec, JobState,
+    StopSpec,
+};
 pub use json::Json;
 pub use metrics::Metrics;
 pub use store::{OutcomeKey, OutcomeStore};

@@ -83,6 +83,10 @@ pub struct Metrics {
     /// Latency of outcome-store flushes (per chunk, per campaign tail and
     /// per fleet submission frame).
     pub store_flush_nanos: fsp_obs::Histogram,
+    /// Sites resolved per outcome class (cache hits, in-process chunks and
+    /// fleet deliveries alike), indexed by `Outcome::code()` — the same
+    /// counts the per-job `outcomes` field and the dashboard report.
+    pub job_outcome_total: [Counter; fsp_stats::stream::CLASSES],
     cache_hit_rate: Gauge,
     sites_per_second: Gauge,
     sites_per_second_by_mode: [Gauge; MODES.len()],
@@ -196,6 +200,15 @@ impl Default for Metrics {
             "fsp_store_flush_nanos",
             "Outcome-store flush latency in nanoseconds.",
         );
+        // New series append after every legacy registration so historical
+        // scrape output stays a byte-identical prefix-by-series.
+        let job_outcome_total = std::array::from_fn(|i| {
+            r.counter_labeled(
+                "fsp_job_outcome_total",
+                &[("outcome", fsp_stats::stream::CLASS_LABELS[i])],
+                "Sites resolved by outcome class, across all jobs.",
+            )
+        });
         Metrics {
             registry: r,
             jobs_submitted,
@@ -216,6 +229,7 @@ impl Default for Metrics {
             predicted_crash_weight,
             predicted_detected_weight,
             store_flush_nanos,
+            job_outcome_total,
             cache_hit_rate,
             sites_per_second,
             sites_per_second_by_mode,
@@ -337,6 +351,17 @@ mod tests {
         assert!(text.contains("fsp_checkpoint_hits_total 20\n"));
         assert!(text.contains("fsp_skipped_instructions_total 9000\n"));
         assert!(text.contains("fsp_early_converged_total 12\n"));
+    }
+
+    #[test]
+    fn per_outcome_job_counters_render_with_labels() {
+        let m = Metrics::default();
+        m.job_outcome_total[0].add(9);
+        m.job_outcome_total[4].inc();
+        let text = m.render(&[], 0);
+        assert!(text.contains("fsp_job_outcome_total{outcome=\"masked\"} 9\n"));
+        assert!(text.contains("fsp_job_outcome_total{outcome=\"sdc\"} 0\n"));
+        assert!(text.contains("fsp_job_outcome_total{outcome=\"detected\"} 1\n"));
     }
 
     #[test]

@@ -27,8 +27,10 @@ mod cluster;
 mod profile;
 mod quantile;
 mod sample;
+pub mod stream;
 
 pub use cluster::{labels_from_groups, rand_index};
 pub use profile::{FiveNumber, Outcome, OutcomeKind, ResilienceProfile};
 pub use quantile::{normal_quantile, t_quantile};
 pub use sample::{required_samples_finite, required_samples_infinite, RequiredSamples};
+pub use stream::{stream_version, ClassInterval, EarlyStop, StopRule, StreamEstimator};

@@ -1,0 +1,246 @@
+//! Early-stopping equivalence oracle.
+//!
+//! Three guarantees, per the streaming-analytics design (DESIGN.md §15):
+//!
+//! 1. **Observer transparency.** With early stopping disabled, the
+//!    incremental campaign entry point (the observer hook every served
+//!    job now runs through) produces outcome vectors byte-identical to
+//!    the blocking pre-hook path — across solo / fast-path / batched
+//!    execution and across worker counts, on every registry kernel.
+//! 2. **No-fire equivalence.** A stop rule at the paper's operating
+//!    point (99.8%, ±0.63%) cannot fire on a plan smaller than its
+//!    sample floor, so an early-stop-enabled run must report
+//!    `early_stopped: false` and carry exactly the plain run's profile.
+//! 3. **Fire soundness.** When a loose rule does fire, the run is
+//!    reproducible across reruns and worker counts, injects a strict
+//!    prefix of the plan, and its estimate stays within the requested
+//!    margin of the full-campaign ground truth. A replay oracle checks
+//!    the tracker never fires before the CI condition first holds on the
+//!    contiguous prefix.
+
+use fault_site_pruning::inject::{
+    Experiment, FaultModel, FaultSite, InjectionTarget, NopObserver, SiteSpace, WeightedSite,
+};
+use fault_site_pruning::serve::{run_local, JobSpec, Json};
+use fault_site_pruning::stats::{EarlyStop, Outcome, StopRule, StreamEstimator};
+use fault_site_pruning::workloads::{self, Scale};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Dense sites per kernel for the observer-transparency sweep: small
+/// enough to keep the 17-kernel x mode x worker grid cheap in debug test
+/// runs, large enough to span several scheduler chunks.
+const DENSE_SITES: u64 = 8;
+
+/// Random sites layered on top of the dense run (singleton batch groups,
+/// exercising the solo fallback inside a batched campaign).
+const SAMPLED_SITES: usize = 4;
+
+fn sites_for(space: &SiteSpace, seed: u64) -> Vec<WeightedSite> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total = space.total_sites();
+    let mut sites: Vec<FaultSite> = (0..DENSE_SITES.min(total))
+        .map(|i| space.site_at(i))
+        .collect();
+    // Pin the final enumerable site so the sweep always exercises the
+    // tail of the space, not just the sampled interior.
+    sites.push(space.site_at(total - 1));
+    sites.extend(space.sample_many(SAMPLED_SITES, &mut rng));
+    sites.into_iter().map(WeightedSite::from).collect()
+}
+
+/// Guarantee 1: the incremental (observer-hook) campaign path equals the
+/// blocking path byte-for-byte when nothing ever cancels — on all 17
+/// kernels, across solo / fast-path / batched execution, for 1/2/4
+/// workers.
+#[test]
+fn incremental_path_matches_blocking_path_on_all_kernels() {
+    for w in workloads::all(Scale::Eval) {
+        let id = w.registry_id();
+        let mut experiment = Experiment::prepare(&w).expect("fault-free run");
+        let space = experiment.site_space(0..w.launch().num_threads());
+        let sites = sites_for(&space, 0xEA51_0C1E);
+        // (fast path, batch lanes): solo replay, checkpoint fast path,
+        // batched multi-lane fast path.
+        for (fast, lanes) in [(false, 1), (true, 1), (true, 8)] {
+            experiment.set_fast_path(fast);
+            experiment.set_batch(lanes);
+            let blocking = experiment.run_campaign_with(&sites, FaultModel::SingleBitFlip, 1);
+            for workers in [1, 2, 4] {
+                let incremental = experiment.run_campaign_incremental(
+                    &sites,
+                    FaultModel::SingleBitFlip,
+                    workers,
+                    &[],
+                    &NopObserver,
+                );
+                assert!(!incremental.cancelled, "{id}: nop observer cancelled");
+                let resolved: Vec<Outcome> = incremental
+                    .outcomes
+                    .iter()
+                    .map(|o| o.expect("uncancelled campaign resolves every site"))
+                    .collect();
+                assert_eq!(
+                    blocking.outcomes, resolved,
+                    "{id}: incremental path diverged (fast={fast} lanes={lanes} workers={workers})"
+                );
+            }
+        }
+    }
+}
+
+/// Guarantee 2: at the paper's operating point the rule's sample floor
+/// (hundreds of sites) exceeds these small plans, so early stopping is
+/// armed but can never fire — and the result must collapse to the plain
+/// run's profile on every kernel, with `early_stopped: false`.
+#[test]
+fn paper_operating_point_never_fires_on_small_plans() {
+    for w in workloads::all(Scale::Eval) {
+        let id = w.registry_id();
+        let plain = JobSpec::sampled(id, 40);
+        let stopped = plain.clone().with_stop(0.0063, 0.998);
+        let plain_doc = run_local(&plain, 2).expect("plain run");
+        let doc = run_local(&stopped, 2).expect("early-stop-armed run");
+        assert_eq!(
+            doc.get("early_stopped").and_then(Json::as_bool),
+            Some(false),
+            "{id}: rule fired below its sample floor"
+        );
+        assert_eq!(
+            doc.get("sites_injected").and_then(Json::as_u64),
+            plain_doc.get("sites").and_then(Json::as_u64),
+            "{id}: un-fired run did not inject the full plan"
+        );
+        for field in ["profile", "percentages", "fingerprint", "sites"] {
+            assert_eq!(
+                doc.get(field).map(Json::to_string),
+                plain_doc.get(field).map(Json::to_string),
+                "{id}: `{field}` diverged with an un-fired stop rule"
+            );
+        }
+    }
+}
+
+/// Guarantee 3a: a firing run is deterministic — byte-identical result
+/// documents across reruns and across worker counts — and injects a
+/// strict prefix of the plan.
+#[test]
+fn fired_early_stop_is_reproducible_and_injects_a_prefix() {
+    let spec = JobSpec::sampled("gemm", 400).with_stop(0.1, 0.9);
+    let first = run_local(&spec, 1).expect("run").to_string();
+    for workers in [1, 4] {
+        let rerun = run_local(&spec, workers).expect("rerun").to_string();
+        assert_eq!(first, rerun, "early-stopped run varies (workers={workers})");
+    }
+    let doc = Json::parse(&first).expect("well-formed result");
+    assert_eq!(doc.get("early_stopped").and_then(Json::as_bool), Some(true));
+    let injected = doc
+        .get("sites_injected")
+        .and_then(Json::as_u64)
+        .expect("sites_injected");
+    let planned = doc.get("sites").and_then(Json::as_u64).expect("sites");
+    assert!(
+        injected < planned,
+        "fired rule should stop early ({injected} of {planned})"
+    );
+    let achieved = doc
+        .get("achieved_margin")
+        .and_then(Json::as_f64)
+        .expect("achieved_margin");
+    assert!(
+        achieved <= 0.1,
+        "stopped before the CI fit the margin: {achieved}"
+    );
+}
+
+/// Guarantee 3b: the early-stopped estimate lies within the requested
+/// margin of the full-campaign ground truth (same spec, stop removed).
+#[test]
+fn fired_estimate_stays_within_margin_of_ground_truth() {
+    let margin = 0.1;
+    let stopped = JobSpec::sampled("gemm", 400).with_stop(margin, 0.9);
+    let full = JobSpec::sampled("gemm", 400);
+    let stopped_doc = run_local(&stopped, 2).expect("early-stopped run");
+    let full_doc = run_local(&full, 2).expect("ground-truth run");
+    assert_eq!(
+        stopped_doc.get("early_stopped").and_then(Json::as_bool),
+        Some(true),
+        "calibration drift: the loose rule no longer fires at n=400"
+    );
+    let pct = |doc: &Json| -> Vec<f64> {
+        doc.get("percentages")
+            .and_then(Json::as_arr)
+            .expect("percentages array")
+            .iter()
+            .filter_map(Json::as_f64)
+            .collect()
+    };
+    for (k, (est, truth)) in pct(&stopped_doc).iter().zip(pct(&full_doc)).enumerate() {
+        let drift = (est / 100.0 - truth / 100.0).abs();
+        assert!(
+            drift <= margin,
+            "class {k}: early-stopped estimate drifted {drift:.4} > {margin}"
+        );
+    }
+}
+
+/// Guarantee 3c (replay oracle): on fixed-seed synthetic outcome streams
+/// delivered out of order, the prefix tracker's stop length is exactly
+/// the first contiguous-prefix length at which the CI condition holds —
+/// never earlier.
+#[test]
+fn tracker_never_fires_before_ci_condition_holds_on_prefix() {
+    let rule = StopRule::new(0.9, 0.12);
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(0xC10A_0ACE ^ seed);
+        let n = 400;
+        let outcomes: Vec<Outcome> = (0..n)
+            .map(|_| match rng.gen_range(0u32..100) {
+                0..=69 => Outcome::Masked,
+                70..=89 => Outcome::Sdc,
+                90..=95 => Outcome::CRASH,
+                96..=97 => Outcome::HANG,
+                _ => Outcome::Detected,
+            })
+            .collect();
+        let mut tracker = EarlyStop::new(rule, vec![1.0; n], [0.0; 5]);
+        // Scrambled arrival order: resolve even indices back-to-front
+        // first, then odd indices, so the contiguous cursor lags far
+        // behind the resolved set.
+        let mut order: Vec<usize> = (0..n).step_by(2).rev().collect();
+        order.extend((1..n).step_by(2));
+        let mut fired_at = None;
+        for &i in &order {
+            tracker.resolve(i, outcomes[i]);
+            if fired_at.is_none() {
+                fired_at = tracker.stop_len();
+            }
+        }
+        // In-order replay: the first prefix length satisfying the rule.
+        let mut est = StreamEstimator::new();
+        let mut first_hold = None;
+        for (len, &o) in outcomes.iter().enumerate() {
+            est.record(o);
+            if rule.should_stop(&est) {
+                first_hold = Some(len + 1);
+                break;
+            }
+        }
+        match (tracker.stop_len(), first_hold) {
+            (Some(stopped), Some(hold)) => assert_eq!(
+                stopped, hold,
+                "seed {seed}: tracker fired at {stopped}, CI first holds at {hold}"
+            ),
+            (None, None) => {}
+            (got, want) => panic!("seed {seed}: tracker {got:?} vs replay {want:?}"),
+        }
+        if let Some(at) = fired_at {
+            assert_eq!(
+                Some(at),
+                tracker.stop_len(),
+                "seed {seed}: stop length drifted after firing"
+            );
+        }
+    }
+}

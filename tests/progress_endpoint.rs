@@ -1,0 +1,198 @@
+//! Live-analytics surface over the wire: the `/jobs/:id/progress`
+//! document, the per-outcome counters on job status and `/metrics`, the
+//! self-contained `/dashboard` page, and a served early-stopped job whose
+//! result document matches the in-process library path byte-for-byte.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use fault_site_pruning::serve::{run_local, Client, Engine, EngineConfig, JobSpec, Json, Server};
+use fault_site_pruning::stats::stream_version;
+
+const SAMPLES: usize = 200;
+
+fn tmp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fsp-progress-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Raw GET for non-JSON routes the typed client does not wrap.
+fn get_page(addr: &str, path: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let (head, body) = response.split_once("\r\n\r\n").expect("HTTP response");
+    assert!(head.contains("200"), "GET {path}: {head}");
+    body.to_owned()
+}
+
+/// Every structural invariant of a progress document: five labeled
+/// outcome classes, estimates inside their intervals, intervals inside
+/// the unit range, and counts consistent with `done`.
+fn assert_well_formed(doc: &Json) {
+    for field in ["id", "state", "kernel", "mode", "stream_version"] {
+        assert!(doc.get(field).is_some(), "progress missing `{field}`");
+    }
+    assert_eq!(
+        doc.get("stream_version").and_then(Json::as_u64),
+        Some(stream_version()),
+        "estimator version drifted between server and client"
+    );
+    let outcomes = doc
+        .get("outcomes")
+        .and_then(Json::as_arr)
+        .expect("outcomes array");
+    assert_eq!(outcomes.len(), 5, "one entry per outcome class");
+    let labels: Vec<&str> = outcomes
+        .iter()
+        .filter_map(|o| o.get("outcome").and_then(Json::as_str))
+        .collect();
+    assert_eq!(labels, ["masked", "sdc", "crash", "hang", "detected"]);
+    let mut counted = 0;
+    for entry in outcomes {
+        let estimate = entry.get("estimate").and_then(Json::as_f64).unwrap();
+        let lo = entry.get("lo").and_then(Json::as_f64).unwrap();
+        let hi = entry.get("hi").and_then(Json::as_f64).unwrap();
+        assert!(
+            (0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi) && lo <= hi,
+            "interval out of range: [{lo}, {hi}]"
+        );
+        assert!(
+            (lo..=hi).contains(&estimate),
+            "estimate {estimate} outside [{lo}, {hi}]"
+        );
+        counted += entry.get("count").and_then(Json::as_u64).unwrap();
+    }
+    let done = doc.get("done").and_then(Json::as_u64).unwrap();
+    assert!(
+        counted <= done,
+        "outcome counts {counted} exceed done {done}"
+    );
+    let achieved = doc.get("achieved_margin").and_then(Json::as_f64).unwrap();
+    assert!(achieved >= 0.0, "negative achieved margin {achieved}");
+}
+
+#[test]
+fn progress_counters_dashboard_and_early_stop_over_the_wire() {
+    let dir = tmp_dir();
+    let engine = Arc::new(Engine::open(EngineConfig::new(&dir).job_workers(1)).unwrap());
+    let handle = Server::bind("127.0.0.1:0", Arc::clone(&engine))
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let client = Client::new(handle.addr().to_string());
+
+    // Unknown jobs 404 on the progress route too.
+    assert!(client.progress("job-999").is_err(), "404 surfaces as Err");
+
+    // Plain job: poll /progress while it runs; completed counts must be
+    // monotone and the document well-formed at every observation.
+    let spec = JobSpec::sampled("gemm", SAMPLES);
+    let id = client.submit(&spec).unwrap();
+    let mut last_done = 0;
+    loop {
+        let progress = client.progress(&id).unwrap();
+        assert_well_formed(&progress);
+        let done = progress.get("done").and_then(Json::as_u64).unwrap();
+        assert!(
+            done >= last_done,
+            "done went backwards: {last_done} -> {done}"
+        );
+        last_done = done;
+        match progress.get("state").and_then(Json::as_str) {
+            Some("queued" | "running") => std::thread::sleep(Duration::from_millis(50)),
+            Some("completed") => break,
+            other => panic!("job ended in {other:?}"),
+        }
+    }
+    assert_eq!(last_done, SAMPLES as u64, "completed job reports full plan");
+
+    // The status document exposes running per-outcome counts, and they
+    // reappear as labeled counters on /metrics.
+    let status = client.status(&id).unwrap();
+    let counts = status.get("outcomes").expect("status outcome counts");
+    let mut total = 0;
+    for label in ["masked", "sdc", "crash", "hang", "detected"] {
+        let n = counts.get(label).and_then(Json::as_u64).unwrap();
+        let metric = client
+            .metric(&format!("fsp_job_outcome_total{{outcome=\"{label}\"}}"))
+            .unwrap();
+        assert_eq!(metric as u64, n, "metrics and status disagree on {label}");
+        total += n;
+    }
+    assert_eq!(total, SAMPLES as u64, "outcome counts cover every site");
+
+    // A progress document for a *finished* plain job: no stop requested,
+    // so `margin` is null but the baseline projection is still served.
+    let finished = client.progress(&id).unwrap();
+    assert_well_formed(&finished);
+    assert!(matches!(finished.get("margin"), Some(Json::Null)));
+    assert_eq!(
+        finished.get("stop_requested").and_then(Json::as_bool),
+        Some(false)
+    );
+    assert!(finished.get("projected_total").is_some());
+
+    // The dashboard is a self-contained HTML page at a stable route.
+    let page = get_page(&handle.addr().to_string(), "/dashboard");
+    assert!(page.starts_with("<!doctype html>"), "dashboard is HTML");
+    assert!(page.contains("/progress"), "dashboard polls progress");
+
+    // Early-stopped served job: completes, reports the stop metadata, and
+    // matches the in-process library path byte-for-byte.
+    let stop_spec = JobSpec::sampled("gemm", 400).with_stop(0.1, 0.9);
+    let stop_id = client.submit(&stop_spec).unwrap();
+    let status = client.wait(&stop_id, Duration::from_secs(300)).unwrap();
+    assert_eq!(
+        status.get("state").and_then(Json::as_str),
+        Some("completed")
+    );
+    let served = client.result(&stop_id).unwrap();
+    assert_eq!(
+        served.get("early_stopped").and_then(Json::as_bool),
+        Some(true),
+        "loose rule must fire at n=400"
+    );
+    let local = run_local(&stop_spec, 1).unwrap();
+    assert_eq!(
+        served.to_string(),
+        local.to_string(),
+        "served early-stopped result must equal the library path"
+    );
+
+    // Its final progress document reflects the stopped prefix, not the
+    // planned total, and carries the early-stop report.
+    let progress = client.progress(&stop_id).unwrap();
+    assert_well_formed(&progress);
+    assert_eq!(
+        progress.get("early_stopped").and_then(Json::as_bool),
+        Some(true)
+    );
+    let injected = progress
+        .get("sites_injected")
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(injected < 400, "stopped prefix shorter than the plan");
+    assert_eq!(
+        progress.get("done").and_then(Json::as_u64),
+        Some(injected),
+        "done must equal the scored prefix after an early stop"
+    );
+    let achieved = progress
+        .get("final_achieved_margin")
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert!(achieved <= 0.1, "achieved {achieved} exceeds requested 0.1");
+
+    handle.stop();
+    engine.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
